@@ -1,0 +1,449 @@
+// Benchmarks that regenerate every measured table in the paper's
+// evaluation (see EXPERIMENTS.md for the index and recorded results):
+//
+//	T1  §4.3 machine-dependent LoC per target       BenchmarkLocTable
+//	T2  §7 startup and connect times                BenchmarkStartup*, BenchmarkConnect*, BenchmarkReadStabsBaseline
+//	E1  §3 no-op stopping-point growth              BenchmarkNoopOverhead
+//	E2  §3 MIPS restricted-scheduling penalty       BenchmarkSchedPenalty
+//	E3  §7 symbol-table size ratios                 BenchmarkSymtabSize
+//	E4  §5 deferral of lexical analysis             BenchmarkSymtabRead*
+//	—   ablation: LazyData memoization (§5, §7)     BenchmarkLazyDataMemo
+//
+// plus throughput benchmarks for the substrates (interpreter, compiler,
+// simulators, nub protocol, breakpoints, expression server).
+package ldb_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ldb/internal/arch"
+	_ "ldb/internal/arch/m68k"
+	_ "ldb/internal/arch/mips"
+	_ "ldb/internal/arch/sparc"
+	_ "ldb/internal/arch/vax"
+	"ldb/internal/cc"
+	"ldb/internal/core"
+	"ldb/internal/driver"
+	"ldb/internal/link"
+	"ldb/internal/locstats"
+	"ldb/internal/nub"
+	"ldb/internal/ps"
+	"ldb/internal/stab"
+	"ldb/internal/symtab"
+	"ldb/internal/workload"
+)
+
+var targets = []string{"mips", "mipsbe", "sparc", "m68k", "vax"}
+
+const lccSized = 13000 // source lines of the lcc-sized program (§7)
+
+func buildFor(b *testing.B, archName, name, src string, debug, sched bool) *driver.Program {
+	b.Helper()
+	prog, err := driver.Build([]driver.Source{{Name: name, Text: src}},
+		driver.Options{Arch: archName, Debug: debug, Sched: sched})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// --- T1 ---
+
+func BenchmarkLocTable(b *testing.B) {
+	root, err := locstats.FindRoot(".")
+	if err != nil {
+		b.Skip(err)
+	}
+	var table locstats.Table
+	for i := 0; i < b.N; i++ {
+		table, err = locstats.Collect(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, t := range locstats.Targets {
+		b.ReportMetric(float64(locstats.PerTargetTotal(table, t)), t+"_loc")
+	}
+	b.ReportMetric(float64(locstats.SharedTotal(table)), "shared_loc")
+}
+
+// --- T2: the startup table, one benchmark per row ---
+
+func BenchmarkStartupInterp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps.New()
+	}
+}
+
+func BenchmarkStartupPrelude(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchReadSymtab(b *testing.B, lines int) {
+	src := workload.Hello
+	if lines > 1 {
+		src = workload.Big(lines)
+	}
+	prog := buildFor(b, "mips", "p.c", src, true, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := symtab.Load(ps.New(), prog.LoaderPS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadSymtabHello(b *testing.B) { benchReadSymtab(b, 1) }
+func BenchmarkReadSymtabLcc(b *testing.B)   { benchReadSymtab(b, lccSized) }
+
+func benchConnect(b *testing.B, progs ...*driver.Program) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := core.New(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, prog := range progs {
+			client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.AttachClient(fmt.Sprint(j), client, prog.LoaderPS); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkConnectHello(b *testing.B) {
+	benchConnect(b, buildFor(b, "mips", "hello.c", workload.Hello, true, false))
+}
+
+func BenchmarkConnectLcc(b *testing.B) {
+	benchConnect(b, buildFor(b, "mips", "lcc.c", workload.Big(lccSized), true, false))
+}
+
+func BenchmarkConnectTwoMips(b *testing.B) {
+	p := buildFor(b, "mips", "lcc.c", workload.Big(lccSized), true, false)
+	benchConnect(b, p, p)
+}
+
+func BenchmarkConnectCrossArch(b *testing.B) {
+	benchConnect(b,
+		buildFor(b, "mips", "lcc.c", workload.Big(lccSized), true, false),
+		buildFor(b, "sparc", "lcc.c", workload.Big(lccSized), true, false))
+}
+
+func BenchmarkReadStabsBaseline(b *testing.B) {
+	tc := &cc.TargetConf{Name: "mips", LDoubleSize: 8}
+	unit, err := cc.Compile(workload.Big(lccSized), "lcc.c", tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := stab.Emit([]*cc.Unit{unit})
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stab.Read(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E1 ---
+
+func BenchmarkNoopOverhead(b *testing.B) {
+	for _, t := range targets {
+		b.Run(t, func(b *testing.B) {
+			var plain, debug int
+			for i := 0; i < b.N; i++ {
+				plain, debug = 0, 0
+				for _, name := range workload.Names {
+					plain += driver.TextWords(buildFor(b, t, name, workload.Programs[name], false, false))
+					debug += driver.TextWords(buildFor(b, t, name, workload.Programs[name], true, false))
+				}
+			}
+			b.ReportMetric(100*float64(debug-plain)/float64(plain), "%growth")
+		})
+	}
+}
+
+// --- E2 ---
+
+func BenchmarkSchedPenalty(b *testing.B) {
+	var plainPad, debugPad, instrs int
+	for i := 0; i < b.N; i++ {
+		plainPad, debugPad, instrs = 0, 0, 0
+		for _, name := range workload.Names {
+			plain := buildFor(b, "mips", name, workload.Programs[name], false, true)
+			debug := buildFor(b, "mips", name, workload.Programs[name], true, true)
+			plainPad += plain.SchedPadded
+			debugPad += debug.SchedPadded
+			instrs += driver.TextWords(plain)
+		}
+	}
+	b.ReportMetric(float64(debugPad-plainPad), "extra_nops")
+	b.ReportMetric(100*float64(debugPad-plainPad)/float64(instrs), "%growth")
+}
+
+// --- E3 ---
+
+func BenchmarkSymtabSize(b *testing.B) {
+	tc := &cc.TargetConf{Name: "sparc", LDoubleSize: 8}
+	unit, err := cc.Compile(workload.Big(lccSized), "big.c", tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pts string
+	var stabs []byte
+	for i := 0; i < b.N; i++ {
+		pts = symtab.EmitProgramPS([]*cc.Unit{unit}, "sparc")
+		stabs = stab.Emit([]*cc.Unit{unit})
+	}
+	b.ReportMetric(float64(len(pts))/float64(len(stabs)), "raw_ratio")
+}
+
+// --- E4 ---
+
+func benchSymtabRead(b *testing.B, deferred bool) {
+	tc := &cc.TargetConf{Name: "sparc", LDoubleSize: 8}
+	unit, err := cc.Compile(workload.Big(lccSized), "big.c", tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := buildFor(b, "sparc", "big.c", workload.Big(lccSized), true, false)
+	loaderPS := link.LoaderPS(prog.Image, symtab.EmitProgramPSOpts([]*cc.Unit{unit}, "sparc", deferred))
+	b.SetBytes(int64(len(loaderPS)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := symtab.Load(ps.New(), loaderPS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymtabReadEager(b *testing.B)    { benchSymtabRead(b, false) }
+func BenchmarkSymtabReadDeferred(b *testing.B) { benchSymtabRead(b, true) }
+
+// --- ablation: LazyData memoization (§5/§7: anchor fetches happen at
+// most once per entry because procedures interpreted at most once are
+// replaced with their results) ---
+
+func BenchmarkLazyDataMemo(b *testing.B) {
+	prog := buildFor(b, "m68k", "fib.c", workload.Fib, true, false)
+	client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := core.New(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt, err := d.AttachClient("fib", client, prog.LoaderPS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.BreakStop("fib", 7); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.ContinueToBreakpoint(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tgt.FetchScalar("a"); err != nil {
+			// a is an array; FetchScalar reads its first word — fine
+			// for exercising the where path.
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tgt.LazyFetches), "anchor_fetches")
+}
+
+// --- substrate throughput ---
+
+func BenchmarkPSInterp(b *testing.B) {
+	in := ps.New()
+	if err := in.RunString("/fib { dup 2 lt { pop 1 } { dup 1 sub fib exch 2 sub fib add } ifelse } def"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Eval("15 fib"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	for _, t := range targets {
+		b.Run(t, func(b *testing.B) {
+			src := workload.Big(500)
+			for i := 0; i < b.N; i++ {
+				buildFor(b, t, "big.c", src, true, false)
+			}
+		})
+	}
+}
+
+func BenchmarkSimulator(b *testing.B) {
+	for _, t := range targets {
+		b.Run(t, func(b *testing.B) {
+			prog := buildFor(b, t, "queens.c", workload.Queens, false, false)
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				p := link.NewProcess(prog.Image)
+				if f := p.Run(); f.Kind != arch.FaultHalt {
+					b.Fatal(f)
+				}
+				steps = p.Steps
+			}
+			b.ReportMetric(float64(steps), "instructions")
+		})
+	}
+}
+
+func BenchmarkNubRoundTrip(b *testing.B) {
+	prog := buildFor(b, "mips", "fib.c", workload.Fib, true, false)
+	client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.FetchInt('d', 0x10000000, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBreakpointHit(b *testing.B) {
+	// A full stop-inspect-resume cycle per iteration.
+	prog := buildFor(b, "sparc", "fib.c", workload.Fib, true, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := core.New(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tgt, err := d.AttachClient("fib", client, prog.LoaderPS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tgt.BreakStop("fib", 7); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := tgt.ContinueToBreakpoint(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tgt.FetchScalar("i"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalExpression(b *testing.B) {
+	prog := buildFor(b, "vax", "fib.c", workload.Fib, true, false)
+	client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := core.New(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt, err := d.AttachClient("fib", client, prog.LoaderPS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.BreakStop("fib", 7); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.ContinueToBreakpoint(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tgt.EvalInt("a[i-1] + a[i-2]"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProcedureCall measures the §7.1 call extension: synthesize a
+// frame, run square in the target, read the result, restore the
+// context record.
+func BenchmarkProcedureCall(b *testing.B) {
+	src := `
+int square(int x) { return x * x; }
+int main() { return square(3); }
+`
+	prog := buildFor(b, "sparc", "call.c", src, true, false)
+	client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := core.New(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt, err := d.AttachClient("call", client, prog.LoaderPS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.BreakProc("main"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.ContinueToBreakpoint(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v, err := tgt.CallInt("square", 9); err != nil || v != 81 {
+			b.Fatalf("%d %v", v, err)
+		}
+	}
+}
+
+func BenchmarkPrintValue(b *testing.B) {
+	prog := buildFor(b, "m68k", "fib.c", workload.Fib, true, false)
+	client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink strings.Builder
+	d, err := core.New(&sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt, err := d.AttachClient("fib", client, prog.LoaderPS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.BreakStop("fib", 7); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.ContinueToBreakpoint(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		if err := tgt.Print("a"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

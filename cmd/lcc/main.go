@@ -1,0 +1,74 @@
+// lcc is the compiler driver: it compiles C sources for one of the
+// four simulated targets and links them with the runtime, producing an
+// executable image and — when compiling for debugging — the loader
+// table with machine-independent PostScript symbol tables (§2, §3).
+//
+// Usage:
+//
+//	lcc -arch sparc [-g] [-sched] [-o prog] file.c...
+//
+// Outputs prog.img (the executable image) and, with -g, prog.ldb (the
+// loader-table PostScript ldb reads).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ldb/internal/arch"
+	_ "ldb/internal/arch/m68k"
+	_ "ldb/internal/arch/mips"
+	_ "ldb/internal/arch/sparc"
+	_ "ldb/internal/arch/vax"
+	"ldb/internal/driver"
+	"ldb/internal/link"
+)
+
+func main() {
+	archName := flag.String("arch", "sparc", "target architecture: "+strings.Join(arch.Names(), ", "))
+	debug := flag.Bool("g", false, "compile for debugging: stopping-point no-ops, anchors, PostScript symbol tables")
+	sched := flag.Bool("sched", false, "run the MIPS load-delay-slot scheduler")
+	out := flag.String("o", "a", "output name (writes <name>.img and, with -g, <name>.ldb)")
+	stats := flag.Bool("stats", false, "print instruction counts and scheduling statistics")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "lcc: no input files")
+		os.Exit(2)
+	}
+	var sources []driver.Source
+	for _, path := range flag.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, driver.Source{Name: filepath.Base(path), Text: string(text)})
+	}
+	prog, err := driver.Build(sources, driver.Options{Arch: *archName, Debug: *debug, Sched: *sched})
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out+".img", link.EncodeImage(prog.Image), 0o644); err != nil {
+		fatal(err)
+	}
+	if *debug {
+		if err := os.WriteFile(*out+".ldb", []byte(prog.LoaderPS), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		fmt.Printf("%s: %d instructions, %d bytes text, %d bytes data\n",
+			*out, driver.TextWords(prog), len(prog.Image.Text), len(prog.Image.Data))
+		if *sched {
+			fmt.Printf("scheduler: %d delay slots filled, %d padded with no-ops\n",
+				prog.SchedFilled, prog.SchedPadded)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lcc:", err)
+	os.Exit(1)
+}

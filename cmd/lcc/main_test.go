@@ -1,0 +1,64 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/link"
+	"ldb/internal/ps"
+	"ldb/internal/symtab"
+)
+
+// TestDriverCLI drives the compiler the way a user would: flags in,
+// image and loader table out, and the image actually runs.
+func TestDriverCLI(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "hello.c")
+	if err := os.WriteFile(src, []byte("int main() { printf(\"hi\\n\"); return 0; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "hello")
+	os.Args = []string{"lcc", "-arch", "mips", "-g", "-sched", "-stats", "-o", out, src}
+	flag.CommandLine = flag.NewFlagSet("lcc", flag.ExitOnError)
+	main()
+
+	raw, err := os.ReadFile(out + ".img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.DecodeImage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := link.NewProcess(img)
+	f := p.Run()
+	// A -g image pauses for the nub before main; step past the pause
+	// trap as the nub would.
+	if f.Sig == arch.SigTrap && f.Code == arch.TrapPause {
+		p.SetPC(f.PC + f.Len)
+		f = p.Run()
+	}
+	if f.Kind != arch.FaultHalt {
+		t.Fatalf("image died: %v", f)
+	}
+	if got := p.Stdout.String(); got != "hi\n" {
+		t.Fatalf("output = %q", got)
+	}
+	loader, err := os.ReadFile(out + ".ldb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := symtab.Load(ps.New(), string(loader))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Architecture() != "mips" {
+		t.Fatalf("architecture = %q", tbl.Architecture())
+	}
+}

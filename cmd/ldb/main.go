@@ -1,0 +1,441 @@
+// ldb is the retargetable source-level debugger. It debugs C programs
+// compiled by cmd/lcc with -g for any of the simulated targets, over an
+// in-process "child" connection or a network connection to a waiting
+// nub, and can debug several targets — on different architectures — in
+// one session.
+//
+// Usage:
+//
+//	ldb prog.img prog.ldb          debug prog as a child process
+//	ldb -attach host:port prog.ldb attach to a nub over the network
+//	ldb -serve :port prog.img      run a program with its nub listening
+//	                               (no debugger; connect with -attach)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"ldb/internal/amem"
+	_ "ldb/internal/arch/m68k"
+	_ "ldb/internal/arch/mips"
+	_ "ldb/internal/arch/sparc"
+	_ "ldb/internal/arch/vax"
+	"ldb/internal/core"
+	"ldb/internal/link"
+	"ldb/internal/machine"
+	"ldb/internal/nub"
+	"ldb/internal/ps"
+)
+
+func main() {
+	attach := flag.String("attach", "", "attach to a nub at host:port")
+	serve := flag.String("serve", "", "run the image with its nub listening at this address")
+	flag.Parse()
+
+	if *serve != "" {
+		serveMode(*serve, flag.Args())
+		return
+	}
+
+	d, err := core.New(os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *attach != "":
+		if flag.NArg() < 1 {
+			fatal(fmt.Errorf("usage: ldb -attach host:port prog.ldb"))
+		}
+		loader, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		client, _, err := nub.Dial(*attach)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := d.AttachClient(*attach, client, string(loader)); err != nil {
+			fatal(err)
+		}
+	case flag.NArg() >= 2:
+		if err := launchChild(d, flag.Arg(0), flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ldb prog.img prog.ldb | ldb -attach host:port prog.ldb")
+		os.Exit(2)
+	}
+	repl(d)
+}
+
+// serveMode runs a program with its nub waiting on the network — the
+// arrangement where the target is not a child of the debugger (§4.2).
+func serveMode(addr string, args []string) {
+	if len(args) < 1 {
+		fatal(fmt.Errorf("usage: ldb -serve :port prog.img"))
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	img, err := link.DecodeImage(data)
+	if err != nil {
+		fatal(err)
+	}
+	p := machine.New(img.Arch, img.Text, img.Data, img.Entry)
+	n := nub.New(p)
+	n.Start()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("target %s (%s) paused before main; nub listening on %s\n", args[0], img.Arch.Name(), l.Addr())
+	n.ServeListener(l)
+	fmt.Printf("target finished; output:\n%s", p.Stdout.String())
+}
+
+func launchChild(d *core.Debugger, imgPath, ldbPath string) error {
+	data, err := os.ReadFile(imgPath)
+	if err != nil {
+		return err
+	}
+	img, err := link.DecodeImage(data)
+	if err != nil {
+		return err
+	}
+	loader, err := os.ReadFile(ldbPath)
+	if err != nil {
+		return err
+	}
+	client, _, proc, err := nub.Launch(img.Arch, img.Text, img.Data, img.Entry)
+	if err != nil {
+		return err
+	}
+	tgt, err := d.AttachClient(imgPath, client, string(loader))
+	if err != nil {
+		return err
+	}
+	tgt.Stdout = &proc.Stdout
+	fmt.Printf("%s (%s) stopped before main\n", imgPath, img.Arch.Name())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ldb:", err)
+	os.Exit(1)
+}
+
+const helpText = `commands:
+  break PROC | break FILE:LINE | break PROC@N   plant a breakpoint
+  clear                                         remove all breakpoints
+  stops PROC                                    list stopping points
+  cond PROC@N EXPR                              conditional breakpoint
+  recover                                       adopt breakpoints left by a lost debugger
+  continue (c)                                  resume (honoring conditions)
+  step (s) | next (n) | finish                  source-level stepping
+  print NAME (p)                                print a variable via its type's printer
+  eval EXPR (e) | = EXPR                        evaluate through the expression server
+                                                (assignments and procedure calls included)
+  where (bt)                                    walk the stack
+  frame N                                       select a frame
+  regs                                          show the frame's registers
+  dag                                           show the frame's abstract-memory DAG
+  targets | target N                            list / switch targets
+  ps CODE                                       run raw PostScript
+  detach | kill | quit                          end the session
+`
+
+func repl(d *core.Debugger) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("(ldb) ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if quit := command(d, line); quit {
+				return
+			}
+		}
+		fmt.Print("(ldb) ")
+	}
+}
+
+func command(d *core.Debugger, line string) bool {
+	t := d.Current()
+	fields := strings.Fields(line)
+	cmd, rest := fields[0], strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+	say := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	need := func() bool {
+		if t == nil {
+			say("no target")
+			return false
+		}
+		return true
+	}
+	switch cmd {
+	case "help", "h":
+		fmt.Print(helpText)
+	case "quit", "q":
+		return true
+	case "break", "b":
+		if !need() {
+			return false
+		}
+		switch {
+		case strings.Contains(rest, ":"):
+			i := strings.LastIndex(rest, ":")
+			n, err := strconv.Atoi(rest[i+1:])
+			if err != nil {
+				say("bad line number")
+				return false
+			}
+			addrs, err := t.BreakLine(rest[:i], n)
+			if err != nil {
+				say("%v", err)
+				return false
+			}
+			for _, a := range addrs {
+				say("breakpoint at %#x", a)
+			}
+		case strings.Contains(rest, "@"):
+			i := strings.Index(rest, "@")
+			n, err := strconv.Atoi(rest[i+1:])
+			if err != nil {
+				say("bad stopping point")
+				return false
+			}
+			addr, err := t.BreakStop(rest[:i], n)
+			if err != nil {
+				say("%v", err)
+				return false
+			}
+			say("breakpoint at %#x (stop %d of %s)", addr, n, rest[:i])
+		default:
+			addr, err := t.BreakProc(rest)
+			if err != nil {
+				say("%v", err)
+				return false
+			}
+			say("breakpoint at %#x (%s)", addr, rest)
+		}
+	case "clear":
+		if need() {
+			if err := t.Bpts.RemoveAll(); err != nil {
+				say("%v", err)
+			}
+		}
+	case "stops":
+		if !need() {
+			return false
+		}
+		stops, _, err := t.ProcStops(rest)
+		if err != nil {
+			say("%v", err)
+			return false
+		}
+		for _, s := range stops {
+			say("  %2d  line %d col %d", s.Index, s.Line, s.Col)
+		}
+	case "continue", "c", "run", "r":
+		if !need() {
+			return false
+		}
+		ev, err := t.ContinueConditional()
+		if err != nil {
+			say("%v", err)
+			return false
+		}
+		report(d, t, ev)
+	case "step", "s", "next", "n", "finish":
+		if !need() {
+			return false
+		}
+		var ev *nub.Event
+		var err error
+		switch cmd {
+		case "step", "s":
+			ev, err = t.Step()
+		case "next", "n":
+			ev, err = t.Next()
+		default:
+			ev, err = t.Finish()
+		}
+		if err != nil {
+			say("%v", err)
+			return false
+		}
+		report(d, t, ev)
+	case "cond":
+		if !need() {
+			return false
+		}
+		parts := strings.SplitN(rest, " ", 2)
+		if len(parts) != 2 || !strings.Contains(parts[0], "@") {
+			say("usage: cond PROC@N EXPR")
+			return false
+		}
+		at := strings.Index(parts[0], "@")
+		n, err := strconv.Atoi(parts[0][at+1:])
+		if err != nil {
+			say("bad stopping point")
+			return false
+		}
+		addr, err := t.BreakStopIf(parts[0][:at], n, parts[1])
+		if err != nil {
+			say("%v", err)
+			return false
+		}
+		say("conditional breakpoint at %#x when %s", addr, parts[1])
+	case "recover":
+		if !need() {
+			return false
+		}
+		addrs, err := t.RecoverBreakpoints()
+		if err != nil {
+			say("%v", err)
+			return false
+		}
+		say("recovered %d breakpoint(s)", len(addrs))
+	case "print", "p":
+		if !need() {
+			return false
+		}
+		if err := t.Print(rest); err != nil {
+			say("%v", err)
+		}
+	case "eval", "e", "=":
+		if !need() {
+			return false
+		}
+		o, err := t.Eval(rest)
+		if err != nil {
+			say("%v", err)
+			return false
+		}
+		say("%s", ps.Cvs(o))
+	case "where", "bt":
+		if !need() {
+			return false
+		}
+		bt, _ := t.Backtrace(32)
+		for i, name := range bt {
+			mark := "  "
+			if i == t.CurFrame {
+				mark = "* "
+			}
+			f, _ := t.Frame(i)
+			say("%s#%d %s pc=%#x", mark, i, name, f.PC)
+		}
+	case "frame", "f":
+		if !need() {
+			return false
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			say("bad frame number")
+			return false
+		}
+		if err := t.SelectFrame(n); err != nil {
+			say("%v", err)
+		}
+	case "regs":
+		if !need() {
+			return false
+		}
+		showRegs(d, t)
+	case "dag":
+		if !need() {
+			return false
+		}
+		f, err := t.Frame(t.CurFrame)
+		if err != nil {
+			say("%v", err)
+			return false
+		}
+		fmt.Print(f.Describe())
+	case "targets":
+		for i, tg := range d.Targets {
+			mark := "  "
+			if tg == d.Current() {
+				mark = "* "
+			}
+			state := "stopped"
+			if tg.Exited {
+				state = fmt.Sprintf("exited(%d)", tg.ExitStatus)
+			}
+			say("%s#%d %s (%s) %s", mark, i, tg.Name, tg.Arch.Name(), state)
+		}
+	case "target":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 || n >= len(d.Targets) {
+			say("bad target number")
+			return false
+		}
+		d.Switch(d.Targets[n])
+		say("now debugging %s (%s)", d.Targets[n].Name, d.Targets[n].Arch.Name())
+	case "ps":
+		if err := d.In.RunString(rest); err != nil {
+			say("%v", err)
+		}
+	case "detach":
+		if need() {
+			if err := t.Detach(); err != nil {
+				say("%v", err)
+			}
+		}
+	case "kill":
+		if need() {
+			if err := t.Kill(); err != nil {
+				say("%v", err)
+			}
+		}
+	default:
+		say("unknown command %q (try help)", cmd)
+	}
+	return false
+}
+
+func report(d *core.Debugger, t *core.Target, ev *nub.Event) {
+	if ev.Exited {
+		fmt.Printf("target exited with status %d\n", ev.Status)
+		if t.Stdout != nil {
+			fmt.Printf("--- target output ---\n%s", t.Stdout.String())
+		}
+		return
+	}
+	where := fmt.Sprintf("pc=%#x", ev.PC)
+	if f, err := t.Frame(0); err == nil {
+		where = fmt.Sprintf("%s pc=%#x", f.Proc(), ev.PC)
+	}
+	if t.Bpts.IsPlanted(ev.PC) {
+		fmt.Printf("breakpoint: %s\n", where)
+	} else {
+		fmt.Printf("signal %v (code %d): %s\n", ev.Sig, ev.Code, where)
+	}
+}
+
+func showRegs(d *core.Debugger, t *core.Target) {
+	f, err := t.Frame(t.CurFrame)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i := 0; i < t.Arch.NumRegs(); i++ {
+		v, err := f.Mem.FetchInt(amem.Abs(amem.Reg, int64(i)), 4)
+		if err != nil {
+			continue // unaliased in this frame
+		}
+		fmt.Printf("%6s %#010x", t.Arch.RegName(i), v)
+		if (i+1)%4 == 0 {
+			fmt.Println()
+		} else {
+			fmt.Print("  ")
+		}
+	}
+	fmt.Printf("\n%6s %#010x\n", "pc", f.PC)
+}

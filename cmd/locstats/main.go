@@ -1,0 +1,41 @@
+// locstats regenerates the paper's §4.3 table: the lines of
+// machine-dependent code per target versus the shared,
+// machine-independent remainder, counted from this repository's own
+// sources.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	_ "ldb/internal/arch/m68k"
+	_ "ldb/internal/arch/mips"
+	_ "ldb/internal/arch/sparc"
+	_ "ldb/internal/arch/vax"
+	"ldb/internal/locstats"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root (containing go.mod)")
+	flag.Parse()
+	dir, err := locstats.FindRoot(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locstats:", err)
+		os.Exit(1)
+	}
+	table, err := locstats.Collect(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locstats:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Machine-dependent lines per target vs. shared (cf. §4.3):")
+	fmt.Println()
+	fmt.Print(locstats.Format(table))
+	fmt.Println()
+	for _, t := range locstats.Targets {
+		fmt.Printf("retargeting %-5s touches %4d lines; ", t, locstats.PerTargetTotal(table, t))
+		fmt.Printf("shared code is %.0fx larger\n",
+			float64(locstats.SharedTotal(table))/float64(locstats.PerTargetTotal(table, t)))
+	}
+}

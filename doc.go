@@ -1,0 +1,12 @@
+// Package ldb is a from-scratch Go reproduction of "A Retargetable
+// Debugger" (Norman Ramsey and David R. Hanson, PLDI 1992): the ldb
+// debugger, its PostScript symbol tables and embedded interpreter, its
+// debug nub and wire protocol, the lcc-style retargetable compiler it
+// depends on, and instruction-set simulators for its four targets
+// (MIPS R3000 in both byte orders, SPARC, Motorola 68020, VAX).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks
+// in bench_test.go regenerate every measured table in the paper's
+// evaluation.
+package ldb

@@ -1,0 +1,97 @@
+// events builds a small Dalek-style event-action tool above ldb's
+// client interface (§6: "event-action debugging techniques seem well
+// suited for implementation above ldb"): it plants breakpoints at
+// interesting stopping points, and at every event records data instead
+// of stopping, producing a trace and a histogram while the target runs
+// to completion — the debugger as a library, not a REPL.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	_ "ldb/internal/arch/mips"
+	"ldb/internal/core"
+	"ldb/internal/driver"
+	"ldb/internal/nub"
+	"ldb/internal/workload"
+)
+
+func main() {
+	prog, err := driver.Build([]driver.Source{{Name: "queens.c", Text: workload.Queens}},
+		driver.Options{Arch: "mips", Debug: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, _, proc, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := core.New(os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := d.AttachClient("queens", client, prog.LoaderPS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Event 1: every entry to place(r) — histogram the recursion depth.
+	placeEntry, err := tgt.BreakProc("place")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Event 2: every solution found (place returns 1 at r == 8): the
+	// stopping point of `if (r == 8) return 1;`'s then-branch.
+	stops, _, err := tgt.ProcStops("place")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Stop 2 is `return 1` (0 entry, 1 if-condition, 2 return 1).
+	solution, err := tgt.BreakStop("place", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	depth := map[int64]int{}
+	solutions := 0
+	ev, err := tgt.RunEvents(func(t *core.Target, ev *nub.Event) (bool, error) {
+		switch ev.PC {
+		case placeEntry:
+			r, err := t.FetchScalar("r")
+			if err != nil {
+				return true, err
+			}
+			depth[r]++
+		case solution:
+			solutions++
+			if solutions <= 3 {
+				// Read the board through the expression server.
+				var cells []string
+				for c := 0; c < 8; c++ {
+					v, err := t.EvalInt(fmt.Sprintf("cols[%d]", c))
+					if err != nil {
+						return true, err
+					}
+					cells = append(cells, fmt.Sprint(v))
+				}
+				fmt.Printf("solution %d: columns %s\n", solutions, strings.Join(cells, " "))
+			}
+		}
+		return false, nil // never stop: pure event-action
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("...\ntarget %v; its own output: %s\n", ev, strings.TrimSpace(proc.Stdout.String()))
+	fmt.Println("calls to place() by recursion depth:")
+	for r := int64(0); r < 9; r++ {
+		if depth[r] > 0 {
+			fmt.Printf("  depth %d: %5d  %s\n", r, depth[r], strings.Repeat("▪", depth[r]/25+1))
+		}
+	}
+	fmt.Printf("solutions observed via breakpoint events: %d\n", solutions)
+	_ = stops
+}

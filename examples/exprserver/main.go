@@ -1,0 +1,76 @@
+// exprserver traces Fig. 3: the communication paths between ldb and
+// the expression server. It wraps the two pipes so every message is
+// printed — the expression going down, the server's lookup requests
+// coming back as PostScript, ldb's symbol replies as C tokens, and the
+// compiled procedure followed by ExpressionServer.result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	_ "ldb/internal/arch/vax"
+	"ldb/internal/core"
+	"ldb/internal/driver"
+	"ldb/internal/nub"
+	"ldb/internal/workload"
+)
+
+func main() {
+	prog, err := driver.Build([]driver.Source{{Name: "fib.c", Text: workload.Fib}},
+		driver.Options{Arch: "vax", Debug: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, _, proc, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := core.New(os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := d.AttachClient("fib", client, prog.LoaderPS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tgt.BreakStop("fib", 7); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tgt.ContinueToBreakpoint(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("target stopped at stopping point 7 of fib")
+
+	// Install the message tracer on the session's pipes.
+	trace := tgt.TraceExprTraffic(func(dir, line string) {
+		for _, l := range strings.Split(strings.TrimRight(line, "\n"), "\n") {
+			fmt.Printf("  %s %s\n", dir, l)
+		}
+	})
+	defer trace()
+
+	for _, e := range []string{"i", "a[i-1] + a[i-2]", "n = n - 4"} {
+		fmt.Printf("\nldb> eval %s\n", e)
+		v, err := tgt.EvalInt(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("result: %d\n", v)
+	}
+
+	// §7.1: an expression containing a procedure call. The generated
+	// procedure ends in TargetCall, which runs fib(2) inside the stopped
+	// target on a scratch stack and restores the session afterward. The
+	// breakpoint is removed first so the callee can run to completion.
+	if err := tgt.Bpts.RemoveAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nldb> eval fib(2)\n")
+	if _, err := tgt.Eval("fib(2)"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result: void; the target printed %q\n", proc.Stdout.String())
+}

@@ -1,0 +1,113 @@
+// fib reproduces the paper's figures around its running example: the
+// stopping points of Fig. 1, the symbol-table tree of Fig. 2, a sample
+// PostScript symbol-table entry (§2), and the abstract-memory DAG of
+// Fig. 4 for a live frame.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	_ "ldb/internal/arch/mips"
+	"ldb/internal/cc"
+	"ldb/internal/core"
+	"ldb/internal/driver"
+	"ldb/internal/nub"
+	"ldb/internal/symtab"
+	"ldb/internal/workload"
+)
+
+func main() {
+	tc := &cc.TargetConf{Name: "mips", LDoubleSize: 8}
+	unit, err := cc.Compile(workload.Fib, "fib.c", tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 1: the source with its stopping points.
+	fmt.Println("=== Fig. 1: stopping points of fib ===")
+	fib := unit.Funcs[0]
+	lines := strings.Split(workload.Fib, "\n")
+	marks := map[int][]int{} // line → stop indices
+	for _, sp := range fib.Stops {
+		marks[sp.Pos.Line] = append(marks[sp.Pos.Line], sp.Index)
+	}
+	for i, line := range lines {
+		if idx, ok := marks[i+1]; ok {
+			tags := make([]string, len(idx))
+			for k, v := range idx {
+				tags[k] = fmt.Sprint(v)
+			}
+			fmt.Printf("%10s | %s\n", strings.Join(tags, ","), line)
+		} else if strings.TrimSpace(line) != "" {
+			fmt.Printf("%10s | %s\n", "", line)
+		}
+	}
+
+	// Fig. 2: the uplink tree. Children point up; print the tree by
+	// grouping symbols under their uplink.
+	fmt.Println("\n=== Fig. 2: the tree structure of fib's symbol table ===")
+	children := map[*cc.Symbol][]*cc.Symbol{}
+	for _, s := range unit.Syms {
+		children[s.Uplink] = append(children[s.Uplink], s)
+	}
+	var dump func(s *cc.Symbol, depth int)
+	dump = func(s *cc.Symbol, depth int) {
+		fmt.Printf("%s%s (%s)\n", strings.Repeat("    ", depth), s.Name, s.Kind)
+		for _, c := range children[s] {
+			dump(c, depth+1)
+		}
+	}
+	for _, root := range children[nil] {
+		dump(root, 0)
+	}
+
+	// §2: one emitted symbol-table entry, verbatim PostScript.
+	fmt.Println("\n=== §2: the PostScript symbol-table entry for i ===")
+	ps := symtab.EmitUnitPS(unit, symtab.EmitOptions{Prefix: "S", Deferred: false})
+	for _, chunk := range strings.SplitAfter(ps, "def\n") {
+		if strings.Contains(chunk, "(i)") && strings.Contains(chunk, "/where") {
+			fmt.Println(strings.TrimSpace(chunk))
+			break
+		}
+	}
+
+	// Fig. 4: the abstract-memory DAG of a live frame.
+	fmt.Println("\n=== Fig. 4: abstract memory for a frame (live) ===")
+	prog, err := driver.Build([]driver.Source{{Name: "fib.c", Text: workload.Fib}},
+		driver.Options{Arch: "mips", Debug: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := core.New(os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := d.AttachClient("fib", client, prog.LoaderPS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tgt.BreakStop("fib", 7); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tgt.ContinueToBreakpoint(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tgt.Frames[0].Describe())
+	fmt.Println("\naliases recorded in the frame's alias memory (excerpt):")
+	for i, al := range tgt.Frames[0].Alias.Aliases() {
+		if i >= 6 && i < len(tgt.Frames[0].Alias.Aliases())-2 {
+			if i == 6 {
+				fmt.Println("  ...")
+			}
+			continue
+		}
+		fmt.Printf("  %-6s -> %s\n", al.From, al.To)
+	}
+}

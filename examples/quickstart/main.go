@@ -1,0 +1,95 @@
+// Quickstart: compile the paper's fib program for the SPARC with
+// debugging, start it under a nub, plant a breakpoint, inspect
+// variables, change one, and run to completion — the whole ldb
+// pipeline in one page.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	_ "ldb/internal/arch/m68k"
+	_ "ldb/internal/arch/mips"
+	_ "ldb/internal/arch/sparc"
+	_ "ldb/internal/arch/vax"
+	"ldb/internal/core"
+	"ldb/internal/driver"
+	"ldb/internal/nub"
+	"ldb/internal/workload"
+)
+
+func main() {
+	// 1. Compile and link with -g: PostScript symbol tables, anchor
+	//    symbols, and a no-op at every stopping point.
+	prog, err := driver.Build(
+		[]driver.Source{{Name: "fib.c", Text: workload.Fib}},
+		driver.Options{Arch: "sparc", Debug: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled fib.c for %s: %d bytes of text\n",
+		prog.Arch.Name(), len(prog.Image.Text))
+
+	// 2. Start the target under its debug nub (the "child process"
+	//    arrangement) and attach a debugger.
+	client, _, proc, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := core.New(os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := d.AttachClient("fib", client, prog.LoaderPS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attached; target stopped before main (%v)\n\n", client.Last)
+
+	// 3. Plant a breakpoint at stopping point 7 of fib — the body of
+	//    the first loop (the paper's own example).
+	addr, err := tgt.BreakStop("fib", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("breakpoint planted at %#x\n", addr)
+	if _, err := tgt.ContinueToBreakpoint(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Inspect: values print by interpreting the PostScript printer
+	//    procedures from the symbol table.
+	for _, name := range []string{"i", "n", "a"} {
+		fmt.Printf("print %s:\t", name)
+		if err := tgt.Print(name); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 5. Walk the stack and show the abstract-memory DAG of Fig. 4.
+	bt, _ := tgt.Backtrace(8)
+	fmt.Printf("\nbacktrace: %v\n\n", bt)
+	fmt.Println(tgt.Frames[0].Describe())
+
+	// 6. Evaluate expressions through the expression server, including
+	//    an assignment.
+	for _, e := range []string{"a[i-1] + a[i-2]", "n * 2", "n = 6"} {
+		v, err := tgt.EvalInt(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("eval %-18s = %d\n", e, v)
+	}
+
+	// 7. Remove the breakpoint and let the program finish: it now
+	//    prints only 6 numbers because of the assignment.
+	if err := tgt.Bpts.RemoveAll(); err != nil {
+		log.Fatal(err)
+	}
+	ev, err := tgt.Continue()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntarget %v; its output: %s", ev, proc.Stdout.String())
+}

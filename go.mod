@@ -1,0 +1,3 @@
+module ldb
+
+go 1.22

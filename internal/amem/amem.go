@@ -1,0 +1,174 @@
+// Package amem implements ldb's abstract memories (§4.1 of the paper).
+//
+// An abstract memory represents the registers and memory of a target
+// process as a collection of spaces denoted by lower-case letters
+// ('c' for code, 'd' for data, 'r' for registers, ...). Locations within
+// a space are integer offsets; in register spaces the offset is the
+// register number. Given a memory and a location, ldb can fetch and
+// store three sizes of integers (8, 16, and 32 bits) and three sizes of
+// floating-point values (32, 64, and 80 bits) — the values and types
+// correspond closely to those of lcc's intermediate representation (§7).
+//
+// Instances are combined into a directed acyclic graph per stack frame
+// (Fig. 4): a joined memory routes requests by space to a register
+// memory (which widens sub-word register access so byte order is
+// irrelevant), an alias memory (which redirects saved registers to the
+// context in the data space or to immediate locations), and a wire
+// memory (which forwards to the nub in the target process).
+package amem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Space identifies a space of an abstract memory. Every machine has
+// code and data spaces; other spaces are added per machine (on the
+// MIPS: r for general registers, f for floating registers, and x for
+// the extra registers — program counter and virtual frame pointer).
+type Space byte
+
+// The conventional spaces.
+const (
+	Code  Space = 'c'
+	Data  Space = 'd'
+	Reg   Space = 'r'
+	Float Space = 'f'
+	Extra Space = 'x'
+)
+
+func (s Space) String() string { return string(byte(s)) }
+
+// Mode is the addressing mode of a location.
+type Mode uint8
+
+// Addressing modes. ldb provides several; Absolute names an offset
+// within a space, Immediate carries the value itself.
+const (
+	Absolute Mode = iota
+	Immediate
+)
+
+// Location names a place in an abstract memory.
+type Location struct {
+	Mode   Mode
+	Space  Space
+	Offset int64 // absolute: offset within Space (register number in register spaces)
+	Imm    uint64
+	ImmF   float64
+}
+
+// Abs returns an absolute location.
+func Abs(space Space, offset int64) Location {
+	return Location{Mode: Absolute, Space: space, Offset: offset}
+}
+
+// Imm returns an immediate integer location.
+func Imm(v uint64) Location { return Location{Mode: Immediate, Imm: v, ImmF: float64(v)} }
+
+// ImmFloat returns an immediate floating location.
+func ImmFloat(v float64) Location { return Location{Mode: Immediate, ImmF: v, Imm: uint64(int64(v))} }
+
+// Shifted returns the location offset by delta bytes (or registers, in a
+// register space). Shifting an immediate location shifts its value,
+// which is how PostScript printers step through arrays when the "array"
+// is a register-resident scalar spilled to an immediate.
+func (l Location) Shifted(delta int64) Location {
+	if l.Mode == Immediate {
+		l.Imm += uint64(delta)
+		l.ImmF = float64(l.Imm)
+		return l
+	}
+	l.Offset += delta
+	return l
+}
+
+func (l Location) String() string {
+	if l.Mode == Immediate {
+		return fmt.Sprintf("#%d", int64(l.Imm))
+	}
+	return fmt.Sprintf("%s:%d", l.Space, l.Offset)
+}
+
+// Integer and float sizes accepted by fetch and store, in bytes.
+const (
+	Int8    = 1
+	Int16   = 2
+	Int32   = 4
+	Float32 = 4
+	Float64 = 8
+	Float80 = 10 // m68k extended precision; stored as 12 bytes in memory
+)
+
+// Errors returned by memories.
+var (
+	ErrBadSpace   = errors.New("amem: no such space in this memory")
+	ErrBadSize    = errors.New("amem: unsupported access size")
+	ErrUnaliased  = errors.New("amem: location has no alias")
+	ErrImmStore   = errors.New("amem: store to immediate location")
+	ErrOutOfRange = errors.New("amem: address out of range")
+)
+
+// Memory is an abstract memory: a fetch/store interface over spaces.
+// Integer values travel as raw bits in the low-order bytes of a uint64;
+// sign extension is the caller's business.
+type Memory interface {
+	// Name identifies the memory in DAG dumps ("wire", "alias", ...).
+	Name() string
+	// FetchInt reads size bytes (1, 2, or 4) at loc.
+	FetchInt(loc Location, size int) (uint64, error)
+	// StoreInt writes size bytes (1, 2, or 4) at loc.
+	StoreInt(loc Location, size int, val uint64) error
+	// FetchFloat reads a float of size 4, 8, or 10 bytes at loc.
+	FetchFloat(loc Location, size int) (float64, error)
+	// StoreFloat writes a float of size 4, 8, or 10 bytes at loc.
+	StoreFloat(loc Location, size int, val float64) error
+}
+
+// Graph is implemented by memories that forward to other memories;
+// Describe uses it to render the DAG of Fig. 4.
+type Graph interface {
+	Children() []Memory
+}
+
+func checkIntSize(size int) error {
+	switch size {
+	case Int8, Int16, Int32:
+		return nil
+	}
+	return fmt.Errorf("%w: int size %d", ErrBadSize, size)
+}
+
+func checkFloatSize(size int) error {
+	switch size {
+	case Float32, Float64, Float80:
+		return nil
+	}
+	return fmt.Errorf("%w: float size %d", ErrBadSize, size)
+}
+
+// truncInt masks val to size bytes.
+func truncInt(val uint64, size int) uint64 {
+	switch size {
+	case Int8:
+		return val & 0xff
+	case Int16:
+		return val & 0xffff
+	case Int32:
+		return val & 0xffffffff
+	}
+	return val
+}
+
+// SignExtend interprets the low size bytes of raw as a signed integer.
+func SignExtend(raw uint64, size int) int64 {
+	switch size {
+	case Int8:
+		return int64(int8(raw))
+	case Int16:
+		return int64(int16(raw))
+	case Int32:
+		return int64(int32(raw))
+	}
+	return int64(raw)
+}

@@ -1,0 +1,483 @@
+package amem
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufMemoryInt(t *testing.T) {
+	for _, order := range []binary.ByteOrder{binary.BigEndian, binary.LittleEndian} {
+		m := NewBufMemory(Data, order, 64)
+		if err := m.StoreInt(Abs(Data, 8), Int32, 0x12345678); err != nil {
+			t.Fatal(err)
+		}
+		v, err := m.FetchInt(Abs(Data, 8), Int32)
+		if err != nil || v != 0x12345678 {
+			t.Fatalf("fetch32 = %#x, %v", v, err)
+		}
+		if err := m.StoreInt(Abs(Data, 0), Int16, 0xbeef); err != nil {
+			t.Fatal(err)
+		}
+		v, err = m.FetchInt(Abs(Data, 0), Int16)
+		if err != nil || v != 0xbeef {
+			t.Fatalf("fetch16 = %#x, %v", v, err)
+		}
+		if err := m.StoreInt(Abs(Data, 2), Int8, 0x7f); err != nil {
+			t.Fatal(err)
+		}
+		v, err = m.FetchInt(Abs(Data, 2), Int8)
+		if err != nil || v != 0x7f {
+			t.Fatalf("fetch8 = %#x, %v", v, err)
+		}
+	}
+}
+
+func TestBufMemoryByteOrderMatters(t *testing.T) {
+	// The raw bytes differ by order; the sub-byte view exposes it.
+	be := NewBufMemory(Data, binary.BigEndian, 8)
+	le := NewBufMemory(Data, binary.LittleEndian, 8)
+	for _, m := range []*BufMemory{be, le} {
+		if err := m.StoreInt(Abs(Data, 0), Int32, 0x11223344); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if be.Data[0] != 0x11 || le.Data[0] != 0x44 {
+		t.Fatalf("byte order not applied: be[0]=%#x le[0]=%#x", be.Data[0], le.Data[0])
+	}
+}
+
+func TestBufMemoryErrors(t *testing.T) {
+	m := NewBufMemory(Data, binary.BigEndian, 8)
+	if _, err := m.FetchInt(Abs(Code, 0), Int32); !errors.Is(err, ErrBadSpace) {
+		t.Fatalf("wrong space: %v", err)
+	}
+	if _, err := m.FetchInt(Abs(Data, 6), Int32); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out of range: %v", err)
+	}
+	if _, err := m.FetchInt(Abs(Data, -1), Int8); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative: %v", err)
+	}
+	if _, err := m.FetchInt(Abs(Data, 0), 3); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("bad size: %v", err)
+	}
+	if err := m.StoreInt(Imm(1), Int32, 0); !errors.Is(err, ErrImmStore) {
+		t.Fatalf("imm store: %v", err)
+	}
+}
+
+func TestBufMemoryBase(t *testing.T) {
+	m := NewBufMemory(Data, binary.BigEndian, 16)
+	m.Base = 0x1000
+	if err := m.StoreInt(Abs(Data, 0x1004), Int32, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.FetchInt(Abs(Data, 0x1004), Int32)
+	if err != nil || v != 42 {
+		t.Fatalf("windowed fetch = %d, %v", v, err)
+	}
+	if _, err := m.FetchInt(Abs(Data, 0), Int32); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("below base: %v", err)
+	}
+}
+
+func TestBufMemoryFloat(t *testing.T) {
+	for _, order := range []binary.ByteOrder{binary.BigEndian, binary.LittleEndian} {
+		m := NewBufMemory(Data, order, 64)
+		if err := m.StoreFloat(Abs(Data, 0), Float64, 3.25); err != nil {
+			t.Fatal(err)
+		}
+		v, err := m.FetchFloat(Abs(Data, 0), Float64)
+		if err != nil || v != 3.25 {
+			t.Fatalf("double = %g, %v", v, err)
+		}
+		if err := m.StoreFloat(Abs(Data, 8), Float32, 1.5); err != nil {
+			t.Fatal(err)
+		}
+		v, err = m.FetchFloat(Abs(Data, 8), Float32)
+		if err != nil || v != 1.5 {
+			t.Fatalf("single = %g, %v", v, err)
+		}
+		if err := m.StoreFloat(Abs(Data, 16), Float80, -2.75); err != nil {
+			t.Fatal(err)
+		}
+		v, err = m.FetchFloat(Abs(Data, 16), Float80)
+		if err != nil || v != -2.75 {
+			t.Fatalf("extended = %g, %v", v, err)
+		}
+	}
+}
+
+func TestFloat80RoundTrip(t *testing.T) {
+	cases := []float64{0, 1, -1, 0.5, 3.14159265358979, 1e300, -1e-300, 12345.6789}
+	for _, v := range cases {
+		got := DecodeFloat80(EncodeFloat80(v))
+		if got != v {
+			t.Errorf("float80 round trip %g → %g", v, got)
+		}
+	}
+	if !math.IsInf(DecodeFloat80(EncodeFloat80(math.Inf(1))), 1) {
+		t.Error("+inf not preserved")
+	}
+	if !math.IsInf(DecodeFloat80(EncodeFloat80(math.Inf(-1))), -1) {
+		t.Error("-inf not preserved")
+	}
+	if !math.IsNaN(DecodeFloat80(EncodeFloat80(math.NaN()))) {
+		t.Error("nan not preserved")
+	}
+}
+
+func TestFloat80RoundTripProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		return DecodeFloat80(EncodeFloat80(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImmMemory(t *testing.T) {
+	var m ImmMemory
+	v, err := m.FetchInt(Imm(0x1234), Int16)
+	if err != nil || v != 0x1234 {
+		t.Fatalf("imm fetch = %#x, %v", v, err)
+	}
+	v, err = m.FetchInt(Imm(0x12345678), Int8)
+	if err != nil || v != 0x78 {
+		t.Fatalf("imm truncate = %#x, %v", v, err)
+	}
+	if _, err := m.FetchInt(Abs(Data, 0), Int32); !errors.Is(err, ErrBadSpace) {
+		t.Fatalf("absolute in imm memory: %v", err)
+	}
+	if err := m.StoreInt(Imm(1), Int32, 0); !errors.Is(err, ErrImmStore) {
+		t.Fatalf("store: %v", err)
+	}
+	fv, err := m.FetchFloat(ImmFloat(2.5), Float64)
+	if err != nil || fv != 2.5 {
+		t.Fatalf("imm float = %g, %v", fv, err)
+	}
+}
+
+func TestAliasMemory(t *testing.T) {
+	under := NewBufMemory(Data, binary.BigEndian, 128)
+	al := NewAliasMemory(under)
+	// Register 30 is saved 92 bytes after the beginning of the context
+	// (the example in §4.1).
+	al.Alias(Abs(Reg, 30), Abs(Data, 92))
+	if err := under.StoreInt(Abs(Data, 92), Int32, 7); err != nil {
+		t.Fatal(err)
+	}
+	v, err := al.FetchInt(Abs(Reg, 30), Int32)
+	if err != nil || v != 7 {
+		t.Fatalf("aliased fetch = %d, %v", v, err)
+	}
+	if err := al.StoreInt(Abs(Reg, 30), Int32, 9); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = under.FetchInt(Abs(Data, 92), Int32)
+	if v != 9 {
+		t.Fatalf("aliased store: underlying = %d", v)
+	}
+	// Extra registers alias immediate locations.
+	al.Alias(Abs(Extra, 0), Imm(0x2270))
+	v, err = al.FetchInt(Abs(Extra, 0), Int32)
+	if err != nil || v != 0x2270 {
+		t.Fatalf("immediate alias = %#x, %v", v, err)
+	}
+	if err := al.StoreInt(Abs(Extra, 0), Int32, 1); !errors.Is(err, ErrImmStore) {
+		t.Fatalf("store through immediate alias: %v", err)
+	}
+	if _, err := al.FetchInt(Abs(Reg, 31), Int32); !errors.Is(err, ErrUnaliased) {
+		t.Fatalf("unaliased: %v", err)
+	}
+}
+
+func TestAliasList(t *testing.T) {
+	al := NewAliasMemory(NewBufMemory(Data, binary.BigEndian, 8))
+	al.Alias(Abs(Reg, 5), Abs(Data, 0))
+	al.Alias(Abs(Reg, 1), Abs(Data, 4))
+	al.Alias(Abs(Extra, 0), Imm(1))
+	got := al.Aliases()
+	if len(got) != 3 {
+		t.Fatalf("Aliases len = %d", len(got))
+	}
+	// Deterministic order: by space, then offset.
+	if got[0].From.Space != Reg || got[0].From.Offset != 1 {
+		t.Fatalf("order: %v", got)
+	}
+	if got[2].From.Space != Extra {
+		t.Fatalf("order: %v", got)
+	}
+}
+
+// frameFor builds the abstract-memory DAG of Fig. 4 over a context
+// stored in a buffer with the given byte order, and returns the joined
+// memory plus the raw context.
+func frameFor(order binary.ByteOrder) (*JoinedMemory, *BufMemory) {
+	wire := NewBufMemory(Data, order, 256)
+	wire.Label = "wire"
+	alias := NewAliasMemory(wire)
+	for r := int64(0); r < 32; r++ {
+		alias.Alias(Abs(Reg, r), Abs(Data, 64+4*r))
+	}
+	alias.Alias(Abs(Extra, 0), Imm(0x2270)) // pc
+	alias.Alias(Abs(Extra, 1), Imm(0x8000)) // virtual frame pointer
+	regs := NewRegisterMemory(alias, 4)
+	j := NewJoinedMemory()
+	j.Route(Code, wire)
+	j.Route(Data, wire)
+	j.Route(Reg, regs)
+	j.Route(Extra, regs)
+	return j, wire
+}
+
+func TestRegisterMemoryByteOrderIrrelevant(t *testing.T) {
+	// §4.1: register memories enable ldb to execute the same code
+	// whether debugging a little-endian or a big-endian target. A
+	// sub-word fetch from a register returns the least significant
+	// bits on both.
+	for _, order := range []binary.ByteOrder{binary.BigEndian, binary.LittleEndian} {
+		j, _ := frameFor(order)
+		if err := j.StoreInt(Abs(Reg, 30), Int32, 0x11223344); err != nil {
+			t.Fatal(err)
+		}
+		b, err := j.FetchInt(Abs(Reg, 30), Int8)
+		if err != nil || b != 0x44 {
+			t.Fatalf("%v: low byte = %#x, %v", order, b, err)
+		}
+		h, err := j.FetchInt(Abs(Reg, 30), Int16)
+		if err != nil || h != 0x3344 {
+			t.Fatalf("%v: low half = %#x, %v", order, h, err)
+		}
+	}
+}
+
+func TestRegisterMemorySubWordStoreProperty(t *testing.T) {
+	// Property: storing a byte into a register updates only the low 8
+	// bits, independent of target byte order.
+	f := func(initial uint32, b uint8) bool {
+		for _, order := range []binary.ByteOrder{binary.BigEndian, binary.LittleEndian} {
+			j, _ := frameFor(order)
+			if err := j.StoreInt(Abs(Reg, 7), Int32, uint64(initial)); err != nil {
+				return false
+			}
+			if err := j.StoreInt(Abs(Reg, 7), Int8, uint64(b)); err != nil {
+				return false
+			}
+			v, err := j.FetchInt(Abs(Reg, 7), Int32)
+			if err != nil {
+				return false
+			}
+			want := (uint64(initial) &^ 0xff) | uint64(b)
+			if v != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinedMemoryRouting(t *testing.T) {
+	j, wire := frameFor(binary.BigEndian)
+	// Data-space traffic goes straight to the wire.
+	if err := j.StoreInt(Abs(Data, 16), Int32, 99); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := wire.FetchInt(Abs(Data, 16), Int32)
+	if v != 99 {
+		t.Fatalf("routed store missed the wire: %d", v)
+	}
+	// Extra registers fetch immediate values.
+	pc, err := j.FetchInt(Abs(Extra, 0), Int32)
+	if err != nil || pc != 0x2270 {
+		t.Fatalf("pc = %#x, %v", pc, err)
+	}
+	// Unrouted space.
+	if _, err := j.FetchInt(Abs(Float, 0), Int32); !errors.Is(err, ErrBadSpace) {
+		t.Fatalf("unrouted: %v", err)
+	}
+	// Immediate fetch through the joined memory.
+	v, err = j.FetchInt(Imm(5), Int32)
+	if err != nil || v != 5 {
+		t.Fatalf("imm through joined = %d, %v", v, err)
+	}
+	if err := j.StoreInt(Imm(5), Int32, 1); !errors.Is(err, ErrImmStore) {
+		t.Fatalf("imm store through joined: %v", err)
+	}
+}
+
+func TestCrossEndianSameValues(t *testing.T) {
+	// The debugger-visible value of every register and variable is the
+	// same regardless of target byte order — except for the raw wire
+	// bytes, which differ. This is the crux of "cross-debugging is
+	// free" (§4.1).
+	jbe, wbe := frameFor(binary.BigEndian)
+	jle, wle := frameFor(binary.LittleEndian)
+	for _, j := range []*JoinedMemory{jbe, jle} {
+		for r := int64(0); r < 32; r++ {
+			if err := j.StoreInt(Abs(Reg, r), Int32, uint64(0x1000+r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for r := int64(0); r < 32; r++ {
+		a, _ := jbe.FetchInt(Abs(Reg, r), Int32)
+		b, _ := jle.FetchInt(Abs(Reg, r), Int32)
+		if a != b {
+			t.Fatalf("reg %d differs across byte orders: %#x vs %#x", r, a, b)
+		}
+	}
+	same := true
+	for i := range wbe.Data {
+		if wbe.Data[i] != wle.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("wire bytes identical across byte orders; context not byte-order-dependent")
+	}
+}
+
+func TestShifted(t *testing.T) {
+	l := Abs(Data, 100).Shifted(8)
+	if l.Offset != 108 || l.Space != Data {
+		t.Fatalf("shifted = %v", l)
+	}
+	i := Imm(10).Shifted(4)
+	if i.Imm != 14 {
+		t.Fatalf("shifted imm = %v", i)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	if got := SignExtend(0xff, Int8); got != -1 {
+		t.Fatalf("SignExtend(0xff,1) = %d", got)
+	}
+	if got := SignExtend(0x7f, Int8); got != 127 {
+		t.Fatalf("SignExtend(0x7f,1) = %d", got)
+	}
+	if got := SignExtend(0xffff, Int16); got != -1 {
+		t.Fatalf("SignExtend 16 = %d", got)
+	}
+	if got := SignExtend(0x80000000, Int32); got != math.MinInt32 {
+		t.Fatalf("SignExtend 32 = %d", got)
+	}
+}
+
+func TestDescribeDAG(t *testing.T) {
+	j, _ := frameFor(binary.BigEndian)
+	got := Describe(j)
+	for _, want := range []string{"joined", "register", "alias", "wire"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, got)
+		}
+	}
+	// The wire serves both c/d directly and r via register→alias; it
+	// must appear as shared, proving the structure is a DAG.
+	if !strings.Contains(got, "(shared)") {
+		t.Fatalf("Describe should show the shared wire:\n%s", got)
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	if s := Abs(Reg, 30).String(); s != "r:30" {
+		t.Fatalf("loc string = %q", s)
+	}
+	if s := Imm(7).String(); s != "#7" {
+		t.Fatalf("imm string = %q", s)
+	}
+}
+
+func TestImmMemoryFloatsAndName(t *testing.T) {
+	var m ImmMemory
+	if m.Name() != "immediate" {
+		t.Fatal("name")
+	}
+	if err := m.StoreFloat(ImmFloat(1), Float64, 2); !errors.Is(err, ErrImmStore) {
+		t.Fatalf("store float: %v", err)
+	}
+	if _, err := m.FetchFloat(Abs(Data, 0), Float64); !errors.Is(err, ErrBadSpace) {
+		t.Fatalf("absolute float: %v", err)
+	}
+	if _, err := m.FetchFloat(ImmFloat(1), 5); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("bad size: %v", err)
+	}
+}
+
+func TestAliasMemoryFloats(t *testing.T) {
+	under := NewBufMemory(Data, binary.BigEndian, 64)
+	al := NewAliasMemory(under)
+	al.Alias(Abs(Float, 2), Abs(Data, 16))
+	if err := al.StoreFloat(Abs(Float, 2), Float64, 6.5); err != nil {
+		t.Fatal(err)
+	}
+	v, err := al.FetchFloat(Abs(Float, 2), Float64)
+	if err != nil || v != 6.5 {
+		t.Fatalf("%g %v", v, err)
+	}
+	// Immediate float aliases.
+	al.Alias(Abs(Float, 3), ImmFloat(2.25))
+	v, err = al.FetchFloat(Abs(Float, 3), Float64)
+	if err != nil || v != 2.25 {
+		t.Fatalf("imm alias: %g %v", v, err)
+	}
+	if err := al.StoreFloat(Abs(Float, 3), Float64, 1); !errors.Is(err, ErrImmStore) {
+		t.Fatalf("store through imm alias: %v", err)
+	}
+	if _, err := al.FetchFloat(Abs(Float, 9), Float64); !errors.Is(err, ErrUnaliased) {
+		t.Fatalf("unaliased float: %v", err)
+	}
+	// Joined memory float routing and imm passthrough.
+	j := NewJoinedMemory()
+	j.Route(Float, al)
+	if _, ok := j.SpaceOf(Float); !ok {
+		t.Fatal("SpaceOf")
+	}
+	v, err = j.FetchFloat(Abs(Float, 2), Float64)
+	if err != nil || v != 6.5 {
+		t.Fatalf("joined float: %g %v", v, err)
+	}
+	v, err = j.FetchFloat(ImmFloat(9.5), Float64)
+	if err != nil || v != 9.5 {
+		t.Fatalf("joined imm float: %g %v", v, err)
+	}
+	if err := j.StoreFloat(Abs(Float, 2), Float64, 7.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.StoreFloat(Abs(Reg, 2), Float64, 1); !errors.Is(err, ErrBadSpace) {
+		t.Fatalf("unrouted: %v", err)
+	}
+}
+
+func TestRegisterMemoryFloats(t *testing.T) {
+	// Float traffic through a register memory passes straight to the
+	// underlying memory (FP registers are not widened like the general
+	// registers), but the size check still applies.
+	under := NewBufMemory(Data, binary.LittleEndian, 64)
+	al := NewAliasMemory(under)
+	al.Alias(Abs(Float, 0), Abs(Data, 8))
+	regs := NewRegisterMemory(al, 4)
+	if err := regs.StoreFloat(Abs(Float, 0), Float64, -12.75); err != nil {
+		t.Fatal(err)
+	}
+	v, err := regs.FetchFloat(Abs(Float, 0), Float64)
+	if err != nil || v != -12.75 {
+		t.Fatalf("%g %v", v, err)
+	}
+	if _, err := regs.FetchFloat(Abs(Float, 0), 7); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("fetch size check: %v", err)
+	}
+	if err := regs.StoreFloat(Abs(Float, 0), 7, 1); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("store size check: %v", err)
+	}
+}

@@ -1,0 +1,388 @@
+package amem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+func math32frombits(u uint32) float32 { return math.Float32frombits(u) }
+func math32bits(f float32) uint32     { return math.Float32bits(f) }
+func math64frombits(u uint64) float64 { return math.Float64frombits(u) }
+func math64bits(f float64) uint64     { return math.Float64bits(f) }
+
+// ImmMemory serves only immediate locations. It backs the x space of a
+// frame whose extra registers (program counter, virtual frame pointer)
+// are aliases for immediate locations rather than target memory.
+type ImmMemory struct{}
+
+// Name implements Memory.
+func (ImmMemory) Name() string { return "immediate" }
+
+// FetchInt implements Memory.
+func (ImmMemory) FetchInt(loc Location, size int) (uint64, error) {
+	if err := checkIntSize(size); err != nil {
+		return 0, err
+	}
+	if loc.Mode != Immediate {
+		return 0, fmt.Errorf("%w: %s in immediate memory", ErrBadSpace, loc)
+	}
+	return truncInt(loc.Imm, size), nil
+}
+
+// StoreInt implements Memory.
+func (ImmMemory) StoreInt(Location, int, uint64) error { return ErrImmStore }
+
+// FetchFloat implements Memory.
+func (ImmMemory) FetchFloat(loc Location, size int) (float64, error) {
+	if err := checkFloatSize(size); err != nil {
+		return 0, err
+	}
+	if loc.Mode != Immediate {
+		return 0, fmt.Errorf("%w: %s in immediate memory", ErrBadSpace, loc)
+	}
+	return loc.ImmF, nil
+}
+
+// StoreFloat implements Memory.
+func (ImmMemory) StoreFloat(Location, int, float64) error { return ErrImmStore }
+
+// AliasMemory translates requests for locations in register spaces into
+// requests on an underlying memory: registers saved in a context become
+// data-space locations, and registers with known constant values (the
+// extra registers) become immediate locations. Only the alias *data* is
+// machine-dependent; the code is shared by every target (§4.1).
+type AliasMemory struct {
+	Under   Memory
+	aliases map[aliasKey]Location
+}
+
+type aliasKey struct {
+	space Space
+	off   int64
+}
+
+// NewAliasMemory returns an alias memory forwarding to under.
+func NewAliasMemory(under Memory) *AliasMemory {
+	return &AliasMemory{Under: under, aliases: make(map[aliasKey]Location)}
+}
+
+// Name implements Memory.
+func (m *AliasMemory) Name() string { return "alias" }
+
+// Children implements Graph.
+func (m *AliasMemory) Children() []Memory { return []Memory{m.Under} }
+
+// Alias records that loc stands for target.
+func (m *AliasMemory) Alias(loc, target Location) {
+	m.aliases[aliasKey{loc.Space, loc.Offset}] = target
+}
+
+// AliasOf reports the recorded alias for loc.
+func (m *AliasMemory) AliasOf(loc Location) (Location, bool) {
+	t, ok := m.aliases[aliasKey{loc.Space, loc.Offset}]
+	return t, ok
+}
+
+// Aliases lists the recorded aliases in deterministic order, for DAG
+// dumps and for reusing unmodified callee-save aliases when walking to
+// a calling frame.
+func (m *AliasMemory) Aliases() []struct{ From, To Location } {
+	keys := make([]aliasKey, 0, len(m.aliases))
+	for k := range m.aliases {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].space != keys[j].space {
+			return keys[i].space < keys[j].space
+		}
+		return keys[i].off < keys[j].off
+	})
+	out := make([]struct{ From, To Location }, len(keys))
+	for i, k := range keys {
+		out[i] = struct{ From, To Location }{Abs(k.space, k.off), m.aliases[k]}
+	}
+	return out
+}
+
+func (m *AliasMemory) resolve(loc Location) (Location, error) {
+	if loc.Mode == Immediate {
+		return loc, nil
+	}
+	if t, ok := m.AliasOf(loc); ok {
+		return t, nil
+	}
+	return Location{}, fmt.Errorf("%w: %s", ErrUnaliased, loc)
+}
+
+// FetchInt implements Memory.
+func (m *AliasMemory) FetchInt(loc Location, size int) (uint64, error) {
+	t, err := m.resolve(loc)
+	if err != nil {
+		return 0, err
+	}
+	if t.Mode == Immediate {
+		if err := checkIntSize(size); err != nil {
+			return 0, err
+		}
+		return truncInt(t.Imm, size), nil
+	}
+	return m.Under.FetchInt(t, size)
+}
+
+// StoreInt implements Memory.
+func (m *AliasMemory) StoreInt(loc Location, size int, val uint64) error {
+	t, err := m.resolve(loc)
+	if err != nil {
+		return err
+	}
+	if t.Mode == Immediate {
+		return ErrImmStore
+	}
+	return m.Under.StoreInt(t, size, val)
+}
+
+// FetchFloat implements Memory.
+func (m *AliasMemory) FetchFloat(loc Location, size int) (float64, error) {
+	t, err := m.resolve(loc)
+	if err != nil {
+		return 0, err
+	}
+	if t.Mode == Immediate {
+		if err := checkFloatSize(size); err != nil {
+			return 0, err
+		}
+		return t.ImmF, nil
+	}
+	return m.Under.FetchFloat(t, size)
+}
+
+// StoreFloat implements Memory.
+func (m *AliasMemory) StoreFloat(loc Location, size int, val float64) error {
+	t, err := m.resolve(loc)
+	if err != nil {
+		return err
+	}
+	if t.Mode == Immediate {
+		return ErrImmStore
+	}
+	return m.Under.StoreFloat(t, size, val)
+}
+
+// RegisterMemory transforms sub-word fetches and stores on a register
+// space into full-word operations on the underlying memory, making the
+// target byte order irrelevant (§4.1): if ldb fetches a character from
+// a 32-bit register, the register memory fetches the whole register but
+// returns only the least significant 8 bits. This lets ldb execute the
+// same code whether debugging a little-endian or a big-endian target.
+type RegisterMemory struct {
+	Under Memory
+	// Width is the register width in bytes (4 for the general registers
+	// of all four targets).
+	Width int
+}
+
+// NewRegisterMemory wraps under with full-word widening.
+func NewRegisterMemory(under Memory, width int) *RegisterMemory {
+	return &RegisterMemory{Under: under, Width: width}
+}
+
+// Name implements Memory.
+func (m *RegisterMemory) Name() string { return "register" }
+
+// Children implements Graph.
+func (m *RegisterMemory) Children() []Memory { return []Memory{m.Under} }
+
+// FetchInt implements Memory.
+func (m *RegisterMemory) FetchInt(loc Location, size int) (uint64, error) {
+	if err := checkIntSize(size); err != nil {
+		return 0, err
+	}
+	whole, err := m.Under.FetchInt(loc, m.Width)
+	if err != nil {
+		return 0, err
+	}
+	return truncInt(whole, size), nil
+}
+
+// StoreInt implements Memory.
+func (m *RegisterMemory) StoreInt(loc Location, size int, val uint64) error {
+	if err := checkIntSize(size); err != nil {
+		return err
+	}
+	if size == m.Width {
+		return m.Under.StoreInt(loc, size, val)
+	}
+	whole, err := m.Under.FetchInt(loc, m.Width)
+	if err != nil {
+		return err
+	}
+	mask := uint64(1)<<(8*uint(size)) - 1
+	merged := (whole &^ mask) | (val & mask)
+	return m.Under.StoreInt(loc, m.Width, merged)
+}
+
+// FetchFloat implements Memory.
+func (m *RegisterMemory) FetchFloat(loc Location, size int) (float64, error) {
+	if err := checkFloatSize(size); err != nil {
+		return 0, err
+	}
+	return m.Under.FetchFloat(loc, size)
+}
+
+// StoreFloat implements Memory.
+func (m *RegisterMemory) StoreFloat(loc Location, size int, val float64) error {
+	if err := checkFloatSize(size); err != nil {
+		return err
+	}
+	return m.Under.StoreFloat(loc, size, val)
+}
+
+// JoinedMemory combines memories that serve different spaces, routing
+// each fetch or store to the appropriate underlying memory. The joined
+// memory is the instance presented to the rest of the debugger as the
+// abstract memory for a stack frame (§4.1). Immediate-mode fetches
+// return immediate values directly.
+type JoinedMemory struct {
+	routes map[Space]Memory
+	order  []Space
+}
+
+// NewJoinedMemory returns an empty joined memory.
+func NewJoinedMemory() *JoinedMemory {
+	return &JoinedMemory{routes: make(map[Space]Memory)}
+}
+
+// Route directs requests in space to m.
+func (j *JoinedMemory) Route(space Space, m Memory) {
+	if _, dup := j.routes[space]; !dup {
+		j.order = append(j.order, space)
+	}
+	j.routes[space] = m
+}
+
+// Name implements Memory.
+func (j *JoinedMemory) Name() string { return "joined" }
+
+// Children implements Graph.
+func (j *JoinedMemory) Children() []Memory {
+	seen := make(map[Memory]bool)
+	var out []Memory
+	for _, s := range j.order {
+		m := j.routes[s]
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SpaceOf returns the memory serving space.
+func (j *JoinedMemory) SpaceOf(space Space) (Memory, bool) {
+	m, ok := j.routes[space]
+	return m, ok
+}
+
+// Spaces lists the routed spaces in registration order.
+func (j *JoinedMemory) Spaces() []Space {
+	out := make([]Space, len(j.order))
+	copy(out, j.order)
+	return out
+}
+
+func (j *JoinedMemory) route(loc Location) (Memory, error) {
+	m, ok := j.routes[loc.Space]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s in joined memory", ErrBadSpace, loc)
+	}
+	return m, nil
+}
+
+// FetchInt implements Memory.
+func (j *JoinedMemory) FetchInt(loc Location, size int) (uint64, error) {
+	if loc.Mode == Immediate {
+		if err := checkIntSize(size); err != nil {
+			return 0, err
+		}
+		return truncInt(loc.Imm, size), nil
+	}
+	m, err := j.route(loc)
+	if err != nil {
+		return 0, err
+	}
+	return m.FetchInt(loc, size)
+}
+
+// StoreInt implements Memory.
+func (j *JoinedMemory) StoreInt(loc Location, size int, val uint64) error {
+	if loc.Mode == Immediate {
+		return ErrImmStore
+	}
+	m, err := j.route(loc)
+	if err != nil {
+		return err
+	}
+	return m.StoreInt(loc, size, val)
+}
+
+// FetchFloat implements Memory.
+func (j *JoinedMemory) FetchFloat(loc Location, size int) (float64, error) {
+	if loc.Mode == Immediate {
+		if err := checkFloatSize(size); err != nil {
+			return 0, err
+		}
+		return loc.ImmF, nil
+	}
+	m, err := j.route(loc)
+	if err != nil {
+		return 0, err
+	}
+	return m.FetchFloat(loc, size)
+}
+
+// StoreFloat implements Memory.
+func (j *JoinedMemory) StoreFloat(loc Location, size int, val float64) error {
+	if loc.Mode == Immediate {
+		return ErrImmStore
+	}
+	m, err := j.route(loc)
+	if err != nil {
+		return err
+	}
+	return m.StoreFloat(loc, size, val)
+}
+
+// Describe renders the DAG rooted at m, one memory per line with
+// indentation showing forwarding edges — the textual form of Fig. 4.
+func Describe(m Memory) string {
+	var b strings.Builder
+	seen := make(map[Memory]bool)
+	var walk func(m Memory, depth int)
+	walk = func(m Memory, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(m.Name())
+		if j, ok := m.(*JoinedMemory); ok {
+			b.WriteString(" [spaces:")
+			for _, s := range j.Spaces() {
+				b.WriteByte(' ')
+				b.WriteByte(byte(s))
+			}
+			b.WriteString("]")
+		}
+		if seen[m] {
+			b.WriteString(" (shared)\n")
+			return
+		}
+		seen[m] = true
+		b.WriteByte('\n')
+		if g, ok := m.(Graph); ok {
+			for _, c := range g.Children() {
+				walk(c, depth+1)
+			}
+		}
+	}
+	walk(m, 0)
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package amem
+
+import "math"
+
+// The m68k family stores extended-precision reals as 96-bit memory
+// images: a 15-bit biased exponent in the high word (with 16 bits of
+// padding) and a 64-bit mantissa with an explicit integer bit. Go has
+// no float80, so arithmetic happens in float64, but the storage format
+// — the machine-dependent part the debugger must understand — is real.
+
+const ext80Bias = 16383
+
+// EncodeFloat80 converts v to the 12-byte big-endian m68k extended
+// memory image.
+func EncodeFloat80(v float64) [12]byte {
+	var out [12]byte
+	sign := uint16(0)
+	if math.Signbit(v) {
+		sign = 0x8000
+		v = -v
+	}
+	var exp uint16
+	var mant uint64
+	switch {
+	case math.IsInf(v, 0):
+		exp = 0x7fff
+		mant = 0x8000000000000000
+	case math.IsNaN(v):
+		exp = 0x7fff
+		mant = 0xc000000000000000
+	case v == 0:
+		exp, mant = 0, 0
+	default:
+		frac, e := math.Frexp(v) // v = frac * 2**e, frac in [0.5, 1)
+		// mantissa with explicit integer bit: frac*2 in [1,2)
+		mant = uint64(frac * (1 << 63) * 2)
+		exp = uint16(e - 1 + ext80Bias)
+	}
+	se := sign | exp
+	out[0] = byte(se >> 8)
+	out[1] = byte(se)
+	// bytes 2-3 are padding (zero) in the 96-bit memory image
+	for i := 0; i < 8; i++ {
+		out[4+i] = byte(mant >> (56 - 8*i))
+	}
+	return out
+}
+
+// DecodeFloat80 converts a 12-byte big-endian m68k extended memory
+// image to float64 (with float64 precision).
+func DecodeFloat80(b [12]byte) float64 {
+	se := uint16(b[0])<<8 | uint16(b[1])
+	sign := se&0x8000 != 0
+	exp := int(se & 0x7fff)
+	var mant uint64
+	for i := 0; i < 8; i++ {
+		mant = mant<<8 | uint64(b[4+i])
+	}
+	var v float64
+	switch {
+	case exp == 0x7fff:
+		if mant<<1 == 0 { // only the explicit integer bit
+			v = math.Inf(1)
+		} else {
+			v = math.NaN()
+		}
+	case exp == 0 && mant == 0:
+		v = 0
+	default:
+		frac := float64(mant) / (1 << 63) / 2 // back to [0.5, 1)
+		v = math.Ldexp(frac, exp-ext80Bias+1)
+	}
+	if sign {
+		v = -v
+	}
+	return v
+}

@@ -1,0 +1,248 @@
+// Package arch defines the interface between ldb and its target
+// architectures. Machine-independent code manipulates machine-dependent
+// *data* wherever possible (§4 of the paper): the breakpoint
+// implementation needs only four items of data per target, the context
+// code is parameterized by a layout description, and only stepping,
+// encoding, and stack walking need per-target code.
+//
+// The four targets — MIPS R3000, SPARC, Motorola 68020, and VAX — are
+// implemented as instruction-set simulators in subpackages. They differ
+// in byte order (MIPS is configurable, SPARC and 68020 are big-endian,
+// VAX is little-endian), instruction width (4 bytes on MIPS and SPARC,
+// 2 on the 68020, 1-byte opcodes on the VAX), frame-pointer discipline
+// (the MIPS has none and needs the runtime procedure table), and context
+// layout.
+package arch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Signal numbers delivered by the simulated OS, matching the UNIX
+// numbers ldb's nub would see.
+type Signal int
+
+// The signals a target can raise.
+const (
+	SigNone Signal = 0
+	SigIll  Signal = 4  // illegal instruction
+	SigTrap Signal = 5  // breakpoint or pause trap
+	SigFPE  Signal = 8  // arithmetic fault (integer divide by zero)
+	SigBus  Signal = 10 // unaligned or wild access (unused by default)
+	SigSegv Signal = 11 // reference outside mapped segments
+)
+
+func (s Signal) String() string {
+	switch s {
+	case SigNone:
+		return "0"
+	case SigIll:
+		return "SIGILL"
+	case SigTrap:
+		return "SIGTRAP"
+	case SigFPE:
+		return "SIGFPE"
+	case SigBus:
+		return "SIGBUS"
+	case SigSegv:
+		return "SIGSEGV"
+	}
+	return fmt.Sprintf("SIG(%d)", int(s))
+}
+
+// FaultKind classifies why Step stopped.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultSignal  FaultKind = iota // a signal; the nub takes over
+	FaultSyscall                  // a system-call trap; the OS layer services it
+	FaultHalt                     // the process exited
+)
+
+// Trap codes with architectural meaning. Code 0 is the code a planted
+// breakpoint raises; the pause trap is executed by the startup code
+// before main (§4.3: each machine has a different one-line "pause"
+// procedure).
+const (
+	TrapBreakpoint = 0
+	TrapPause      = 126
+)
+
+// Fault reports why execution stopped.
+type Fault struct {
+	Kind FaultKind
+	Sig  Signal
+	Code int    // trap code or syscall number
+	Addr uint32 // faulting address, when meaningful
+	PC   uint32 // pc of the faulting instruction
+	// Len is the length in bytes of the trapping instruction, when the
+	// architecture reports it; the nub uses it to step past its own
+	// pause trap. Planted breakpoints use PCAdvance instead (§3).
+	Len uint32
+}
+
+func (f *Fault) Error() string {
+	switch f.Kind {
+	case FaultSyscall:
+		return fmt.Sprintf("syscall %d at %#x", f.Code, f.PC)
+	case FaultHalt:
+		return fmt.Sprintf("halt at %#x", f.PC)
+	default:
+		return fmt.Sprintf("%v (code %d) at pc=%#x addr=%#x", f.Sig, f.Code, f.PC, f.Addr)
+	}
+}
+
+// Proc is the processor-state access an Arch needs to execute
+// instructions. machine.Process implements it.
+type Proc interface {
+	PC() uint32
+	SetPC(uint32)
+	Reg(i int) uint32
+	SetReg(i int, v uint32)
+	FReg(i int) float64
+	SetFReg(i int, v float64)
+	// Flag is a status word each architecture uses as it pleases
+	// (condition codes, floating compare bits). It is saved in contexts.
+	Flag() uint32
+	SetFlag(uint32)
+	// Load and Store access memory in the target byte order; size is
+	// 1, 2, or 4 bytes.
+	Load(addr uint32, size int) (uint32, *Fault)
+	Store(addr uint32, size int, v uint32) *Fault
+	// LoadFloat and StoreFloat access floats of logical size 4, 8, or
+	// 10 (the 80-bit format occupies 12 bytes) in the target format.
+	LoadFloat(addr uint32, size int) (float64, *Fault)
+	StoreFloat(addr uint32, size int, v float64) *Fault
+}
+
+// ContextLayout describes where the nub saves processor state in a
+// context record (§4.1: "the code that fetches and stores fields of a
+// context is machine-independent, but is parameterized by a
+// machine-dependent description of those fields").
+type ContextLayout struct {
+	Size     int
+	PCOff    int
+	FlagOff  int
+	RegOffs  []int // byte offset of each general register
+	FRegOffs []int // byte offset of each floating register
+	// FRegSize is the storage footprint of one saved floating register
+	// (8, or 12 for the 68020's extended format).
+	FRegSize int
+	// FloatWordSwap reproduces the big-endian MIPS kernel quirk (§4.3
+	// footnote): doubleword floating values are stored most significant
+	// word first, except that the kernel saves floating registers in a
+	// struct sigcontext least significant word first.
+	FloatWordSwap bool
+}
+
+// Arch describes one target architecture.
+type Arch interface {
+	Name() string
+	Order() binary.ByteOrder
+	WordSize() int
+
+	// The four items of machine-dependent data the breakpoint
+	// implementation needs (§3): the bit patterns used for break and
+	// no-op, the type (width) used to fetch and store instructions, and
+	// the amount to advance the program counter after "interpreting"
+	// the no-op.
+	BreakInstr() []byte
+	NopInstr() []byte
+	InstrSize() int
+	PCAdvance() int64
+
+	NumRegs() int
+	NumFRegs() int
+	RegName(i int) string
+	SPReg() int
+	// FPReg returns the frame-pointer register, or -1 on machines
+	// without one (the MIPS uses a virtual frame pointer, §4.1).
+	FPReg() int
+	RetReg() int
+	// LinkReg returns the register holding the return address after a
+	// call, or -1 on machines that push it on the stack.
+	LinkReg() int
+
+	Context() ContextLayout
+
+	// Step decodes and executes one instruction. It returns nil if
+	// execution may simply continue.
+	Step(p Proc) *Fault
+
+	// SyscallArg reads argument i of a system call per the target's
+	// convention; SyscallRet delivers the result.
+	SyscallArg(p Proc, i int) uint32
+	SyscallRet(p Proc, v uint32)
+}
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]Arch)
+)
+
+// Register adds an architecture to the registry; the four target
+// packages call it from init.
+func Register(a Arch) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[a.Name()] = a
+}
+
+// Lookup finds a registered architecture by name.
+func Lookup(name string) (Arch, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	a, ok := registry[name]
+	return a, ok
+}
+
+// Names lists the registered architectures, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelocKind identifies a relocation applied by the linker.
+type RelocKind int
+
+// Relocation kinds used by the four assemblers.
+const (
+	RelAbs32 RelocKind = iota // 32-bit absolute address
+	RelHi16                   // high 16 bits of an absolute address (MIPS lui)
+	RelLo16                   // low 16 bits of an absolute address
+	RelPC26                   // MIPS jal: word offset in 26 bits
+	RelPC30                   // SPARC call: word displacement in 30 bits
+	RelPC32                   // 32-bit pc-relative displacement
+	RelHi22                   // SPARC sethi: high 22 bits
+	RelLo10                   // SPARC or-immediate: low 10 bits
+)
+
+// Reloc asks the linker to patch the bytes at Off once Sym's address is
+// known.
+type Reloc struct {
+	Off  int
+	Kind RelocKind
+	Sym  string
+	Add  int64
+}
+
+// Syscall numbers serviced by the simulated OS.
+const (
+	SysExit     = 1
+	SysPutInt   = 2
+	SysPutChar  = 3
+	SysPutStr   = 4 // arg is the address of a NUL-terminated string
+	SysPutFloat = 5 // arg is the address of a double
+	SysPutHex   = 6 // value printed as lowercase hexadecimal
+	SysPutUint  = 7 // value printed as unsigned decimal
+)

@@ -1,0 +1,103 @@
+package arch_test
+
+import (
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/arch/m68k"
+	"ldb/internal/arch/mips"
+	"ldb/internal/arch/sparc"
+	"ldb/internal/arch/vax"
+)
+
+func TestRegistryAndMetadata(t *testing.T) {
+	want := []string{"m68k", "mips", "mipsbe", "sparc", "vax"}
+	got := arch.Names()
+	if len(got) != len(want) {
+		t.Fatalf("registered: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered: %v", got)
+		}
+	}
+	if _, ok := arch.Lookup("pdp11"); ok {
+		t.Fatal("phantom architecture")
+	}
+	// Per-arch invariants the debugger relies on.
+	for _, name := range want {
+		a, _ := arch.Lookup(name)
+		if len(a.BreakInstr()) != a.InstrSize() || len(a.NopInstr()) != a.InstrSize() {
+			t.Errorf("%s: pattern widths", name)
+		}
+		if a.PCAdvance() != int64(a.InstrSize()) {
+			t.Errorf("%s: pc advance %d vs instr size %d", name, a.PCAdvance(), a.InstrSize())
+		}
+		l := a.Context()
+		if len(l.RegOffs) != a.NumRegs() || len(l.FRegOffs) != a.NumFRegs() {
+			t.Errorf("%s: context layout arity", name)
+		}
+		if l.PCOff+4 > l.Size || l.FlagOff+4 > l.Size {
+			t.Errorf("%s: pc/flag outside context", name)
+		}
+		if a.SPReg() < 0 || a.SPReg() >= a.NumRegs() {
+			t.Errorf("%s: sp register", name)
+		}
+	}
+	// The instruction widths genuinely differ across the family.
+	widths := map[int]bool{}
+	for _, a := range []arch.Arch{mips.Little, sparc.Target, m68k.Target, vax.Target} {
+		widths[a.InstrSize()] = true
+	}
+	if len(widths) != 3 { // 4, 2, and 1 byte units
+		t.Errorf("instruction widths: %v", widths)
+	}
+	// Exactly one target lacks a frame pointer (the MIPS).
+	noFP := 0
+	for _, name := range want {
+		a, _ := arch.Lookup(name)
+		if a.FPReg() < 0 {
+			noFP++
+		}
+	}
+	if noFP != 2 { // mips and mipsbe
+		t.Errorf("targets without fp: %d", noFP)
+	}
+}
+
+func TestFaultErrorStrings(t *testing.T) {
+	f := &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigSegv, PC: 0x100, Addr: 0x4}
+	if f.Error() == "" {
+		t.Fatal("empty error")
+	}
+	f = &arch.Fault{Kind: arch.FaultHalt, PC: 0x100}
+	if f.Error() == "" {
+		t.Fatal("empty halt")
+	}
+	f = &arch.Fault{Kind: arch.FaultSyscall, Code: 1, PC: 0x100}
+	if f.Error() == "" {
+		t.Fatal("empty syscall")
+	}
+}
+
+func TestRegisterRoles(t *testing.T) {
+	// RetReg/LinkReg are debugger-facing metadata; pin them.
+	cases := map[string][2]int{
+		"mips":   {2, 31},
+		"mipsbe": {2, 31},
+		"sparc":  {8, 15},
+		"m68k":   {0, -1},
+		"vax":    {0, -1},
+	}
+	for name, want := range cases {
+		a, _ := arch.Lookup(name)
+		if a.RetReg() != want[0] || a.LinkReg() != want[1] {
+			t.Errorf("%s: ret=%d link=%d, want %v", name, a.RetReg(), a.LinkReg(), want)
+		}
+	}
+	for _, s := range []arch.Signal{arch.SigNone, arch.SigIll, arch.SigTrap, arch.SigFPE, arch.SigBus, arch.SigSegv, arch.Signal(99)} {
+		if s.String() == "" {
+			t.Error("empty signal name")
+		}
+	}
+}

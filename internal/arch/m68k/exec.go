@@ -1,0 +1,357 @@
+package m68k
+
+import (
+	"math"
+
+	"ldb/internal/arch"
+)
+
+func sigill(pc uint32) *arch.Fault {
+	return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigIll, PC: pc}
+}
+
+func compareFlags(signedLess, unsignedLess, equal bool) uint32 {
+	var f uint32
+	if equal {
+		f |= FlagZ
+	}
+	if signedLess {
+		f |= FlagN
+	}
+	if unsignedLess {
+		f |= FlagC
+	}
+	return f
+}
+
+func condTrue(cond int, flag uint32) bool {
+	z := flag&FlagZ != 0
+	n := flag&FlagN != 0
+	c := flag&FlagC != 0
+	switch cond {
+	case CcRA:
+		return true
+	case CcEQ:
+		return z
+	case CcNE:
+		return !z
+	case CcLT:
+		return n
+	case CcGE:
+		return !n
+	case CcGT:
+		return !z && !n
+	case CcLE:
+		return z || n
+	case CcCS:
+		return c
+	case CcCC:
+		return !c
+	case CcHI:
+		return !c && !z
+	case CcLS:
+		return c || z
+	}
+	return false
+}
+
+// Step implements arch.Arch.
+func (m *M68k) Step(p arch.Proc) *arch.Fault {
+	pc := p.PC()
+	w32, f := p.Load(pc, 2)
+	if f != nil {
+		return f
+	}
+	w := uint16(w32)
+	next := pc + 2
+
+	ext16 := func() (int16, *arch.Fault) {
+		v, f := p.Load(next, 2)
+		if f != nil {
+			return 0, f
+		}
+		next += 2
+		return int16(v), nil
+	}
+	ext32 := func() (uint32, *arch.Fault) {
+		v, f := p.Load(next, 4)
+		if f != nil {
+			return 0, f
+		}
+		next += 4
+		return v, nil
+	}
+	push := func(v uint32) *arch.Fault {
+		sp := p.Reg(SPr) - 4
+		p.SetReg(SPr, sp)
+		return p.Store(sp, 4, v)
+	}
+	pop := func() (uint32, *arch.Fault) {
+		sp := p.Reg(SPr)
+		v, f := p.Load(sp, 4)
+		if f != nil {
+			return 0, f
+		}
+		p.SetReg(SPr, sp+4)
+		return v, nil
+	}
+
+	major := w >> 12
+	minor := int(w >> 8 & 15)
+	rx := int(w >> 4 & 15)
+	ry := int(w & 15)
+
+	switch major {
+	case 1: // moves
+		switch minor {
+		case MvReg:
+			p.SetReg(rx, p.Reg(ry))
+		case MvImm:
+			v, f := ext32()
+			if f != nil {
+				return f
+			}
+			p.SetReg(rx, v)
+		case MvQ:
+			v, f := ext16()
+			if f != nil {
+				return f
+			}
+			p.SetReg(rx, uint32(int32(v)))
+		case MvLea:
+			v, f := ext32()
+			if f != nil {
+				return f
+			}
+			p.SetReg(rx, v)
+		case MvLeaD:
+			d, f := ext16()
+			if f != nil {
+				return f
+			}
+			p.SetReg(rx, p.Reg(ry)+uint32(int32(d)))
+		case MvPush:
+			if f := push(p.Reg(rx)); f != nil {
+				return f
+			}
+		case MvPop:
+			v, f := pop()
+			if f != nil {
+				return f
+			}
+			p.SetReg(rx, v)
+		case MvLoadL, MvLoadB, MvLoadW, MvLoadBu, MvLoadWu:
+			d, f := ext16()
+			if f != nil {
+				return f
+			}
+			addr := p.Reg(ry) + uint32(int32(d))
+			size := 4
+			switch minor {
+			case MvLoadB, MvLoadBu:
+				size = 1
+			case MvLoadW, MvLoadWu:
+				size = 2
+			}
+			v, f2 := p.Load(addr, size)
+			if f2 != nil {
+				return f2
+			}
+			switch minor {
+			case MvLoadB:
+				v = uint32(int32(int8(v)))
+			case MvLoadW:
+				v = uint32(int32(int16(v)))
+			}
+			p.SetReg(rx, v)
+		case MvStoreL, MvStoreB, MvStoreW:
+			d, f := ext16()
+			if f != nil {
+				return f
+			}
+			addr := p.Reg(ry) + uint32(int32(d))
+			size := 4
+			switch minor {
+			case MvStoreB:
+				size = 1
+			case MvStoreW:
+				size = 2
+			}
+			if f := p.Store(addr, size, p.Reg(rx)); f != nil {
+				return f
+			}
+		default:
+			return sigill(pc)
+		}
+	case 2: // arithmetic
+		a, b := p.Reg(rx), p.Reg(ry)
+		switch minor {
+		case ArAdd:
+			p.SetReg(rx, a+b)
+		case ArSub:
+			p.SetReg(rx, a-b)
+		case ArMul:
+			p.SetReg(rx, uint32(int32(a)*int32(b)))
+		case ArDiv:
+			if b == 0 {
+				return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigFPE, PC: pc}
+			}
+			p.SetReg(rx, uint32(int32(a)/int32(b)))
+		case ArAnd:
+			p.SetReg(rx, a&b)
+		case ArOr:
+			p.SetReg(rx, a|b)
+		case ArXor:
+			p.SetReg(rx, a^b)
+		case ArLsl:
+			p.SetReg(rx, a<<(b&31))
+		case ArLsr:
+			p.SetReg(rx, a>>(b&31))
+		case ArAsr:
+			p.SetReg(rx, uint32(int32(a)>>(b&31)))
+		case ArNeg:
+			p.SetReg(rx, -a)
+		case ArNot:
+			p.SetReg(rx, ^a)
+		case ArCmp:
+			p.SetFlag(compareFlags(int32(a) < int32(b), a < b, a == b))
+		case ArAddI:
+			d, f := ext16()
+			if f != nil {
+				return f
+			}
+			p.SetReg(rx, a+uint32(int32(d)))
+		default:
+			return sigill(pc)
+		}
+	case 4: // the real 68000 encodings
+		switch {
+		case w&0xfff0 == 0x4e40: // trap #n
+			n := int(w & 15)
+			switch n {
+			case 1: // syscall: number in d1
+				p.SetPC(next)
+				return &arch.Fault{Kind: arch.FaultSyscall, Code: int(p.Reg(D1)), PC: pc}
+			case 14: // pause
+				return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: arch.TrapPause, PC: pc, Len: 2}
+			default:
+				return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: n, PC: pc, Len: 2}
+			}
+		case w == 0x4e71: // nop
+		case w == 0x4e75: // rts
+			v, f := pop()
+			if f != nil {
+				return f
+			}
+			next = v
+		case w&0xfff8 == 0x4e50: // link aN, #disp
+			an := A0 + int(w&7)
+			d, f := ext16()
+			if f != nil {
+				return f
+			}
+			if f := push(p.Reg(an)); f != nil {
+				return f
+			}
+			p.SetReg(an, p.Reg(SPr))
+			p.SetReg(SPr, p.Reg(SPr)+uint32(int32(d)))
+		case w&0xfff8 == 0x4e58: // unlk aN
+			an := A0 + int(w&7)
+			p.SetReg(SPr, p.Reg(an))
+			v, f := pop()
+			if f != nil {
+				return f
+			}
+			p.SetReg(an, v)
+		case w == 0x4eb9: // jsr abs32
+			target, f := ext32()
+			if f != nil {
+				return f
+			}
+			if f := push(next); f != nil {
+				return f
+			}
+			next = target
+		case w&0xfff8 == 0x4e90: // jsr (aN)
+			an := A0 + int(w&7)
+			if f := push(next); f != nil {
+				return f
+			}
+			next = p.Reg(an)
+		default:
+			return sigill(pc)
+		}
+	case 6: // Bcc with 16-bit displacement
+		cond := minor
+		d, f := ext16()
+		if f != nil {
+			return f
+		}
+		if condTrue(cond, p.Flag()) {
+			// The displacement is relative to the end of the extension
+			// word (pc+4), matching Asm.Finish.
+			next = pc + 4 + uint32(int32(d))
+		}
+	case 0xf: // floats
+		fx, fy := rx&7, ry
+		switch minor {
+		case FAdd:
+			p.SetFReg(fx, p.FReg(fx)+p.FReg(fy&7))
+		case FSub:
+			p.SetFReg(fx, p.FReg(fx)-p.FReg(fy&7))
+		case FMul:
+			p.SetFReg(fx, p.FReg(fx)*p.FReg(fy&7))
+		case FDiv:
+			p.SetFReg(fx, p.FReg(fx)/p.FReg(fy&7))
+		case FNeg:
+			p.SetFReg(fx, -p.FReg(fx))
+		case FMove:
+			p.SetFReg(fx, p.FReg(fy&7))
+		case FCmp:
+			a, b := p.FReg(fx), p.FReg(fy&7)
+			p.SetFlag(compareFlags(a < b, a < b, a == b))
+		case FFromI:
+			p.SetFReg(fx, float64(int32(p.Reg(fy))))
+		case FToI:
+			p.SetReg(rx, uint32(int32(math.Trunc(p.FReg(fy&7)))))
+		case FLoadS, FLoadD, FLoadX:
+			d, f := ext16()
+			if f != nil {
+				return f
+			}
+			addr := p.Reg(fy) + uint32(int32(d))
+			size := 4
+			if minor == FLoadD {
+				size = 8
+			} else if minor == FLoadX {
+				size = 10
+			}
+			v, f2 := p.LoadFloat(addr, size)
+			if f2 != nil {
+				return f2
+			}
+			p.SetFReg(fx, v)
+		case FStoreS, FStoreD, FStoreX:
+			d, f := ext16()
+			if f != nil {
+				return f
+			}
+			addr := p.Reg(fy) + uint32(int32(d))
+			size := 4
+			if minor == FStoreD {
+				size = 8
+			} else if minor == FStoreX {
+				size = 10
+			}
+			if f := p.StoreFloat(addr, size, p.FReg(fx)); f != nil {
+				return f
+			}
+		default:
+			return sigill(pc)
+		}
+	default:
+		return sigill(pc)
+	}
+	p.SetPC(next)
+	return nil
+}

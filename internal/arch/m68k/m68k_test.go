@@ -1,0 +1,264 @@
+package m68k
+
+import (
+	"math"
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/machine"
+)
+
+func run(t *testing.T, build func(a *Asm)) *machine.Process {
+	t.Helper()
+	a := NewAsm()
+	build(a)
+	code, relocs, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relocs) != 0 {
+		t.Fatalf("unexpected relocs: %v", relocs)
+	}
+	p := machine.New(Target, code, make([]byte, 4096), machine.TextBase)
+	f := p.Run()
+	if f.Kind != arch.FaultHalt {
+		t.Fatalf("run ended with %v, want halt; pc=%#x", f, p.PC())
+	}
+	return p
+}
+
+func exitSeq(a *Asm) {
+	a.MoveImm(D1, arch.SysExit)
+	a.MoveImm(D2, 0)
+	a.Trap(1)
+}
+
+func TestArithmetic(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.MoveImm(D2, 21)
+		a.MoveImm(D3, 2)
+		a.Move(D4, D2)
+		a.Arith(ArMul, D4, D3) // 42
+		a.Move(D5, D4)
+		a.MoveImm(D6, 5)
+		a.Arith(ArDiv, D5, D6) // 8
+		a.Move(D7, D4)
+		a.Arith(ArSub, D7, D3) // 40
+		a.AddI(D7, 2)          // 42
+		exitSeq(a)
+	})
+	if p.Reg(D4) != 42 || p.Reg(D5) != 8 || p.Reg(D7) != 42 {
+		t.Errorf("d4=%d d5=%d d7=%d", p.Reg(D4), p.Reg(D5), p.Reg(D7))
+	}
+}
+
+func TestMemoryAndBranches(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.MoveImm(A0, int32(machine.DataBase))
+		a.MoveImm(D2, -2)
+		a.Mem(MvStoreL, D2, A0, 0)
+		a.Mem(MvLoadL, D3, A0, 0)
+		a.Mem(MvLoadB, D4, A0, 0)  // big-endian: byte 0 = 0xff → -1
+		a.Mem(MvLoadBu, D5, A0, 3) // 0xfe
+		a.Mem(MvLoadW, D6, A0, 2)  // -2
+		// Loop: sum 1..5 in d7.
+		a.MoveImm(D7, 0)
+		a.MoveImm(D2, 1)
+		a.MoveImm(D3, 6)
+		a.Label("loop")
+		a.Arith(ArAdd, D7, D2)
+		a.AddI(D2, 1)
+		a.Cmp(D2, D3)
+		a.Branch(CcNE, "loop")
+		exitSeq(a)
+	})
+	if got := int32(p.Reg(D3)); got != 6 {
+		t.Errorf("d3 = %d", got)
+	}
+	if got := int32(p.Reg(D4)); got != -1 {
+		t.Errorf("sext byte load = %d", got)
+	}
+	if got := p.Reg(D5); got != 0xfe {
+		t.Errorf("zext byte load = %#x", got)
+	}
+	if got := int32(p.Reg(D6)); got != -2 {
+		t.Errorf("sext word load = %d", got)
+	}
+	if got := p.Reg(D7); got != 15 {
+		t.Errorf("loop sum = %d", got)
+	}
+}
+
+func TestLinkUnlkJsrRts(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.MoveImm(A0, int32(machine.TextBase)+100)
+		a.JsrReg(A0 - 8) // jsr (a0)
+		a.Move(D7, D0)
+		exitSeq(a)
+		for a.Off() < 100 {
+			a.Nop()
+		}
+		// callee: a classic link/unlk frame
+		a.Link(6, -16) // link a6, #-16
+		a.MoveImm(D0, 5)
+		a.Mem(MvStoreL, D0, FPr, -4) // local at -4(a6)
+		a.Mem(MvLoadL, D0, FPr, -4)
+		a.Arith(ArAdd, D0, D0) // 10
+		a.Unlk(6)
+		a.Rts()
+	})
+	if got := p.Reg(D7); got != 10 {
+		t.Errorf("link/unlk call = %d, want 10", got)
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.MoveImm(D2, 0x1234)
+		a.Push(D2)
+		a.Pop(D3)
+		exitSeq(a)
+	})
+	if p.Reg(D3) != 0x1234 {
+		t.Errorf("push/pop = %#x", p.Reg(D3))
+	}
+}
+
+func TestFloatIncludingExtended(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.MoveImm(D2, 7)
+		a.F(FFromI, 0, D2) // f0 = 7.0
+		a.MoveImm(D2, 2)
+		a.F(FFromI, 1, D2) // f1 = 2.0
+		a.F(FMove, 2, 0)
+		a.F(FDiv, 2, 1) // 3.5
+		a.MoveImm(A0, int32(machine.DataBase))
+		a.FMem(FStoreX, 2, A0, 0) // 12-byte extended store
+		a.FMem(FLoadX, 3, A0, 0)
+		a.F(FCmp, 3, 2)
+		a.Branch(CcEQ, "ok")
+		a.MoveImm(D7, 0)
+		a.Bra("end")
+		a.Label("ok")
+		a.MoveImm(D7, 1)
+		a.Label("end")
+		a.F(FToI, D6, 2) // trunc(3.5) = 3
+		exitSeq(a)
+	})
+	if p.Reg(D7) != 1 {
+		t.Error("extended-precision store/load round trip failed")
+	}
+	if p.Reg(D6) != 3 {
+		t.Errorf("ftoi = %d", p.Reg(D6))
+	}
+}
+
+func TestExtendedFormatInMemory(t *testing.T) {
+	// The stored extended value must be the genuine m68k 96-bit image.
+	p := run(t, func(a *Asm) {
+		a.MoveImm(D2, 1)
+		a.F(FFromI, 0, D2)
+		a.MoveImm(A0, int32(machine.DataBase))
+		a.FMem(FStoreX, 0, A0, 0)
+		exitSeq(a)
+	})
+	var img [12]byte
+	if err := p.ReadBytes(machine.DataBase, img[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := decode80(img); got != 1.0 {
+		t.Errorf("extended image decodes to %g, want 1.0", got)
+	}
+	// exponent of 1.0 is the bias 16383 = 0x3fff
+	if img[0] != 0x3f || img[1] != 0xff {
+		t.Errorf("extended exponent bytes = %x %x", img[0], img[1])
+	}
+}
+
+func decode80(b [12]byte) float64 {
+	se := uint16(b[0])<<8 | uint16(b[1])
+	exp := int(se & 0x7fff)
+	var mant uint64
+	for i := 0; i < 8; i++ {
+		mant = mant<<8 | uint64(b[4+i])
+	}
+	if exp == 0 && mant == 0 {
+		return 0
+	}
+	frac := float64(mant) / (1 << 63) / 2
+	v := math.Ldexp(frac, exp-16383+1)
+	if se&0x8000 != 0 {
+		v = -v
+	}
+	return v
+}
+
+func TestTrapsFaultsPatterns(t *testing.T) {
+	m := Target
+	if len(m.BreakInstr()) != 2 || m.InstrSize() != 2 || m.PCAdvance() != 2 {
+		t.Fatal("instruction metadata")
+	}
+	prog := append(append([]byte{}, m.NopInstr()...), m.BreakInstr()...)
+	p := machine.New(m, prog, nil, machine.TextBase)
+	f := p.Run()
+	if f.Sig != arch.SigTrap || f.Code != arch.TrapBreakpoint || f.PC != machine.TextBase+2 {
+		t.Errorf("nop+trap: %v", f)
+	}
+	a := NewAsm()
+	a.Trap(14) // pause
+	code, _, _ := a.Finish()
+	p = machine.New(m, code, nil, machine.TextBase)
+	if f := p.Run(); f.Code != arch.TrapPause {
+		t.Errorf("pause: %v", f)
+	}
+	a = NewAsm()
+	a.MoveImm(D2, 1)
+	a.MoveImm(D3, 0)
+	a.Arith(ArDiv, D2, D3)
+	code, _, _ = a.Finish()
+	p = machine.New(m, code, nil, machine.TextBase)
+	if f := p.Run(); f.Sig != arch.SigFPE {
+		t.Errorf("div0: %v", f)
+	}
+}
+
+func TestUnsignedBranches(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.MoveImm(D2, -1) // 0xffffffff: unsigned max
+		a.MoveImm(D3, 1)
+		a.Cmp(D2, D3) // signed: -1 < 1; unsigned: max > 1
+		a.MoveImm(D4, 0)
+		a.Branch(CcLT, "siglt")
+		a.Bra("c1")
+		a.Label("siglt")
+		a.MoveImm(D4, 1)
+		a.Label("c1")
+		a.Cmp(D2, D3)
+		a.MoveImm(D5, 0)
+		a.Branch(CcHI, "unsgt")
+		a.Bra("c2")
+		a.Label("unsgt")
+		a.MoveImm(D5, 1)
+		a.Label("c2")
+		exitSeq(a)
+	})
+	if p.Reg(D4) != 1 {
+		t.Error("signed lt branch")
+	}
+	if p.Reg(D5) != 1 {
+		t.Error("unsigned hi branch")
+	}
+}
+
+func TestIllegalInstruction(t *testing.T) {
+	// An opword in an unassigned major group raises SIGILL at the
+	// faulting pc, like the 68020's illegal-instruction exception.
+	for _, w := range []uint16{0x7000, 0x1fc0, 0x2fc0, 0x4fff, 0xffff} {
+		prog := []byte{byte(w >> 8), byte(w)}
+		p := machine.New(Target, prog, nil, machine.TextBase)
+		f := p.Run()
+		if f.Sig != arch.SigIll || f.PC != machine.TextBase {
+			t.Errorf("opword %#04x: %v", w, f)
+		}
+	}
+}

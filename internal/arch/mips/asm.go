@@ -1,0 +1,376 @@
+package mips
+
+import (
+	"fmt"
+
+	"ldb/internal/arch"
+)
+
+// R-type function codes.
+const (
+	FnSll     = 0
+	FnSrl     = 2
+	FnSra     = 3
+	FnSllv    = 4
+	FnSrlv    = 6
+	FnSrav    = 7
+	FnJr      = 8
+	FnJalr    = 9
+	FnSyscall = 12
+	FnBreak   = 13
+	FnMul     = 24 // simplified three-operand multiply
+	FnDiv     = 26 // simplified three-operand signed divide
+	FnRem     = 27 // simplified three-operand signed remainder
+	FnAddu    = 33
+	FnSubu    = 35
+	FnAnd     = 36
+	FnOr      = 37
+	FnXor     = 38
+	FnNor     = 39
+	FnSlt     = 42
+	FnSltu    = 43
+)
+
+// Major opcodes.
+const (
+	OpSpecial = 0
+	OpRegimm  = 1 // bltz/bgez
+	OpJ       = 2
+	OpJal     = 3
+	OpBeq     = 4
+	OpBne     = 5
+	OpBlez    = 6
+	OpBgtz    = 7
+	OpAddiu   = 9
+	OpSlti    = 10
+	OpAndi    = 12
+	OpOri     = 13
+	OpXori    = 14
+	OpLui     = 15
+	OpCop1    = 17
+	OpLb      = 32
+	OpLh      = 33
+	OpLw      = 35
+	OpLbu     = 36
+	OpLhu     = 37
+	OpSb      = 40
+	OpSh      = 41
+	OpSw      = 43
+	OpLwc1    = 49
+	OpLdc1    = 53
+	OpSwc1    = 57
+	OpSdc1    = 61
+)
+
+// COP1 rs-field sub-ops and function codes.
+const (
+	C1Mfc1 = 0 // rt = int(fs)   (simplified: converts)
+	C1Mtc1 = 4 // fs = float(rt) (simplified: converts)
+	C1Bc   = 8 // bc1f/bc1t
+	C1FmtS = 16
+	C1FmtD = 17
+
+	FpAdd  = 0
+	FpSub  = 1
+	FpMul  = 2
+	FpDiv  = 3
+	FpMov  = 6
+	FpNeg  = 7
+	FpCvtS = 32 // round to single precision
+	FpCEq  = 50
+	FpCLt  = 60
+	FpCLe  = 62
+)
+
+func encR(fn, rd, rs, rt int) uint32 {
+	return uint32(rs&31)<<21 | uint32(rt&31)<<16 | uint32(rd&31)<<11 | uint32(fn&63)
+}
+
+func encShift(fn, rd, rt, sh int) uint32 {
+	return uint32(rt&31)<<16 | uint32(rd&31)<<11 | uint32(sh&31)<<6 | uint32(fn&63)
+}
+
+func encI(op, rt, rs int, imm uint16) uint32 {
+	return uint32(op&63)<<26 | uint32(rs&31)<<21 | uint32(rt&31)<<16 | uint32(imm)
+}
+
+func encBreak(code int) uint32 {
+	return uint32(code&0xfffff)<<6 | FnBreak
+}
+
+// insn is one pending instruction. Instructions are kept as records
+// until Finish so the delay-slot scheduler can reorder them; labels,
+// branch fixups, and relocations travel with their instructions.
+type insn struct {
+	w        uint32
+	fixLabel string       // branch target, resolved at layout
+	relocs   []arch.Reloc // Off is relative to this instruction
+}
+
+// Asm assembles MIPS instructions. Unlike the other three targets, the
+// MIPS assembler schedules load delay slots (§3): when it cannot fill a
+// slot it pads with a no-op. Labels bound stopping points restrict the
+// scheduling window when compiling for debugging, which is exactly the
+// restriction the paper measures.
+type Asm struct {
+	M *Mips
+	// Sched enables the delay-slot scheduler.
+	Sched bool
+	// Filled and Padded report scheduling results after Finish.
+	Filled int
+	Padded int
+
+	insns          []insn
+	labelsAt       map[int][]string // instruction index → labels bound there
+	resolvedLabels map[string]int   // filled by Finish
+}
+
+// NewAsm returns an assembler for the given MIPS variant.
+func NewAsm(m *Mips) *Asm {
+	return &Asm{M: m, labelsAt: make(map[int][]string)}
+}
+
+// Off returns the current offset in bytes.
+func (a *Asm) Off() int { return 4 * len(a.insns) }
+
+// Instrs reports how many instructions have been emitted (before any
+// scheduler padding).
+func (a *Asm) Instrs() int { return len(a.insns) }
+
+// Label binds name to the current position.
+func (a *Asm) Label(name string) {
+	i := len(a.insns)
+	a.labelsAt[i] = append(a.labelsAt[i], name)
+}
+
+func (a *Asm) word(w uint32) {
+	a.insns = append(a.insns, insn{w: w})
+}
+
+// R emits an R-type instruction.
+func (a *Asm) R(fn, rd, rs, rt int) { a.word(encR(fn, rd, rs, rt)) }
+
+// Shift emits a shift-by-constant.
+func (a *Asm) Shift(fn, rd, rt, sh int) { a.word(encShift(fn, rd, rt, sh)) }
+
+// I emits an I-type instruction with a signed immediate.
+func (a *Asm) I(op, rt, rs int, imm int32) { a.word(encI(op, rt, rs, uint16(imm))) }
+
+// Nop emits the canonical no-op.
+func (a *Asm) Nop() { a.word(0) }
+
+// Break emits `break code`.
+func (a *Asm) Break(code int) { a.word(encBreak(code)) }
+
+// Syscall emits the syscall instruction.
+func (a *Asm) Syscall() { a.word(FnSyscall) }
+
+// Branch emits a conditional branch to a local label.
+func (a *Asm) Branch(op, rs, rt int, label string) {
+	a.insns = append(a.insns, insn{w: encI(op, rt, rs, 0), fixLabel: label})
+}
+
+// BranchZ emits bltz (cond=0) or bgez (cond=1).
+func (a *Asm) BranchZ(cond, rs int, label string) {
+	a.Branch(OpRegimm, rs, cond, label)
+}
+
+// Bc1 emits bc1t (cond=1) or bc1f (cond=0) on the float compare flag.
+func (a *Asm) Bc1(cond int, label string) {
+	a.insns = append(a.insns, insn{
+		w:        uint32(OpCop1)<<26 | uint32(C1Bc)<<21 | uint32(cond&1)<<16,
+		fixLabel: label,
+	})
+}
+
+// Jal emits a call to a global symbol.
+func (a *Asm) Jal(sym string) {
+	a.insns = append(a.insns, insn{
+		w:      uint32(OpJal) << 26,
+		relocs: []arch.Reloc{{Kind: arch.RelPC26, Sym: sym}},
+	})
+}
+
+// J emits a jump to a local label (as beq r0,r0 for simplicity of
+// range handling).
+func (a *Asm) J(label string) { a.Branch(OpBeq, R0, R0, label) }
+
+// LA loads the address of sym+add into rd (lui/ori pair).
+func (a *Asm) LA(rd int, sym string, add int64) {
+	a.insns = append(a.insns, insn{
+		w:      encI(OpLui, rd, 0, 0),
+		relocs: []arch.Reloc{{Kind: arch.RelHi16, Sym: sym, Add: add}},
+	})
+	a.insns = append(a.insns, insn{
+		w:      encI(OpOri, rd, rd, 0),
+		relocs: []arch.Reloc{{Kind: arch.RelLo16, Sym: sym, Add: add}},
+	})
+}
+
+// LI loads a 32-bit constant into rd.
+func (a *Asm) LI(rd int, v int32) {
+	if v >= -32768 && v < 32768 {
+		a.I(OpAddiu, rd, R0, v)
+		return
+	}
+	a.word(encI(OpLui, rd, 0, uint16(uint32(v)>>16)))
+	a.word(encI(OpOri, rd, rd, uint16(uint32(v))))
+}
+
+// Fp emits a COP1 arithmetic op: fd = fs OP ft in the given format.
+func (a *Asm) Fp(fn, fmt, fd, fs, ft int) {
+	a.word(uint32(OpCop1)<<26 | uint32(fmt&31)<<21 | uint32(ft&31)<<16 |
+		uint32(fs&31)<<11 | uint32(fd&31)<<6 | uint32(fn&63))
+}
+
+// Mtc1 moves (converting) an integer register into a float register.
+func (a *Asm) Mtc1(rt, fs int) {
+	a.word(uint32(OpCop1)<<26 | uint32(C1Mtc1)<<21 | uint32(rt&31)<<16 | uint32(fs&31)<<11)
+}
+
+// Mfc1 moves (converting, truncating) a float register into an integer
+// register.
+func (a *Asm) Mfc1(rt, fs int) {
+	a.word(uint32(OpCop1)<<26 | uint32(C1Mfc1)<<21 | uint32(rt&31)<<16 | uint32(fs&31)<<11)
+}
+
+// Finish schedules (when enabled), lays out the instructions, resolves
+// label branches, and returns the code and relocations.
+func (a *Asm) Finish() ([]byte, []arch.Reloc, error) {
+	if a.Sched {
+		a.schedule()
+	}
+	labelOff := make(map[string]int, len(a.labelsAt))
+	for idx, names := range a.labelsAt {
+		for _, n := range names {
+			labelOff[n] = 4 * idx
+		}
+	}
+	buf := make([]byte, 0, 4*len(a.insns))
+	var relocs []arch.Reloc
+	for i, ins := range a.insns {
+		w := ins.w
+		if ins.fixLabel != "" {
+			target, ok := labelOff[ins.fixLabel]
+			if !ok {
+				return nil, nil, fmt.Errorf("mips: undefined label %q", ins.fixLabel)
+			}
+			disp := (target - (4*i + 4)) / 4
+			if disp < -32768 || disp > 32767 {
+				return nil, nil, fmt.Errorf("mips: branch to %q out of range", ins.fixLabel)
+			}
+			w = w&0xffff0000 | uint32(uint16(int16(disp)))
+		}
+		for _, r := range ins.relocs {
+			r.Off = 4 * i
+			relocs = append(relocs, r)
+		}
+		var b [4]byte
+		a.M.order.PutUint32(b[:], w)
+		buf = append(buf, b[:]...)
+	}
+	a.resolvedLabels = labelOff
+	return buf, relocs, nil
+}
+
+// Labels exposes the bound labels (offsets within the fragment). Valid
+// only after Finish, which accounts for scheduler-inserted padding.
+func (a *Asm) Labels() map[string]int { return a.resolvedLabels }
+
+// IsLoad reports whether the word encodes a delayed load (the R3000
+// load delay slot applies to integer loads).
+func IsLoad(w uint32) bool {
+	switch w >> 26 {
+	case OpLb, OpLh, OpLw, OpLbu, OpLhu:
+		return true
+	}
+	return false
+}
+
+// LoadTarget returns the register written by a delayed load.
+func LoadTarget(w uint32) int { return int(w >> 16 & 31) }
+
+// Reads reports whether the word encodes an instruction that reads
+// register r, conservatively (used by the delay-slot scheduler).
+func Reads(w uint32, r int) bool {
+	if r == 0 {
+		return false
+	}
+	op := w >> 26
+	rs := int(w >> 21 & 31)
+	rt := int(w >> 16 & 31)
+	switch op {
+	case OpSpecial:
+		return rs == r || rt == r
+	case OpJ, OpJal:
+		return false
+	case OpLui:
+		return false
+	case OpCop1:
+		sub := int(w >> 21 & 31)
+		if sub == C1Mtc1 {
+			return rt == r
+		}
+		return false
+	case OpSb, OpSh, OpSw, OpSwc1, OpSdc1:
+		return rs == r || (op != OpSwc1 && op != OpSdc1 && rt == r)
+	case OpBeq, OpBne:
+		return rs == r || rt == r
+	case OpBlez, OpBgtz, OpRegimm:
+		return rs == r
+	default: // immediates and loads read rs
+		return rs == r
+	}
+}
+
+// Writes reports whether the word writes register r.
+func Writes(w uint32, r int) bool {
+	if r == 0 {
+		return false
+	}
+	op := w >> 26
+	switch op {
+	case OpSpecial:
+		fn := w & 63
+		if fn == FnJalr {
+			return int(w>>11&31) == r
+		}
+		if fn == FnBreak || fn == FnSyscall || fn == FnJr {
+			return false
+		}
+		return int(w>>11&31) == r
+	case OpJal:
+		return r == RA
+	case OpCop1:
+		sub := int(w >> 21 & 31)
+		return sub == C1Mfc1 && int(w>>16&31) == r
+	case OpLb, OpLh, OpLw, OpLbu, OpLhu, OpAddiu, OpSlti, OpAndi, OpOri, OpXori, OpLui:
+		return int(w>>16&31) == r
+	}
+	return false
+}
+
+// IsBranch reports whether the word transfers control (branches end
+// scheduling windows).
+func IsBranch(w uint32) bool {
+	op := w >> 26
+	switch op {
+	case OpJ, OpJal, OpBeq, OpBne, OpBlez, OpBgtz, OpRegimm:
+		return true
+	case OpSpecial:
+		fn := w & 63
+		return fn == FnJr || fn == FnJalr || fn == FnBreak || fn == FnSyscall
+	case OpCop1:
+		return int(w>>21&31) == C1Bc
+	}
+	return false
+}
+
+// IsStore reports whether the word writes memory.
+func IsStore(w uint32) bool {
+	switch w >> 26 {
+	case OpSb, OpSh, OpSw, OpSwc1, OpSdc1:
+		return true
+	}
+	return false
+}

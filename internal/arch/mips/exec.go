@@ -1,0 +1,267 @@
+package mips
+
+import (
+	"math"
+
+	"ldb/internal/arch"
+)
+
+func sigill(pc uint32) *arch.Fault {
+	return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigIll, PC: pc}
+}
+
+// Step implements arch.Arch. The simulator interlocks load delay slots
+// (as the R4000 did), so scheduling affects code size, not semantics.
+func (m *Mips) Step(p arch.Proc) *arch.Fault {
+	pc := p.PC()
+	w, f := p.Load(pc, 4)
+	if f != nil {
+		return f
+	}
+	op := w >> 26
+	rs := int(w >> 21 & 31)
+	rt := int(w >> 16 & 31)
+	rd := int(w >> 11 & 31)
+	sh := int(w >> 6 & 31)
+	imm := int32(int16(w))
+	uimm := uint32(uint16(w))
+	next := pc + 4
+
+	setReg := func(r int, v uint32) {
+		if r != 0 {
+			p.SetReg(r, v)
+		}
+	}
+	branch := func(taken bool) {
+		if taken {
+			next = pc + 4 + uint32(imm)<<2
+		}
+	}
+
+	switch op {
+	case OpSpecial:
+		fn := w & 63
+		a, b := p.Reg(rs), p.Reg(rt)
+		switch fn {
+		case FnSll:
+			setReg(rd, b<<sh)
+		case FnSrl:
+			setReg(rd, b>>sh)
+		case FnSra:
+			setReg(rd, uint32(int32(b)>>sh))
+		case FnSllv:
+			setReg(rd, b<<(a&31))
+		case FnSrlv:
+			setReg(rd, b>>(a&31))
+		case FnSrav:
+			setReg(rd, uint32(int32(b)>>(a&31)))
+		case FnJr:
+			next = a
+		case FnJalr:
+			setReg(rd, pc+4)
+			next = a
+		case FnSyscall:
+			p.SetPC(pc + 4)
+			return &arch.Fault{Kind: arch.FaultSyscall, Code: int(p.Reg(V0)), PC: pc}
+		case FnBreak:
+			code := int(w >> 6 & 0xfffff)
+			return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: code, PC: pc, Len: 4}
+		case FnMul:
+			setReg(rd, uint32(int32(a)*int32(b)))
+		case FnDiv:
+			if b == 0 {
+				return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigFPE, PC: pc}
+			}
+			setReg(rd, uint32(int32(a)/int32(b)))
+		case FnRem:
+			if b == 0 {
+				return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigFPE, PC: pc}
+			}
+			setReg(rd, uint32(int32(a)%int32(b)))
+		case FnAddu:
+			setReg(rd, a+b)
+		case FnSubu:
+			setReg(rd, a-b)
+		case FnAnd:
+			setReg(rd, a&b)
+		case FnOr:
+			setReg(rd, a|b)
+		case FnXor:
+			setReg(rd, a^b)
+		case FnNor:
+			setReg(rd, ^(a | b))
+		case FnSlt:
+			if int32(a) < int32(b) {
+				setReg(rd, 1)
+			} else {
+				setReg(rd, 0)
+			}
+		case FnSltu:
+			if a < b {
+				setReg(rd, 1)
+			} else {
+				setReg(rd, 0)
+			}
+		default:
+			return sigill(pc)
+		}
+	case OpRegimm:
+		a := int32(p.Reg(rs))
+		switch rt {
+		case 0: // bltz
+			branch(a < 0)
+		case 1: // bgez
+			branch(a >= 0)
+		default:
+			return sigill(pc)
+		}
+	case OpJ, OpJal:
+		target := pc&0xf0000000 | w<<6>>4
+		if op == OpJal {
+			setReg(RA, pc+4)
+		}
+		next = target
+	case OpBeq:
+		branch(p.Reg(rs) == p.Reg(rt))
+	case OpBne:
+		branch(p.Reg(rs) != p.Reg(rt))
+	case OpBlez:
+		branch(int32(p.Reg(rs)) <= 0)
+	case OpBgtz:
+		branch(int32(p.Reg(rs)) > 0)
+	case OpAddiu:
+		setReg(rt, p.Reg(rs)+uint32(imm))
+	case OpSlti:
+		if int32(p.Reg(rs)) < imm {
+			setReg(rt, 1)
+		} else {
+			setReg(rt, 0)
+		}
+	case OpAndi:
+		setReg(rt, p.Reg(rs)&uimm)
+	case OpOri:
+		setReg(rt, p.Reg(rs)|uimm)
+	case OpXori:
+		setReg(rt, p.Reg(rs)^uimm)
+	case OpLui:
+		setReg(rt, uimm<<16)
+	case OpLb, OpLbu, OpLh, OpLhu, OpLw:
+		addr := p.Reg(rs) + uint32(imm)
+		var size int
+		switch op {
+		case OpLb, OpLbu:
+			size = 1
+		case OpLh, OpLhu:
+			size = 2
+		default:
+			size = 4
+		}
+		v, f := p.Load(addr, size)
+		if f != nil {
+			return f
+		}
+		switch op {
+		case OpLb:
+			v = uint32(int32(int8(v)))
+		case OpLh:
+			v = uint32(int32(int16(v)))
+		}
+		setReg(rt, v)
+	case OpSb, OpSh, OpSw:
+		addr := p.Reg(rs) + uint32(imm)
+		size := 4
+		if op == OpSb {
+			size = 1
+		} else if op == OpSh {
+			size = 2
+		}
+		if f := p.Store(addr, size, p.Reg(rt)); f != nil {
+			return f
+		}
+	case OpLwc1:
+		v, f := p.LoadFloat(p.Reg(rs)+uint32(imm), 4)
+		if f != nil {
+			return f
+		}
+		p.SetFReg(rt&7, v)
+	case OpLdc1:
+		v, f := p.LoadFloat(p.Reg(rs)+uint32(imm), 8)
+		if f != nil {
+			return f
+		}
+		p.SetFReg(rt&7, v)
+	case OpSwc1:
+		if f := p.StoreFloat(p.Reg(rs)+uint32(imm), 4, p.FReg(rt&7)); f != nil {
+			return f
+		}
+	case OpSdc1:
+		if f := p.StoreFloat(p.Reg(rs)+uint32(imm), 8, p.FReg(rt&7)); f != nil {
+			return f
+		}
+	case OpCop1:
+		sub := rs
+		switch sub {
+		case C1Mfc1:
+			setReg(rt, uint32(int32(math.Trunc(p.FReg(rd&7)))))
+		case C1Mtc1:
+			p.SetFReg(rd&7, float64(int32(p.Reg(rt))))
+		case C1Bc:
+			taken := p.Flag()&1 != 0
+			if rt&1 == 0 {
+				taken = !taken
+			}
+			branch(taken)
+		case C1FmtS, C1FmtD:
+			fs, ft, fd := rd&7, rt&7, sh&7
+			// Field positions in COP1 arithmetic: ft<<16 fs<<11 fd<<6.
+			fs = int(w >> 11 & 7)
+			ft = int(w >> 16 & 7)
+			fd = int(w >> 6 & 7)
+			av, bv := p.FReg(fs), p.FReg(ft)
+			single := sub == C1FmtS
+			set := func(v float64) {
+				if single {
+					v = float64(float32(v))
+				}
+				p.SetFReg(fd, v)
+			}
+			switch w & 63 {
+			case FpAdd:
+				set(av + bv)
+			case FpSub:
+				set(av - bv)
+			case FpMul:
+				set(av * bv)
+			case FpDiv:
+				set(av / bv)
+			case FpMov:
+				p.SetFReg(fd, av)
+			case FpNeg:
+				set(-av)
+			case FpCvtS:
+				p.SetFReg(fd, float64(float32(av)))
+			case FpCEq:
+				p.SetFlag(boolFlag(av == bv))
+			case FpCLt:
+				p.SetFlag(boolFlag(av < bv))
+			case FpCLe:
+				p.SetFlag(boolFlag(av <= bv))
+			default:
+				return sigill(pc)
+			}
+		default:
+			return sigill(pc)
+		}
+	default:
+		return sigill(pc)
+	}
+	p.SetPC(next)
+	return nil
+}
+
+func boolFlag(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

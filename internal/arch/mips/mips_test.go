@@ -1,0 +1,367 @@
+package mips
+
+import (
+	"bytes"
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/machine"
+)
+
+func run(t *testing.T, m *Mips, build func(a *Asm)) *machine.Process {
+	t.Helper()
+	a := NewAsm(m)
+	build(a)
+	code, relocs, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relocs) != 0 {
+		t.Fatalf("unexpected relocs in test fragment: %v", relocs)
+	}
+	p := machine.New(m, code, make([]byte, 4096), machine.TextBase)
+	f := p.Run()
+	if f.Kind != arch.FaultHalt {
+		t.Fatalf("run ended with %v, want halt; pc=%#x", f, p.PC())
+	}
+	return p
+}
+
+// exit emits the exit(0) sequence.
+func exitSeq(a *Asm) {
+	a.LI(V0, arch.SysExit)
+	a.LI(A0, 0)
+	a.Syscall()
+}
+
+func TestArithmetic(t *testing.T) {
+	p := run(t, Little, func(a *Asm) {
+		a.LI(T0, 21)
+		a.LI(T0+1, 2)
+		a.R(FnMul, T0+2, T0, T0+1) // 42
+		a.LI(T0+3, 5)
+		a.R(FnDiv, T0+4, T0+2, T0+3) // 8
+		a.R(FnRem, T0+5, T0+2, T0+3) // 2
+		a.R(FnSubu, T0+6, T0+2, T0+3)
+		a.R(FnAddu, T0+7, T0+2, T0+3)
+		exitSeq(a)
+	})
+	for i, want := range map[int]uint32{T0 + 2: 42, T0 + 4: 8, T0 + 5: 2, T0 + 6: 37, T0 + 7: 47} {
+		if got := p.Reg(i); got != want {
+			t.Errorf("reg %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMemoryAndBranches(t *testing.T) {
+	for _, m := range []*Mips{Big, Little} {
+		p := run(t, m, func(a *Asm) {
+			a.LI(T0, int32(machine.DataBase))
+			a.LI(T0+1, 0x12345678)
+			a.I(OpSw, T0+1, T0, 0)
+			a.I(OpLw, T0+2, T0, 0)
+			a.I(OpLb, T0+3, T0, 0) // byte 0 depends on byte order
+			a.I(OpLbu, T0+4, T0, 0)
+			a.I(OpLhu, T0+5, T0, 0)
+			// Loop: sum 1..5 in t6.
+			a.LI(T0+6, 0)
+			a.LI(T0+7, 1)
+			a.Label("loop")
+			a.R(FnAddu, T0+6, T0+6, T0+7)
+			a.I(OpAddiu, T0+7, T0+7, 1)
+			a.LI(1, 6)
+			a.Branch(OpBne, T0+7, 1, "loop")
+			exitSeq(a)
+		})
+		if got := p.Reg(T0 + 2); got != 0x12345678 {
+			t.Errorf("%s: lw = %#x", m.Name(), got)
+		}
+		wantB := uint32(0x78)
+		wantH := uint32(0x5678)
+		if m == Big {
+			wantB = 0x12
+			wantH = 0x1234
+		}
+		if got := p.Reg(T0 + 4); got != wantB {
+			t.Errorf("%s: lbu = %#x, want %#x", m.Name(), got, wantB)
+		}
+		if got := p.Reg(T0 + 5); got != wantH {
+			t.Errorf("%s: lhu = %#x, want %#x", m.Name(), got, wantH)
+		}
+		if got := p.Reg(T0 + 6); got != 15 {
+			t.Errorf("%s: loop sum = %d, want 15", m.Name(), got)
+		}
+	}
+}
+
+func TestSignExtension(t *testing.T) {
+	p := run(t, Little, func(a *Asm) {
+		a.LI(T0, int32(machine.DataBase))
+		a.LI(T0+1, -2) // 0xfffffffe
+		a.I(OpSw, T0+1, T0, 0)
+		a.I(OpLb, T0+2, T0, 0) // sign-extended byte
+		a.I(OpLh, T0+3, T0, 0) // sign-extended half
+		exitSeq(a)
+	})
+	if got := int32(p.Reg(T0 + 2)); got != -2 {
+		t.Errorf("lb = %d, want -2", got)
+	}
+	if got := int32(p.Reg(T0 + 3)); got != -2 {
+		t.Errorf("lh = %d, want -2", got)
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	// jal goes through relocations, exercised in the link tests; here
+	// test the jr/jalr round trip.
+	p2 := run(t, Little, func(a *Asm) {
+		a.LI(1, int32(machine.TextBase)+6*4) // address of "func"
+		a.R(FnJalr, RA, 1, 0)
+		a.J("done")
+		a.Nop()
+		a.Nop()
+		a.Nop() // padding so func lands at word 6
+		a.Label("func")
+		a.LI(V0, 99)
+		a.R(FnJr, 0, RA, 0)
+		a.Label("done")
+		a.R(FnAddu, T0, V0, 0)
+		exitSeq(a)
+	})
+	if got := p2.Reg(T0); got != 99 {
+		t.Errorf("call/return: t0 = %d, want 99", got)
+	}
+}
+
+func TestFloat(t *testing.T) {
+	p := run(t, Little, func(a *Asm) {
+		a.LI(T0, 7)
+		a.Mtc1(T0, 0) // f0 = 7.0
+		a.LI(T0, 2)
+		a.Mtc1(T0, 1) // f1 = 2.0
+		a.Fp(FpDiv, C1FmtD, 2, 0, 1)
+		a.Fp(FpMul, C1FmtD, 3, 2, 1) // back to 7
+		a.Mfc1(T0+1, 3)
+		a.Fp(FpCLt, C1FmtD, 0, 1, 0) // 2 < 7 → flag 1
+		a.Bc1(1, "lt")
+		a.LI(T0+2, 0)
+		a.J("end")
+		a.Label("lt")
+		a.LI(T0+2, 1)
+		a.Label("end")
+		// store/load double through memory
+		a.LI(T0+3, int32(machine.DataBase))
+		a.I(OpSdc1, 2, T0+3, 0)
+		a.I(OpLdc1, 4, T0+3, 0)
+		a.Fp(FpCEq, C1FmtD, 0, 4, 2)
+		a.Bc1(1, "eq")
+		a.LI(T0+4, 0)
+		a.J("end2")
+		a.Label("eq")
+		a.LI(T0+4, 1)
+		a.Label("end2")
+		exitSeq(a)
+	})
+	if got := p.Reg(T0 + 1); got != 7 {
+		t.Errorf("float mul/div = %d, want 7", got)
+	}
+	if got := p.Reg(T0 + 2); got != 1 {
+		t.Errorf("float compare branch not taken")
+	}
+	if got := p.Reg(T0 + 4); got != 1 {
+		t.Errorf("double store/load not equal")
+	}
+}
+
+func TestSyscallOutput(t *testing.T) {
+	p := run(t, Little, func(a *Asm) {
+		a.LI(V0, arch.SysPutInt)
+		a.LI(A0, -42)
+		a.Syscall()
+		a.LI(V0, arch.SysPutChar)
+		a.LI(A0, '\n')
+		a.Syscall()
+		exitSeq(a)
+	})
+	if got := p.Stdout.String(); got != "-42\n" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	// Divide by zero.
+	a := NewAsm(Little)
+	a.LI(T0, 1)
+	a.LI(T0+1, 0)
+	a.R(FnDiv, T0+2, T0, T0+1)
+	code, _, _ := a.Finish()
+	p := machine.New(Little, code, nil, machine.TextBase)
+	f := p.Run()
+	if f.Sig != arch.SigFPE {
+		t.Errorf("div by zero: %v, want SIGFPE", f)
+	}
+	// Wild load.
+	a = NewAsm(Little)
+	a.LI(T0, 0x00000004)
+	a.I(OpLw, T0+1, T0, 0)
+	code, _, _ = a.Finish()
+	p = machine.New(Little, code, nil, machine.TextBase)
+	f = p.Run()
+	if f.Sig != arch.SigSegv {
+		t.Errorf("wild load: %v, want SIGSEGV", f)
+	}
+	// Break instruction raises SIGTRAP with its code.
+	a = NewAsm(Little)
+	a.Break(arch.TrapPause)
+	code, _, _ = a.Finish()
+	p = machine.New(Little, code, nil, machine.TextBase)
+	f = p.Run()
+	if f.Sig != arch.SigTrap || f.Code != arch.TrapPause {
+		t.Errorf("pause: %v", f)
+	}
+	// Illegal instruction.
+	p = machine.New(Little, []byte{0xff, 0xff, 0xff, 0xfc}, nil, machine.TextBase)
+	f = p.Run()
+	if f.Sig != arch.SigIll {
+		t.Errorf("illegal: %v", f)
+	}
+}
+
+func TestBreakInstrMatchesEncoding(t *testing.T) {
+	for _, m := range []*Mips{Big, Little} {
+		bi := m.BreakInstr()
+		if len(bi) != m.InstrSize() {
+			t.Fatalf("%s: break width %d != instr size %d", m.Name(), len(bi), m.InstrSize())
+		}
+		p := machine.New(m, bi, nil, machine.TextBase)
+		f := p.Run()
+		if f.Sig != arch.SigTrap || f.Code != arch.TrapBreakpoint {
+			t.Errorf("%s: planted break: %v", m.Name(), f)
+		}
+		// The nop pattern executes as a no-op.
+		nop := append(append([]byte{}, m.NopInstr()...), m.BreakInstr()...)
+		p = machine.New(m, nop, nil, machine.TextBase)
+		f = p.Run()
+		if f.PC != machine.TextBase+uint32(m.PCAdvance()) {
+			t.Errorf("%s: nop advance: trap at %#x", m.Name(), f.PC)
+		}
+	}
+}
+
+func TestSchedulerPredicates(t *testing.T) {
+	a := NewAsm(Little)
+	a.I(OpLw, T0, SP, 4)
+	code, _, _ := a.Finish()
+	w := Little.order.Uint32(code)
+	if !IsLoad(w) || LoadTarget(w) != T0 {
+		t.Fatalf("IsLoad/LoadTarget failed on lw")
+	}
+	a = NewAsm(Little)
+	a.R(FnAddu, 1, T0, 2)
+	code, _, _ = a.Finish()
+	add := Little.order.Uint32(code)
+	if !Reads(add, T0) || Reads(add, 5) || !Writes(add, 1) || Writes(add, T0) {
+		t.Fatalf("Reads/Writes misclassify addu")
+	}
+	a = NewAsm(Little)
+	a.Branch(OpBeq, 0, 0, "x")
+	a.Label("x")
+	code, _, _ = a.Finish()
+	if !IsBranch(Little.order.Uint32(code)) {
+		t.Fatalf("IsBranch misclassifies beq")
+	}
+	a = NewAsm(Little)
+	a.I(OpSw, T0, SP, 0)
+	code, _, _ = a.Finish()
+	if !IsStore(Little.order.Uint32(code)) {
+		t.Fatalf("IsStore misclassifies sw")
+	}
+	if IsLoad(0) || Writes(0, 1) || Reads(0, 1) {
+		t.Fatalf("nop misclassified")
+	}
+}
+
+func TestContextLayout(t *testing.T) {
+	for _, m := range []*Mips{Big, Little} {
+		l := m.Context()
+		if len(l.RegOffs) != m.NumRegs() || len(l.FRegOffs) != m.NumFRegs() {
+			t.Fatalf("%s: context layout sizes", m.Name())
+		}
+		max := 0
+		for _, o := range l.RegOffs {
+			if o+4 > max {
+				max = o + 4
+			}
+		}
+		for _, o := range l.FRegOffs {
+			if o+l.FRegSize > max {
+				max = o + l.FRegSize
+			}
+		}
+		if l.PCOff+4 > max {
+			max = l.PCOff + 4
+		}
+		if max > l.Size {
+			t.Fatalf("%s: context layout overflows Size (%d > %d)", m.Name(), max, l.Size)
+		}
+	}
+	if !Big.Context().FloatWordSwap {
+		t.Error("big-endian MIPS must have the sigcontext word-swap quirk")
+	}
+	if Little.Context().FloatWordSwap {
+		t.Error("little-endian MIPS must not word-swap")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	for _, n := range []string{"mips", "mipsbe"} {
+		a, ok := arch.Lookup(n)
+		if !ok {
+			t.Fatalf("%s not registered", n)
+		}
+		if a.Name() != n {
+			t.Fatalf("registered name %q", a.Name())
+		}
+	}
+}
+
+func TestEndiannessOfCode(t *testing.T) {
+	// The same instruction assembles to different bytes per byte order.
+	ab := NewAsm(Big)
+	ab.LI(T0, 1)
+	cb, _, _ := ab.Finish()
+	al := NewAsm(Little)
+	al.LI(T0, 1)
+	cl, _, _ := al.Finish()
+	if bytes.Equal(cb, cl) {
+		t.Fatal("big- and little-endian code identical")
+	}
+}
+
+func TestShiftAndBranchZ(t *testing.T) {
+	p := run(t, Little, func(a *Asm) {
+		a.LI(T0, 1)
+		a.Shift(FnSll, T0+1, T0, 5) // 32
+		a.Shift(FnSra, T0+2, T0+1, 2)
+		a.LI(T0+3, -1)
+		a.BranchZ(0, T0+3, "neg") // bltz taken
+		a.LI(T0+4, 0)
+		a.J("c1")
+		a.Label("neg")
+		a.LI(T0+4, 1)
+		a.Label("c1")
+		a.BranchZ(1, T0, "pos") // bgez on 1: taken
+		a.LI(T0+5, 0)
+		a.J("c2")
+		a.Label("pos")
+		a.LI(T0+5, 1)
+		a.Label("c2")
+		exitSeq(a)
+	})
+	if p.Reg(T0+1) != 32 || p.Reg(T0+2) != 8 {
+		t.Fatalf("shifts: %d %d", p.Reg(T0+1), p.Reg(T0+2))
+	}
+	if p.Reg(T0+4) != 1 || p.Reg(T0+5) != 1 {
+		t.Fatalf("branchz: %d %d", p.Reg(T0+4), p.Reg(T0+5))
+	}
+}

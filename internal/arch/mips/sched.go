@@ -1,0 +1,167 @@
+package mips
+
+// The load delay slot scheduler. On the R3000 the register written by
+// a load must not be read by the immediately following instruction;
+// the assembler fills such slots by moving a later independent
+// instruction up, and pads with a no-op when nothing can move (§3).
+//
+// Scheduling never crosses a label or a control transfer. When lcc
+// compiles for debugging it places a label at every stopping point, so
+// the scheduler "may rearrange instructions only within top-level
+// expressions, not within basic blocks" — the windows shrink, fewer
+// slots can be filled, and the code grows. That penalty, independent
+// of the explicitly inserted no-ops, is the paper's 13% measurement.
+//
+// The simulator interlocks (as the R4000 did), so scheduling affects
+// code size and fidelity, not correctness.
+
+// regsOf conservatively reports the registers an instruction reads and
+// writes.
+func regsOf(w uint32) (reads, writes uint32) {
+	for r := 1; r < 32; r++ {
+		if Reads(w, r) {
+			reads |= 1 << uint(r)
+		}
+		if Writes(w, r) {
+			writes |= 1 << uint(r)
+		}
+	}
+	return
+}
+
+// movable reports whether an instruction may be hoisted into a delay
+// slot at all: no control transfers, no stores, no no-ops (a
+// stopping-point no-op must stay put for breakpoints), and no
+// floating-point operations (their dependences are not modeled).
+// Loads may move only when no store is skipped over (memory order).
+func movable(w uint32, skippedStore bool) bool {
+	if w == 0 || IsBranch(w) || IsStore(w) {
+		return false
+	}
+	if IsLoad(w) && skippedStore {
+		return false
+	}
+	if w>>26 == OpCop1 || w>>26 == OpLwc1 || w>>26 == OpLdc1 || w>>26 == OpSwc1 || w>>26 == OpSdc1 {
+		return false
+	}
+	return true
+}
+
+const schedScan = 8 // how far ahead the scheduler looks for a filler
+
+// schedule fills or pads every hazardous load delay slot.
+func (a *Asm) schedule() {
+	i := 0
+	for i < len(a.insns) {
+		w := a.insns[i].w
+		if !IsLoad(w) {
+			i++
+			continue
+		}
+		r := LoadTarget(w)
+		// A hazard exists when the next instruction (fall-through)
+		// reads the loaded register.
+		if i+1 >= len(a.insns) || !Reads(a.insns[i+1].w, r) {
+			i++
+			continue
+		}
+		if j := a.findFiller(i); j >= 0 {
+			a.moveUp(j, i+1)
+			a.Filled++
+		} else {
+			a.insertNop(i + 1)
+			a.Padded++
+		}
+		i += 2 // past the load and its (now safe) slot
+	}
+}
+
+// findFiller looks for an instruction after the hazard that can move
+// into the slot at i+1 without changing meaning. The search stops at
+// the window boundary: any label (branch targets and stopping points)
+// or control transfer.
+func (a *Asm) findFiller(i int) int {
+	if len(a.labelsAt[i+1]) > 0 {
+		// The hazard instruction is a branch target: filling would put
+		// the filler under the label. Pad instead.
+		return -1
+	}
+	w := a.insns[i].w
+	loadR := uint32(1) << uint(LoadTarget(w))
+	// Registers the skipped-over instructions touch; the filler must be
+	// fully independent of them, and of the loaded register.
+	var blockR, blockW uint32
+	skippedStore := false
+	r0, w0 := regsOf(a.insns[i+1].w)
+	blockR, blockW = r0, w0
+	if IsStore(a.insns[i+1].w) {
+		skippedStore = true
+	}
+	for j := i + 2; j < len(a.insns) && j <= i+schedScan; j++ {
+		if len(a.labelsAt[j]) > 0 {
+			return -1 // window ends at a label
+		}
+		c := a.insns[j]
+		if IsBranch(c.w) {
+			return -1
+		}
+		if movable(c.w, skippedStore) {
+			cr, cw := regsOf(c.w)
+			indep := cr&(blockW|loadR) == 0 &&
+				cw&(blockR|blockW|loadR) == 0 &&
+				cr&loadR == 0
+			if indep {
+				return j
+			}
+		}
+		cr, cw := regsOf(c.w)
+		blockR |= cr
+		blockW |= cw
+		if IsStore(c.w) {
+			skippedStore = true
+		}
+	}
+	return -1
+}
+
+// moveUp removes the instruction at j and reinserts it at position at,
+// keeping labels attached to their original instructions.
+func (a *Asm) moveUp(j, at int) {
+	ins := a.insns[j]
+	a.insns = append(a.insns[:j], a.insns[j+1:]...)
+	a.insns = append(a.insns, insn{})
+	copy(a.insns[at+1:], a.insns[at:])
+	a.insns[at] = ins
+	a.shiftLabels(at, j)
+}
+
+// insertNop inserts a no-op at position at.
+func (a *Asm) insertNop(at int) {
+	a.insns = append(a.insns, insn{})
+	copy(a.insns[at+1:], a.insns[at:])
+	a.insns[at] = insn{w: 0}
+	a.shiftLabelsFrom(at)
+}
+
+// shiftLabels adjusts label bindings after moving the instruction at j
+// up to position at (labels in (at, j] move down by one).
+func (a *Asm) shiftLabels(at, j int) {
+	// No labels exist inside the window (findFiller refuses them), so
+	// only bindings strictly beyond j could be affected — and those
+	// keep their indices because the move is a rotation within [at, j].
+	_ = at
+	_ = j
+}
+
+// shiftLabelsFrom adjusts label bindings after inserting one
+// instruction at position at: bindings at ≥ at move up by one.
+func (a *Asm) shiftLabelsFrom(at int) {
+	updated := make(map[int][]string, len(a.labelsAt))
+	for idx, names := range a.labelsAt {
+		if idx >= at {
+			idx++
+		}
+		updated[idx] = append(updated[idx], names...)
+	}
+	a.labelsAt = updated
+}

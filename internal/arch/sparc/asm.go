@@ -1,0 +1,245 @@
+package sparc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ldb/internal/arch"
+)
+
+// op3 codes for format-3 (op=2) arithmetic instructions.
+const (
+	Op3Add   = 0x00
+	Op3And   = 0x01
+	Op3Or    = 0x02
+	Op3Xor   = 0x03
+	Op3Sub   = 0x04
+	Op3SMul  = 0x0b
+	Op3SDiv  = 0x0f
+	Op3SubCC = 0x14
+	Op3Sll   = 0x25
+	Op3Srl   = 0x26
+	Op3Sra   = 0x27
+	Op3FPop1 = 0x34
+	Op3FPop2 = 0x35
+	Op3Jmpl  = 0x38
+	Op3Trap  = 0x3a
+)
+
+// op3 codes for format-3 (op=3) memory instructions.
+const (
+	Op3Ld   = 0x00
+	Op3Ldub = 0x01
+	Op3Lduh = 0x02
+	Op3St   = 0x04
+	Op3Stb  = 0x05
+	Op3Sth  = 0x06
+	Op3Ldsb = 0x09
+	Op3Ldsh = 0x0a
+	Op3Ldf  = 0x20
+	Op3Lddf = 0x23
+	Op3Stf  = 0x24
+	Op3Stdf = 0x27
+)
+
+// Integer condition codes for Bicc (and, in this dialect, FBfcc).
+const (
+	CondN   = 0
+	CondE   = 1
+	CondLE  = 2
+	CondL   = 3
+	CondLEU = 4 // unsigned <=
+	CondCS  = 5 // unsigned <
+	CondA   = 8
+	CondNE  = 9
+	CondG   = 10
+	CondGE  = 11
+	CondGU  = 12 // unsigned >
+	CondCC  = 13 // unsigned >=
+)
+
+// opf codes for FPop1.
+const (
+	OpfFMovs = 0x01
+	OpfFNegs = 0x05
+	OpfFAddS = 0x41
+	OpfFAddD = 0x42
+	OpfFSubS = 0x45
+	OpfFSubD = 0x46
+	OpfFMulS = 0x49
+	OpfFMulD = 0x4a
+	OpfFDivS = 0x4d
+	OpfFDivD = 0x4e
+	OpfFdToS = 0xc6
+	OpfFiToD = 0xc8
+	OpfFsToD = 0xc9
+	OpfFdToI = 0xd2
+	// FPop2
+	OpfFCmpS = 0x51
+	OpfFCmpD = 0x52
+)
+
+// Flag bits set by subcc and fcmp.
+const (
+	FlagZ = 1 << 0 // equal
+	FlagN = 1 << 1 // signed less-than
+	FlagC = 1 << 2 // unsigned less-than
+)
+
+func encRR(op3, rd, rs1, rs2 int) uint32 {
+	return 2<<30 | uint32(rd&31)<<25 | uint32(op3&63)<<19 | uint32(rs1&31)<<14 | uint32(rs2&31)
+}
+
+func encRI(op3, rd, rs1 int, imm int32) uint32 {
+	return 2<<30 | uint32(rd&31)<<25 | uint32(op3&63)<<19 | uint32(rs1&31)<<14 | 1<<13 | uint32(imm)&0x1fff
+}
+
+func encMemRI(op, op3, rd, rs1 int, imm int32) uint32 {
+	return uint32(op)<<30 | uint32(rd&31)<<25 | uint32(op3&63)<<19 | uint32(rs1&31)<<14 | 1<<13 | uint32(imm)&0x1fff
+}
+
+func encTrap(code int) uint32 {
+	// ta imm: op=2, cond=CondA in rd field, op3=0x3a, i=1.
+	return encRI(Op3Trap, CondA, G0, int32(code))
+}
+
+func encSethi(rd int, imm22 uint32) uint32 {
+	return uint32(rd&31)<<25 | 4<<22 | imm22&0x3fffff
+}
+
+type fixup struct {
+	off   int
+	label string
+}
+
+// Asm assembles SPARC instructions.
+type Asm struct {
+	n      int // instructions emitted
+	buf    []byte
+	relocs []arch.Reloc
+	labels map[string]int
+	fixes  []fixup
+}
+
+// NewAsm returns a fresh assembler.
+func NewAsm() *Asm { return &Asm{labels: make(map[string]int)} }
+
+// Off returns the current offset.
+func (a *Asm) Off() int { return len(a.buf) }
+
+// Label binds name to the current offset.
+func (a *Asm) Label(name string) { a.labels[name] = len(a.buf) }
+
+func (a *Asm) word(w uint32) {
+	a.n++
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], w)
+	a.buf = append(a.buf, b[:]...)
+}
+
+// RR emits rd = rs1 op rs2.
+func (a *Asm) RR(op3, rd, rs1, rs2 int) { a.word(encRR(op3, rd, rs1, rs2)) }
+
+// RI emits rd = rs1 op simm13.
+func (a *Asm) RI(op3, rd, rs1 int, imm int32) { a.word(encRI(op3, rd, rs1, imm)) }
+
+// Load emits a load of the given op3 from [rs1+imm] into rd.
+func (a *Asm) Load(op3, rd, rs1 int, imm int32) { a.word(encMemRI(3, op3, rd, rs1, imm)) }
+
+// Store emits a store of rd to [rs1+imm].
+func (a *Asm) Store(op3, rd, rs1 int, imm int32) { a.word(encMemRI(3, op3, rd, rs1, imm)) }
+
+// Nop emits the canonical no-op.
+func (a *Asm) Nop() { a.word(4 << 22) }
+
+// Trap emits `ta code`.
+func (a *Asm) Trap(code int) { a.word(encTrap(code)) }
+
+// Branch emits a Bicc to a local label.
+func (a *Asm) Branch(cond int, label string) {
+	a.fixes = append(a.fixes, fixup{off: len(a.buf), label: label})
+	a.word(uint32(cond&15)<<25 | 2<<22)
+}
+
+// FBranch emits an FBfcc (same condition encoding in this dialect).
+func (a *Asm) FBranch(cond int, label string) {
+	a.fixes = append(a.fixes, fixup{off: len(a.buf), label: label})
+	a.word(uint32(cond&15)<<25 | 6<<22)
+}
+
+// Ba emits an unconditional branch.
+func (a *Asm) Ba(label string) { a.Branch(CondA, label) }
+
+// Call emits a call to a global symbol; %o7 receives the call address.
+func (a *Asm) Call(sym string) {
+	a.relocs = append(a.relocs, arch.Reloc{Off: len(a.buf), Kind: arch.RelPC30, Sym: sym})
+	a.word(1 << 30)
+}
+
+// Jmpl emits jmpl rs1+imm, rd (ret is jmpl %o7+4, %g0).
+func (a *Asm) Jmpl(rd, rs1 int, imm int32) { a.word(encRI(Op3Jmpl, rd, rs1, imm)) }
+
+// Ret emits the return sequence.
+func (a *Asm) Ret() { a.Jmpl(G0, O7, 4) }
+
+// Sethi emits sethi imm22, rd.
+func (a *Asm) Sethi(rd int, imm22 uint32) { a.word(encSethi(rd, imm22)) }
+
+// LA loads the address of sym+add into rd (sethi/or pair).
+func (a *Asm) LA(rd int, sym string, add int64) {
+	a.relocs = append(a.relocs,
+		arch.Reloc{Off: len(a.buf), Kind: arch.RelHi22, Sym: sym, Add: add},
+		arch.Reloc{Off: len(a.buf) + 4, Kind: arch.RelLo10, Sym: sym, Add: add})
+	a.word(encSethi(rd, 0))
+	a.word(encRI(Op3Or, rd, rd, 0))
+}
+
+// LI loads a 32-bit constant into rd.
+func (a *Asm) LI(rd int, v int32) {
+	if v >= -4096 && v < 4096 {
+		a.RI(Op3Or, rd, G0, v)
+		return
+	}
+	a.Sethi(rd, uint32(v)>>10)
+	a.RI(Op3Or, rd, rd, v&0x3ff)
+}
+
+// Fp emits an FPop1: fd = fs1 opf fs2.
+func (a *Asm) Fp(opf, fd, fs1, fs2 int) {
+	a.word(2<<30 | uint32(fd&31)<<25 | Op3FPop1<<19 | uint32(fs1&31)<<14 | uint32(opf&0x1ff)<<5 | uint32(fs2&31))
+}
+
+// FCmp emits an FPop2 compare setting the flag.
+func (a *Asm) FCmp(opf, fs1, fs2 int) {
+	a.word(2<<30 | Op3FPop2<<19 | uint32(fs1&31)<<14 | uint32(opf&0x1ff)<<5 | uint32(fs2&31))
+}
+
+// FiToD emits fd = double(int register rs).
+func (a *Asm) FiToD(fd, rs int) { a.Fp(OpfFiToD, fd, rs, 0) }
+
+// FdToI emits integer register rd = trunc(fs).
+func (a *Asm) FdToI(rd, fs int) { a.Fp(OpfFdToI, rd, 0, fs) }
+
+// Finish resolves label branches and returns code plus relocations.
+func (a *Asm) Finish() ([]byte, []arch.Reloc, error) {
+	for _, f := range a.fixes {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, nil, fmt.Errorf("sparc: undefined label %q", f.label)
+		}
+		disp := (target - f.off) / 4
+		if disp < -(1<<21) || disp >= 1<<21 {
+			return nil, nil, fmt.Errorf("sparc: branch to %q out of range", f.label)
+		}
+		w := binary.BigEndian.Uint32(a.buf[f.off:])
+		w = w&0xffc00000 | uint32(disp)&0x3fffff
+		binary.BigEndian.PutUint32(a.buf[f.off:], w)
+	}
+	return a.buf, a.relocs, nil
+}
+
+// Labels exposes bound labels.
+func (a *Asm) Labels() map[string]int { return a.labels }
+
+// Instrs reports how many instructions have been emitted.
+func (a *Asm) Instrs() int { return a.n }

@@ -1,0 +1,270 @@
+package sparc
+
+import (
+	"math"
+
+	"ldb/internal/arch"
+)
+
+func sigill(pc uint32) *arch.Fault {
+	return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigIll, PC: pc}
+}
+
+func condTrue(cond int, flag uint32) bool {
+	z := flag&FlagZ != 0
+	n := flag&FlagN != 0
+	c := flag&FlagC != 0
+	switch cond {
+	case CondLEU:
+		return c || z
+	case CondCS:
+		return c
+	case CondGU:
+		return !c && !z
+	case CondCC:
+		return !c
+	case CondN:
+		return false
+	case CondA:
+		return true
+	case CondE:
+		return z
+	case CondNE:
+		return !z
+	case CondL:
+		return n
+	case CondGE:
+		return !n
+	case CondLE:
+		return z || n
+	case CondG:
+		return !z && !n
+	}
+	return false
+}
+
+func signExt13(w uint32) uint32 {
+	return uint32(int32(w<<19) >> 19)
+}
+
+// Step implements arch.Arch.
+func (s *Sparc) Step(p arch.Proc) *arch.Fault {
+	pc := p.PC()
+	w, f := p.Load(pc, 4)
+	if f != nil {
+		return f
+	}
+	next := pc + 4
+	op := w >> 30
+	setReg := func(r int, v uint32) {
+		if r != 0 {
+			p.SetReg(r, v)
+		}
+	}
+
+	switch op {
+	case 1: // call
+		disp := int32(w<<2) >> 2 // sign-extended disp30
+		setReg(O7, pc)
+		next = pc + uint32(disp)*4
+	case 0: // sethi / branches
+		op2 := w >> 22 & 7
+		switch op2 {
+		case 4: // sethi
+			setReg(int(w>>25&31), w<<10)
+		case 2, 6: // Bicc / FBfcc (same flag in this dialect)
+			cond := int(w >> 25 & 15)
+			if condTrue(cond, p.Flag()) {
+				disp := int32(w<<10) >> 10
+				next = pc + uint32(disp)*4
+			}
+		default:
+			return sigill(pc)
+		}
+	case 2: // arithmetic
+		rd := int(w >> 25 & 31)
+		op3 := int(w >> 19 & 63)
+		rs1 := int(w >> 14 & 31)
+		var b uint32
+		if w&(1<<13) != 0 {
+			b = signExt13(w & 0x1fff)
+		} else {
+			b = p.Reg(int(w & 31))
+		}
+		a := p.Reg(rs1)
+		switch op3 {
+		case Op3Add:
+			setReg(rd, a+b)
+		case Op3Sub:
+			setReg(rd, a-b)
+		case Op3And:
+			setReg(rd, a&b)
+		case Op3Or:
+			setReg(rd, a|b)
+		case Op3Xor:
+			setReg(rd, a^b)
+		case Op3SMul:
+			setReg(rd, uint32(int32(a)*int32(b)))
+		case Op3SDiv:
+			if b == 0 {
+				return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigFPE, PC: pc}
+			}
+			setReg(rd, uint32(int32(a)/int32(b)))
+		case Op3Sll:
+			setReg(rd, a<<(b&31))
+		case Op3Srl:
+			setReg(rd, a>>(b&31))
+		case Op3Sra:
+			setReg(rd, uint32(int32(a)>>(b&31)))
+		case Op3SubCC:
+			d := a - b
+			setReg(rd, d)
+			var flag uint32
+			if d == 0 {
+				flag |= FlagZ
+			}
+			if int32(a) < int32(b) {
+				flag |= FlagN
+			}
+			if a < b {
+				flag |= FlagC
+			}
+			p.SetFlag(flag)
+		case Op3Jmpl:
+			setReg(rd, pc)
+			next = a + b
+		case Op3Trap:
+			code := int(b & 0x7f)
+			if code == 1 { // syscall convention: ta 1, number in %g1
+				p.SetPC(pc + 4)
+				return &arch.Fault{Kind: arch.FaultSyscall, Code: int(p.Reg(G1)), PC: pc}
+			}
+			return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: code, PC: pc, Len: 4}
+		case Op3FPop1:
+			opf := int(w >> 5 & 0x1ff)
+			fs1 := int(w >> 14 & 31)
+			fs2 := int(w & 31)
+			fd := rd & 7
+			av, bv := p.FReg(fs1&7), p.FReg(fs2&7)
+			switch opf {
+			case OpfFMovs:
+				p.SetFReg(fd, av)
+			case OpfFNegs:
+				p.SetFReg(fd, -av)
+			case OpfFAddS, OpfFSubS, OpfFMulS, OpfFDivS:
+				var v float64
+				switch opf {
+				case OpfFAddS:
+					v = av + bv
+				case OpfFSubS:
+					v = av - bv
+				case OpfFMulS:
+					v = av * bv
+				default:
+					v = av / bv
+				}
+				p.SetFReg(fd, float64(float32(v)))
+			case OpfFAddD:
+				p.SetFReg(fd, av+bv)
+			case OpfFSubD:
+				p.SetFReg(fd, av-bv)
+			case OpfFMulD:
+				p.SetFReg(fd, av*bv)
+			case OpfFDivD:
+				p.SetFReg(fd, av/bv)
+			case OpfFiToD:
+				p.SetFReg(fd, float64(int32(p.Reg(fs1))))
+			case OpfFdToI:
+				setReg(rd, uint32(int32(math.Trunc(bv))))
+			case OpfFsToD:
+				p.SetFReg(fd, av)
+			case OpfFdToS:
+				p.SetFReg(fd, float64(float32(av)))
+			default:
+				return sigill(pc)
+			}
+		case Op3FPop2:
+			opf := int(w >> 5 & 0x1ff)
+			av, bv := p.FReg(int(w>>14&31)&7), p.FReg(int(w&31)&7)
+			if opf != OpfFCmpS && opf != OpfFCmpD {
+				return sigill(pc)
+			}
+			var flag uint32
+			if av == bv {
+				flag |= FlagZ
+			}
+			if av < bv {
+				flag |= FlagN | FlagC
+			}
+			p.SetFlag(flag)
+		default:
+			return sigill(pc)
+		}
+	case 3: // memory
+		rd := int(w >> 25 & 31)
+		op3 := int(w >> 19 & 63)
+		rs1 := int(w >> 14 & 31)
+		var off uint32
+		if w&(1<<13) != 0 {
+			off = signExt13(w & 0x1fff)
+		} else {
+			off = p.Reg(int(w & 31))
+		}
+		addr := p.Reg(rs1) + off
+		switch op3 {
+		case Op3Ld, Op3Ldub, Op3Lduh, Op3Ldsb, Op3Ldsh:
+			size := 4
+			switch op3 {
+			case Op3Ldub, Op3Ldsb:
+				size = 1
+			case Op3Lduh, Op3Ldsh:
+				size = 2
+			}
+			v, f := p.Load(addr, size)
+			if f != nil {
+				return f
+			}
+			switch op3 {
+			case Op3Ldsb:
+				v = uint32(int32(int8(v)))
+			case Op3Ldsh:
+				v = uint32(int32(int16(v)))
+			}
+			setReg(rd, v)
+		case Op3St, Op3Stb, Op3Sth:
+			size := 4
+			if op3 == Op3Stb {
+				size = 1
+			} else if op3 == Op3Sth {
+				size = 2
+			}
+			if f := p.Store(addr, size, p.Reg(rd)); f != nil {
+				return f
+			}
+		case Op3Ldf:
+			v, f := p.LoadFloat(addr, 4)
+			if f != nil {
+				return f
+			}
+			p.SetFReg(rd&7, v)
+		case Op3Lddf:
+			v, f := p.LoadFloat(addr, 8)
+			if f != nil {
+				return f
+			}
+			p.SetFReg(rd&7, v)
+		case Op3Stf:
+			if f := p.StoreFloat(addr, 4, p.FReg(rd&7)); f != nil {
+				return f
+			}
+		case Op3Stdf:
+			if f := p.StoreFloat(addr, 8, p.FReg(rd&7)); f != nil {
+				return f
+			}
+		default:
+			return sigill(pc)
+		}
+	}
+	p.SetPC(next)
+	return nil
+}

@@ -1,0 +1,248 @@
+package sparc
+
+import (
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/machine"
+)
+
+func run(t *testing.T, build func(a *Asm)) *machine.Process {
+	t.Helper()
+	a := NewAsm()
+	build(a)
+	code, relocs, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relocs) != 0 {
+		t.Fatalf("unexpected relocs: %v", relocs)
+	}
+	p := machine.New(Target, code, make([]byte, 4096), machine.TextBase)
+	f := p.Run()
+	if f.Kind != arch.FaultHalt {
+		t.Fatalf("run ended with %v, want halt; pc=%#x", f, p.PC())
+	}
+	return p
+}
+
+func exitSeq(a *Asm) {
+	a.LI(G1, arch.SysExit)
+	a.LI(O0, 0)
+	a.Trap(1)
+}
+
+func TestArithmetic(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.LI(1, 21)
+		a.LI(2, 2)
+		a.RR(Op3SMul, 3, 1, 2) // 42
+		a.RI(Op3Add, 4, 3, 5)  // 47
+		a.RI(Op3Sub, 5, 3, 2)  // 40
+		a.LI(6, 5)
+		a.RR(Op3SDiv, 7, 3, 6)   // 8
+		a.RI(Op3Sll, 16, 2, 4)   // 32
+		a.RI(Op3Sra, 17, 16, 2)  // 8
+		a.RI(Op3Xor, 18, 3, 0xf) // 42^15 = 37
+		exitSeq(a)
+	})
+	want := map[int]uint32{3: 42, 4: 47, 5: 40, 7: 8, 16: 32, 17: 8, 18: 37}
+	for r, w := range want {
+		if got := p.Reg(r); got != w {
+			t.Errorf("r%d = %d, want %d", r, got, w)
+		}
+	}
+	// %g0 is hardwired.
+	p2 := run(t, func(a *Asm) {
+		a.LI(G0, 99)
+		exitSeq(a)
+	})
+	if p2.Reg(G0) != 0 {
+		t.Error("g0 must stay zero")
+	}
+}
+
+func TestMemoryBranchesCalls(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.LI(1, int32(machine.DataBase))
+		a.LI(2, -2)
+		a.Store(Op3St, 2, 1, 0)
+		a.Load(Op3Ld, 3, 1, 0)
+		a.Load(Op3Ldsb, 4, 1, 0) // big-endian: byte 0 = 0xff → -1
+		a.Load(Op3Ldub, 5, 1, 3) // low byte = 0xfe
+		a.Load(Op3Ldsh, 6, 1, 2) // low half = 0xfffe → -2
+		// Loop: sum 1..5.
+		a.LI(16, 0)
+		a.LI(17, 1)
+		a.Label("loop")
+		a.RR(Op3Add, 16, 16, 17)
+		a.RI(Op3Add, 17, 17, 1)
+		a.RI(Op3SubCC, G0, 17, 6)
+		a.Branch(CondNE, "loop")
+		exitSeq(a)
+	})
+	if got := p.Reg(3); got != 0xfffffffe {
+		t.Errorf("ld = %#x", got)
+	}
+	if got := int32(p.Reg(4)); got != -1 {
+		t.Errorf("ldsb = %d", got)
+	}
+	if got := p.Reg(5); got != 0xfe {
+		t.Errorf("ldub = %#x", got)
+	}
+	if got := int32(p.Reg(6)); got != -2 {
+		t.Errorf("ldsh = %d", got)
+	}
+	if got := p.Reg(16); got != 15 {
+		t.Errorf("loop sum = %d", got)
+	}
+}
+
+func TestCallJmpl(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.LI(1, int32(machine.TextBase)+5*4)
+		a.Jmpl(O7, 1, 0) // call through register
+		a.Ba("done")
+		a.Nop()
+		a.Nop() // padding: func at word 5
+		a.LI(O0, 77)
+		a.Ret()
+		a.Label("done")
+		a.RR(Op3Add, 16, O0, G0)
+		exitSeq(a)
+	})
+	if got := p.Reg(16); got != 77 {
+		t.Errorf("call/ret: %d, want 77", got)
+	}
+}
+
+func TestFloat(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.LI(1, 9)
+		a.FiToD(0, 1) // f0 = 9.0
+		a.LI(1, 2)
+		a.FiToD(1, 1)           // f1 = 2.0
+		a.Fp(OpfFDivD, 2, 0, 1) // 4.5
+		a.Fp(OpfFMulD, 3, 2, 1) // 9.0
+		a.FdToI(16, 3)
+		a.FCmp(OpfFCmpD, 1, 0) // 2 < 9 → N
+		a.FBranch(CondL, "less")
+		a.LI(17, 0)
+		a.Ba("out")
+		a.Label("less")
+		a.LI(17, 1)
+		a.Label("out")
+		// doubles through memory
+		a.LI(1, int32(machine.DataBase))
+		a.Store(Op3Stdf, 2, 1, 8)
+		a.Load(Op3Lddf, 4, 1, 8)
+		a.FCmp(OpfFCmpD, 4, 2)
+		a.FBranch(CondE, "eq")
+		a.LI(18, 0)
+		a.Ba("out2")
+		a.Label("eq")
+		a.LI(18, 1)
+		a.Label("out2")
+		exitSeq(a)
+	})
+	if p.Reg(16) != 9 {
+		t.Errorf("fdiv/fmul = %d, want 9", p.Reg(16))
+	}
+	if p.Reg(17) != 1 {
+		t.Error("float compare branch not taken")
+	}
+	if p.Reg(18) != 1 {
+		t.Error("double memory round trip failed")
+	}
+}
+
+func TestTrapsAndFaults(t *testing.T) {
+	a := NewAsm()
+	a.Trap(arch.TrapBreakpoint)
+	code, _, _ := a.Finish()
+	p := machine.New(Target, code, nil, machine.TextBase)
+	f := p.Run()
+	if f.Sig != arch.SigTrap || f.Code != arch.TrapBreakpoint {
+		t.Errorf("ta 0: %v", f)
+	}
+	a = NewAsm()
+	a.Trap(arch.TrapPause)
+	code, _, _ = a.Finish()
+	p = machine.New(Target, code, nil, machine.TextBase)
+	f = p.Run()
+	if f.Sig != arch.SigTrap || f.Code != arch.TrapPause {
+		t.Errorf("pause: %v", f)
+	}
+	a = NewAsm()
+	a.LI(1, 5)
+	a.LI(2, 0)
+	a.RR(Op3SDiv, 3, 1, 2)
+	code, _, _ = a.Finish()
+	p = machine.New(Target, code, nil, machine.TextBase)
+	if f := p.Run(); f.Sig != arch.SigFPE {
+		t.Errorf("div0: %v", f)
+	}
+	a = NewAsm()
+	a.LI(1, 16)
+	a.Load(Op3Ld, 2, 1, 0)
+	code, _, _ = a.Finish()
+	p = machine.New(Target, code, nil, machine.TextBase)
+	if f := p.Run(); f.Sig != arch.SigSegv {
+		t.Errorf("wild load: %v", f)
+	}
+}
+
+func TestBreakNopPatterns(t *testing.T) {
+	s := Target
+	if len(s.BreakInstr()) != s.InstrSize() || len(s.NopInstr()) != s.InstrSize() {
+		t.Fatal("pattern sizes")
+	}
+	prog := append(append([]byte{}, s.NopInstr()...), s.BreakInstr()...)
+	p := machine.New(s, prog, nil, machine.TextBase)
+	f := p.Run()
+	if f.Sig != arch.SigTrap || f.PC != machine.TextBase+uint32(s.PCAdvance()) {
+		t.Errorf("nop+break: %v", f)
+	}
+}
+
+func TestStdout(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.LI(G1, arch.SysPutInt)
+		a.LI(O0, 123)
+		a.Trap(1)
+		exitSeq(a)
+	})
+	if p.Stdout.String() != "123" {
+		t.Errorf("stdout = %q", p.Stdout.String())
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	s := Target
+	if s.FPReg() != FP || s.SPReg() != SP || s.LinkReg() != O7 {
+		t.Error("register roles")
+	}
+	l := s.Context()
+	if l.PCOff != 128 || l.RegOffs[FP] != FP*4 || l.FRegSize != 8 || l.FloatWordSwap {
+		t.Errorf("context layout: %+v", l)
+	}
+	if _, ok := arch.Lookup("sparc"); !ok {
+		t.Error("not registered")
+	}
+	if s.RegName(O0) != "o0" || s.RegName(FP) != "i6" {
+		t.Errorf("names: %s %s", s.RegName(O0), s.RegName(FP))
+	}
+}
+
+func TestIllegalInstruction(t *testing.T) {
+	// Unassigned op2 values in format-2 words raise SIGILL at the
+	// faulting pc.
+	for _, w := range []uint32{0x00000000, 0x01c00000} {
+		prog := []byte{byte(w >> 24), byte(w >> 16), byte(w >> 8), byte(w)}
+		p := machine.New(Target, prog, nil, machine.TextBase)
+		f := p.Run()
+		if f.Sig != arch.SigIll || f.PC != machine.TextBase {
+			t.Errorf("word %#08x: %v", w, f)
+		}
+	}
+}

@@ -1,0 +1,481 @@
+package vax
+
+import (
+	"math"
+
+	"ldb/internal/arch"
+)
+
+func sigill(pc uint32) *arch.Fault {
+	return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigIll, PC: pc}
+}
+
+// opnd is a decoded operand.
+type opnd struct {
+	kind int // 0 reg, 1 freg, 2 imm, 3 mem
+	reg  int
+	imm  uint32
+	addr uint32
+}
+
+const (
+	oReg = iota
+	oFReg
+	oImm
+	oMem
+)
+
+type cursor struct {
+	p   arch.Proc
+	pc  uint32
+	at  uint32
+	err *arch.Fault
+}
+
+func (c *cursor) byteAt() byte {
+	if c.err != nil {
+		return 0
+	}
+	v, f := c.p.Load(c.at, 1)
+	if f != nil {
+		c.err = f
+		return 0
+	}
+	c.at++
+	return byte(v)
+}
+
+func (c *cursor) word16() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	v, f := c.p.Load(c.at, 2)
+	if f != nil {
+		c.err = f
+		return 0
+	}
+	c.at += 2
+	return v
+}
+
+func (c *cursor) word32() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	v, f := c.p.Load(c.at, 4)
+	if f != nil {
+		c.err = f
+		return 0
+	}
+	c.at += 4
+	return v
+}
+
+func (c *cursor) operand() opnd {
+	spec := c.byteAt()
+	if c.err != nil {
+		return opnd{}
+	}
+	mode := int(spec >> 4)
+	reg := int(spec & 15)
+	switch mode {
+	case ModeReg:
+		return opnd{kind: oReg, reg: reg}
+	case ModeFReg:
+		return opnd{kind: oFReg, reg: reg & 7}
+	case ModeDefer:
+		return opnd{kind: oMem, addr: c.p.Reg(reg)}
+	case ModeAuto:
+		if reg == PCr { // immediate long
+			return opnd{kind: oImm, imm: c.word32()}
+		}
+		addr := c.p.Reg(reg)
+		c.p.SetReg(reg, addr+4)
+		return opnd{kind: oMem, addr: addr}
+	case ModeAbs:
+		return opnd{kind: oMem, addr: c.word32()}
+	case ModeBDisp:
+		d := int32(int8(c.byteAt()))
+		return opnd{kind: oMem, addr: c.p.Reg(reg) + uint32(d)}
+	case ModeWDisp:
+		d := int32(int16(c.word16()))
+		return opnd{kind: oMem, addr: c.p.Reg(reg) + uint32(d)}
+	case ModeLDisp:
+		d := c.word32()
+		return opnd{kind: oMem, addr: c.p.Reg(reg) + d}
+	default:
+		if c.err == nil {
+			c.err = sigill(c.pc)
+		}
+		return opnd{}
+	}
+}
+
+func (c *cursor) read(o opnd, size int) uint32 {
+	if c.err != nil {
+		return 0
+	}
+	switch o.kind {
+	case oReg:
+		v := c.p.Reg(o.reg)
+		switch size {
+		case 1:
+			return v & 0xff
+		case 2:
+			return v & 0xffff
+		}
+		return v
+	case oImm:
+		return o.imm
+	case oMem:
+		v, f := c.p.Load(o.addr, size)
+		if f != nil {
+			c.err = f
+			return 0
+		}
+		return v
+	default:
+		c.err = sigill(c.pc)
+		return 0
+	}
+}
+
+func (c *cursor) write(o opnd, size int, v uint32) {
+	if c.err != nil {
+		return
+	}
+	switch o.kind {
+	case oReg:
+		old := c.p.Reg(o.reg)
+		switch size {
+		case 1:
+			v = old&^0xff | v&0xff
+		case 2:
+			v = old&^0xffff | v&0xffff
+		}
+		c.p.SetReg(o.reg, v)
+	case oMem:
+		if f := c.p.Store(o.addr, size, v); f != nil {
+			c.err = f
+		}
+	default:
+		c.err = sigill(c.pc)
+	}
+}
+
+func (c *cursor) readF(o opnd, size int) float64 {
+	if c.err != nil {
+		return 0
+	}
+	switch o.kind {
+	case oFReg:
+		return c.p.FReg(o.reg)
+	case oMem:
+		v, f := c.p.LoadFloat(o.addr, size)
+		if f != nil {
+			c.err = f
+			return 0
+		}
+		return v
+	default:
+		c.err = sigill(c.pc)
+		return 0
+	}
+}
+
+func (c *cursor) writeF(o opnd, size int, v float64) {
+	if c.err != nil {
+		return
+	}
+	switch o.kind {
+	case oFReg:
+		if size == 4 {
+			v = float64(float32(v))
+		}
+		c.p.SetFReg(o.reg, v)
+	case oMem:
+		if f := c.p.StoreFloat(o.addr, size, v); f != nil {
+			c.err = f
+		}
+	default:
+		c.err = sigill(c.pc)
+	}
+}
+
+func compareFlags(a, b uint32) uint32 {
+	var f uint32
+	if a == b {
+		f |= FlagZ
+	}
+	if int32(a) < int32(b) {
+		f |= FlagN
+	}
+	if a < b {
+		f |= FlagC
+	}
+	return f
+}
+
+// Step implements arch.Arch.
+func (v *Vax) Step(p arch.Proc) *arch.Fault {
+	pc := p.PC()
+	c := &cursor{p: p, pc: pc, at: pc}
+	opc := c.byteAt()
+	if c.err != nil {
+		return c.err
+	}
+
+	push := func(val uint32) {
+		if c.err != nil {
+			return
+		}
+		sp := p.Reg(SP) - 4
+		p.SetReg(SP, sp)
+		if f := p.Store(sp, 4, val); f != nil {
+			c.err = f
+		}
+	}
+	pop := func() uint32 {
+		if c.err != nil {
+			return 0
+		}
+		sp := p.Reg(SP)
+		val, f := p.Load(sp, 4)
+		if f != nil {
+			c.err = f
+			return 0
+		}
+		p.SetReg(SP, sp+4)
+		return val
+	}
+	branch16 := func(taken bool) {
+		d := int32(int16(c.word16()))
+		if c.err == nil && taken {
+			c.at += uint32(d)
+		}
+	}
+
+	flag := p.Flag()
+	z := flag&FlagZ != 0
+	n := flag&FlagN != 0
+	cu := flag&FlagC != 0
+
+	switch opc {
+	case OpNop:
+	case OpHalt:
+		return &arch.Fault{Kind: arch.FaultHalt, PC: pc}
+	case OpBpt:
+		return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: arch.TrapBreakpoint, PC: pc}
+	case OpRsb:
+		c.at = pop()
+	case OpBrw:
+		branch16(true)
+	case OpBneq:
+		branch16(!z)
+	case OpBeql:
+		branch16(z)
+	case OpBgtr:
+		branch16(!z && !n)
+	case OpBleq:
+		branch16(z || n)
+	case OpBgeq:
+		branch16(!n)
+	case OpBlss:
+		branch16(n)
+	case OpBgtru:
+		branch16(!cu && !z)
+	case OpBlequ:
+		branch16(cu || z)
+	case OpBgequ:
+		branch16(!cu)
+	case OpBlssu:
+		branch16(cu)
+	case OpJsb:
+		o := c.operand()
+		if c.err != nil {
+			return c.err
+		}
+		target := o.addr
+		if o.kind == oReg {
+			target = p.Reg(o.reg)
+		}
+		push(c.at)
+		c.at = target
+	case OpJmp:
+		o := c.operand()
+		if c.err != nil {
+			return c.err
+		}
+		if o.kind == oReg {
+			c.at = p.Reg(o.reg)
+		} else {
+			c.at = o.addr
+		}
+	case OpChmk:
+		o := c.operand()
+		num := c.read(o, 4)
+		if c.err != nil {
+			return c.err
+		}
+		if num == arch.TrapPause {
+			return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: arch.TrapPause, PC: pc, Len: c.at - pc}
+		}
+		p.SetPC(c.at)
+		return &arch.Fault{Kind: arch.FaultSyscall, Code: int(num), PC: pc}
+	case OpPushl:
+		o := c.operand()
+		push(c.read(o, 4))
+	case OpMovl, OpMovb, OpMovw:
+		size := 4
+		if opc == OpMovb {
+			size = 1
+		} else if opc == OpMovw {
+			size = 2
+		}
+		src := c.operand()
+		val := c.read(src, size)
+		dst := c.operand()
+		c.write(dst, size, val)
+	case OpMovzbl:
+		src := c.operand()
+		val := c.read(src, 1)
+		dst := c.operand()
+		c.write(dst, 4, val&0xff)
+	case OpMovzwl:
+		src := c.operand()
+		val := c.read(src, 2)
+		dst := c.operand()
+		c.write(dst, 4, val&0xffff)
+	case OpCvtbl:
+		src := c.operand()
+		val := c.read(src, 1)
+		dst := c.operand()
+		c.write(dst, 4, uint32(int32(int8(val))))
+	case OpCvtwl:
+		src := c.operand()
+		val := c.read(src, 2)
+		dst := c.operand()
+		c.write(dst, 4, uint32(int32(int16(val))))
+	case OpTstl:
+		o := c.operand()
+		val := c.read(o, 4)
+		p.SetFlag(compareFlags(val, 0))
+	case OpCmpl:
+		a := c.read(c.operand(), 4)
+		b := c.read(c.operand(), 4)
+		p.SetFlag(compareFlags(a, b))
+	case OpAddl2, OpSubl2:
+		src := c.operand()
+		sv := c.read(src, 4)
+		dst := c.operand()
+		dv := c.read(dst, 4)
+		if opc == OpAddl2 {
+			c.write(dst, 4, dv+sv)
+		} else {
+			c.write(dst, 4, dv-sv)
+		}
+	case OpAddl3, OpSubl3, OpMull3, OpDivl3, OpBisl3, OpBicl3, OpXorl3:
+		a := c.read(c.operand(), 4)
+		b := c.read(c.operand(), 4)
+		dst := c.operand()
+		var r uint32
+		switch opc {
+		case OpAddl3:
+			r = b + a
+		case OpSubl3:
+			r = b - a // subl3 src1, src2, dst: dst = src2 - src1
+		case OpMull3:
+			r = uint32(int32(a) * int32(b))
+		case OpDivl3:
+			if a == 0 {
+				return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigFPE, PC: pc}
+			}
+			r = uint32(int32(b) / int32(a)) // dst = src2 / src1
+		case OpBisl3:
+			r = a | b
+		case OpBicl3:
+			r = b &^ a
+		case OpXorl3:
+			r = a ^ b
+		}
+		c.write(dst, 4, r)
+	case OpMcoml:
+		src := c.operand()
+		val := c.read(src, 4)
+		dst := c.operand()
+		c.write(dst, 4, ^val)
+	case OpAshl, OpLsrl:
+		cnt := int32(c.read(c.operand(), 4))
+		src := c.read(c.operand(), 4)
+		dst := c.operand()
+		var r uint32
+		if opc == OpAshl {
+			if cnt >= 0 {
+				r = src << (uint32(cnt) & 31)
+			} else {
+				r = uint32(int32(src) >> (uint32(-cnt) & 31))
+			}
+		} else {
+			r = src >> (uint32(cnt) & 31)
+		}
+		c.write(dst, 4, r)
+	case OpMovd, OpMovf:
+		size := 8
+		if opc == OpMovf {
+			size = 4
+		}
+		src := c.operand()
+		val := c.readF(src, size)
+		dst := c.operand()
+		c.writeF(dst, size, val)
+	case OpAddd3, OpSubd3, OpMuld3, OpDivd3:
+		a := c.readF(c.operand(), 8)
+		b := c.readF(c.operand(), 8)
+		dst := c.operand()
+		var r float64
+		switch opc {
+		case OpAddd3:
+			r = b + a
+		case OpSubd3:
+			r = b - a
+		case OpMuld3:
+			r = b * a
+		case OpDivd3:
+			r = b / a
+		}
+		c.writeF(dst, 8, r)
+	case OpMnegd:
+		src := c.operand()
+		val := c.readF(src, 8)
+		dst := c.operand()
+		c.writeF(dst, 8, -val)
+	case OpCmpd:
+		a := c.readF(c.operand(), 8)
+		b := c.readF(c.operand(), 8)
+		var f uint32
+		if a == b {
+			f |= FlagZ
+		}
+		if a < b {
+			f |= FlagN | FlagC
+		}
+		p.SetFlag(f)
+	case OpCvtld:
+		src := c.operand()
+		val := c.read(src, 4)
+		dst := c.operand()
+		c.writeF(dst, 8, float64(int32(val)))
+	case OpCvtdl:
+		src := c.operand()
+		val := c.readF(src, 8)
+		dst := c.operand()
+		c.write(dst, 4, uint32(int32(math.Trunc(val))))
+	default:
+		return sigill(pc)
+	}
+	if c.err != nil {
+		return c.err
+	}
+	p.SetPC(c.at)
+	return nil
+}

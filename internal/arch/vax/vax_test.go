@@ -1,0 +1,235 @@
+package vax
+
+import (
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/machine"
+)
+
+func run(t *testing.T, build func(a *Asm)) *machine.Process {
+	t.Helper()
+	a := NewAsm()
+	build(a)
+	code, relocs, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relocs) != 0 {
+		t.Fatalf("unexpected relocs: %v", relocs)
+	}
+	p := machine.New(Target, code, make([]byte, 4096), machine.TextBase)
+	f := p.Run()
+	if f.Kind != arch.FaultHalt {
+		t.Fatalf("run ended with %v, want halt; pc=%#x", f, p.PC())
+	}
+	return p
+}
+
+func exitSeq(a *Asm) {
+	a.MoveImm(R1, 0)
+	a.Chmk(arch.SysExit)
+}
+
+func TestArithmetic(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.MoveImm(2, 21)
+		a.MoveImm(3, 2)
+		a.Op(OpMull3, Rn(2), Rn(3), Rn(4))     // 42
+		a.Op(OpAddl3, Rn(4), ImmL(5), Rn(5))   // 47
+		a.Op(OpSubl3, ImmL(2), Rn(4), Rn(6))   // 42-2 = 40
+		a.Op(OpDivl3, ImmL(5), Rn(4), Rn(7))   // 42/5 = 8
+		a.Op(OpBisl3, ImmL(1), Rn(4), Rn(8))   // 43
+		a.Op(OpXorl3, ImmL(0xf), Rn(4), Rn(9)) // 37
+		// and via mcoml+bicl3: r10 = 42 & 15 = 10
+		a.Op(OpMcoml, ImmL(0xf), Rn(1))
+		a.Op(OpBicl3, Rn(1), Rn(4), Rn(10))
+		a.Op(OpAshl, ImmL(3), Rn(3), Rn(11))          // 2<<3 = 16
+		a.Op(OpAshl, ImmL(^uint32(0)), Rn(11), Rn(6)) // wait: count -1
+		exitSeq(a)
+	})
+	want := map[int]uint32{4: 42, 5: 47, 7: 8, 8: 43, 9: 37, 10: 10, 11: 16, 6: 8}
+	for r, w := range want {
+		if got := p.Reg(r); got != w {
+			t.Errorf("r%d = %d, want %d", r, got, w)
+		}
+	}
+}
+
+func TestMemoryBranchesCalls(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.MoveImm(2, int32(machine.DataBase))
+		a.Op(OpMovl, ImmL(0xfffffffe), Disp(2, 0))
+		a.Op(OpMovl, Disp(2, 0), Rn(3))
+		a.Op(OpCvtbl, Disp(2, 0), Rn(4))  // little-endian: byte 0 = 0xfe → -2
+		a.Op(OpMovzbl, Disp(2, 0), Rn(5)) // 0xfe
+		a.Op(OpCvtwl, Disp(2, 0), Rn(6))  // -2
+		a.Op(OpMovzwl, Disp(2, 2), Rn(7)) // 0xffff
+		// Loop: sum 1..5 in r8.
+		a.MoveImm(8, 0)
+		a.MoveImm(9, 1)
+		a.Label("loop")
+		a.Op(OpAddl2, Rn(9), Rn(8))
+		a.Op(OpAddl2, ImmL(1), Rn(9))
+		a.Op(OpCmpl, Rn(9), ImmL(6))
+		a.Branch(OpBneq, "loop")
+		exitSeq(a)
+	})
+	if got := p.Reg(3); got != 0xfffffffe {
+		t.Errorf("movl load = %#x", got)
+	}
+	if got := int32(p.Reg(4)); got != -2 {
+		t.Errorf("cvtbl = %d", got)
+	}
+	if got := p.Reg(5); got != 0xfe {
+		t.Errorf("movzbl = %#x", got)
+	}
+	if got := int32(p.Reg(6)); got != -2 {
+		t.Errorf("cvtwl = %d", got)
+	}
+	if got := p.Reg(7); got != 0xffff {
+		t.Errorf("movzwl = %#x", got)
+	}
+	if got := p.Reg(8); got != 15 {
+		t.Errorf("loop sum = %d", got)
+	}
+}
+
+func TestJsbRsbFrames(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.MoveImm(2, int32(machine.TextBase)+100)
+		a.Op(OpJsb, Deferred(2))
+		a.Op(OpMovl, Rn(R0), Rn(11))
+		exitSeq(a)
+		for a.Off() < 100 {
+			a.Nop()
+		}
+		// callee: classic pushl fp; movl sp,fp; subl2 #frame,sp
+		a.Op(OpPushl, Rn(FP))
+		a.Op(OpMovl, Rn(SP), Rn(FP))
+		a.Op(OpSubl2, ImmL(16), Rn(SP))
+		a.Op(OpMovl, ImmL(21), Disp(FP, -4))
+		a.Op(OpAddl3, Disp(FP, -4), Disp(FP, -4), Rn(R0))
+		a.Op(OpMovl, Rn(FP), Rn(SP))
+		a.Op(OpMovl, Pop(), Rn(FP))
+		a.Rsb()
+	})
+	if got := p.Reg(11); got != 42 {
+		t.Errorf("frame call = %d, want 42", got)
+	}
+}
+
+func TestFloat(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.Op(OpCvtld, ImmL(9), Fn(0))
+		a.Op(OpCvtld, ImmL(2), Fn(1))
+		a.Op(OpDivd3, Fn(1), Fn(0), Fn(2)) // f2 = f0/f1 = 4.5
+		a.Op(OpMuld3, Fn(1), Fn(2), Fn(3)) // 9.0
+		a.Op(OpCvtdl, Fn(3), Rn(6))
+		// doubles through memory, little-endian
+		a.MoveImm(2, int32(machine.DataBase))
+		a.Op(OpMovd, Fn(2), Disp(2, 0))
+		a.Op(OpMovd, Disp(2, 0), Fn(4))
+		a.Op(OpCmpd, Fn(4), Fn(2))
+		a.Branch(OpBeql, "eq")
+		a.MoveImm(7, 0)
+		a.Branch(OpBrw, "end")
+		a.Label("eq")
+		a.MoveImm(7, 1)
+		a.Label("end")
+		a.Op(OpMnegd, Fn(3), Fn(5))
+		a.Op(OpCvtdl, Fn(5), Rn(8))
+		exitSeq(a)
+	})
+	if p.Reg(6) != 9 {
+		t.Errorf("float arith = %d, want 9", p.Reg(6))
+	}
+	if p.Reg(7) != 1 {
+		t.Error("double memory round trip failed")
+	}
+	if got := int32(p.Reg(8)); got != -9 {
+		t.Errorf("mnegd = %d", got)
+	}
+}
+
+func TestOneBytePatterns(t *testing.T) {
+	v := Target
+	if v.InstrSize() != 1 || v.PCAdvance() != 1 {
+		t.Fatal("the VAX fetches instructions as bytes")
+	}
+	if len(v.BreakInstr()) != 1 || v.BreakInstr()[0] != OpBpt {
+		t.Fatal("bpt pattern")
+	}
+	prog := []byte{OpNop, OpBpt}
+	p := machine.New(v, prog, nil, machine.TextBase)
+	f := p.Run()
+	if f.Sig != arch.SigTrap || f.PC != machine.TextBase+1 {
+		t.Errorf("nop+bpt: %v", f)
+	}
+}
+
+func TestPauseAndFaults(t *testing.T) {
+	a := NewAsm()
+	a.Chmk(arch.TrapPause)
+	code, _, _ := a.Finish()
+	p := machine.New(Target, code, nil, machine.TextBase)
+	if f := p.Run(); f.Sig != arch.SigTrap || f.Code != arch.TrapPause {
+		t.Errorf("pause: %v", f)
+	}
+	a = NewAsm()
+	a.Op(OpDivl3, ImmL(0), ImmL(5), Rn(2))
+	code, _, _ = a.Finish()
+	p = machine.New(Target, code, nil, machine.TextBase)
+	if f := p.Run(); f.Sig != arch.SigFPE {
+		t.Errorf("div0: %v", f)
+	}
+	a = NewAsm()
+	a.Op(OpMovl, Disp(0, 16), Rn(2)) // r0 = 0 → wild
+	code, _, _ = a.Finish()
+	p = machine.New(Target, code, nil, machine.TextBase)
+	if f := p.Run(); f.Sig != arch.SigSegv {
+		t.Errorf("wild: %v", f)
+	}
+	p = machine.New(Target, []byte{0xff}, nil, machine.TextBase)
+	if f := p.Run(); f.Sig != arch.SigIll {
+		t.Errorf("illegal: %v", f)
+	}
+}
+
+func TestContextPCInR15Slot(t *testing.T) {
+	l := Target.Context()
+	if l.PCOff != l.RegOffs[PCr] {
+		t.Error("the saved pc must occupy the r15 slot")
+	}
+	if Target.RegName(FP) != "fp" || Target.RegName(SP) != "sp" {
+		t.Error("register names")
+	}
+}
+
+func TestStdout(t *testing.T) {
+	p := run(t, func(a *Asm) {
+		a.MoveImm(R1, 7)
+		a.Chmk(arch.SysPutInt)
+		a.MoveImm(R1, '!')
+		a.Chmk(arch.SysPutChar)
+		exitSeq(a)
+	})
+	if p.Stdout.String() != "7!" {
+		t.Errorf("stdout = %q", p.Stdout.String())
+	}
+}
+
+func TestFloatOpBadOperand(t *testing.T) {
+	// A float instruction with a general-register operand (not a float
+	// register or memory) is an illegal encoding.
+	a := NewAsm()
+	a.Op(OpMovd, Rn(R1), Fn(0))
+	code, _, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := machine.New(Target, code, nil, machine.TextBase)
+	if f := p.Run(); f.Sig != arch.SigIll {
+		t.Fatalf("movd r1, f0: %v", f)
+	}
+}

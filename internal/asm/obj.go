@@ -1,0 +1,74 @@
+// Package asm defines the object format shared by the four back ends
+// and the MIPS load-delay-slot scheduler. Object units carry text and
+// data with relocations; the linker (package link) combines them.
+package asm
+
+import "ldb/internal/arch"
+
+// Section identifies where a symbol lives.
+type Section int
+
+// Sections.
+const (
+	SecText Section = iota
+	SecData
+	SecUndef // referenced but not defined here
+)
+
+func (s Section) String() string {
+	switch s {
+	case SecText:
+		return "text"
+	case SecData:
+		return "data"
+	}
+	return "undef"
+}
+
+// Sym is a defined symbol in an object unit.
+type Sym struct {
+	Name   string
+	Sec    Section
+	Off    int
+	Size   int
+	Global bool
+}
+
+// FuncInfo records a function for the MIPS runtime procedure table:
+// the machine has no frame pointer, so ldb learns frame sizes from the
+// table in the target's address space (§4.3).
+type FuncInfo struct {
+	Sym       string
+	FrameSize int32
+}
+
+// Unit is one assembled object: the output of compiling one
+// translation unit (or the runtime library) for one target.
+type Unit struct {
+	Name       string
+	Arch       string
+	Text       []byte
+	TextRelocs []arch.Reloc
+	Data       []byte
+	DataRelocs []arch.Reloc
+	Syms       []Sym
+	Funcs      []FuncInfo
+	// Instrs counts machine instructions in Text (the four targets
+	// have different instruction widths, so byte counts don't compare).
+	Instrs int
+}
+
+// AddSym appends a symbol definition.
+func (u *Unit) AddSym(name string, sec Section, off, size int, global bool) {
+	u.Syms = append(u.Syms, Sym{Name: name, Sec: sec, Off: off, Size: size, Global: global})
+}
+
+// FindSym looks a symbol up by name.
+func (u *Unit) FindSym(name string) (Sym, bool) {
+	for _, s := range u.Syms {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sym{}, false
+}

@@ -1,0 +1,24 @@
+package asm
+
+import "testing"
+
+func TestSymTable(t *testing.T) {
+	u := &Unit{Name: "u", Arch: "vax"}
+	u.AddSym("_f", SecText, 0, 12, true)
+	u.AddSym(".local", SecData, 16, 4, false)
+	if s, ok := u.FindSym("_f"); !ok || s.Off != 0 || !s.Global || s.Sec != SecText {
+		t.Fatalf("find _f: %+v %v", s, ok)
+	}
+	if s, ok := u.FindSym(".local"); !ok || s.Off != 16 || s.Global {
+		t.Fatalf("find .local: %+v %v", s, ok)
+	}
+	if _, ok := u.FindSym("missing"); ok {
+		t.Fatal("found missing symbol")
+	}
+}
+
+func TestSectionNames(t *testing.T) {
+	if SecText.String() != "text" || SecData.String() != "data" || SecUndef.String() != "undef" {
+		t.Fatal("section names")
+	}
+}

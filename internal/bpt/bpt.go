@@ -1,0 +1,140 @@
+// Package bpt implements ldb's interim breakpoint scheme (§3): a
+// breakpoint is planted by overwriting an instruction with the trap
+// pattern; because lcc puts a no-op at every stopping point, resuming
+// needs no single-stepping — the no-op is "interpreted" out of line by
+// advancing the program counter. The implementation is
+// machine-independent but manipulates four items of machine-dependent
+// data: the break and no-op bit patterns, the width used to fetch and
+// store instructions, and the amount to advance the pc.
+//
+// Everything happens through ordinary fetches and stores over the nub
+// protocol; the protocol itself never mentions breakpoints (§6).
+package bpt
+
+import (
+	"bytes"
+	"fmt"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+	"ldb/internal/nub"
+)
+
+// Manager plants and removes breakpoints in one target.
+type Manager struct {
+	A arch.Arch
+	C *nub.Client
+
+	planted map[uint32][]byte // address → overwritten bytes
+}
+
+// New returns a breakpoint manager.
+func New(a arch.Arch, c *nub.Client) *Manager {
+	return &Manager{A: a, C: c, planted: make(map[uint32][]byte)}
+}
+
+// Plant sets a breakpoint at addr, which must hold a stopping-point
+// no-op (the interim scheme can set breakpoints only at no-ops, which
+// are skipped instead of interpreted, §3).
+func (m *Manager) Plant(addr uint32) error {
+	if _, dup := m.planted[addr]; dup {
+		return nil
+	}
+	size := m.A.InstrSize()
+	old, err := m.C.FetchBytes(amem.Code, addr, size)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(old, m.A.NopInstr()) {
+		return fmt.Errorf("bpt: %#x does not hold a stopping-point no-op", addr)
+	}
+	// Plant through the special store of §7.1's enriched protocol, so
+	// the nub, too, records the overwritten instruction and can report
+	// it to a new debugger if this one is lost.
+	if err := m.C.PlantStore(addr, m.A.BreakInstr()); err != nil {
+		return err
+	}
+	m.planted[addr] = old
+	return nil
+}
+
+// Remove clears the breakpoint at addr, restoring the no-op.
+func (m *Manager) Remove(addr uint32) error {
+	if _, ok := m.planted[addr]; !ok {
+		return fmt.Errorf("bpt: no breakpoint at %#x", addr)
+	}
+	if err := m.C.UnplantStore(addr); err != nil {
+		return err
+	}
+	delete(m.planted, addr)
+	return nil
+}
+
+// RemoveAll clears every planted breakpoint.
+func (m *Manager) RemoveAll() error {
+	for addr := range m.planted {
+		if err := m.Remove(addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdoptPlanted records a breakpoint planted by a previous debugger
+// instance; the caller supplies the instruction the trap replaced.
+func (m *Manager) AdoptPlanted(addr uint32, original []byte) error {
+	cur, err := m.C.FetchBytes(amem.Code, addr, m.A.InstrSize())
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(cur, m.A.BreakInstr()) {
+		return fmt.Errorf("bpt: %#x holds no breakpoint", addr)
+	}
+	m.planted[addr] = append([]byte(nil), original...)
+	return nil
+}
+
+// Recover asks the nub which breakpoints a previous debugger planted
+// (§7.1's enriched protocol) and adopts them all, returning their
+// addresses.
+func (m *Manager) Recover() ([]uint32, error) {
+	records, err := m.C.ListPlanted()
+	if err != nil {
+		return nil, err
+	}
+	var out []uint32
+	for _, r := range records {
+		m.planted[r.Addr] = append([]byte(nil), r.Original...)
+		out = append(out, r.Addr)
+	}
+	return out, nil
+}
+
+// IsPlanted reports whether addr holds one of our breakpoints.
+func (m *Manager) IsPlanted(addr uint32) bool {
+	_, ok := m.planted[addr]
+	return ok
+}
+
+// Addrs lists planted breakpoint addresses.
+func (m *Manager) Addrs() []uint32 {
+	var out []uint32
+	for a := range m.planted {
+		out = append(out, a)
+	}
+	return out
+}
+
+// ResumePC returns the pc to continue from after stopping at a
+// breakpoint: the overwritten no-op is interpreted out of line by
+// skipping it.
+func (m *Manager) ResumePC(pc uint32) uint32 {
+	return pc + uint32(m.A.PCAdvance())
+}
+
+// IsBreakpointSignal is the machine-dependent predicate that
+// distinguishes breakpoint faults from other faults (§4.3): a SIGTRAP
+// whose code is the breakpoint trap code, at a planted address.
+func (m *Manager) IsBreakpointSignal(ev *nub.Event) bool {
+	return !ev.Exited && ev.Sig == arch.SigTrap && ev.Code == arch.TrapBreakpoint && m.IsPlanted(ev.PC)
+}

@@ -1,0 +1,153 @@
+package bpt
+
+import (
+	"strings"
+	"testing"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+	"ldb/internal/driver"
+	"ldb/internal/nub"
+	"ldb/internal/workload"
+)
+
+// setup builds fib with -g and returns a manager plus the address of a
+// stopping-point no-op.
+func setup(t *testing.T, archName string) (*Manager, *nub.Client, uint32) {
+	t.Helper()
+	prog, err := driver.Build([]driver.Source{{Name: "fib.c", Text: workload.Fib}},
+		driver.Options{Arch: archName, Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop uint32
+	for _, s := range prog.Image.Syms {
+		if s.Name == ".stop_fib_7" {
+			stop = s.Addr
+		}
+	}
+	if stop == 0 {
+		t.Fatal("no stop label")
+	}
+	return New(prog.Arch, client), client, stop
+}
+
+func TestPlantRemoveCycle(t *testing.T) {
+	for _, a := range []string{"mips", "mipsbe", "sparc", "m68k", "vax"} {
+		t.Run(a, func(t *testing.T) {
+			m, c, stop := setup(t, a)
+			if err := m.Plant(stop); err != nil {
+				t.Fatal(err)
+			}
+			if !m.IsPlanted(stop) || len(m.Addrs()) != 1 {
+				t.Fatal("not recorded")
+			}
+			// The trap pattern is in memory now.
+			cur, err := c.FetchBytes(amem.Code, stop, m.A.InstrSize())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(cur) != string(m.A.BreakInstr()) {
+				t.Fatalf("memory holds % x", cur)
+			}
+			// Planting twice is idempotent.
+			if err := m.Plant(stop); err != nil {
+				t.Fatal(err)
+			}
+			// Removing restores the no-op.
+			if err := m.Remove(stop); err != nil {
+				t.Fatal(err)
+			}
+			cur, _ = c.FetchBytes(amem.Code, stop, m.A.InstrSize())
+			if string(cur) != string(m.A.NopInstr()) {
+				t.Fatalf("no-op not restored: % x", cur)
+			}
+			if err := m.Remove(stop); err == nil {
+				t.Fatal("double remove succeeded")
+			}
+		})
+	}
+}
+
+func TestPlantRequiresNop(t *testing.T) {
+	m, _, stop := setup(t, "sparc")
+	// The interim scheme can set breakpoints only at no-ops (§3).
+	err := m.Plant(stop + 4)
+	if err == nil || !strings.Contains(err.Error(), "no-op") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResumePCUsesPCAdvance(t *testing.T) {
+	for _, name := range []string{"mips", "m68k", "vax"} {
+		a, _ := arch.Lookup(name)
+		m := &Manager{A: a}
+		if got := m.ResumePC(0x1000); got != 0x1000+uint32(a.PCAdvance()) {
+			t.Fatalf("%s: resume = %#x", name, got)
+		}
+	}
+}
+
+func TestHitAndResume(t *testing.T) {
+	m, c, stop := setup(t, "vax")
+	if err := m.Plant(stop); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.Continue()
+	if err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	if !m.IsBreakpointSignal(ev) {
+		t.Fatalf("not classified as breakpoint: %v", ev)
+	}
+	if ev.PC != stop {
+		t.Fatalf("stopped at %#x, want %#x", ev.PC, stop)
+	}
+	// Resume: interpret the no-op out of line by advancing the saved
+	// pc, then continue; the next hit is the same breakpoint.
+	l := m.A.Context()
+	if err := c.StoreInt(amem.Data, c.CtxAddr+uint32(l.PCOff), 4, uint64(m.ResumePC(ev.PC))); err != nil {
+		t.Fatal(err)
+	}
+	ev, err = c.Continue()
+	if err != nil || ev.Exited || ev.PC != stop {
+		t.Fatalf("second hit: %v %v", ev, err)
+	}
+}
+
+func TestRemoveAllAndRecover(t *testing.T) {
+	m, c, stop := setup(t, "mips")
+	if err := m.Plant(stop); err != nil {
+		t.Fatal(err)
+	}
+	// A second manager on the same connection can recover the plant
+	// through the nub (§7.1).
+	m2 := New(m.A, c)
+	addrs, err := m2.Recover()
+	if err != nil || len(addrs) != 1 || addrs[0] != stop {
+		t.Fatalf("recover: %v %v", addrs, err)
+	}
+	if err := m2.RemoveAll(); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := c.FetchBytes(amem.Code, stop, m.A.InstrSize())
+	if string(cur) != string(m.A.NopInstr()) {
+		t.Fatal("recover+remove did not restore the no-op")
+	}
+}
+
+func TestFaultsAreNotBreakpoints(t *testing.T) {
+	m, _, _ := setup(t, "m68k")
+	ev := &nub.Event{Sig: arch.SigSegv, Code: 0, PC: 0x1234}
+	if m.IsBreakpointSignal(ev) {
+		t.Fatal("segv classified as breakpoint")
+	}
+	ev = &nub.Event{Sig: arch.SigTrap, Code: arch.TrapPause, PC: 0x1234}
+	if m.IsBreakpointSignal(ev) {
+		t.Fatal("pause classified as breakpoint")
+	}
+}

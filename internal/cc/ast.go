@@ -1,0 +1,279 @@
+package cc
+
+import "fmt"
+
+// Storage classifies where a symbol lives.
+type Storage int
+
+// Storage classes.
+const (
+	Auto   Storage = iota // frame-resident local or parameter
+	Static                // file- or function-scope static: anchored data
+	Extern                // global with external linkage
+)
+
+// SymKind classifies a symbol.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymVar SymKind = iota
+	SymParam
+	SymFunc
+	SymEnumConst
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymParam:
+		return "parameter"
+	case SymFunc:
+		return "procedure"
+	case SymEnumConst:
+		return "enumeration constant"
+	default:
+		return "variable"
+	}
+}
+
+// Symbol is a declared identifier. Uplink is the entry for the
+// preceding symbol in the current or enclosing scope; the uplinks link
+// the entries into the tree of Fig. 2, which handles nested scopes
+// without the complications of flattened tables.
+type Symbol struct {
+	Name    string
+	Type    *Type
+	Kind    SymKind
+	Storage Storage
+	Pos     Pos
+	Uplink  *Symbol
+	// Seq numbers the symbol within its compilation unit: its
+	// PostScript name is S<Seq>.
+	Seq int
+
+	// Back-end placement:
+	// FrameOff for autos (relative to the virtual frame pointer or
+	// frame pointer per target); AnchorIdx for statics and stopping
+	// points (word index in the unit's anchor table); Label for
+	// externs and functions.
+	FrameOff  int32
+	AnchorIdx int
+	Label     string
+
+	// Init is the constant initializer of a global or static, if any.
+	Init *Expr
+
+	// For functions:
+	Def *Func
+
+	// Ext is free for embedders; the expression server hangs the
+	// debugger-supplied location ("where") here when it reconstructs a
+	// symbol on the fly (§3).
+	Ext any
+}
+
+func (s *Symbol) String() string {
+	if s == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%s %s", s.Kind, s.Name)
+}
+
+// ExprOp is an expression operator.
+type ExprOp int
+
+// Expression operators. The typed trees play the role of lcc's
+// intermediate representation: the expression server rewrites them into
+// PostScript (§3).
+const (
+	EConst ExprOp = iota
+	EFConst
+	EString
+	EIdent
+	ECall
+	EMember // L.field (R unused; Field set)
+	EDeref  // *L
+	EAddr   // &L
+	ENeg
+	ELogNot
+	EBitNot
+	ECast // conversion to Type
+	EAssign
+	EAdd
+	ESub
+	EMul
+	EDiv
+	ERem
+	EAnd
+	EOr
+	EXor
+	EShl
+	EShr
+	EEq
+	ENe
+	ELt
+	ELe
+	EGt
+	EGe
+	ELogAnd
+	ELogOr
+	EPostInc
+	EPostDec
+	EPreInc
+	EPreDec
+	ECond     // L ? Args[0] : Args[1]
+	EComma    // L, R: evaluate L for effect, yield R
+	EInitList // braced initializer: Args are element/member initializers
+)
+
+var exprOpNames = map[ExprOp]string{
+	EConst: "CNST", EFConst: "FCNST", EString: "STR", EIdent: "ID",
+	EInitList: "INIT",
+	ECall:     "CALL", EMember: "MEMBER", EDeref: "INDIR", EAddr: "ADDR",
+	ENeg: "NEG", ELogNot: "NOT", EBitNot: "BCOM", ECast: "CVT",
+	EAssign: "ASGN", EAdd: "ADD", ESub: "SUB", EMul: "MUL", EDiv: "DIV",
+	ERem: "MOD", EAnd: "BAND", EOr: "BOR", EXor: "BXOR", EShl: "LSH",
+	EShr: "RSH", EEq: "EQ", ENe: "NE", ELt: "LT", ELe: "LE", EGt: "GT",
+	EGe: "GE", ELogAnd: "ANDAND", ELogOr: "OROR",
+	EPostInc: "POSTINC", EPostDec: "POSTDEC", EPreInc: "PREINC",
+	EPreDec: "PREDEC", ECond: "COND", EComma: "COMMA",
+}
+
+func (op ExprOp) String() string {
+	if s, ok := exprOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Expr is a typed expression tree node.
+type Expr struct {
+	Op    ExprOp
+	Type  *Type
+	L, R  *Expr
+	Args  []*Expr
+	Sym   *Symbol
+	Field Field
+	IVal  int64
+	FVal  float64
+	SVal  string
+	Pos   Pos
+}
+
+// IsLValue reports whether e designates an object.
+func (e *Expr) IsLValue() bool {
+	switch e.Op {
+	case EIdent:
+		return e.Sym != nil && e.Sym.Kind != SymFunc
+	case EDeref:
+		return true
+	case EMember:
+		return e.L.IsLValue()
+	}
+	return false
+}
+
+// StmtOp is a statement kind.
+type StmtOp int
+
+// Statement kinds.
+const (
+	SExpr StmtOp = iota
+	SIf
+	SWhile
+	SFor
+	SReturn
+	SBlock
+	SBreak
+	SContinue
+	SEmpty
+	SDo
+	SSwitch
+	SGoto
+	SLabel
+)
+
+// Stmt is a statement node.
+type Stmt struct {
+	Op   StmtOp
+	Pos  Pos
+	Expr *Expr // SExpr, SReturn (may be nil)
+	Cond *Expr // SIf, SWhile, SFor
+	Init *Expr // SFor
+	Post *Expr // SFor
+	Then *Stmt
+	Else *Stmt
+	Body []*Stmt // SBlock
+	// Cases holds a switch statement's arms, in source order.
+	Cases []SwitchCase
+	// Name is the label of an SGoto or SLabel statement.
+	Name string
+	// Stopping points attached to this statement: one at the statement
+	// itself, and for loops one each at init/cond/post.
+	Stop     *StopPoint
+	CondStop *StopPoint
+	PostStop *StopPoint
+}
+
+// SwitchCase is one arm of a switch; execution falls through to the
+// following arm unless the body breaks, as in C.
+type SwitchCase struct {
+	Val       int64
+	IsDefault bool
+	Body      []*Stmt
+}
+
+// StopPoint is a stopping point (the superscripts of Fig. 1): a source
+// location, an object-code location (bound at link time through the
+// anchor table), and the symbol-table entry visible there.
+type StopPoint struct {
+	Index   int
+	Pos     Pos
+	Visible *Symbol // head of the uplink chain visible here
+	// AnchorIdx is the word index of this point's code address in the
+	// unit's anchor table.
+	AnchorIdx int
+	// Label is the assembly label lcc places at the stopping point.
+	Label string
+}
+
+// Func is a function definition.
+type Func struct {
+	Sym     *Symbol
+	Params  []*Symbol
+	Locals  []*Symbol // every block-scoped auto, outermost first
+	Statics []*Symbol // function-scope statics
+	Body    *Stmt
+	Stops   []*StopPoint
+	// ExitStop is the stopping point at the closing brace.
+	ExitStop *StopPoint
+	// FrameSize is filled by the back end (the MIPS runtime procedure
+	// table needs it).
+	FrameSize int32
+	// Labels records user goto labels; Gotos the references to check.
+	Labels map[string]bool
+	Gotos  []GotoRef
+}
+
+// GotoRef is a goto's target name and source position, checked against
+// the function's labels when its body is complete.
+type GotoRef struct {
+	Name string
+	Pos  Pos
+}
+
+// Unit is one compiled translation unit.
+type Unit struct {
+	File    string
+	Target  *TargetConf
+	Funcs   []*Func
+	Globals []*Symbol // file-scope variables (externs and statics)
+	Syms    []*Symbol // every symbol, in Seq order
+	Strings []string  // string literals, indexed by EString.IVal
+	// AnchorWords is the number of words in the unit's anchor table
+	// (statics and stopping points each own one).
+	AnchorWords int
+	// AnchorSym is the generated anchor symbol name, derived from a
+	// hash of the contents (like _stanchor__V2935334b_e288a in §2).
+	AnchorSym string
+}

@@ -1,0 +1,574 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+var testConf = &TargetConf{Name: "test", LDoubleSize: 8}
+
+// fibSrc is the example program of Fig. 1.
+const fibSrc = `
+void fib(int n)
+{
+	static int a[20];
+	if (n > 20) n = 20;
+	a[0] = a[1] = 1;
+	{	int i;
+		for (i=2; i<n; i++)
+			a[i] = a[i-1] + a[i-2];
+	}
+	{	int j;
+		for (j=0; j<n; j++)
+			printf("%d ", a[j]);
+	}
+	printf("\n");
+}
+int main() { fib(10); return 0; }
+`
+
+func compile(t *testing.T, src string) *Unit {
+	t.Helper()
+	u, err := Compile(src, "test.c", testConf)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return u
+}
+
+func compileErr(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := Compile(src, "test.c", testConf)
+	if err == nil {
+		t.Fatalf("Compile(%q): expected error containing %q", src, want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("Compile(%q): error %q does not contain %q", src, err, want)
+	}
+}
+
+func TestFibCompiles(t *testing.T) {
+	u := compile(t, fibSrc)
+	if len(u.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(u.Funcs))
+	}
+	fib := u.Funcs[0]
+	if fib.Sym.Name != "fib" {
+		t.Fatalf("first func = %s", fib.Sym.Name)
+	}
+	if len(fib.Params) != 1 || fib.Params[0].Name != "n" {
+		t.Fatalf("params: %v", fib.Params)
+	}
+	if len(fib.Statics) != 1 || fib.Statics[0].Name != "a" {
+		t.Fatalf("statics: %v", fib.Statics)
+	}
+	if len(fib.Locals) != 2 {
+		t.Fatalf("locals: %v", fib.Locals)
+	}
+	// Fig. 1 shows 14 stopping points (0-13) for fib.
+	if len(fib.Stops) != 14 {
+		for _, s := range fib.Stops {
+			t.Logf("stop %d at %v", s.Index, s.Pos)
+		}
+		t.Fatalf("stopping points = %d, want 14", len(fib.Stops))
+	}
+}
+
+func TestUplinkTree(t *testing.T) {
+	// Fig. 2: i's uplink is a; j's uplink is a; a's uplink is n.
+	u := compile(t, fibSrc)
+	fib := u.Funcs[0]
+	var n, a, i, j *Symbol
+	for _, s := range u.Syms {
+		switch s.Name {
+		case "n":
+			n = s
+		case "a":
+			a = s
+		case "i":
+			i = s
+		case "j":
+			j = s
+		}
+	}
+	if n == nil || a == nil || i == nil || j == nil {
+		t.Fatal("missing symbols")
+	}
+	if i.Uplink != a || j.Uplink != a {
+		t.Fatalf("i.Uplink=%v j.Uplink=%v, want a for both", i.Uplink, j.Uplink)
+	}
+	if a.Uplink != n {
+		t.Fatalf("a.Uplink = %v, want n", a.Uplink)
+	}
+	if n.Uplink != fib.Sym {
+		t.Fatalf("n.Uplink = %v, want fib", n.Uplink)
+	}
+	// The stopping point in the j-loop condition sees j (9th element
+	// of fib's stopping-point array per §2).
+	sp := fib.Stops[9]
+	if sp.Visible != j {
+		t.Fatalf("stop 9 sees %v, want j", sp.Visible)
+	}
+	// Walking up from stop 9: j, a, n, fib are visible.
+	var names []string
+	for s := sp.Visible; s != nil; s = s.Uplink {
+		names = append(names, s.Name)
+	}
+	want := []string{"j", "a", "n", "fib"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("visible chain = %v, want %v", names, want)
+	}
+}
+
+func TestStopPointAnchors(t *testing.T) {
+	u := compile(t, fibSrc)
+	seen := map[int]bool{}
+	for _, f := range u.Funcs {
+		for _, s := range f.Stops {
+			if seen[s.AnchorIdx] {
+				t.Fatalf("anchor index %d reused", s.AnchorIdx)
+			}
+			seen[s.AnchorIdx] = true
+		}
+	}
+	for _, f := range u.Funcs {
+		for _, s := range f.Statics {
+			if seen[s.AnchorIdx] {
+				t.Fatalf("static anchor index %d collides", s.AnchorIdx)
+			}
+			seen[s.AnchorIdx] = true
+		}
+	}
+	if len(seen) != u.AnchorWords {
+		t.Fatalf("anchor words = %d, indices = %d", u.AnchorWords, len(seen))
+	}
+	if !strings.HasPrefix(u.AnchorSym, "_stanchor__V") {
+		t.Fatalf("anchor symbol = %q", u.AnchorSym)
+	}
+}
+
+func TestTypesAndSizes(t *testing.T) {
+	m68k := &TargetConf{Name: "m68k", LDoubleSize: 12}
+	cases := []struct {
+		ty   *Type
+		conf *TargetConf
+		size int
+	}{
+		{CharType, testConf, 1},
+		{ShortType, testConf, 2},
+		{IntType, testConf, 4},
+		{FloatType, testConf, 4},
+		{DoubleType, testConf, 8},
+		{LDoubleType, testConf, 8},
+		{LDoubleType, m68k, 12},
+		{PtrTo(IntType), testConf, 4},
+		{ArrayOf(IntType, 20), testConf, 80},
+	}
+	for _, c := range cases {
+		if got := c.ty.Size(c.conf); got != c.size {
+			t.Errorf("%s size on %s = %d, want %d", c.ty, c.conf.Name, got, c.size)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	u := compile(t, `
+struct point { char tag; short s; int x; double d; };
+struct point g;
+int size() { return sizeof(struct point); }
+`)
+	var st *Type
+	for _, s := range u.Globals {
+		if s.Name == "g" {
+			st = s.Type
+		}
+	}
+	if st == nil || st.Kind != TyStruct {
+		t.Fatal("missing struct global")
+	}
+	offs := map[string]int{}
+	for _, f := range st.Fields {
+		offs[f.Name] = f.Off
+	}
+	if offs["tag"] != 0 || offs["s"] != 2 || offs["x"] != 4 || offs["d"] != 8 {
+		t.Fatalf("offsets: %v", offs)
+	}
+	if st.Size(testConf) != 16 {
+		t.Fatalf("struct size = %d", st.Size(testConf))
+	}
+}
+
+func TestDeclStrings(t *testing.T) {
+	cases := []struct {
+		ty   *Type
+		name string
+		want string
+	}{
+		{IntType, "i", "int i"},
+		{ArrayOf(IntType, 20), "a", "int a[20]"},
+		{PtrTo(CharType), "s", "char *s"},
+		{PtrTo(ArrayOf(IntType, 3)), "p", "int (*p)[3]"},
+		{&Type{Kind: TyFunc, Base: IntType, Params: []*Type{IntType}}, "f", "int f(int)"},
+	}
+	for _, c := range cases {
+		if got := c.ty.Decl(c.name); got != c.want {
+			t.Errorf("Decl = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	u := compile(t, `
+double mix(int i, float f, char c) { return i + f + c; }
+`)
+	ret := u.Funcs[0].Body.Body[0]
+	if ret.Op != SReturn {
+		t.Fatalf("statement is %v", ret.Op)
+	}
+	// i + f + c is computed in double: the whole tree has double type.
+	if ret.Expr.Type.Kind != TyDouble {
+		t.Fatalf("return expr type = %s", ret.Expr.Type)
+	}
+}
+
+func TestPointerArithmeticTypes(t *testing.T) {
+	u := compile(t, `
+int deref(int *p, int i) { return p[i] + *(p + 1); }
+int diff(int *p, int *q) { return q - p; }
+`)
+	if u.Funcs[0].Sym.Type.Base.Kind != TyInt {
+		t.Fatal("return type")
+	}
+}
+
+func TestSizeofIsTargetDependent(t *testing.T) {
+	src := `int s() { return sizeof(long double); }`
+	u1, err := Compile(src, "t.c", &TargetConf{Name: "sparc", LDoubleSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Compile(src, "t.c", &TargetConf{Name: "m68k", LDoubleSize: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := constInt(u1.Funcs[0].Body.Body[0].Expr)
+	v2, _ := constInt(u2.Funcs[0].Body.Body[0].Expr)
+	if v1 != 8 || v2 != 12 {
+		t.Fatalf("sizeof(long double) = %d / %d, want 8 / 12", v1, v2)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	u := compile(t, `int f() { return 2*3+4<<1; }`)
+	e := u.Funcs[0].Body.Body[0].Expr
+	if e.Op != EConst || e.IVal != 20 {
+		t.Fatalf("folded = %v %d", e.Op, e.IVal)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	compileErr(t, `int f() { return x; }`, "undeclared identifier")
+	compileErr(t, `int f(int a, int a) { return 0; }`, "redeclaration")
+	compileErr(t, `int f() { 1 = 2; }`, "non-lvalue")
+	compileErr(t, `int f(int *p, double d) { p = d; }`, "type mismatch")
+	compileErr(t, `int f() { break; }`, "break outside")
+	compileErr(t, `struct s { int x; }; int f(struct s v) { return v + 1; }`, "arithmetic")
+	compileErr(t, `int f(int a) { return a.x; }`, "non-struct")
+	compileErr(t, `int a[3.5];`, "constant expression")
+	compileErr(t, `int f(double d) { return *d; }`, "dereference")
+	compileErr(t, `int f(int a) { return a %%; }`, "expression")
+}
+
+func TestImplicitFunctionDeclaration(t *testing.T) {
+	u := compile(t, `int f() { return g(1, 2); }`)
+	found := false
+	for _, s := range u.Syms {
+		if s.Name == "g" && s.Kind == SymFunc {
+			found = true
+			if s.Type.Base.Kind != TyInt || s.Type.Params != nil {
+				t.Fatal("implicit declaration shape")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("implicit function not declared")
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	u := compile(t, `int f() { printf("hi %d\n", 3); return 0; }`)
+	if len(u.Strings) != 1 || u.Strings[0] != "hi %d\n" {
+		t.Fatalf("strings: %q", u.Strings)
+	}
+}
+
+func TestGlobalsAndInitializers(t *testing.T) {
+	u := compile(t, `
+int g = 42;
+static int hidden = 7;
+double d = 1.5;
+char *msg = "hello";
+`)
+	byName := map[string]*Symbol{}
+	for _, s := range u.Globals {
+		byName[s.Name] = s
+	}
+	if v, _ := constInt(byName["g"].Init); v != 42 {
+		t.Fatalf("g init = %v", byName["g"].Init)
+	}
+	if byName["hidden"].Storage != Static {
+		t.Fatal("hidden not static")
+	}
+	if byName["hidden"].AnchorIdx == byName["g"].AnchorIdx && byName["g"].Storage == Static {
+		t.Fatal("anchor collision")
+	}
+	if byName["d"].Init.Op != EFConst || byName["d"].Init.FVal != 1.5 {
+		t.Fatalf("d init = %v", byName["d"].Init)
+	}
+	if byName["msg"].Init.Op != EAddr {
+		t.Fatalf("msg init = %v", byName["msg"].Init.Op)
+	}
+}
+
+func TestLocalInitializerBecomesAssignment(t *testing.T) {
+	u := compile(t, `int f() { int x = 5; return x; }`)
+	body := u.Funcs[0].Body.Body
+	if len(body) != 2 || body[0].Op != SExpr || body[0].Expr.Op != EAssign {
+		t.Fatalf("local initializer lowering: %+v", body[0])
+	}
+	if body[0].Stop == nil {
+		t.Fatal("initializer assignment needs a stopping point")
+	}
+}
+
+func TestControlFlowParsing(t *testing.T) {
+	u := compile(t, `
+int classify(int x) {
+	int r;
+	r = 0;
+	if (x > 0) r = 1; else if (x < 0) r = -1;
+	while (x > 10) { x = x / 2; if (x == 13) break; else continue; }
+	for (;;) { break; }
+	return r > 0 ? r : -r;
+}
+`)
+	fn := u.Funcs[0]
+	if fn.Sym.Name != "classify" {
+		t.Fatal("name")
+	}
+	// The empty for(;;) contributes no init/cond/post stops.
+	if fn.Body == nil {
+		t.Fatal("no body")
+	}
+}
+
+func TestNestedScopeShadowing(t *testing.T) {
+	u := compile(t, `
+int f(int x) {
+	int y;
+	y = x;
+	{ int x; x = 2; y = y + x; }
+	return y + x;
+}
+`)
+	// Two distinct x symbols must exist.
+	count := 0
+	for _, s := range u.Syms {
+		if s.Name == "x" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("x symbols = %d, want 2", count)
+	}
+	fn := u.Funcs[0]
+	if len(fn.Locals) != 2 { // y and inner x
+		t.Fatalf("locals = %d", len(fn.Locals))
+	}
+}
+
+func TestCharAndEscapes(t *testing.T) {
+	u := compile(t, `int f() { return 'A' + '\n'; }`)
+	e := u.Funcs[0].Body.Body[0].Expr
+	if v, ok := constInt(e); !ok || v != 65+10 {
+		t.Fatalf("char fold = %v", e)
+	}
+	// Every escape the lexer documents, in both character and string
+	// literals.
+	for _, c := range []struct {
+		lit  string
+		want int64
+	}{
+		{`'\n'`, '\n'}, {`'\t'`, '\t'}, {`'\r'`, '\r'}, {`'\0'`, 0},
+		{`'\b'`, '\b'}, {`'\f'`, '\f'}, {`'\\'`, '\\'}, {`'\''`, '\''},
+		{`'\"'`, '"'},
+	} {
+		u := compile(t, `int f() { return `+c.lit+`; }`)
+		if v, ok := constInt(u.Funcs[0].Body.Body[0].Expr); !ok || v != c.want {
+			t.Errorf("%s = %d, want %d", c.lit, v, c.want)
+		}
+	}
+	var errs ErrorList
+	lx := NewLexer(`"a\tb\\c\"d\0"`, "esc.c", &errs)
+	tok := lx.Next()
+	if tok.Kind != TString || tok.Text != "a\tb\\c\"d\x00" {
+		t.Fatalf("string escapes: %q (kind %v)", tok.Text, tok.Kind)
+	}
+	if len(errs.Errs) != 0 {
+		t.Fatalf("errors: %v", errs.Errs)
+	}
+	// An unknown escape is reported and passes the raw byte through.
+	errs = ErrorList{}
+	lx = NewLexer(`'\q'`, "esc.c", &errs)
+	tok = lx.Next()
+	if tok.IVal != 'q' || len(errs.Errs) == 0 {
+		t.Fatalf("unknown escape: %d, errs %v", tok.IVal, errs.Errs)
+	}
+}
+
+func TestFunctionPointers(t *testing.T) {
+	compile(t, `
+int add1(int x) { return x + 1; }
+int apply(int (*f)(int), int v) { return f(v); }
+int main() { return apply(&add1, 41); }
+`)
+}
+
+func TestExpressionParserEntry(t *testing.T) {
+	p := NewParser("1 + 2 * 3", "<expr>", testConf)
+	e, err := p.ParseExpression()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := constInt(e); !ok || v != 7 {
+		t.Fatalf("expr = %v", e)
+	}
+}
+
+func TestLookupHook(t *testing.T) {
+	// The expression-server hook: an unknown identifier is supplied by
+	// the debugger instead of failing (§3).
+	p := NewParser("a + 1", "<expr>", testConf)
+	var asked []string
+	p.Lookup = func(name string) *Symbol {
+		asked = append(asked, name)
+		return &Symbol{Name: name, Type: IntType, Kind: SymVar, Storage: Auto}
+	}
+	e, err := p.ParseExpression()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asked) != 1 || asked[0] != "a" {
+		t.Fatalf("lookups = %v", asked)
+	}
+	if e.Op != EAdd || e.L.Op != EIdent {
+		t.Fatalf("tree = %v", e.Op)
+	}
+}
+
+func TestStopVisibilityAtFunctionEntry(t *testing.T) {
+	u := compile(t, fibSrc)
+	fib := u.Funcs[0]
+	// Stop 0 (the opening brace) sees n but not i or j.
+	vis := map[string]bool{}
+	for s := fib.Stops[0].Visible; s != nil; s = s.Uplink {
+		vis[s.Name] = true
+	}
+	if !vis["n"] || !vis["fib"] || vis["i"] || vis["j"] {
+		t.Fatalf("entry visibility: %v", vis)
+	}
+}
+
+func TestCommentHandling(t *testing.T) {
+	compile(t, `
+/* block comment */ int f() {
+	// line comment
+	return 1; /* trailing */
+}
+`)
+}
+
+func TestHexLiterals(t *testing.T) {
+	u := compile(t, `int f() { return 0xff; }`)
+	if v, _ := constInt(u.Funcs[0].Body.Body[0].Expr); v != 255 {
+		t.Fatalf("hex = %d", v)
+	}
+}
+
+func TestUnsignedComparisonType(t *testing.T) {
+	u := compile(t, `int f(unsigned a, int b) { return a < b; }`)
+	cmp := u.Funcs[0].Body.Body[0].Expr
+	if cmp.Op != ELt || cmp.L.Type.Kind != TyUInt || cmp.R.Type.Kind != TyUInt {
+		t.Fatalf("unsigned comparison: %s vs %s", cmp.L.Type, cmp.R.Type)
+	}
+}
+
+func TestSymbolString(t *testing.T) {
+	u := compile(t, `int g; int f(int p) { return p + g; }`)
+	f := u.Funcs[0]
+	if s := f.Sym.String(); s != "procedure f" {
+		t.Errorf("func symbol = %q", s)
+	}
+	var nilSym *Symbol
+	if nilSym.String() != "<nil>" {
+		t.Error("nil symbol string")
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := compile(t, `
+union value { int i; char c; double d; };
+union value v;
+int size() { return sizeof(union value); }
+`)
+	var un *Type
+	for _, s := range u.Globals {
+		if s.Name == "v" {
+			un = s.Type
+		}
+	}
+	if un == nil || un.Kind != TyUnion {
+		t.Fatal("missing union global")
+	}
+	// All members at offset 0; size is the widest member, aligned.
+	for _, f := range un.Fields {
+		if f.Off != 0 {
+			t.Errorf("member %s at offset %d", f.Name, f.Off)
+		}
+	}
+	if got := un.Size(testConf); got != 8 {
+		t.Errorf("union size = %d, want 8", got)
+	}
+	if got := un.Decl("%s"); got != "union value %s" {
+		t.Errorf("decl = %q", got)
+	}
+	// Tag kinds don't mix.
+	compileErr(t, `struct s { int x; }; union s u;`, "different aggregate kind")
+	// Whole-union assignment is rejected like whole-struct.
+	compileErr(t, `union u { int i; }; union u a; union u b; int f() { a = b; return 0; }`, "cannot assign whole union")
+}
+
+func TestEnums(t *testing.T) {
+	u := compile(t, `
+enum color { RED, GREEN = 5, BLUE };
+enum color c;
+int f() { return RED + GREEN + BLUE; }
+int g() { enum { LOCAL = -3 }; return LOCAL; }
+`)
+	if v, ok := constInt(u.Funcs[0].Body.Body[0].Expr); !ok || v != 0+5+6 {
+		t.Fatalf("enum fold = %d, %v", v, ok)
+	}
+	if v, ok := constInt(u.Funcs[1].Body.Body[0].Expr); !ok || v != -3 {
+		t.Fatalf("local enum = %d, %v", v, ok)
+	}
+	// The enum-typed variable is an int to the rest of the system.
+	for _, s := range u.Globals {
+		if s.Name == "c" && s.Type.Kind != TyInt {
+			t.Fatalf("enum variable type = %s", s.Type)
+		}
+	}
+	// Named enum types resolve by tag; unknown tags are errors.
+	compileErr(t, `enum nosuch e;`, "undefined enum")
+	compileErr(t, `enum e { A, A };`, "redeclaration")
+	compileErr(t, `int x; enum e { B = x };`, "constant expression")
+}

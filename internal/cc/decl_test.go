@@ -1,0 +1,274 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseDeclRoundTrip: Decl() output parses back to the same type —
+// the property the expression-server reply format depends on (§3:
+// symbol data travels as sequences of C tokens).
+func TestParseDeclRoundTrip(t *testing.T) {
+	types := []*Type{
+		IntType,
+		CharType,
+		ShortType,
+		UIntType,
+		FloatType,
+		DoubleType,
+		LDoubleType,
+		PtrTo(IntType),
+		PtrTo(PtrTo(CharType)),
+		ArrayOf(IntType, 20),
+		ArrayOf(ArrayOf(IntType, 3), 4),
+		PtrTo(ArrayOf(DoubleType, 8)),
+		ArrayOf(PtrTo(CharType), 5),
+		{Kind: TyFunc, Base: IntType, Params: []*Type{IntType, PtrTo(CharType)}},
+		PtrTo(&Type{Kind: TyFunc, Base: IntType, Params: []*Type{IntType}}),
+	}
+	for _, ty := range types {
+		decl := ty.Decl("x")
+		name, parsed, err := ParseDecl(decl, testConf)
+		if err != nil {
+			t.Errorf("ParseDecl(%q): %v", decl, err)
+			continue
+		}
+		if name != "x" {
+			t.Errorf("ParseDecl(%q) name = %q", decl, name)
+		}
+		if !Same(ty, parsed) {
+			t.Errorf("ParseDecl(%q) = %s, want %s", decl, parsed, ty)
+		}
+	}
+}
+
+func TestParseDeclAnonymousStruct(t *testing.T) {
+	name, ty, err := ParseDecl("struct { int x; int y; } p", testConf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "p" || ty.Kind != TyStruct || len(ty.Fields) != 2 {
+		t.Fatalf("%q %v", name, ty)
+	}
+	if ty.Fields[1].Off != 4 {
+		t.Fatalf("field offsets not laid out: %+v", ty.Fields)
+	}
+}
+
+func TestDeclaratorShapes(t *testing.T) {
+	u := compile(t, `
+int (*fp)(int, char *);
+int (*arr_of_fp[4])(int);
+double (*ptr_to_arr)[6];
+char *argvlike[3];
+`)
+	byName := map[string]*Type{}
+	for _, s := range u.Globals {
+		byName[s.Name] = s.Type
+	}
+	if ty := byName["fp"]; ty.Kind != TyPtr || ty.Base.Kind != TyFunc || len(ty.Base.Params) != 2 {
+		t.Fatalf("fp: %s", ty)
+	}
+	if ty := byName["arr_of_fp"]; ty.Kind != TyArray || ty.Len != 4 || ty.Base.Kind != TyPtr || ty.Base.Base.Kind != TyFunc {
+		t.Fatalf("arr_of_fp: %s", ty)
+	}
+	if ty := byName["ptr_to_arr"]; ty.Kind != TyPtr || ty.Base.Kind != TyArray || ty.Base.Len != 6 {
+		t.Fatalf("ptr_to_arr: %s", ty)
+	}
+	if ty := byName["argvlike"]; ty.Kind != TyArray || ty.Base.Kind != TyPtr || ty.Base.Base.Kind != TyChar {
+		t.Fatalf("argvlike: %s", ty)
+	}
+}
+
+func TestRecursiveStructViaPointer(t *testing.T) {
+	u := compile(t, `
+struct node { int v; struct node *next; };
+struct node head;
+int walk(struct node *p) {
+	int n;
+	n = 0;
+	while (p != 0) { n = n + p->v; p = p->next; }
+	return n;
+}
+`)
+	var node *Type
+	for _, s := range u.Globals {
+		if s.Name == "head" {
+			node = s.Type
+		}
+	}
+	if node == nil || node.Fields[1].Type.Kind != TyPtr {
+		t.Fatal("node shape")
+	}
+	if node.Fields[1].Type.Base != node {
+		t.Fatal("recursive pointer does not close the cycle")
+	}
+	if !strings.Contains(node.Decl("x"), "struct node x") {
+		t.Fatalf("decl: %q", node.Decl("x"))
+	}
+}
+
+func TestSizeofExprAndTypes(t *testing.T) {
+	u := compile(t, `
+struct s { char c; double d; };
+int a = sizeof(int);
+int b = sizeof(struct s);
+int c = sizeof(int [10]);
+struct s gv;
+int d = sizeof gv;
+`)
+	vals := map[string]int64{}
+	for _, s := range u.Globals {
+		if s.Init != nil {
+			if v, ok := constInt(s.Init); ok {
+				vals[s.Name] = v
+			}
+		}
+	}
+	// Doubles align to 4 in this implementation (uniformly on all
+	// targets), so the struct is 12 bytes.
+	if vals["a"] != 4 || vals["b"] != 12 || vals["c"] != 40 || vals["d"] != 12 {
+		t.Fatalf("sizeof values: %v", vals)
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	u := compile(t, `
+int a = 0x10;
+int b = 'A';
+int c = '\n';
+int d = '\\';
+int e = '\'';
+double f = 1e2;
+double g = 2.5e-1;
+`)
+	vals := map[string]*Expr{}
+	for _, s := range u.Globals {
+		vals[s.Name] = s.Init
+	}
+	if vals["a"].IVal != 16 || vals["b"].IVal != 65 || vals["c"].IVal != 10 ||
+		vals["d"].IVal != 92 || vals["e"].IVal != 39 {
+		t.Fatalf("literals: %v", vals)
+	}
+	if vals["f"].FVal != 100 || vals["g"].FVal != 0.25 {
+		t.Fatalf("floats: %v %v", vals["f"].FVal, vals["g"].FVal)
+	}
+}
+
+// TestDeclRoundTripProperty: for random bounded types, the C
+// declaration the symbol table carries (Type.Decl) parses back to a
+// structurally identical type — the invariant under the expression
+// server's "sym ... ; <decl>" replies.
+func TestDeclRoundTripProperty(t *testing.T) {
+	var build func(seed int64, depth int) *Type
+	build = func(seed int64, depth int) *Type {
+		scalars := []*Type{CharType, ShortType, IntType, UIntType, FloatType, DoubleType, PtrTo(CharType)}
+		if seed < 0 {
+			seed = -seed
+		}
+		if depth <= 0 {
+			return scalars[seed%int64(len(scalars))]
+		}
+		switch seed % 4 {
+		case 0:
+			return scalars[(seed/4)%int64(len(scalars))]
+		case 1:
+			return PtrTo(build(seed/4, depth-1))
+		case 2:
+			return ArrayOf(build(seed/4, depth-1), int(seed/4%9)+1)
+		default:
+			n := int(seed / 4 % 3)
+			ft := &Type{Kind: TyFunc, Base: build(seed/4, depth-1)}
+			for i := 0; i < n; i++ {
+				ft.Params = append(ft.Params, build(seed/16+int64(i), depth-1))
+			}
+			return ft
+		}
+	}
+	var structEq func(a, b *Type) bool
+	structEq = func(a, b *Type) bool {
+		if a.Kind != b.Kind || a.Len != b.Len || len(a.Params) != len(b.Params) {
+			return false
+		}
+		if a.Base != nil || b.Base != nil {
+			if a.Base == nil || b.Base == nil || !structEq(a.Base, b.Base) {
+				return false
+			}
+		}
+		for i := range a.Params {
+			if !structEq(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		ty := build(seed, 4)
+		// Arrays of functions and functions returning arrays/functions
+		// are not valid C; the generator can produce them, so skip.
+		var valid func(t *Type) bool
+		valid = func(t *Type) bool {
+			switch t.Kind {
+			case TyArray:
+				if t.Base.Kind == TyFunc {
+					return false
+				}
+				return valid(t.Base)
+			case TyFunc:
+				if t.Base.Kind == TyFunc || t.Base.Kind == TyArray {
+					return false
+				}
+				if !valid(t.Base) {
+					return false
+				}
+				for _, p := range t.Params {
+					// A parameter of function type is not valid C (it
+					// must be written as a pointer to function).
+					if p.Kind == TyFunc || !valid(p) {
+						return false
+					}
+				}
+				return true
+			case TyPtr:
+				return valid(t.Base)
+			}
+			return true
+		}
+		if !valid(ty) {
+			return true
+		}
+		// C adjusts array parameters to pointers; the parser applies
+		// that, so compare against the adjusted type.
+		var adjust func(t *Type, inParam bool) *Type
+		adjust = func(t *Type, inParam bool) *Type {
+			if t == nil {
+				return nil
+			}
+			if inParam && t.Kind == TyArray {
+				return PtrTo(adjust(t.Base, false))
+			}
+			cp := *t
+			cp.Base = adjust(t.Base, false)
+			cp.Params = nil
+			for _, p := range t.Params {
+				cp.Params = append(cp.Params, adjust(p, true))
+			}
+			return &cp
+		}
+		decl := ty.Decl("x")
+		name, back, err := ParseDecl(decl, testConf)
+		if err != nil || name != "x" {
+			t.Logf("decl %q: %v", decl, err)
+			return false
+		}
+		if !structEq(adjust(ty, false), back) {
+			t.Logf("decl %q parsed to %q", decl, back.Decl("x"))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

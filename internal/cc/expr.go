@@ -1,0 +1,649 @@
+package cc
+
+// Expression parsing and typechecking. The subset follows K&R practice
+// where it simplifies the back ends: float arithmetic is computed in
+// double, structs are manipulated through members (no struct
+// assignment, parameters, or returns), and calling an undeclared
+// function implicitly declares it as returning int with unchecked
+// arguments.
+
+func intConst(v int64, pos Pos) *Expr {
+	return &Expr{Op: EConst, Type: IntType, IVal: v, Pos: pos}
+}
+
+// constInt evaluates a constant integer expression tree.
+func constInt(e *Expr) (int64, bool) {
+	if e == nil {
+		return 0, false
+	}
+	switch e.Op {
+	case EConst:
+		return e.IVal, true
+	case ENeg:
+		v, ok := constInt(e.L)
+		return -v, ok
+	case EBitNot:
+		v, ok := constInt(e.L)
+		return ^v, ok
+	case ECast:
+		if e.Type.IsInteger() {
+			return constInt(e.L)
+		}
+	case EAdd, ESub, EMul, EDiv, ERem, EAnd, EOr, EXor, EShl, EShr:
+		a, ok1 := constInt(e.L)
+		b, ok2 := constInt(e.R)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch e.Op {
+		case EAdd:
+			return a + b, true
+		case ESub:
+			return a - b, true
+		case EMul:
+			return a * b, true
+		case EDiv:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case ERem:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case EAnd:
+			return a & b, true
+		case EOr:
+			return a | b, true
+		case EXor:
+			return a ^ b, true
+		case EShl:
+			return a << (uint(b) & 31), true
+		case EShr:
+			return a >> (uint(b) & 31), true
+		}
+	}
+	return 0, false
+}
+
+// decay converts arrays to pointers to their first element.
+func (p *Parser) decay(e *Expr) *Expr {
+	if e.Type != nil && e.Type.Kind == TyArray {
+		return &Expr{Op: EAddr, Type: PtrTo(e.Type.Base), L: e, Pos: e.Pos}
+	}
+	return e
+}
+
+// cast wraps e in a conversion to t unless it already has that type.
+func (p *Parser) cast(e *Expr, t *Type) *Expr {
+	if Same(e.Type, t) {
+		return e
+	}
+	// Fold constant conversions.
+	if e.Op == EConst && t.IsInteger() {
+		v := e.IVal
+		switch t.Kind {
+		case TyChar:
+			v = int64(int8(v))
+		case TyShort:
+			v = int64(int16(v))
+		case TyUInt:
+			v = int64(uint32(v))
+		default:
+			v = int64(int32(v))
+		}
+		return &Expr{Op: EConst, Type: t, IVal: v, Pos: e.Pos}
+	}
+	if e.Op == EConst && t.IsFloat() {
+		return &Expr{Op: EFConst, Type: t, FVal: float64(e.IVal), Pos: e.Pos}
+	}
+	return &Expr{Op: ECast, Type: t, L: e, Pos: e.Pos}
+}
+
+// promote applies the default promotions: char/short → int, float →
+// double.
+func (p *Parser) promote(e *Expr) *Expr {
+	switch e.Type.Kind {
+	case TyChar, TyShort:
+		return p.cast(e, IntType)
+	case TyFloat:
+		return p.cast(e, DoubleType)
+	}
+	return e
+}
+
+// usual applies the usual arithmetic conversions to both operands.
+func (p *Parser) usual(a, b *Expr) (*Expr, *Expr, *Type) {
+	a, b = p.promote(a), p.promote(b)
+	var t *Type
+	switch {
+	case a.Type.Kind == TyLDouble || b.Type.Kind == TyLDouble:
+		t = LDoubleType
+	case a.Type.IsFloat() || b.Type.IsFloat():
+		t = DoubleType
+	case a.Type.Kind == TyUInt || b.Type.Kind == TyUInt:
+		t = UIntType
+	default:
+		t = IntType
+	}
+	return p.cast(a, t), p.cast(b, t), t
+}
+
+// assignConvert converts e for assignment to type t.
+func (p *Parser) assignConvert(e *Expr, t *Type, what string) *Expr {
+	if e == nil || t == nil {
+		return e
+	}
+	e = p.decay(e)
+	switch {
+	case t.IsArith() && e.Type.IsArith():
+		return p.cast(e, t)
+	case t.Kind == TyPtr && e.Type.Kind == TyPtr:
+		if !Same(t.Base, e.Type.Base) && t.Base.Kind != TyVoid && e.Type.Base.Kind != TyVoid {
+			p.errs.Add(e.Pos, "incompatible pointer types in %s", what)
+		}
+		return p.cast(e, t)
+	case t.Kind == TyPtr && e.Op == EConst && e.IVal == 0:
+		return p.cast(e, t)
+	case t.Kind == TyVoid:
+		return e
+	case Same(t, e.Type):
+		return e
+	}
+	p.errs.Add(e.Pos, "type mismatch in %s: cannot convert %s to %s", what, e.Type, t)
+	return e
+}
+
+// scalarExpr parses an expression and requires a scalar result.
+func (p *Parser) scalarExpr() *Expr {
+	e := p.decay(p.expr())
+	if e.Type != nil && !e.Type.IsScalar() {
+		p.errs.Add(e.Pos, "scalar required, found %s", e.Type)
+	}
+	return e
+}
+
+// expr parses a full expression, including the comma operator.
+func (p *Parser) expr() *Expr {
+	e := p.assignExpr()
+	for p.tok.Kind == Tok(',') {
+		pos := p.tok.Pos
+		p.next()
+		r := p.assignExpr()
+		e = &Expr{Op: EComma, Type: r.Type, L: e, R: r, Pos: pos}
+	}
+	return e
+}
+
+var compoundOps = map[Tok]ExprOp{
+	TAddEq: EAdd, TSubEq: ESub, TMulEq: EMul, TDivEq: EDiv, TRemEq: ERem,
+	TAndEq: EAnd, TOrEq: EOr, TXorEq: EXor, TShlEq: EShl, TShrEq: EShr,
+}
+
+func (p *Parser) assignExpr() *Expr {
+	lhs := p.condExpr()
+	if p.tok.Kind == Tok('=') {
+		pos := p.tok.Pos
+		p.next()
+		rhs := p.assignExpr()
+		return p.assign(lhs, rhs, pos)
+	}
+	if op, ok := compoundOps[p.tok.Kind]; ok {
+		pos := p.tok.Pos
+		// a op= b desugars to a = a op b; the lvalue is evaluated
+		// twice, so side effects in it are rejected.
+		if hasSideEffects(lhs) {
+			p.errs.Add(pos, "compound assignment to an lvalue with side effects")
+		}
+		p.next()
+		rhs := p.assignExpr()
+		return p.assign(lhs, p.mkBin(op, lhs, rhs, pos), pos)
+	}
+	return lhs
+}
+
+// hasSideEffects conservatively detects calls, assignments, and
+// increments inside an expression.
+func hasSideEffects(e *Expr) bool {
+	if e == nil {
+		return false
+	}
+	switch e.Op {
+	case ECall, EAssign, EPostInc, EPostDec, EPreInc, EPreDec, EComma:
+		return true
+	}
+	if hasSideEffects(e.L) || hasSideEffects(e.R) {
+		return true
+	}
+	for _, a := range e.Args {
+		if hasSideEffects(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Parser) assign(lhs, rhs *Expr, pos Pos) *Expr {
+	if !lhs.IsLValue() {
+		p.errs.Add(pos, "assignment to a non-lvalue")
+	}
+	if lhs.Type.Kind == TyArray || lhs.Type.Kind == TyStruct || lhs.Type.Kind == TyUnion {
+		p.errs.Add(pos, "cannot assign whole %ss", map[TypeKind]string{TyArray: "array", TyStruct: "struct", TyUnion: "union"}[lhs.Type.Kind])
+	}
+	rhs = p.assignConvert(rhs, lhs.Type, "assignment")
+	return &Expr{Op: EAssign, Type: lhs.Type, L: lhs, R: rhs, Pos: pos}
+}
+
+func (p *Parser) condExpr() *Expr {
+	c := p.logOrExpr()
+	if p.tok.Kind != Tok('?') {
+		return c
+	}
+	pos := p.tok.Pos
+	p.next()
+	c = p.decay(c)
+	a := p.decay(p.expr())
+	p.expect(Tok(':'), "':'")
+	b := p.decay(p.condExpr())
+	var t *Type
+	switch {
+	case a.Type.IsArith() && b.Type.IsArith():
+		a, b, t = p.usual(a, b)
+	case Same(a.Type, b.Type):
+		t = a.Type
+	case a.Type.Kind == TyPtr && b.Op == EConst && b.IVal == 0:
+		t = a.Type
+		b = p.cast(b, t)
+	case b.Type.Kind == TyPtr && a.Op == EConst && a.IVal == 0:
+		t = b.Type
+		a = p.cast(a, t)
+	default:
+		p.errs.Add(pos, "mismatched branches of ?: (%s vs %s)", a.Type, b.Type)
+		t = a.Type
+	}
+	return &Expr{Op: ECond, Type: t, L: c, Args: []*Expr{a, b}, Pos: pos}
+}
+
+// binExpr climbs the binary-operator precedence levels.
+func (p *Parser) binExpr(prec int) *Expr {
+	levels := [][]struct {
+		tok Tok
+		op  ExprOp
+	}{
+		{{TOrOr, ELogOr}},
+		{{TAndAnd, ELogAnd}},
+		{{Tok('|'), EOr}},
+		{{Tok('^'), EXor}},
+		{{Tok('&'), EAnd}},
+		{{TEq, EEq}, {TNe, ENe}},
+		{{Tok('<'), ELt}, {Tok('>'), EGt}, {TLe, ELe}, {TGe, EGe}},
+		{{TShl, EShl}, {TShr, EShr}},
+		{{Tok('+'), EAdd}, {Tok('-'), ESub}},
+		{{Tok('*'), EMul}, {Tok('/'), EDiv}, {Tok('%'), ERem}},
+	}
+	if prec >= len(levels) {
+		return p.unaryExpr()
+	}
+	lhs := p.binExpr(prec + 1)
+	for {
+		matched := false
+		for _, cand := range levels[prec] {
+			if p.tok.Kind == cand.tok {
+				pos := p.tok.Pos
+				p.next()
+				rhs := p.binExpr(prec + 1)
+				lhs = p.mkBin(cand.op, lhs, rhs, pos)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs
+		}
+	}
+}
+
+func (p *Parser) logOrExpr() *Expr { return p.binExpr(0) }
+
+func (p *Parser) mkBin(op ExprOp, a, b *Expr, pos Pos) *Expr {
+	a, b = p.decay(a), p.decay(b)
+	switch op {
+	case ELogAnd, ELogOr:
+		if !a.Type.IsScalar() || !b.Type.IsScalar() {
+			p.errs.Add(pos, "scalar operands required for %v", op)
+		}
+		return &Expr{Op: op, Type: IntType, L: a, R: b, Pos: pos}
+	case EEq, ENe, ELt, ELe, EGt, EGe:
+		if a.Type.Kind == TyPtr || b.Type.Kind == TyPtr {
+			// pointer comparison (including against the constant 0)
+			if a.Type.Kind != TyPtr {
+				a = p.cast(a, b.Type)
+			}
+			if b.Type.Kind != TyPtr {
+				b = p.cast(b, a.Type)
+			}
+			return &Expr{Op: op, Type: IntType, L: a, R: b, Pos: pos}
+		}
+		if !a.Type.IsArith() || !b.Type.IsArith() {
+			p.errs.Add(pos, "invalid comparison of %s and %s", a.Type, b.Type)
+			return &Expr{Op: op, Type: IntType, L: a, R: b, Pos: pos}
+		}
+		a, b, _ = p.usual(a, b)
+		return &Expr{Op: op, Type: IntType, L: a, R: b, Pos: pos}
+	case EAdd, ESub:
+		if a.Type.Kind == TyPtr && b.Type.IsInteger() {
+			return &Expr{Op: op, Type: a.Type, L: a, R: p.promote(b), Pos: pos}
+		}
+		if op == EAdd && a.Type.IsInteger() && b.Type.Kind == TyPtr {
+			return &Expr{Op: op, Type: b.Type, L: b, R: p.promote(a), Pos: pos}
+		}
+		if op == ESub && a.Type.Kind == TyPtr && b.Type.Kind == TyPtr {
+			if !Same(a.Type.Base, b.Type.Base) {
+				p.errs.Add(pos, "subtraction of incompatible pointers")
+			}
+			return &Expr{Op: ESub, Type: IntType, L: a, R: b, Pos: pos}
+		}
+		fallthrough
+	case EMul, EDiv:
+		if !a.Type.IsArith() || !b.Type.IsArith() {
+			p.errs.Add(pos, "arithmetic operands required for %v", op)
+			return &Expr{Op: op, Type: IntType, L: a, R: b, Pos: pos}
+		}
+		var t *Type
+		a, b, t = p.usual(a, b)
+		e := &Expr{Op: op, Type: t, L: a, R: b, Pos: pos}
+		if v, ok := constInt(e); ok && t.IsInteger() {
+			return &Expr{Op: EConst, Type: t, IVal: v, Pos: pos}
+		}
+		return e
+	case ERem, EAnd, EOr, EXor, EShl, EShr:
+		if !a.Type.IsInteger() || !b.Type.IsInteger() {
+			p.errs.Add(pos, "integer operands required for %v", op)
+			return &Expr{Op: op, Type: IntType, L: a, R: b, Pos: pos}
+		}
+		var t *Type
+		a, b, t = p.usual(a, b)
+		if op == EShl || op == EShr {
+			t = a.Type
+		}
+		e := &Expr{Op: op, Type: t, L: a, R: b, Pos: pos}
+		if v, ok := constInt(e); ok {
+			return &Expr{Op: EConst, Type: t, IVal: v, Pos: pos}
+		}
+		return e
+	}
+	p.errs.Add(pos, "unexpected operator %v", op)
+	return a
+}
+
+func (p *Parser) unaryExpr() *Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case Tok('-'):
+		p.next()
+		e := p.promote(p.decay(p.unaryExpr()))
+		if !e.Type.IsArith() {
+			p.errs.Add(pos, "arithmetic operand required for unary minus")
+		}
+		if e.Op == EConst {
+			return &Expr{Op: EConst, Type: e.Type, IVal: -e.IVal, Pos: pos}
+		}
+		if e.Op == EFConst {
+			return &Expr{Op: EFConst, Type: e.Type, FVal: -e.FVal, Pos: pos}
+		}
+		return &Expr{Op: ENeg, Type: e.Type, L: e, Pos: pos}
+	case Tok('+'):
+		p.next()
+		return p.promote(p.decay(p.unaryExpr()))
+	case Tok('!'):
+		p.next()
+		e := p.decay(p.unaryExpr())
+		return &Expr{Op: ELogNot, Type: IntType, L: e, Pos: pos}
+	case Tok('~'):
+		p.next()
+		e := p.promote(p.decay(p.unaryExpr()))
+		if !e.Type.IsInteger() {
+			p.errs.Add(pos, "integer operand required for ~")
+		}
+		if v, ok := constInt(&Expr{Op: EBitNot, L: e}); ok {
+			return &Expr{Op: EConst, Type: e.Type, IVal: v, Pos: pos}
+		}
+		return &Expr{Op: EBitNot, Type: e.Type, L: e, Pos: pos}
+	case Tok('*'):
+		p.next()
+		e := p.decay(p.unaryExpr())
+		if e.Type.Kind != TyPtr {
+			p.errs.Add(pos, "cannot dereference %s", e.Type)
+			return e
+		}
+		return &Expr{Op: EDeref, Type: e.Type.Base, L: e, Pos: pos}
+	case Tok('&'):
+		p.next()
+		e := p.unaryExpr()
+		if e.Op == EIdent && e.Sym != nil && e.Sym.Kind == SymFunc {
+			return &Expr{Op: EAddr, Type: PtrTo(e.Type), L: e, Pos: pos}
+		}
+		if !e.IsLValue() {
+			p.errs.Add(pos, "cannot take the address of a non-lvalue")
+		}
+		return &Expr{Op: EAddr, Type: PtrTo(e.Type), L: e, Pos: pos}
+	case TInc, TDec:
+		op := EPreInc
+		if p.tok.Kind == TDec {
+			op = EPreDec
+		}
+		p.next()
+		e := p.unaryExpr()
+		return p.incdec(op, e, pos)
+	case TSizeof:
+		p.next()
+		if p.tok.Kind == Tok('(') && p.peekIsType() {
+			p.next()
+			base, _ := p.baseType()
+			_, t := p.declarator(base)
+			p.expect(Tok(')'), "')'")
+			return intConst(int64(t.Size(p.tc)), pos)
+		}
+		e := p.unaryExpr()
+		return intConst(int64(e.Type.Size(p.tc)), pos)
+	case Tok('('):
+		if p.peekIsType() {
+			p.next()
+			base, _ := p.baseType()
+			_, t := p.declarator(base)
+			p.expect(Tok(')'), "')'")
+			e := p.decay(p.unaryExpr())
+			if !t.IsScalar() && t.Kind != TyVoid {
+				p.errs.Add(pos, "invalid cast to %s", t)
+			}
+			return p.cast(e, t)
+		}
+	}
+	return p.postfixExpr()
+}
+
+// peekIsType reports whether '(' is followed by a type name. The lexer
+// has one-token lookahead only, so peek into the raw source.
+func (p *Parser) peekIsType() bool {
+	if p.tok.Kind != Tok('(') {
+		return false
+	}
+	save := *p.lex
+	saveTok := p.tok
+	p.next()
+	isType := p.isTypeStart()
+	*p.lex = save
+	p.tok = saveTok
+	return isType
+}
+
+func (p *Parser) incdec(op ExprOp, e *Expr, pos Pos) *Expr {
+	if !e.IsLValue() || !e.Type.IsScalar() {
+		p.errs.Add(pos, "++/-- requires a scalar lvalue")
+	}
+	return &Expr{Op: op, Type: e.Type, L: e, Pos: pos}
+}
+
+func (p *Parser) postfixExpr() *Expr {
+	e := p.primaryExpr()
+	for {
+		pos := p.tok.Pos
+		switch p.tok.Kind {
+		case Tok('['):
+			p.next()
+			idx := p.expr()
+			p.expect(Tok(']'), "']'")
+			base := p.decay(e)
+			if base.Type.Kind != TyPtr {
+				p.errs.Add(pos, "subscripted value is not an array or pointer")
+				return e
+			}
+			sum := p.mkBin(EAdd, base, idx, pos)
+			e = &Expr{Op: EDeref, Type: base.Type.Base, L: sum, Pos: pos}
+		case Tok('('):
+			p.next()
+			e = p.call(e, pos)
+		case Tok('.'):
+			p.next()
+			name := p.expect(TIdent, "member name").Text
+			if e.Type.Kind != TyStruct && e.Type.Kind != TyUnion {
+				p.errs.Add(pos, ". applied to non-struct %s", e.Type)
+				return e
+			}
+			f, ok := e.Type.FieldByName(name)
+			if !ok {
+				p.errs.Add(pos, "no member %q in %s", name, e.Type)
+				return e
+			}
+			e = &Expr{Op: EMember, Type: f.Type, L: e, Field: f, Pos: pos}
+		case TArrow:
+			p.next()
+			name := p.expect(TIdent, "member name").Text
+			base := p.decay(e)
+			if base.Type.Kind != TyPtr || (base.Type.Base.Kind != TyStruct && base.Type.Base.Kind != TyUnion) {
+				p.errs.Add(pos, "-> applied to non-struct-pointer %s", e.Type)
+				return e
+			}
+			st := base.Type.Base
+			f, ok := st.FieldByName(name)
+			if !ok {
+				p.errs.Add(pos, "no member %q in struct %s", name, st.Tag)
+				return e
+			}
+			deref := &Expr{Op: EDeref, Type: st, L: base, Pos: pos}
+			e = &Expr{Op: EMember, Type: f.Type, L: deref, Field: f, Pos: pos}
+		case TInc:
+			p.next()
+			e = p.incdec(EPostInc, e, pos)
+		case TDec:
+			p.next()
+			e = p.incdec(EPostDec, e, pos)
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) call(callee *Expr, pos Pos) *Expr {
+	var ft *Type
+	switch {
+	case callee.Type.Kind == TyFunc:
+		ft = callee.Type
+	case callee.Type.Kind == TyPtr && callee.Type.Base.Kind == TyFunc:
+		ft = callee.Type.Base
+	default:
+		p.errs.Add(pos, "called object is not a function")
+		ft = &Type{Kind: TyFunc, Base: IntType}
+	}
+	var args []*Expr
+	for p.tok.Kind != Tok(')') && p.tok.Kind != TEOF {
+		args = append(args, p.assignExpr())
+		if !p.accept(Tok(',')) {
+			break
+		}
+	}
+	p.expect(Tok(')'), "')'")
+	if ft.Params != nil {
+		if len(args) != len(ft.Params) {
+			p.errs.Add(pos, "wrong number of arguments: %d given, %d expected", len(args), len(ft.Params))
+		}
+		for i := range args {
+			if i < len(ft.Params) {
+				args[i] = p.assignConvert(args[i], ft.Params[i], "argument")
+			}
+		}
+	} else {
+		// Unchecked (printf-style): default promotions only.
+		for i := range args {
+			args[i] = p.promote(p.decay(args[i]))
+		}
+	}
+	if ft.Base.Kind == TyStruct || ft.Base.Kind == TyUnion {
+		p.errs.Add(pos, "aggregate returns are not supported")
+	}
+	return &Expr{Op: ECall, Type: ft.Base, L: callee, Args: args, Pos: pos}
+}
+
+func (p *Parser) primaryExpr() *Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TNumber, TChar:
+		v := p.tok.IVal
+		p.next()
+		return intConst(v, pos)
+	case TFNumber:
+		v := p.tok.FVal
+		p.next()
+		return &Expr{Op: EFConst, Type: DoubleType, FVal: v, Pos: pos}
+	case TString:
+		idx := len(p.unit.Strings)
+		p.unit.Strings = append(p.unit.Strings, p.tok.Text)
+		n := len(p.tok.Text)
+		p.next()
+		return &Expr{Op: EString, Type: ArrayOf(CharType, n+1), IVal: int64(idx), SVal: p.unit.Strings[idx], Pos: pos}
+	case TIdent:
+		name := p.tok.Text
+		p.next()
+		sym := p.resolve(name)
+		if sym == nil {
+			if p.tok.Kind == Tok('(') {
+				// implicit function declaration: extern int name()
+				sym = &Symbol{
+					Name: name, Kind: SymFunc, Storage: Extern,
+					Type: &Type{Kind: TyFunc, Base: IntType}, Pos: pos,
+					Label: "_" + name,
+				}
+				p.scopes[0][name] = sym
+				sym.Uplink = nil
+				sym.Seq = len(p.unit.Syms) + 1
+				p.unit.Syms = append(p.unit.Syms, sym)
+			} else {
+				p.errs.Add(pos, "undeclared identifier %q", name)
+				return intConst(0, pos)
+			}
+		}
+		if sym.Kind == SymEnumConst {
+			return intConst(sym.Init.IVal, pos)
+		}
+		return &Expr{Op: EIdent, Type: sym.Type, Sym: sym, Pos: pos}
+	case Tok('('):
+		p.next()
+		e := p.expr()
+		p.expect(Tok(')'), "')'")
+		return e
+	}
+	p.errf("unexpected token %q in expression", p.tok.Text)
+	p.next()
+	return intConst(0, pos)
+}
+
+// ParseExpression parses a single expression followed by EOF — the
+// expression server's entry point.
+func (p *Parser) ParseExpression() (*Expr, error) {
+	e := p.expr()
+	if p.tok.Kind != TEOF && p.tok.Kind != Tok(';') {
+		p.errf("trailing tokens after expression")
+	}
+	return e, p.errs.Err()
+}

@@ -1,0 +1,80 @@
+package cc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParserSurvivesGarbage feeds the parser random token soup and
+// mutated programs: it must terminate with a normal error, never panic
+// or hang.
+func TestParserSurvivesGarbage(t *testing.T) {
+	tokens := []string{
+		"int", "char", "double", "struct", "union", "enum", "static", "if", "else",
+		"while", "for", "do", "switch", "case", "default", "return", "goto",
+		"break", "continue", "sizeof", "x", "y", "main", "42", "1.5",
+		"'c'", `"str"`, "(", ")", "{", "}", "[", "]", ";", ",", "+",
+		"-", "*", "/", "%", "=", "==", "<", ">", "<<", ">>", "&", "|",
+		"^", "!", "~", "?", ":", "&&", "||", "++", "--", "->", ".",
+		"+=", "<<=", "0x1f",
+	}
+	r := rand.New(rand.NewSource(7))
+	runOne := func(src string) {
+		t.Helper()
+		done := make(chan struct{})
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("panic on %q: %v", src, p)
+				}
+				close(done)
+			}()
+			_, _ = Compile(src, "fuzz.c", testConf)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("parser hung on %q", src)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		n := r.Intn(40)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteString(tokens[r.Intn(len(tokens))])
+			b.WriteByte(' ')
+		}
+		runOne(b.String())
+	}
+	// Mutations of a real program: deletions and swaps.
+	base := strings.Fields(fibSrc)
+	for i := 0; i < 200; i++ {
+		mut := append([]string(nil), base...)
+		switch r.Intn(3) {
+		case 0:
+			if len(mut) > 1 {
+				k := r.Intn(len(mut))
+				mut = append(mut[:k], mut[k+1:]...)
+			}
+		case 1:
+			a, b := r.Intn(len(mut)), r.Intn(len(mut))
+			mut[a], mut[b] = mut[b], mut[a]
+		default:
+			k := r.Intn(len(mut))
+			mut[k] = tokens[r.Intn(len(tokens))]
+		}
+		runOne(strings.Join(mut, " "))
+	}
+	// Pathological raw inputs.
+	for _, src := range []string{
+		"", "((((((((((", "}}}}}}}}", `"unterminated`,
+		"/* unterminated", "int a[", "struct {",
+		strings.Repeat("{", 200), strings.Repeat("(", 200),
+		"int " + strings.Repeat("*", 500) + "p;",
+		"'", "\\", "int x = 'a",
+	} {
+		runOne(src)
+	}
+}

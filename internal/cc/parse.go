@@ -1,0 +1,862 @@
+package cc
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// Parser is the one-pass parser/typechecker.
+type Parser struct {
+	lex   *Lexer
+	tok   Token
+	ahead *Token // one-token lookahead (label-colon disambiguation)
+	errs  *ErrorList
+	tc    *TargetConf
+	unit  *Unit
+
+	scopes  []map[string]*Symbol
+	tags    []map[string]*Type
+	lastSym *Symbol // head of the uplink chain
+	curFn   *Func
+	loop    int
+
+	// Lookup, when set, is consulted for identifiers not found in any
+	// scope — the expression-server hook (§3): instead of failing, the
+	// symbol-table code asks the debugger and reconstructs the entry.
+	Lookup func(name string) *Symbol
+}
+
+// NewParser returns a parser over src.
+func NewParser(src, file string, tc *TargetConf) *Parser {
+	errs := &ErrorList{}
+	p := &Parser{
+		lex:    NewLexer(src, file, errs),
+		errs:   errs,
+		tc:     tc,
+		unit:   &Unit{File: file, Target: tc},
+		scopes: []map[string]*Symbol{{}},
+		tags:   []map[string]*Type{{}},
+	}
+	p.next()
+	return p
+}
+
+// Compile parses and typechecks one translation unit.
+func Compile(src, file string, tc *TargetConf) (*Unit, error) {
+	p := NewParser(src, file, tc)
+	return p.ParseUnit()
+}
+
+func (p *Parser) next() {
+	if p.ahead != nil {
+		p.tok, p.ahead = *p.ahead, nil
+		return
+	}
+	p.tok = p.lex.Next()
+}
+
+// peekNext returns the token after the current one without consuming.
+func (p *Parser) peekNext() Token {
+	if p.ahead == nil {
+		t := p.lex.Next()
+		p.ahead = &t
+	}
+	return *p.ahead
+}
+
+func (p *Parser) errf(format string, args ...any) {
+	p.errs.Add(p.tok.Pos, format, args...)
+}
+
+func (p *Parser) expect(k Tok, what string) Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errf("expected %s, found %q", what, t.Text)
+		// best-effort recovery: skip one token unless at EOF
+		if p.tok.Kind != TEOF {
+			p.next()
+		}
+		return t
+	}
+	p.next()
+	return t
+}
+
+func (p *Parser) accept(k Tok) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// --- scopes and symbols ---
+
+func (p *Parser) pushScope() {
+	p.scopes = append(p.scopes, map[string]*Symbol{})
+	p.tags = append(p.tags, map[string]*Type{})
+}
+
+func (p *Parser) popScope(saved *Symbol) {
+	p.scopes = p.scopes[:len(p.scopes)-1]
+	p.tags = p.tags[:len(p.tags)-1]
+	p.lastSym = saved
+}
+
+func (p *Parser) declare(sym *Symbol) *Symbol {
+	top := p.scopes[len(p.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		p.errs.Add(sym.Pos, "redeclaration of %s", sym.Name)
+	}
+	top[sym.Name] = sym
+	sym.Uplink = p.lastSym
+	p.lastSym = sym
+	sym.Seq = len(p.unit.Syms) + 1
+	p.unit.Syms = append(p.unit.Syms, sym)
+	return sym
+}
+
+func (p *Parser) resolve(name string) *Symbol {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if s, ok := p.scopes[i][name]; ok {
+			return s
+		}
+	}
+	if p.Lookup != nil {
+		if s := p.Lookup(name); s != nil {
+			// Cache the reconstructed entry at file scope; the server
+			// discards new entries after each expression by discarding
+			// the parser.
+			p.scopes[0][name] = s
+			return s
+		}
+	}
+	return nil
+}
+
+func (p *Parser) resolveTag(name string) *Type {
+	for i := len(p.tags) - 1; i >= 0; i-- {
+		if t, ok := p.tags[i][name]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+func (p *Parser) anchorWord() int {
+	w := p.unit.AnchorWords
+	p.unit.AnchorWords++
+	return w
+}
+
+// --- declarations ---
+
+// isTypeStart reports whether the current token begins a declaration.
+func (p *Parser) isTypeStart() bool {
+	switch p.tok.Kind {
+	case TVoid, TCharKw, TShort, TInt, TLong, TUnsigned, TFloat, TDouble, TStruct, TUnion, TEnum, TStatic, TExtern:
+		return true
+	}
+	return false
+}
+
+// baseType parses storage class and type specifiers.
+func (p *Parser) baseType() (*Type, Storage) {
+	storage := Auto
+	if len(p.scopes) == 1 {
+		storage = Extern
+	}
+	for {
+		switch p.tok.Kind {
+		case TStatic:
+			storage = Static
+			p.next()
+			continue
+		case TExtern:
+			storage = Extern
+			p.next()
+			continue
+		}
+		break
+	}
+	switch p.tok.Kind {
+	case TVoid:
+		p.next()
+		return VoidType, storage
+	case TCharKw:
+		p.next()
+		return CharType, storage
+	case TShort:
+		p.next()
+		p.accept(TInt)
+		return ShortType, storage
+	case TInt:
+		p.next()
+		return IntType, storage
+	case TUnsigned:
+		p.next()
+		p.accept(TInt)
+		return UIntType, storage
+	case TFloat:
+		p.next()
+		return FloatType, storage
+	case TLong:
+		p.next()
+		if p.accept(TDouble) {
+			return LDoubleType, storage
+		}
+		p.accept(TInt)
+		return IntType, storage
+	case TDouble:
+		p.next()
+		return DoubleType, storage
+	case TStruct:
+		p.next()
+		return p.structType(TyStruct), storage
+	case TUnion:
+		p.next()
+		return p.structType(TyUnion), storage
+	case TEnum:
+		p.next()
+		return p.enumType(), storage
+	}
+	p.errf("expected type, found %q", p.tok.Text)
+	p.next()
+	return IntType, storage
+}
+
+func (p *Parser) structType(kind TypeKind) *Type {
+	tag := ""
+	if p.tok.Kind == TIdent {
+		tag = p.tok.Text
+		p.next()
+	}
+	if p.tok.Kind != Tok('{') {
+		if tag == "" {
+			p.errf("anonymous struct requires a body")
+			return &Type{Kind: kind}
+		}
+		if t := p.resolveTag(tag); t != nil {
+			if t.Kind != kind {
+				p.errf("tag %s is a different aggregate kind", tag)
+			}
+			return t
+		}
+		// forward reference; usable only through pointers
+		t := &Type{Kind: kind, Tag: tag}
+		p.tags[len(p.tags)-1][tag] = t
+		return t
+	}
+	p.next() // {
+	t := p.resolveTag(tag)
+	if t == nil || t.Kind != kind || len(t.Fields) > 0 {
+		t = &Type{Kind: kind, Tag: tag}
+	}
+	if tag != "" {
+		p.tags[len(p.tags)-1][tag] = t
+	}
+	for p.tok.Kind != Tok('}') && p.tok.Kind != TEOF {
+		base, _ := p.baseType()
+		for {
+			name, ft := p.declarator(base)
+			if name == "" {
+				p.errf("aggregate member needs a name")
+			}
+			t.Fields = append(t.Fields, Field{Name: name, Type: ft})
+			if !p.accept(Tok(',')) {
+				break
+			}
+		}
+		p.expect(Tok(';'), "';'")
+	}
+	p.expect(Tok('}'), "'}'")
+	t.Layout(p.tc)
+	return t
+}
+
+// enumType parses an enumeration. Enumerators become integer constant
+// symbols in the current scope and fold wherever they are used; the
+// enum type itself is int, as it is on all four targets.
+func (p *Parser) enumType() *Type {
+	tag := ""
+	if p.tok.Kind == TIdent {
+		tag = p.tok.Text
+		p.next()
+	}
+	if p.tok.Kind != Tok('{') {
+		if tag == "" {
+			p.errf("anonymous enum requires a body")
+		} else if p.resolveTag(tag) == nil {
+			p.errf("undefined enum %s", tag)
+		}
+		return IntType
+	}
+	p.next() // {
+	next := int64(0)
+	for p.tok.Kind != Tok('}') && p.tok.Kind != TEOF {
+		pos := p.tok.Pos
+		name := p.expect(TIdent, "enumerator").Text
+		if p.accept(Tok('=')) {
+			if v, ok := constInt(p.condExpr()); ok {
+				next = v
+			} else {
+				p.errs.Add(pos, "enumerator value must be a constant expression")
+			}
+		}
+		top := p.scopes[len(p.scopes)-1]
+		if _, dup := top[name]; dup {
+			p.errs.Add(pos, "redeclaration of %s", name)
+		}
+		top[name] = &Symbol{
+			Name: name, Kind: SymEnumConst, Type: IntType, Pos: pos,
+			Init: intConst(next, pos),
+		}
+		next++
+		if !p.accept(Tok(',')) {
+			break
+		}
+	}
+	p.expect(Tok('}'), "'}'")
+	if tag != "" {
+		p.tags[len(p.tags)-1][tag] = IntType
+	}
+	return IntType
+}
+
+// declarator parses pointers, a name (possibly parenthesized), and
+// array/function suffixes, returning the declared name and type.
+func (p *Parser) declarator(base *Type) (string, *Type) {
+	for p.accept(Tok('*')) {
+		base = PtrTo(base)
+	}
+	return p.directDeclarator(base)
+}
+
+func (p *Parser) directDeclarator(base *Type) (string, *Type) {
+	var name string
+	var wrap func(*Type) *Type
+	switch p.tok.Kind {
+	case TIdent:
+		name = p.tok.Text
+		p.next()
+	case Tok('('):
+		p.next()
+		inner := base // placeholder; the suffixes apply outside-in
+		_ = inner
+		// Parse the inner declarator against a marker type and graft.
+		marker := &Type{Kind: TyVoid}
+		n, it := p.declarator(marker)
+		name = n
+		wrap = func(outer *Type) *Type { return graft(it, marker, outer) }
+		p.expect(Tok(')'), "')'")
+	default:
+		// abstract declarator (e.g., parameter without a name)
+	}
+	t := p.suffixes(base)
+	if wrap != nil {
+		t = wrap(t)
+	}
+	return name, t
+}
+
+// graft replaces marker inside t with outer.
+func graft(t, marker, outer *Type) *Type {
+	if t == marker {
+		return outer
+	}
+	cp := *t
+	if t.Base != nil {
+		cp.Base = graft(t.Base, marker, outer)
+	}
+	return &cp
+}
+
+func (p *Parser) suffixes(t *Type) *Type {
+	switch p.tok.Kind {
+	case Tok('['):
+		p.next()
+		n := 0
+		if p.tok.Kind != Tok(']') {
+			e := p.condExpr()
+			v, ok := constInt(e)
+			if !ok || v < 0 {
+				p.errf("array size must be a constant expression")
+			} else {
+				n = int(v)
+			}
+		}
+		p.expect(Tok(']'), "']'")
+		elem := p.suffixes(t)
+		return ArrayOf(elem, n)
+	case Tok('('):
+		p.next()
+		ft := &Type{Kind: TyFunc, Base: t}
+		if p.tok.Kind == TVoid {
+			save := p.tok
+			p.next()
+			if p.tok.Kind == Tok(')') {
+				p.next()
+				return ft
+			}
+			// void* parameter etc.: rewind is impossible in this
+			// one-pass parser, so handle the common prefix directly.
+			base := VoidType
+			for p.accept(Tok('*')) {
+				base = PtrTo(base)
+			}
+			nm, pt := p.directDeclarator(base)
+			ft.Params = append(ft.Params, pt)
+			ft.ParamNames = append(ft.ParamNames, nm)
+			_ = save
+			for p.accept(Tok(',')) {
+				b, _ := p.baseType()
+				nm, pt := p.declarator(b)
+				ft.Params = append(ft.Params, pt)
+				ft.ParamNames = append(ft.ParamNames, nm)
+			}
+			p.expect(Tok(')'), "')'")
+			return ft
+		}
+		for p.tok.Kind != Tok(')') && p.tok.Kind != TEOF {
+			b, _ := p.baseType()
+			nm, pt := p.declarator(b)
+			if pt.Kind == TyArray { // parameters of array type decay
+				pt = PtrTo(pt.Base)
+			}
+			ft.Params = append(ft.Params, pt)
+			ft.ParamNames = append(ft.ParamNames, nm)
+			if !p.accept(Tok(',')) {
+				break
+			}
+		}
+		p.expect(Tok(')'), "')'")
+		return ft
+	}
+	return t
+}
+
+// ParseUnit parses a whole translation unit.
+func (p *Parser) ParseUnit() (*Unit, error) {
+	for p.tok.Kind != TEOF {
+		p.fileScopeDecl()
+	}
+	p.unit.AnchorSym = anchorName(p.unit)
+	return p.unit, p.errs.Err()
+}
+
+func anchorName(u *Unit) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s", u.File)
+	for _, s := range u.Syms {
+		fmt.Fprintf(h, "/%s:%d", s.Name, s.Seq)
+	}
+	sum := h.Sum(nil)
+	return fmt.Sprintf("_stanchor__V%x_%x", sum[:4], sum[4:7])
+}
+
+// initializer parses an initializer for a global or static of type t:
+// a constant expression, a braced element list, or a string literal
+// for a char array. Braced lists nest; missing trailing elements stay
+// zero; an omitted array length is completed from the initializer.
+func (p *Parser) initializer(t *Type) *Expr {
+	pos := p.tok.Pos
+	if p.tok.Kind == Tok('{') {
+		p.next()
+		var elems []*Expr
+		for p.tok.Kind != Tok('}') && p.tok.Kind != TEOF {
+			var et *Type
+			switch t.Kind {
+			case TyArray:
+				et = t.Base
+			case TyStruct:
+				if len(elems) < len(t.Fields) {
+					et = t.Fields[len(elems)].Type
+				}
+			case TyUnion:
+				if len(elems) == 0 && len(t.Fields) > 0 {
+					et = t.Fields[0].Type
+				}
+			}
+			if et == nil {
+				p.errs.Add(p.tok.Pos, "too many initializers for %s", t)
+				et = IntType
+			}
+			elems = append(elems, p.initializer(et))
+			if !p.accept(Tok(',')) {
+				break
+			}
+		}
+		p.expect(Tok('}'), "'}'")
+		if t.Kind == TyArray {
+			if t.Len == 0 {
+				t.Len = len(elems)
+			} else if len(elems) > t.Len {
+				p.errs.Add(pos, "too many initializers for %s", t)
+			}
+		}
+		return &Expr{Op: EInitList, Type: t, Args: elems, Pos: pos}
+	}
+	if t.Kind == TyArray && t.Base.Kind == TyChar && p.tok.Kind == TString {
+		idx := len(p.unit.Strings)
+		p.unit.Strings = append(p.unit.Strings, p.tok.Text)
+		n := len(p.tok.Text)
+		e := &Expr{Op: EString, Type: ArrayOf(CharType, n+1), IVal: int64(idx), SVal: p.tok.Text, Pos: pos}
+		p.next()
+		if t.Len == 0 {
+			t.Len = n + 1
+		} else if n+1 > t.Len {
+			p.errs.Add(pos, "string initializer longer than the array")
+		}
+		return e
+	}
+	e := p.condExpr()
+	return p.assignConvert(e, t, "initializer")
+}
+
+func (p *Parser) fileScopeDecl() {
+	base, storage := p.baseType()
+	if p.accept(Tok(';')) {
+		return // bare struct declaration
+	}
+	for {
+		name, t := p.declarator(base)
+		if name == "" {
+			p.errf("declaration needs a name")
+			p.next()
+			return
+		}
+		if t.Kind == TyFunc && p.tok.Kind == Tok('{') {
+			p.funcDef(name, t, storage)
+			return
+		}
+		sym := &Symbol{Name: name, Type: t, Pos: p.tok.Pos, Storage: storage}
+		if t.Kind == TyFunc {
+			sym.Kind = SymFunc
+			sym.Label = "_" + name
+		} else {
+			sym.Kind = SymVar
+			if storage == Static {
+				sym.AnchorIdx = p.anchorWord()
+				sym.Label = fmt.Sprintf("_%s__static%d", name, sym.Seq)
+			} else {
+				sym.Label = "_" + name
+			}
+		}
+		if old := p.scopes[0][name]; old != nil && Same(old.Type, t) {
+			// harmless redeclaration (e.g., extern after definition)
+		} else {
+			p.declare(sym)
+			if sym.Kind == SymVar {
+				p.unit.Globals = append(p.unit.Globals, sym)
+			}
+		}
+		if p.accept(Tok('=')) {
+			sym.Init = p.initializer(t)
+		}
+		if !p.accept(Tok(',')) {
+			break
+		}
+	}
+	p.expect(Tok(';'), "';'")
+}
+
+func (p *Parser) funcDef(name string, t *Type, storage Storage) {
+	sym := p.scopes[0][name]
+	if sym == nil {
+		sym = &Symbol{Name: name, Type: t, Kind: SymFunc, Pos: p.tok.Pos, Storage: storage, Label: "_" + name}
+		p.declare(sym)
+	}
+	fn := &Func{Sym: sym}
+	sym.Def = fn
+	p.unit.Funcs = append(p.unit.Funcs, fn)
+	p.curFn = fn
+
+	saved := p.lastSym
+	p.pushScope()
+	for i, pt := range t.Params {
+		pn := ""
+		if i < len(t.ParamNames) {
+			pn = t.ParamNames[i]
+		}
+		if pn == "" {
+			pn = fmt.Sprintf("arg%d", i)
+		}
+		ps := &Symbol{Name: pn, Type: pt, Kind: SymParam, Storage: Auto, Pos: p.tok.Pos}
+		p.declare(ps)
+		fn.Params = append(fn.Params, ps)
+	}
+	// Stopping point 0: the opening brace (Fig. 1 marks it on `{`).
+	entry := p.stopPoint(p.tok.Pos)
+	fn.Body = p.block()
+	// Exit stopping point at the closing brace.
+	exit := p.stopPoint(fn.Body.Pos)
+	fn.Body.Stop = entry
+	fn.ExitStop = exit
+	for _, g := range fn.Gotos {
+		if !fn.Labels[g.Name] {
+			p.errs.Add(g.Pos, "goto to undefined label %q", g.Name)
+		}
+	}
+	p.popScope(saved)
+	p.curFn = nil
+}
+
+func (p *Parser) stopPoint(pos Pos) *StopPoint {
+	if p.curFn == nil {
+		return nil
+	}
+	sp := &StopPoint{
+		Index:     len(p.curFn.Stops),
+		Pos:       pos,
+		Visible:   p.lastSym,
+		AnchorIdx: p.anchorWord(),
+	}
+	sp.Label = fmt.Sprintf(".stop_%s_%d", p.curFn.Sym.Name, sp.Index)
+	p.curFn.Stops = append(p.curFn.Stops, sp)
+	return sp
+}
+
+// --- statements ---
+
+func (p *Parser) block() *Stmt {
+	pos := p.tok.Pos
+	p.expect(Tok('{'), "'{'")
+	blk := &Stmt{Op: SBlock, Pos: pos}
+	saved := p.lastSym
+	p.pushScope()
+	for p.tok.Kind != Tok('}') && p.tok.Kind != TEOF {
+		if p.isTypeStart() {
+			p.localDecl(blk)
+			continue
+		}
+		blk.Body = append(blk.Body, p.stmt())
+	}
+	blk.Pos = p.tok.Pos // closing brace
+	p.expect(Tok('}'), "'}'")
+	p.popScope(saved)
+	return blk
+}
+
+func (p *Parser) localDecl(blk *Stmt) {
+	base, storage := p.baseType()
+	if p.accept(Tok(';')) {
+		return // bare aggregate or enum declaration
+	}
+	for {
+		pos := p.tok.Pos
+		name, t := p.declarator(base)
+		if name == "" {
+			p.errf("declaration needs a name")
+			break
+		}
+		sym := &Symbol{Name: name, Type: t, Kind: SymVar, Pos: pos, Storage: storage}
+		p.declare(sym)
+		switch storage {
+		case Static:
+			sym.AnchorIdx = p.anchorWord()
+			sym.Label = fmt.Sprintf("_%s__%s%d", p.curFn.Sym.Name, name, sym.Seq)
+			p.curFn.Statics = append(p.curFn.Statics, sym)
+		default:
+			sym.Storage = Auto
+			p.curFn.Locals = append(p.curFn.Locals, sym)
+		}
+		if p.accept(Tok('=')) {
+			if storage == Static {
+				sym.Init = p.initializer(t)
+			} else if p.tok.Kind == Tok('{') || p.tok.Kind == TString && t.Kind == TyArray {
+				p.errs.Add(pos, "braced initializers are only supported for globals and statics")
+				p.initializer(t) // consume it
+			} else {
+				e := p.condExpr()
+				lhs := &Expr{Op: EIdent, Type: t, Sym: sym, Pos: pos}
+				asg := p.assign(lhs, e, pos)
+				st := &Stmt{Op: SExpr, Pos: pos, Expr: asg, Stop: p.stopPoint(pos)}
+				blk.Body = append(blk.Body, st)
+			}
+		}
+		if !p.accept(Tok(',')) {
+			break
+		}
+	}
+	p.expect(Tok(';'), "';'")
+}
+
+func (p *Parser) stmt() *Stmt {
+	pos := p.tok.Pos
+	if p.tok.Kind == TIdent && p.peekNext().Kind == Tok(':') {
+		name := p.tok.Text
+		p.next() // label
+		p.next() // :
+		if p.curFn.Labels == nil {
+			p.curFn.Labels = map[string]bool{}
+		}
+		if p.curFn.Labels[name] {
+			p.errs.Add(pos, "duplicate label %q", name)
+		}
+		p.curFn.Labels[name] = true
+		return &Stmt{Op: SLabel, Pos: pos, Name: name, Then: p.stmt()}
+	}
+	switch p.tok.Kind {
+	case Tok('{'):
+		return p.block()
+	case TGoto:
+		p.next()
+		name := p.expect(TIdent, "label name").Text
+		p.curFn.Gotos = append(p.curFn.Gotos, GotoRef{name, pos})
+		p.expect(Tok(';'), "';'")
+		return &Stmt{Op: SGoto, Pos: pos, Name: name, Stop: p.stopPoint(pos)}
+	case Tok(';'):
+		p.next()
+		return &Stmt{Op: SEmpty, Pos: pos}
+	case TIf:
+		p.next()
+		p.expect(Tok('('), "'('")
+		stop := p.stopPoint(pos)
+		cond := p.scalarExpr()
+		p.expect(Tok(')'), "')'")
+		s := &Stmt{Op: SIf, Pos: pos, Cond: cond, Stop: stop}
+		s.Then = p.stmt()
+		if p.accept(TElse) {
+			s.Else = p.stmt()
+		}
+		return s
+	case TDo:
+		p.next()
+		p.loop++
+		s := &Stmt{Op: SDo, Pos: pos}
+		s.Then = p.stmt()
+		p.loop--
+		p.expect(TWhile, "while")
+		p.expect(Tok('('), "'('")
+		s.CondStop = p.stopPoint(p.tok.Pos)
+		s.Cond = p.scalarExpr()
+		p.expect(Tok(')'), "')'")
+		p.expect(Tok(';'), "';'")
+		return s
+	case TSwitch:
+		p.next()
+		p.expect(Tok('('), "'('")
+		stop := p.stopPoint(pos)
+		s := &Stmt{Op: SSwitch, Pos: pos, Stop: stop}
+		e := p.expr()
+		if !e.Type.IsInteger() {
+			p.errs.Add(pos, "switch requires an integer expression")
+		}
+		s.Expr = p.promote(e)
+		p.expect(Tok(')'), "')'")
+		p.expect(Tok('{'), "'{'")
+		p.loop++ // break works inside switch
+		seenDefault := false
+		seen := map[int64]bool{}
+		for p.tok.Kind == TCase || p.tok.Kind == TDefault {
+			var c SwitchCase
+			if p.accept(TDefault) {
+				if seenDefault {
+					p.errf("duplicate default")
+				}
+				seenDefault = true
+				c.IsDefault = true
+			} else {
+				p.expect(TCase, "case")
+				ce := p.condExpr()
+				v, ok := constInt(ce)
+				if !ok {
+					p.errf("case requires a constant expression")
+				}
+				if seen[v] {
+					p.errf("duplicate case %d", v)
+				}
+				seen[v] = true
+				c.Val = v
+			}
+			p.expect(Tok(':'), "':'")
+			for p.tok.Kind != TCase && p.tok.Kind != TDefault && p.tok.Kind != Tok('}') && p.tok.Kind != TEOF {
+				c.Body = append(c.Body, p.stmt())
+			}
+			s.Cases = append(s.Cases, c)
+		}
+		p.loop--
+		p.expect(Tok('}'), "'}'")
+		return s
+	case TWhile:
+		p.next()
+		p.expect(Tok('('), "'('")
+		stop := p.stopPoint(pos)
+		cond := p.scalarExpr()
+		p.expect(Tok(')'), "')'")
+		p.loop++
+		s := &Stmt{Op: SWhile, Pos: pos, Cond: cond, Stop: stop}
+		s.Then = p.stmt()
+		p.loop--
+		return s
+	case TFor:
+		p.next()
+		p.expect(Tok('('), "'('")
+		s := &Stmt{Op: SFor, Pos: pos}
+		if p.tok.Kind != Tok(';') {
+			s.Stop = p.stopPoint(p.tok.Pos)
+			s.Init = p.expr()
+		}
+		p.expect(Tok(';'), "';'")
+		if p.tok.Kind != Tok(';') {
+			s.CondStop = p.stopPoint(p.tok.Pos)
+			s.Cond = p.scalarExpr()
+		}
+		p.expect(Tok(';'), "';'")
+		if p.tok.Kind != Tok(')') {
+			s.PostStop = p.stopPoint(p.tok.Pos)
+			s.Post = p.expr()
+		}
+		p.expect(Tok(')'), "')'")
+		p.loop++
+		s.Then = p.stmt()
+		p.loop--
+		return s
+	case TReturn:
+		p.next()
+		s := &Stmt{Op: SReturn, Pos: pos, Stop: p.stopPoint(pos)}
+		if p.tok.Kind != Tok(';') {
+			e := p.expr()
+			ret := IntType
+			if p.curFn != nil {
+				ret = p.curFn.Sym.Type.Base
+			}
+			s.Expr = p.assignConvert(e, ret, "return value")
+		}
+		p.expect(Tok(';'), "';'")
+		return s
+	case TBreak:
+		p.next()
+		if p.loop == 0 {
+			p.errf("break outside a loop")
+		}
+		p.expect(Tok(';'), "';'")
+		return &Stmt{Op: SBreak, Pos: pos}
+	case TContinue:
+		p.next()
+		if p.loop == 0 {
+			p.errf("continue outside a loop")
+		}
+		p.expect(Tok(';'), "';'")
+		return &Stmt{Op: SContinue, Pos: pos}
+	default:
+		stop := p.stopPoint(pos)
+		e := p.expr()
+		p.expect(Tok(';'), "';'")
+		return &Stmt{Op: SExpr, Pos: pos, Expr: e, Stop: stop}
+	}
+}
+
+// ParseDecl parses a single C declaration ("int a[20]") and returns the
+// declared name and type. The expression server uses it to reconstruct
+// symbol-table entries from the sequences of C tokens ldb sends in
+// reply to lookups (§3).
+func ParseDecl(src string, tc *TargetConf) (string, *Type, error) {
+	p := NewParser(src, "<decl>", tc)
+	base, _ := p.baseType()
+	name, t := p.declarator(base)
+	if err := p.errs.Err(); err != nil {
+		return "", nil, err
+	}
+	return name, t, nil
+}

@@ -1,0 +1,432 @@
+// Package cc is a one-pass compiler front end for the C subset the
+// reproduction uses, in the mold of lcc: the parser typechecks as it
+// parses, building typed expression trees, a scoped symbol table whose
+// entries are linked by uplinks into the tree of Fig. 2, and the
+// stopping points of Fig. 1 (one before every top-level expression).
+//
+// The front end also runs as the expression server (§3): a Lookup hook
+// lets a debugger supply symbol-table entries for identifiers the
+// server has never seen, reconstructing them on the fly.
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tok is a lexical token kind.
+type Tok int
+
+// Token kinds. Single-character operators use their character value.
+const (
+	TEOF Tok = iota + 256
+	TIdent
+	TNumber
+	TFNumber
+	TChar
+	TString
+	// multi-character operators
+	TArrow  // ->
+	TInc    // ++
+	TDec    // --
+	TShl    // <<
+	TShr    // >>
+	TLe     // <=
+	TGe     // >=
+	TEq     // ==
+	TNe     // !=
+	TAndAnd // &&
+	TOrOr   // ||
+	TAddEq  // +=
+	TSubEq  // -=
+	TMulEq  // *=
+	TDivEq  // /=
+	TRemEq  // %=
+	TAndEq  // &=
+	TOrEq   // |=
+	TXorEq  // ^=
+	TShlEq  // <<=
+	TShrEq  // >>=
+	// keywords
+	TVoid
+	TCharKw
+	TShort
+	TInt
+	TLong
+	TUnsigned
+	TFloat
+	TDouble
+	TStruct
+	TUnion
+	TEnum
+	TStatic
+	TExtern
+	TIf
+	TElse
+	TWhile
+	TFor
+	TReturn
+	TBreak
+	TContinue
+	TSizeof
+	TDo
+	TSwitch
+	TGoto
+	TCase
+	TDefault
+)
+
+var keywords = map[string]Tok{
+	"void": TVoid, "char": TCharKw, "short": TShort, "int": TInt,
+	"long": TLong, "unsigned": TUnsigned, "float": TFloat,
+	"double": TDouble, "struct": TStruct, "union": TUnion, "enum": TEnum,
+	"static": TStatic,
+	"extern": TExtern, "if": TIf, "else": TElse, "while": TWhile,
+	"for": TFor, "return": TReturn, "break": TBreak,
+	"continue": TContinue, "sizeof": TSizeof,
+	"do": TDo, "switch": TSwitch, "case": TCase, "default": TDefault,
+	"goto": TGoto,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col) }
+
+// Token is one lexed token.
+type Token struct {
+	Kind Tok
+	Text string
+	IVal int64
+	FVal float64
+	Pos  Pos
+}
+
+// Lexer tokenizes C source.
+type Lexer struct {
+	src  string
+	off  int
+	pos  Pos
+	errs *ErrorList
+}
+
+// NewLexer returns a lexer over src, attributing positions to file.
+func NewLexer(src, file string, errs *ErrorList) *Lexer {
+	return &Lexer{src: src, pos: Pos{File: file, Line: 1, Col: 1}, errs: errs}
+}
+
+// ErrorList accumulates compile errors.
+type ErrorList struct {
+	Errs []error
+}
+
+// Add records an error at a position.
+func (e *ErrorList) Add(pos Pos, format string, args ...any) {
+	if len(e.Errs) < 50 {
+		e.Errs = append(e.Errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	}
+}
+
+// Err returns the combined error, or nil.
+func (e *ErrorList) Err() error {
+	if len(e.Errs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	for i, err := range e.Errs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(err.Error())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekByte2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.pos.Line++
+		l.pos.Col = 1
+	} else {
+		l.pos.Col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f':
+			l.advance()
+		case c == '/' && l.peekByte2() == '*':
+			l.advance()
+			l.advance()
+			for l.off < len(l.src) {
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() Token {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.off >= len(l.src) {
+		return Token{Kind: TEOF, Pos: start}
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		a := l.off
+		for l.off < len(l.src) && (isIdentStart(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[a:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: start}
+		}
+		return Token{Kind: TIdent, Text: text, Pos: start}
+	case isDigit(c) || (c == '.' && isDigit(l.peekByte2())):
+		return l.number(start)
+	case c == '\'':
+		return l.charLit(start)
+	case c == '"':
+		return l.stringLit(start)
+	}
+	l.advance()
+	two := func(second byte, kind Tok) (Token, bool) {
+		if l.peekByte() == second {
+			l.advance()
+			return Token{Kind: kind, Pos: start}, true
+		}
+		return Token{}, false
+	}
+	switch c {
+	case '-':
+		if t, ok := two('>', TArrow); ok {
+			return t
+		}
+		if t, ok := two('-', TDec); ok {
+			return t
+		}
+		if t, ok := two('=', TSubEq); ok {
+			return t
+		}
+	case '+':
+		if t, ok := two('+', TInc); ok {
+			return t
+		}
+		if t, ok := two('=', TAddEq); ok {
+			return t
+		}
+	case '*':
+		if t, ok := two('=', TMulEq); ok {
+			return t
+		}
+	case '/':
+		if t, ok := two('=', TDivEq); ok {
+			return t
+		}
+	case '%':
+		if t, ok := two('=', TRemEq); ok {
+			return t
+		}
+	case '^':
+		if t, ok := two('=', TXorEq); ok {
+			return t
+		}
+	case '<':
+		if l.peekByte() == '<' {
+			l.advance()
+			if t, ok := two('=', TShlEq); ok {
+				return t
+			}
+			return Token{Kind: TShl, Pos: start}
+		}
+		if t, ok := two('=', TLe); ok {
+			return t
+		}
+	case '>':
+		if l.peekByte() == '>' {
+			l.advance()
+			if t, ok := two('=', TShrEq); ok {
+				return t
+			}
+			return Token{Kind: TShr, Pos: start}
+		}
+		if t, ok := two('=', TGe); ok {
+			return t
+		}
+	case '=':
+		if t, ok := two('=', TEq); ok {
+			return t
+		}
+	case '!':
+		if t, ok := two('=', TNe); ok {
+			return t
+		}
+	case '&':
+		if t, ok := two('&', TAndAnd); ok {
+			return t
+		}
+		if t, ok := two('=', TAndEq); ok {
+			return t
+		}
+	case '|':
+		if t, ok := two('|', TOrOr); ok {
+			return t
+		}
+		if t, ok := two('=', TOrEq); ok {
+			return t
+		}
+	}
+	return Token{Kind: Tok(c), Text: string(c), Pos: start}
+}
+
+func (l *Lexer) number(start Pos) Token {
+	a := l.off
+	isFloat := false
+	if l.peekByte() == '0' && (l.peekByte2() == 'x' || l.peekByte2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHex(l.peekByte()) {
+			l.advance()
+		}
+		var v int64
+		fmt.Sscanf(l.src[a:l.off], "%v", &v)
+		_, err := fmt.Sscanf(l.src[a:l.off], "0x%x", &v)
+		if err != nil {
+			_, _ = fmt.Sscanf(l.src[a:l.off], "0X%x", &v)
+		}
+		return Token{Kind: TNumber, IVal: v, Text: l.src[a:l.off], Pos: start}
+	}
+	for l.off < len(l.src) && isDigit(l.peekByte()) {
+		l.advance()
+	}
+	if l.peekByte() == '.' {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	if l.peekByte() == 'e' || l.peekByte() == 'E' {
+		isFloat = true
+		l.advance()
+		if l.peekByte() == '+' || l.peekByte() == '-' {
+			l.advance()
+		}
+		for l.off < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	text := l.src[a:l.off]
+	if isFloat {
+		var f float64
+		fmt.Sscanf(text, "%g", &f)
+		return Token{Kind: TFNumber, FVal: f, Text: text, Pos: start}
+	}
+	var v int64
+	fmt.Sscanf(text, "%d", &v)
+	return Token{Kind: TNumber, IVal: v, Text: text, Pos: start}
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *Lexer) escape() byte {
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case 'b':
+		return '\b'
+	case 'f':
+		return '\f'
+	case '\\', '\'', '"':
+		return c
+	}
+	l.errs.Add(l.pos, "unknown escape \\%c", c)
+	return c
+}
+
+func (l *Lexer) charLit(start Pos) Token {
+	l.advance() // '
+	var v byte
+	if l.peekByte() == '\\' {
+		l.advance()
+		v = l.escape()
+	} else if l.off < len(l.src) {
+		v = l.advance()
+	}
+	if l.peekByte() == '\'' {
+		l.advance()
+	} else {
+		l.errs.Add(start, "unterminated character constant")
+	}
+	return Token{Kind: TChar, IVal: int64(v), Pos: start}
+}
+
+func (l *Lexer) stringLit(start Pos) Token {
+	l.advance() // "
+	var b strings.Builder
+	for l.off < len(l.src) && l.peekByte() != '"' {
+		if l.peekByte() == '\\' {
+			l.advance()
+			b.WriteByte(l.escape())
+		} else {
+			b.WriteByte(l.advance())
+		}
+	}
+	if l.off < len(l.src) {
+		l.advance()
+	} else {
+		l.errs.Add(start, "unterminated string literal")
+	}
+	return Token{Kind: TString, Text: b.String(), Pos: start}
+}

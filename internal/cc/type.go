@@ -1,0 +1,277 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies a type.
+type TypeKind int
+
+// Type kinds. The integer and float kinds correspond to the three
+// integer sizes and three float sizes of the abstract memory model
+// (§4.1, §7): 8/16/32-bit integers and 32/64/80-bit floats.
+const (
+	TyVoid TypeKind = iota
+	TyChar
+	TyShort
+	TyInt
+	TyUInt
+	TyFloat
+	TyDouble
+	TyLDouble // long double: 80-bit extended on the 68020
+	TyPtr
+	TyArray
+	TyStruct
+	TyUnion
+	TyFunc
+)
+
+// Type is a C type.
+type Type struct {
+	Kind   TypeKind
+	Base   *Type // element (ptr/array), return (func)
+	Len    int   // array length
+	Tag    string
+	Fields []Field
+	Params []*Type
+	// ParamNames parallels Params for function definitions.
+	ParamNames []string
+}
+
+// Field is one struct member.
+type Field struct {
+	Name string
+	Type *Type
+	Off  int // assigned at layout time, target-dependent
+}
+
+// TargetConf carries the target-dependent type parameters the compiler
+// is instantiated with (sizes go into the PostScript type dictionaries,
+// §2: "This information, which may be machine-dependent, is placed in
+// the type dictionary by the compiler").
+type TargetConf struct {
+	Name string
+	// LDoubleSize is 12 on the 68020 (80-bit extended storage) and 8
+	// elsewhere.
+	LDoubleSize int
+}
+
+// Predefined types.
+var (
+	VoidType    = &Type{Kind: TyVoid}
+	CharType    = &Type{Kind: TyChar}
+	ShortType   = &Type{Kind: TyShort}
+	IntType     = &Type{Kind: TyInt}
+	UIntType    = &Type{Kind: TyUInt}
+	FloatType   = &Type{Kind: TyFloat}
+	DoubleType  = &Type{Kind: TyDouble}
+	LDoubleType = &Type{Kind: TyLDouble}
+)
+
+// PtrTo returns a pointer type.
+func PtrTo(base *Type) *Type { return &Type{Kind: TyPtr, Base: base} }
+
+// ArrayOf returns an array type.
+func ArrayOf(base *Type, n int) *Type { return &Type{Kind: TyArray, Base: base, Len: n} }
+
+// Size returns the type's size in bytes on the given target.
+func (t *Type) Size(tc *TargetConf) int {
+	switch t.Kind {
+	case TyVoid:
+		return 0
+	case TyChar:
+		return 1
+	case TyShort:
+		return 2
+	case TyInt, TyUInt, TyPtr, TyFunc:
+		return 4
+	case TyFloat:
+		return 4
+	case TyDouble:
+		return 8
+	case TyLDouble:
+		if tc != nil && tc.LDoubleSize != 0 {
+			return tc.LDoubleSize
+		}
+		return 8
+	case TyArray:
+		return t.Len * t.Base.Size(tc)
+	case TyStruct:
+		size := 0
+		for _, f := range t.Fields {
+			a := f.Type.Align(tc)
+			size = alignUp(size, a)
+			size += f.Type.Size(tc)
+		}
+		return alignUp(size, t.Align(tc))
+	case TyUnion:
+		size := 0
+		for _, f := range t.Fields {
+			if fs := f.Type.Size(tc); fs > size {
+				size = fs
+			}
+		}
+		return alignUp(size, t.Align(tc))
+	}
+	return 4
+}
+
+// Align returns the type's alignment on the given target.
+func (t *Type) Align(tc *TargetConf) int {
+	switch t.Kind {
+	case TyChar:
+		return 1
+	case TyShort:
+		return 2
+	case TyArray:
+		return t.Base.Align(tc)
+	case TyStruct, TyUnion:
+		a := 1
+		for _, f := range t.Fields {
+			if fa := f.Type.Align(tc); fa > a {
+				a = fa
+			}
+		}
+		return a
+	default:
+		return 4
+	}
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Layout assigns member offsets for the given target. Union members
+// all live at offset zero.
+func (t *Type) Layout(tc *TargetConf) {
+	if t.Kind == TyUnion {
+		for i := range t.Fields {
+			t.Fields[i].Off = 0
+		}
+		return
+	}
+	if t.Kind != TyStruct {
+		return
+	}
+	off := 0
+	for i := range t.Fields {
+		a := t.Fields[i].Type.Align(tc)
+		off = alignUp(off, a)
+		t.Fields[i].Off = off
+		off += t.Fields[i].Type.Size(tc)
+	}
+}
+
+// FieldByName finds a struct member.
+func (t *Type) FieldByName(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// IsInteger reports whether t is an integer type.
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case TyChar, TyShort, TyInt, TyUInt:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is a floating type.
+func (t *Type) IsFloat() bool {
+	switch t.Kind {
+	case TyFloat, TyDouble, TyLDouble:
+		return true
+	}
+	return false
+}
+
+// IsArith reports whether t is arithmetic.
+func (t *Type) IsArith() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsScalar reports whether t is arithmetic or a pointer.
+func (t *Type) IsScalar() bool { return t.IsArith() || t.Kind == TyPtr }
+
+// Same reports structural type equality (structs by tag identity).
+func Same(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case TyPtr:
+		return Same(a.Base, b.Base)
+	case TyArray:
+		return a.Len == b.Len && Same(a.Base, b.Base)
+	case TyStruct, TyUnion:
+		return a.Tag != "" && a.Tag == b.Tag
+	case TyFunc:
+		if !Same(a.Base, b.Base) || len(a.Params) != len(b.Params) {
+			return false
+		}
+		for i := range a.Params {
+			if !Same(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// Decl renders the type as a C declaration of name — the string the
+// symbol table's /decl entry holds, with %s standing for the name
+// ("int %s[20]" in §2's example).
+func (t *Type) Decl(name string) string {
+	switch t.Kind {
+	case TyVoid:
+		return "void " + name
+	case TyChar:
+		return "char " + name
+	case TyShort:
+		return "short " + name
+	case TyInt:
+		return "int " + name
+	case TyUInt:
+		return "unsigned " + name
+	case TyFloat:
+		return "float " + name
+	case TyDouble:
+		return "double " + name
+	case TyLDouble:
+		return "long double " + name
+	case TyPtr:
+		inner := "*" + name
+		if t.Base.Kind == TyArray || t.Base.Kind == TyFunc {
+			inner = "(" + inner + ")"
+		}
+		return t.Base.Decl(inner)
+	case TyArray:
+		return t.Base.Decl(fmt.Sprintf("%s[%d]", name, t.Len))
+	case TyStruct:
+		return "struct " + t.Tag + " " + name
+	case TyUnion:
+		return "union " + t.Tag + " " + name
+	case TyFunc:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, strings.TrimSpace(p.Decl("")))
+		}
+		return t.Base.Decl(fmt.Sprintf("%s(%s)", name, strings.Join(ps, ", ")))
+	}
+	return name
+}
+
+// String renders the type without a declared name.
+func (t *Type) String() string { return strings.TrimSpace(t.Decl("")) }

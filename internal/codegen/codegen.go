@@ -1,0 +1,422 @@
+package codegen
+
+import (
+	"fmt"
+
+	"ldb/internal/asm"
+	"ldb/internal/cc"
+)
+
+// Scratch register indices used by the generic walker.
+const (
+	regT = 0 // expression value
+	regU = 1 // second operand / scratch
+	regV = 2 // address scratch for read-modify-write
+	regW = 3 // alternate address scratch (see leafAddrReg)
+)
+
+// Options controls code generation.
+type Options struct {
+	// Debug emits stopping-point labels and no-ops and the anchor
+	// table (compiling with -g).
+	Debug bool
+}
+
+// GenUnit compiles a typechecked unit through the given emitter.
+func GenUnit(u *cc.Unit, em Emitter, opts Options) (*asm.Unit, error) {
+	g := &gen{em: em, u: u, opts: opts}
+	// Sizing pass: compute evaluation-stack and argument-area maxima
+	// per function, then assign frames.
+	null := &nullEmitter{conf: em.Conf()}
+	for _, fn := range u.Funcs {
+		gs := &gen{em: null, u: u, opts: opts}
+		gs.fn = fn
+		gs.genFunc(fn)
+		fn.FrameSize = em.AssignFrame(fn, gs.maxEval, gs.maxArgs)
+	}
+	// Emitting pass.
+	for _, fn := range u.Funcs {
+		g.fn = fn
+		g.genFunc(fn)
+	}
+	if len(g.errs) > 0 {
+		return nil, g.errs[0]
+	}
+	text, relocs, labels, err := em.Finish()
+	if err != nil {
+		return nil, err
+	}
+	obj := &asm.Unit{Name: u.File, Arch: em.Conf().Name, Text: text, TextRelocs: relocs, Instrs: em.InstrCount()}
+	for name, off := range labels {
+		global := false
+		for _, fn := range u.Funcs {
+			if fn.Sym.Label == name {
+				global = true
+			}
+		}
+		obj.AddSym(name, asm.SecText, off, 0, global)
+	}
+	for _, fn := range u.Funcs {
+		obj.Funcs = append(obj.Funcs, asm.FuncInfo{Sym: fn.Sym.Label, FrameSize: fn.FrameSize})
+	}
+	if err := g.buildData(obj); err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// gen is the per-unit generator state.
+type gen struct {
+	em   Emitter
+	u    *cc.Unit
+	fn   *cc.Func
+	opts Options
+
+	depth   int // evaluation-stack depth in words
+	maxEval int
+	maxArgs int
+	labelN  int
+	brk     []string
+	cont    []string
+
+	fconsts []float64 // float literals, labeled .fc<N> in data
+	errs    []error
+	leafAlt bool // alternates leaf-address registers between V and W
+}
+
+func (g *gen) errf(pos cc.Pos, format string, args ...any) {
+	if len(g.errs) < 20 {
+		g.errs = append(g.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	}
+}
+
+// userLabel names a source-level goto label uniquely per function,
+// outside both the compiler's ".p_f_N" space and the stop labels.
+func (g *gen) userLabel(name string) string {
+	return ".ul_" + g.fn.Sym.Name + "_" + name
+}
+
+func (g *gen) label(prefix string) string {
+	g.labelN++
+	return fmt.Sprintf(".%s_%s_%d", prefix, g.fn.Sym.Name, g.labelN)
+}
+
+func (g *gen) push(r int) {
+	g.em.Push(r, g.depth)
+	g.depth++
+	if g.depth > g.maxEval {
+		g.maxEval = g.depth
+	}
+}
+
+func (g *gen) pop(r int) {
+	g.depth--
+	g.em.Pop(r, g.depth)
+}
+
+func (g *gen) pushF(fr int) {
+	g.em.PushF(fr, g.depth)
+	g.depth += 2
+	if g.depth > g.maxEval {
+		g.maxEval = g.depth
+	}
+}
+
+func (g *gen) popF(fr int) {
+	g.depth -= 2
+	g.em.PopF(fr, g.depth)
+}
+
+func (g *gen) stop(sp *cc.StopPoint) {
+	if g.opts.Debug && sp != nil {
+		g.em.StopPoint(sp.Label)
+	}
+}
+
+func (g *gen) genFunc(fn *cc.Func) {
+	g.fn = fn
+	g.depth, g.maxEval, g.maxArgs, g.labelN = 0, 0, 0, 0
+	retLabel := ".ret_" + fn.Sym.Name
+	g.em.Label(fn.Sym.Label)
+	g.em.Prologue(fn)
+	g.genStmt(fn.Body, retLabel)
+	g.em.Label(retLabel)
+	g.stop(fn.ExitStop)
+	g.em.Epilogue(fn)
+}
+
+// --- statements ---
+
+func (g *gen) genStmt(s *cc.Stmt, retLabel string) {
+	if s == nil {
+		return
+	}
+	switch s.Op {
+	case cc.SBlock:
+		g.stop(s.Stop) // function-entry stop, when attached
+		for _, st := range s.Body {
+			g.genStmt(st, retLabel)
+		}
+	case cc.SEmpty:
+	case cc.SLabel:
+		g.em.Label(g.userLabel(s.Name))
+		g.genStmt(s.Then, retLabel)
+	case cc.SGoto:
+		g.stop(s.Stop)
+		g.em.Branch(g.userLabel(s.Name))
+	case cc.SExpr:
+		g.stop(s.Stop)
+		g.genExpr(s.Expr)
+	case cc.SReturn:
+		g.stop(s.Stop)
+		if s.Expr != nil {
+			g.genExpr(s.Expr)
+			if isFloat(s.Expr.Type) {
+				g.em.SetFRet(regT)
+			} else {
+				g.em.SetRet(regT)
+			}
+		}
+		g.em.Branch(retLabel)
+	case cc.SIf:
+		lElse := g.label("else")
+		lEnd := g.label("endif")
+		g.stop(s.Stop)
+		g.genCondFalse(s.Cond, lElse)
+		g.genStmt(s.Then, retLabel)
+		if s.Else != nil {
+			g.em.Branch(lEnd)
+		}
+		g.em.Label(lElse)
+		if s.Else != nil {
+			g.genStmt(s.Else, retLabel)
+			g.em.Label(lEnd)
+		}
+	case cc.SWhile:
+		lCond := g.label("while")
+		lEnd := g.label("endwhile")
+		g.em.Label(lCond)
+		g.stop(s.Stop)
+		g.genCondFalse(s.Cond, lEnd)
+		g.brk = append(g.brk, lEnd)
+		g.cont = append(g.cont, lCond)
+		g.genStmt(s.Then, retLabel)
+		g.brk = g.brk[:len(g.brk)-1]
+		g.cont = g.cont[:len(g.cont)-1]
+		g.em.Branch(lCond)
+		g.em.Label(lEnd)
+	case cc.SFor:
+		lCond := g.label("for")
+		lCont := g.label("forpost")
+		lEnd := g.label("endfor")
+		if s.Init != nil {
+			g.stop(s.Stop)
+			g.genExpr(s.Init)
+		}
+		g.em.Label(lCond)
+		if s.Cond != nil {
+			g.stop(s.CondStop)
+			g.genCondFalse(s.Cond, lEnd)
+		}
+		g.brk = append(g.brk, lEnd)
+		g.cont = append(g.cont, lCont)
+		g.genStmt(s.Then, retLabel)
+		g.brk = g.brk[:len(g.brk)-1]
+		g.cont = g.cont[:len(g.cont)-1]
+		g.em.Label(lCont)
+		if s.Post != nil {
+			g.stop(s.PostStop)
+			g.genExpr(s.Post)
+		}
+		g.em.Branch(lCond)
+		g.em.Label(lEnd)
+	case cc.SDo:
+		lBody := g.label("do")
+		lCond := g.label("docond")
+		lEnd := g.label("enddo")
+		g.em.Label(lBody)
+		g.brk = append(g.brk, lEnd)
+		g.cont = append(g.cont, lCond)
+		g.genStmt(s.Then, retLabel)
+		g.brk = g.brk[:len(g.brk)-1]
+		g.cont = g.cont[:len(g.cont)-1]
+		g.em.Label(lCond)
+		g.stop(s.CondStop)
+		g.genCondTrue(s.Cond, lBody)
+		g.em.Label(lEnd)
+	case cc.SSwitch:
+		g.stop(s.Stop)
+		g.genSwitch(s, retLabel)
+	case cc.SBreak:
+		if len(g.brk) > 0 {
+			g.em.Branch(g.brk[len(g.brk)-1])
+		}
+	case cc.SContinue:
+		if len(g.cont) > 0 {
+			g.em.Branch(g.cont[len(g.cont)-1])
+		}
+	}
+}
+
+// genSwitch compiles a switch as a compare chain into labeled arms
+// with C fall-through; break exits past the last arm.
+func (g *gen) genSwitch(s *cc.Stmt, retLabel string) {
+	lEnd := g.label("endswitch")
+	g.genExpr(s.Expr) // value stays in T across the CmpBr chain
+	caseLabels := make([]string, len(s.Cases))
+	defaultLabel := lEnd
+	for i, c := range s.Cases {
+		caseLabels[i] = g.label("case")
+		if c.IsDefault {
+			defaultLabel = caseLabels[i]
+			continue
+		}
+		g.em.Const(regU, int32(c.Val))
+		g.em.CmpBr(CondEq, regT, regU, caseLabels[i])
+	}
+	g.em.Branch(defaultLabel)
+	g.brk = append(g.brk, lEnd)
+	for i, c := range s.Cases {
+		g.em.Label(caseLabels[i])
+		for _, st := range c.Body {
+			g.genStmt(st, retLabel)
+		}
+		// fall through to the next arm, as in C
+	}
+	g.brk = g.brk[:len(g.brk)-1]
+	g.em.Label(lEnd)
+}
+
+// --- conditions ---
+
+func condOf(op cc.ExprOp, unsigned bool) (Cond, bool) {
+	var c Cond
+	switch op {
+	case cc.EEq:
+		c = CondEq
+	case cc.ENe:
+		c = CondNe
+	case cc.ELt:
+		c = CondLt
+	case cc.ELe:
+		c = CondLe
+	case cc.EGt:
+		c = CondGt
+	case cc.EGe:
+		c = CondGe
+	default:
+		return 0, false
+	}
+	if unsigned && c != CondEq && c != CondNe {
+		c += CondLtU - CondLt
+	}
+	return c, true
+}
+
+func isUnsignedCmp(e *cc.Expr) bool {
+	t := e.L.Type
+	return t.Kind == cc.TyUInt || t.Kind == cc.TyPtr
+}
+
+// genCondFalse branches to label when e is false.
+func (g *gen) genCondFalse(e *cc.Expr, label string) {
+	switch e.Op {
+	case cc.ELogAnd:
+		g.genCondFalse(e.L, label)
+		g.genCondFalse(e.R, label)
+		return
+	case cc.ELogOr:
+		lTrue := g.label("or")
+		g.genCondTrue(e.L, lTrue)
+		g.genCondFalse(e.R, label)
+		g.em.Label(lTrue)
+		return
+	case cc.ELogNot:
+		g.genCondTrue(e.L, label)
+		return
+	case cc.EEq, cc.ENe, cc.ELt, cc.ELe, cc.EGt, cc.EGe:
+		c, _ := condOf(e.Op, isUnsignedCmp(e))
+		la, rb := g.genCmpOperands(e)
+		if isFloat(e.L.Type) {
+			g.em.FCmpBr(c.Negate(), la, rb, label)
+		} else {
+			g.em.CmpBr(c.Negate(), la, rb, label)
+		}
+		return
+	case cc.EConst:
+		if e.IVal == 0 {
+			g.em.Branch(label)
+		}
+		return
+	}
+	g.genExpr(e)
+	if isFloat(e.Type) {
+		g.zeroF(regU + 1)
+		g.em.FCmpBr(CondEq, regT, regU+1, label)
+	} else {
+		g.em.Const(regU, 0)
+		g.em.CmpBr(CondEq, regT, regU, label)
+	}
+}
+
+// genCondTrue branches to label when e is true.
+func (g *gen) genCondTrue(e *cc.Expr, label string) {
+	switch e.Op {
+	case cc.ELogOr:
+		g.genCondTrue(e.L, label)
+		g.genCondTrue(e.R, label)
+		return
+	case cc.ELogAnd:
+		lFalse := g.label("and")
+		g.genCondFalse(e.L, lFalse)
+		g.genCondTrue(e.R, label)
+		g.em.Label(lFalse)
+		return
+	case cc.ELogNot:
+		g.genCondFalse(e.L, label)
+		return
+	case cc.EEq, cc.ENe, cc.ELt, cc.ELe, cc.EGt, cc.EGe:
+		c, _ := condOf(e.Op, isUnsignedCmp(e))
+		la, rb := g.genCmpOperands(e)
+		if isFloat(e.L.Type) {
+			g.em.FCmpBr(c, la, rb, label)
+		} else {
+			g.em.CmpBr(c, la, rb, label)
+		}
+		return
+	case cc.EConst:
+		if e.IVal != 0 {
+			g.em.Branch(label)
+		}
+		return
+	}
+	g.genExpr(e)
+	if isFloat(e.Type) {
+		g.zeroF(regU + 1)
+		g.em.FCmpBr(CondNe, regT, regU+1, label)
+	} else {
+		g.em.Const(regU, 0)
+		g.em.CmpBr(CondNe, regT, regU, label)
+	}
+}
+
+// genCmpOperands evaluates the comparison operands and reports which
+// registers hold (left, right).
+func (g *gen) genCmpOperands(e *cc.Expr) (la, rb int) {
+	if isFloat(e.L.Type) {
+		g.genExpr(e.L)
+		g.pushF(regT)
+		g.genExpr(e.R)
+		g.popF(regU)
+		return regU, regT
+	}
+	return g.genOperands(e.L, e.R)
+}
+
+// zeroF materializes 0.0 into the given float scratch register.
+func (g *gen) zeroF(fr int) {
+	g.em.Const(regU, 0)
+	g.em.CvtIF(fr, regU)
+}
+
+func isFloat(t *cc.Type) bool { return t != nil && t.IsFloat() }

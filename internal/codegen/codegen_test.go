@@ -1,0 +1,171 @@
+package codegen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ldb/internal/arch"
+	_ "ldb/internal/arch/m68k"
+	_ "ldb/internal/arch/mips"
+	_ "ldb/internal/arch/sparc"
+	_ "ldb/internal/arch/vax"
+	"ldb/internal/cc"
+)
+
+func TestCondNegateInvolution(t *testing.T) {
+	f := func(raw uint8) bool {
+		c := Cond(raw % 10)
+		return c.Negate().Negate() == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Negation never maps signed to unsigned or vice versa.
+	for c := CondEq; c <= CondGeU; c++ {
+		unsigned := c >= CondLtU
+		nu := c.Negate() >= CondLtU
+		if c != CondEq && c != CondNe && unsigned != nu {
+			t.Errorf("negate crosses signedness: %v → %v", c, c.Negate())
+		}
+	}
+}
+
+func TestMemTypeWidths(t *testing.T) {
+	if MI8.Width() != 1 || MU8.Width() != 1 || MI16.Width() != 2 || MU16.Width() != 2 || M32.Width() != 4 {
+		t.Fatal("widths")
+	}
+}
+
+func TestNewEmitterForAllTargets(t *testing.T) {
+	for _, name := range []string{"mips", "mipsbe", "sparc", "m68k", "vax"} {
+		a, ok := arch.Lookup(name)
+		if !ok {
+			t.Fatal(name)
+		}
+		em := NewEmitterFor(a)
+		if em.Conf().Name != name {
+			t.Errorf("conf name %q for %s", em.Conf().Name, name)
+		}
+		// Runtime units exist and define the output routines.
+		rt := em.Runtime(true)
+		for _, sym := range []string{"_start", "_putint", "_putchar", "_putstr", "_putfloat"} {
+			if _, ok := rt.FindSym(sym); !ok {
+				t.Errorf("%s runtime missing %s", name, sym)
+			}
+		}
+		if rt.Instrs == 0 {
+			t.Errorf("%s runtime has no instruction count", name)
+		}
+		// Debug runtimes pause before main and are longer than plain
+		// ones.
+		plain := NewEmitterFor(a).Runtime(false)
+		if len(rt.Text) <= len(plain.Text) {
+			t.Errorf("%s: debug runtime not longer (pause trap missing?)", name)
+		}
+	}
+}
+
+func TestNewEmitterForPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewEmitterFor(fakeArch{})
+}
+
+type fakeArch struct{ arch.Arch }
+
+func (fakeArch) Name() string { return "pdp11" }
+
+// TestAssignFrameInvariants checks every target's frame layout: all
+// parameter offsets distinct and on the incoming side, all local
+// offsets distinct and on the frame side, nothing overlapping.
+func TestAssignFrameInvariants(t *testing.T) {
+	src := `
+int f(int a, double b, char c, int *d) {
+	int x;
+	double y;
+	char z;
+	int w[3];
+	x = a; y = b; z = c; w[0] = *d;
+	return x + (int)y + z + w[0];
+}
+`
+	for _, name := range []string{"mips", "sparc", "m68k", "vax"} {
+		a, _ := arch.Lookup(name)
+		em := NewEmitterFor(a)
+		unit, err := cc.Compile(src, "f.c", em.Conf())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := GenUnit(unit, em, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		fn := unit.Funcs[0]
+		if fn.FrameSize <= 0 {
+			t.Errorf("%s: frame size %d", name, fn.FrameSize)
+		}
+		type span struct{ lo, hi int32 }
+		var spans []span
+		addSpan := func(s *cc.Symbol) {
+			size := int32(s.Type.Size(em.Conf()))
+			if size < 4 {
+				size = 4
+			}
+			spans = append(spans, span{s.FrameOff, s.FrameOff + size})
+		}
+		for _, p := range fn.Params {
+			if p.FrameOff < 0 {
+				t.Errorf("%s: param %s at %d (incoming side must be non-negative)", name, p.Name, p.FrameOff)
+			}
+			addSpan(p)
+		}
+		for _, l := range fn.Locals {
+			if l.FrameOff >= 0 {
+				t.Errorf("%s: local %s at %d (locals live below the frame base)", name, l.Name, l.FrameOff)
+			}
+			if -l.FrameOff > fn.FrameSize {
+				t.Errorf("%s: local %s at %d outside frame %d", name, l.Name, l.FrameOff, fn.FrameSize)
+			}
+			addSpan(l)
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.lo < b.hi && b.lo < a.hi {
+					t.Errorf("%s: overlapping frame slots %v %v", name, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestDebugOnlyAddsStopsAndAnchors: with Debug off there is no anchor
+// table and no stop symbols; with it on, both appear.
+func TestDebugOnlyAddsStopsAndAnchors(t *testing.T) {
+	src := `static int s; int main() { s = 1; return s; }`
+	a, _ := arch.Lookup("vax")
+	for _, debug := range []bool{false, true} {
+		em := NewEmitterFor(a)
+		unit, err := cc.Compile(src, "s.c", em.Conf())
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := GenUnit(unit, em, Options{Debug: debug})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, hasAnchor := obj.FindSym(unit.AnchorSym)
+		if hasAnchor != debug {
+			t.Errorf("debug=%v: anchor present=%v", debug, hasAnchor)
+		}
+		_, hasStop := obj.FindSym(".stop_main_0")
+		if hasStop != debug {
+			t.Errorf("debug=%v: stop symbol present=%v", debug, hasStop)
+		}
+		if debug && len(obj.DataRelocs) == 0 {
+			t.Error("debug build has no anchor relocations")
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package codegen
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+	"ldb/internal/asm"
+	"ldb/internal/cc"
+)
+
+// buildData lays out the unit's data section: file-scope variables,
+// function-scope statics, string and float literals, and — when
+// compiling for debugging — the anchor table, one relocated word per
+// static variable and per stopping point (§2's anchor-symbol
+// technique: inserting relocatable addresses into locations known
+// relative to anchor symbols means ldb never needs the value of a
+// private or static symbol from the linker).
+func (g *gen) buildData(obj *asm.Unit) error {
+	a, ok := arch.Lookup(g.em.Conf().Name)
+	if !ok {
+		return fmt.Errorf("codegen: unknown architecture %q", g.em.Conf().Name)
+	}
+	order := a.Order()
+	tc := g.em.Conf()
+	var data []byte
+	align := func(n int) {
+		for len(data)%n != 0 {
+			data = append(data, 0)
+		}
+	}
+	addVar := func(sym *cc.Symbol) error {
+		al := sym.Type.Align(tc)
+		if al < 1 {
+			al = 1
+		}
+		align(al)
+		off := len(data)
+		size := sym.Type.Size(tc)
+		if size == 0 {
+			size = 4
+		}
+		data = append(data, make([]byte, size)...)
+		if sym.Init != nil {
+			if err := encodeInit(data[off:off+size], sym.Init, order, tc, obj, off, &g.errs); err != nil {
+				return err
+			}
+		}
+		obj.AddSym(sym.Label, asm.SecData, off, size, sym.Storage == cc.Extern)
+		return nil
+	}
+	for _, sym := range g.u.Globals {
+		if err := addVar(sym); err != nil {
+			return err
+		}
+	}
+	for _, fn := range g.u.Funcs {
+		for _, sym := range fn.Statics {
+			if err := addVar(sym); err != nil {
+				return err
+			}
+		}
+	}
+	for i, s := range g.u.Strings {
+		off := len(data)
+		data = append(data, []byte(s)...)
+		data = append(data, 0)
+		obj.AddSym(g.strLabel(i), asm.SecData, off, len(s)+1, false)
+	}
+	align(4)
+	for i, v := range g.fconsts {
+		align(8)
+		off := len(data)
+		data = append(data, make([]byte, 8)...)
+		amem.EncodeFloat(order, data[off:off+8], amem.Float64, v)
+		obj.AddSym(fmt.Sprintf(".fc%d", i), asm.SecData, off, 8, false)
+	}
+	if g.opts.Debug && g.u.AnchorWords > 0 {
+		align(4)
+		off := len(data)
+		targets := make([]string, g.u.AnchorWords)
+		record := func(idx int, label string) {
+			if idx >= 0 && idx < len(targets) {
+				targets[idx] = label
+			}
+		}
+		for _, sym := range g.u.Globals {
+			if sym.Storage == cc.Static {
+				record(sym.AnchorIdx, sym.Label)
+			}
+		}
+		for _, fn := range g.u.Funcs {
+			for _, sym := range fn.Statics {
+				record(sym.AnchorIdx, sym.Label)
+			}
+			for _, sp := range fn.Stops {
+				record(sp.AnchorIdx, sp.Label)
+			}
+		}
+		for i, label := range targets {
+			if label == "" {
+				return fmt.Errorf("codegen: anchor word %d has no target", i)
+			}
+			obj.DataRelocs = append(obj.DataRelocs, arch.Reloc{
+				Off: off + 4*i, Kind: arch.RelAbs32, Sym: label,
+			})
+		}
+		data = append(data, make([]byte, 4*g.u.AnchorWords)...)
+		obj.AddSym(g.u.AnchorSym, asm.SecData, off, 4*g.u.AnchorWords, true)
+	}
+	obj.Data = data
+	return nil
+}
+
+func encodeInit(dst []byte, init *cc.Expr, order binary.ByteOrder, tc *cc.TargetConf, obj *asm.Unit, off int, errs *[]error) error {
+	switch init.Op {
+	case cc.EConst:
+		switch len(dst) {
+		case 1:
+			dst[0] = byte(init.IVal)
+		case 2:
+			amem.WriteInt(order, dst[:2], uint64(init.IVal))
+		default:
+			amem.WriteInt(order, dst[:4], uint64(init.IVal))
+		}
+	case cc.EFConst:
+		switch len(dst) {
+		case 4:
+			amem.EncodeFloat(order, dst[:4], amem.Float32, init.FVal)
+		case 12:
+			amem.EncodeFloat(order, dst[:12], amem.Float80, init.FVal)
+		default:
+			amem.EncodeFloat(order, dst[:8], amem.Float64, init.FVal)
+		}
+	case cc.ECast:
+		return encodeInit(dst, init.L, order, tc, obj, off, errs)
+	case cc.EInitList:
+		t := init.Type
+		switch t.Kind {
+		case cc.TyArray:
+			es := t.Base.Size(tc)
+			for i, el := range init.Args {
+				if (i+1)*es > len(dst) {
+					return fmt.Errorf("%s: too many initializers", el.Pos)
+				}
+				if err := encodeInit(dst[i*es:(i+1)*es], el, order, tc, obj, off+i*es, errs); err != nil {
+					return err
+				}
+			}
+		case cc.TyStruct, cc.TyUnion:
+			for i, el := range init.Args {
+				if i >= len(t.Fields) {
+					return fmt.Errorf("%s: too many initializers", el.Pos)
+				}
+				f := t.Fields[i]
+				fs := f.Type.Size(tc)
+				if err := encodeInit(dst[f.Off:f.Off+fs], el, order, tc, obj, off+f.Off, errs); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("%s: braced initializer for a scalar", init.Pos)
+		}
+	case cc.EString:
+		// char array from a string literal; the rest stays zero.
+		copy(dst, init.SVal)
+	case cc.EAddr:
+		if init.L.Op == cc.EString {
+			obj.DataRelocs = append(obj.DataRelocs, arch.Reloc{
+				Off: off, Kind: arch.RelAbs32, Sym: fmt.Sprintf(".str%d", init.L.IVal),
+			})
+			return nil
+		}
+		if init.L.Op == cc.EIdent && init.L.Sym != nil {
+			obj.DataRelocs = append(obj.DataRelocs, arch.Reloc{
+				Off: off, Kind: arch.RelAbs32, Sym: init.L.Sym.Label,
+			})
+			return nil
+		}
+		return fmt.Errorf("%s: unsupported address initializer", init.Pos)
+	default:
+		if v, ok := constIntExpr(init); ok {
+			amem.WriteInt(order, dst[:4], uint64(v))
+			return nil
+		}
+		return fmt.Errorf("%s: initializer must be constant", init.Pos)
+	}
+	return nil
+}
+
+// constIntExpr mirrors cc's constant folding for initializers that
+// reach the back end unfolded.
+func constIntExpr(e *cc.Expr) (int64, bool) {
+	if e.Op == cc.EConst {
+		return e.IVal, true
+	}
+	return 0, false
+}
+
+// nullEmitter implements Emitter with no output; the sizing pass runs
+// the generic walker against it to learn stack depths before frames
+// are assigned.
+type nullEmitter struct {
+	conf *cc.TargetConf
+}
+
+func (n *nullEmitter) Conf() *cc.TargetConf  { return n.conf }
+func (n *nullEmitter) ArgsLeftToRight() bool { return false }
+func (n *nullEmitter) AssignFrame(*cc.Func, int, int) int32 {
+	return 0
+}
+func (n *nullEmitter) Prologue(*cc.Func)             {}
+func (n *nullEmitter) Epilogue(*cc.Func)             {}
+func (n *nullEmitter) Label(string)                  {}
+func (n *nullEmitter) StopPoint(string)              {}
+func (n *nullEmitter) Branch(string)                 {}
+func (n *nullEmitter) Const(int, int32)              {}
+func (n *nullEmitter) AddrLocal(int, int32)          {}
+func (n *nullEmitter) AddrGlobal(int, string, int64) {}
+func (n *nullEmitter) Load(int, int, MemType)        {}
+func (n *nullEmitter) Store(int, int, MemType)       {}
+func (n *nullEmitter) LoadF(int, int, int)           {}
+func (n *nullEmitter) StoreF(int, int, int)          {}
+func (n *nullEmitter) Move(int, int)                 {}
+func (n *nullEmitter) BinOp(Op, int, int, int)       {}
+func (n *nullEmitter) Neg(int, int)                  {}
+func (n *nullEmitter) Com(int, int)                  {}
+func (n *nullEmitter) CmpBr(Cond, int, int, string)  {}
+func (n *nullEmitter) Push(int, int)                 {}
+func (n *nullEmitter) Pop(int, int)                  {}
+func (n *nullEmitter) PushF(int, int)                {}
+func (n *nullEmitter) PopF(int, int)                 {}
+func (n *nullEmitter) Call(string, int, int)         {}
+func (n *nullEmitter) CallInd(int, int, int)         {}
+func (n *nullEmitter) Result(int)                    {}
+func (n *nullEmitter) SetRet(int)                    {}
+func (n *nullEmitter) FResult(int)                   {}
+func (n *nullEmitter) SetFRet(int)                   {}
+func (n *nullEmitter) FBinOp(Op, int, int, int)      {}
+func (n *nullEmitter) FMove(int, int)                {}
+func (n *nullEmitter) FNeg(int, int)                 {}
+func (n *nullEmitter) FCmpBr(Cond, int, int, string) {}
+func (n *nullEmitter) CvtIF(int, int)                {}
+func (n *nullEmitter) CvtFI(int, int)                {}
+func (n *nullEmitter) RoundSingle(int)               {}
+func (n *nullEmitter) Finish() ([]byte, []arch.Reloc, map[string]int, error) {
+	return nil, nil, nil, nil
+}
+func (n *nullEmitter) InstrCount() int        { return 0 }
+func (n *nullEmitter) Runtime(bool) *asm.Unit { return nil }

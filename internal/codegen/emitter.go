@@ -1,0 +1,185 @@
+// Package codegen is the retargetable back end: a machine-independent
+// tree-walking code generator drives a per-target Emitter (one file per
+// target), mirroring how lcc's machine-independent front end drives
+// per-target code generators through a small interface [10].
+//
+// The generator keeps the expression value being computed in a "top"
+// scratch register and spills deeper intermediates to an in-frame
+// evaluation stack, so the emitters stay small: each only knows how to
+// render ~30 primitive operations, its calling convention, and its
+// frame layout. When compiling for debugging it emits a label and a
+// no-op at every stopping point (§3: lcc already places labels at
+// stopping points, so putting no-ops there requires no extra effort).
+package codegen
+
+import (
+	"ldb/internal/arch"
+	"ldb/internal/asm"
+	"ldb/internal/cc"
+)
+
+// Op is a generic binary operator.
+type Op int
+
+// Generic binary operators.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr  // arithmetic (signed) right shift
+	OpShrU // logical (unsigned) right shift
+)
+
+// Cond is a generic comparison condition.
+type Cond int
+
+// Generic conditions; the U forms compare unsigned.
+const (
+	CondEq Cond = iota
+	CondNe
+	CondLt
+	CondLe
+	CondGt
+	CondGe
+	CondLtU
+	CondLeU
+	CondGtU
+	CondGeU
+)
+
+// Negate returns the complementary condition.
+func (c Cond) Negate() Cond {
+	switch c {
+	case CondEq:
+		return CondNe
+	case CondNe:
+		return CondEq
+	case CondLt:
+		return CondGe
+	case CondLe:
+		return CondGt
+	case CondGt:
+		return CondLe
+	case CondGe:
+		return CondLt
+	case CondLtU:
+		return CondGeU
+	case CondLeU:
+		return CondGtU
+	case CondGtU:
+		return CondLeU
+	case CondGeU:
+		return CondLtU
+	}
+	return c
+}
+
+// MemType describes the width and signedness of a scalar memory access.
+type MemType int
+
+// Memory access types.
+const (
+	MI8 MemType = iota
+	MU8
+	MI16
+	MU16
+	M32
+)
+
+// Width returns the access width in bytes.
+func (m MemType) Width() int {
+	switch m {
+	case MI8, MU8:
+		return 1
+	case MI16, MU16:
+		return 2
+	}
+	return 4
+}
+
+// Emitter is the machine-dependent half of the back end. Integer
+// scratch registers are named by small indices (0, 1, 2); float scratch
+// likewise. Depth arguments give the evaluation-stack depth in words
+// before the operation, for targets that place the evaluation stack at
+// fixed frame offsets (the MIPS keeps sp fixed so the runtime procedure
+// table can describe frames).
+type Emitter interface {
+	Conf() *cc.TargetConf
+	// ArgsLeftToRight reports the argument evaluation order the
+	// calling convention wants (true on the MIPS, where arguments are
+	// block-copied to the outgoing area; false on the stack-pushing
+	// targets, which push right to left).
+	ArgsLeftToRight() bool
+
+	// AssignFrame fixes FrameOff for every parameter and local and
+	// returns the frame size, given the maximum evaluation-stack depth
+	// and outgoing-argument area in words.
+	AssignFrame(fn *cc.Func, evalWords, maxArgWords int) int32
+	Prologue(fn *cc.Func)
+	Epilogue(fn *cc.Func)
+
+	Label(name string)
+	// StopPoint emits the stopping-point label and its no-op.
+	StopPoint(name string)
+	Branch(name string)
+
+	Const(r int, v int32)
+	AddrLocal(r int, off int32)
+	AddrGlobal(r int, sym string, add int64)
+	Load(dst, addr int, ty MemType)
+	Store(val, addr int, ty MemType)
+	LoadF(fdst, addr, size int)
+	StoreF(fsrc, addr, size int)
+	Move(dst, src int)
+	BinOp(op Op, dst, a, b int)
+	Neg(dst, a int)
+	Com(dst, a int)
+	CmpBr(c Cond, a, b int, label string)
+
+	Push(r, depth int)
+	Pop(r, depth int)
+	PushF(fr, depth int)
+	PopF(fr, depth int)
+
+	Call(sym string, argWords, depth int)
+	CallInd(r, argWords, depth int)
+	Result(r int)
+	SetRet(r int)
+	FResult(fr int)
+	SetFRet(fr int)
+
+	FBinOp(op Op, dst, a, b int)
+	FMove(dst, src int)
+	FNeg(dst, a int)
+	FCmpBr(c Cond, a, b int, label string)
+	CvtIF(fdst, rsrc int)
+	CvtFI(rdst, fsrc int)
+	RoundSingle(fr int)
+
+	// Finish returns the assembled text, its relocations, and the
+	// offsets of all labels bound in this fragment.
+	Finish() ([]byte, []arch.Reloc, map[string]int, error)
+	// InstrCount reports the number of instructions emitted so far.
+	InstrCount() int
+
+	// Runtime returns the target's runtime-support object: _start
+	// (which calls the nub pause before main, then exits), and the
+	// output routines _putint, _putchar, _putstr, and _putfloat.
+	Runtime(debug bool) *asm.Unit
+}
+
+// Scheduler is implemented by emitters whose assembler schedules
+// instructions — only the MIPS back end (§3: "lcc does not do
+// instruction scheduling, but the MIPS assembler does").
+type Scheduler interface {
+	EnableSched(bool)
+	// SchedStats reports how many load delay slots were filled by
+	// moving instructions and how many had to be padded with no-ops.
+	SchedStats() (filled, padded int)
+}

@@ -1,0 +1,614 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"ldb/internal/cc"
+)
+
+// memType maps a scalar C type to its access width and signedness.
+func memType(t *cc.Type) MemType {
+	switch t.Kind {
+	case cc.TyChar:
+		return MI8
+	case cc.TyShort:
+		return MI16
+	default:
+		return M32
+	}
+}
+
+// floatSize maps a floating C type to its abstract-memory size.
+func (g *gen) floatSize(t *cc.Type) int {
+	switch t.Kind {
+	case cc.TyFloat:
+		return 4
+	case cc.TyLDouble:
+		if g.em.Conf().LDoubleSize == 12 {
+			return 10
+		}
+		return 8
+	default:
+		return 8
+	}
+}
+
+// isLeaf reports whether e can be evaluated into an arbitrary register
+// without disturbing T or the evaluation stack.
+func (g *gen) isLeaf(e *cc.Expr) bool {
+	switch e.Op {
+	case cc.EConst:
+		return true
+	case cc.EIdent:
+		return e.Sym != nil && e.Sym.Kind != cc.SymFunc && e.Type.IsInteger() ||
+			(e.Sym != nil && e.Type.Kind == cc.TyPtr)
+	}
+	return false
+}
+
+// genLeaf evaluates a leaf into register r. The address goes through
+// the V scratch register so consecutive statements' address
+// computations are independent of the accumulator — freedom the MIPS
+// delay-slot scheduler exploits (§3).
+func (g *gen) genLeaf(e *cc.Expr, r int) {
+	switch e.Op {
+	case cc.EConst:
+		g.em.Const(r, int32(e.IVal))
+	case cc.EIdent:
+		ar := g.leafAddrReg()
+		g.genAddrLeafInto(e.Sym, ar)
+		g.em.Load(r, ar, memType(e.Type))
+	default:
+		panic("codegen: genLeaf on non-leaf")
+	}
+}
+
+// leafAddrReg alternates between the two address scratch registers so
+// consecutive leaf accesses are register-independent: that is what
+// gives the MIPS delay-slot scheduler instructions to move (§3).
+func (g *gen) leafAddrReg() int {
+	g.leafAlt = !g.leafAlt
+	if g.leafAlt {
+		return regV
+	}
+	return regW
+}
+
+func (g *gen) genAddrLeafInto(sym *cc.Symbol, r int) {
+	if sym.Storage == cc.Auto {
+		g.em.AddrLocal(r, sym.FrameOff)
+	} else {
+		g.em.AddrGlobal(r, sym.Label, 0)
+	}
+}
+
+// genOperands evaluates L and R (integer/pointer case) and reports
+// which registers hold them: when R is a leaf it loads straight into U
+// (L stays in T); otherwise L spills around R and pops into U.
+func (g *gen) genOperands(l, r *cc.Expr) (la, rb int) {
+	if g.isLeaf(r) {
+		g.genExpr(l)
+		g.genLeaf(r, regU)
+		return regT, regU
+	}
+	g.genExpr(l)
+	g.push(regT)
+	g.genExpr(r)
+	g.pop(regU)
+	return regU, regT
+}
+
+// genAddr leaves the address of lvalue e in T.
+func (g *gen) genAddr(e *cc.Expr) {
+	switch e.Op {
+	case cc.EIdent:
+		g.genAddrLeafInto(e.Sym, regT)
+	case cc.EDeref:
+		g.genExpr(e.L)
+	case cc.EMember:
+		g.genAddr(e.L)
+		if e.Field.Off != 0 {
+			g.em.Const(regU, int32(e.Field.Off))
+			g.em.BinOp(OpAdd, regT, regT, regU)
+		}
+	case cc.EString:
+		g.em.AddrGlobal(regT, g.strLabel(int(e.IVal)), 0)
+	default:
+		g.errf(e.Pos, "cannot take the address of this expression")
+	}
+}
+
+func (g *gen) strLabel(i int) string { return fmt.Sprintf(".str%d", i) }
+
+func (g *gen) fconstLabel(v float64) string {
+	for i, f := range g.fconsts {
+		if f == v {
+			return fmt.Sprintf(".fc%d", i)
+		}
+	}
+	g.fconsts = append(g.fconsts, v)
+	return fmt.Sprintf(".fc%d", len(g.fconsts)-1)
+}
+
+// loadFConst materializes a float constant into float register fr,
+// using integer scratch r for the address.
+func (g *gen) loadFConst(v float64, fr, r int) {
+	if v == float64(int32(v)) {
+		g.em.Const(r, int32(v))
+		g.em.CvtIF(fr, r)
+		return
+	}
+	g.em.AddrGlobal(r, g.fconstLabel(v), 0)
+	g.em.LoadF(fr, r, 8)
+}
+
+// elemSize returns the pointee size for pointer arithmetic.
+func (g *gen) elemSize(t *cc.Type) int32 {
+	if t.Kind != cc.TyPtr || t.Base == nil {
+		return 1
+	}
+	return int32(t.Base.Size(g.em.Conf()))
+}
+
+// genExpr evaluates e into T (integers and pointers) or FT (floats).
+func (g *gen) genExpr(e *cc.Expr) {
+	if e == nil {
+		return
+	}
+	switch e.Op {
+	case cc.EConst:
+		g.em.Const(regT, int32(e.IVal))
+	case cc.EFConst:
+		g.loadFConst(e.FVal, regT, regT)
+	case cc.EString:
+		g.genAddr(e)
+	case cc.EIdent:
+		sym := e.Sym
+		if sym == nil {
+			g.em.Const(regT, 0)
+			return
+		}
+		if sym.Kind == cc.SymFunc {
+			g.em.AddrGlobal(regT, sym.Label, 0)
+			return
+		}
+		ar := g.leafAddrReg()
+		g.genAddrLeafInto(sym, ar)
+		if isFloat(e.Type) {
+			g.em.LoadF(regT, ar, g.floatSize(e.Type))
+		} else {
+			g.em.Load(regT, ar, memType(e.Type))
+		}
+	case cc.EAddr:
+		if e.L.Op == cc.EIdent && e.L.Sym != nil && e.L.Sym.Kind == cc.SymFunc {
+			g.em.AddrGlobal(regT, e.L.Sym.Label, 0)
+			return
+		}
+		g.genAddr(e.L)
+	case cc.EDeref:
+		g.genExpr(e.L)
+		if e.Type.Kind == cc.TyArray || e.Type.Kind == cc.TyStruct || e.Type.Kind == cc.TyUnion || e.Type.Kind == cc.TyFunc {
+			return // address is the value for aggregates
+		}
+		if isFloat(e.Type) {
+			g.em.LoadF(regT, regT, g.floatSize(e.Type))
+		} else {
+			g.em.Load(regT, regT, memType(e.Type))
+		}
+	case cc.EMember:
+		g.genAddr(e)
+		if e.Type.Kind == cc.TyArray || e.Type.Kind == cc.TyStruct || e.Type.Kind == cc.TyUnion {
+			return
+		}
+		if isFloat(e.Type) {
+			g.em.LoadF(regT, regT, g.floatSize(e.Type))
+		} else {
+			g.em.Load(regT, regT, memType(e.Type))
+		}
+	case cc.EAssign:
+		g.genAssign(e)
+	case cc.ECast:
+		g.genCast(e)
+	case cc.ECall:
+		g.genCall(e)
+	case cc.ENeg:
+		g.genExpr(e.L)
+		if isFloat(e.Type) {
+			g.em.FNeg(regT, regT)
+		} else {
+			g.em.Neg(regT, regT)
+		}
+	case cc.EBitNot:
+		g.genExpr(e.L)
+		g.em.Com(regT, regT)
+	case cc.ELogNot, cc.ELogAnd, cc.ELogOr, cc.EEq, cc.ENe, cc.ELt, cc.ELe, cc.EGt, cc.EGe:
+		lTrue := g.label("true")
+		lEnd := g.label("bool")
+		g.genCondTrue(e, lTrue)
+		g.em.Const(regT, 0)
+		g.em.Branch(lEnd)
+		g.em.Label(lTrue)
+		g.em.Const(regT, 1)
+		g.em.Label(lEnd)
+	case cc.EAdd, cc.ESub, cc.EMul, cc.EDiv, cc.ERem, cc.EAnd, cc.EOr, cc.EXor, cc.EShl, cc.EShr:
+		g.genBinary(e)
+	case cc.EPostInc, cc.EPostDec, cc.EPreInc, cc.EPreDec:
+		g.genIncDec(e)
+	case cc.EComma:
+		g.genExpr(e.L) // for effect
+		g.genExpr(e.R)
+	case cc.ECond:
+		lElse := g.label("celse")
+		lEnd := g.label("cend")
+		g.genCondFalse(e.L, lElse)
+		g.genExpr(e.Args[0])
+		g.em.Branch(lEnd)
+		g.em.Label(lElse)
+		g.genExpr(e.Args[1])
+		g.em.Label(lEnd)
+	default:
+		g.errf(e.Pos, "codegen: unhandled expression %v", e.Op)
+	}
+}
+
+func (g *gen) genBinary(e *cc.Expr) {
+	if isFloat(e.Type) {
+		var op Op
+		switch e.Op {
+		case cc.EAdd:
+			op = OpAdd
+		case cc.ESub:
+			op = OpSub
+		case cc.EMul:
+			op = OpMul
+		case cc.EDiv:
+			op = OpDiv
+		default:
+			g.errf(e.Pos, "invalid float operator %v", e.Op)
+			return
+		}
+		g.genExpr(e.L)
+		g.pushF(regT)
+		g.genExpr(e.R)
+		g.popF(regU)
+		g.em.FBinOp(op, regT, regU, regT)
+		return
+	}
+	// Pointer arithmetic scales by the element size.
+	if e.Type.Kind == cc.TyPtr && (e.Op == cc.EAdd || e.Op == cc.ESub) && e.R.Type.IsInteger() {
+		size := g.elemSize(e.Type)
+		g.genExpr(e.L)
+		g.push(regT)
+		g.genExpr(e.R)
+		if size != 1 {
+			g.em.Move(regU, regT)
+			g.em.Const(regT, size)
+			g.em.BinOp(OpMul, regT, regU, regT)
+		}
+		g.pop(regU)
+		op := OpAdd
+		if e.Op == cc.ESub {
+			op = OpSub
+		}
+		g.em.BinOp(op, regT, regU, regT)
+		return
+	}
+	// Pointer difference divides by the element size.
+	if e.Op == cc.ESub && e.L.Type.Kind == cc.TyPtr && e.R.Type.Kind == cc.TyPtr {
+		la, rb := g.genOperands(e.L, e.R)
+		g.em.BinOp(OpSub, regT, la, rb)
+		if size := g.elemSize(e.L.Type); size != 1 {
+			g.em.Move(regU, regT)
+			g.em.Const(regT, size)
+			g.em.BinOp(OpDiv, regT, regU, regT)
+		}
+		return
+	}
+	var op Op
+	switch e.Op {
+	case cc.EAdd:
+		op = OpAdd
+	case cc.ESub:
+		op = OpSub
+	case cc.EMul:
+		op = OpMul
+	case cc.EDiv:
+		op = OpDiv
+	case cc.ERem:
+		op = OpRem
+	case cc.EAnd:
+		op = OpAnd
+	case cc.EOr:
+		op = OpOr
+	case cc.EXor:
+		op = OpXor
+	case cc.EShl:
+		op = OpShl
+	case cc.EShr:
+		if e.L.Type.Kind == cc.TyUInt {
+			op = OpShrU
+		} else {
+			op = OpShr
+		}
+	}
+	la, rb := g.genOperands(e.L, e.R)
+	g.em.BinOp(op, regT, la, rb)
+}
+
+func (g *gen) genAssign(e *cc.Expr) {
+	if isFloat(e.Type) {
+		// Evaluate the address first: calls inside the value would
+		// clobber FT, and calls inside the address would clobber FT if
+		// the value went first, so the address is spilled around the
+		// value computation.
+		size := g.floatSize(e.Type)
+		if e.L.Op == cc.EIdent {
+			g.genExpr(e.R)
+			g.genAddrLeafInto(e.L.Sym, regT)
+			g.em.StoreF(regT, regT, size)
+			return
+		}
+		g.genAddr(e.L)
+		g.push(regT)
+		g.genExpr(e.R)
+		g.pop(regT)
+		g.em.StoreF(regT, regT, size)
+		return
+	}
+	if l := e.L; l.Op == cc.EIdent {
+		g.genExpr(e.R)
+		ar := g.leafAddrReg()
+		g.genAddrLeafInto(l.Sym, ar)
+		g.em.Store(regT, ar, memType(e.Type))
+		return
+	}
+	g.genExpr(e.R)
+	g.push(regT)
+	g.genAddr(e.L)
+	g.pop(regU)
+	g.em.Store(regU, regT, memType(e.Type))
+	g.em.Move(regT, regU) // the assignment's value
+}
+
+func (g *gen) genCast(e *cc.Expr) {
+	from, to := e.L.Type, e.Type
+	g.genExpr(e.L)
+	switch {
+	case from.IsInteger() && to.IsFloat():
+		// Unsigned sources convert as signed (documented subset
+		// restriction); values above 2^31 are rare in the workloads.
+		g.em.CvtIF(regT, regT)
+		if to.Kind == cc.TyFloat {
+			g.em.RoundSingle(regT)
+		}
+	case from.IsFloat() && to.IsInteger():
+		g.em.CvtFI(regT, regT)
+		g.narrow(to)
+	case from.IsFloat() && to.IsFloat():
+		if to.Kind == cc.TyFloat {
+			g.em.RoundSingle(regT)
+		}
+	case to.Kind == cc.TyVoid:
+	default:
+		g.narrow(to)
+	}
+}
+
+// narrow truncates/extends the value in T to an integer subtype.
+func (g *gen) narrow(to *cc.Type) {
+	var bits int32
+	switch to.Kind {
+	case cc.TyChar:
+		bits = 24
+	case cc.TyShort:
+		bits = 16
+	default:
+		return
+	}
+	g.em.Const(regU, bits)
+	g.em.BinOp(OpShl, regT, regT, regU)
+	g.em.BinOp(OpShr, regT, regT, regU)
+}
+
+func (g *gen) genIncDec(e *cc.Expr) {
+	if isFloat(e.Type) {
+		size := g.floatSize(e.Type)
+		g.genAddr(e.L)
+		g.em.Move(regV, regT) // V = address
+		g.em.LoadF(regT, regV, size)
+		g.loadFConst(1, regU, regU)
+		op := OpAdd
+		if e.Op == cc.EPostDec || e.Op == cc.EPreDec {
+			op = OpSub
+		}
+		g.em.FBinOp(op, regU, regT, regU) // FU = old ± 1
+		g.em.StoreF(regU, regV, size)
+		if e.Op == cc.EPreInc || e.Op == cc.EPreDec {
+			g.em.FMove(regT, regU)
+		}
+		// post forms leave the old value in FT
+		return
+	}
+	delta := int32(1)
+	if e.Type.Kind == cc.TyPtr {
+		delta = g.elemSize(e.Type)
+	}
+	op := OpAdd
+	if e.Op == cc.EPostDec || e.Op == cc.EPreDec {
+		op = OpSub
+	}
+	g.genAddr(e.L)
+	g.em.Move(regV, regT) // V = address
+	g.em.Load(regT, regV, memType(e.Type))
+	g.em.Const(regU, delta)
+	g.em.BinOp(op, regU, regT, regU) // U = new value
+	g.em.Store(regU, regV, memType(e.Type))
+	if e.Op == cc.EPreInc || e.Op == cc.EPreDec {
+		g.em.Move(regT, regU)
+	}
+	// post forms leave the old value in T
+}
+
+func (g *gen) genCall(e *cc.Expr) {
+	// printf with a constant format expands into runtime output calls.
+	if id := e.L; id.Op == cc.EIdent && id.Sym != nil && id.Sym.Name == "printf" {
+		g.genPrintf(e)
+		return
+	}
+	words := 0
+	argWords := func(a *cc.Expr) int {
+		if isFloat(a.Type) {
+			return 2
+		}
+		return 1
+	}
+	for _, a := range e.Args {
+		words += argWords(a)
+	}
+	pushArg := func(a *cc.Expr) {
+		g.genExpr(a)
+		if isFloat(a.Type) {
+			g.pushF(regT)
+		} else {
+			g.push(regT)
+		}
+	}
+	if g.em.ArgsLeftToRight() {
+		for _, a := range e.Args {
+			pushArg(a)
+		}
+	} else {
+		for i := len(e.Args) - 1; i >= 0; i-- {
+			pushArg(e.Args[i])
+		}
+	}
+	if words > g.maxArgs {
+		g.maxArgs = words
+	}
+	switch {
+	case e.L.Op == cc.EIdent && e.L.Sym != nil && e.L.Sym.Kind == cc.SymFunc:
+		g.em.Call(e.L.Sym.Label, words, g.depth)
+	default:
+		g.genExpr(e.L) // function pointer value
+		g.em.CallInd(regT, words, g.depth)
+	}
+	g.depth -= words
+	switch {
+	case e.Type.Kind == cc.TyVoid:
+	case isFloat(e.Type):
+		g.em.FResult(regT)
+	default:
+		g.em.Result(regT)
+	}
+}
+
+// genPrintf expands printf("fmt", args...) into calls to the runtime
+// output routines (_putstr, _putint, _putchar, _putfloat); the
+// simulated OS implements those with write system calls.
+func (g *gen) genPrintf(e *cc.Expr) {
+	if len(e.Args) == 0 {
+		g.errf(e.Pos, "printf requires a constant format string")
+		return
+	}
+	fmtArg := e.Args[0]
+	if fmtArg.Op == cc.EAddr && fmtArg.L != nil {
+		fmtArg = fmtArg.L // the literal decayed to &"..."[0]
+	}
+	if fmtArg.Op != cc.EString {
+		g.errf(e.Pos, "printf requires a constant format string")
+		return
+	}
+	format := fmtArg.SVal
+	args := e.Args[1:]
+	nextArg := func() *cc.Expr {
+		if len(args) == 0 {
+			g.errf(e.Pos, "printf: not enough arguments for format %q", format)
+			return nil
+		}
+		a := args[0]
+		args = args[1:]
+		return a
+	}
+	call1 := func(fn string, a *cc.Expr) {
+		if a == nil {
+			return
+		}
+		words := 1
+		g.genExpr(a)
+		if isFloat(a.Type) {
+			words = 2
+			g.pushF(regT)
+		} else {
+			g.push(regT)
+		}
+		if words > g.maxArgs {
+			g.maxArgs = words
+		}
+		g.em.Call(fn, words, g.depth)
+		g.depth -= words
+	}
+	emitText := func(s string) {
+		if s == "" {
+			return
+		}
+		idx := g.internString(s)
+		lit := &cc.Expr{Op: cc.EString, Type: cc.ArrayOf(cc.CharType, len(s)+1), IVal: int64(idx), SVal: s}
+		addr := &cc.Expr{Op: cc.EAddr, Type: cc.PtrTo(cc.CharType), L: lit}
+		call1("_putstr", addr)
+	}
+	var text strings.Builder
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' || i+1 >= len(format) {
+			text.WriteByte(c)
+			continue
+		}
+		i++
+		switch format[i] {
+		case '%':
+			text.WriteByte('%')
+		case 'd', 'i':
+			emitText(text.String())
+			text.Reset()
+			call1("_putint", nextArg())
+		case 'c':
+			emitText(text.String())
+			text.Reset()
+			call1("_putchar", nextArg())
+		case 's':
+			emitText(text.String())
+			text.Reset()
+			call1("_putstr", nextArg())
+		case 'x':
+			emitText(text.String())
+			text.Reset()
+			call1("_puthex", nextArg())
+		case 'u':
+			emitText(text.String())
+			text.Reset()
+			call1("_putuint", nextArg())
+		case 'f', 'g', 'e':
+			emitText(text.String())
+			text.Reset()
+			call1("_putfloat", nextArg())
+		default:
+			g.errf(e.Pos, "printf: unsupported conversion %%%c", format[i])
+		}
+	}
+	emitText(text.String())
+	if len(args) > 0 {
+		g.errf(e.Pos, "printf: too many arguments for format %q", format)
+	}
+	g.em.Const(regT, 0) // printf's value
+}
+
+func (g *gen) internString(s string) int {
+	for i, t := range g.u.Strings {
+		if t == s {
+			return i
+		}
+	}
+	g.u.Strings = append(g.u.Strings, s)
+	return len(g.u.Strings) - 1
+}

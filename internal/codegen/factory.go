@@ -1,0 +1,26 @@
+package codegen
+
+import (
+	"fmt"
+
+	"ldb/internal/arch"
+	"ldb/internal/arch/mips"
+)
+
+// NewEmitterFor returns a fresh back end for a registered architecture.
+// Emitters buffer output and are not reusable across units.
+func NewEmitterFor(a arch.Arch) Emitter {
+	switch a.Name() {
+	case "mips":
+		return NewMIPS(mips.Little)
+	case "mipsbe":
+		return NewMIPS(mips.Big)
+	case "sparc":
+		return NewSPARC()
+	case "m68k":
+		return NewM68k()
+	case "vax":
+		return NewVAX()
+	}
+	panic(fmt.Sprintf("codegen: no back end for %s", a.Name()))
+}

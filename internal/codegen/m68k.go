@@ -1,0 +1,316 @@
+package codegen
+
+import (
+	"ldb/internal/arch"
+	"ldb/internal/arch/m68k"
+	"ldb/internal/asm"
+	"ldb/internal/cc"
+)
+
+// m68kEmitter targets the 68020: link/unlk frames on a6, arguments
+// pushed right to left, two-address arithmetic (with d7/f7 as private
+// temporaries for the rare three-address shapes), and long double as a
+// genuine third float size (80-bit extended, 12-byte storage).
+type m68kEmitter struct {
+	a    *m68k.Asm
+	conf *cc.TargetConf
+}
+
+// NewM68k returns the 68020 emitter.
+func NewM68k() Emitter {
+	return &m68kEmitter{a: m68k.NewAsm(), conf: &cc.TargetConf{Name: "m68k", LDoubleSize: 12}}
+}
+
+// Scratch: d4, d5, d6, d3; d7 and f7 are private temporaries.
+func kr(i int) int {
+	if i == 3 {
+		return m68k.D3 // d3 is free outside the runtime's syscall glue
+	}
+	return m68k.D4 + i
+}
+func kfr(i int) int { return i + 1 }
+
+const (
+	kTmp  = m68k.D7
+	kFTmp = 7
+)
+
+func (e *m68kEmitter) Conf() *cc.TargetConf  { return e.conf }
+func (e *m68kEmitter) ArgsLeftToRight() bool { return false }
+
+func (e *m68kEmitter) AssignFrame(fn *cc.Func, evalWords, maxArgWords int) int32 {
+	off := int32(8) // a6+4 is the return address; arguments above
+	for _, p := range fn.Params {
+		p.FrameOff = off
+		size := int32(p.Type.Size(e.conf))
+		if size < 4 {
+			size = 4
+		}
+		off += (size + 3) &^ 3
+	}
+	loc := int32(0)
+	for _, l := range fn.Locals {
+		size := int32(l.Type.Size(e.conf))
+		if size < 4 {
+			size = 4
+		}
+		loc -= (size + 3) &^ 3
+		l.FrameOff = loc
+	}
+	return (-loc + 3) &^ 3
+}
+
+func (e *m68kEmitter) Prologue(fn *cc.Func) {
+	e.a.Link(6, int16(-fn.FrameSize))
+}
+
+func (e *m68kEmitter) Epilogue(fn *cc.Func) {
+	e.a.Unlk(6)
+	e.a.Rts()
+}
+
+func (e *m68kEmitter) Label(name string) { e.a.Label(name) }
+
+func (e *m68kEmitter) StopPoint(name string) {
+	e.a.Label(name)
+	e.a.Nop()
+}
+
+func (e *m68kEmitter) Branch(name string) { e.a.Bra(name) }
+
+func (e *m68kEmitter) Const(r int, v int32) { e.a.MoveImm(kr(r), v) }
+
+func (e *m68kEmitter) AddrLocal(r int, off int32) {
+	e.a.LeaD(kr(r), m68k.FPr, int16(off))
+}
+
+func (e *m68kEmitter) AddrGlobal(r int, sym string, add int64) {
+	e.a.Lea(kr(r), sym, add)
+}
+
+func (e *m68kEmitter) Load(dst, addr int, ty MemType) {
+	minor := map[MemType]int{MI8: m68k.MvLoadB, MU8: m68k.MvLoadBu, MI16: m68k.MvLoadW, MU16: m68k.MvLoadWu, M32: m68k.MvLoadL}[ty]
+	e.a.Mem(minor, kr(dst), kr(addr), 0)
+}
+
+func (e *m68kEmitter) Store(val, addr int, ty MemType) {
+	minor := map[MemType]int{MI8: m68k.MvStoreB, MU8: m68k.MvStoreB, MI16: m68k.MvStoreW, MU16: m68k.MvStoreW, M32: m68k.MvStoreL}[ty]
+	e.a.Mem(minor, kr(val), kr(addr), 0)
+}
+
+func m68kFSize(size int) (load, store int) {
+	switch size {
+	case 4:
+		return m68k.FLoadS, m68k.FStoreS
+	case 10:
+		return m68k.FLoadX, m68k.FStoreX
+	default:
+		return m68k.FLoadD, m68k.FStoreD
+	}
+}
+
+func (e *m68kEmitter) LoadF(fdst, addr, size int) {
+	ld, _ := m68kFSize(size)
+	e.a.FMem(ld, kfr(fdst), kr(addr), 0)
+}
+
+func (e *m68kEmitter) StoreF(fsrc, addr, size int) {
+	_, st := m68kFSize(size)
+	e.a.FMem(st, kfr(fsrc), kr(addr), 0)
+}
+
+func (e *m68kEmitter) Move(dst, src int) { e.a.Move(kr(dst), kr(src)) }
+
+var m68kArith = map[Op]int{
+	OpAdd: m68k.ArAdd, OpSub: m68k.ArSub, OpMul: m68k.ArMul,
+	OpDiv: m68k.ArDiv, OpAnd: m68k.ArAnd, OpOr: m68k.ArOr,
+	OpXor: m68k.ArXor, OpShl: m68k.ArLsl, OpShr: m68k.ArAsr,
+	OpShrU: m68k.ArLsr,
+}
+
+func (e *m68kEmitter) BinOp(op Op, dst, a, b int) {
+	d, x, y := kr(dst), kr(a), kr(b)
+	if op == OpRem {
+		// d7 = x; d7 /= y; d7 *= y; then dst = x - d7.
+		e.a.Move(kTmp, x)
+		e.a.Arith(m68k.ArDiv, kTmp, y)
+		e.a.Arith(m68k.ArMul, kTmp, y)
+		if d != x {
+			e.a.Move(d, x)
+		}
+		e.a.Arith(m68k.ArSub, d, kTmp)
+		return
+	}
+	minor := m68kArith[op]
+	switch {
+	case d == x:
+		e.a.Arith(minor, d, y)
+	case d == y:
+		e.a.Move(kTmp, x)
+		e.a.Arith(minor, kTmp, y)
+		e.a.Move(d, kTmp)
+	default:
+		e.a.Move(d, x)
+		e.a.Arith(minor, d, y)
+	}
+}
+
+func (e *m68kEmitter) Neg(dst, a int) {
+	if dst != a {
+		e.a.Move(kr(dst), kr(a))
+	}
+	e.a.Arith(m68k.ArNeg, kr(dst), 0)
+}
+
+func (e *m68kEmitter) Com(dst, a int) {
+	if dst != a {
+		e.a.Move(kr(dst), kr(a))
+	}
+	e.a.Arith(m68k.ArNot, kr(dst), 0)
+}
+
+var m68kCond = map[Cond]int{
+	CondEq: m68k.CcEQ, CondNe: m68k.CcNE,
+	CondLt: m68k.CcLT, CondLe: m68k.CcLE,
+	CondGt: m68k.CcGT, CondGe: m68k.CcGE,
+	CondLtU: m68k.CcCS, CondLeU: m68k.CcLS,
+	CondGtU: m68k.CcHI, CondGeU: m68k.CcCC,
+}
+
+func (e *m68kEmitter) CmpBr(c Cond, a, b int, label string) {
+	e.a.Cmp(kr(a), kr(b))
+	e.a.Branch(m68kCond[c], label)
+}
+
+func (e *m68kEmitter) Push(r, depth int) { e.a.Push(kr(r)) }
+func (e *m68kEmitter) Pop(r, depth int)  { e.a.Pop(kr(r)) }
+
+func (e *m68kEmitter) PushF(fr, depth int) {
+	e.a.AddI(m68k.SPr, -8)
+	e.a.FMem(m68k.FStoreD, kfr(fr), m68k.SPr, 0)
+}
+
+func (e *m68kEmitter) PopF(fr, depth int) {
+	e.a.FMem(m68k.FLoadD, kfr(fr), m68k.SPr, 0)
+	e.a.AddI(m68k.SPr, 8)
+}
+
+func (e *m68kEmitter) Call(sym string, argWords, depth int) {
+	e.a.Jsr(sym)
+	if argWords > 0 {
+		e.a.AddI(m68k.SPr, int16(argWords)*4)
+	}
+}
+
+func (e *m68kEmitter) CallInd(r, argWords, depth int) {
+	e.a.Move(m68k.A0, kr(r))
+	e.a.JsrReg(0)
+	if argWords > 0 {
+		e.a.AddI(m68k.SPr, int16(argWords)*4)
+	}
+}
+
+func (e *m68kEmitter) Result(r int)   { e.a.Move(kr(r), m68k.D0) }
+func (e *m68kEmitter) SetRet(r int)   { e.a.Move(m68k.D0, kr(r)) }
+func (e *m68kEmitter) FResult(fr int) { e.a.F(m68k.FMove, kfr(fr), 0) }
+func (e *m68kEmitter) SetFRet(fr int) { e.a.F(m68k.FMove, 0, kfr(fr)) }
+
+var m68kFArith = map[Op]int{
+	OpAdd: m68k.FAdd, OpSub: m68k.FSub, OpMul: m68k.FMul, OpDiv: m68k.FDiv,
+}
+
+func (e *m68kEmitter) FBinOp(op Op, dst, a, b int) {
+	d, x, y := kfr(dst), kfr(a), kfr(b)
+	minor := m68kFArith[op]
+	switch {
+	case d == x:
+		e.a.F(minor, d, y)
+	case d == y:
+		e.a.F(m68k.FMove, kFTmp, x)
+		e.a.F(minor, kFTmp, y)
+		e.a.F(m68k.FMove, d, kFTmp)
+	default:
+		e.a.F(m68k.FMove, d, x)
+		e.a.F(minor, d, y)
+	}
+}
+
+func (e *m68kEmitter) FMove(dst, src int) { e.a.F(m68k.FMove, kfr(dst), kfr(src)) }
+
+func (e *m68kEmitter) FNeg(dst, a int) {
+	if dst != a {
+		e.a.F(m68k.FMove, kfr(dst), kfr(a))
+	}
+	e.a.F(m68k.FNeg, kfr(dst), 0)
+}
+
+func (e *m68kEmitter) FCmpBr(c Cond, a, b int, label string) {
+	e.a.F(m68k.FCmp, kfr(a), kfr(b))
+	e.a.Branch(m68kCond[c], label)
+}
+
+func (e *m68kEmitter) CvtIF(fdst, rsrc int) { e.a.F(m68k.FFromI, kfr(fdst), kr(rsrc)) }
+func (e *m68kEmitter) CvtFI(rdst, fsrc int) { e.a.F(m68k.FToI, kr(rdst), kfr(fsrc)) }
+
+func (e *m68kEmitter) RoundSingle(fr int) {
+	// Round through a single-precision memory image on the stack.
+	e.a.AddI(m68k.SPr, -4)
+	e.a.FMem(m68k.FStoreS, kfr(fr), m68k.SPr, 0)
+	e.a.FMem(m68k.FLoadS, kfr(fr), m68k.SPr, 0)
+	e.a.AddI(m68k.SPr, 4)
+}
+
+// InstrCount implements Emitter.
+func (e *m68kEmitter) InstrCount() int { return e.a.Instrs() }
+
+func (e *m68kEmitter) Finish() ([]byte, []arch.Reloc, map[string]int, error) {
+	code, relocs, err := e.a.Finish()
+	return code, relocs, e.a.Labels(), err
+}
+
+// Runtime implements Emitter.
+func (e *m68kEmitter) Runtime(debug bool) *asm.Unit {
+	a := m68k.NewAsm()
+	obj := &asm.Unit{Name: "runtime", Arch: "m68k"}
+	def := func(name string, f func()) {
+		start := a.Off()
+		a.Label(name)
+		f()
+		obj.AddSym(name, asm.SecText, start, a.Off()-start, true)
+		obj.Funcs = append(obj.Funcs, asm.FuncInfo{Sym: name, FrameSize: 0})
+	}
+	def("_start", func() {
+		if debug {
+			a.Trap(14)
+		}
+		a.Jsr("_main")
+		a.Move(m68k.D2, m68k.D0)
+		a.MoveImm(m68k.D1, arch.SysExit)
+		a.Trap(1)
+	})
+	put := func(name string, sys int32, addrOf bool) {
+		def(name, func() {
+			if addrOf {
+				a.LeaD(m68k.D2, m68k.SPr, 4)
+			} else {
+				a.Mem(m68k.MvLoadL, m68k.D2, m68k.SPr, 4)
+			}
+			a.MoveImm(m68k.D1, sys)
+			a.Trap(1)
+			a.Rts()
+		})
+	}
+	put("_putint", arch.SysPutInt, false)
+	put("_putchar", arch.SysPutChar, false)
+	put("_putstr", arch.SysPutStr, false)
+	put("_puthex", arch.SysPutHex, false)
+	put("_putuint", arch.SysPutUint, false)
+	put("_putfloat", arch.SysPutFloat, true)
+	code, relocs, err := a.Finish()
+	if err != nil {
+		panic("m68k runtime: " + err.Error())
+	}
+	obj.Text, obj.TextRelocs = code, relocs
+	obj.Instrs = a.Instrs()
+	return obj
+}

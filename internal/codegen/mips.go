@@ -1,0 +1,344 @@
+package codegen
+
+import (
+	"ldb/internal/arch"
+	"ldb/internal/arch/mips"
+	"ldb/internal/asm"
+	"ldb/internal/cc"
+)
+
+// mipsEmitter targets the MIPS. The stack pointer is fixed for the
+// whole body (the runtime procedure table describes frames by size, so
+// nothing may move sp mid-function): the evaluation stack and the
+// outgoing-argument area live at fixed offsets, and arguments are
+// block-copied to the bottom of the frame before each call. Locals are
+// addressed relative to the virtual frame pointer vfp = sp + frame.
+type mipsEmitter struct {
+	m    *mips.Mips
+	a    *mips.Asm
+	conf *cc.TargetConf
+
+	frame   int32 // current function's frame size
+	argArea int32 // bytes reserved for outgoing arguments
+	layouts map[*cc.Func][2]int32
+}
+
+// NewMIPS returns the emitter for the given MIPS variant (big- or
+// little-endian).
+func NewMIPS(m *mips.Mips) Emitter {
+	return &mipsEmitter{
+		m:       m,
+		a:       mips.NewAsm(m),
+		conf:    &cc.TargetConf{Name: m.Name(), LDoubleSize: 8},
+		layouts: make(map[*cc.Func][2]int32),
+	}
+}
+
+// Scratch register maps.
+var mipsR = [4]int{mips.T0, mips.T0 + 1, mips.T0 + 2, mips.T0 + 3}
+
+func mr(i int) int  { return mipsR[i] }
+func mfr(i int) int { return i + 1 } // f1, f2, f3; f0 is the return register
+
+const mipsAT = 1 // assembler temporary, used for compares and arg copies
+
+func (e *mipsEmitter) Conf() *cc.TargetConf  { return e.conf }
+func (e *mipsEmitter) ArgsLeftToRight() bool { return true }
+
+func (e *mipsEmitter) AssignFrame(fn *cc.Func, evalWords, maxArgWords int) int32 {
+	// Incoming parameters sit above the frame at vfp+0, vfp+4, ...
+	off := int32(0)
+	for _, p := range fn.Params {
+		p.FrameOff = off
+		size := int32(p.Type.Size(e.conf))
+		if size < 4 {
+			size = 4
+		}
+		off += (size + 3) &^ 3
+	}
+	// Locals below the saved ra (vfp-4), growing down.
+	loc := int32(-4)
+	for _, l := range fn.Locals {
+		size := int32(l.Type.Size(e.conf))
+		if size < 4 {
+			size = 4
+		}
+		loc -= (size + 3) &^ 3
+		l.FrameOff = loc
+	}
+	localBytes := -4 - loc
+	frame := 4 + localBytes + int32(evalWords)*4 + int32(maxArgWords)*4
+	frame = (frame + 7) &^ 7
+	e.layouts[fn] = [2]int32{frame, int32(maxArgWords) * 4}
+	return frame
+}
+
+func (e *mipsEmitter) Prologue(fn *cc.Func) {
+	l := e.layouts[fn]
+	e.frame, e.argArea = l[0], l[1]
+	e.a.I(mips.OpAddiu, mips.SP, mips.SP, -e.frame)
+	e.a.I(mips.OpSw, mips.RA, mips.SP, e.frame-4)
+}
+
+func (e *mipsEmitter) Epilogue(fn *cc.Func) {
+	e.a.I(mips.OpLw, mips.RA, mips.SP, e.frame-4)
+	e.a.I(mips.OpAddiu, mips.SP, mips.SP, e.frame)
+	e.a.R(mips.FnJr, 0, mips.RA, 0)
+}
+
+func (e *mipsEmitter) Label(name string) { e.a.Label(name) }
+
+func (e *mipsEmitter) StopPoint(name string) {
+	e.a.Label(name)
+	e.a.Nop()
+}
+
+func (e *mipsEmitter) Branch(name string) { e.a.J(name) }
+
+func (e *mipsEmitter) Const(r int, v int32) { e.a.LI(mr(r), v) }
+
+func (e *mipsEmitter) AddrLocal(r int, off int32) {
+	// vfp-relative: vfp = sp + frame.
+	e.a.I(mips.OpAddiu, mr(r), mips.SP, e.frame+off)
+}
+
+func (e *mipsEmitter) AddrGlobal(r int, sym string, add int64) {
+	e.a.LA(mr(r), sym, add)
+}
+
+func (e *mipsEmitter) Load(dst, addr int, ty MemType) {
+	op := map[MemType]int{MI8: mips.OpLb, MU8: mips.OpLbu, MI16: mips.OpLh, MU16: mips.OpLhu, M32: mips.OpLw}[ty]
+	e.a.I(op, mr(dst), mr(addr), 0)
+}
+
+func (e *mipsEmitter) Store(val, addr int, ty MemType) {
+	op := map[MemType]int{MI8: mips.OpSb, MU8: mips.OpSb, MI16: mips.OpSh, MU16: mips.OpSh, M32: mips.OpSw}[ty]
+	e.a.I(op, mr(val), mr(addr), 0)
+}
+
+func (e *mipsEmitter) LoadF(fdst, addr, size int) {
+	if size == 4 {
+		e.a.I(mips.OpLwc1, mfr(fdst), mr(addr), 0)
+	} else {
+		e.a.I(mips.OpLdc1, mfr(fdst), mr(addr), 0)
+	}
+}
+
+func (e *mipsEmitter) StoreF(fsrc, addr, size int) {
+	if size == 4 {
+		e.a.I(mips.OpSwc1, mfr(fsrc), mr(addr), 0)
+	} else {
+		e.a.I(mips.OpSdc1, mfr(fsrc), mr(addr), 0)
+	}
+}
+
+func (e *mipsEmitter) Move(dst, src int) {
+	e.a.R(mips.FnAddu, mr(dst), mr(src), 0)
+}
+
+func (e *mipsEmitter) BinOp(op Op, dst, a, b int) {
+	d, x, y := mr(dst), mr(a), mr(b)
+	switch op {
+	case OpAdd:
+		e.a.R(mips.FnAddu, d, x, y)
+	case OpSub:
+		e.a.R(mips.FnSubu, d, x, y)
+	case OpMul:
+		e.a.R(mips.FnMul, d, x, y)
+	case OpDiv:
+		e.a.R(mips.FnDiv, d, x, y)
+	case OpRem:
+		e.a.R(mips.FnRem, d, x, y)
+	case OpAnd:
+		e.a.R(mips.FnAnd, d, x, y)
+	case OpOr:
+		e.a.R(mips.FnOr, d, x, y)
+	case OpXor:
+		e.a.R(mips.FnXor, d, x, y)
+	case OpShl:
+		e.a.R(mips.FnSllv, d, y, x) // rd = rt << rs
+	case OpShr:
+		e.a.R(mips.FnSrav, d, y, x)
+	case OpShrU:
+		e.a.R(mips.FnSrlv, d, y, x)
+	}
+}
+
+func (e *mipsEmitter) Neg(dst, a int) { e.a.R(mips.FnSubu, mr(dst), 0, mr(a)) }
+func (e *mipsEmitter) Com(dst, a int) { e.a.R(mips.FnNor, mr(dst), mr(a), 0) }
+
+func (e *mipsEmitter) CmpBr(c Cond, a, b int, label string) {
+	x, y := mr(a), mr(b)
+	slt := mips.FnSlt
+	switch c {
+	case CondLtU, CondLeU, CondGtU, CondGeU:
+		slt = mips.FnSltu
+	}
+	switch c {
+	case CondEq:
+		e.a.Branch(mips.OpBeq, x, y, label)
+	case CondNe:
+		e.a.Branch(mips.OpBne, x, y, label)
+	case CondLt, CondLtU:
+		e.a.R(slt, mipsAT, x, y)
+		e.a.Branch(mips.OpBne, mipsAT, 0, label)
+	case CondGe, CondGeU:
+		e.a.R(slt, mipsAT, x, y)
+		e.a.Branch(mips.OpBeq, mipsAT, 0, label)
+	case CondGt, CondGtU:
+		e.a.R(slt, mipsAT, y, x)
+		e.a.Branch(mips.OpBne, mipsAT, 0, label)
+	case CondLe, CondLeU:
+		e.a.R(slt, mipsAT, y, x)
+		e.a.Branch(mips.OpBeq, mipsAT, 0, label)
+	}
+}
+
+func (e *mipsEmitter) slot(depth int) int32 { return e.argArea + 4*int32(depth) }
+
+func (e *mipsEmitter) Push(r, depth int) {
+	e.a.I(mips.OpSw, mr(r), mips.SP, e.slot(depth))
+}
+
+func (e *mipsEmitter) Pop(r, depth int) {
+	e.a.I(mips.OpLw, mr(r), mips.SP, e.slot(depth))
+}
+
+func (e *mipsEmitter) PushF(fr, depth int) {
+	e.a.I(mips.OpSdc1, mfr(fr), mips.SP, e.slot(depth))
+}
+
+func (e *mipsEmitter) PopF(fr, depth int) {
+	e.a.I(mips.OpLdc1, mfr(fr), mips.SP, e.slot(depth))
+}
+
+// copyArgs block-copies the top argWords of the evaluation stack to the
+// outgoing-argument area at sp+0.
+func (e *mipsEmitter) copyArgs(argWords, depth int) {
+	base := depth - argWords
+	for i := 0; i < argWords; i++ {
+		e.a.I(mips.OpLw, mipsAT, mips.SP, e.slot(base+i))
+		e.a.I(mips.OpSw, mipsAT, mips.SP, 4*int32(i))
+	}
+}
+
+func (e *mipsEmitter) Call(sym string, argWords, depth int) {
+	e.copyArgs(argWords, depth)
+	e.a.Jal(sym)
+}
+
+func (e *mipsEmitter) CallInd(r, argWords, depth int) {
+	e.copyArgs(argWords, depth)
+	e.a.R(mips.FnJalr, mips.RA, mr(r), 0)
+}
+
+func (e *mipsEmitter) Result(r int)   { e.a.R(mips.FnAddu, mr(r), mips.V0, 0) }
+func (e *mipsEmitter) SetRet(r int)   { e.a.R(mips.FnAddu, mips.V0, mr(r), 0) }
+func (e *mipsEmitter) FResult(fr int) { e.a.Fp(mips.FpMov, mips.C1FmtD, mfr(fr), 0, 0) }
+func (e *mipsEmitter) SetFRet(fr int) { e.a.Fp(mips.FpMov, mips.C1FmtD, 0, mfr(fr), 0) }
+
+func (e *mipsEmitter) FBinOp(op Op, dst, a, b int) {
+	fn := map[Op]int{OpAdd: mips.FpAdd, OpSub: mips.FpSub, OpMul: mips.FpMul, OpDiv: mips.FpDiv}[op]
+	e.a.Fp(fn, mips.C1FmtD, mfr(dst), mfr(a), mfr(b))
+}
+
+func (e *mipsEmitter) FMove(dst, src int) {
+	e.a.Fp(mips.FpMov, mips.C1FmtD, mfr(dst), mfr(src), 0)
+}
+
+func (e *mipsEmitter) FNeg(dst, a int) {
+	e.a.Fp(mips.FpNeg, mips.C1FmtD, mfr(dst), mfr(a), 0)
+}
+
+func (e *mipsEmitter) FCmpBr(c Cond, a, b int, label string) {
+	x, y := mfr(a), mfr(b)
+	switch c {
+	case CondEq:
+		e.a.Fp(mips.FpCEq, mips.C1FmtD, 0, x, y)
+		e.a.Bc1(1, label)
+	case CondNe:
+		e.a.Fp(mips.FpCEq, mips.C1FmtD, 0, x, y)
+		e.a.Bc1(0, label)
+	case CondLt, CondLtU:
+		e.a.Fp(mips.FpCLt, mips.C1FmtD, 0, x, y)
+		e.a.Bc1(1, label)
+	case CondLe, CondLeU:
+		e.a.Fp(mips.FpCLe, mips.C1FmtD, 0, x, y)
+		e.a.Bc1(1, label)
+	case CondGt, CondGtU:
+		e.a.Fp(mips.FpCLt, mips.C1FmtD, 0, y, x)
+		e.a.Bc1(1, label)
+	case CondGe, CondGeU:
+		e.a.Fp(mips.FpCLe, mips.C1FmtD, 0, y, x)
+		e.a.Bc1(1, label)
+	}
+}
+
+func (e *mipsEmitter) CvtIF(fdst, rsrc int) { e.a.Mtc1(mr(rsrc), mfr(fdst)) }
+func (e *mipsEmitter) CvtFI(rdst, fsrc int) { e.a.Mfc1(mr(rdst), mfr(fsrc)) }
+func (e *mipsEmitter) RoundSingle(fr int) {
+	e.a.Fp(mips.FpCvtS, mips.C1FmtD, mfr(fr), mfr(fr), 0)
+}
+
+// InstrCount implements Emitter.
+func (e *mipsEmitter) InstrCount() int { return e.a.Instrs() }
+
+// EnableSched implements Scheduler.
+func (e *mipsEmitter) EnableSched(on bool) { e.a.Sched = on }
+
+// SchedStats implements Scheduler.
+func (e *mipsEmitter) SchedStats() (int, int) { return e.a.Filled, e.a.Padded }
+
+func (e *mipsEmitter) Finish() ([]byte, []arch.Reloc, map[string]int, error) {
+	code, relocs, err := e.a.Finish()
+	return code, relocs, e.a.Labels(), err
+}
+
+// Runtime implements Emitter: _start pauses for the nub (when built for
+// debugging), calls main, and exits with main's return value; the
+// output routines wrap system calls.
+func (e *mipsEmitter) Runtime(debug bool) *asm.Unit {
+	a := mips.NewAsm(e.m)
+	obj := &asm.Unit{Name: "runtime", Arch: e.m.Name()}
+	def := func(name string, f func()) {
+		start := a.Off()
+		a.Label(name)
+		f()
+		obj.AddSym(name, asm.SecText, start, a.Off()-start, true)
+		obj.Funcs = append(obj.Funcs, asm.FuncInfo{Sym: name, FrameSize: 0})
+	}
+	def("_start", func() {
+		if debug {
+			a.Break(arch.TrapPause)
+		}
+		a.Jal("_main")
+		a.R(mips.FnAddu, mips.A0, mips.V0, 0)
+		a.LI(mips.V0, arch.SysExit)
+		a.Syscall()
+	})
+	put := func(name string, sys int32, addrOf bool) {
+		def(name, func() {
+			if addrOf {
+				a.I(mips.OpAddiu, mips.A0, mips.SP, 0)
+			} else {
+				a.I(mips.OpLw, mips.A0, mips.SP, 0)
+			}
+			a.LI(mips.V0, sys)
+			a.Syscall()
+			a.R(mips.FnJr, 0, mips.RA, 0)
+		})
+	}
+	put("_putint", arch.SysPutInt, false)
+	put("_putchar", arch.SysPutChar, false)
+	put("_putstr", arch.SysPutStr, false)
+	put("_puthex", arch.SysPutHex, false)
+	put("_putuint", arch.SysPutUint, false)
+	put("_putfloat", arch.SysPutFloat, true)
+	code, relocs, err := a.Finish()
+	if err != nil {
+		panic("mips runtime: " + err.Error())
+	}
+	obj.Text, obj.TextRelocs = code, relocs
+	obj.Instrs = a.Instrs()
+	return obj
+}

@@ -1,0 +1,290 @@
+package codegen
+
+import (
+	"ldb/internal/arch"
+	"ldb/internal/arch/sparc"
+	"ldb/internal/asm"
+	"ldb/internal/cc"
+)
+
+// sparcEmitter targets the SPARC with an explicit frame-pointer chain
+// (no register windows in this dialect): the prologue saves %o7 and the
+// caller's %fp below the incoming arguments, so the shared
+// frame-pointer walker applies (*fp = old fp, *(fp+4) = return address,
+// arguments at fp+8, locals below fp).
+type sparcEmitter struct {
+	a    *sparc.Asm
+	conf *cc.TargetConf
+}
+
+// NewSPARC returns the SPARC emitter.
+func NewSPARC() Emitter {
+	return &sparcEmitter{a: sparc.NewAsm(), conf: &cc.TargetConf{Name: "sparc", LDoubleSize: 8}}
+}
+
+// Scratch: %l0-%l3; %g2 is the emitter's private temporary.
+func sr(i int) int  { return 16 + i }
+func sfr(i int) int { return i + 1 }
+
+const sparcTmp = 2 // %g2
+
+func (e *sparcEmitter) Conf() *cc.TargetConf  { return e.conf }
+func (e *sparcEmitter) ArgsLeftToRight() bool { return false }
+
+func (e *sparcEmitter) AssignFrame(fn *cc.Func, evalWords, maxArgWords int) int32 {
+	off := int32(8)
+	for _, p := range fn.Params {
+		p.FrameOff = off
+		size := int32(p.Type.Size(e.conf))
+		if size < 4 {
+			size = 4
+		}
+		off += (size + 3) &^ 3
+	}
+	loc := int32(0)
+	for _, l := range fn.Locals {
+		size := int32(l.Type.Size(e.conf))
+		if size < 4 {
+			size = 4
+		}
+		loc -= (size + 3) &^ 3
+		l.FrameOff = loc
+	}
+	return (-loc + 7) &^ 7
+}
+
+func (e *sparcEmitter) Prologue(fn *cc.Func) {
+	e.a.RI(sparc.Op3Sub, sparc.SP, sparc.SP, 8)
+	e.a.Store(sparc.Op3St, sparc.O7, sparc.SP, 4)
+	e.a.Store(sparc.Op3St, sparc.FP, sparc.SP, 0)
+	e.a.RI(sparc.Op3Add, sparc.FP, sparc.SP, 0)
+	if fn.FrameSize != 0 {
+		e.a.RI(sparc.Op3Sub, sparc.SP, sparc.SP, fn.FrameSize)
+	}
+}
+
+func (e *sparcEmitter) Epilogue(fn *cc.Func) {
+	e.a.RI(sparc.Op3Add, sparc.SP, sparc.FP, 0)
+	e.a.Load(sparc.Op3Ld, sparc.O7, sparc.SP, 4)
+	e.a.Load(sparc.Op3Ld, sparc.FP, sparc.SP, 0)
+	e.a.RI(sparc.Op3Add, sparc.SP, sparc.SP, 8)
+	e.a.Ret()
+}
+
+func (e *sparcEmitter) Label(name string) { e.a.Label(name) }
+
+func (e *sparcEmitter) StopPoint(name string) {
+	e.a.Label(name)
+	e.a.Nop()
+}
+
+func (e *sparcEmitter) Branch(name string) { e.a.Ba(name) }
+
+func (e *sparcEmitter) Const(r int, v int32) { e.a.LI(sr(r), v) }
+
+func (e *sparcEmitter) AddrLocal(r int, off int32) {
+	e.a.RI(sparc.Op3Add, sr(r), sparc.FP, off)
+}
+
+func (e *sparcEmitter) AddrGlobal(r int, sym string, add int64) {
+	e.a.LA(sr(r), sym, add)
+}
+
+func (e *sparcEmitter) Load(dst, addr int, ty MemType) {
+	op := map[MemType]int{MI8: sparc.Op3Ldsb, MU8: sparc.Op3Ldub, MI16: sparc.Op3Ldsh, MU16: sparc.Op3Lduh, M32: sparc.Op3Ld}[ty]
+	e.a.Load(op, sr(dst), sr(addr), 0)
+}
+
+func (e *sparcEmitter) Store(val, addr int, ty MemType) {
+	op := map[MemType]int{MI8: sparc.Op3Stb, MU8: sparc.Op3Stb, MI16: sparc.Op3Sth, MU16: sparc.Op3Sth, M32: sparc.Op3St}[ty]
+	e.a.Store(op, sr(val), sr(addr), 0)
+}
+
+func (e *sparcEmitter) LoadF(fdst, addr, size int) {
+	if size == 4 {
+		e.a.Load(sparc.Op3Ldf, sfr(fdst), sr(addr), 0)
+	} else {
+		e.a.Load(sparc.Op3Lddf, sfr(fdst), sr(addr), 0)
+	}
+}
+
+func (e *sparcEmitter) StoreF(fsrc, addr, size int) {
+	if size == 4 {
+		e.a.Store(sparc.Op3Stf, sfr(fsrc), sr(addr), 0)
+	} else {
+		e.a.Store(sparc.Op3Stdf, sfr(fsrc), sr(addr), 0)
+	}
+}
+
+func (e *sparcEmitter) Move(dst, src int) {
+	e.a.RR(sparc.Op3Or, sr(dst), sr(src), sparc.G0)
+}
+
+func (e *sparcEmitter) BinOp(op Op, dst, a, b int) {
+	d, x, y := sr(dst), sr(a), sr(b)
+	switch op {
+	case OpAdd:
+		e.a.RR(sparc.Op3Add, d, x, y)
+	case OpSub:
+		e.a.RR(sparc.Op3Sub, d, x, y)
+	case OpMul:
+		e.a.RR(sparc.Op3SMul, d, x, y)
+	case OpDiv:
+		e.a.RR(sparc.Op3SDiv, d, x, y)
+	case OpRem:
+		// No hardware remainder: r = a - (a/b)*b through %g2.
+		e.a.RR(sparc.Op3SDiv, sparcTmp, x, y)
+		e.a.RR(sparc.Op3SMul, sparcTmp, sparcTmp, y)
+		e.a.RR(sparc.Op3Sub, d, x, sparcTmp)
+	case OpAnd:
+		e.a.RR(sparc.Op3And, d, x, y)
+	case OpOr:
+		e.a.RR(sparc.Op3Or, d, x, y)
+	case OpXor:
+		e.a.RR(sparc.Op3Xor, d, x, y)
+	case OpShl:
+		e.a.RR(sparc.Op3Sll, d, x, y)
+	case OpShr:
+		e.a.RR(sparc.Op3Sra, d, x, y)
+	case OpShrU:
+		e.a.RR(sparc.Op3Srl, d, x, y)
+	}
+}
+
+func (e *sparcEmitter) Neg(dst, a int) { e.a.RR(sparc.Op3Sub, sr(dst), sparc.G0, sr(a)) }
+
+func (e *sparcEmitter) Com(dst, a int) {
+	e.a.RI(sparc.Op3Xor, sr(dst), sr(a), -1)
+}
+
+var sparcCond = map[Cond]int{
+	CondEq: sparc.CondE, CondNe: sparc.CondNE,
+	CondLt: sparc.CondL, CondLe: sparc.CondLE,
+	CondGt: sparc.CondG, CondGe: sparc.CondGE,
+	CondLtU: sparc.CondCS, CondLeU: sparc.CondLEU,
+	CondGtU: sparc.CondGU, CondGeU: sparc.CondCC,
+}
+
+func (e *sparcEmitter) CmpBr(c Cond, a, b int, label string) {
+	e.a.RR(sparc.Op3SubCC, sparc.G0, sr(a), sr(b))
+	e.a.Branch(sparcCond[c], label)
+}
+
+func (e *sparcEmitter) Push(r, depth int) {
+	e.a.RI(sparc.Op3Sub, sparc.SP, sparc.SP, 4)
+	e.a.Store(sparc.Op3St, sr(r), sparc.SP, 0)
+}
+
+func (e *sparcEmitter) Pop(r, depth int) {
+	e.a.Load(sparc.Op3Ld, sr(r), sparc.SP, 0)
+	e.a.RI(sparc.Op3Add, sparc.SP, sparc.SP, 4)
+}
+
+func (e *sparcEmitter) PushF(fr, depth int) {
+	e.a.RI(sparc.Op3Sub, sparc.SP, sparc.SP, 8)
+	e.a.Store(sparc.Op3Stdf, sfr(fr), sparc.SP, 0)
+}
+
+func (e *sparcEmitter) PopF(fr, depth int) {
+	e.a.Load(sparc.Op3Lddf, sfr(fr), sparc.SP, 0)
+	e.a.RI(sparc.Op3Add, sparc.SP, sparc.SP, 8)
+}
+
+func (e *sparcEmitter) Call(sym string, argWords, depth int) {
+	e.a.Call(sym)
+	if argWords > 0 {
+		e.a.RI(sparc.Op3Add, sparc.SP, sparc.SP, int32(argWords)*4)
+	}
+}
+
+func (e *sparcEmitter) CallInd(r, argWords, depth int) {
+	e.a.Jmpl(sparc.O7, sr(r), 0)
+	if argWords > 0 {
+		e.a.RI(sparc.Op3Add, sparc.SP, sparc.SP, int32(argWords)*4)
+	}
+}
+
+func (e *sparcEmitter) Result(r int) { e.a.RR(sparc.Op3Or, sr(r), sparc.O0, sparc.G0) }
+func (e *sparcEmitter) SetRet(r int) { e.a.RR(sparc.Op3Or, sparc.O0, sr(r), sparc.G0) }
+
+func (e *sparcEmitter) FResult(fr int) { e.a.Fp(sparc.OpfFMovs, sfr(fr), 0, 0) }
+func (e *sparcEmitter) SetFRet(fr int) { e.a.Fp(sparc.OpfFMovs, 0, sfr(fr), 0) }
+
+func (e *sparcEmitter) FBinOp(op Op, dst, a, b int) {
+	opf := map[Op]int{OpAdd: sparc.OpfFAddD, OpSub: sparc.OpfFSubD, OpMul: sparc.OpfFMulD, OpDiv: sparc.OpfFDivD}[op]
+	e.a.Fp(opf, sfr(dst), sfr(a), sfr(b))
+}
+
+func (e *sparcEmitter) FMove(dst, src int) { e.a.Fp(sparc.OpfFMovs, sfr(dst), sfr(src), 0) }
+func (e *sparcEmitter) FNeg(dst, a int) {
+	if dst != a {
+		e.a.Fp(sparc.OpfFMovs, sfr(dst), sfr(a), 0)
+	}
+	e.a.Fp(sparc.OpfFNegs, sfr(dst), sfr(dst), 0)
+}
+
+func (e *sparcEmitter) FCmpBr(c Cond, a, b int, label string) {
+	e.a.FCmp(sparc.OpfFCmpD, sfr(a), sfr(b))
+	e.a.FBranch(sparcCond[c], label)
+}
+
+func (e *sparcEmitter) CvtIF(fdst, rsrc int) { e.a.FiToD(sfr(fdst), sr(rsrc)) }
+func (e *sparcEmitter) CvtFI(rdst, fsrc int) { e.a.FdToI(sr(rdst), sfr(fsrc)) }
+func (e *sparcEmitter) RoundSingle(fr int) {
+	e.a.Fp(sparc.OpfFdToS, sfr(fr), sfr(fr), 0)
+}
+
+// InstrCount implements Emitter.
+func (e *sparcEmitter) InstrCount() int { return e.a.Instrs() }
+
+func (e *sparcEmitter) Finish() ([]byte, []arch.Reloc, map[string]int, error) {
+	code, relocs, err := e.a.Finish()
+	return code, relocs, e.a.Labels(), err
+}
+
+// Runtime implements Emitter.
+func (e *sparcEmitter) Runtime(debug bool) *asm.Unit {
+	a := sparc.NewAsm()
+	obj := &asm.Unit{Name: "runtime", Arch: "sparc"}
+	def := func(name string, f func()) {
+		start := a.Off()
+		a.Label(name)
+		f()
+		obj.AddSym(name, asm.SecText, start, a.Off()-start, true)
+		obj.Funcs = append(obj.Funcs, asm.FuncInfo{Sym: name, FrameSize: 0})
+	}
+	def("_start", func() {
+		if debug {
+			a.Trap(arch.TrapPause)
+		}
+		a.Call("_main")
+		// main's return value is already in %o0.
+		a.LI(sparc.G1, arch.SysExit)
+		a.Trap(1)
+	})
+	put := func(name string, sys int32, addrOf bool) {
+		def(name, func() {
+			if addrOf {
+				a.RI(sparc.Op3Add, sparc.O0, sparc.SP, 0)
+			} else {
+				a.Load(sparc.Op3Ld, sparc.O0, sparc.SP, 0)
+			}
+			a.LI(sparc.G1, sys)
+			a.Trap(1)
+			a.Ret()
+		})
+	}
+	put("_putint", arch.SysPutInt, false)
+	put("_putchar", arch.SysPutChar, false)
+	put("_putstr", arch.SysPutStr, false)
+	put("_puthex", arch.SysPutHex, false)
+	put("_putuint", arch.SysPutUint, false)
+	put("_putfloat", arch.SysPutFloat, true)
+	code, relocs, err := a.Finish()
+	if err != nil {
+		panic("sparc runtime: " + err.Error())
+	}
+	obj.Text, obj.TextRelocs = code, relocs
+	obj.Instrs = a.Instrs()
+	return obj
+}

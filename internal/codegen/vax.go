@@ -1,0 +1,324 @@
+package codegen
+
+import (
+	"ldb/internal/arch"
+	"ldb/internal/arch/vax"
+	"ldb/internal/asm"
+	"ldb/internal/cc"
+)
+
+// vaxEmitter targets the VAX: jsb/rsb calls with a pushl-fp frame
+// chain, three-operand arithmetic with rich operand modes, and
+// synthesized AND (via bicl) and remainder — the VAX has neither.
+type vaxEmitter struct {
+	a    *vax.Asm
+	conf *cc.TargetConf
+}
+
+// NewVAX returns the VAX emitter.
+func NewVAX() Emitter {
+	return &vaxEmitter{a: vax.NewAsm(), conf: &cc.TargetConf{Name: "vax", LDoubleSize: 8}}
+}
+
+// Scratch: r2, r3, r4, r6; r5 is the emitter's private temporary.
+func vr(i int) int {
+	if i == 3 {
+		return 6
+	}
+	return 2 + i
+}
+func vfrg(i int) int { return i + 1 }
+
+const vaxTmp = 5
+
+func (e *vaxEmitter) Conf() *cc.TargetConf  { return e.conf }
+func (e *vaxEmitter) ArgsLeftToRight() bool { return false }
+
+func (e *vaxEmitter) AssignFrame(fn *cc.Func, evalWords, maxArgWords int) int32 {
+	off := int32(8) // fp+4 holds the return address; arguments above
+	for _, p := range fn.Params {
+		p.FrameOff = off
+		size := int32(p.Type.Size(e.conf))
+		if size < 4 {
+			size = 4
+		}
+		off += (size + 3) &^ 3
+	}
+	loc := int32(0)
+	for _, l := range fn.Locals {
+		size := int32(l.Type.Size(e.conf))
+		if size < 4 {
+			size = 4
+		}
+		loc -= (size + 3) &^ 3
+		l.FrameOff = loc
+	}
+	return (-loc + 3) &^ 3
+}
+
+func (e *vaxEmitter) Prologue(fn *cc.Func) {
+	e.a.Op(vax.OpPushl, vax.Rn(vax.FP))
+	e.a.Op(vax.OpMovl, vax.Rn(vax.SP), vax.Rn(vax.FP))
+	if fn.FrameSize != 0 {
+		e.a.Op(vax.OpSubl2, vax.ImmL(uint32(fn.FrameSize)), vax.Rn(vax.SP))
+	}
+}
+
+func (e *vaxEmitter) Epilogue(fn *cc.Func) {
+	e.a.Op(vax.OpMovl, vax.Rn(vax.FP), vax.Rn(vax.SP))
+	e.a.Op(vax.OpMovl, vax.Pop(), vax.Rn(vax.FP))
+	e.a.Rsb()
+}
+
+func (e *vaxEmitter) Label(name string) { e.a.Label(name) }
+
+func (e *vaxEmitter) StopPoint(name string) {
+	e.a.Label(name)
+	e.a.Nop()
+}
+
+func (e *vaxEmitter) Branch(name string) { e.a.Branch(vax.OpBrw, name) }
+
+func (e *vaxEmitter) Const(r int, v int32) { e.a.MoveImm(vr(r), v) }
+
+func (e *vaxEmitter) AddrLocal(r int, off int32) {
+	e.a.Op(vax.OpAddl3, vax.ImmL(uint32(off)), vax.Rn(vax.FP), vax.Rn(vr(r)))
+}
+
+func (e *vaxEmitter) AddrGlobal(r int, sym string, add int64) {
+	e.a.Op(vax.OpMovl, vax.ImmSym(sym, add), vax.Rn(vr(r)))
+}
+
+func (e *vaxEmitter) Load(dst, addr int, ty MemType) {
+	mem := vax.Disp(vr(addr), 0)
+	d := vax.Rn(vr(dst))
+	switch ty {
+	case MI8:
+		e.a.Op(vax.OpCvtbl, mem, d)
+	case MU8:
+		e.a.Op(vax.OpMovzbl, mem, d)
+	case MI16:
+		e.a.Op(vax.OpCvtwl, mem, d)
+	case MU16:
+		e.a.Op(vax.OpMovzwl, mem, d)
+	default:
+		e.a.Op(vax.OpMovl, mem, d)
+	}
+}
+
+func (e *vaxEmitter) Store(val, addr int, ty MemType) {
+	mem := vax.Disp(vr(addr), 0)
+	v := vax.Rn(vr(val))
+	switch ty {
+	case MI8, MU8:
+		e.a.Op(vax.OpMovb, v, mem)
+	case MI16, MU16:
+		e.a.Op(vax.OpMovw, v, mem)
+	default:
+		e.a.Op(vax.OpMovl, v, mem)
+	}
+}
+
+func (e *vaxEmitter) LoadF(fdst, addr, size int) {
+	mem := vax.Disp(vr(addr), 0)
+	if size == 4 {
+		e.a.Op(vax.OpMovf, mem, vax.Fn(vfrg(fdst)))
+	} else {
+		e.a.Op(vax.OpMovd, mem, vax.Fn(vfrg(fdst)))
+	}
+}
+
+func (e *vaxEmitter) StoreF(fsrc, addr, size int) {
+	mem := vax.Disp(vr(addr), 0)
+	if size == 4 {
+		e.a.Op(vax.OpMovf, vax.Fn(vfrg(fsrc)), mem)
+	} else {
+		e.a.Op(vax.OpMovd, vax.Fn(vfrg(fsrc)), mem)
+	}
+}
+
+func (e *vaxEmitter) Move(dst, src int) {
+	e.a.Op(vax.OpMovl, vax.Rn(vr(src)), vax.Rn(vr(dst)))
+}
+
+func (e *vaxEmitter) BinOp(op Op, dst, a, b int) {
+	d, x, y := vax.Rn(vr(dst)), vax.Rn(vr(a)), vax.Rn(vr(b))
+	tmp := vax.Rn(vaxTmp)
+	switch op {
+	case OpAdd:
+		e.a.Op(vax.OpAddl3, x, y, d)
+	case OpSub:
+		e.a.Op(vax.OpSubl3, y, x, d) // dst = src2 - src1 = a - b
+	case OpMul:
+		e.a.Op(vax.OpMull3, x, y, d)
+	case OpDiv:
+		e.a.Op(vax.OpDivl3, y, x, d) // dst = src2 / src1 = a / b
+	case OpRem:
+		e.a.Op(vax.OpDivl3, y, x, tmp)
+		e.a.Op(vax.OpMull3, tmp, y, tmp)
+		e.a.Op(vax.OpSubl3, tmp, x, d)
+	case OpAnd:
+		e.a.Op(vax.OpMcoml, y, tmp)
+		e.a.Op(vax.OpBicl3, tmp, x, d) // dst = x &^ ^y = x & y
+	case OpOr:
+		e.a.Op(vax.OpBisl3, x, y, d)
+	case OpXor:
+		e.a.Op(vax.OpXorl3, x, y, d)
+	case OpShl:
+		e.a.Op(vax.OpAshl, y, x, d)
+	case OpShr:
+		e.a.Op(vax.OpSubl3, y, vax.ImmL(0), tmp) // tmp = -count
+		e.a.Op(vax.OpAshl, tmp, x, d)
+	case OpShrU:
+		e.a.Op(vax.OpLsrl, y, x, d)
+	}
+}
+
+func (e *vaxEmitter) Neg(dst, a int) {
+	e.a.Op(vax.OpSubl3, vax.Rn(vr(a)), vax.ImmL(0), vax.Rn(vr(dst)))
+}
+
+func (e *vaxEmitter) Com(dst, a int) {
+	e.a.Op(vax.OpMcoml, vax.Rn(vr(a)), vax.Rn(vr(dst)))
+}
+
+var vaxCond = map[Cond]byte{
+	CondEq: vax.OpBeql, CondNe: vax.OpBneq,
+	CondLt: vax.OpBlss, CondLe: vax.OpBleq,
+	CondGt: vax.OpBgtr, CondGe: vax.OpBgeq,
+	CondLtU: vax.OpBlssu, CondLeU: vax.OpBlequ,
+	CondGtU: vax.OpBgtru, CondGeU: vax.OpBgequ,
+}
+
+func (e *vaxEmitter) CmpBr(c Cond, a, b int, label string) {
+	e.a.Op(vax.OpCmpl, vax.Rn(vr(a)), vax.Rn(vr(b)))
+	e.a.Branch(vaxCond[c], label)
+}
+
+func (e *vaxEmitter) Push(r, depth int) { e.a.Op(vax.OpPushl, vax.Rn(vr(r))) }
+func (e *vaxEmitter) Pop(r, depth int)  { e.a.Op(vax.OpMovl, vax.Pop(), vax.Rn(vr(r))) }
+
+func (e *vaxEmitter) PushF(fr, depth int) {
+	e.a.Op(vax.OpSubl2, vax.ImmL(8), vax.Rn(vax.SP))
+	e.a.Op(vax.OpMovd, vax.Fn(vfrg(fr)), vax.Disp(vax.SP, 0))
+}
+
+func (e *vaxEmitter) PopF(fr, depth int) {
+	e.a.Op(vax.OpMovd, vax.Disp(vax.SP, 0), vax.Fn(vfrg(fr)))
+	e.a.Op(vax.OpAddl2, vax.ImmL(8), vax.Rn(vax.SP))
+}
+
+func (e *vaxEmitter) Call(sym string, argWords, depth int) {
+	e.a.Jsb(sym)
+	if argWords > 0 {
+		e.a.Op(vax.OpAddl2, vax.ImmL(uint32(argWords)*4), vax.Rn(vax.SP))
+	}
+}
+
+func (e *vaxEmitter) CallInd(r, argWords, depth int) {
+	e.a.Op(vax.OpJsb, vax.Deferred(vr(r)))
+	if argWords > 0 {
+		e.a.Op(vax.OpAddl2, vax.ImmL(uint32(argWords)*4), vax.Rn(vax.SP))
+	}
+}
+
+func (e *vaxEmitter) Result(r int) { e.a.Op(vax.OpMovl, vax.Rn(vax.R0), vax.Rn(vr(r))) }
+func (e *vaxEmitter) SetRet(r int) { e.a.Op(vax.OpMovl, vax.Rn(vr(r)), vax.Rn(vax.R0)) }
+
+func (e *vaxEmitter) FResult(fr int) { e.a.Op(vax.OpMovd, vax.Fn(0), vax.Fn(vfrg(fr))) }
+func (e *vaxEmitter) SetFRet(fr int) { e.a.Op(vax.OpMovd, vax.Fn(vfrg(fr)), vax.Fn(0)) }
+
+func (e *vaxEmitter) FBinOp(op Op, dst, a, b int) {
+	d, x, y := vax.Fn(vfrg(dst)), vax.Fn(vfrg(a)), vax.Fn(vfrg(b))
+	switch op {
+	case OpAdd:
+		e.a.Op(vax.OpAddd3, x, y, d)
+	case OpSub:
+		e.a.Op(vax.OpSubd3, y, x, d) // dst = src2 - src1 = a - b
+	case OpMul:
+		e.a.Op(vax.OpMuld3, x, y, d)
+	case OpDiv:
+		e.a.Op(vax.OpDivd3, y, x, d)
+	}
+}
+
+func (e *vaxEmitter) FMove(dst, src int) {
+	e.a.Op(vax.OpMovd, vax.Fn(vfrg(src)), vax.Fn(vfrg(dst)))
+}
+
+func (e *vaxEmitter) FNeg(dst, a int) {
+	e.a.Op(vax.OpMnegd, vax.Fn(vfrg(a)), vax.Fn(vfrg(dst)))
+}
+
+func (e *vaxEmitter) FCmpBr(c Cond, a, b int, label string) {
+	e.a.Op(vax.OpCmpd, vax.Fn(vfrg(a)), vax.Fn(vfrg(b)))
+	e.a.Branch(vaxCond[c], label)
+}
+
+func (e *vaxEmitter) CvtIF(fdst, rsrc int) {
+	e.a.Op(vax.OpCvtld, vax.Rn(vr(rsrc)), vax.Fn(vfrg(fdst)))
+}
+
+func (e *vaxEmitter) CvtFI(rdst, fsrc int) {
+	e.a.Op(vax.OpCvtdl, vax.Fn(vfrg(fsrc)), vax.Rn(vr(rdst)))
+}
+
+func (e *vaxEmitter) RoundSingle(fr int) {
+	e.a.Op(vax.OpSubl2, vax.ImmL(4), vax.Rn(vax.SP))
+	e.a.Op(vax.OpMovf, vax.Fn(vfrg(fr)), vax.Disp(vax.SP, 0))
+	e.a.Op(vax.OpMovf, vax.Disp(vax.SP, 0), vax.Fn(vfrg(fr)))
+	e.a.Op(vax.OpAddl2, vax.ImmL(4), vax.Rn(vax.SP))
+}
+
+// InstrCount implements Emitter.
+func (e *vaxEmitter) InstrCount() int { return e.a.Instrs() }
+
+func (e *vaxEmitter) Finish() ([]byte, []arch.Reloc, map[string]int, error) {
+	code, relocs, err := e.a.Finish()
+	return code, relocs, e.a.Labels(), err
+}
+
+// Runtime implements Emitter.
+func (e *vaxEmitter) Runtime(debug bool) *asm.Unit {
+	a := vax.NewAsm()
+	obj := &asm.Unit{Name: "runtime", Arch: "vax"}
+	def := func(name string, f func()) {
+		start := a.Off()
+		a.Label(name)
+		f()
+		obj.AddSym(name, asm.SecText, start, a.Off()-start, true)
+		obj.Funcs = append(obj.Funcs, asm.FuncInfo{Sym: name, FrameSize: 0})
+	}
+	def("_start", func() {
+		if debug {
+			a.Chmk(arch.TrapPause)
+		}
+		a.Jsb("_main")
+		a.Op(vax.OpMovl, vax.Rn(vax.R0), vax.Rn(vax.R1))
+		a.Chmk(arch.SysExit)
+	})
+	put := func(name string, sys uint32, addrOf bool) {
+		def(name, func() {
+			if addrOf {
+				a.Op(vax.OpAddl3, vax.ImmL(4), vax.Rn(vax.SP), vax.Rn(vax.R1))
+			} else {
+				a.Op(vax.OpMovl, vax.Disp(vax.SP, 4), vax.Rn(vax.R1))
+			}
+			a.Chmk(sys)
+			a.Rsb()
+		})
+	}
+	put("_putint", arch.SysPutInt, false)
+	put("_putchar", arch.SysPutChar, false)
+	put("_putstr", arch.SysPutStr, false)
+	put("_puthex", arch.SysPutHex, false)
+	put("_putuint", arch.SysPutUint, false)
+	put("_putfloat", arch.SysPutFloat, true)
+	code, relocs, err := a.Finish()
+	if err != nil {
+		panic("vax runtime: " + err.Error())
+	}
+	obj.Text, obj.TextRelocs = code, relocs
+	obj.Instrs = a.Instrs()
+	return obj
+}

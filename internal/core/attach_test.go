@@ -1,0 +1,148 @@
+package core
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"ldb/internal/driver"
+	"ldb/internal/machine"
+	"ldb/internal/nub"
+	"ldb/internal/ps"
+)
+
+// TestAttachOverConnection exercises the general Attach path: the
+// debugger is handed a connection (here an in-memory pipe standing in
+// for the paper's network connection to another machine) rather than a
+// ready-made client, learns the architecture from the nub, and runs a
+// normal session. The session ends with Kill.
+func TestAttachOverConnection(t *testing.T) {
+	prog, err := driver.Build([]driver.Source{{Name: "fib.c", Text: fibC}}, driver.Options{Arch: "sparc", Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := machine.New(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	n := nub.New(p)
+	ours, theirs := net.Pipe()
+	go n.Serve(theirs)
+
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt, err := d.Attach("over-pipe", ours, prog.LoaderPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Arch.Name() != "sparc" {
+		t.Fatalf("architecture from nub: %s", tgt.Arch.Name())
+	}
+	if _, err := tgt.BreakStop("fib", 7); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	if v, err := tgt.FetchScalar("n"); err != nil || v != 10 {
+		t.Fatalf("n = %d, %v", v, err)
+	}
+	// Kill ends the target; further resumption is refused.
+	if err := tgt.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.Continue(); err == nil || !strings.Contains(err.Error(), "exited") {
+		t.Fatalf("continue after kill: %v", err)
+	}
+}
+
+// TestAttachRefusesUnknownLoader: Attach still validates the loader
+// table when connecting over a raw connection.
+func TestAttachRefusesUnknownLoader(t *testing.T) {
+	prog, err := driver.Build([]driver.Source{{Name: "fib.c", Text: fibC}}, driver.Options{Arch: "vax", Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := machine.New(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	n := nub.New(p)
+	ours, theirs := net.Pipe()
+	go n.Serve(theirs)
+	var out strings.Builder
+	d, _ := New(&out)
+	if _, err := d.Attach("bad", ours, "42"); err == nil {
+		t.Fatal("attached with a non-table loader")
+	}
+}
+
+// TestTraceExprTraffic observes the two pipes of Fig. 3: the expression
+// goes down one, PostScript comes back on the other, ending with the
+// result marker.
+func TestTraceExprTraffic(t *testing.T) {
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "mips", "fib.c", fibC)
+	if _, err := tgt.BreakStop("fib", 7); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	var down, up []string
+	uninstall := tgt.TraceExprTraffic(func(dir, line string) {
+		if strings.HasPrefix(dir, "ldb →") {
+			down = append(down, line)
+		} else {
+			up = append(up, line)
+		}
+	})
+	defer uninstall()
+	if v, err := tgt.EvalInt("n + i"); err != nil || v != 12 {
+		t.Fatalf("eval: %d, %v", v, err)
+	}
+	joinedDown := strings.Join(down, "")
+	joinedUp := strings.Join(up, "")
+	if !strings.Contains(joinedDown, "expr n + i") {
+		t.Errorf("expression not seen on the request pipe: %q", joinedDown)
+	}
+	// The server asked about both identifiers and ldb replied with C
+	// tokens including a location description.
+	if !strings.Contains(joinedUp, "ExpressionServer.lookup") {
+		t.Errorf("no lookups on the PS pipe: %q", joinedUp)
+	}
+	if !strings.Contains(joinedDown, "sym ") || !strings.Contains(joinedDown, "; int n") {
+		t.Errorf("no symbol reply on the request pipe: %q", joinedDown)
+	}
+	if !strings.Contains(joinedUp, "ExpressionServer.result") {
+		t.Errorf("no result marker: %q", joinedUp)
+	}
+}
+
+// TestLocationObjectsInPS: location extension objects print with their
+// space and offset (so pstack in a `ps` session is informative), and a
+// fetch from an unmapped address surfaces as a PostScript
+// invalidaccess error that stopped can catch.
+func TestLocationObjectsInPS(t *testing.T) {
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "sparc", "fib.c", fibC)
+	if _, err := tgt.BreakStop("fib", 7); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	in := d.In
+	if err := in.RunString("16#40 DLoc"); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := in.Pop()
+	if got := ps.Format(o); got != "-locationtype:d:64-" {
+		t.Fatalf("location formats as %q", got)
+	}
+	// Unmapped fetch: the amem error crosses into PostScript as
+	// /invalidaccess, catchable with stopped.
+	if err := in.RunString("{ CurrentMem 16#0ffffff0 DLoc 4 FetchInt } stopped"); err != nil {
+		t.Fatal(err)
+	}
+	caught, err := in.PopBool("test")
+	if err != nil || !caught {
+		t.Fatalf("fetch from unmapped address not caught: %v %v", caught, err)
+	}
+}

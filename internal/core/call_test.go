@@ -1,0 +1,219 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ldb/internal/ps"
+)
+
+const callC = `
+int g = 5;
+int square(int x) { return x * x; }
+int add3(int a, int b, int c) { return a + b + c; }
+double halfd(int n) { return n / 2.0; }
+double fparam(double x) { return x; }
+void poke() { g = g + 1; }
+int main() {
+	int s;
+	s = square(3);
+	printf("%d\n", s);
+	return 0;
+}
+`
+
+// TestCallProcedureAllTargets: §7.1 lists "expressions that include
+// procedure calls" as future work; this extension implements them. A
+// stopped target is made to run one of its own procedures on a scratch
+// stack and is restored afterward, on every architecture.
+func TestCallProcedureAllTargets(t *testing.T) {
+	for _, a := range allArches {
+		var out strings.Builder
+		d, _ := New(&out)
+		tgt := launch(t, d, a, "call.c", callC)
+		if _, err := tgt.BreakProc("main"); err != nil {
+			t.Fatal(err)
+		}
+		if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+			t.Fatalf("%s: %v %v", a, ev, err)
+		}
+		if v, err := tgt.CallInt("square", 7); err != nil || v != 49 {
+			t.Errorf("%s: square(7) = %d, %v", a, v, err)
+		}
+		if v, err := tgt.CallInt("add3", 10, -20, 3); err != nil || v != -7 {
+			t.Errorf("%s: add3 = %d, %v", a, v, err)
+		}
+		// A double-returning procedure comes back as a real.
+		if o, err := tgt.CallProc("halfd", 9); err != nil || o.Kind != ps.KReal || o.R != 4.5 {
+			t.Errorf("%s: halfd(9) = %v, %v", a, o, err)
+		}
+		// A void procedure returns null but its side effect lands.
+		if o, err := tgt.CallProc("poke"); err != nil || o.Kind != ps.KNull {
+			t.Errorf("%s: poke = %v, %v", a, o, err)
+		}
+		if v, err := tgt.FetchScalar("g"); err != nil || v != 6 {
+			t.Errorf("%s: g after poke = %d, %v", a, v, err)
+		}
+		// Nested target calls work: square calls back into the target's
+		// own multiply path.
+		if v, err := tgt.CallInt("square", -11); err != nil || v != 121 {
+			t.Errorf("%s: square(-11) = %d, %v", a, v, err)
+		}
+		// The interrupted session resumes exactly where it was: main
+		// still computes and prints square(3).
+		if ev, err := tgt.Continue(); err != nil || !ev.Exited {
+			t.Fatalf("%s: %v %v", a, ev, err)
+		}
+		if got := tgt.Stdout.String(); got != "9\n" {
+			t.Errorf("%s: program output = %q after calls", a, got)
+		}
+	}
+}
+
+func TestCallProcedureErrors(t *testing.T) {
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "sparc", "call.c", callC)
+	if _, err := tgt.BreakProc("main"); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	// Wrong arity.
+	if _, err := tgt.CallInt("square"); err == nil || !strings.Contains(err.Error(), "1 argument") {
+		t.Errorf("arity: %v", err)
+	}
+	if _, err := tgt.CallInt("add3", 1, 2); err == nil {
+		t.Error("add3 with 2 args accepted")
+	}
+	// Unknown procedure.
+	if _, err := tgt.CallInt("nosuch"); err == nil {
+		t.Error("unknown procedure accepted")
+	}
+	// Floating-point parameters are rejected up front.
+	if _, err := tgt.CallProc("fparam", 1); err == nil || !strings.Contains(err.Error(), "floating") {
+		t.Errorf("fparam: %v", err)
+	}
+	// A double result is not an int for CallInt.
+	if _, err := tgt.CallInt("halfd", 4); err == nil {
+		t.Error("CallInt accepted a real result")
+	}
+}
+
+// TestCallProcedureHitsBreakpoint: if the called procedure stops at a
+// user breakpoint the call is abandoned and the session is restored.
+func TestCallProcedureHitsBreakpoint(t *testing.T) {
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "vax", "call.c", callC)
+	if _, err := tgt.BreakProc("main"); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	if _, err := tgt.BreakProc("square"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.CallInt("square", 5); err == nil || !strings.Contains(err.Error(), "instead of returning") {
+		t.Fatalf("call through a breakpoint: %v", err)
+	}
+	// The session survives: remove the breakpoint, call again, resume.
+	if err := tgt.Bpts.RemoveAll(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tgt.CallInt("square", 5); err != nil || v != 25 {
+		t.Fatalf("square after recovery = %d, %v", v, err)
+	}
+	if ev, err := tgt.Continue(); err != nil || !ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	if got := tgt.Stdout.String(); got != "9\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+// TestCallInExpression: the full §7.1 loop — an expression containing a
+// procedure call travels to the expression server (Fig. 3), comes back
+// as PostScript invoking TargetCall, and the call runs in the target.
+func TestCallInExpression(t *testing.T) {
+	for _, a := range []string{"mips", "sparc", "m68k", "vax"} {
+		var out strings.Builder
+		d, _ := New(&out)
+		tgt := launch(t, d, a, "call.c", callC)
+		if _, err := tgt.BreakProc("main"); err != nil {
+			t.Fatal(err)
+		}
+		if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+			t.Fatalf("%s: %v %v", a, ev, err)
+		}
+		if v, err := tgt.EvalInt("square(6) + 1"); err != nil || v != 37 {
+			t.Errorf("%s: square(6)+1 = %d, %v", a, v, err)
+		}
+		// Arguments are themselves expressions evaluated in the frame:
+		// g is the target's global (5).
+		if v, err := tgt.EvalInt("add3(g, g * 2, 1)"); err != nil || v != 16 {
+			t.Errorf("%s: add3(g,2g,1) = %d, %v", a, v, err)
+		}
+		// Nested calls.
+		if v, err := tgt.EvalInt("square(square(2))"); err != nil || v != 16 {
+			t.Errorf("%s: square(square(2)) = %d, %v", a, v, err)
+		}
+		// A float-returning call participates in arithmetic.
+		if v, err := tgt.EvalFloat("halfd(7) * 2.0"); err != nil || v != 7 {
+			t.Errorf("%s: halfd(7)*2 = %g, %v", a, v, err)
+		}
+		// Assignment from a call result.
+		if _, err := tgt.Eval("g = square(4)"); err != nil {
+			t.Errorf("%s: assign: %v", a, err)
+		}
+		if v, err := tgt.FetchScalar("g"); err != nil || v != 16 {
+			t.Errorf("%s: g = %d, %v", a, v, err)
+		}
+		// Errors surface as expression failures, not crashes.
+		if _, err := tgt.EvalInt("square(1, 2)"); err == nil {
+			t.Errorf("%s: wrong arity accepted", a)
+		}
+		// And the session still resumes cleanly.
+		if ev, err := tgt.Continue(); err != nil || !ev.Exited {
+			t.Fatalf("%s: %v %v", a, ev, err)
+		}
+	}
+}
+
+// TestCallProcedureDifferential: target-call results match Go's int32
+// semantics across a spread of inputs, including overflow wraparound,
+// on a big- and a little-endian target.
+func TestCallProcedureDifferential(t *testing.T) {
+	src := `
+int square(int x) { return x * x; }
+int mix(int a, int b) { return a * 31 + (b ^ a) - (b >> 3); }
+int main() { return 0; }
+`
+	inputs := []int64{0, 1, -1, 7, -13, 1000, -100000, 46341, 2147483647, -2147483648}
+	for _, a := range []string{"mipsbe", "vax"} {
+		var out strings.Builder
+		d, _ := New(&out)
+		tgt := launch(t, d, a, "diff.c", src)
+		if _, err := tgt.BreakProc("main"); err != nil {
+			t.Fatal(err)
+		}
+		if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+			t.Fatalf("%s: %v %v", a, ev, err)
+		}
+		for _, x := range inputs {
+			want := int64(int32(x) * int32(x))
+			if v, err := tgt.CallInt("square", x); err != nil || v != want {
+				t.Errorf("%s: square(%d) = %d, want %d (%v)", a, x, v, want, err)
+			}
+		}
+		for i, x := range inputs {
+			y := inputs[(i+3)%len(inputs)]
+			want := int64(int32(x)*31 + (int32(y) ^ int32(x)) - (int32(y) >> 3))
+			if v, err := tgt.CallInt("mix", x, y); err != nil || v != want {
+				t.Errorf("%s: mix(%d,%d) = %d, want %d (%v)", a, x, y, v, want, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"ldb/internal/arch"
+	"ldb/internal/frame"
+	"ldb/internal/nub"
+	"ldb/internal/ps"
+	"ldb/internal/symtab"
+)
+
+// Debugger is an instance of ldb. It embeds one PostScript interpreter
+// (one interpreter supports code in symbol-table entries and expression
+// evaluation, §3) and can hold connections to several targets on
+// different architectures simultaneously.
+type Debugger struct {
+	In  *ps.Interp
+	Out io.Writer
+
+	Targets   []*Target
+	cur       *Target
+	archDicts map[string]*ps.Dict
+	baseDepth int
+	exprErr   string
+}
+
+// New creates a debugger: it builds the interpreter, registers the
+// debugging operators, reads the initial PostScript (the shared
+// prelude), and prepares one machine-dependent dictionary per
+// registered architecture.
+func New(out io.Writer) (*Debugger, error) {
+	d := &Debugger{In: ps.New(), Out: out, archDicts: make(map[string]*ps.Dict)}
+	d.In.Stdout = out
+	d.registerOps()
+	d.registerExprOps()
+	if err := d.In.RunStringNamed(PreludePS, "<prelude>"); err != nil {
+		return nil, fmt.Errorf("core: reading initial PostScript: %w", err)
+	}
+	for name, src := range archPS {
+		o, err := d.In.Eval(src)
+		if err != nil || o.Kind != ps.KDict {
+			return nil, fmt.Errorf("core: bad arch dictionary for %s: %v", name, err)
+		}
+		a, ok := arch.Lookup(name)
+		if ok {
+			names := make([]ps.Object, a.NumRegs())
+			for i := range names {
+				names[i] = ps.Str(a.RegName(i))
+			}
+			o.D.PutName("RegNames", ps.ArrayObj(names...))
+			// Describe the nub's machine-dependent context record in
+			// PostScript, so PostScript programs can manipulate it (§7:
+			// "we wrote PostScript code that reads the top-level
+			// dictionary for the nub and constructs a Modula-3
+			// description of one of the nub's machine-dependent data
+			// structures").
+			l := a.Context()
+			ctx := ps.NewDict(8)
+			ctx.PutName("size", ps.Int(int64(l.Size)))
+			ctx.PutName("pc", ps.Int(int64(l.PCOff)))
+			ctx.PutName("flag", ps.Int(int64(l.FlagOff)))
+			regOffs := make([]ps.Object, len(l.RegOffs))
+			for i, off := range l.RegOffs {
+				regOffs[i] = ps.Int(int64(off))
+			}
+			ctx.PutName("regs", ps.ArrayObj(regOffs...))
+			fregOffs := make([]ps.Object, len(l.FRegOffs))
+			for i, off := range l.FRegOffs {
+				fregOffs[i] = ps.Int(int64(off))
+			}
+			ctx.PutName("fregs", ps.ArrayObj(fregOffs...))
+			ctx.PutName("fregsize", ps.Int(int64(l.FRegSize)))
+			ctx.PutName("floatwordswap", ps.Boolean(l.FloatWordSwap))
+			o.D.PutName("Context", ps.DictObj(ctx))
+		}
+		d.archDicts[name] = o.D
+	}
+	d.baseDepth = len(d.In.DStack)
+	return d, nil
+}
+
+// Current returns the current target, if any.
+func (d *Debugger) Current() *Target { return d.cur }
+
+// Switch makes t the current target, rebinding the machine-dependent
+// PostScript names by placing t's architecture dictionary (and t's
+// symbol environment) on the dictionary stack (§5).
+func (d *Debugger) Switch(t *Target) {
+	d.cur = t
+	d.In.DStack = d.In.DStack[:d.baseDepth]
+	if t == nil {
+		return
+	}
+	if t.Table != nil && t.Table.Env != nil {
+		d.In.DStack = append(d.In.DStack, t.Table.Env)
+	}
+	if ad, ok := d.archDicts[t.Arch.Name()]; ok {
+		d.In.DStack = append(d.In.DStack, ad)
+	}
+}
+
+// CurrentFrame returns the selected frame of the current target.
+func (d *Debugger) CurrentFrame() *frame.Frame {
+	t := d.cur
+	if t == nil || t.CurFrame >= len(t.Frames) {
+		return nil
+	}
+	return t.Frames[t.CurFrame]
+}
+
+// Attach connects to a nub over conn (which may be a network
+// connection to another machine) and loads the program's loader-table
+// PostScript. The nub tells us the architecture; the symbol table must
+// agree (§2: ldb uses the recorded architecture to find its
+// machine-dependent code and data).
+func (d *Debugger) Attach(name string, conn io.ReadWriter, loaderPS string) (*Target, error) {
+	client, err := nub.Connect(conn)
+	if err != nil {
+		return nil, err
+	}
+	return d.attach(name, client, loaderPS)
+}
+
+// AttachClient wires an already-connected nub client.
+func (d *Debugger) AttachClient(name string, client *nub.Client, loaderPS string) (*Target, error) {
+	return d.attach(name, client, loaderPS)
+}
+
+func (d *Debugger) attach(name string, client *nub.Client, loaderPS string) (*Target, error) {
+	a, ok := arch.Lookup(client.ArchName)
+	if !ok {
+		return nil, fmt.Errorf("core: target runs unknown architecture %q", client.ArchName)
+	}
+	table, err := symtab.Load(d.In, loaderPS)
+	if err != nil {
+		return nil, err
+	}
+	if err := table.Validate(); err != nil {
+		return nil, err
+	}
+	if ta := table.Architecture(); ta != a.Name() {
+		return nil, fmt.Errorf("core: symbol table is for %s but the target runs %s", ta, a.Name())
+	}
+	t := newTarget(d, name, a, client, table)
+	d.Targets = append(d.Targets, t)
+	d.Switch(t)
+	if client.Last != nil {
+		if client.Last.Exited {
+			t.Exited, t.ExitStatus = true, client.Last.Status
+		} else if err := t.Refresh(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// evalWhere executes a where procedure (or accepts an already-realized
+// location), yielding the location.
+func (d *Debugger) evalWhere(v ps.Object) (loc ps.Object, err error) {
+	if v.Kind == ps.KExt {
+		return v, nil
+	}
+	before := len(d.In.Stack)
+	if err := d.In.ExecProc(v); err != nil {
+		return ps.Object{}, err
+	}
+	if len(d.In.Stack) != before+1 {
+		d.In.Stack = d.In.Stack[:before]
+		return ps.Object{}, fmt.Errorf("core: where procedure left no location")
+	}
+	o, _ := d.In.Pop()
+	if o.Kind != ps.KExt || o.X == nil || o.X.ExtType() != "locationtype" {
+		return ps.Object{}, fmt.Errorf("core: where procedure yielded %s", o.TypeName())
+	}
+	return o, nil
+}
+
+// frameIndependent reports whether a where procedure's result can be
+// memoized (it contains no frame-relative addressing).
+func frameIndependent(v ps.Object) bool {
+	if v.Kind != ps.KArray {
+		return false
+	}
+	for _, e := range v.A.E {
+		if e.Kind == ps.KName && e.S == "FrameOffset" {
+			return false
+		}
+		if e.Kind == ps.KArray && !frameIndependent(e) {
+			return false
+		}
+	}
+	return true
+}

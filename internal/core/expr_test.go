@@ -1,0 +1,207 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpressionServerFib evaluates expressions and assignments via the
+// expression server against a stopped fib (§3).
+func TestExpressionServerFib(t *testing.T) {
+	for _, a := range allArches {
+		t.Run(a, func(t *testing.T) {
+			var out strings.Builder
+			d, err := New(&out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tgt := launch(t, d, a, "fib.c", fibC)
+			if _, err := tgt.BreakStop("fib", 7); err != nil {
+				t.Fatal(err)
+			}
+			// Run to the third hit: i == 4, a = {1 1 2 3 ...}.
+			for k := 0; k < 3; k++ {
+				if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+					t.Fatalf("%v %v", ev, err)
+				}
+			}
+			cases := map[string]int64{
+				"i":                 4,
+				"n":                 10,
+				"i + 1":             5,
+				"2 * i - n":         -2,
+				"a[2]":              2,
+				"a[i-1] + a[i-2]":   5,
+				"a[0] == 1":         1,
+				"i < n && a[1] > 0": 1,
+				"i > n || a[3] < 0": 0,
+				"-i":                -4,
+				"~0":                -1,
+				"!i":                0,
+				"(i + n) % 3":       2,
+				"i << 2":            16,
+				"&a[3] - &a[0]":     3,
+				"*(&a[2])":          2,
+				"i > 3 ? 100 : 200": 100,
+				"sizeof(int)":       4,
+				"sizeof(a)":         80,
+				"sizeof(a[0])":      4,
+			}
+			for text, want := range cases {
+				got, err := tgt.EvalInt(text)
+				if err != nil {
+					t.Errorf("eval %q: %v", text, err)
+					continue
+				}
+				if got != want {
+					t.Errorf("eval %q = %d, want %d", text, got, want)
+				}
+			}
+			// Assignment through the expression server.
+			if v, err := tgt.EvalInt("n = i + 1"); err != nil || v != 5 {
+				t.Fatalf("assign: %d, %v", v, err)
+			}
+			if v, err := tgt.FetchScalar("n"); err != nil || v != 5 {
+				t.Fatalf("after assign, n = %d, %v", v, err)
+			}
+			// Increment operators.
+			if v, err := tgt.EvalInt("i++"); err != nil || v != 4 {
+				t.Fatalf("i++: %d, %v", v, err)
+			}
+			if v, err := tgt.EvalInt("i"); err != nil || v != 5 {
+				t.Fatalf("after i++: %d, %v", v, err)
+			}
+			if v, err := tgt.EvalInt("--i"); err != nil || v != 4 {
+				t.Fatalf("--i: %d, %v", v, err)
+			}
+			// Procedure calls in expressions are the §7.1 extension — but
+			// this one re-enters fib and hits our own breakpoint at stop
+			// 7, so the call aborts safely and the session survives.
+			if _, err := tgt.Eval("fib(3)"); err == nil || !strings.Contains(err.Error(), "instead of returning") {
+				t.Errorf("call: err = %v", err)
+			}
+			// Unknown identifiers report an error but leave the session
+			// usable.
+			if _, err := tgt.Eval("nosuchvar + 1"); err == nil {
+				t.Error("unknown identifier must fail")
+			}
+			if v, err := tgt.EvalInt("i"); err != nil || v != 4 {
+				t.Fatalf("session broken after error: %d, %v", v, err)
+			}
+		})
+	}
+}
+
+func TestExpressionServerFloats(t *testing.T) {
+	src := `
+double d;
+float f;
+int main() { d = 2.5; f = 0.5; return 0; }
+`
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "m68k", "flt.c", src)
+	stops, _, err := tgt.ProcStops("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.BreakStop("main", stops[len(stops)-2].Index); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	if v, err := tgt.EvalFloat("d + f"); err != nil || v != 3.0 {
+		t.Errorf("d + f = %g, %v", v, err)
+	}
+	if v, err := tgt.EvalFloat("d * 2.0"); err != nil || v != 5.0 {
+		t.Errorf("d * 2.0 = %g, %v", v, err)
+	}
+	if v, err := tgt.EvalInt("(int) d"); err != nil || v != 2 {
+		t.Errorf("(int)d = %d, %v", v, err)
+	}
+	if v, err := tgt.EvalFloat("d = 7.25"); err != nil || v != 7.25 {
+		t.Errorf("d assign = %g, %v", v, err)
+	}
+	if v, err := tgt.FetchFloatVar("d"); err != nil || v != 7.25 {
+		t.Errorf("after assign d = %g, %v", v, err)
+	}
+	if v, err := tgt.EvalInt("d > 7.0"); err != nil || v != 1 {
+		t.Errorf("d > 7.0 = %d, %v", v, err)
+	}
+}
+
+func TestExpressionServerStructs(t *testing.T) {
+	src := `
+struct point { int x; int y; };
+struct point p;
+struct point *pp;
+int main() { p.x = 3; p.y = 4; pp = &p; return 0; }
+`
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "vax", "pt.c", src)
+	stops, _, err := tgt.ProcStops("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.BreakStop("main", stops[len(stops)-2].Index); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	if v, err := tgt.EvalInt("p.x + p.y"); err != nil || v != 7 {
+		t.Errorf("p.x + p.y = %d, %v", v, err)
+	}
+	if v, err := tgt.EvalInt("pp->y"); err != nil || v != 4 {
+		t.Errorf("pp->y = %d, %v", v, err)
+	}
+	if v, err := tgt.EvalInt("p.x = 9"); err != nil || v != 9 {
+		t.Errorf("assign member: %d, %v", v, err)
+	}
+	if v, err := tgt.EvalInt("pp->x"); err != nil || v != 9 {
+		t.Errorf("after member assign pp->x = %d, %v", v, err)
+	}
+}
+
+func TestExpressionServerLocals(t *testing.T) {
+	// Frame-resident identifiers resolve through FrameOffset, so the
+	// same expression gives different answers in different frames.
+	src := `
+int depth(int k) {
+	int here;
+	here = k * 10;
+	if (k > 0) return depth(k - 1);
+	return here;
+}
+int main() { return depth(3); }
+`
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "sparc", "rec.c", src)
+	stops, _, err := tgt.ProcStops("depth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break at the final return (k == 0): recursion is 4 deep.
+	retIdx := stops[len(stops)-2].Index
+	if _, err := tgt.BreakStop("depth", retIdx); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	if v, err := tgt.EvalInt("k"); err != nil || v != 0 {
+		t.Fatalf("k in top frame = %d, %v", v, err)
+	}
+	if err := tgt.SelectFrame(1); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tgt.EvalInt("k"); err != nil || v != 1 {
+		t.Fatalf("k in caller frame = %d, %v", v, err)
+	}
+	if v, err := tgt.EvalInt("here + k"); err != nil || v != 11 {
+		t.Fatalf("here + k in caller = %d, %v", v, err)
+	}
+}

@@ -1,0 +1,64 @@
+// Package core is ldb proper: the debugger that ties together the
+// embedded PostScript interpreter, the symbol tables, the nub
+// connection, abstract memories, stack frames, and breakpoints. It can
+// connect to multiple targets simultaneously — target-specific state
+// lives in target objects, never in globals (§7) — and switching
+// architectures rebinds the machine-dependent PostScript names by
+// placing a per-architecture dictionary on the dictionary stack (§5).
+package core
+
+import (
+	"fmt"
+
+	"ldb/internal/amem"
+	"ldb/internal/ps"
+)
+
+// LocExt wraps an abstract-memory location as a PostScript extension
+// object.
+type LocExt struct {
+	Loc amem.Location
+}
+
+// ExtType implements ps.Ext.
+func (l *LocExt) ExtType() string { return "locationtype" }
+
+func (l *LocExt) String() string { return l.Loc.String() }
+
+// MemExt wraps an abstract memory as a PostScript extension object.
+type MemExt struct {
+	Mem amem.Memory
+}
+
+// ExtType implements ps.Ext.
+func (m *MemExt) ExtType() string { return "memorytype" }
+
+// LocObj wraps a location.
+func LocObj(loc amem.Location) ps.Object { return ps.ExtObj(&LocExt{Loc: loc}) }
+
+// MemObj wraps a memory.
+func MemObj(m amem.Memory) ps.Object { return ps.ExtObj(&MemExt{Mem: m}) }
+
+// popLoc pops a location extension object.
+func popLoc(in *ps.Interp, cmd string) (amem.Location, error) {
+	x, err := in.PopExt("locationtype", cmd)
+	if err != nil {
+		return amem.Location{}, err
+	}
+	return x.(*LocExt).Loc, nil
+}
+
+// popMem pops a memory extension object.
+func popMem(in *ps.Interp, cmd string) (amem.Memory, error) {
+	x, err := in.PopExt("memorytype", cmd)
+	if err != nil {
+		return nil, err
+	}
+	return x.(*MemExt).Mem, nil
+}
+
+func psErr(name string, err error) error {
+	return &ps.Error{Name: name, Cmd: err.Error()}
+}
+
+func fmtHex(v uint64) string { return fmt.Sprintf("0x%x", v) }

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ldb/internal/driver"
+	"ldb/internal/nub"
+)
+
+// launchMulti builds several translation units and attaches a debugger.
+func launchMulti(t *testing.T, d *Debugger, archName string, srcs []driver.Source) *Target {
+	t.Helper()
+	prog, err := driver.Build(srcs, driver.Options{Arch: archName, Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := d.AttachClient("multi", client, prog.LoaderPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt
+}
+
+// TestMultiUnitStatics: two compilation units each have a file-scope
+// static named `counter`; name resolution must find the right one from
+// each procedure's context ("the statics dictionary of the current
+// procedure's compilation unit", §2), and the two anchor tables must
+// both validate.
+func TestMultiUnitStatics(t *testing.T) {
+	srcs := []driver.Source{
+		{Name: "alpha.c", Text: `
+static int counter = 100;
+int alpha() { counter = counter + 1; return counter; }
+`},
+		{Name: "beta.c", Text: `
+static int counter = 200;
+extern int alpha(void);
+int beta() { counter = counter + 2; return counter; }
+int main() { alpha(); beta(); alpha(); beta(); return 0; }
+`},
+	}
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launchMulti(t, d, "sparc", srcs)
+
+	// Stop inside alpha: counter resolves to alpha.c's static.
+	if _, err := tgt.BreakProc("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.BreakProc("beta"); err != nil {
+		t.Fatal(err)
+	}
+	hits := map[string][]int64{}
+	for i := 0; i < 4; i++ {
+		ev, err := tgt.ContinueToBreakpoint()
+		if err != nil || ev.Exited {
+			t.Fatalf("hit %d: %v %v", i, ev, err)
+		}
+		bt, _ := tgt.Backtrace(2)
+		v, err := tgt.FetchScalar("counter")
+		if err != nil {
+			t.Fatalf("hit %d in %s: %v", i, bt[0], err)
+		}
+		hits[bt[0]] = append(hits[bt[0]], v)
+	}
+	// At entry, counter has its pre-increment value.
+	if got := hits["_alpha"]; len(got) != 2 || got[0] != 100 || got[1] != 101 {
+		t.Fatalf("alpha counters: %v", got)
+	}
+	if got := hits["_beta"]; len(got) != 2 || got[0] != 200 || got[1] != 202 {
+		t.Fatalf("beta counters: %v", got)
+	}
+	// The expression server also resolves per-context.
+	if v, err := tgt.EvalInt("counter + 1"); err != nil || v != 203 {
+		t.Fatalf("expr counter in beta context: %d, %v", v, err)
+	}
+	if err := tgt.Bpts.RemoveAll(); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.Continue(); err != nil || !ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+}
+
+func TestNestedAggregatePrinting(t *testing.T) {
+	src := `
+struct inner { int a; char tag; };
+struct outer { struct inner first; int arr[3]; struct inner *link; };
+struct outer o;
+struct inner other;
+int main() {
+	o.first.a = 7;
+	o.first.tag = 'x';
+	o.arr[0] = 1; o.arr[1] = 2; o.arr[2] = 3;
+	other.a = 99;
+	o.link = &other;
+	return 0;
+}
+`
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "mips", "agg.c", src)
+	stops, _, err := tgt.ProcStops("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.BreakStop("main", stops[len(stops)-2].Index); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	got := printOf(t, d, tgt, "o")
+	// Nested printers compose: struct in struct, array in struct,
+	// pointer member as hex.
+	if !strings.HasPrefix(got, "{first={a=7, tag='x'}, arr={1, 2, 3}, link=0x") {
+		t.Fatalf("print o = %q", got)
+	}
+	// An array of structs prints element-wise.
+	got = printOf(t, d, tgt, "other")
+	if got != "{a=99, tag='\\000'}" {
+		t.Fatalf("print other = %q", got)
+	}
+	// Member access through the expression server agrees.
+	if v, err := tgt.EvalInt("o.first.a + o.arr[2]"); err != nil || v != 10 {
+		t.Fatalf("expr: %d, %v", v, err)
+	}
+	if v, err := tgt.EvalInt("o.link->a"); err != nil || v != 99 {
+		t.Fatalf("expr link: %d, %v", v, err)
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	// A symbol table for the wrong architecture is refused (§2: the
+	// architecture recorded in the top-level dictionary must match).
+	progM, err := driver.Build([]driver.Source{{Name: "fib.c", Text: fibC}}, driver.Options{Arch: "mips", Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progS, err := driver.Build([]driver.Source{{Name: "fib.c", Text: fibC}}, driver.Options{Arch: "sparc", Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _, _, err := nub.Launch(progM.Arch, progM.Image.Text, progM.Image.Data, progM.Image.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	d, _ := New(&out)
+	if _, err := d.AttachClient("bad", client, progS.LoaderPS); err == nil ||
+		!strings.Contains(err.Error(), "sparc") {
+		t.Fatalf("cross-architecture symbol table accepted: %v", err)
+	}
+	// Garbage loader PostScript is refused.
+	client2, _, _, err := nub.Launch(progM.Arch, progM.Image.Text, progM.Image.Data, progM.Image.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AttachClient("bad2", client2, "( this is not a loader table"); err == nil {
+		t.Fatal("garbage loader accepted")
+	}
+}
+
+func TestPrintProcedureItself(t *testing.T) {
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "vax", "fib.c", fibC)
+	if _, err := tgt.BreakStop("fib", 7); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	// fib is visible from its own stopping points (Fig. 2's chain ends
+	// at the procedure); its value prints as its name via PROC.
+	if got := printOf(t, d, tgt, "fib"); got != "_fib" {
+		t.Fatalf("print fib = %q", got)
+	}
+	// And a declaration can be rendered from the entry.
+	e, err := tgt.Lookup("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decl := e.Decl(); decl != "void fib(int)" {
+		t.Fatalf("decl = %q", decl)
+	}
+}
+
+// TestScopeShadowingLive: two variables named x in nested scopes; the
+// uplink walk finds the innermost at an inner stopping point and the
+// outer one elsewhere — Fig. 2's tree doing its job in a live session.
+func TestScopeShadowingLive(t *testing.T) {
+	src := `
+int observe(int v) { return v; }
+int main() {
+	int x;
+	x = 10;
+	observe(x);
+	{
+		int x;
+		x = 99;
+		observe(x);
+	}
+	observe(x);
+	return 0;
+}
+`
+	for _, a := range []string{"mips", "vax"} {
+		var out strings.Builder
+		d, _ := New(&out)
+		tgt := launch(t, d, a, "shadow.c", src)
+		stops, _, err := tgt.ProcStops("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Plant at every observe() call site; check x at each.
+		var wantByHit []int64
+		for i := range stops {
+			// stops at the three observe(...) statements: find them by
+			// looking at line numbers 6, 10, 12.
+			switch stops[i].Line {
+			case 6, 10, 12:
+				if _, err := tgt.BreakStop("main", stops[i].Index); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		wantByHit = []int64{10, 99, 10}
+		for hit := 0; hit < 3; hit++ {
+			ev, err := tgt.ContinueToBreakpoint()
+			if err != nil || ev.Exited {
+				t.Fatalf("%s hit %d: %v %v", a, hit, ev, err)
+			}
+			v, err := tgt.FetchScalar("x")
+			if err != nil {
+				t.Fatalf("%s hit %d: %v", a, hit, err)
+			}
+			if v != wantByHit[hit] {
+				t.Errorf("%s hit %d: x = %d, want %d", a, hit, v, wantByHit[hit])
+			}
+			// The expression server sees the same x.
+			ev2, err := tgt.EvalInt("x + 0")
+			if err != nil || ev2 != wantByHit[hit] {
+				t.Errorf("%s hit %d: expr x = %d, %v", a, hit, ev2, err)
+			}
+		}
+	}
+}
+
+// TestUnionPrinting: the UNION printer shows every interpretation of
+// the shared storage, and the expression server reads members through
+// the same type dictionaries.
+func TestUnionPrinting(t *testing.T) {
+	src := `
+union value { int i; char c; };
+union value v;
+union value *p;
+int main() {
+	v.i = 65;
+	p = &v;
+	return 0;
+}
+`
+	// On the little-endian VAX the char view of int 65 is 'A'; on the
+	// big-endian 68020 the byte at offset 0 is the most significant, so
+	// the same union reads '\000'. The debugger sees exactly what the
+	// target sees, through the wire memory's byte order.
+	for _, c := range []struct {
+		arch  string
+		want  string
+		wantC int64
+	}{
+		{"vax", "{i=65 | c='A'}", 65},
+		{"m68k", "{i=65 | c='\\000'}", 0},
+	} {
+		var out strings.Builder
+		d, _ := New(&out)
+		tgt := launch(t, d, c.arch, "un.c", src)
+		stops, _, err := tgt.ProcStops("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tgt.BreakStop("main", stops[len(stops)-2].Index); err != nil {
+			t.Fatal(err)
+		}
+		if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+			t.Fatalf("%v %v", ev, err)
+		}
+		if got := printOf(t, d, tgt, "v"); got != c.want {
+			t.Fatalf("%s: print v = %q, want %q", c.arch, got, c.want)
+		}
+		if v, err := tgt.EvalInt("v.c"); err != nil || v != c.wantC {
+			t.Fatalf("%s: v.c = %d, %v", c.arch, v, err)
+		}
+		if v, err := tgt.EvalInt("p->i + 1"); err != nil || v != 66 {
+			t.Fatalf("%s: p->i = %d, %v", c.arch, v, err)
+		}
+		// Writing through one member is visible through the other.
+		if _, err := tgt.Eval("v.i = 97"); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := tgt.EvalInt("v.i"); v != 97 {
+			t.Fatalf("%s: after store v.i = %d", c.arch, v)
+		}
+		e, err := tgt.Lookup("v")
+		if err != nil || e.Decl() != "union value v" {
+			t.Fatalf("decl = %q, %v", e.Decl(), err)
+		}
+	}
+}
+
+// TestInitializedDataVisible: braced initializers land in the data
+// segment and the debugger sees them immediately at the first stop.
+func TestInitializedDataVisible(t *testing.T) {
+	src := `
+int primes[5] = {2, 3, 5, 7, 11};
+char msg[] = "hey";
+struct point { int x; int y; } origin = {8, 9};
+int main() { return 0; }
+`
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "mipsbe", "init.c", src)
+	if _, err := tgt.BreakProc("main"); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	if got := printOf(t, d, tgt, "primes"); got != "{2, 3, 5, 7, 11}" {
+		t.Fatalf("primes = %q", got)
+	}
+	if got := printOf(t, d, tgt, "origin"); got != "{x=8, y=9}" {
+		t.Fatalf("origin = %q", got)
+	}
+	if got := printOf(t, d, tgt, "msg"); got != `{'h', 'e', 'y', '\000'}` {
+		t.Fatalf("msg = %q", got)
+	}
+	if v, err := tgt.EvalInt("primes[4] - origin.x"); err != nil || v != 3 {
+		t.Fatalf("expr: %d %v", v, err)
+	}
+}
+
+// TestGotoStops: a goto statement is a stopping point like any other;
+// breakpoints planted on it hit before the jump.
+func TestGotoStops(t *testing.T) {
+	src := `
+int n = 0;
+int main() {
+	n = 1;
+again:
+	n = n + 1;
+	if (n < 4) goto again;
+	return 0;
+}
+`
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "sparc", "g.c", src)
+	stops, _, err := tgt.ProcStops("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the goto's stop by line (the "if" line holds the condition
+	// stop; the goto is its own).
+	planted := false
+	for _, s := range stops {
+		if s.Line == 7 { // if (n < 4) goto again;
+			if _, err := tgt.BreakStop("main", s.Index); err != nil {
+				t.Fatal(err)
+			}
+			planted = true
+		}
+	}
+	if !planted {
+		t.Fatalf("no stop on the goto line; stops: %+v", stops)
+	}
+	var ns []int64
+	for {
+		ev, err := tgt.ContinueToBreakpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Exited {
+			break
+		}
+		v, err := tgt.FetchScalar("n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, v)
+	}
+	// The if-line stops fire once per iteration: n = 2, 3, 4.
+	want := []int64{2, 3, 4}
+	if len(ns) < 3 {
+		t.Fatalf("hits: %v", ns)
+	}
+	for i, w := range want {
+		found := false
+		for _, v := range ns {
+			if v == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing hit with n=%d (hit %d); all: %v", w, i, ns)
+		}
+	}
+}

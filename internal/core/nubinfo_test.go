@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPostScriptDescribesNubContext reproduces the §7 demonstration:
+// PostScript code reads the machine-dependent description of the nub's
+// context record and constructs a host-language type declaration for
+// it — symbol tables (and the machine-dependent dictionaries) are data
+// that PostScript programs can manipulate.
+func TestPostScriptDescribesNubContext(t *testing.T) {
+	var out strings.Builder
+	d, err := New(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := launch(t, d, "mipsbe", "fib.c", fibC)
+	_ = tgt
+	// Generate a Go-flavored struct description of the context from
+	// the /Context dictionary on the architecture dictionary stack.
+	script := `
+Context begin
+  (type Context struct { // ) print Machine print ( \n) print
+  (    pc     uint32 // offset ) print pc cvs print (\n) print
+  (    flag   uint32 // offset ) print flag cvs print (\n) print
+  (    regs   [) print regs length cvs print (]uint32\n) print
+  (    fregs  [) print fregs length cvs print (]float) print
+  fregsize 12 eq { (80) } { (64) } ifelse print (\n) print
+  floatwordswap { (    // saved doubles are word-swapped\n) print } if
+  (}\n) print
+end
+`
+	if err := d.In.RunString(script); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"type Context struct { // mipsbe",
+		"pc     uint32 // offset 0",
+		"regs   [32]uint32",
+		"fregs  [8]float64",
+		"word-swapped", // the big-endian MIPS quirk is visible in the data
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// TestArchDictContextMatchesGo cross-checks the PostScript description
+// against the Go layout for every target.
+func TestArchDictContextMatchesGo(t *testing.T) {
+	var out strings.Builder
+	d, err := New(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range allArches {
+		tgt := launch(t, d, a, "fib.c", fibC)
+		d.Switch(tgt)
+		l := tgt.Arch.Context()
+		for expr, want := range map[string]int64{
+			"Context /size get":        int64(l.Size),
+			"Context /pc get":          int64(l.PCOff),
+			"Context /regs get length": int64(len(l.RegOffs)),
+			"Context /fregsize get":    int64(l.FRegSize),
+		} {
+			o, err := d.In.Eval(expr)
+			if err != nil || o.I != want {
+				t.Errorf("%s: %s = %v (%v), want %d", a, expr, o.I, err, want)
+			}
+		}
+	}
+}

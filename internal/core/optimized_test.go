@@ -1,0 +1,150 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ldb/internal/ps"
+	"ldb/internal/symtab"
+)
+
+// TestStrengthReductionRecovery demonstrates §7.1's "PostScript invites
+// further exploitation; it might help debug optimized code": if an
+// optimizer performed strength reduction, replacing the use of i in
+// a[i] with an induction pointer p, the compiler can emit PostScript
+// that RECOVERS i from p. Here we inject such an entry by hand — its
+// /where procedure computes (p - a) / 4 and yields the value as an
+// immediate location — and ldb prints the recovered variable with the
+// ordinary INT printer. ldb itself needed no change (the paper's
+// point: "ldb's capabilities can be extended by changing only the
+// PostScript symbol tables").
+func TestStrengthReductionRecovery(t *testing.T) {
+	src := `
+int a[16];
+int *p;
+int main() {
+	int k;
+	p = a;
+	for (k = 0; k < 9; k++) { a[k] = k; p = p + 1; }
+	return *(p - 1);
+}
+`
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "sparc", "sr.c", src)
+	stops, _, err := tgt.ProcStops("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.BreakStop("main", stops[len(stops)-2].Index); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	// Build the "recovered i" entry in the target's symbol environment:
+	// its where fetches p and a's base, subtracts, divides by the
+	// element size, and delivers the value as an immediate location.
+	tgt.ensureCurrent()
+	pEntry, err := tgt.Lookup("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLoc, err := tgt.WhereLoc(pEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aEntry, err := tgt.Lookup("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aLoc, err := tgt.WhereLoc(aEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intType := pEntry.TypeDict() // reuse a type dict's shape
+	_ = intType
+	code := `
+/i_recovered <<
+  /name (i_recovered)
+  /kind (variable)
+  /type << /decl (int %s) /printer {INT} /size 4 >>
+  /where { CurrentMem ` +
+		ps.Format(ps.Int(pLoc.Offset)) + ` DLoc 4 FetchInt ` +
+		ps.Format(ps.Int(aLoc.Offset)) + ` sub 4 idiv ImmLoc }
+  /uplink null
+>> def
+`
+	if err := d.In.RunString(code); err != nil {
+		t.Fatal(err)
+	}
+	entryObj, ok := d.In.Lookup("i_recovered")
+	if !ok || entryObj.Kind != ps.KDict {
+		t.Fatal("synthetic entry not defined")
+	}
+	e := symtab.Entry{D: entryObj.D, T: tgt.Table}
+	var buf strings.Builder
+	d.In.Stdout = &buf
+	if err := tgt.PrintEntry(e); err != nil {
+		t.Fatal(err)
+	}
+	// After the loop, p has advanced 9 elements past a: recovered i = 9.
+	if got := strings.TrimSpace(buf.String()); got != "9" {
+		t.Fatalf("recovered i = %q, want 9", got)
+	}
+}
+
+// TestLongDoubleDebugging prints an 80-bit extended variable on the
+// 68020 — the third float size flowing through the whole stack: the
+// compiler's 12-byte layout, the simulator's extended stores, the nub,
+// the abstract memories, and the LDOUBLE printer's /fsize dispatch.
+func TestLongDoubleDebugging(t *testing.T) {
+	src := `
+long double x;
+double y;
+int main() {
+	x = 2.5;
+	x = x * 3.0;
+	y = 0.5;
+	return 0;
+}
+`
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "m68k", "ld.c", src)
+	stops, _, err := tgt.ProcStops("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.BreakStop("main", stops[len(stops)-2].Index); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	if got := printOf(t, d, tgt, "x"); got != "7.5" {
+		t.Fatalf("print x = %q", got)
+	}
+	// The type dictionary carries the machine-dependent sizes.
+	e, err := tgt.Lookup("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := e.TypeDict()
+	if sz, _ := td.GetName("size"); sz.I != 12 {
+		t.Fatalf("long double size = %d on m68k", sz.I)
+	}
+	if fs, _ := td.GetName("fsize"); fs.I != 10 {
+		t.Fatalf("long double fsize = %d", fs.I)
+	}
+	if v, err := tgt.FetchFloatVar("x"); err != nil || v != 7.5 {
+		t.Fatalf("FetchFloatVar = %g, %v", v, err)
+	}
+	// Assignment through the debugger round-trips the extended format.
+	if err := tgt.AssignFloat("x", -1.25); err != nil {
+		t.Fatal(err)
+	}
+	if got := printOf(t, d, tgt, "x"); got != "-1.25" {
+		t.Fatalf("after assign: %q", got)
+	}
+}

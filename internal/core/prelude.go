@@ -1,0 +1,183 @@
+package core
+
+// PreludePS is the shared, machine-independent PostScript that ldb
+// reads at startup: the printer procedures symbol tables refer to
+// (INT, ARRAY, STRUCT, ...), written against the prettyprinter
+// operators Put/Break/Begin/End and the debugging operators of the
+// dialect. It is the analog of the paper's 1203 lines of shared
+// PostScript; the ARRAY procedure follows §2's listing.
+const PreludePS = `
+% ldb shared prelude: machine-independent printer procedures.
+% Every printer takes (memory location typedict) and prints the value.
+
+/ArrayLimit 10 def
+
+/PrintValue { dup /printer get exec } def
+
+% The expression server writes this after the compiled procedure to
+% tell ldb it can stop listening to the pipe (§3).
+/ExpressionServer.result { stop } def
+
+/INT     { pop 4 FetchSigned Put } def
+/UINT    { pop 4 FetchInt Put } def
+/SHORT   { pop 2 FetchSigned Put } def
+/CHAR    { pop 1 FetchSigned CharStr Put } def
+/FLOAT   { pop 4 FetchFloat Put } def
+/DOUBLE  { pop 8 FetchFloat Put } def
+/LDOUBLE { /fsize get FetchFloat Put } def
+/VOIDP   { pop 4 FetchInt HexStr Put } def
+/PROC    { pop exch pop LocOffset ProcName Put } def
+
+/PTR {
+    4 dict begin
+    /&t exch def /&loc exch def /&mem exch def
+    /&v &mem &loc 4 FetchInt def
+    &t /&basetype known
+    { &t /&basetype get /kind get (function) eq
+      { &v ProcName Put }
+      { &v HexStr Put } ifelse }
+    { &v HexStr Put } ifelse
+    end
+} def
+
+% ARRAY prints a C array (§2): an opening brace, then the elements at
+% increasing offsets with commas and potential line breaks, eliding
+% past an adjustable limit.
+/ARRAY {
+    4 dict begin
+    /&t exch def /&loc exch def /&mem exch def
+    ({) Put 0 Begin
+    0 1 &t /&arraysize get 1 sub {
+        dup 0 ne { (, ) Put 0 Break } if
+        dup ArrayLimit ge { (...) Put pop exit } if
+        &t /&elemsize get mul &loc exch Shifted
+        &mem exch &t /&elemtype get PrintValue
+    } for
+    End (}) Put
+    end
+} def
+
+/STRUCT {
+    5 dict begin
+    /&t exch def /&loc exch def /&mem exch def
+    ({) Put 0 Begin
+    /&first 1 def
+    &t /&fields GetMemo {
+        aload pop
+        /&ft exch def /&off exch def /&fname exch def
+        &first 0 eq { (, ) Put 0 Break } if
+        /&first 0 def
+        &fname Put (=) Put
+        &mem &loc &off Shifted &ft PrintValue
+    } forall
+    End (}) Put
+    end
+} def
+/UNION {
+    % every member shares offset 0: print each interpretation.
+    5 dict begin
+    /&t exch def /&loc exch def /&mem exch def
+    ({) Put 0 Begin
+    /&first 1 def
+    &t /&fields GetMemo {
+        aload pop
+        /&ft exch def /&off exch def /&fname exch def
+        &first 0 eq { ( | ) Put 0 Break } if
+        /&first 0 def
+        &fname Put (=) Put
+        &mem &loc &off Shifted &ft PrintValue
+    } forall
+    End (}) Put
+    end
+} def
+`
+
+// archPS holds the machine-dependent PostScript for each target —
+// addressing local variables and naming the machine (§4.3 counts
+// 13-18 such lines per target). The FrameOffset procedure turns a
+// frame offset into a data location: through the virtual frame pointer
+// (extra register 1) on the MIPS, through the frame-pointer register
+// elsewhere.
+var archPS = map[string]string{
+	"mips": `<<
+  /Machine (mips)
+  /FrameOffset { 1 XReg add DLoc }
+  /WordSize 4
+  /ByteOrder (little)
+>>`,
+	"mipsbe": `<<
+  /Machine (mipsbe)
+  /FrameOffset { 1 XReg add DLoc }
+  /WordSize 4
+  /ByteOrder (big)
+>>`,
+	"sparc": `<<
+  /Machine (sparc)
+  /FrameOffset { 30 Reg add DLoc }
+  /WordSize 4
+  /ByteOrder (big)
+>>`,
+	"m68k": `<<
+  /Machine (m68k)
+  /FrameOffset { 14 Reg add DLoc }
+  /WordSize 4
+  /ByteOrder (big)
+>>`,
+	"vax": `<<
+  /Machine (vax)
+  /FrameOffset { 13 Reg add DLoc }
+  /WordSize 4
+  /ByteOrder (little)
+>>`,
+}
+
+// ArchPSLines reports the number of non-blank machine-dependent
+// PostScript lines per target (the analog of the paper's per-target
+// PostScript row in the §4.3 table). cmd/locstats uses it.
+func ArchPSLines() map[string]int {
+	out := make(map[string]int)
+	for name, src := range archPS {
+		n := 0
+		for _, line := range splitLines(src) {
+			if trimSpace(line) != "" {
+				n++
+			}
+		}
+		out[name] = n
+	}
+	return out
+}
+
+// PreludeLines reports the number of non-blank lines of shared
+// PostScript.
+func PreludeLines() int {
+	n := 0
+	for _, line := range splitLines(PreludePS) {
+		if trimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ldb/internal/nub"
+)
+
+// TestEveryStoppingPointHitCounts plants a breakpoint at every one of
+// fib's 14 stopping points and counts hits while the program runs to
+// completion. The counts are fully determined by fib(10)'s control
+// flow, so this pins stop placement, address resolution through the
+// anchor table, trap planting, and breakpoint resume on every target.
+func TestEveryStoppingPointHitCounts(t *testing.T) {
+	// fib(10): the i-loop runs i=2..9 (8 bodies, 9 condition checks);
+	// the j-loop runs j=0..9 (10 bodies, 11 condition checks).
+	want := map[int]int{
+		0:  1,  // entry
+		1:  1,  // if (n > 20)
+		2:  0,  // n = 20 — never executed
+		3:  1,  // a[0] = a[1] = 1
+		4:  1,  // i = 2
+		5:  9,  // i < n
+		6:  8,  // i++
+		7:  8,  // a[i] = ...
+		8:  1,  // j = 0
+		9:  11, // j < n
+		10: 10, // j++
+		11: 10, // printf("%d ", a[j])
+		12: 1,  // printf("\n")
+		13: 1,  // exit
+	}
+	for _, a := range allArches {
+		t.Run(a, func(t *testing.T) {
+			var out strings.Builder
+			d, _ := New(&out)
+			tgt := launch(t, d, a, "fib.c", fibC)
+			stops, _, err := tgt.ProcStops("fib")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stops) != 14 {
+				t.Fatalf("stops = %d", len(stops))
+			}
+			addrToIdx := map[uint32]int{}
+			for i := range stops {
+				addr, err := tgt.BreakStop("fib", stops[i].Index)
+				if err != nil {
+					t.Fatalf("stop %d: %v", stops[i].Index, err)
+				}
+				addrToIdx[addr] = stops[i].Index
+			}
+			got := map[int]int{}
+			ev, err := tgt.RunEvents(func(t *Target, ev *nub.Event) (bool, error) {
+				got[addrToIdx[ev.PC]]++
+				return false, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ev.Exited || ev.Status != 0 {
+				t.Fatalf("final: %v", ev)
+			}
+			for idx, n := range want {
+				if got[idx] != n {
+					t.Errorf("stop %d hit %d times, want %d", idx, got[idx], n)
+				}
+			}
+		})
+	}
+}
+
+// TestDeepRecursionWalk stops 25 frames deep and walks the whole stack
+// on every target, checking each frame's argument.
+func TestDeepRecursionWalk(t *testing.T) {
+	src := `
+int down(int k) {
+	if (k == 0) return 0;
+	return down(k - 1) + 1;
+}
+int main() { return down(24); }
+`
+	for _, a := range allArches {
+		t.Run(a, func(t *testing.T) {
+			var out strings.Builder
+			d, _ := New(&out)
+			tgt := launch(t, d, a, "deep.c", src)
+			// Break at the base case: condition stop with k == 0. Use a
+			// conditional breakpoint at the if.
+			if _, err := tgt.BreakStopIf("down", 1, "k == 0"); err != nil {
+				t.Fatal(err)
+			}
+			if ev, err := tgt.ContinueConditional(); err != nil || ev.Exited {
+				t.Fatalf("%v %v", ev, err)
+			}
+			// 25 down frames + main + _start.
+			bt, err := tgt.Backtrace(40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			downs := 0
+			for _, name := range bt {
+				if name == "_down" {
+					downs++
+				}
+			}
+			if downs != 25 {
+				t.Fatalf("stack shows %d down frames (%v...)", downs, bt[:3])
+			}
+			// k increases by one per frame walking down.
+			for i := 0; i < 25; i += 6 {
+				if err := tgt.SelectFrame(i); err != nil {
+					t.Fatal(err)
+				}
+				if v, err := tgt.FetchScalar("k"); err != nil || v != int64(i) {
+					t.Fatalf("frame %d: k = %d, %v", i, v, err)
+				}
+			}
+			// Evaluate through the expression server in a middle frame.
+			if err := tgt.SelectFrame(10); err != nil {
+				t.Fatal(err)
+			}
+			if v, err := tgt.EvalInt("k * 2"); err != nil || v != 20 {
+				t.Fatalf("expr in frame 10: %d, %v", v, err)
+			}
+		})
+	}
+}
+
+// TestEvalCompoundAndComma exercises the new C operators through the
+// expression server.
+func TestEvalCompoundAndComma(t *testing.T) {
+	var out strings.Builder
+	d, _ := New(&out)
+	tgt := launch(t, d, "m68k", "fib.c", fibC)
+	if _, err := tgt.BreakStop("fib", 7); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := tgt.ContinueToBreakpoint(); err != nil || ev.Exited {
+		t.Fatalf("%v %v", ev, err)
+	}
+	if v, err := tgt.EvalInt("n += 3"); err != nil || v != 13 {
+		t.Fatalf("n += 3: %d, %v", v, err)
+	}
+	if v, err := tgt.EvalInt("n -= 1, n * 10"); err != nil || v != 120 {
+		t.Fatalf("comma: %d, %v", v, err)
+	}
+	if v, err := tgt.FetchScalar("n"); err != nil || v != 12 {
+		t.Fatalf("n after: %d, %v", v, err)
+	}
+}

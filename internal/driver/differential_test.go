@@ -1,0 +1,187 @@
+package driver
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/link"
+)
+
+// A differential tester for the whole compile-assemble-link-simulate
+// stack: generate random integer expressions, evaluate them in Go with
+// C's int32 semantics, and require every target to print the same
+// value.
+
+// expr is a generated expression: C text plus its value.
+type dexpr struct {
+	text string
+	val  int32
+}
+
+type dgen struct {
+	r    *rand.Rand
+	vars map[string]int32
+}
+
+func (g *dgen) leaf() dexpr {
+	if g.r.Intn(3) == 0 {
+		names := []string{"va", "vb", "vc"}
+		n := names[g.r.Intn(len(names))]
+		return dexpr{text: n, val: g.vars[n]}
+	}
+	v := int32(g.r.Intn(201) - 100)
+	if v < 0 {
+		return dexpr{text: fmt.Sprintf("(%d)", v), val: v}
+	}
+	return dexpr{text: fmt.Sprint(v), val: v}
+}
+
+func (g *dgen) gen(depth int) dexpr {
+	if depth <= 0 {
+		return g.leaf()
+	}
+	switch g.r.Intn(14) {
+	case 0, 1:
+		l, r := g.gen(depth-1), g.gen(depth-1)
+		return dexpr{text: "(" + l.text + " + " + r.text + ")", val: l.val + r.val}
+	case 2, 3:
+		l, r := g.gen(depth-1), g.gen(depth-1)
+		return dexpr{text: "(" + l.text + " - " + r.text + ")", val: l.val - r.val}
+	case 4, 5:
+		l, r := g.gen(depth-1), g.gen(depth-1)
+		return dexpr{text: "(" + l.text + " * " + r.text + ")", val: l.val * r.val}
+	case 6:
+		l, r := g.gen(depth-1), g.gen(depth-1)
+		// Guarantee a nonzero divisor with | 1.
+		div := r.val | 1
+		return dexpr{text: "(" + l.text + " / (" + r.text + " | 1))", val: l.val / div}
+	case 7:
+		l, r := g.gen(depth-1), g.gen(depth-1)
+		div := r.val | 1
+		return dexpr{text: "(" + l.text + " % (" + r.text + " | 1))", val: l.val % div}
+	case 8:
+		l, r := g.gen(depth-1), g.gen(depth-1)
+		return dexpr{text: "(" + l.text + " & " + r.text + ")", val: l.val & r.val}
+	case 9:
+		l, r := g.gen(depth-1), g.gen(depth-1)
+		return dexpr{text: "(" + l.text + " | " + r.text + ")", val: l.val | r.val}
+	case 10:
+		l, r := g.gen(depth-1), g.gen(depth-1)
+		return dexpr{text: "(" + l.text + " ^ " + r.text + ")", val: l.val ^ r.val}
+	case 11:
+		l := g.gen(depth - 1)
+		sh := g.r.Intn(12)
+		return dexpr{text: fmt.Sprintf("(%s << %d)", l.text, sh), val: l.val << uint(sh)}
+	case 12:
+		l := g.gen(depth - 1)
+		sh := g.r.Intn(12)
+		return dexpr{text: fmt.Sprintf("(%s >> %d)", l.text, sh), val: l.val >> uint(sh)}
+	default:
+		c, a, b := g.gen(depth-1), g.gen(depth-1), g.gen(depth-1)
+		v := b.val
+		if c.val != 0 {
+			v = a.val
+		}
+		return dexpr{text: "(" + c.text + " ? " + a.text + " : " + b.text + ")", val: v}
+	}
+}
+
+func TestDifferentialExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(421992)) // deterministic
+	for round := 0; round < 12; round++ {
+		g := &dgen{r: r, vars: map[string]int32{
+			"va": int32(r.Intn(2001) - 1000),
+			"vb": int32(r.Intn(2001) - 1000),
+			"vc": int32(r.Intn(41) - 20),
+		}}
+		var exprs []dexpr
+		var body strings.Builder
+		fmt.Fprintf(&body, "int va = %d;\nint vb = %d;\nint vc = %d;\nint main() {\n", g.vars["va"], g.vars["vb"], g.vars["vc"])
+		for i := 0; i < 6; i++ {
+			e := g.gen(3)
+			exprs = append(exprs, e)
+			fmt.Fprintf(&body, "\tprintf(\"%%d\\n\", %s);\n", e.text)
+		}
+		body.WriteString("\treturn 0;\n}\n")
+		var want strings.Builder
+		for _, e := range exprs {
+			fmt.Fprintf(&want, "%d\n", e.val)
+		}
+		for _, a := range allArches {
+			prog, err := Build([]Source{{Name: "diff.c", Text: body.String()}}, Options{Arch: a, Sched: a == "mips" || a == "mipsbe"})
+			if err != nil {
+				t.Fatalf("round %d on %s: %v\nprogram:\n%s", round, a, err, body.String())
+			}
+			p := link.NewProcess(prog.Image)
+			if f := p.Run(); f.Kind != arch.FaultHalt {
+				t.Fatalf("round %d on %s: died: %v\nprogram:\n%s", round, a, f, body.String())
+			}
+			if got := p.Stdout.String(); got != want.String() {
+				t.Fatalf("round %d on %s:\n got %q\nwant %q\nprogram:\n%s", round, a, got, want.String(), body.String())
+			}
+		}
+	}
+}
+
+// TestDifferentialLoops runs randomly parameterized accumulation loops
+// with data-dependent control flow on all targets.
+func TestDifferentialLoops(t *testing.T) {
+	r := rand.New(rand.NewSource(19920706))
+	for round := 0; round < 8; round++ {
+		n := r.Intn(40) + 10
+		stepA := int32(r.Intn(9) + 1)
+		stepB := int32(r.Intn(5) + 2)
+		threshold := int32(r.Intn(200))
+		src := fmt.Sprintf(`
+int main() {
+	int i;
+	int acc;
+	acc = 0;
+	for (i = 0; i < %d; i++) {
+		if (i %% %d == 0) acc = acc + i * %d;
+		else if (acc > %d) acc = acc - %d;
+		else acc = acc + %d;
+		while (acc > 1000) acc = acc / 2;
+	}
+	printf("%%d\n", acc);
+	return 0;
+}`, n, stepB, stepA, threshold, stepB, stepA)
+		// Reference evaluation in Go with the same semantics.
+		var acc int32
+		for i := int32(0); i < int32(n); i++ {
+			switch {
+			case i%stepB == 0:
+				acc += i * stepA
+			case acc > threshold:
+				acc -= stepB
+			default:
+				acc += stepA
+			}
+			for acc > 1000 {
+				acc /= 2
+			}
+		}
+		want := fmt.Sprintf("%d\n", acc)
+		for _, a := range allArches {
+			prog, err := Build([]Source{{Name: "loop.c", Text: src}}, Options{Arch: a, Debug: round%2 == 0})
+			if err != nil {
+				t.Fatalf("round %d on %s: %v", round, a, err)
+			}
+			p := link.NewProcess(prog.Image)
+			f := p.Run()
+			for f.Kind == arch.FaultSignal && f.Sig == arch.SigTrap && f.Code == arch.TrapPause {
+				p.SetPC(f.PC + f.Len)
+				f = p.Run()
+			}
+			if f.Kind != arch.FaultHalt {
+				t.Fatalf("round %d on %s: %v", round, a, f)
+			}
+			if got := p.Stdout.String(); got != want {
+				t.Fatalf("round %d on %s: got %q want %q\n%s", round, a, got, want, src)
+			}
+		}
+	}
+}

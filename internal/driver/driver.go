@@ -1,0 +1,109 @@
+// Package driver is the compiler driver: it compiles C sources for a
+// target, links them with the runtime, and (when compiling for
+// debugging) collects the PostScript symbol tables and generates the
+// loader table, cooperating with the linker the way lcc's driver does
+// with nm (§3).
+package driver
+
+import (
+	"fmt"
+	"strings"
+
+	"ldb/internal/arch"
+	"ldb/internal/asm"
+	"ldb/internal/cc"
+	"ldb/internal/codegen"
+	"ldb/internal/link"
+	"ldb/internal/symtab"
+)
+
+// Source is one C translation unit.
+type Source struct {
+	Name string
+	Text string
+}
+
+// Options selects the target and debugging.
+type Options struct {
+	Arch  string
+	Debug bool
+	// Sched enables the MIPS load-delay-slot scheduler (ignored on the
+	// other targets, whose assemblers do not schedule).
+	Sched bool
+}
+
+// Program is a built executable plus its debugging information.
+type Program struct {
+	Arch     arch.Arch
+	Image    *link.Image
+	Units    []*cc.Unit
+	Objs     []*asm.Unit
+	SymtabPS string // the combined top-level dictionary source
+	LoaderPS string // the loader table source
+	// SchedFilled and SchedPadded total the MIPS scheduler's results.
+	SchedFilled int
+	SchedPadded int
+}
+
+// Build compiles and links the sources.
+func Build(sources []Source, opts Options) (*Program, error) {
+	a, ok := arch.Lookup(opts.Arch)
+	if !ok {
+		return nil, fmt.Errorf("driver: unknown architecture %q (have %s)", opts.Arch, strings.Join(arch.Names(), ", "))
+	}
+	prog := &Program{Arch: a}
+	var objs []*asm.Unit
+	em := codegen.NewEmitterFor(a)
+	objs = append(objs, em.Runtime(opts.Debug))
+
+	for _, src := range sources {
+		tc := *em.Conf()
+		unit, err := cc.Compile(src.Text, src.Name, &tc)
+		if err != nil {
+			return nil, err
+		}
+		uem := codegen.NewEmitterFor(a)
+		if opts.Sched {
+			if sch, ok := uem.(codegen.Scheduler); ok {
+				sch.EnableSched(true)
+			}
+		}
+		obj, err := codegen.GenUnit(unit, uem, codegen.Options{Debug: opts.Debug})
+		if err != nil {
+			return nil, err
+		}
+		if sch, ok := uem.(codegen.Scheduler); ok {
+			f, p := sch.SchedStats()
+			prog.SchedFilled += f
+			prog.SchedPadded += p
+		}
+		prog.Units = append(prog.Units, unit)
+		objs = append(objs, obj)
+	}
+	img, err := link.Link(a, objs...)
+	if err != nil {
+		return nil, err
+	}
+	prog.Image = img
+	prog.Objs = objs
+	if opts.Debug {
+		prog.SymtabPS = symtab.EmitProgramPS(prog.Units, a.Name())
+		prog.LoaderPS = link.LoaderPS(img, prog.SymtabPS)
+	}
+	return prog, nil
+}
+
+// TextWords reports the number of machine instructions in the
+// program's compiled units (excluding the fixed runtime) — the measure
+// used by the code-growth experiments (§3 reports no-op growth in
+// instructions).
+func TextWords(p *Program) int {
+	n := 0
+	for _, o := range p.Objs {
+		if o.Name == "runtime" {
+			continue
+		}
+		n += o.Instrs
+	}
+	return n
+}

@@ -1,0 +1,255 @@
+package expr
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"testing"
+
+	"ldb/internal/cc"
+)
+
+var conf = &cc.TargetConf{Name: "sparc", LDoubleSize: 8}
+
+// runServer sends one expression, answering lookups from replies, and
+// returns everything the server wrote.
+func runServer(t *testing.T, exprText string, replies map[string]string) string {
+	t.Helper()
+	reqR, reqW := io.Pipe()
+	var outBuf strings.Builder
+	outR, outW := io.Pipe()
+	srv := NewServer(conf, reqR, outW)
+	go srv.Serve()
+	done := make(chan struct{})
+	// Reader side: consume server output, answering lookup requests.
+	go func() {
+		defer close(done)
+		buf := make([]byte, 1)
+		line := ""
+		for {
+			if _, err := outR.Read(buf); err != nil {
+				return
+			}
+			outBuf.WriteByte(buf[0])
+			if buf[0] != '\n' {
+				line += string(buf[0])
+				continue
+			}
+			trimmed := strings.TrimSpace(line)
+			line = ""
+			if strings.HasSuffix(trimmed, "ExpressionServer.lookup") {
+				name := strings.TrimPrefix(strings.Fields(trimmed)[0], "/")
+				reply, ok := replies[name]
+				if !ok {
+					reply = "nosym"
+				}
+				io.WriteString(reqW, reply+"\n")
+			}
+			if strings.HasSuffix(trimmed, "ExpressionServer.result") ||
+				strings.HasSuffix(trimmed, "ExpressionServer.failed") {
+				reqW.Close()
+				return
+			}
+		}
+	}()
+	io.WriteString(reqW, "expr "+exprText+"\n")
+	<-done
+	return outBuf.String()
+}
+
+func TestServerGeneratesProcedure(t *testing.T) {
+	out := runServer(t, "i + 1", map[string]string{
+		"i": "sym frame -12 ; int i",
+	})
+	if !strings.Contains(out, "/i ExpressionServer.lookup") {
+		t.Fatalf("no lookup request:\n%s", out)
+	}
+	if !strings.Contains(out, "-12 FrameOffset") {
+		t.Fatalf("no frame addressing:\n%s", out)
+	}
+	if !strings.Contains(out, "FetchSigned") || !strings.Contains(out, "1 add") {
+		t.Fatalf("bad code:\n%s", out)
+	}
+	if !strings.Contains(out, "ExpressionServer.result") {
+		t.Fatalf("no result marker:\n%s", out)
+	}
+}
+
+func TestServerAnchorsAndGlobals(t *testing.T) {
+	out := runServer(t, "g + s[2]", map[string]string{
+		"g": "sym global _g ; int g",
+		"s": "sym anchor _stanchor__Vx_y 3 ; int s[8]",
+	})
+	if !strings.Contains(out, "(_g) GlobalData") {
+		t.Fatalf("global addressing missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(_stanchor__Vx_y) 3 LazyData") {
+		t.Fatalf("anchor addressing missing:\n%s", out)
+	}
+}
+
+func TestServerTypeCacheAcrossExpressions(t *testing.T) {
+	// Drive the protocol strictly sequentially: one writer goroutine
+	// answers lookups; the main goroutine issues requests one at a time
+	// and waits for each result marker.
+	reqR, reqW := io.Pipe()
+	outR, outW := io.Pipe()
+	srv := NewServer(conf, reqR, outW)
+	go srv.Serve()
+
+	lookups := 0
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		buf := make([]byte, 1)
+		line := ""
+		for {
+			if _, err := outR.Read(buf); err != nil {
+				return
+			}
+			if buf[0] != '\n' {
+				line += string(buf[0])
+				continue
+			}
+			lines <- strings.TrimSpace(line)
+			line = ""
+		}
+	}()
+	eval := func(e string) {
+		t.Helper()
+		if _, err := io.WriteString(reqW, "expr "+e+"\n"); err != nil {
+			t.Fatal(err)
+		}
+		for l := range lines {
+			if strings.HasSuffix(l, "ExpressionServer.lookup") {
+				lookups++
+				io.WriteString(reqW, "sym frame -8 ; int v\n")
+				continue
+			}
+			if strings.HasSuffix(l, "ExpressionServer.result") || strings.HasSuffix(l, "ExpressionServer.failed") {
+				return
+			}
+		}
+	}
+	eval("v")
+	eval("v + v") // the server saves type information across expressions
+	eval("v * 2")
+	if lookups != 1 {
+		t.Fatalf("lookups = %d, want 1 (type info cached, §3)", lookups)
+	}
+	// "newscope" flushes frame-relative bindings (a shadowed local may
+	// map the same name to a new offset) but keeps everything else.
+	io.WriteString(reqW, "newscope\n")
+	eval("v") // looked up again: frame binding was dropped
+	if lookups != 2 {
+		t.Fatalf("lookups = %d, want 2 after newscope", lookups)
+	}
+	io.WriteString(reqW, "quit\n")
+}
+
+func TestNewscopeKeepsGlobalBindings(t *testing.T) {
+	reqR, reqW := io.Pipe()
+	outR, outW := io.Pipe()
+	srv := NewServer(conf, reqR, outW)
+	go srv.Serve()
+
+	lookups := 0
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		r := bufio.NewReader(outR)
+		for {
+			l, err := r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			lines <- strings.TrimSpace(l)
+		}
+	}()
+	eval := func(e string) {
+		t.Helper()
+		if _, err := io.WriteString(reqW, "expr "+e+"\n"); err != nil {
+			t.Fatal(err)
+		}
+		for l := range lines {
+			if strings.HasSuffix(l, "ExpressionServer.lookup") {
+				lookups++
+				io.WriteString(reqW, "sym global _g ; int g\n")
+				continue
+			}
+			if strings.HasSuffix(l, "ExpressionServer.result") || strings.HasSuffix(l, "ExpressionServer.failed") {
+				return
+			}
+		}
+	}
+	eval("g")
+	io.WriteString(reqW, "newscope\n")
+	eval("g + 1")
+	if lookups != 1 {
+		t.Fatalf("lookups = %d, want 1 (globals survive newscope)", lookups)
+	}
+	io.WriteString(reqW, "quit\n")
+}
+
+func TestServerErrors(t *testing.T) {
+	out := runServer(t, "1 +", nil)
+	if !strings.Contains(out, "ExpressionServer.failed") {
+		t.Fatalf("parse error not reported:\n%s", out)
+	}
+	out = runServer(t, "missing + 1", nil)
+	if !strings.Contains(out, "ExpressionServer.failed") {
+		t.Fatalf("unknown symbol not reported:\n%s", out)
+	}
+	// §7.1: calls are supported through the TargetCall operator — but
+	// only direct calls with integer arguments.
+	out = runServer(t, "f(2 + 3)", map[string]string{"f": "sym code _f ; int f(int)"})
+	if !strings.Contains(out, "5 1 (f) TargetCall") { // 2+3 folded by the front end
+		t.Fatalf("call not generated:\n%s", out)
+	}
+	out = runServer(t, "g(1.5)", map[string]string{"g": "sym code _g ; int g(double)"})
+	if !strings.Contains(out, "floating-point arguments") {
+		t.Fatalf("float args must be rejected:\n%s", out)
+	}
+}
+
+func TestGenDirect(t *testing.T) {
+	g := &gen{tc: conf}
+	w := &Where{Kind: "frame", Off: -4}
+	sym := &cc.Symbol{Name: "x", Type: cc.IntType, Kind: cc.SymVar, Ext: w}
+	e := &cc.Expr{Op: cc.EIdent, Type: cc.IntType, Sym: sym}
+	s, err := g.expr(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "-4 FrameOffset") || !strings.Contains(s, "4 FetchSigned") {
+		t.Fatalf("gen = %q", s)
+	}
+	// char fetches sign-extend with size 1.
+	sym2 := &cc.Symbol{Name: "c", Type: cc.CharType, Kind: cc.SymVar, Ext: &Where{Kind: "frame", Off: -8}}
+	e2 := &cc.Expr{Op: cc.EIdent, Type: cc.CharType, Sym: sym2}
+	s2, _ := g.expr(e2)
+	if !strings.Contains(s2, "1 FetchSigned") {
+		t.Fatalf("char gen = %q", s2)
+	}
+	// unsigned fetches without sign extension.
+	sym3 := &cc.Symbol{Name: "u", Type: cc.UIntType, Kind: cc.SymVar, Ext: &Where{Kind: "frame", Off: -16}}
+	e3 := &cc.Expr{Op: cc.EIdent, Type: cc.UIntType, Sym: sym3}
+	s3, _ := g.expr(e3)
+	if !strings.Contains(s3, "4 FetchInt") {
+		t.Fatalf("uint gen = %q", s3)
+	}
+}
+
+func TestPointerScaling(t *testing.T) {
+	g := &gen{tc: conf}
+	p := &cc.Symbol{Name: "p", Type: cc.PtrTo(cc.IntType), Kind: cc.SymVar, Ext: &Where{Kind: "frame", Off: 8}}
+	pe := &cc.Expr{Op: cc.EIdent, Type: p.Type, Sym: p}
+	sum := &cc.Expr{Op: cc.EAdd, Type: p.Type, L: pe, R: &cc.Expr{Op: cc.EConst, Type: cc.IntType, IVal: 3}}
+	s, err := g.expr(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "3 4 mul") {
+		t.Fatalf("no scaling: %q", s)
+	}
+}

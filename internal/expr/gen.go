@@ -1,0 +1,397 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"ldb/internal/cc"
+)
+
+// gen rewrites typed expression trees into PostScript — the analog of
+// the paper's 124-line rewriter from lcc's intermediate representation
+// (§5: "it is easy to generate PostScript").
+//
+// Value conventions: integers and pointers travel as PostScript
+// integers (pointers as addresses), floats as reals. Variables are read
+// and written through the debugging operators, so evaluation happens
+// against the current frame's abstract memory.
+type gen struct {
+	tc *cc.TargetConf
+}
+
+func (g *gen) errf(format string, args ...any) error {
+	return fmt.Errorf("expression server: "+format, args...)
+}
+
+// whereOf renders the location of a reconstructed symbol.
+func (g *gen) whereOf(sym *cc.Symbol) (string, error) {
+	w, ok := sym.Ext.(*Where)
+	if !ok || w == nil {
+		return "", g.errf("%s has no location", sym.Name)
+	}
+	switch w.Kind {
+	case "frame":
+		return fmt.Sprintf("%d FrameOffset", w.Off), nil
+	case "anchor":
+		return fmt.Sprintf("(%s) %d LazyData", w.Label, w.Idx), nil
+	case "global":
+		return fmt.Sprintf("(%s) GlobalData", w.Label), nil
+	case "code":
+		return fmt.Sprintf("(%s) GlobalCode", w.Label), nil
+	case "absolute":
+		space := map[byte]string{'d': "DLoc", 'c': "CLoc", 'r': "RLoc", 'f': "FLoc", 'x': "XLoc"}[w.SpaceC]
+		if space == "" {
+			return "", g.errf("bad location space %q", string(w.SpaceC))
+		}
+		return fmt.Sprintf("%d %s", w.Off, space), nil
+	}
+	return "", g.errf("bad location kind %q", w.Kind)
+}
+
+// sizes of a scalar type: (intSize, signed) or float fetch size.
+func intSize(t *cc.Type) (int, bool) {
+	switch t.Kind {
+	case cc.TyChar:
+		return 1, true
+	case cc.TyShort:
+		return 2, true
+	case cc.TyUInt:
+		return 4, false
+	default:
+		return 4, true
+	}
+}
+
+func (g *gen) fsize(t *cc.Type) int {
+	switch t.Kind {
+	case cc.TyFloat:
+		return 4
+	case cc.TyLDouble:
+		if g.tc.LDoubleSize == 12 {
+			return 10
+		}
+		return 8
+	default:
+		return 8
+	}
+}
+
+// lvalue renders PostScript leaving the location of e on the stack.
+func (g *gen) lvalue(e *cc.Expr) (string, error) {
+	switch e.Op {
+	case cc.EIdent:
+		return g.whereOf(e.Sym)
+	case cc.EDeref:
+		addr, err := g.expr(e.L)
+		if err != nil {
+			return "", err
+		}
+		return addr + " DLoc", nil
+	case cc.EMember:
+		base, err := g.lvalue(e.L)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s %d Shifted", base, e.Field.Off), nil
+	default:
+		return "", g.errf("not an lvalue")
+	}
+}
+
+// fetch renders a fetch of type t from the location on the stack.
+func (g *gen) fetch(t *cc.Type) (string, error) {
+	switch {
+	case t.IsFloat():
+		return fmt.Sprintf("CurrentMem exch %d FetchFloat", g.fsize(t)), nil
+	case t.IsInteger() || t.Kind == cc.TyPtr:
+		size, signed := intSize(t)
+		op := "FetchSigned"
+		if !signed || t.Kind == cc.TyPtr {
+			op = "FetchInt"
+		}
+		return fmt.Sprintf("CurrentMem exch %d %s", size, op), nil
+	case t.Kind == cc.TyArray, t.Kind == cc.TyFunc, t.Kind == cc.TyStruct, t.Kind == cc.TyUnion:
+		// Aggregates evaluate to their address.
+		return "LocOffset", nil
+	}
+	return "", g.errf("cannot fetch a %s", t)
+}
+
+func boolize(s string) string { return s + " 0 ne {1} {0} ifelse" }
+
+// expr renders PostScript leaving e's value on the stack.
+func (g *gen) expr(e *cc.Expr) (string, error) {
+	switch e.Op {
+	case cc.EConst:
+		return fmt.Sprintf("%d", e.IVal), nil
+	case cc.EFConst:
+		s := fmt.Sprintf("%g", e.FVal)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s, nil
+	case cc.EIdent:
+		loc, err := g.whereOf(e.Sym)
+		if err != nil {
+			return "", err
+		}
+		f, err := g.fetch(e.Type)
+		if err != nil {
+			return "", err
+		}
+		return loc + " " + f, nil
+	case cc.EString:
+		return "", g.errf("string literals are not supported in debugger expressions")
+	case cc.ECall:
+		// §7.1: procedure calls in expressions. The generated procedure
+		// evaluates the arguments against the current frame, then the
+		// debugger's TargetCall operator runs the callee in the target
+		// process and pushes its result.
+		callee := e.L
+		if callee.Op == cc.EAddr {
+			callee = callee.L
+		}
+		if callee.Op != cc.EIdent || callee.Sym == nil || callee.Sym.Kind != cc.SymFunc {
+			return "", g.errf("only direct calls to named procedures are supported")
+		}
+		var b strings.Builder
+		for _, a := range e.Args {
+			if a.Type.IsFloat() {
+				return "", g.errf("floating-point arguments are not supported in calls")
+			}
+			s, err := g.expr(a)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d (%s) TargetCall", len(e.Args), callee.Sym.Name)
+		return b.String(), nil
+	case cc.EAddr:
+		loc, err := g.lvalue(e.L)
+		if err != nil {
+			return "", err
+		}
+		return loc + " LocOffset", nil
+	case cc.EDeref, cc.EMember:
+		loc, err := g.lvalue(e)
+		if err != nil {
+			return "", err
+		}
+		f, err := g.fetch(e.Type)
+		if err != nil {
+			return "", err
+		}
+		return loc + " " + f, nil
+	case cc.EAssign:
+		return g.assign(e)
+	case cc.ECast:
+		return g.cast(e)
+	case cc.ENeg:
+		s, err := g.expr(e.L)
+		if err != nil {
+			return "", err
+		}
+		return s + " neg", nil
+	case cc.EBitNot:
+		s, err := g.expr(e.L)
+		if err != nil {
+			return "", err
+		}
+		return s + " not", nil
+	case cc.ELogNot:
+		s, err := g.expr(e.L)
+		if err != nil {
+			return "", err
+		}
+		return s + " 0 eq {1} {0} ifelse", nil
+	case cc.ELogAnd:
+		l, err := g.expr(e.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.expr(e.R)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s 0 ne { %s } {0} ifelse", l, boolize(r)), nil
+	case cc.ELogOr:
+		l, err := g.expr(e.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.expr(e.R)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s 0 ne {1} { %s } ifelse", l, boolize(r)), nil
+	case cc.ECond:
+		c, err := g.expr(e.L)
+		if err != nil {
+			return "", err
+		}
+		a, err := g.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		b, err := g.expr(e.Args[1])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s 0 ne { %s } { %s } ifelse", c, a, b), nil
+	case cc.EEq, cc.ENe, cc.ELt, cc.ELe, cc.EGt, cc.EGe:
+		l, err := g.expr(e.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.expr(e.R)
+		if err != nil {
+			return "", err
+		}
+		op := map[cc.ExprOp]string{cc.EEq: "eq", cc.ENe: "ne", cc.ELt: "lt", cc.ELe: "le", cc.EGt: "gt", cc.EGe: "ge"}[e.Op]
+		return fmt.Sprintf("%s %s %s {1} {0} ifelse", l, r, op), nil
+	case cc.EAdd, cc.ESub, cc.EMul, cc.EDiv, cc.ERem, cc.EAnd, cc.EOr, cc.EXor, cc.EShl, cc.EShr:
+		return g.binary(e)
+	case cc.EPostInc, cc.EPostDec, cc.EPreInc, cc.EPreDec:
+		return g.incdec(e)
+	case cc.EComma:
+		l, err := g.expr(e.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.expr(e.R)
+		if err != nil {
+			return "", err
+		}
+		return l + " pop " + r, nil
+	}
+	return "", g.errf("unsupported expression operator %v", e.Op)
+}
+
+func (g *gen) binary(e *cc.Expr) (string, error) {
+	l, err := g.expr(e.L)
+	if err != nil {
+		return "", err
+	}
+	r, err := g.expr(e.R)
+	if err != nil {
+		return "", err
+	}
+	// Pointer arithmetic scales by the element size.
+	if e.Type.Kind == cc.TyPtr && (e.Op == cc.EAdd || e.Op == cc.ESub) && e.R.Type.IsInteger() {
+		size := e.Type.Base.Size(g.tc)
+		if size != 1 {
+			r = fmt.Sprintf("%s %d mul", r, size)
+		}
+	}
+	if e.Op == cc.ESub && e.L.Type.Kind == cc.TyPtr && e.R.Type.Kind == cc.TyPtr {
+		size := e.L.Type.Base.Size(g.tc)
+		return fmt.Sprintf("%s %s sub %d idiv", l, r, size), nil
+	}
+	if e.Type.IsFloat() {
+		op := map[cc.ExprOp]string{cc.EAdd: "add", cc.ESub: "sub", cc.EMul: "mul", cc.EDiv: "div"}[e.Op]
+		if op == "" {
+			return "", g.errf("bad float operator")
+		}
+		return fmt.Sprintf("%s %s %s", l, r, op), nil
+	}
+	var op string
+	switch e.Op {
+	case cc.EAdd:
+		op = "add"
+	case cc.ESub:
+		op = "sub"
+	case cc.EMul:
+		op = "mul"
+	case cc.EDiv:
+		op = "idiv"
+	case cc.ERem:
+		op = "mod"
+	case cc.EAnd:
+		op = "and"
+	case cc.EOr:
+		op = "or"
+	case cc.EXor:
+		op = "xor"
+	case cc.EShl:
+		op = "bitshift"
+		return fmt.Sprintf("%s %s %s", l, r, op), nil
+	case cc.EShr:
+		return fmt.Sprintf("%s %s neg bitshift", l, r), nil
+	}
+	return fmt.Sprintf("%s %s %s", l, r, op), nil
+}
+
+func (g *gen) cast(e *cc.Expr) (string, error) {
+	s, err := g.expr(e.L)
+	if err != nil {
+		return "", err
+	}
+	from, to := e.L.Type, e.Type
+	switch {
+	case from.IsInteger() && to.IsFloat():
+		return s + " cvr", nil
+	case from.IsFloat() && to.IsInteger():
+		s += " truncate cvi"
+	case from.IsFloat() && to.IsFloat():
+		return s, nil
+	}
+	switch to.Kind {
+	case cc.TyChar:
+		return s + " 255 and dup 127 gt {256 sub} if", nil
+	case cc.TyShort:
+		return s + " 65535 and dup 32767 gt {65536 sub} if", nil
+	}
+	return s, nil
+}
+
+func (g *gen) assign(e *cc.Expr) (string, error) {
+	loc, err := g.lvalue(e.L)
+	if err != nil {
+		return "", err
+	}
+	rhs, err := g.expr(e.R)
+	if err != nil {
+		return "", err
+	}
+	t := e.L.Type
+	if t.IsFloat() {
+		// value dup mem loc size → [v v m l s] → roll → StoreFloat.
+		return fmt.Sprintf("%s dup CurrentMem %s %d 5 -1 roll StoreFloat", rhs, loc, g.fsize(t)), nil
+	}
+	size, _ := intSize(t)
+	if t.Kind == cc.TyPtr {
+		size = 4
+	}
+	return fmt.Sprintf("%s dup CurrentMem %s %d 5 -1 roll StoreInt", rhs, loc, size), nil
+}
+
+func (g *gen) incdec(e *cc.Expr) (string, error) {
+	loc, err := g.lvalue(e.L)
+	if err != nil {
+		return "", err
+	}
+	f, err := g.fetch(e.L.Type)
+	if err != nil {
+		return "", err
+	}
+	delta := 1
+	if e.L.Type.Kind == cc.TyPtr {
+		delta = e.L.Type.Base.Size(g.tc)
+	}
+	op := "add"
+	if e.Op == cc.EPostDec || e.Op == cc.EPreDec {
+		op = "sub"
+	}
+	size, _ := intSize(e.L.Type)
+	// old-value new-value ordering depends on pre/post: the store must
+	// consume the new value and leave the other (rotate the top four so
+	// the value on top slides under mem/loc/size).
+	fetchOld := fmt.Sprintf("%s %s", loc, f)
+	store := fmt.Sprintf("CurrentMem %s %d 4 -1 roll StoreInt", loc, size)
+	if e.Op == cc.EPreInc || e.Op == cc.EPreDec {
+		return fmt.Sprintf("%s %d %s dup %s", fetchOld, delta, op, store), nil
+	}
+	return fmt.Sprintf("%s dup %d %s %s", fetchOld, delta, op, store), nil
+}

@@ -1,0 +1,169 @@
+// Package expr implements ldb's expression server (§3): a variant of
+// the compiler front end running in its own goroutine (standing in for
+// the paper's separate address space), connected to the debugger by two
+// pipes as in Fig. 3. The debugger sends each expression as a string;
+// the server parses and typechecks it, asking the debugger for unknown
+// identifiers by writing "/name ExpressionServer.lookup" on its output
+// — PostScript the debugger interprets — and reading back a sequence of
+// C tokens describing the symbol. The typed tree is then rewritten as a
+// PostScript procedure (not passed to the compiler back end), followed
+// by "ExpressionServer.result", which tells ldb to stop listening.
+//
+// Like the paper's prototype, the server cannot evaluate expressions
+// that include procedure calls into the target process (§7.1).
+package expr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"ldb/internal/cc"
+)
+
+// Where describes a symbol's location as sent by the debugger.
+type Where struct {
+	Kind   string // "frame", "anchor", "global", "code", "absolute"
+	Label  string // anchor or global label
+	Idx    int    // anchor word index
+	Off    int32  // frame offset or absolute address
+	SpaceC byte   // space for "absolute"
+}
+
+// Server is the expression-server side of the two pipes.
+type Server struct {
+	tc  *cc.TargetConf
+	req *bufio.Reader // expressions and lookup replies, from ldb
+	out io.Writer     // PostScript, to ldb
+
+	// typeCache survives across expressions (the server saves type
+	// information until the user switches target programs, §3).
+	typeCache map[string]*cc.Symbol
+}
+
+// NewServer returns a server for one target program.
+func NewServer(tc *cc.TargetConf, req io.Reader, out io.Writer) *Server {
+	return &Server{tc: tc, req: bufio.NewReader(req), out: out, typeCache: make(map[string]*cc.Symbol)}
+}
+
+// Serve processes requests until the request pipe closes.
+func (s *Server) Serve() {
+	for {
+		line, err := s.req.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "expr "):
+			s.serveExpr(strings.TrimPrefix(line, "expr "))
+		case line == "reset":
+			// Target program switched: discard saved type information.
+			s.typeCache = make(map[string]*cc.Symbol)
+		case line == "newscope":
+			// The debugger moved to a different stopping point or frame:
+			// frame-relative bindings are scope-dependent (a shadowed
+			// local may map the same name to a different offset), so only
+			// they are discarded; types of globals survive (§3).
+			for name, sym := range s.typeCache {
+				if w, ok := sym.Ext.(*Where); ok && w.Kind == "frame" {
+					delete(s.typeCache, name)
+				}
+			}
+		case line == "quit" || line == "":
+			return
+		default:
+			fmt.Fprintf(s.out, "(%s) ExpressionServer.failed\n", psEscape("bad request"))
+		}
+	}
+}
+
+func (s *Server) fail(msg string) {
+	fmt.Fprintf(s.out, "(%s) ExpressionServer.failed\n", psEscape(msg))
+}
+
+func (s *Server) serveExpr(text string) {
+	p := cc.NewParser(text, "<expr>", s.tc)
+	p.Lookup = s.lookup
+	e, err := p.ParseExpression()
+	if err != nil {
+		s.fail(err.Error())
+		return
+	}
+	g := &gen{tc: s.tc}
+	body, err := g.expr(e)
+	if err != nil {
+		s.fail(err.Error())
+		return
+	}
+	// The procedure is written to the pipe and ends up on ldb's stack;
+	// ExpressionServer.result stops the listener (§3).
+	fmt.Fprintf(s.out, "{ %s }\nExpressionServer.result\n", body)
+	// The server discards new symbol-table entries after each
+	// expression (the parser dies here) but keeps the type cache.
+}
+
+// lookup implements the on-the-fly symbol reconstruction: ask the
+// debugger, then rebuild the entry from the C tokens it sends back.
+func (s *Server) lookup(name string) *cc.Symbol {
+	if sym, ok := s.typeCache[name]; ok {
+		return sym
+	}
+	fmt.Fprintf(s.out, "/%s ExpressionServer.lookup\n", name)
+	line, err := s.req.ReadString('\n')
+	if err != nil {
+		return nil
+	}
+	line = strings.TrimSpace(line)
+	if line == "nosym" || line == "" {
+		return nil
+	}
+	// Reply format: "sym <where-kind> <args...> ; <C declaration>"
+	if !strings.HasPrefix(line, "sym ") {
+		return nil
+	}
+	rest := strings.TrimPrefix(line, "sym ")
+	semi := strings.Index(rest, " ; ")
+	if semi < 0 {
+		return nil
+	}
+	whereDesc, decl := rest[:semi], rest[semi+3:]
+	declName, ty, err := cc.ParseDecl(decl, s.tc)
+	if err != nil || declName != name {
+		return nil
+	}
+	w := &Where{}
+	fields := strings.Fields(whereDesc)
+	if len(fields) == 0 {
+		return nil
+	}
+	w.Kind = fields[0]
+	switch w.Kind {
+	case "frame":
+		fmt.Sscanf(fields[1], "%d", &w.Off)
+	case "anchor":
+		w.Label = fields[1]
+		fmt.Sscanf(fields[2], "%d", &w.Idx)
+	case "global", "code":
+		w.Label = fields[1]
+	case "absolute":
+		w.SpaceC = fields[1][0]
+		fmt.Sscanf(fields[2], "%d", &w.Off)
+	default:
+		return nil
+	}
+	kind := cc.SymVar
+	if ty.Kind == cc.TyFunc {
+		kind = cc.SymFunc
+	}
+	sym := &cc.Symbol{Name: name, Type: ty, Kind: kind, Ext: w}
+	s.typeCache[name] = sym
+	return sym
+}
+
+// psEscape escapes a message for a PostScript string literal.
+func psEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `(`, `\(`, `)`, `\)`, "\n", `\n`)
+	return r.Replace(s)
+}

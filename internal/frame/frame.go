@@ -1,0 +1,129 @@
+// Package frame implements ldb's stack-frame abstraction (§4, §4.1):
+// a machine-independent frame class whose machine-dependent instances
+// supply only two methods — one that walks down the stack and one that
+// reconstructs the register state of the calling frame. Each frame
+// carries an abstract memory, the joined memory at the root of a DAG
+// like Fig. 4's.
+//
+// The SPARC, 68020, and VAX share a single frame-pointer-chain walker
+// parameterized by machine-dependent data; the MIPS has no frame
+// pointer, so its walker consults the runtime procedure table in the
+// target's address space (§4.3).
+package frame
+
+import (
+	"fmt"
+	"strings"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+	"ldb/internal/nub"
+)
+
+// Target carries what walkers need to know about a stopped target.
+type Target struct {
+	A   arch.Arch
+	C   *nub.Client
+	Ctx uint32 // address of the context record
+	// RPT is the MIPS runtime procedure table address (zero elsewhere).
+	RPT uint32
+	// ProcName maps a pc to the name of the procedure containing it
+	// (via the loader table); it may be nil.
+	ProcName func(pc uint32) string
+}
+
+// Frame is one procedure activation.
+type Frame struct {
+	T     *Target
+	Depth int
+	PC    uint32
+	// Base is the frame base used to address locals: the frame pointer
+	// on the SPARC/68020/VAX, the virtual frame pointer on the MIPS.
+	Base uint32
+	// Mem is the abstract memory presented to the rest of the debugger.
+	Mem *amem.JoinedMemory
+	// Alias is the frame's alias memory (exposed so callee-save aliases
+	// can be reused and for DAG dumps).
+	Alias *amem.AliasMemory
+
+	walker Walker
+}
+
+// Proc names the procedure this frame activates.
+func (f *Frame) Proc() string {
+	if f.T.ProcName != nil {
+		if n := f.T.ProcName(f.PC); n != "" {
+			return n
+		}
+	}
+	return fmt.Sprintf("%#x", f.PC)
+}
+
+// Caller walks down the stack to the calling frame.
+func (f *Frame) Caller() (*Frame, error) { return f.walker.Caller(f) }
+
+// Describe renders the frame's abstract-memory DAG (Fig. 4).
+func (f *Frame) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frame %d: %s pc=%#x base=%#x\n", f.Depth, f.Proc(), f.PC, f.Base)
+	b.WriteString(amem.Describe(f.Mem))
+	return b.String()
+}
+
+// Walker builds the top frame from a stopped target's context and
+// walks to callers; instances are machine-dependent.
+type Walker interface {
+	Top() (*Frame, error)
+	Caller(f *Frame) (*Frame, error)
+}
+
+// New returns the walker for the target's architecture.
+func New(t *Target) Walker {
+	if t.A.FPReg() < 0 {
+		return &mipsWalker{t: t}
+	}
+	return &fpWalker{t: t}
+}
+
+// contextMemory builds the shared bottom of every frame DAG: the wire
+// plus an alias memory mapping register spaces onto the context record
+// saved by the nub.
+func contextMemory(t *Target) (*amem.AliasMemory, *nub.Wire) {
+	wire := &nub.Wire{C: t.C}
+	alias := amem.NewAliasMemory(wire)
+	l := t.A.Context()
+	for i, off := range l.RegOffs {
+		alias.Alias(amem.Abs(amem.Reg, int64(i)), amem.Abs(amem.Data, int64(t.Ctx)+int64(off)))
+	}
+	for i, off := range l.FRegOffs {
+		alias.Alias(amem.Abs(amem.Float, int64(i)), amem.Abs(amem.Data, int64(t.Ctx)+int64(off)))
+	}
+	return alias, wire
+}
+
+// fetchCtxPC reads the saved pc from the context.
+func fetchCtxPC(t *Target) (uint32, error) {
+	l := t.A.Context()
+	v, err := t.C.FetchInt(amem.Data, t.Ctx+uint32(l.PCOff), 4)
+	return uint32(v), err
+}
+
+// join builds the joined memory over an alias memory, routing register
+// spaces through a register memory so byte order is irrelevant.
+func join(t *Target, alias *amem.AliasMemory, wire *nub.Wire) *amem.JoinedMemory {
+	regs := amem.NewRegisterMemory(alias, t.A.WordSize())
+	j := amem.NewJoinedMemory()
+	j.Route(amem.Code, wire)
+	j.Route(amem.Data, wire)
+	j.Route(amem.Reg, regs)
+	j.Route(amem.Extra, regs)
+	j.Route(amem.Float, alias) // floats fetch full-width; no widening needed
+	return j
+}
+
+// Extra-register numbering in the x space: pc is x:0, the frame base
+// (virtual frame pointer on the MIPS, frame pointer elsewhere) is x:1.
+const (
+	XPC   = 0
+	XBase = 1
+)

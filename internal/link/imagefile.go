@@ -1,0 +1,157 @@
+package link
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"ldb/internal/arch"
+	"ldb/internal/asm"
+)
+
+// The executable image file format used by cmd/lcc and cmd/ldb: a
+// small, explicit binary encoding (the paper's driver dealt with a.out;
+// ours is deliberately simple since nm-style information travels in the
+// loader-table PostScript instead).
+
+const imgMagic = uint32(0x6c64_6230) // "ldb0"
+
+type imgWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *imgWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+
+func (w *imgWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf.WriteString(s)
+}
+
+func (w *imgWriter) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf.Write(b)
+}
+
+// EncodeImage serializes an image.
+func EncodeImage(img *Image) []byte {
+	w := &imgWriter{}
+	w.u32(imgMagic)
+	w.str(img.Arch.Name())
+	w.u32(img.Entry)
+	w.u32(img.RPTAddr)
+	w.bytes(img.Text)
+	w.bytes(img.Data)
+	w.u32(uint32(len(img.Syms)))
+	for _, s := range img.Syms {
+		w.str(s.Name)
+		w.u32(s.Addr)
+		flags := uint32(0)
+		if s.Sec == asm.SecData {
+			flags |= 1
+		}
+		if s.Global {
+			flags |= 2
+		}
+		w.u32(flags)
+	}
+	w.u32(uint32(len(img.Funcs)))
+	for _, f := range img.Funcs {
+		w.str(f.Name)
+		w.u32(f.Addr)
+		w.u32(uint32(f.FrameSize))
+	}
+	return w.buf.Bytes()
+}
+
+type imgReader struct {
+	b   []byte
+	err error
+}
+
+func (r *imgReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 4 {
+		r.err = fmt.Errorf("link: truncated image")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *imgReader) str() string {
+	n := r.u32()
+	if r.err != nil || uint64(n) > uint64(len(r.b)) {
+		if r.err == nil {
+			r.err = fmt.Errorf("link: truncated image string")
+		}
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *imgReader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil || uint64(n) > uint64(len(r.b)) {
+		if r.err == nil {
+			r.err = fmt.Errorf("link: truncated image section")
+		}
+		return nil
+	}
+	b := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return b
+}
+
+// DecodeImage parses a serialized image.
+func DecodeImage(data []byte) (*Image, error) {
+	r := &imgReader{b: data}
+	if r.u32() != imgMagic {
+		return nil, fmt.Errorf("link: not an ldb image")
+	}
+	name := r.str()
+	a, ok := arch.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("link: image for unknown architecture %q", name)
+	}
+	img := &Image{Arch: a}
+	img.Entry = r.u32()
+	img.RPTAddr = r.u32()
+	img.Text = r.bytes()
+	img.Data = r.bytes()
+	nsyms := r.u32()
+	if uint64(nsyms) > uint64(len(data)) {
+		return nil, fmt.Errorf("link: implausible symbol count")
+	}
+	for i := uint32(0); i < nsyms && r.err == nil; i++ {
+		var s ImgSym
+		s.Name = r.str()
+		s.Addr = r.u32()
+		flags := r.u32()
+		if flags&1 != 0 {
+			s.Sec = asm.SecData
+		}
+		s.Global = flags&2 != 0
+		img.Syms = append(img.Syms, s)
+	}
+	nfuncs := r.u32()
+	for i := uint32(0); i < nfuncs && r.err == nil; i++ {
+		var f FuncAddr
+		f.Name = r.str()
+		f.Addr = r.u32()
+		f.FrameSize = int32(r.u32())
+		img.Funcs = append(img.Funcs, f)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return img, nil
+}

@@ -1,0 +1,87 @@
+package link
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ldb/internal/arch"
+	_ "ldb/internal/arch/mips"
+	"ldb/internal/asm"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	img, err := tiny(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeImage(EncodeImage(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Arch.Name() != img.Arch.Name() || got.Entry != img.Entry || got.RPTAddr != img.RPTAddr {
+		t.Fatal("header fields lost")
+	}
+	if string(got.Text) != string(img.Text) || string(got.Data) != string(img.Data) {
+		t.Fatal("sections lost")
+	}
+	if len(got.Syms) != len(img.Syms) || len(got.Funcs) != len(img.Funcs) {
+		t.Fatal("tables lost")
+	}
+	for i := range img.Syms {
+		if got.Syms[i] != img.Syms[i] {
+			t.Fatalf("symbol %d: %+v != %+v", i, got.Syms[i], img.Syms[i])
+		}
+	}
+	// The decoded image still runs.
+	p := NewProcess(got)
+	if f := p.Run(); f.Kind != arch.FaultHalt || p.ExitCode != 42 {
+		t.Fatalf("decoded image: %v exit %d", f, p.ExitCode)
+	}
+}
+
+func TestImageRoundTripProperty(t *testing.T) {
+	a, _ := arch.Lookup("mips")
+	f := func(text, data []byte, entry, rpt uint32, names []string) bool {
+		img := &Image{Arch: a, Entry: entry, RPTAddr: rpt, Text: text, Data: data}
+		for i, n := range names {
+			if len(n) > 64 {
+				n = n[:64]
+			}
+			img.Syms = append(img.Syms, ImgSym{Name: n, Addr: uint32(i), Sec: asm.Section(i % 2), Global: i%3 == 0})
+		}
+		got, err := DecodeImage(EncodeImage(img))
+		if err != nil {
+			return false
+		}
+		if got.Entry != entry || got.RPTAddr != rpt ||
+			string(got.Text) != string(text) || string(got.Data) != string(data) ||
+			len(got.Syms) != len(img.Syms) {
+			return false
+		}
+		for i := range img.Syms {
+			if got.Syms[i] != img.Syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {1, 2, 3}, []byte("not an image at all")} {
+		if _, err := DecodeImage(data); err == nil {
+			t.Errorf("accepted %q", data)
+		}
+	}
+	img, err := tiny(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeImage(img)
+	if _, err := DecodeImage(enc[:len(enc)/3]); err == nil {
+		t.Error("accepted truncated image")
+	}
+}

@@ -1,0 +1,291 @@
+// Package link combines object units into an executable image,
+// resolves relocations, and produces the link-time information ldb
+// depends on: nm-style symbol listings, the loader-table PostScript
+// (§3), and — on the MIPS — the runtime procedure table placed in the
+// target's address space (§4.3), from which ldb's MIPS linker
+// interface learns procedure addresses and frame sizes.
+package link
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+	"ldb/internal/asm"
+	"ldb/internal/machine"
+)
+
+// ImgSym is a resolved symbol.
+type ImgSym struct {
+	Name   string
+	Addr   uint32
+	Sec    asm.Section
+	Global bool
+}
+
+// FuncAddr records a linked procedure for the proctable and the MIPS
+// runtime procedure table.
+type FuncAddr struct {
+	Name      string
+	Addr      uint32
+	FrameSize int32
+}
+
+// Image is a linked executable.
+type Image struct {
+	Arch  arch.Arch
+	Text  []byte
+	Data  []byte
+	Entry uint32
+	Syms  []ImgSym
+	Funcs []FuncAddr
+	// RPTAddr is the address of the MIPS runtime procedure table (zero
+	// on other targets).
+	RPTAddr uint32
+}
+
+// SymAddr finds a global symbol's address.
+func (img *Image) SymAddr(name string) (uint32, bool) {
+	for _, s := range img.Syms {
+		if s.Name == name && s.Global {
+			return s.Addr, true
+		}
+	}
+	return 0, false
+}
+
+// align4 pads b to a 4-byte boundary.
+func align4(b []byte) []byte {
+	for len(b)%4 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// Link combines units (the runtime first, by convention) into an image
+// for the given architecture. The entry point is _start.
+func Link(a arch.Arch, units ...*asm.Unit) (*Image, error) {
+	img := &Image{Arch: a}
+	order := a.Order()
+
+	type placed struct {
+		unit     *asm.Unit
+		textBase uint32
+		dataBase uint32
+	}
+	var pls []placed
+	var text, data []byte
+	for _, u := range units {
+		if u == nil {
+			continue
+		}
+		if u.Arch != a.Name() {
+			return nil, fmt.Errorf("link: unit %q is for %s, not %s", u.Name, u.Arch, a.Name())
+		}
+		text = align4(text)
+		data = align4(data)
+		pls = append(pls, placed{u, machine.TextBase + uint32(len(text)), machine.DataBase + uint32(len(data))})
+		text = append(text, u.Text...)
+		data = append(data, u.Data...)
+	}
+
+	// Resolve symbols: global table plus per-unit locals.
+	global := map[string]ImgSym{}
+	locals := make([]map[string]ImgSym, len(pls))
+	addrOf := func(p placed, s asm.Sym) uint32 {
+		if s.Sec == asm.SecText {
+			return p.textBase + uint32(s.Off)
+		}
+		return p.dataBase + uint32(s.Off)
+	}
+	for i, p := range pls {
+		locals[i] = map[string]ImgSym{}
+		for _, s := range p.unit.Syms {
+			is := ImgSym{Name: s.Name, Addr: addrOf(p, s), Sec: s.Sec, Global: s.Global}
+			locals[i][s.Name] = is
+			if s.Global {
+				if _, dup := global[s.Name]; dup {
+					return nil, fmt.Errorf("link: multiple definitions of %s", s.Name)
+				}
+				global[s.Name] = is
+			}
+			img.Syms = append(img.Syms, is)
+		}
+		for _, f := range p.unit.Funcs {
+			// Function addresses resolve within the same unit.
+			if s, ok := locals[i][f.Sym]; ok {
+				img.Funcs = append(img.Funcs, FuncAddr{Name: f.Sym, Addr: s.Addr, FrameSize: f.FrameSize})
+			}
+		}
+	}
+	resolve := func(i int, name string) (ImgSym, error) {
+		if s, ok := locals[i][name]; ok {
+			return s, nil
+		}
+		if s, ok := global[name]; ok {
+			return s, nil
+		}
+		return ImgSym{}, fmt.Errorf("link: undefined symbol %q (referenced from %s)", name, pls[i].unit.Name)
+	}
+
+	// The MIPS runtime procedure table goes at the end of data, before
+	// relocation so nothing here needs patching.
+	if strings.HasPrefix(a.Name(), "mips") {
+		data = align4(data)
+		img.RPTAddr = machine.DataBase + uint32(len(data))
+		sort.Slice(img.Funcs, func(i, j int) bool { return img.Funcs[i].Addr < img.Funcs[j].Addr })
+		var rpt []byte
+		var cnt [4]byte
+		amem.WriteInt(order, cnt[:], uint64(len(img.Funcs)))
+		rpt = append(rpt, cnt[:]...)
+		for _, f := range img.Funcs {
+			var e [8]byte
+			amem.WriteInt(order, e[0:4], uint64(f.Addr))
+			amem.WriteInt(order, e[4:8], uint64(uint32(f.FrameSize)))
+			rpt = append(rpt, e[:]...)
+		}
+		data = append(data, rpt...)
+		img.Syms = append(img.Syms, ImgSym{Name: "_procedure_table", Addr: img.RPTAddr, Sec: asm.SecData, Global: true})
+	}
+
+	// Apply relocations.
+	apply := func(i int, base, secStart uint32, buf []byte, relocs []arch.Reloc) error {
+		for _, r := range relocs {
+			sym, err := resolve(i, r.Sym)
+			if err != nil {
+				return err
+			}
+			target := sym.Addr + uint32(r.Add)
+			site := base + uint32(r.Off)
+			at := site - secStart
+			switch r.Kind {
+			case arch.RelAbs32:
+				amem.WriteInt(order, buf[at:at+4], uint64(target))
+			case arch.RelHi16:
+				w := uint32(amem.ReadInt(order, buf[at:at+4]))
+				w = w&0xffff0000 | target>>16
+				amem.WriteInt(order, buf[at:at+4], uint64(w))
+			case arch.RelLo16:
+				w := uint32(amem.ReadInt(order, buf[at:at+4]))
+				w = w&0xffff0000 | target&0xffff
+				amem.WriteInt(order, buf[at:at+4], uint64(w))
+			case arch.RelHi22:
+				w := uint32(amem.ReadInt(order, buf[at:at+4]))
+				w = w&0xffc00000 | target>>10
+				amem.WriteInt(order, buf[at:at+4], uint64(w))
+			case arch.RelLo10:
+				w := uint32(amem.ReadInt(order, buf[at:at+4]))
+				w = w&^uint32(0x3ff) | target&0x3ff
+				amem.WriteInt(order, buf[at:at+4], uint64(w))
+			case arch.RelPC26:
+				w := uint32(amem.ReadInt(order, buf[at:at+4]))
+				w = w&0xfc000000 | target<<4>>6
+				amem.WriteInt(order, buf[at:at+4], uint64(w))
+			case arch.RelPC30:
+				disp := int32(target-site) / 4
+				w := uint32(amem.ReadInt(order, buf[at:at+4]))
+				w = w&0xc0000000 | uint32(disp)&0x3fffffff
+				amem.WriteInt(order, buf[at:at+4], uint64(w))
+			case arch.RelPC32:
+				disp := target - (site + 4)
+				amem.WriteInt(order, buf[at:at+4], uint64(disp))
+			default:
+				return fmt.Errorf("link: unknown relocation kind %d", r.Kind)
+			}
+		}
+		return nil
+	}
+	for i, p := range pls {
+		if err := apply(i, p.textBase, machine.TextBase, text, p.unit.TextRelocs); err != nil {
+			return nil, err
+		}
+		if err := apply(i, p.dataBase, machine.DataBase, data, p.unit.DataRelocs); err != nil {
+			return nil, err
+		}
+	}
+
+	entry, ok := global["_start"]
+	if !ok {
+		return nil, fmt.Errorf("link: no _start")
+	}
+	img.Entry = entry.Addr
+	img.Text = text
+	img.Data = data
+	return img, nil
+}
+
+// NmSym is one line of nm-style output.
+type NmSym struct {
+	Addr uint32
+	Kind byte // 'T'/'t' text, 'D'/'d' data
+	Name string
+}
+
+// Nm lists the image's symbols the way the UNIX nm program would; the
+// compiler driver transforms this listing into the loader table (§3:
+// using nm makes ldb independent of linker formats).
+func Nm(img *Image) []NmSym {
+	var out []NmSym
+	for _, s := range img.Syms {
+		kind := byte('t')
+		if s.Sec == asm.SecData {
+			kind = 'd'
+		}
+		if s.Global {
+			kind -= 'a' - 'A'
+		}
+		out = append(out, NmSym{Addr: s.Addr, Kind: kind, Name: s.Name})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// LoaderPS renders the loader table as PostScript (§3): the program's
+// top-level dictionary, the anchormap associating anchor-symbol names
+// with addresses, and the proctable of (address, name) pairs.
+func LoaderPS(img *Image, topLevelPS string) string {
+	var b strings.Builder
+	b.WriteString("<<\n/symtab ")
+	if topLevelPS == "" {
+		b.WriteString("null")
+	} else {
+		b.WriteString(topLevelPS)
+	}
+	b.WriteString("\n/anchormap <<\n")
+	for _, s := range Nm(img) {
+		if strings.HasPrefix(s.Name, "_stanchor__") {
+			fmt.Fprintf(&b, "  /%s 16#%08x\n", s.Name, s.Addr)
+		}
+	}
+	b.WriteString(">>\n/nm <<\n")
+	for _, s := range Nm(img) {
+		if s.Kind == 'T' || s.Kind == 'D' {
+			fmt.Fprintf(&b, "  /%s 16#%08x\n", s.Name, s.Addr)
+		}
+	}
+	b.WriteString(">>\n/proctable [\n")
+	funcs := append([]FuncAddr(nil), img.Funcs...)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Addr < funcs[j].Addr })
+	for _, f := range funcs {
+		fmt.Fprintf(&b, "  16#%08x (%s)\n", f.Addr, f.Name)
+	}
+	b.WriteString("]\n")
+	fmt.Fprintf(&b, "/entry 16#%08x\n", img.Entry)
+	if img.RPTAddr != 0 {
+		fmt.Fprintf(&b, "/rpt 16#%08x\n", img.RPTAddr)
+	}
+	b.WriteString(">>\n")
+	return b.String()
+}
+
+// NewProcess loads the image into a fresh simulated process.
+func NewProcess(img *Image) *machine.Process {
+	return machine.New(img.Arch, img.Text, img.Data, img.Entry)
+}

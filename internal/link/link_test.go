@@ -1,0 +1,165 @@
+package link
+
+import (
+	"strings"
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/arch/mips"
+	"ldb/internal/asm"
+)
+
+// tiny builds a two-unit MIPS program: unit A calls symbol _f in unit
+// B through every interesting relocation kind.
+func tiny(t *testing.T) (*Image, error) {
+	t.Helper()
+	m := mips.Little
+	a1 := mips.NewAsm(m)
+	a1.Label("_start")
+	a1.LA(mips.T0, "_gvar", 4) // hi16/lo16 with addend
+	a1.I(mips.OpLw, mips.A0, mips.T0, 0)
+	a1.Jal("_f") // pc26
+	a1.LI(mips.V0, arch.SysExit)
+	a1.Syscall()
+	code1, rel1, err := a1.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := &asm.Unit{Name: "a", Arch: m.Name(), Text: code1, TextRelocs: rel1}
+	u1.AddSym("_start", asm.SecText, 0, len(code1), true)
+	u1.Funcs = append(u1.Funcs, asm.FuncInfo{Sym: "_start", FrameSize: 0})
+
+	a2 := mips.NewAsm(m)
+	a2.Label("_f")
+	a2.R(mips.FnAddu, mips.A0, mips.A0, mips.A0) // status = 2*gvar[1]
+	a2.R(mips.FnJr, 0, mips.RA, 0)
+	code2, rel2, err := a2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2 := &asm.Unit{Name: "b", Arch: m.Name(), Text: code2, TextRelocs: rel2}
+	u2.AddSym("_f", asm.SecText, 0, len(code2), true)
+	u2.Funcs = append(u2.Funcs, asm.FuncInfo{Sym: "_f", FrameSize: 8})
+	// Data: _gvar with a word at +4 = 21, and an abs32 reloc pointing
+	// at _f for good measure.
+	u2.Data = make([]byte, 12)
+	u2.Data[4] = 21
+	u2.AddSym("_gvar", asm.SecData, 0, 8, true)
+	u2.DataRelocs = append(u2.DataRelocs, arch.Reloc{Off: 8, Kind: arch.RelAbs32, Sym: "_f"})
+
+	return Link(m, u1, u2)
+}
+
+func TestLinkAndRun(t *testing.T) {
+	img, err := tiny(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProcess(img)
+	f := p.Run()
+	if f.Kind != arch.FaultHalt || p.ExitCode != 42 {
+		t.Fatalf("fault %v, exit %d", f, p.ExitCode)
+	}
+	// The data-section abs32 reloc resolved to _f's address.
+	fAddr, _ := img.SymAddr("_f")
+	gAddr, _ := img.SymAddr("_gvar")
+	got, fault := p.Load(gAddr+8, 4)
+	if fault != nil || got != fAddr {
+		t.Fatalf("data reloc = %#x, want %#x", got, fAddr)
+	}
+}
+
+func TestUndefinedSymbol(t *testing.T) {
+	m := mips.Little
+	a := mips.NewAsm(m)
+	a.Label("_start")
+	a.Jal("_missing")
+	code, rel, _ := a.Finish()
+	u := &asm.Unit{Name: "a", Arch: m.Name(), Text: code, TextRelocs: rel}
+	u.AddSym("_start", asm.SecText, 0, 4, true)
+	if _, err := Link(m, u); err == nil || !strings.Contains(err.Error(), "_missing") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateSymbol(t *testing.T) {
+	m := mips.Little
+	mk := func() *asm.Unit {
+		a := mips.NewAsm(m)
+		a.Label("_start")
+		a.Nop()
+		code, _, _ := a.Finish()
+		u := &asm.Unit{Name: "x", Arch: m.Name(), Text: code}
+		u.AddSym("_start", asm.SecText, 0, 4, true)
+		return u
+	}
+	if _, err := Link(m, mk(), mk()); err == nil || !strings.Contains(err.Error(), "multiple definitions") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWrongArch(t *testing.T) {
+	u := &asm.Unit{Name: "x", Arch: "vax"}
+	if _, err := Link(mips.Little, u); err == nil {
+		t.Fatal("cross-arch link accepted")
+	}
+}
+
+func TestNmAndLoaderPS(t *testing.T) {
+	img, err := tiny(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := Nm(img)
+	var sawStart, sawG bool
+	for i := 1; i < len(nm); i++ {
+		if nm[i].Addr < nm[i-1].Addr {
+			t.Fatal("nm not sorted")
+		}
+	}
+	for _, s := range nm {
+		if s.Name == "_start" && s.Kind == 'T' {
+			sawStart = true
+		}
+		if s.Name == "_gvar" && s.Kind == 'D' {
+			sawG = true
+		}
+	}
+	if !sawStart || !sawG {
+		t.Fatalf("nm misses symbols: %v", nm)
+	}
+	ps := LoaderPS(img, "null")
+	for _, want := range []string{"/proctable", "/nm", "(_f)", "/rpt", "/entry"} {
+		if !strings.Contains(ps, want) {
+			t.Errorf("loader PS missing %q", want)
+		}
+	}
+}
+
+func TestMIPSRuntimeProcedureTableContents(t *testing.T) {
+	img, err := tiny(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.RPTAddr == 0 {
+		t.Fatal("no RPT on mips")
+	}
+	p := NewProcess(img)
+	count, f := p.Load(img.RPTAddr, 4)
+	if f != nil || count != 2 {
+		t.Fatalf("rpt count = %d, %v", count, f)
+	}
+	// Entries sorted by address, (addr, framesize) pairs.
+	fAddr, _ := img.SymAddr("_f")
+	found := false
+	for i := uint32(0); i < count; i++ {
+		a, _ := p.Load(img.RPTAddr+4+8*i, 4)
+		fs, _ := p.Load(img.RPTAddr+4+8*i+4, 4)
+		if a == fAddr && fs == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("_f missing from RPT")
+	}
+}

@@ -1,0 +1,216 @@
+// Package locstats regenerates the paper's §4.3 table — the lines of
+// machine-dependent code that collaborate to implement each target,
+// against the machine-independent remainder — by classifying and
+// counting this repository's own sources. cmd/locstats and the T1
+// benchmark print it.
+package locstats
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ldb/internal/core"
+)
+
+// Targets lists the columns in paper order (the two MIPS byte orders
+// share one column, as the paper's single MIPS column covered both).
+var Targets = []string{"mips", "m68k", "sparc", "vax"}
+
+// Row names (the paper's rows were Debugger (M3) / PostScript /
+// Nub (C, asm); ours adds the simulator and compiler back ends we had
+// to build in place of real hardware and lcc).
+const (
+	RowDebugger  = "Debugger (Go)"
+	RowPS        = "PostScript"
+	RowSimulator = "Simulator (Go)"
+	RowBackend   = "Back end (Go)"
+)
+
+// Rows in display order.
+var Rows = []string{RowDebugger, RowPS, RowSimulator, RowBackend}
+
+// Table maps row → target (or "shared") → line count.
+type Table map[string]map[string]int
+
+// countFile counts non-blank, non-test lines of a Go file.
+func countFile(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// classify maps a repo-relative Go file to (row, column). Machine-
+// dependent code lives in exactly the places DESIGN.md confines it to:
+// the per-target architecture packages, one back-end file per target,
+// and the per-target frame walker; everything else is shared.
+func classify(rel string) (row, col string, ok bool) {
+	rel = filepath.ToSlash(rel)
+	if strings.HasSuffix(rel, "_test.go") || !strings.HasSuffix(rel, ".go") {
+		return "", "", false
+	}
+	switch {
+	case strings.HasPrefix(rel, "internal/arch/"):
+		parts := strings.Split(rel, "/")
+		if len(parts) < 4 {
+			return RowDebugger, "shared", true // the Arch interface itself
+		}
+		target := parts[2]
+		if target == "mipsbe" {
+			target = "mips"
+		}
+		base := parts[3]
+		// The metadata file (break/nop patterns, context layout,
+		// register roles) is the debugger-facing machine-dependent
+		// data; the assembler, interpreter, and scheduler are the
+		// simulated hardware and its assembler.
+		if base == target+".go" {
+			return RowDebugger, target, true
+		}
+		return RowSimulator, target, true
+	case rel == "internal/frame/mips.go":
+		return RowDebugger, "mips", true
+	case strings.HasPrefix(rel, "internal/codegen/"):
+		base := strings.TrimSuffix(filepath.Base(rel), ".go")
+		for _, t := range Targets {
+			if base == t {
+				return RowBackend, t, true
+			}
+		}
+		return RowBackend, "shared", true
+	case strings.HasPrefix(rel, "internal/cc/"),
+		strings.HasPrefix(rel, "internal/asm/"),
+		strings.HasPrefix(rel, "internal/link/"),
+		strings.HasPrefix(rel, "internal/driver/"):
+		return RowBackend, "shared", true
+	case strings.HasPrefix(rel, "internal/machine/"):
+		return RowSimulator, "shared", true
+	case strings.HasPrefix(rel, "internal/"), strings.HasPrefix(rel, "cmd/ldb"):
+		return RowDebugger, "shared", true
+	}
+	return "", "", false
+}
+
+// Collect walks the repository rooted at root and builds the table.
+func Collect(root string) (Table, error) {
+	table := Table{}
+	add := func(row, col string, n int) {
+		if table[row] == nil {
+			table[row] = map[string]int{}
+		}
+		table[row][col] += n
+	}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		row, col, ok := classify(rel)
+		if !ok {
+			return nil
+		}
+		n, err := countFile(path)
+		if err != nil {
+			return err
+		}
+		add(row, col, n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The machine-dependent PostScript is compiled into the binary.
+	for name, n := range core.ArchPSLines() {
+		if name == "mipsbe" {
+			name = "mips"
+		}
+		add(RowPS, name, n)
+	}
+	add(RowPS, "shared", core.PreludeLines())
+	return table, nil
+}
+
+// Format renders the table the way the paper's §4.3 table reads.
+func Format(t Table) string {
+	var b strings.Builder
+	cols := append(append([]string{}, Targets...), "shared")
+	fmt.Fprintf(&b, "%-16s", "")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%8s", c)
+	}
+	b.WriteString("\n")
+	for _, row := range Rows {
+		fmt.Fprintf(&b, "%-16s", row)
+		for _, c := range cols {
+			fmt.Fprintf(&b, "%8d", t[row][c])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-16s", "total")
+	for _, c := range cols {
+		sum := 0
+		for _, row := range Rows {
+			sum += t[row][c]
+		}
+		fmt.Fprintf(&b, "%8d", sum)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// PerTargetTotal sums the machine-dependent lines for one target.
+func PerTargetTotal(t Table, target string) int {
+	sum := 0
+	for _, row := range Rows {
+		sum += t[row][target]
+	}
+	return sum
+}
+
+// SharedTotal sums the machine-independent lines.
+func SharedTotal(t Table) int { return PerTargetTotal(t, "shared") }
+
+// FindRoot locates the module root (the directory containing go.mod),
+// starting from dir.
+func FindRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("locstats: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Sorted returns the table's row/col pairs deterministically (handy in
+// tests).
+func Sorted(t Table) []string {
+	var keys []string
+	for row, cols := range t {
+		for col := range cols {
+			keys = append(keys, row+"/"+col)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

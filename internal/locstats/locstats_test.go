@@ -1,0 +1,111 @@
+package locstats
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	_ "ldb/internal/arch/m68k"
+	_ "ldb/internal/arch/mips"
+	_ "ldb/internal/arch/sparc"
+	_ "ldb/internal/arch/vax"
+)
+
+func TestCollectAndShape(t *testing.T) {
+	root, err := FindRoot(".")
+	if err != nil {
+		t.Skip(err)
+	}
+	table, err := Collect(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The T1 shape the paper reports: per-target machine-dependent code
+	// is small; the shared core dwarfs every column; the MIPS needs
+	// more debugger-side code than the others (no frame pointer).
+	shared := SharedTotal(table)
+	if shared < 5000 {
+		t.Fatalf("shared total = %d; classification is broken", shared)
+	}
+	for _, target := range Targets {
+		per := PerTargetTotal(table, target)
+		if per == 0 {
+			t.Fatalf("no machine-dependent lines for %s", target)
+		}
+		if per*3 > shared {
+			t.Fatalf("%s machine-dependent code (%d) not small against shared (%d)", target, per, shared)
+		}
+	}
+	mipsDbg := table[RowDebugger]["mips"]
+	for _, other := range []string{"sparc", "m68k", "vax"} {
+		if mipsDbg <= table[RowDebugger][other] {
+			t.Errorf("mips debugger code (%d) should exceed %s (%d): the runtime procedure table walker",
+				mipsDbg, other, table[RowDebugger][other])
+		}
+	}
+	// Per-target PostScript exists and is tiny (§4.3: 13-18 lines).
+	for _, target := range Targets {
+		n := table[RowPS][target]
+		if n == 0 || n > 40 {
+			t.Errorf("%s PostScript lines = %d", target, n)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		rel string
+		row string
+		col string
+		ok  bool
+	}{
+		{"internal/arch/mips/mips.go", RowDebugger, "mips", true},
+		{"internal/arch/mips/exec.go", RowSimulator, "mips", true},
+		{"internal/arch/mipsbe/x.go", RowSimulator, "mips", true},
+		{"internal/arch/vax/asm.go", RowSimulator, "vax", true},
+		{"internal/arch/arch.go", RowDebugger, "shared", true},
+		{"internal/frame/mips.go", RowDebugger, "mips", true},
+		{"internal/frame/fp.go", RowDebugger, "shared", true},
+		{"internal/codegen/sparc.go", RowBackend, "sparc", true},
+		{"internal/codegen/codegen.go", RowBackend, "shared", true},
+		{"internal/cc/parse.go", RowBackend, "shared", true},
+		{"internal/core/target.go", RowDebugger, "shared", true},
+		{"internal/core/target_test.go", "", "", false},
+		{"README.md", "", "", false},
+		{"cmd/experiments/main.go", "", "", false},
+	}
+	for _, c := range cases {
+		row, col, ok := classify(c.rel)
+		if ok != c.ok || row != c.row || col != c.col {
+			t.Errorf("classify(%q) = %q %q %v, want %q %q %v", c.rel, row, col, ok, c.row, c.col, c.ok)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	table := Table{
+		RowDebugger: {"mips": 10, "shared": 100},
+		RowPS:       {"mips": 2},
+	}
+	out := Format(table)
+	if len(out) == 0 {
+		t.Fatal("empty format")
+	}
+	for _, want := range []string{"Debugger (Go)", "PostScript", "total", "shared"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Sorted enumerates every populated cell, deterministically.
+	keys := Sorted(table)
+	want := []string{RowDebugger + "/mips", RowDebugger + "/shared", RowPS + "/mips"}
+	sort.Strings(want)
+	if len(keys) != len(want) {
+		t.Fatalf("Sorted = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", keys, want)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package machine simulates the target process and the small slice of
+// operating system ldb's nub depends on: a flat address space with
+// text, data, and stack segments, registers, signals, and a few system
+// calls for program output and exit. The nub (package nub) attaches to
+// a Process the way the paper's nub is loaded with the target program.
+package machine
+
+import (
+	"bytes"
+	"fmt"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+)
+
+// Conventional segment addresses shared by all four targets.
+const (
+	TextBase  = 0x00400000
+	DataBase  = 0x10000000
+	StackTop  = 0x7fff0000
+	StackSize = 0x40000
+)
+
+// Segment is a contiguous mapped region.
+type Segment struct {
+	Name string
+	Base uint32
+	Data []byte
+}
+
+// Contains reports whether [addr, addr+size) lies inside the segment.
+func (s *Segment) Contains(addr uint32, size int) bool {
+	return addr >= s.Base && uint64(addr)+uint64(size) <= uint64(s.Base)+uint64(len(s.Data))
+}
+
+// State describes a process's lifecycle.
+type State int
+
+// Process states.
+const (
+	StateStopped State = iota
+	StateRunning
+	StateExited
+)
+
+func (s State) String() string {
+	switch s {
+	case StateStopped:
+		return "stopped"
+	case StateRunning:
+		return "running"
+	case StateExited:
+		return "exited"
+	}
+	return "?"
+}
+
+// Process is a simulated target process.
+type Process struct {
+	A        arch.Arch
+	Segs     []*Segment
+	regs     []uint32
+	fregs    []float64
+	pc       uint32
+	flag     uint32
+	State    State
+	ExitCode int
+	// Stdout collects the program's output (write syscalls).
+	Stdout bytes.Buffer
+	// Steps counts executed instructions.
+	Steps int64
+}
+
+// New returns a stopped process with text and data segments holding the
+// given images and a fresh stack.
+func New(a arch.Arch, text, data []byte, entry uint32) *Process {
+	p := &Process{
+		A:     a,
+		regs:  make([]uint32, a.NumRegs()),
+		fregs: make([]float64, a.NumFRegs()),
+		pc:    entry,
+	}
+	p.Segs = []*Segment{
+		{Name: "text", Base: TextBase, Data: append([]byte(nil), text...)},
+		{Name: "data", Base: DataBase, Data: append([]byte(nil), data...)},
+		{Name: "stack", Base: StackTop - StackSize, Data: make([]byte, StackSize)},
+	}
+	p.SetReg(a.SPReg(), StackTop-64)
+	return p
+}
+
+// PC implements arch.Proc.
+func (p *Process) PC() uint32 { return p.pc }
+
+// SetPC implements arch.Proc.
+func (p *Process) SetPC(v uint32) { p.pc = v }
+
+// Reg implements arch.Proc.
+func (p *Process) Reg(i int) uint32 {
+	if i < 0 || i >= len(p.regs) {
+		return 0
+	}
+	return p.regs[i]
+}
+
+// SetReg implements arch.Proc.
+func (p *Process) SetReg(i int, v uint32) {
+	if i >= 0 && i < len(p.regs) {
+		p.regs[i] = v
+	}
+}
+
+// FReg implements arch.Proc.
+func (p *Process) FReg(i int) float64 {
+	if i < 0 || i >= len(p.fregs) {
+		return 0
+	}
+	return p.fregs[i]
+}
+
+// SetFReg implements arch.Proc.
+func (p *Process) SetFReg(i int, v float64) {
+	if i >= 0 && i < len(p.fregs) {
+		p.fregs[i] = v
+	}
+}
+
+// Flag implements arch.Proc.
+func (p *Process) Flag() uint32 { return p.flag }
+
+// SetFlag implements arch.Proc.
+func (p *Process) SetFlag(v uint32) { p.flag = v }
+
+func (p *Process) seg(addr uint32, size int) (*Segment, *arch.Fault) {
+	for _, s := range p.Segs {
+		if s.Contains(addr, size) {
+			return s, nil
+		}
+	}
+	return nil, &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigSegv, Addr: addr, PC: p.pc}
+}
+
+// Load implements arch.Proc.
+func (p *Process) Load(addr uint32, size int) (uint32, *arch.Fault) {
+	s, f := p.seg(addr, size)
+	if f != nil {
+		return 0, f
+	}
+	off := addr - s.Base
+	return uint32(amem.ReadInt(p.A.Order(), s.Data[off:off+uint32(size)])), nil
+}
+
+// Store implements arch.Proc.
+func (p *Process) Store(addr uint32, size int, v uint32) *arch.Fault {
+	s, f := p.seg(addr, size)
+	if f != nil {
+		return f
+	}
+	off := addr - s.Base
+	amem.WriteInt(p.A.Order(), s.Data[off:off+uint32(size)], uint64(v))
+	return nil
+}
+
+// LoadFloat implements arch.Proc.
+func (p *Process) LoadFloat(addr uint32, size int) (float64, *arch.Fault) {
+	n := size
+	if size == amem.Float80 {
+		n = 12
+	}
+	s, f := p.seg(addr, n)
+	if f != nil {
+		return 0, f
+	}
+	off := addr - s.Base
+	return amem.DecodeFloat(p.A.Order(), s.Data[off:off+uint32(n)], size), nil
+}
+
+// StoreFloat implements arch.Proc.
+func (p *Process) StoreFloat(addr uint32, size int, v float64) *arch.Fault {
+	n := size
+	if size == amem.Float80 {
+		n = 12
+	}
+	s, f := p.seg(addr, n)
+	if f != nil {
+		return f
+	}
+	off := addr - s.Base
+	amem.EncodeFloat(p.A.Order(), s.Data[off:off+uint32(n)], size, v)
+	return nil
+}
+
+// ReadBytes copies raw memory (for the nub's fetch requests).
+func (p *Process) ReadBytes(addr uint32, out []byte) error {
+	s, f := p.seg(addr, len(out))
+	if f != nil {
+		return f
+	}
+	copy(out, s.Data[addr-s.Base:])
+	return nil
+}
+
+// WriteBytes writes raw memory (for the nub's store requests,
+// including planting breakpoints in text).
+func (p *Process) WriteBytes(addr uint32, in []byte) error {
+	s, f := p.seg(addr, len(in))
+	if f != nil {
+		return f
+	}
+	copy(s.Data[addr-s.Base:], in)
+	return nil
+}
+
+// cstring reads a NUL-terminated string for the putstr syscall.
+func (p *Process) cstring(addr uint32) (string, error) {
+	var out []byte
+	for i := 0; i < 1<<16; i++ {
+		b := make([]byte, 1)
+		if err := p.ReadBytes(addr+uint32(i), b); err != nil {
+			return "", err
+		}
+		if b[0] == 0 {
+			return string(out), nil
+		}
+		out = append(out, b[0])
+	}
+	return "", fmt.Errorf("machine: unterminated string at %#x", addr)
+}
+
+// syscall services a system-call fault; it returns nil when execution
+// may continue.
+func (p *Process) syscall(f *arch.Fault) *arch.Fault {
+	a := p.A
+	switch f.Code {
+	case arch.SysExit:
+		p.State = StateExited
+		p.ExitCode = int(int32(a.SyscallArg(p, 0)))
+		return &arch.Fault{Kind: arch.FaultHalt, PC: f.PC}
+	case arch.SysPutInt:
+		fmt.Fprintf(&p.Stdout, "%d", int32(a.SyscallArg(p, 0)))
+	case arch.SysPutChar:
+		p.Stdout.WriteByte(byte(a.SyscallArg(p, 0)))
+	case arch.SysPutStr:
+		s, err := p.cstring(a.SyscallArg(p, 0))
+		if err != nil {
+			return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigSegv, Addr: a.SyscallArg(p, 0), PC: f.PC}
+		}
+		p.Stdout.WriteString(s)
+	case arch.SysPutHex:
+		fmt.Fprintf(&p.Stdout, "%x", a.SyscallArg(p, 0))
+	case arch.SysPutUint:
+		fmt.Fprintf(&p.Stdout, "%d", a.SyscallArg(p, 0))
+	case arch.SysPutFloat:
+		v, ff := p.LoadFloat(a.SyscallArg(p, 0), 8)
+		if ff != nil {
+			return ff
+		}
+		fmt.Fprintf(&p.Stdout, "%g", v)
+	default:
+		return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigIll, Code: f.Code, PC: f.PC}
+	}
+	a.SyscallRet(p, 0)
+	return nil
+}
+
+// MaxSteps bounds Run against runaway programs. It is a variable so
+// tests can tighten it.
+var MaxSteps int64 = 200_000_000
+
+// Run executes until a signal arrives or the process exits. System
+// calls are serviced transparently. The returned fault is FaultHalt on
+// exit or FaultSignal for the nub.
+func (p *Process) Run() *arch.Fault {
+	if p.State == StateExited {
+		return &arch.Fault{Kind: arch.FaultHalt, PC: p.pc}
+	}
+	p.State = StateRunning
+	for {
+		p.Steps++
+		if p.Steps > MaxSteps {
+			p.State = StateStopped
+			return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigIll, Code: -1, PC: p.pc}
+		}
+		f := p.A.Step(p)
+		if f == nil {
+			continue
+		}
+		if f.Kind == arch.FaultSyscall {
+			if hf := p.syscall(f); hf != nil {
+				if hf.Kind == arch.FaultHalt {
+					p.State = StateExited
+				} else {
+					p.State = StateStopped
+				}
+				return hf
+			}
+			continue
+		}
+		if f.Kind == arch.FaultHalt {
+			p.State = StateExited
+		} else {
+			p.State = StateStopped
+		}
+		return f
+	}
+}
+
+// StepOne executes exactly one instruction (servicing a syscall if one
+// occurs) and returns the fault, if any.
+func (p *Process) StepOne() *arch.Fault {
+	p.Steps++
+	f := p.A.Step(p)
+	if f != nil && f.Kind == arch.FaultSyscall {
+		return p.syscall(f)
+	}
+	return f
+}

@@ -1,0 +1,125 @@
+package machine
+
+import (
+	"testing"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+	"ldb/internal/arch/vax"
+)
+
+func TestSegments(t *testing.T) {
+	p := New(vax.Target, []byte{vax.OpNop}, make([]byte, 16), TextBase)
+	// Text, data, and stack are mapped; gaps are not.
+	if err := p.WriteBytes(DataBase, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	var out [3]byte
+	if err := p.ReadBytes(DataBase, out[:]); err != nil || out[1] != 2 {
+		t.Fatalf("%v %v", out, err)
+	}
+	if err := p.ReadBytes(0x1000, out[:]); err == nil {
+		t.Fatal("unmapped read succeeded")
+	}
+	if _, f := p.Load(DataBase+14, 4); f == nil || f.Sig != arch.SigSegv {
+		t.Fatalf("straddling read: %v", f)
+	}
+	// Stack is mapped near the top.
+	sp := p.Reg(vax.Target.SPReg())
+	if f := p.Store(sp-4, 4, 42); f != nil {
+		t.Fatalf("stack store: %v", f)
+	}
+}
+
+func TestFloatMemory(t *testing.T) {
+	p := New(vax.Target, nil, make([]byte, 64), TextBase)
+	if f := p.StoreFloat(DataBase, 8, 3.25); f != nil {
+		t.Fatal(f)
+	}
+	v, f := p.LoadFloat(DataBase, 8)
+	if f != nil || v != 3.25 {
+		t.Fatalf("%g %v", v, f)
+	}
+	if f := p.StoreFloat(DataBase+16, amem.Float80, -1.5); f != nil {
+		t.Fatal(f)
+	}
+	v, f = p.LoadFloat(DataBase+16, amem.Float80)
+	if f != nil || v != -1.5 {
+		t.Fatalf("float80: %g %v", v, f)
+	}
+}
+
+func TestSyscallsAndHalt(t *testing.T) {
+	// movl #'A', r1; chmk #putchar; movl #0, r1; chmk #exit
+	a := vaxAsm()
+	a.MoveImm(1, 'A')
+	a.Chmk(arch.SysPutChar)
+	a.MoveImm(1, 7)
+	a.Chmk(arch.SysExit)
+	code, _, _ := a.Finish()
+	p := New(vax.Target, code, nil, TextBase)
+	f := p.Run()
+	if f.Kind != arch.FaultHalt {
+		t.Fatalf("%v", f)
+	}
+	if p.State != StateExited || p.ExitCode != 7 {
+		t.Fatalf("state=%v code=%d", p.State, p.ExitCode)
+	}
+	if p.Stdout.String() != "A" {
+		t.Fatalf("stdout %q", p.Stdout.String())
+	}
+	// Running an exited process reports halt immediately.
+	if f := p.Run(); f.Kind != arch.FaultHalt {
+		t.Fatalf("re-run: %v", f)
+	}
+}
+
+func TestPutStrAndUnknownSyscall(t *testing.T) {
+	a := vaxAsm()
+	a.MoveImm(1, int32(DataBase))
+	a.Chmk(arch.SysPutStr)
+	a.MoveImm(1, 0)
+	a.Chmk(99) // unknown syscall → SIGILL
+	code, _, _ := a.Finish()
+	data := append([]byte("hey"), 0)
+	p := New(vax.Target, code, data, TextBase)
+	f := p.Run()
+	if f.Sig != arch.SigIll {
+		t.Fatalf("%v", f)
+	}
+	if p.Stdout.String() != "hey" {
+		t.Fatalf("stdout %q", p.Stdout.String())
+	}
+}
+
+func TestStepOne(t *testing.T) {
+	a := vaxAsm()
+	a.Nop()
+	a.Nop()
+	a.Bpt()
+	code, _, _ := a.Finish()
+	p := New(vax.Target, code, nil, TextBase)
+	if f := p.StepOne(); f != nil {
+		t.Fatal(f)
+	}
+	if p.PC() != TextBase+1 {
+		t.Fatalf("pc = %#x", p.PC())
+	}
+	p.StepOne()
+	if f := p.StepOne(); f == nil || f.Sig != arch.SigTrap {
+		t.Fatalf("%v", f)
+	}
+}
+
+func vaxAsm() *vax.Asm { return vax.NewAsm() }
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateStopped: "stopped", StateRunning: "running",
+		StateExited: "exited", State(99): "?",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}

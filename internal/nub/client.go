@@ -1,0 +1,317 @@
+package nub
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+	"ldb/internal/machine"
+)
+
+func float64bits(v float64) uint64     { return math.Float64bits(v) }
+func float64frombits(u uint64) float64 { return math.Float64frombits(u) }
+
+// Event is a signal or exit reported by the nub.
+type Event struct {
+	Exited bool
+	Status int
+	Sig    arch.Signal
+	Code   int
+	PC     uint32
+	// Ctx is the target address of the context record.
+	Ctx uint32
+}
+
+func (e *Event) String() string {
+	if e.Exited {
+		return fmt.Sprintf("exited(%d)", e.Status)
+	}
+	return fmt.Sprintf("%v code=%d pc=%#x", e.Sig, e.Code, e.PC)
+}
+
+// Client is the debugger end of the nub protocol.
+type Client struct {
+	conn     io.ReadWriter
+	ArchName string
+	CtxAddr  uint32
+	CtxSize  uint32
+	// Last is the most recent event.
+	Last *Event
+}
+
+// Connect performs the protocol handshake: it reads the nub's welcome
+// and the pending event.
+func Connect(conn io.ReadWriter) (*Client, error) {
+	w, err := ReadMsg(conn)
+	if err != nil {
+		return nil, err
+	}
+	if w.Kind != MWelcome {
+		return nil, fmt.Errorf("nub: expected welcome, got %v", w.Kind)
+	}
+	c := &Client{conn: conn, ArchName: string(w.Data), CtxAddr: w.Addr, CtxSize: w.Size}
+	ev, err := c.readEvent()
+	if err != nil {
+		return nil, err
+	}
+	c.Last = ev
+	return c, nil
+}
+
+// Dial connects to a nub listening on a TCP address.
+func Dial(addr string) (*Client, net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := Connect(conn)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return c, conn, nil
+}
+
+func (c *Client) readEvent() (*Event, error) {
+	m, err := ReadMsg(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	switch m.Kind {
+	case MEvent:
+		return &Event{Sig: arch.Signal(m.Sig), Code: int(m.Code), PC: uint32(m.Val), Ctx: m.Addr}, nil
+	case MExited:
+		return &Event{Exited: true, Status: int(m.Code)}, nil
+	default:
+		return nil, fmt.Errorf("nub: expected event, got %v", m.Kind)
+	}
+}
+
+func (c *Client) roundTrip(req *Msg, want MsgKind) (*Msg, error) {
+	if err := WriteMsg(c.conn, req); err != nil {
+		return nil, err
+	}
+	rep, err := ReadMsg(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Kind == MError {
+		return nil, errors.New("nub: " + string(rep.Data))
+	}
+	if rep.Kind != want {
+		return nil, fmt.Errorf("nub: expected %v, got %v", want, rep.Kind)
+	}
+	return rep, nil
+}
+
+// FetchInt reads a size-byte integer at addr in the given space.
+func (c *Client) FetchInt(space amem.Space, addr uint32, size int) (uint64, error) {
+	rep, err := c.roundTrip(&Msg{Kind: MFetchInt, Space: byte(space), Addr: addr, Size: uint32(size)}, MValue)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Val, nil
+}
+
+// StoreInt writes a size-byte integer.
+func (c *Client) StoreInt(space amem.Space, addr uint32, size int, val uint64) error {
+	_, err := c.roundTrip(&Msg{Kind: MStoreInt, Space: byte(space), Addr: addr, Size: uint32(size), Val: val}, MOK)
+	return err
+}
+
+// FetchFloat reads a float of logical size 4, 8, or 10.
+func (c *Client) FetchFloat(space amem.Space, addr uint32, size int) (float64, error) {
+	rep, err := c.roundTrip(&Msg{Kind: MFetchFloat, Space: byte(space), Addr: addr, Size: uint32(size)}, MFValue)
+	if err != nil {
+		return 0, err
+	}
+	return float64frombits(rep.Val), nil
+}
+
+// StoreFloat writes a float of logical size 4, 8, or 10.
+func (c *Client) StoreFloat(space amem.Space, addr uint32, size int, val float64) error {
+	_, err := c.roundTrip(&Msg{Kind: MStoreFloat, Space: byte(space), Addr: addr, Size: uint32(size), Val: float64bits(val)}, MOK)
+	return err
+}
+
+// FetchBytes reads n raw bytes.
+func (c *Client) FetchBytes(space amem.Space, addr uint32, n int) ([]byte, error) {
+	rep, err := c.roundTrip(&Msg{Kind: MFetchBytes, Space: byte(space), Addr: addr, Size: uint32(n)}, MBytes)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// StoreBytes writes raw bytes.
+func (c *Client) StoreBytes(space amem.Space, addr uint32, data []byte) error {
+	_, err := c.roundTrip(&Msg{Kind: MStoreBytes, Space: byte(space), Addr: addr, Data: data}, MOK)
+	return err
+}
+
+// PlantStore writes a breakpoint trap through the special planting
+// store (§7.1), so the nub remembers the overwritten instruction.
+func (c *Client) PlantStore(addr uint32, trap []byte) error {
+	_, err := c.roundTrip(&Msg{Kind: MPlantStore, Space: byte(amem.Code), Addr: addr, Data: trap}, MOK)
+	return err
+}
+
+// UnplantStore removes a planted breakpoint, restoring the original
+// instruction from the nub's record.
+func (c *Client) UnplantStore(addr uint32) error {
+	_, err := c.roundTrip(&Msg{Kind: MUnplantStore, Space: byte(amem.Code), Addr: addr}, MOK)
+	return err
+}
+
+// PlantedRecord is one breakpoint the nub knows about.
+type PlantedRecord struct {
+	Addr     uint32
+	Original []byte
+}
+
+// ListPlanted asks the nub which breakpoints are planted — how a new
+// debugger recovers the breakpoints of a lost one (§7.1).
+func (c *Client) ListPlanted() ([]PlantedRecord, error) {
+	rep, err := c.roundTrip(&Msg{Kind: MListPlanted}, MPlanted)
+	if err != nil {
+		return nil, err
+	}
+	var out []PlantedRecord
+	b := rep.Data
+	for len(b) >= 8 {
+		addr := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+		n := int(uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24)
+		b = b[8:]
+		if n > len(b) {
+			return nil, fmt.Errorf("nub: malformed planted list")
+		}
+		out = append(out, PlantedRecord{Addr: addr, Original: append([]byte(nil), b[:n]...)})
+		b = b[n:]
+	}
+	return out, nil
+}
+
+// Continue resumes the target and blocks until the next event.
+func (c *Client) Continue() (*Event, error) {
+	if err := WriteMsg(c.conn, &Msg{Kind: MContinue}); err != nil {
+		return nil, err
+	}
+	ev, err := c.readEvent()
+	if err != nil {
+		return nil, err
+	}
+	c.Last = ev
+	return ev, nil
+}
+
+// Close severs the connection without telling the nub — the way a
+// crashed debugger disappears. The nub preserves target state.
+func (c *Client) Close() error {
+	if closer, ok := c.conn.(interface{ Close() error }); ok {
+		return closer.Close()
+	}
+	return nil
+}
+
+// Kill terminates the target.
+func (c *Client) Kill() error {
+	_, err := c.roundTrip(&Msg{Kind: MKill}, MOK)
+	return err
+}
+
+// Detach breaks the connection, leaving the target stopped and the nub
+// waiting for a new debugger.
+func (c *Client) Detach() error {
+	_, err := c.roundTrip(&Msg{Kind: MDetach}, MOK)
+	return err
+}
+
+// Wire is the abstract memory that holds the connection to the nub
+// (§4.1): it forwards fetch and store requests over the protocol. Only
+// the code and data spaces (and immediates) are served; register spaces
+// are handled above the wire by alias memories.
+type Wire struct {
+	C *Client
+}
+
+// Name implements amem.Memory.
+func (w *Wire) Name() string { return "wire" }
+
+// FetchInt implements amem.Memory.
+func (w *Wire) FetchInt(loc amem.Location, size int) (uint64, error) {
+	if loc.Mode == amem.Immediate {
+		return loc.Imm, nil
+	}
+	if !validSpace(byte(loc.Space)) {
+		return 0, fmt.Errorf("%w: %s on the wire", amem.ErrBadSpace, loc)
+	}
+	return w.C.FetchInt(loc.Space, uint32(loc.Offset), size)
+}
+
+// StoreInt implements amem.Memory.
+func (w *Wire) StoreInt(loc amem.Location, size int, val uint64) error {
+	if loc.Mode == amem.Immediate {
+		return amem.ErrImmStore
+	}
+	if !validSpace(byte(loc.Space)) {
+		return fmt.Errorf("%w: %s on the wire", amem.ErrBadSpace, loc)
+	}
+	return w.C.StoreInt(loc.Space, uint32(loc.Offset), size, val)
+}
+
+// FetchFloat implements amem.Memory.
+func (w *Wire) FetchFloat(loc amem.Location, size int) (float64, error) {
+	if loc.Mode == amem.Immediate {
+		return loc.ImmF, nil
+	}
+	if !validSpace(byte(loc.Space)) {
+		return 0, fmt.Errorf("%w: %s on the wire", amem.ErrBadSpace, loc)
+	}
+	return w.C.FetchFloat(loc.Space, uint32(loc.Offset), size)
+}
+
+// StoreFloat implements amem.Memory.
+func (w *Wire) StoreFloat(loc amem.Location, size int, val float64) error {
+	if loc.Mode == amem.Immediate {
+		return amem.ErrImmStore
+	}
+	if !validSpace(byte(loc.Space)) {
+		return fmt.Errorf("%w: %s on the wire", amem.ErrBadSpace, loc)
+	}
+	return w.C.StoreFloat(loc.Space, uint32(loc.Offset), size, val)
+}
+
+// Pair wires a client directly to a nub over an in-memory connection —
+// the "target process forked as a child" arrangement. It starts the
+// target if it has not produced an event yet.
+func Pair(n *Nub) (*Client, error) {
+	a, b := net.Pipe()
+	go func() {
+		for {
+			if err := n.Serve(b); err == nil {
+				return
+			}
+			// Connection broken; in the paired arrangement there is no
+			// one to reconnect, so stop.
+			return
+		}
+	}()
+	return Connect(a)
+}
+
+// Launch builds a process for the architecture, attaches a nub, and
+// returns a connected client: the complete "debugger forks the target"
+// path used by tests and examples.
+func Launch(a arch.Arch, text, data []byte, entry uint32) (*Client, *Nub, *machine.Process, error) {
+	p := machine.New(a, text, data, entry)
+	n := New(p)
+	c, err := Pair(n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c, n, p, nil
+}

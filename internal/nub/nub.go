@@ -1,0 +1,381 @@
+package nub
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+	"ldb/internal/machine"
+)
+
+// NubDataBase is where the nub keeps its data structures — in user
+// space, where a faulty program could destroy them (§4.2 discusses
+// exactly this vulnerability).
+const (
+	NubDataBase = 0x0ffe0000
+	nubDataSize = 4096
+)
+
+// Nub controls one target process and serves the debugger protocol.
+// The guiding principle is to keep it as small as possible (§4.2).
+type Nub struct {
+	P       *machine.Process
+	ctxAddr uint32
+
+	mu      sync.Mutex
+	pending *Msg // event to (re)send when a connection arrives
+	dead    bool
+	// planted records breakpoint stores (§7.1's protocol enrichment):
+	// address → the instruction bytes the trap overwrote, so the nub
+	// can report them to a new debugger if the old one is lost.
+	planted map[uint32][]byte
+}
+
+// New attaches a nub to a process, reserving the context area in the
+// target's address space.
+func New(p *machine.Process) *Nub {
+	n := &Nub{P: p, ctxAddr: NubDataBase, planted: make(map[uint32][]byte)}
+	p.Segs = append(p.Segs, &machine.Segment{
+		Name: "nub",
+		Base: NubDataBase,
+		Data: make([]byte, nubDataSize),
+	})
+	return n
+}
+
+// CtxAddr returns the target address of the context record.
+func (n *Nub) CtxAddr() uint32 { return n.ctxAddr }
+
+// Start runs the target to its first stop — normally the pause trap the
+// startup code executes before calling main (§4.3) — and latches the
+// event for the first connection.
+func (n *Nub) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.runAndLatch()
+}
+
+// RunFree runs the target with pause traps ignored, as a program that
+// is not (yet) being debugged: if it faults, the fault is latched so a
+// debugger can connect afterward — the target need not be a child of
+// the debugger (§4.2).
+func (n *Nub) RunFree() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		f := n.P.Run()
+		if f.Kind == arch.FaultSignal && f.Sig == arch.SigTrap && f.Code == arch.TrapPause {
+			n.P.SetPC(f.PC + f.Len)
+			continue
+		}
+		n.latch(f)
+		return
+	}
+}
+
+// runAndLatch resumes the target and latches the resulting event.
+func (n *Nub) runAndLatch() {
+	f := n.P.Run()
+	if f.Kind == arch.FaultSignal && f.Sig == arch.SigTrap && f.Code == arch.TrapPause {
+		// Step past our own pause trap so a plain continue works.
+		n.P.SetPC(f.PC + f.Len)
+	}
+	n.latch(f)
+}
+
+func (n *Nub) latch(f *arch.Fault) {
+	if f.Kind == arch.FaultHalt {
+		n.pending = &Msg{Kind: MExited, Code: int32(n.P.ExitCode)}
+		return
+	}
+	n.saveContext()
+	n.pending = &Msg{
+		Kind: MEvent,
+		Sig:  int32(f.Sig),
+		Code: int32(f.Code),
+		Addr: n.ctxAddr,
+		Val:  uint64(f.PC),
+	}
+}
+
+// saveContext writes the processor state into the context record in
+// target memory, in the target's byte order, per the machine-dependent
+// layout. On a big-endian MIPS the kernel's quirk applies: saved
+// doubleword floating registers go least significant word first (§4.3
+// footnote), and fetchFloat compensates.
+func (n *Nub) saveContext() {
+	p := n.P
+	l := p.A.Context()
+	order := p.A.Order()
+	buf := make([]byte, l.Size)
+	amem.WriteInt(order, buf[l.PCOff:l.PCOff+4], uint64(p.PC()))
+	amem.WriteInt(order, buf[l.FlagOff:l.FlagOff+4], uint64(p.Flag()))
+	for i, off := range l.RegOffs {
+		if off == l.PCOff {
+			continue // the VAX keeps the pc in the r15 slot
+		}
+		amem.WriteInt(order, buf[off:off+4], uint64(p.Reg(i)))
+	}
+	for i, off := range l.FRegOffs {
+		img := buf[off : off+l.FRegSize]
+		if l.FRegSize == 12 {
+			amem.EncodeFloat(order, img, amem.Float80, p.FReg(i))
+		} else {
+			amem.EncodeFloat(order, img, amem.Float64, p.FReg(i))
+			if l.FloatWordSwap {
+				swapWords(img)
+			}
+		}
+	}
+	if err := p.WriteBytes(n.ctxAddr, buf); err != nil {
+		panic(fmt.Sprintf("nub: context area unmapped: %v", err))
+	}
+}
+
+// restoreContext reads the (possibly debugger-modified) context back
+// into the processor before resuming (assignments to registers work by
+// storing into the context through the alias memory).
+func (n *Nub) restoreContext() {
+	p := n.P
+	l := p.A.Context()
+	order := p.A.Order()
+	buf := make([]byte, l.Size)
+	if err := p.ReadBytes(n.ctxAddr, buf); err != nil {
+		panic(fmt.Sprintf("nub: context area unmapped: %v", err))
+	}
+	p.SetPC(uint32(amem.ReadInt(order, buf[l.PCOff:l.PCOff+4])))
+	p.SetFlag(uint32(amem.ReadInt(order, buf[l.FlagOff:l.FlagOff+4])))
+	for i, off := range l.RegOffs {
+		if off == l.PCOff {
+			continue
+		}
+		p.SetReg(i, uint32(amem.ReadInt(order, buf[off:off+4])))
+	}
+	for i, off := range l.FRegOffs {
+		img := append([]byte(nil), buf[off:off+l.FRegSize]...)
+		if l.FRegSize == 12 {
+			p.SetFReg(i, amem.DecodeFloat(order, img, amem.Float80))
+		} else {
+			if l.FloatWordSwap {
+				swapWords(img)
+			}
+			p.SetFReg(i, amem.DecodeFloat(order, img, amem.Float64))
+		}
+	}
+}
+
+func swapWords(b []byte) {
+	for i := 0; i < 4; i++ {
+		b[i], b[i+4] = b[i+4], b[i]
+	}
+}
+
+// fregRange reports the context subrange holding saved floating
+// registers that the MIPS quirk applies to.
+func (n *Nub) quirkRange() (lo, hi uint32, ok bool) {
+	l := n.P.A.Context()
+	if !l.FloatWordSwap || len(l.FRegOffs) == 0 {
+		return 0, 0, false
+	}
+	lo = n.ctxAddr + uint32(l.FRegOffs[0])
+	hi = n.ctxAddr + uint32(l.FRegOffs[len(l.FRegOffs)-1]+l.FRegSize)
+	return lo, hi, true
+}
+
+func validSpace(s byte) bool { return s == byte(amem.Code) || s == byte(amem.Data) }
+
+func (n *Nub) handle(m *Msg) *Msg {
+	p := n.P
+	errMsg := func(format string, args ...any) *Msg {
+		return &Msg{Kind: MError, Data: []byte(fmt.Sprintf(format, args...))}
+	}
+	switch m.Kind {
+	case MHello, MContinue, MKill, MDetach, MListPlanted:
+		// no space operand
+	default:
+		if !validSpace(m.Space) {
+			return errMsg("nub serves only code and data spaces, not %q", string(m.Space))
+		}
+	}
+	switch m.Kind {
+	case MPlantStore:
+		// A store used only for planting breakpoints: remember what it
+		// overwrites.
+		old := make([]byte, len(m.Data))
+		if err := p.ReadBytes(m.Addr, old); err != nil {
+			return errMsg("plant %#x: %v", m.Addr, err)
+		}
+		if err := p.WriteBytes(m.Addr, m.Data); err != nil {
+			return errMsg("plant %#x: %v", m.Addr, err)
+		}
+		n.planted[m.Addr] = old
+		return &Msg{Kind: MOK}
+	case MUnplantStore:
+		old, ok := n.planted[m.Addr]
+		if !ok {
+			return errMsg("no breakpoint planted at %#x", m.Addr)
+		}
+		if err := p.WriteBytes(m.Addr, old); err != nil {
+			return errMsg("unplant %#x: %v", m.Addr, err)
+		}
+		delete(n.planted, m.Addr)
+		return &Msg{Kind: MOK}
+	case MListPlanted:
+		// Report every planted breakpoint as (addr, original bytes)
+		// records: addr32, len32, bytes.
+		var data []byte
+		for addr, old := range n.planted {
+			var rec [8]byte
+			amem.WriteInt(binary.LittleEndian, rec[0:4], uint64(addr))
+			amem.WriteInt(binary.LittleEndian, rec[4:8], uint64(len(old)))
+			data = append(data, rec[:]...)
+			data = append(data, old...)
+		}
+		return &Msg{Kind: MPlanted, Data: data}
+	case MFetchInt:
+		v, f := p.Load(m.Addr, int(m.Size))
+		if f != nil {
+			return errMsg("fetch %#x: %v", m.Addr, f)
+		}
+		return &Msg{Kind: MValue, Val: uint64(v)}
+	case MStoreInt:
+		if f := p.Store(m.Addr, int(m.Size), uint32(m.Val)); f != nil {
+			return errMsg("store %#x: %v", m.Addr, f)
+		}
+		return &Msg{Kind: MOK}
+	case MFetchFloat:
+		size := int(m.Size)
+		if lo, hi, ok := n.quirkRange(); ok && size == 8 && m.Addr >= lo && m.Addr+8 <= hi {
+			// Machine-dependent nub code: un-swap the kernel's saved
+			// floating registers.
+			raw := make([]byte, 8)
+			if err := p.ReadBytes(m.Addr, raw); err != nil {
+				return errMsg("fetch %#x: %v", m.Addr, err)
+			}
+			swapWords(raw)
+			v := amem.DecodeFloat(p.A.Order(), raw, amem.Float64)
+			return &Msg{Kind: MFValue, Val: float64bits(v)}
+		}
+		v, f := p.LoadFloat(m.Addr, size)
+		if f != nil {
+			return errMsg("fetch %#x: %v", m.Addr, f)
+		}
+		return &Msg{Kind: MFValue, Val: float64bits(v)}
+	case MStoreFloat:
+		size := int(m.Size)
+		v := float64frombits(m.Val)
+		if lo, hi, ok := n.quirkRange(); ok && size == 8 && m.Addr >= lo && m.Addr+8 <= hi {
+			raw := make([]byte, 8)
+			amem.EncodeFloat(p.A.Order(), raw, amem.Float64, v)
+			swapWords(raw)
+			if err := p.WriteBytes(m.Addr, raw); err != nil {
+				return errMsg("store %#x: %v", m.Addr, err)
+			}
+			return &Msg{Kind: MOK}
+		}
+		if f := p.StoreFloat(m.Addr, size, v); f != nil {
+			return errMsg("store %#x: %v", m.Addr, f)
+		}
+		return &Msg{Kind: MOK}
+	case MFetchBytes:
+		if m.Size > maxDataLen {
+			return errMsg("fetch too large")
+		}
+		out := make([]byte, m.Size)
+		if err := p.ReadBytes(m.Addr, out); err != nil {
+			return errMsg("fetch %#x: %v", m.Addr, err)
+		}
+		return &Msg{Kind: MBytes, Data: out}
+	case MStoreBytes:
+		if err := p.WriteBytes(m.Addr, m.Data); err != nil {
+			return errMsg("store %#x: %v", m.Addr, err)
+		}
+		return &Msg{Kind: MOK}
+	default:
+		return errMsg("unexpected request %v", m.Kind)
+	}
+}
+
+// Serve handles one debugger connection: it announces the target,
+// replays the pending event, then services requests until told to
+// continue (which runs the target to its next event), to terminate, or
+// to break the connection. On connection loss it returns with target
+// state preserved, ready for a new Serve.
+func (n *Nub) Serve(conn io.ReadWriter) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead {
+		return fmt.Errorf("nub: target terminated")
+	}
+	welcome := &Msg{
+		Kind: MWelcome,
+		Addr: n.ctxAddr,
+		Size: uint32(n.P.A.Context().Size),
+		Data: []byte(n.P.A.Name()),
+	}
+	if err := WriteMsg(conn, welcome); err != nil {
+		return err
+	}
+	if n.pending == nil {
+		n.runAndLatch()
+	}
+	if err := WriteMsg(conn, n.pending); err != nil {
+		return err
+	}
+	for {
+		req, err := ReadMsg(conn)
+		if err != nil {
+			return err // connection broken; state preserved
+		}
+		switch req.Kind {
+		case MContinue:
+			if n.P.State == machine.StateExited {
+				if err := WriteMsg(conn, &Msg{Kind: MExited, Code: int32(n.P.ExitCode)}); err != nil {
+					return err
+				}
+				continue
+			}
+			n.restoreContext()
+			n.runAndLatch()
+			if err := WriteMsg(conn, n.pending); err != nil {
+				return err
+			}
+		case MKill:
+			n.dead = true
+			n.P.State = machine.StateExited
+			_ = WriteMsg(conn, &Msg{Kind: MOK})
+			return nil
+		case MDetach:
+			_ = WriteMsg(conn, &Msg{Kind: MOK})
+			return nil
+		default:
+			if err := WriteMsg(conn, n.handle(req)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ServeListener accepts connections one at a time, preserving target
+// state between them, until the target is killed or the listener
+// closes. This is how a process waits on the network for a debugger.
+func (n *Nub) ServeListener(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		err = n.Serve(conn)
+		_ = conn.Close()
+		n.mu.Lock()
+		dead := n.dead
+		n.mu.Unlock()
+		if err == nil && dead {
+			return
+		}
+	}
+}

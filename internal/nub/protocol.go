@@ -1,0 +1,154 @@
+// Package nub implements ldb's debug nub and the little-endian
+// communication protocol between ldb and the nub (§4.2 of the paper).
+//
+// The nub is loaded with the target program (here: attached to the
+// simulated process); at startup it gets control from the pause trap in
+// the startup code, and thereafter a signal handler gets control when
+// the target faults or hits a breakpoint. The nub notifies ldb of the
+// signal — passing a signal number, an associated code, and a context
+// holding the registers — then services fetch and store requests until
+// told to continue execution, to terminate, or to break the connection.
+// When a connection breaks, even by a debugger crash, the nub preserves
+// the state of the target program and waits for a new connection.
+//
+// Deliberately, the protocol does not mention breakpoints or
+// single-stepping (§6): breakpoints are implemented entirely in ldb
+// using fetches and stores.
+package nub
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MsgKind identifies a protocol message.
+type MsgKind uint8
+
+// Requests (debugger → nub) and replies/events (nub → debugger).
+const (
+	// requests
+	MHello MsgKind = iota + 1
+	MFetchInt
+	MStoreInt
+	MFetchFloat
+	MStoreFloat
+	MFetchBytes
+	MStoreBytes
+	MContinue
+	MKill
+	MDetach
+	// §7.1's protocol enrichment: stores used only for planting
+	// breakpoints, so the nub can report to a NEW debugger the
+	// instructions overwritten by a lost one.
+	MPlantStore
+	MUnplantStore
+	MListPlanted
+	// replies and events
+	MWelcome
+	MValue
+	MFValue
+	MBytes
+	MOK
+	MError
+	MEvent
+	MExited
+	MPlanted
+)
+
+func (k MsgKind) String() string {
+	names := map[MsgKind]string{
+		MHello: "hello", MFetchInt: "fetchint", MStoreInt: "storeint",
+		MFetchFloat: "fetchfloat", MStoreFloat: "storefloat",
+		MFetchBytes: "fetchbytes", MStoreBytes: "storebytes",
+		MContinue: "continue", MKill: "kill", MDetach: "detach",
+		MPlantStore: "plantstore", MUnplantStore: "unplantstore",
+		MListPlanted: "listplanted", MPlanted: "planted",
+		MWelcome: "welcome", MValue: "value", MFValue: "fvalue",
+		MBytes: "bytes", MOK: "ok", MError: "error",
+		MEvent: "event", MExited: "exited",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("msg(%d)", uint8(k))
+}
+
+// Msg is one protocol message. All integer fields travel little-endian
+// regardless of either machine's byte order; the protocol has been used
+// on all combinations of host and target byte orders (§4.2).
+type Msg struct {
+	Kind  MsgKind
+	Space byte   // 'c' or 'd' for memory requests
+	Size  uint32 // access size
+	Addr  uint32
+	Val   uint64 // integer value or float bits
+	Code  int32  // signal code / error code / exit status
+	Sig   int32  // signal number in events
+	Data  []byte // bytes payload; arch name in Welcome
+}
+
+// maxDataLen bounds a message's byte payload.
+const maxDataLen = 1 << 20
+
+// WriteMsg encodes m to w in the little-endian wire format.
+func WriteMsg(w io.Writer, m *Msg) error {
+	if len(m.Data) > maxDataLen {
+		return fmt.Errorf("nub: message payload too large (%d)", len(m.Data))
+	}
+	var hdr [27]byte
+	hdr[0] = byte(m.Kind)
+	hdr[1] = m.Space
+	binary.LittleEndian.PutUint32(hdr[2:], m.Size)
+	binary.LittleEndian.PutUint32(hdr[6:], m.Addr)
+	binary.LittleEndian.PutUint64(hdr[10:], m.Val)
+	binary.LittleEndian.PutUint32(hdr[18:], uint32(m.Code))
+	binary.LittleEndian.PutUint32(hdr[22:], uint32(m.Sig))
+	hdr[26] = 0 // reserved
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(m.Data)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	if len(m.Data) > 0 {
+		if _, err := w.Write(m.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadMsg decodes one message from r.
+func ReadMsg(r io.Reader) (*Msg, error) {
+	var hdr [27]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	m := &Msg{
+		Kind:  MsgKind(hdr[0]),
+		Space: hdr[1],
+		Size:  binary.LittleEndian.Uint32(hdr[2:]),
+		Addr:  binary.LittleEndian.Uint32(hdr[6:]),
+		Val:   binary.LittleEndian.Uint64(hdr[10:]),
+		Code:  int32(binary.LittleEndian.Uint32(hdr[18:])),
+		Sig:   int32(binary.LittleEndian.Uint32(hdr[22:])),
+	}
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, err
+	}
+	dlen := binary.LittleEndian.Uint32(n[:])
+	if dlen > maxDataLen {
+		return nil, fmt.Errorf("nub: message payload too large (%d)", dlen)
+	}
+	if dlen > 0 {
+		m.Data = make([]byte, dlen)
+		if _, err := io.ReadFull(r, m.Data); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,109 @@
+package nub
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+	"ldb/internal/arch/mips"
+	"ldb/internal/machine"
+)
+
+// TestReadMsgRejectsGarbage feeds random bytes to the decoder: it must
+// return an error or a message, never panic, and never allocate
+// unboundedly.
+func TestReadMsgRejectsGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(64)
+		buf := make([]byte, n)
+		r.Read(buf)
+		_, _ = ReadMsg(bytes.NewReader(buf))
+	}
+	// A header promising a giant payload is rejected before allocation.
+	var m bytes.Buffer
+	WriteMsg(&m, &Msg{Kind: MFetchBytes})
+	b := m.Bytes()
+	// Patch the length field (last 4 bytes of the header area).
+	b[27], b[28], b[29], b[30] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadMsg(bytes.NewReader(b)); err == nil {
+		t.Fatal("giant payload accepted")
+	}
+}
+
+func TestServeAfterKill(t *testing.T) {
+	a := mips.Little
+	as := mips.NewAsm(a)
+	as.Break(arch.TrapPause)
+	as.LI(mips.V0, arch.SysExit)
+	as.LI(mips.A0, 0)
+	as.Syscall()
+	code, _, _ := as.Finish()
+	p := machine.New(a, code, nil, machine.TextBase)
+	n := New(p)
+	n.Start()
+	c, err := Pair(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	// A later Serve refuses: the target is gone.
+	var buf bytes.Buffer
+	if err := n.Serve(struct {
+		io.Reader
+		io.Writer
+	}{&buf, &buf}); err == nil {
+		t.Fatal("serve after kill succeeded")
+	}
+}
+
+func TestContinueAfterExitReportsExit(t *testing.T) {
+	a := mips.Little
+	as := mips.NewAsm(a)
+	as.Break(arch.TrapPause)
+	as.LI(mips.V0, arch.SysExit)
+	as.LI(mips.A0, 5)
+	as.Syscall()
+	code, _, _ := as.Finish()
+	c, _, _, err := Launch(a, code, nil, machine.TextBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.Continue()
+	if err != nil || !ev.Exited || ev.Status != 5 {
+		t.Fatalf("%v %v", ev, err)
+	}
+	// Further continues keep reporting the exit rather than wedging.
+	ev, err = c.Continue()
+	if err != nil || !ev.Exited {
+		t.Fatalf("second continue: %v %v", ev, err)
+	}
+}
+
+func TestFetchBoundsThroughProtocol(t *testing.T) {
+	a := mips.Little
+	as := mips.NewAsm(a)
+	as.Break(arch.TrapPause)
+	code, _, _ := as.Finish()
+	c, _, _, err := Launch(a, code, make([]byte, 32), machine.TextBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Straddling the end of a segment fails cleanly.
+	if _, err := c.FetchInt(amem.Data, machine.DataBase+30, 4); err == nil {
+		t.Fatal("straddling fetch accepted")
+	}
+	// Huge byte fetches are rejected.
+	if _, err := c.FetchBytes(amem.Data, machine.DataBase, 1<<21); err == nil {
+		t.Fatal("giant fetch accepted")
+	}
+	// After errors the connection still works.
+	if _, err := c.FetchInt(amem.Data, machine.DataBase, 4); err != nil {
+		t.Fatal(err)
+	}
+}

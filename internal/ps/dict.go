@@ -1,0 +1,144 @@
+package ps
+
+import "fmt"
+
+// dictKey is the comparable projection of an object used as a dictionary
+// key. Names and strings share key space (as in PostScript), and integer
+// and real keys with the same value collide, matching `eq`.
+type dictKey struct {
+	kind Kind
+	s    string
+	n    float64
+	b    bool
+	p    any
+}
+
+func keyOf(o Object) (dictKey, error) {
+	switch o.Kind {
+	case KName, KString:
+		return dictKey{kind: KName, s: o.S}, nil
+	case KInt:
+		return dictKey{kind: KInt, n: float64(o.I)}, nil
+	case KReal:
+		return dictKey{kind: KInt, n: o.R}, nil
+	case KBool:
+		return dictKey{kind: KBool, b: o.B}, nil
+	case KNull:
+		return dictKey{kind: KNull}, nil
+	case KArray:
+		return dictKey{kind: KArray, p: o.A}, nil
+	case KDict:
+		return dictKey{kind: KDict, p: o.D}, nil
+	case KOperator:
+		return dictKey{kind: KOperator, p: o.Op}, nil
+	case KExt:
+		return dictKey{kind: KExt, p: o.X}, nil
+	default:
+		return dictKey{}, typecheck("dict key", o)
+	}
+}
+
+type dictEntry struct {
+	key Object
+	val Object
+}
+
+// Dict is a PostScript dictionary. Iteration order is insertion order,
+// so `forall` and `==` are deterministic.
+type Dict struct {
+	m     map[dictKey]int
+	items []dictEntry
+}
+
+// NewDict returns an empty dictionary. The capacity hint may be zero;
+// dictionaries grow without bound, as in Level-2 PostScript.
+func NewDict(capacity int) *Dict {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Dict{m: make(map[dictKey]int, capacity)}
+}
+
+// Len returns the number of key/value pairs.
+func (d *Dict) Len() int { return len(d.items) }
+
+// Get looks up key; ok reports whether it was present.
+func (d *Dict) Get(key Object) (Object, bool) {
+	k, err := keyOf(key)
+	if err != nil {
+		return Object{}, false
+	}
+	i, ok := d.m[k]
+	if !ok {
+		return Object{}, false
+	}
+	return d.items[i].val, true
+}
+
+// GetName looks up a name key given as a Go string.
+func (d *Dict) GetName(name string) (Object, bool) {
+	return d.Get(LitName(name))
+}
+
+// Put stores val under key, replacing any existing binding.
+func (d *Dict) Put(key, val Object) error {
+	k, err := keyOf(key)
+	if err != nil {
+		return err
+	}
+	if i, ok := d.m[k]; ok {
+		d.items[i].val = val
+		return nil
+	}
+	d.m[k] = len(d.items)
+	d.items = append(d.items, dictEntry{key: key, val: val})
+	return nil
+}
+
+// PutName stores val under the name key given as a Go string.
+func (d *Dict) PutName(name string, val Object) {
+	if err := d.Put(LitName(name), val); err != nil {
+		panic(fmt.Sprintf("ps: PutName(%q): %v", name, err))
+	}
+}
+
+// Undef removes key if present.
+func (d *Dict) Undef(key Object) {
+	k, err := keyOf(key)
+	if err != nil {
+		return
+	}
+	i, ok := d.m[k]
+	if !ok {
+		return
+	}
+	delete(d.m, k)
+	d.items = append(d.items[:i], d.items[i+1:]...)
+	for j := i; j < len(d.items); j++ {
+		kj, _ := keyOf(d.items[j].key)
+		d.m[kj] = j
+	}
+}
+
+// Keys returns the keys in insertion order.
+func (d *Dict) Keys() []Object {
+	keys := make([]Object, len(d.items))
+	for i, it := range d.items {
+		keys[i] = it.key
+	}
+	return keys
+}
+
+// ForAll calls f on each pair in insertion order; a non-nil error stops
+// the iteration and is returned.
+func (d *Dict) ForAll(f func(k, v Object) error) error {
+	// Iterate over a snapshot so that f may mutate d.
+	snapshot := make([]dictEntry, len(d.items))
+	copy(snapshot, d.items)
+	for _, it := range snapshot {
+		if err := f(it.key, it.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package ps
+
+import (
+	"io"
+	"strings"
+)
+
+// Pretty is a small prettyprinter in the spirit of the one supplied with
+// Modula-3 (§5): PostScript code that prints structured data calls it
+// through the Put, Break, Begin, and End operators. Begin/End bracket a
+// group with an indentation amount; Break marks an optional break point
+// that becomes a newline (indented to the enclosing group) only when the
+// current line would overflow the width.
+type Pretty struct {
+	w      io.Writer
+	Width  int
+	col    int
+	indent []int
+	err    error
+}
+
+// NewPretty returns a prettyprinter writing to w with the default width.
+func NewPretty(w io.Writer) *Pretty {
+	return &Pretty{w: w, Width: 79}
+}
+
+func (p *Pretty) write(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s)
+}
+
+// Put emits text on the current line.
+func (p *Pretty) Put(s string) {
+	for {
+		nl := strings.IndexByte(s, '\n')
+		if nl < 0 {
+			break
+		}
+		p.write(s[:nl+1])
+		p.col = 0
+		s = s[nl+1:]
+	}
+	p.write(s)
+	p.col += len(s)
+}
+
+// Begin opens a group whose continuation lines indent by extra columns
+// relative to the column at which the group began.
+func (p *Pretty) Begin(extra int) {
+	p.indent = append(p.indent, p.col+extra)
+}
+
+// End closes the innermost group.
+func (p *Pretty) End() {
+	if len(p.indent) > 0 {
+		p.indent = p.indent[:len(p.indent)-1]
+	}
+}
+
+// Break emits a newline (plus indentation) if the line is already past
+// the width less slack columns; otherwise it emits nothing.
+func (p *Pretty) Break(slack int) {
+	if p.col+slack < p.Width {
+		return
+	}
+	ind := 0
+	if len(p.indent) > 0 {
+		ind = p.indent[len(p.indent)-1]
+	}
+	p.write("\n")
+	p.write(strings.Repeat(" ", ind))
+	p.col = ind
+}
+
+// Err reports the first write error, if any.
+func (p *Pretty) Err() error { return p.err }
+
+// registerPrettyOps installs the prettyprinter interface used by the
+// PostScript code that prints structured data.
+func registerPrettyOps(in *Interp) {
+	in.Register("Put", func(in *Interp) error {
+		o, err := in.Pop()
+		if err != nil {
+			return err
+		}
+		in.Pretty.Put(Cvs(o))
+		return in.Pretty.Err()
+	})
+	in.Register("Begin", func(in *Interp) error {
+		n, err := in.PopInt("Begin")
+		if err != nil {
+			return err
+		}
+		in.Pretty.Begin(int(n))
+		return nil
+	})
+	in.Register("End", func(in *Interp) error {
+		in.Pretty.End()
+		return nil
+	})
+	in.Register("Break", func(in *Interp) error {
+		n, err := in.PopInt("Break")
+		if err != nil {
+			return err
+		}
+		in.Pretty.Break(int(n))
+		return nil
+	})
+}

@@ -1,0 +1,323 @@
+package ps
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genObject builds a bounded random object tree from raw fuzz inputs.
+func genObject(ints []int64, strs []string, depth int) Object {
+	pick := func(i int) int64 {
+		if len(ints) == 0 {
+			return 0
+		}
+		return ints[i%len(ints)]
+	}
+	kind := int(pick(depth)) % 6
+	if kind < 0 {
+		kind = -kind
+	}
+	if depth <= 0 {
+		kind %= 4
+	}
+	switch kind {
+	case 0:
+		return Int(pick(depth + 1))
+	case 1:
+		v := float64(pick(depth+2)) / 8
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 1.5
+		}
+		return Real(v)
+	case 2:
+		if len(strs) == 0 {
+			return Str("")
+		}
+		return Str(strs[depth%len(strs)])
+	case 3:
+		return Boolean(pick(depth)%2 == 0)
+	case 4:
+		n := int(pick(depth)%3) + 1
+		var elems []Object
+		for i := 0; i < n; i++ {
+			elems = append(elems, genObject(ints, strs, depth-1))
+		}
+		return ArrayObj(elems...)
+	default:
+		d := NewDict(2)
+		d.PutName("k", genObject(ints, strs, depth-1))
+		return DictObj(d)
+	}
+}
+
+// structurallyEqual compares objects by value (composites by content,
+// unlike Equal's identity semantics).
+func structurallyEqual(a, b Object) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KInt:
+		return a.I == b.I
+	case KReal:
+		return a.R == b.R
+	case KString, KName:
+		return a.S == b.S
+	case KBool:
+		return a.B == b.B
+	case KArray:
+		if len(a.A.E) != len(b.A.E) {
+			return false
+		}
+		for i := range a.A.E {
+			if !structurallyEqual(a.A.E[i], b.A.E[i]) {
+				return false
+			}
+		}
+		return true
+	case KDict:
+		if a.D.Len() != b.D.Len() {
+			return false
+		}
+		for _, k := range a.D.Keys() {
+			av, _ := a.D.Get(k)
+			bv, ok := b.D.Get(k)
+			if !ok || !structurallyEqual(av, bv) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// TestFormatScanRoundTripProperty: the == rendering of any literal
+// object scans back to a structurally equal object. This is what makes
+// deferral (§5) sound: a quoted body re-scans to the same data.
+func TestFormatScanRoundTripProperty(t *testing.T) {
+	f := func(ints []int64, strs []string) bool {
+		// Strings must be valid byte content; the scanner handles any
+		// escaped byte, but raw NULs inside the generator's Go strings
+		// are fine since Format escapes only what it must — restrict to
+		// printable input to keep the property crisp.
+		var cleaned []string
+		for _, s := range strs {
+			var b strings.Builder
+			for _, r := range s {
+				if r >= 32 && r < 127 {
+					b.WriteRune(r)
+				}
+			}
+			cleaned = append(cleaned, b.String())
+		}
+		obj := genObject(ints, cleaned, 3)
+		in := New()
+		if err := in.RunString(Format(obj)); err != nil {
+			return false
+		}
+		if len(in.Stack) != 1 {
+			return false
+		}
+		return structurallyEqual(obj, in.Stack[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRollProperty: n j roll is a rotation — applying it n times with
+// j=1 restores the stack.
+func TestRollProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		n := len(vals)
+		if n == 0 || n > 20 {
+			return true
+		}
+		in := New()
+		for _, v := range vals {
+			in.Push(Int(v))
+		}
+		for i := 0; i < n; i++ {
+			in.Push(Int(int64(n)), Int(1))
+			if err := in.RunString("roll"); err != nil {
+				return false
+			}
+		}
+		for i, v := range vals {
+			if in.Stack[i].I != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDictPutGetProperty: what you put is what you get, and Len counts
+// distinct keys.
+func TestDictPutGetProperty(t *testing.T) {
+	f := func(keys []string, vals []int64) bool {
+		d := NewDict(0)
+		want := map[string]int64{}
+		for i, k := range keys {
+			var v int64
+			if len(vals) > 0 {
+				v = vals[i%len(vals)]
+			}
+			d.PutName(k, Int(v))
+			want[k] = v
+		}
+		if d.Len() != len(want) {
+			return false
+		}
+		for k, v := range want {
+			got, ok := d.GetName(k)
+			if !ok || got.I != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArithEvalProperty: PS integer arithmetic matches Go's int64.
+func TestArithEvalProperty(t *testing.T) {
+	in := New()
+	f := func(a, b int64) bool {
+		in.Stack = in.Stack[:0]
+		in.Push(Int(a), Int(b))
+		if err := in.RunString("add"); err != nil || in.Stack[0].I != a+b {
+			return false
+		}
+		in.Stack = in.Stack[:0]
+		in.Push(Int(a), Int(b))
+		if err := in.RunString("mul"); err != nil || in.Stack[0].I != a*b {
+			return false
+		}
+		if b != 0 {
+			in.Stack = in.Stack[:0]
+			in.Push(Int(a), Int(b))
+			if err := in.RunString("idiv"); err != nil || in.Stack[0].I != a/b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrettyLineBreaking(t *testing.T) {
+	in := New()
+	var buf strings.Builder
+	in.Stdout = &buf
+	in.Pretty.Width = 24
+	// An array print through the debugger's own mechanism: long content
+	// breaks at Break points and indents to the Begin column.
+	src := `({) Put 2 Begin 1 1 12 { (, ) Put 0 Break (element) Put } for End (}) Put`
+	if err := in.RunString(src); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\n") {
+		t.Fatalf("no line breaks in %q", out)
+	}
+	for _, line := range strings.Split(out, "\n")[1:] {
+		if line != "" && !strings.HasPrefix(line, "  ") {
+			t.Fatalf("continuation not indented: %q", line)
+		}
+	}
+}
+
+func TestExitInsideForallAndRepeat(t *testing.T) {
+	in := New()
+	if err := in.RunString("0 [1 2 3 4 5] { dup 3 eq {pop exit} if add } forall"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Stack[len(in.Stack)-1].I != 3 {
+		t.Fatalf("forall exit: %v", in.Stack)
+	}
+	in = New()
+	if err := in.RunString("0 10 { 1 add dup 4 eq {exit} if } repeat"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Stack[len(in.Stack)-1].I != 4 {
+		t.Fatalf("repeat exit: %v", in.Stack)
+	}
+}
+
+func TestNestedStopped(t *testing.T) {
+	in := New()
+	if err := in.RunString("{ {stop} stopped } stopped"); err != nil {
+		t.Fatal(err)
+	}
+	// inner stopped caught the stop → true; outer sees no stop → false.
+	if len(in.Stack) != 2 || in.Stack[0].B != true || in.Stack[1].B != false {
+		t.Fatalf("nested stopped: %v", in.Stack)
+	}
+}
+
+func TestDeepNestingScan(t *testing.T) {
+	// Deeply nested procedures scan and execute without trouble.
+	src := strings.Repeat("{ ", 50) + "42" + strings.Repeat(" }", 50) + strings.Repeat(" exec", 50)
+	in := New()
+	if err := in.RunString(src); err != nil {
+		t.Fatal(err)
+	}
+	if in.Stack[0].I != 42 {
+		t.Fatalf("nested exec: %v", in.Stack)
+	}
+}
+
+// TestInterpreterSurvivesGarbage: random token soup must terminate
+// with a normal error, never panic or hang (MaxSteps bounds loops).
+func TestInterpreterSurvivesGarbage(t *testing.T) {
+	tokens := []string{
+		"1", "2.5", "(s)", "/n", "name", "add", "sub", "mul", "idiv",
+		"dup", "pop", "exch", "roll", "index", "copy", "def", "load",
+		"begin", "end", "dict", "get", "put", "known", "if", "ifelse",
+		"for", "repeat", "loop", "exit", "stop", "stopped", "forall",
+		"[", "]", "<<", ">>", "{", "}", "cvx", "cvlit", "cvi", "cvs",
+		"exec", "mark", "cleartomark", "aload", "astore", "length",
+		"16#ff", "true", "false", "null", "==", "=",
+	}
+	r := newDetRand(99)
+	for i := 0; i < 400; i++ {
+		n := r(50)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteString(tokens[r(len(tokens))])
+			b.WriteByte(' ')
+		}
+		in := New()
+		in.MaxSteps = 200_000
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("panic on %q: %v", b.String(), p)
+				}
+			}()
+			_ = in.RunString(b.String())
+		}()
+	}
+}
+
+// newDetRand is a tiny deterministic generator (xorshift) so the fuzz
+// corpus is reproducible without importing math/rand here.
+func newDetRand(seed uint64) func(int) int {
+	s := seed
+	return func(n int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(n))
+	}
+}

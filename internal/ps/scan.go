@@ -1,0 +1,296 @@
+package ps
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Scanner reads PostScript tokens. `{ ... }` bodies are scanned into
+// executable arrays; `[`, `]`, `<<`, and `>>` are returned as executable
+// names and interpreted by operators of the same name.
+type Scanner struct {
+	r    *bufio.Reader
+	name string
+	line int
+}
+
+// NewScanner returns a scanner reading from r; name labels errors.
+func NewScanner(r io.Reader, name string) *Scanner {
+	return &Scanner{r: bufio.NewReader(r), name: name, line: 1}
+}
+
+// NewStringScanner scans the given source text.
+func NewStringScanner(src, name string) *Scanner {
+	return NewScanner(strings.NewReader(src), name)
+}
+
+func (s *Scanner) errf(format string, args ...any) error {
+	return &Error{Name: "syntaxerror", Cmd: fmt.Sprintf("%s:%d: %s", s.name, s.line, fmt.Sprintf(format, args...))}
+}
+
+func (s *Scanner) readByte() (byte, error) {
+	c, err := s.r.ReadByte()
+	if c == '\n' {
+		s.line++
+	}
+	return c, err
+}
+
+func (s *Scanner) unread(c byte) {
+	if c == '\n' {
+		s.line--
+	}
+	_ = s.r.UnreadByte()
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == 0
+}
+
+func isDelim(c byte) bool {
+	switch c {
+	case '(', ')', '<', '>', '[', ']', '{', '}', '/', '%':
+		return true
+	}
+	return false
+}
+
+// Next returns the next token, or io.EOF when the input is exhausted.
+func (s *Scanner) Next() (Object, error) {
+	for {
+		c, err := s.readByte()
+		if err != nil {
+			return Object{}, err
+		}
+		switch {
+		case isSpace(c):
+			continue
+		case c == '%':
+			for {
+				c, err = s.readByte()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return Object{}, err
+				}
+				if c == '\n' {
+					break
+				}
+			}
+			continue
+		case c == '(':
+			return s.scanString()
+		case c == '{':
+			return s.scanProc()
+		case c == '}':
+			return Object{}, s.errf("unmatched }")
+		case c == '/':
+			name, err := s.scanName()
+			if err != nil {
+				return Object{}, err
+			}
+			return LitName(name), nil
+		case c == '[' || c == ']':
+			return ExecName(string(c)), nil
+		case c == '<':
+			c2, err := s.readByte()
+			if err == nil && c2 == '<' {
+				return ExecName("<<"), nil
+			}
+			if err == nil {
+				s.unread(c2)
+			}
+			return Object{}, s.errf("hex strings are not in the dialect")
+		case c == '>':
+			c2, err := s.readByte()
+			if err == nil && c2 == '>' {
+				return ExecName(">>"), nil
+			}
+			if err == nil {
+				s.unread(c2)
+			}
+			return Object{}, s.errf("unexpected >")
+		case c == ')':
+			return Object{}, s.errf("unmatched )")
+		default:
+			s.unread(c)
+			word, err := s.scanWord()
+			if err != nil {
+				return Object{}, err
+			}
+			if o, ok := parseNumber(word); ok {
+				return o, nil
+			}
+			return ExecName(word), nil
+		}
+	}
+}
+
+func (s *Scanner) scanWord() (string, error) {
+	var b strings.Builder
+	for {
+		c, err := s.readByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", err
+		}
+		if isSpace(c) || isDelim(c) {
+			s.unread(c)
+			break
+		}
+		b.WriteByte(c)
+	}
+	if b.Len() == 0 {
+		return "", s.errf("empty token")
+	}
+	return b.String(), nil
+}
+
+func (s *Scanner) scanName() (string, error) {
+	var b strings.Builder
+	for {
+		c, err := s.readByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", err
+		}
+		if isSpace(c) || isDelim(c) {
+			s.unread(c)
+			break
+		}
+		b.WriteByte(c)
+	}
+	return b.String(), nil
+}
+
+func (s *Scanner) scanString() (Object, error) {
+	var b strings.Builder
+	depth := 1
+	for {
+		c, err := s.readByte()
+		if err != nil {
+			return Object{}, s.errf("unterminated string")
+		}
+		switch c {
+		case '\\':
+			c2, err := s.readByte()
+			if err != nil {
+				return Object{}, s.errf("unterminated string escape")
+			}
+			switch c2 {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case '\n':
+				// line continuation: nothing
+			case '(', ')', '\\':
+				b.WriteByte(c2)
+			default:
+				if c2 >= '0' && c2 <= '7' {
+					v := int(c2 - '0')
+					for i := 0; i < 2; i++ {
+						c3, err := s.readByte()
+						if err != nil {
+							break
+						}
+						if c3 < '0' || c3 > '7' {
+							s.unread(c3)
+							break
+						}
+						v = v*8 + int(c3-'0')
+					}
+					b.WriteByte(byte(v))
+				} else {
+					b.WriteByte(c2)
+				}
+			}
+		case '(':
+			depth++
+			b.WriteByte(c)
+		case ')':
+			depth--
+			if depth == 0 {
+				return Str(b.String()), nil
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func (s *Scanner) scanProc() (Object, error) {
+	var elems []Object
+	for {
+		c, err := s.readByte()
+		if err != nil {
+			return Object{}, s.errf("unterminated procedure")
+		}
+		if isSpace(c) {
+			continue
+		}
+		if c == '}' {
+			return Proc(elems...), nil
+		}
+		s.unread(c)
+		tok, err := s.Next()
+		if err != nil {
+			if err == io.EOF {
+				return Object{}, s.errf("unterminated procedure")
+			}
+			return Object{}, err
+		}
+		elems = append(elems, tok)
+	}
+}
+
+// parseNumber recognizes integers, reals, and radix literals like
+// 16#000023d8 (§3 uses radix-16 addresses in loader tables).
+func parseNumber(word string) (Object, bool) {
+	if word == "" {
+		return Object{}, false
+	}
+	if i := strings.IndexByte(word, '#'); i > 0 {
+		base, err := strconv.ParseInt(word[:i], 10, 32)
+		if err != nil || base < 2 || base > 36 {
+			return Object{}, false
+		}
+		v, err := strconv.ParseInt(word[i+1:], int(base), 64)
+		if err != nil {
+			// Addresses can fill 32 bits; retry unsigned.
+			u, uerr := strconv.ParseUint(word[i+1:], int(base), 64)
+			if uerr != nil {
+				return Object{}, false
+			}
+			return Int(int64(u)), true
+		}
+		return Int(v), true
+	}
+	if v, err := strconv.ParseInt(word, 10, 64); err == nil {
+		return Int(v), true
+	}
+	if v, err := strconv.ParseFloat(word, 64); err == nil {
+		// Require a leading digit, sign, or dot so that names such as
+		// `e10` are not misread as numbers.
+		c := word[0]
+		if (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' {
+			return Real(v), true
+		}
+	}
+	return Object{}, false
+}

@@ -1,0 +1,176 @@
+package stab
+
+import (
+	"bytes"
+	"compress/lzw"
+	"strings"
+	"testing"
+
+	"ldb/internal/cc"
+	"ldb/internal/symtab"
+	"ldb/internal/workload"
+)
+
+var conf = &cc.TargetConf{Name: "sparc", LDoubleSize: 8}
+
+func compile(t *testing.T, src, file string) *cc.Unit {
+	t.Helper()
+	u, err := cc.Compile(src, file, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestRoundTrip(t *testing.T) {
+	u := compile(t, workload.Fib, "fib.c")
+	data := Emit([]*cc.Unit{u})
+	tbl, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Syms) != len(u.Syms) {
+		t.Fatalf("syms = %d, want %d", len(tbl.Syms), len(u.Syms))
+	}
+	byName := map[string]Sym{}
+	for _, s := range tbl.Syms {
+		byName[s.Name] = s
+	}
+	a := byName["a"]
+	if a.Where != WhereAnchor || a.Label != u.AnchorSym {
+		t.Fatalf("a: %+v", a)
+	}
+	if tbl.Types[a.Type][0] != 'A' {
+		t.Fatalf("a's type descriptor: %q", tbl.Types[a.Type])
+	}
+	i := byName["i"]
+	if i.Where != WhereFrame {
+		t.Fatalf("i: %+v", i)
+	}
+	// The uplink tree survives: i's uplink is a, a's is n.
+	if tbl.Syms[i.Uplink].Name != "a" {
+		t.Fatalf("i.Uplink → %s", tbl.Syms[i.Uplink].Name)
+	}
+	if tbl.Syms[tbl.Syms[i.Uplink].Uplink].Name != "n" {
+		t.Fatal("a.Uplink is not n")
+	}
+	// Stops survive with visibility.
+	nstops := 0
+	for _, st := range tbl.Stops {
+		if tbl.Syms[st.Func].Name == "fib" {
+			nstops++
+		}
+	}
+	if nstops != 14 {
+		t.Fatalf("fib stops = %d", nstops)
+	}
+}
+
+func TestTypeSharing(t *testing.T) {
+	u := compile(t, `int a; int b; int c[4]; int d[4];`, "t.c")
+	data := Emit([]*cc.Unit{u})
+	tbl, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Sym{}
+	for _, s := range tbl.Syms {
+		byName[s.Name] = s
+	}
+	if byName["a"].Type != byName["b"].Type {
+		t.Error("int type not interned")
+	}
+	// c and d have structurally equal but distinct array types; the
+	// descriptors must at least reference the same element type.
+	tc, td := tbl.Types[byName["c"].Type], tbl.Types[byName["d"].Type]
+	if tc != td {
+		t.Errorf("array descriptors differ: %q vs %q", tc, td)
+	}
+}
+
+func TestStructDescriptors(t *testing.T) {
+	u := compile(t, `struct p { char tag; int x; struct p *next; }; struct p head;`, "t.c")
+	tbl, err := Read(Emit([]*cc.Unit{u}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var head Sym
+	for _, s := range tbl.Syms {
+		if s.Name == "head" {
+			head = s
+		}
+	}
+	d := tbl.Types[head.Type]
+	if d[0] != 'S' {
+		t.Fatalf("struct descriptor: %q", d)
+	}
+	// Recursive struct: the pointer member refers back by index without
+	// looping the encoder.
+	if len(tbl.Types) < 3 {
+		t.Fatalf("types: %v", tbl.Types)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Read([]byte{1, 2, 3}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := Read([]byte("XXXXGARBAGE")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	u := compile(t, `int x;`, "t.c")
+	data := Emit([]*cc.Unit{u})
+	if _, err := Read(data[:len(data)/2]); err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+// TestSizeRatioVsPostScript reproduces the shape of §7's measurement:
+// the PostScript symbol table is several times larger than stabs raw,
+// and the gap narrows substantially after compression.
+func TestSizeRatioVsPostScript(t *testing.T) {
+	src := workload.Big(2000)
+	u := compile(t, src, "big.c")
+	stabs := Emit([]*cc.Unit{u})
+	pts := symtab.EmitProgramPS([]*cc.Unit{u}, conf.Name)
+
+	rawRatio := float64(len(pts)) / float64(len(stabs))
+	compress := func(b []byte) int {
+		var buf bytes.Buffer
+		w := lzw.NewWriter(&buf, lzw.LSB, 8)
+		w.Write(b)
+		w.Close()
+		return buf.Len()
+	}
+	compRatio := float64(compress([]byte(pts))) / float64(compress(stabs))
+	t.Logf("PostScript %d bytes, stabs %d bytes: raw ratio %.1f, compressed ratio %.1f (paper: ~9 and ~2)",
+		len(pts), len(stabs), rawRatio, compRatio)
+	if rawRatio < 3 {
+		t.Errorf("raw ratio %.1f: PostScript should be several times larger than stabs", rawRatio)
+	}
+	if compRatio >= rawRatio {
+		t.Errorf("compression did not narrow the gap: %.1f vs %.1f", compRatio, rawRatio)
+	}
+}
+
+func TestUnionDescriptors(t *testing.T) {
+	u := compile(t, `union v { int i; double d; }; union v shared;`, "t.c")
+	tbl, err := Read(Emit([]*cc.Unit{u}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sym Sym
+	for _, s := range tbl.Syms {
+		if s.Name == "shared" {
+			sym = s
+		}
+	}
+	d := tbl.Types[sym.Type]
+	if len(d) == 0 || d[0] != 'U' {
+		t.Fatalf("union descriptor: %q", d)
+	}
+	// Members share offset 0 in the descriptor.
+	if !strings.Contains(d, "i:0:") || !strings.Contains(d, "d:0:") {
+		t.Fatalf("union member offsets: %q", d)
+	}
+}

@@ -1,0 +1,315 @@
+// Package symtab implements ldb's machine-independent PostScript symbol
+// tables (§2 of the paper): emission on the compiler side, reading and
+// name resolution on the debugger side.
+//
+// A symbol-table entry is a PostScript dictionary describing a source
+// identifier; uplink entries link the dictionaries into the tree of
+// Fig. 2; a procedure's entry carries its formals, its array of
+// stopping points (loci), and the statics dictionary of its compilation
+// unit. Symbol tables contain code as well as data — printer procedures
+// and where procedures that ldb interprets — so ldb need not know the
+// layout of runtime data structures.
+//
+// Following §5, the bulky parts (symbol entry bodies, loci arrays,
+// struct field tables) are emitted as quoted strings by default: their
+// lexical analysis is deferred until first use, and because procedures
+// interpreted at most once can be replaced with their results, the
+// reader swaps each string for its value on first access.
+package symtab
+
+import (
+	"fmt"
+	"strings"
+
+	"ldb/internal/cc"
+)
+
+// EmitOptions controls symbol-table emission.
+type EmitOptions struct {
+	// Prefix distinguishes units combined into one program ("U0", ...).
+	Prefix string
+	// Deferred quotes entry bodies as strings (§5's deferral).
+	Deferred bool
+}
+
+// psStr renders s as a PostScript string literal.
+func psStr(s string) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '(', ')', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// emitter builds one unit's PostScript.
+type emitter struct {
+	u    *cc.Unit
+	opts EmitOptions
+	b    strings.Builder
+	tids map[*cc.Type]int
+	tord []*cc.Type
+}
+
+func (e *emitter) sname(s *cc.Symbol) string {
+	return fmt.Sprintf("%sS%d", e.opts.Prefix, s.Seq)
+}
+
+func (e *emitter) tname(t *cc.Type) string {
+	return fmt.Sprintf("%sT%d", e.opts.Prefix, e.tids[t])
+}
+
+func (e *emitter) staticsName() string { return e.opts.Prefix + "STATICS" }
+
+func (e *emitter) collectType(t *cc.Type) {
+	if t == nil {
+		return
+	}
+	if _, ok := e.tids[t]; ok {
+		return
+	}
+	e.tids[t] = len(e.tord) + 1
+	e.tord = append(e.tord, t)
+	e.collectType(t.Base)
+	for _, f := range t.Fields {
+		e.collectType(f.Type)
+	}
+	for _, p := range t.Params {
+		e.collectType(p)
+	}
+}
+
+var printerNames = map[cc.TypeKind]string{
+	cc.TyVoid: "VOIDP", cc.TyChar: "CHAR", cc.TyShort: "SHORT",
+	cc.TyInt: "INT", cc.TyUInt: "UINT", cc.TyFloat: "FLOAT",
+	cc.TyDouble: "DOUBLE", cc.TyLDouble: "LDOUBLE", cc.TyPtr: "PTR",
+	cc.TyArray: "ARRAY", cc.TyStruct: "STRUCT", cc.TyUnion: "UNION", cc.TyFunc: "PROC",
+}
+
+// kindName returns the /kind string of a type dictionary.
+func kindName(k cc.TypeKind) string {
+	switch k {
+	case cc.TyPtr:
+		return "pointer"
+	case cc.TyArray:
+		return "array"
+	case cc.TyStruct:
+		return "struct"
+	case cc.TyUnion:
+		return "union"
+	case cc.TyFunc:
+		return "function"
+	default:
+		return "scalar"
+	}
+}
+
+// emitTypes declares all type dictionaries first (so recursive types
+// resolve), then fills them in.
+func (e *emitter) emitTypes() {
+	for _, t := range e.tord {
+		fmt.Fprintf(&e.b, "/%s 10 dict def\n", e.tname(t))
+	}
+	tc := e.u.Target
+	for _, t := range e.tord {
+		n := e.tname(t)
+		fmt.Fprintf(&e.b, "%s /decl %s put\n", n, psStr(t.Decl("%s")))
+		fmt.Fprintf(&e.b, "%s /printer {%s} put\n", n, printerNames[t.Kind])
+		fmt.Fprintf(&e.b, "%s /size %d put\n", n, t.Size(tc))
+		fmt.Fprintf(&e.b, "%s /kind %s put\n", n, psStr(kindName(t.Kind)))
+		switch t.Kind {
+		case cc.TyFloat:
+			fmt.Fprintf(&e.b, "%s /fsize 4 put\n", n)
+		case cc.TyDouble:
+			fmt.Fprintf(&e.b, "%s /fsize 8 put\n", n)
+		case cc.TyLDouble:
+			fsize := 8
+			if tc != nil && tc.LDoubleSize == 12 {
+				fsize = 10
+			}
+			fmt.Fprintf(&e.b, "%s /fsize %d put\n", n, fsize)
+		case cc.TyPtr, cc.TyFunc:
+			// A pointer's referent, or a function's return type.
+			fmt.Fprintf(&e.b, "%s /&basetype %s put\n", n, e.tname(t.Base))
+		case cc.TyArray:
+			fmt.Fprintf(&e.b, "%s /&elemtype %s put\n", n, e.tname(t.Base))
+			fmt.Fprintf(&e.b, "%s /&elemsize %d put\n", n, t.Base.Size(tc))
+			fmt.Fprintf(&e.b, "%s /&arraysize %d put\n", n, t.Len)
+		case cc.TyStruct, cc.TyUnion:
+			var fields strings.Builder
+			fields.WriteString("[ ")
+			for _, f := range t.Fields {
+				fmt.Fprintf(&fields, "[ %s %d %s ] ", psStr(f.Name), f.Off, e.tname(f.Type))
+			}
+			fields.WriteString("]")
+			if e.opts.Deferred {
+				fmt.Fprintf(&e.b, "%s /&fields %s put\n", n, psStr(fields.String()))
+			} else {
+				fmt.Fprintf(&e.b, "%s /&fields %s put\n", n, fields.String())
+			}
+			if t.Tag != "" {
+				fmt.Fprintf(&e.b, "%s /tag %s put\n", n, psStr(t.Tag))
+			}
+		}
+	}
+}
+
+// whereOf renders a symbol's location procedure. The forms are the
+// paper's: frame-resident symbols compute from the frame, statics go
+// through the anchor table (LazyData), and externals resolve through
+// the loader table.
+func (e *emitter) whereOf(s *cc.Symbol) string {
+	switch {
+	case s.Kind == cc.SymFunc:
+		return fmt.Sprintf("{ %s GlobalCode }", psStr(s.Label))
+	case s.Storage == cc.Auto:
+		return fmt.Sprintf("{ %d FrameOffset }", s.FrameOff)
+	case s.Storage == cc.Static:
+		return fmt.Sprintf("{ %s %d LazyData }", psStr(e.u.AnchorSym), s.AnchorIdx)
+	default:
+		return fmt.Sprintf("{ %s GlobalData }", psStr(s.Label))
+	}
+}
+
+// entryBody renders the dictionary body of one symbol-table entry.
+func (e *emitter) entryBody(s *cc.Symbol) string {
+	var b strings.Builder
+	b.WriteString("<<\n")
+	fmt.Fprintf(&b, "  /name %s\n", psStr(s.Name))
+	fmt.Fprintf(&b, "  /type %s\n", e.tname(s.Type))
+	fmt.Fprintf(&b, "  /sourcefile %s\n", psStr(s.Pos.File))
+	fmt.Fprintf(&b, "  /sourcey %d\n", s.Pos.Line)
+	fmt.Fprintf(&b, "  /sourcex %d\n", s.Pos.Col)
+	fmt.Fprintf(&b, "  /kind %s\n", psStr(s.Kind.String()))
+	if s.Kind != cc.SymFunc || s.Def != nil {
+		fmt.Fprintf(&b, "  /where %s\n", e.whereOf(s))
+	}
+	if s.Uplink != nil {
+		fmt.Fprintf(&b, "  /uplink /%s\n", e.sname(s.Uplink))
+	} else {
+		b.WriteString("  /uplink null\n")
+	}
+	b.WriteString(">>")
+	return b.String()
+}
+
+// lociBody renders a function's stopping-point array (each element has
+// a source location, an object location bound through the anchor
+// table, and the symbol visible there).
+func (e *emitter) lociBody(fn *cc.Func) string {
+	var b strings.Builder
+	b.WriteString("[\n")
+	for _, sp := range fn.Stops {
+		vis := "null"
+		if sp.Visible != nil {
+			vis = "/" + e.sname(sp.Visible)
+		}
+		fmt.Fprintf(&b, "  << /index %d /sourcey %d /sourcex %d /where { %s %d LazyCode } /visible %s >>\n",
+			sp.Index, sp.Pos.Line, sp.Pos.Col, psStr(e.u.AnchorSym), sp.AnchorIdx, vis)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// EmitUnitPS renders one unit's definitions. The caller composes units
+// into a program's top-level dictionary.
+func EmitUnitPS(u *cc.Unit, opts EmitOptions) string {
+	e := &emitter{u: u, opts: opts, tids: make(map[*cc.Type]int)}
+	for _, s := range u.Syms {
+		e.collectType(s.Type)
+	}
+	fmt.Fprintf(&e.b, "%% symbol table for %s\n", u.File)
+	e.emitTypes()
+	for _, s := range u.Syms {
+		body := e.entryBody(s)
+		if opts.Deferred {
+			fmt.Fprintf(&e.b, "/%s %s def\n", e.sname(s), psStr(body))
+		} else {
+			fmt.Fprintf(&e.b, "/%s %s def\n", e.sname(s), body)
+		}
+	}
+	// The unit's statics dictionary (file-scope statics).
+	fmt.Fprintf(&e.b, "/%s <<\n", e.staticsName())
+	for _, s := range u.Globals {
+		if s.Storage == cc.Static {
+			fmt.Fprintf(&e.b, "  /%s /%s\n", s.Name, e.sname(s))
+		}
+	}
+	e.b.WriteString(">> def\n")
+	// Attach formals, loci, and statics to procedure entries. When
+	// entries are deferred these land in side dictionaries keyed by
+	// entry name, applied by the reader when the entry is realized.
+	for _, fn := range u.Funcs {
+		pn := e.sname(fn.Sym)
+		loci := e.lociBody(fn)
+		if opts.Deferred {
+			loci = psStr(loci)
+		}
+		formals := "null"
+		if len(fn.Params) > 0 {
+			formals = "/" + e.sname(fn.Params[len(fn.Params)-1])
+		}
+		fmt.Fprintf(&e.b, "/%s.proc <<\n  /formals %s\n  /loci %s\n  /statics /%s\n>> def\n",
+			pn, formals, loci, e.staticsName())
+	}
+	return e.b.String()
+}
+
+// EmitProgramPS renders the definitions for all units plus the
+// program's top-level dictionary expression (§2), using deferral.
+func EmitProgramPS(units []*cc.Unit, archName string) string {
+	return EmitProgramPSOpts(units, archName, true)
+}
+
+// EmitProgramPSOpts is EmitProgramPS with explicit deferral control
+// (the deferral experiment compares both).
+func EmitProgramPSOpts(units []*cc.Unit, archName string, deferred bool) string {
+	var b strings.Builder
+	prefixes := make([]string, len(units))
+	for i, u := range units {
+		prefixes[i] = fmt.Sprintf("U%d", i)
+		b.WriteString(EmitUnitPS(u, EmitOptions{Prefix: prefixes[i], Deferred: deferred}))
+	}
+	b.WriteString("<<\n/procs [")
+	for i, u := range units {
+		for _, fn := range u.Funcs {
+			fmt.Fprintf(&b, " /%sS%d", prefixes[i], fn.Sym.Seq)
+		}
+	}
+	b.WriteString(" ]\n/externs <<\n")
+	for i, u := range units {
+		for _, s := range u.Syms {
+			if s.Storage == cc.Extern && (s.Kind == cc.SymFunc && s.Def != nil || s.Kind == cc.SymVar) {
+				fmt.Fprintf(&b, "  /%s /%sS%d\n", s.Name, prefixes[i], s.Seq)
+			}
+		}
+	}
+	b.WriteString(">>\n/sourcemap <<\n")
+	for i, u := range units {
+		fmt.Fprintf(&b, "  %s [", psStr(u.File))
+		for _, fn := range u.Funcs {
+			fmt.Fprintf(&b, " /%sS%d", prefixes[i], fn.Sym.Seq)
+		}
+		b.WriteString(" ]\n")
+	}
+	b.WriteString(">>\n/anchors [")
+	for _, u := range units {
+		if u.AnchorWords > 0 {
+			fmt.Fprintf(&b, " /%s", u.AnchorSym)
+		}
+	}
+	b.WriteString(" ]\n")
+	fmt.Fprintf(&b, "/architecture %s\n>>\n", psStr(archName))
+	return b.String()
+}

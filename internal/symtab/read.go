@@ -1,0 +1,464 @@
+package symtab
+
+import (
+	"fmt"
+
+	"ldb/internal/ps"
+)
+
+// Table is the debugger's view of a program's symbol tables: the
+// loader table (§3) wrapping the top-level dictionary (§2).
+type Table struct {
+	In     *ps.Interp
+	Loader *ps.Dict
+	Top    *ps.Dict
+	// Env holds this program's definitions. Each target gets its own
+	// environment so several targets can share one interpreter without
+	// their symbol names colliding (§7: no target state in globals).
+	Env *ps.Dict
+}
+
+// Load interprets loader-table PostScript (the output of link.LoaderPS)
+// and wraps the resulting dictionary.
+func Load(in *ps.Interp, loaderPS string) (*Table, error) {
+	env := ps.NewDict(256)
+	in.DStack = append(in.DStack, env)
+	err := in.RunStringNamed(loaderPS, "<loader>")
+	in.DStack = in.DStack[:len(in.DStack)-1]
+	if err != nil {
+		return nil, fmt.Errorf("symtab: reading loader table: %w", err)
+	}
+	o, err := in.Pop()
+	if err != nil || o.Kind != ps.KDict {
+		return nil, fmt.Errorf("symtab: loader table did not yield a dictionary")
+	}
+	t := &Table{In: in, Loader: o.D, Env: env}
+	if top, ok := o.D.GetName("symtab"); ok && top.Kind == ps.KDict {
+		t.Top = top.D
+	}
+	if t.Top == nil {
+		return nil, fmt.Errorf("symtab: loader table has no /symtab")
+	}
+	return t, nil
+}
+
+// Architecture returns the name recorded in the top-level dictionary,
+// which ldb uses at debug time to find its machine-dependent code and
+// data (§2).
+func (t *Table) Architecture() string {
+	if v, ok := t.Top.GetName("architecture"); ok {
+		return v.S
+	}
+	return ""
+}
+
+// Validate compares the anchor-symbol names in the top-level dictionary
+// with those in the loader table, ensuring the symbol table matches the
+// object code (§2).
+func (t *Table) Validate() error {
+	anchors, ok := t.Top.GetName("anchors")
+	if !ok || anchors.Kind != ps.KArray {
+		return fmt.Errorf("symtab: top-level dictionary has no /anchors")
+	}
+	am, ok := t.Loader.GetName("anchormap")
+	if !ok || am.Kind != ps.KDict {
+		return fmt.Errorf("symtab: loader table has no /anchormap")
+	}
+	for _, a := range anchors.A.E {
+		if _, ok := am.D.Get(a); !ok {
+			return fmt.Errorf("symtab: anchor %s missing from the loader table: symbol table does not match object code", ps.Cvs(a))
+		}
+	}
+	return nil
+}
+
+// AnchorAddr returns the link-time address of an anchor symbol.
+func (t *Table) AnchorAddr(name string) (uint32, bool) {
+	am, ok := t.Loader.GetName("anchormap")
+	if !ok || am.Kind != ps.KDict {
+		return 0, false
+	}
+	v, ok := am.D.GetName(name)
+	if !ok || v.Kind != ps.KInt {
+		return 0, false
+	}
+	return uint32(v.I), true
+}
+
+// GlobalAddr resolves an external symbol through the nm-derived table
+// in the loader table (§3: nm output is mostly machine-independent and
+// easily transformed into PostScript).
+func (t *Table) GlobalAddr(label string) (uint32, bool) {
+	nm, ok := t.Loader.GetName("nm")
+	if !ok || nm.Kind != ps.KDict {
+		return 0, false
+	}
+	v, ok := nm.D.GetName(label)
+	if !ok || v.Kind != ps.KInt {
+		return 0, false
+	}
+	return uint32(v.I), true
+}
+
+// ProcAddr is a (address, name) pair from the loader table's proctable.
+type ProcAddr struct {
+	Addr uint32
+	Name string
+}
+
+// ProcTable returns the proctable, sorted by address as emitted.
+func (t *Table) ProcTable() []ProcAddr {
+	v, ok := t.Loader.GetName("proctable")
+	if !ok || v.Kind != ps.KArray {
+		return nil
+	}
+	var out []ProcAddr
+	e := v.A.E
+	for i := 0; i+1 < len(e); i += 2 {
+		if e[i].Kind == ps.KInt && e[i+1].Kind == ps.KString {
+			out = append(out, ProcAddr{Addr: uint32(e[i].I), Name: e[i+1].S})
+		}
+	}
+	return out
+}
+
+// ProcContaining maps a program counter to the procedure whose code
+// contains it (the first step in mapping a pc to a symbol-table entry,
+// §3).
+func (t *Table) ProcContaining(pc uint32) (ProcAddr, bool) {
+	procs := t.ProcTable()
+	best := -1
+	for i, p := range procs {
+		if p.Addr <= pc && (best < 0 || p.Addr >= procs[best].Addr) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return ProcAddr{}, false
+	}
+	return procs[best], true
+}
+
+// RPTAddr returns the address of the MIPS runtime procedure table.
+func (t *Table) RPTAddr() (uint32, bool) {
+	v, ok := t.Loader.GetName("rpt")
+	if !ok || v.Kind != ps.KInt {
+		return 0, false
+	}
+	return uint32(v.I), true
+}
+
+// lookup finds a definition in the table's environment (falling back
+// to the interpreter's dictionary stack).
+func (t *Table) lookup(name string) (ps.Object, bool) {
+	if t.Env != nil {
+		if v, ok := t.Env.GetName(name); ok {
+			return v, true
+		}
+	}
+	return t.In.Lookup(name)
+}
+
+func (t *Table) define(name string, v ps.Object) {
+	if t.Env != nil {
+		t.Env.PutName(name, v)
+		return
+	}
+	t.In.UserDict().PutName(name, v)
+}
+
+// realize turns a deferred value (an entry body quoted as a string,
+// §5's deferral) into its real value by scanning and executing it.
+// Procedures interpreted at most once are replaced with their results:
+// callers re-store the realized value.
+func (t *Table) realize(v ps.Object) (ps.Object, error) {
+	if v.Kind != ps.KString {
+		return v, nil
+	}
+	// Execute the string's tokens and take the resulting object. The
+	// body references type dictionaries by name, so the table's
+	// environment must be searchable while it runs.
+	pushed := false
+	if t.Env != nil {
+		found := false
+		for _, d := range t.In.DStack {
+			if d == t.Env {
+				found = true
+			}
+		}
+		if !found {
+			t.In.DStack = append(t.In.DStack, t.Env)
+			pushed = true
+		}
+	}
+	before := len(t.In.Stack)
+	err := t.In.RunStringNamed(v.S, "<deferred>")
+	if pushed {
+		for i := len(t.In.DStack) - 1; i >= 0; i-- {
+			if t.In.DStack[i] == t.Env {
+				t.In.DStack = append(t.In.DStack[:i], t.In.DStack[i+1:]...)
+				break
+			}
+		}
+	}
+	if err != nil {
+		return v, err
+	}
+	if len(t.In.Stack) != before+1 {
+		return v, fmt.Errorf("symtab: deferred body left %d values", len(t.In.Stack)-before)
+	}
+	return t.In.Pop()
+}
+
+// EntryOf resolves a symbol-table entry by its PostScript name,
+// realizing and replacing a deferred body on first access.
+func (t *Table) EntryOf(name string) (*ps.Dict, error) {
+	v, ok := t.lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("symtab: no entry %s", name)
+	}
+	if v.Kind == ps.KString {
+		realized, err := t.realize(v)
+		if err != nil {
+			return nil, err
+		}
+		t.define(name, realized)
+		v = realized
+	}
+	if v.Kind != ps.KDict {
+		return nil, fmt.Errorf("symtab: entry %s is a %s, not a dictionary", name, v.TypeName())
+	}
+	return v.D, nil
+}
+
+// EntryRef resolves an entry reference — a literal name (the deferred
+// form) or a dictionary — to the entry dictionary.
+func (t *Table) EntryRef(o ps.Object) (*ps.Dict, error) {
+	switch o.Kind {
+	case ps.KDict:
+		return o.D, nil
+	case ps.KName, ps.KString:
+		return t.EntryOf(o.S)
+	case ps.KNull:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("symtab: bad entry reference %s", ps.Format(o))
+}
+
+// GetMemo fetches key from d, realizing and replacing a deferred value
+// (used for /loci arrays and /&fields tables).
+func (t *Table) GetMemo(d *ps.Dict, key string) (ps.Object, error) {
+	v, ok := d.GetName(key)
+	if !ok {
+		return ps.Object{}, fmt.Errorf("symtab: no /%s", key)
+	}
+	if v.Kind == ps.KString && (key == "loci" || key == "&fields") {
+		realized, err := t.realize(v)
+		if err != nil {
+			return ps.Object{}, err
+		}
+		d.PutName(key, realized)
+		return realized, nil
+	}
+	return v, nil
+}
+
+// Entry is a convenience wrapper over a symbol-table entry dictionary.
+type Entry struct {
+	D *ps.Dict
+	T *Table
+}
+
+// Name returns the entry's source-language name.
+func (e Entry) Name() string {
+	if v, ok := e.D.GetName("name"); ok {
+		return v.S
+	}
+	return ""
+}
+
+// Kind returns "variable", "parameter", or "procedure".
+func (e Entry) Kind() string {
+	if v, ok := e.D.GetName("kind"); ok {
+		return v.S
+	}
+	return ""
+}
+
+// TypeDict returns the entry's type dictionary.
+func (e Entry) TypeDict() *ps.Dict {
+	if v, ok := e.D.GetName("type"); ok && v.Kind == ps.KDict {
+		return v.D
+	}
+	return nil
+}
+
+// Decl renders the declaration of the entry, as the type's /decl
+// template applied to the name.
+func (e Entry) Decl() string {
+	td := e.TypeDict()
+	if td == nil {
+		return e.Name()
+	}
+	decl, _ := td.GetName("decl")
+	out := ""
+	for i := 0; i < len(decl.S); i++ {
+		if decl.S[i] == '%' && i+1 < len(decl.S) && decl.S[i+1] == 's' {
+			out += e.Name()
+			i++
+			continue
+		}
+		out += string(decl.S[i])
+	}
+	return out
+}
+
+// Uplink returns the preceding entry in the current or enclosing scope.
+func (e Entry) Uplink() (Entry, bool) {
+	v, ok := e.D.GetName("uplink")
+	if !ok || v.Kind == ps.KNull {
+		return Entry{}, false
+	}
+	d, err := e.T.EntryRef(v)
+	if err != nil || d == nil {
+		return Entry{}, false
+	}
+	return Entry{D: d, T: e.T}, true
+}
+
+// ProcInfo returns the side dictionary holding a procedure's formals,
+// loci, and statics.
+func (t *Table) ProcInfo(entryName string) (*ps.Dict, error) {
+	return t.EntryOf(entryName + ".proc")
+}
+
+// Stop describes one stopping point read from a loci array.
+type Stop struct {
+	Index   int
+	Line    int
+	Col     int
+	Where   ps.Object // the location procedure (or realized location)
+	Visible ps.Object // entry reference
+	Elem    *ps.Dict
+}
+
+// Loci returns a procedure's stopping points.
+func (t *Table) Loci(procInfo *ps.Dict) ([]Stop, error) {
+	v, err := t.GetMemo(procInfo, "loci")
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != ps.KArray {
+		return nil, fmt.Errorf("symtab: /loci is %s", v.TypeName())
+	}
+	var out []Stop
+	for _, el := range v.A.E {
+		if el.Kind != ps.KDict {
+			continue
+		}
+		s := Stop{Elem: el.D}
+		if x, ok := el.D.GetName("index"); ok {
+			s.Index = int(x.I)
+		}
+		if x, ok := el.D.GetName("sourcey"); ok {
+			s.Line = int(x.I)
+		}
+		if x, ok := el.D.GetName("sourcex"); ok {
+			s.Col = int(x.I)
+		}
+		s.Where, _ = el.D.GetName("where")
+		s.Visible, _ = el.D.GetName("visible")
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Externs returns the program's externs dictionary.
+func (t *Table) Externs() *ps.Dict {
+	if v, ok := t.Top.GetName("externs"); ok && v.Kind == ps.KDict {
+		return v.D
+	}
+	return nil
+}
+
+// ExternEntry resolves a global symbol by source name.
+func (t *Table) ExternEntry(name string) (Entry, bool) {
+	ex := t.Externs()
+	if ex == nil {
+		return Entry{}, false
+	}
+	v, ok := ex.GetName(name)
+	if !ok {
+		return Entry{}, false
+	}
+	d, err := t.EntryRef(v)
+	if err != nil || d == nil {
+		return Entry{}, false
+	}
+	return Entry{D: d, T: t}, true
+}
+
+// ProcEntryByName finds a procedure entry via externs, also returning
+// the PostScript entry name (needed for ProcInfo).
+func (t *Table) ProcEntryByName(name string) (Entry, string, bool) {
+	ex := t.Externs()
+	if ex == nil {
+		return Entry{}, "", false
+	}
+	v, ok := ex.GetName(name)
+	if !ok || (v.Kind != ps.KName && v.Kind != ps.KString) {
+		return Entry{}, "", false
+	}
+	d, err := t.EntryOf(v.S)
+	if err != nil {
+		return Entry{}, "", false
+	}
+	return Entry{D: d, T: t}, v.S, true
+}
+
+// ResolveAt implements ldb's name resolution (§2): walk up the tree of
+// entries for local symbols beginning with the stopping point's visible
+// entry; at the root search the statics dictionary of the procedure's
+// compilation unit, then the program's externs.
+func (t *Table) ResolveAt(procEntryName string, stop *Stop, id string) (Entry, error) {
+	if stop != nil && stop.Visible.Kind != ps.KNull {
+		d, err := t.EntryRef(stop.Visible)
+		if err != nil {
+			return Entry{}, err
+		}
+		for e := (Entry{D: d, T: t}); e.D != nil; {
+			if e.Name() == id {
+				return e, nil
+			}
+			up, ok := e.Uplink()
+			if !ok {
+				break
+			}
+			e = up
+		}
+	}
+	if procEntryName != "" {
+		if info, err := t.ProcInfo(procEntryName); err == nil {
+			if sv, ok := info.GetName("statics"); ok && sv.Kind != ps.KNull {
+				var sd *ps.Dict
+				if sv.Kind == ps.KDict {
+					sd = sv.D
+				} else if v2, ok := t.lookup(sv.S); ok && v2.Kind == ps.KDict {
+					sd = v2.D
+				}
+				if sd != nil {
+					if ref, ok := sd.GetName(id); ok {
+						d, err := t.EntryRef(ref)
+						if err == nil && d != nil {
+							return Entry{D: d, T: t}, nil
+						}
+					}
+				}
+			}
+		}
+	}
+	if e, ok := t.ExternEntry(id); ok {
+		return e, nil
+	}
+	return Entry{}, fmt.Errorf("symtab: %q is not visible here", id)
+}

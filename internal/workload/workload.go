@@ -1,0 +1,188 @@
+// Package workload holds the C benchmark programs the experiments
+// compile and debug, and a generator for lcc-sized programs (the paper
+// measures symbol-table reading on a 13,000-line version of lcc).
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fib is the example program of Fig. 1.
+const Fib = `void fib(int n)
+{
+	static int a[20];
+	if (n > 20) n = 20;
+	a[0] = a[1] = 1;
+	{	int i;
+		for (i=2; i<n; i++)
+			a[i] = a[i-1] + a[i-2];
+	}
+	{	int j;
+		for (j=0; j<n; j++)
+			printf("%d ", a[j]);
+	}
+	printf("\n");
+}
+int main() { fib(10); return 0; }
+`
+
+// Sort exercises arrays, pointers, and nested loops.
+const Sort = `
+int v[64];
+void sort(int *p, int n) {
+	int i; int j;
+	for (i = 0; i < n; i++)
+		for (j = 0; j < n - 1 - i; j++)
+			if (p[j] > p[j+1]) {
+				int t;
+				t = p[j]; p[j] = p[j+1]; p[j+1] = t;
+			}
+}
+int check(int *p, int n) {
+	int i;
+	for (i = 1; i < n; i++)
+		if (p[i-1] > p[i]) return 0;
+	return 1;
+}
+int main() {
+	int i;
+	for (i = 0; i < 64; i++) v[i] = (i * 37 + 11) % 64;
+	sort(v, 64);
+	printf("sorted=%d\n", check(v, 64));
+	return 0;
+}
+`
+
+// Matmul exercises doubles and two-dimensional indexing.
+const Matmul = `
+double a[8*8];
+double b[8*8];
+double c[8*8];
+void matmul(int n) {
+	int i; int j; int k;
+	for (i = 0; i < n; i++)
+		for (j = 0; j < n; j++) {
+			double s;
+			s = 0.0;
+			for (k = 0; k < n; k++)
+				s = s + a[i*n+k] * b[k*n+j];
+			c[i*n+j] = s;
+		}
+}
+int main() {
+	int i;
+	for (i = 0; i < 64; i++) { a[i] = i; b[i] = 64 - i; }
+	matmul(8);
+	printf("%g\n", c[0]);
+	return 0;
+}
+`
+
+// Queens counts solutions to the 8-queens problem: recursion and
+// short-circuit logic.
+const Queens = `
+int cols[8];
+int ok(int r, int c) {
+	int i;
+	for (i = 0; i < r; i++) {
+		int d;
+		d = cols[i] - c;
+		if (d == 0 || d == r - i || d == i - r) return 0;
+	}
+	return 1;
+}
+int place(int r) {
+	int c; int n;
+	if (r == 8) return 1;
+	n = 0;
+	for (c = 0; c < 8; c++)
+		if (ok(r, c)) {
+			cols[r] = c;
+			n = n + place(r + 1);
+		}
+	return n;
+}
+int main() {
+	printf("%d\n", place(0));
+	return 0;
+}
+`
+
+// Sieve finds primes: chars and modular arithmetic.
+const Sieve = `
+char composite[200];
+int main() {
+	int i; int j; int n;
+	n = 0;
+	for (i = 2; i < 200; i++) {
+		if (composite[i]) continue;
+		n++;
+		for (j = i + i; j < 200; j = j + i) composite[j] = 1;
+	}
+	printf("%d primes\n", n);
+	return 0;
+}
+`
+
+// Programs maps names to the benchmark sources; every one runs to
+// completion on all five targets.
+var Programs = map[string]string{
+	"fib":    Fib,
+	"sort":   Sort,
+	"matmul": Matmul,
+	"queens": Queens,
+	"sieve":  Sieve,
+}
+
+// Names lists the programs in a fixed order.
+var Names = []string{"fib", "sort", "matmul", "queens", "sieve"}
+
+// Hello is the one-line program of the startup experiment.
+const Hello = `int main() { printf("hello, world\n"); return 0; }`
+
+// Big synthesizes a program of roughly the requested number of source
+// lines — the stand-in for the 13,000-line lcc of §7's startup table.
+// It is shaped like real code: many functions with parameters, locals,
+// statics, loops, and calls, so its symbol table has realistic density.
+func Big(lines int) string {
+	var b strings.Builder
+	b.WriteString("int acc;\nstatic int seed = 1;\n")
+	n := 0
+	for i := 0; n < lines; i++ {
+		fmt.Fprintf(&b, `
+int work%d(int x, int y) {
+	int i;
+	int total;
+	static int memo%d;
+	double scale;
+	total = memo%d;
+	scale = 1.5;
+	for (i = 0; i < x; i++) {
+		int step;
+		step = (y + i) %% 7;
+		total = total + step * %d;
+		if (total > 100000) total = total - 100000;
+	}
+	memo%d = total;
+	return total + (int)scale;
+}
+`, i, i, i, i+1, i)
+		n += 17
+	}
+	b.WriteString("int main() {\n\tacc = seed;\n")
+	for i := 0; i*17 < lines; i++ {
+		fmt.Fprintf(&b, "\tacc = acc + work%d(%d, acc);\n", i, i%9+1)
+	}
+	b.WriteString("\tprintf(\"%d\\n\", acc);\n\treturn 0;\n}\n")
+	return b.String()
+}
+
+// Outputs maps program names to their expected standard output.
+var Outputs = map[string]string{
+	"fib":    "1 1 2 3 5 8 13 21 34 55 \n",
+	"sort":   "sorted=1\n",
+	"matmul": "672\n",
+	"queens": "92\n",
+	"sieve":  "46 primes\n",
+}

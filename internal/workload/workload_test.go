@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/driver"
+	"ldb/internal/link"
+)
+
+var allArches = []string{"mips", "mipsbe", "sparc", "m68k", "vax"}
+
+// TestProgramsRunEverywhere pins the benchmark programs' outputs on
+// every target, in every build mode, so the experiments measure
+// identical computations.
+func TestProgramsRunEverywhere(t *testing.T) {
+	for _, name := range Names {
+		src := Programs[name]
+		want := Outputs[name]
+		for _, a := range allArches {
+			for _, opts := range []driver.Options{
+				{Arch: a},
+				{Arch: a, Debug: true},
+				{Arch: a, Sched: true},
+				{Arch: a, Debug: true, Sched: true},
+			} {
+				prog, err := driver.Build([]driver.Source{{Name: name + ".c", Text: src}}, opts)
+				if err != nil {
+					t.Fatalf("%s on %s (%+v): %v", name, a, opts, err)
+				}
+				p := link.NewProcess(prog.Image)
+				f := p.Run()
+				for f.Kind == arch.FaultSignal && f.Sig == arch.SigTrap && f.Code == arch.TrapPause {
+					// Debug builds pause before main; run free.
+					p.SetPC(f.PC + f.Len)
+					f = p.Run()
+				}
+				if f.Kind != arch.FaultHalt {
+					t.Fatalf("%s on %s (%+v): died: %v", name, a, opts, f)
+				}
+				if got := p.Stdout.String(); got != want {
+					t.Fatalf("%s on %s (%+v): output %q, want %q", name, a, opts, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBigGeneratesValidProgram(t *testing.T) {
+	src := Big(500)
+	if got := len(strings.Split(src, "\n")); got < 450 {
+		t.Fatalf("Big(500) = %d lines", got)
+	}
+	prog, err := driver.Build([]driver.Source{{Name: "big.c", Text: src}}, driver.Options{Arch: "sparc", Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := link.NewProcess(prog.Image)
+	// Debug builds pause before main; run free by skipping pauses.
+	f := p.Run()
+	if f.Sig != arch.SigTrap {
+		t.Fatalf("expected the pause trap, got %v", f)
+	}
+	p.SetPC(f.PC + f.Len)
+	if f := p.Run(); f.Kind != arch.FaultHalt {
+		t.Fatalf("big program died: %v", f)
+	}
+	if !strings.HasSuffix(p.Stdout.String(), "\n") {
+		t.Fatal("no output")
+	}
+}
+
+// TestSchedulerRestrictedByDebugging verifies E2's mechanism: with
+// stopping-point labels in place the scheduler fills fewer load delay
+// slots and pads more.
+func TestSchedulerRestrictedByDebugging(t *testing.T) {
+	totalPlainPad, totalDebugPad := 0, 0
+	for _, name := range Names {
+		src := Programs[name]
+		plain, err := driver.Build([]driver.Source{{Name: name, Text: src}}, driver.Options{Arch: "mips", Sched: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		debug, err := driver.Build([]driver.Source{{Name: name, Text: src}}, driver.Options{Arch: "mips", Sched: true, Debug: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: plain filled=%d padded=%d; debug filled=%d padded=%d",
+			name, plain.SchedFilled, plain.SchedPadded, debug.SchedFilled, debug.SchedPadded)
+		totalPlainPad += plain.SchedPadded
+		totalDebugPad += debug.SchedPadded
+		if plain.SchedFilled+plain.SchedPadded == 0 {
+			t.Errorf("%s: no load delay slots at all?", name)
+		}
+	}
+	if totalDebugPad <= totalPlainPad {
+		t.Errorf("debugging did not restrict scheduling: plain pads %d, debug pads %d", totalPlainPad, totalDebugPad)
+	}
+}
