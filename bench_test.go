@@ -14,7 +14,9 @@
 package ldb_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
@@ -352,6 +354,127 @@ func BenchmarkBreakpointHit(b *testing.B) {
 		if _, err := tgt.FetchScalar("i"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- wire transport: round trips and bytes per debug scenario ---
+
+// wireScenario is one breakpoint-plant + frame-walk cycle: plant a
+// breakpoint in fib, run to it, inspect a scalar, single-step (which
+// plants and removes a temporary breakpoint at every stopping point),
+// and walk the stack. It is the round-trip-heaviest path a debugger
+// user exercises interactively.
+func wireScenario(b *testing.B, tgt *core.Target) {
+	b.Helper()
+	if _, err := tgt.ContinueToBreakpoint(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.FetchScalar("i"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.Step(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.Backtrace(10); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.EvalInt("a[i-1] + a[i-2]"); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// wireMetrics is one BENCH_wire.json record: per-scenario wire costs.
+type wireMetrics struct {
+	Scenario      string  `json:"scenario"`
+	Transport     string  `json:"transport"`
+	RoundTrips    float64 `json:"round_trips"`
+	MsgsSent      float64 `json:"msgs_sent"`
+	BytesSent     float64 `json:"bytes_sent"`
+	BytesReceived float64 `json:"bytes_received"`
+	Batches       float64 `json:"batches"`
+	CacheHits     float64 `json:"cache_hits"`
+}
+
+func benchWireScenario(b *testing.B, optimized bool) wireMetrics {
+	b.Helper()
+	prog := buildFor(b, "sparc", "fib.c", workload.Fib, true, false)
+	var agg nub.StatsSnapshot
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+		if err != nil {
+			b.Fatal(err)
+		}
+		client.SetBatching(optimized)
+		client.SetCaching(optimized)
+		d, err := core.New(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tgt, err := d.AttachClient("fib", client, prog.LoaderPS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tgt.BreakStop("fib", 7); err != nil {
+			b.Fatal(err)
+		}
+		client.ResetStats()
+		b.StartTimer()
+		wireScenario(b, tgt)
+		b.StopTimer()
+		s := client.Stats()
+		agg.RoundTrips += s.RoundTrips
+		agg.MsgsSent += s.MsgsSent
+		agg.BytesSent += s.BytesSent
+		agg.BytesReceived += s.BytesReceived
+		agg.Batches += s.Batches
+		agg.CacheHits += s.CacheHits
+		b.StartTimer()
+	}
+	n := float64(b.N)
+	transport := "plain"
+	if optimized {
+		transport = "batch+cache"
+	}
+	m := wireMetrics{
+		Scenario:      "breakpoint-plant+frame-walk",
+		Transport:     transport,
+		RoundTrips:    float64(agg.RoundTrips) / n,
+		MsgsSent:      float64(agg.MsgsSent) / n,
+		BytesSent:     float64(agg.BytesSent) / n,
+		BytesReceived: float64(agg.BytesReceived) / n,
+		Batches:       float64(agg.Batches) / n,
+		CacheHits:     float64(agg.CacheHits) / n,
+	}
+	b.ReportMetric(m.RoundTrips, "round_trips")
+	b.ReportMetric(m.BytesSent+m.BytesReceived, "wire_bytes")
+	return m
+}
+
+// BenchmarkWireScenario measures the same debug scenario with the
+// optimized transport (batching + caching) and the paper's plain
+// one-request-one-reply protocol, asserts the headline ≥3× round-trip
+// reduction, and records both rows in BENCH_wire.json.
+func BenchmarkWireScenario(b *testing.B) {
+	results := map[string]wireMetrics{}
+	b.Run("plain", func(b *testing.B) { results["plain"] = benchWireScenario(b, false) })
+	b.Run("optimized", func(b *testing.B) { results["optimized"] = benchWireScenario(b, true) })
+	plain, optimized := results["plain"], results["optimized"]
+	if plain.RoundTrips == 0 || optimized.RoundTrips == 0 {
+		return // a -bench filter selected only one arm
+	}
+	ratio := plain.RoundTrips / optimized.RoundTrips
+	if ratio < 3 {
+		b.Fatalf("round trips: %.1f plain vs %.1f optimized (%.2fx) — want >= 3x",
+			plain.RoundTrips, optimized.RoundTrips, ratio)
+	}
+	out, err := json.MarshalIndent([]wireMetrics{plain, optimized}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_wire.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -146,6 +146,8 @@ const helpText = `commands:
   frame N                                       select a frame
   regs                                          show the frame's registers
   dag                                           show the frame's abstract-memory DAG
+  stats [reset]                                 show (or zero) wire statistics
+  batch on|off | cache on|off                   toggle wire batching / memory cache
   targets | target N                            list / switch targets
   ps CODE                                       run raw PostScript
   detach | kill | quit                          end the session
@@ -358,6 +360,39 @@ func command(d *core.Debugger, line string) bool {
 			return false
 		}
 		fmt.Print(f.Describe())
+	case "stats":
+		if !need() {
+			return false
+		}
+		if rest == "reset" {
+			t.Client.ResetStats()
+			say("wire statistics reset")
+			return false
+		}
+		say("%s", t.Client.Stats())
+	case "batch", "cache":
+		if !need() {
+			return false
+		}
+		var on bool
+		switch rest {
+		case "on":
+			on = true
+		case "off":
+		default:
+			say("usage: %s on|off", cmd)
+			return false
+		}
+		if cmd == "batch" {
+			t.Client.SetBatching(on)
+			if on && !t.Client.Batching() {
+				say("batching requested, but the nub does not support it")
+				return false
+			}
+		} else {
+			t.Client.SetCaching(on)
+		}
+		say("%s %s", cmd, rest)
 	case "targets":
 		for i, tg := range d.Targets {
 			mark := "  "

@@ -58,6 +58,71 @@ func (m *Manager) Plant(addr uint32) error {
 	return nil
 }
 
+// PlantMany sets breakpoints at every address in addrs, batching the
+// no-op checks into one round trip and the plants into another (§6's
+// protocol carries them as ordinary fetches and special stores, so an
+// MBatch envelope holds the lot). On any failure every breakpoint this
+// call planted is removed again, so the set of planted breakpoints is
+// unchanged by a failed call.
+func (m *Manager) PlantMany(addrs []uint32) error {
+	var fresh []uint32
+	seen := make(map[uint32]bool)
+	for _, a := range addrs {
+		if _, dup := m.planted[a]; !dup && !seen[a] {
+			fresh = append(fresh, a)
+			seen[a] = true
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	size := m.A.InstrSize()
+	fetch := m.C.NewBatch()
+	olds := make([]*nub.BytesRes, len(fresh))
+	for i, a := range fresh {
+		olds[i] = fetch.FetchBytes(amem.Code, a, size)
+	}
+	if err := fetch.Run(); err != nil {
+		return err
+	}
+	for i, r := range olds {
+		if r.Err != nil {
+			return r.Err
+		}
+		if !bytes.Equal(r.Data, m.A.NopInstr()) {
+			return fmt.Errorf("bpt: %#x does not hold a stopping-point no-op", fresh[i])
+		}
+	}
+	plant := m.C.NewBatch()
+	oks := make([]*nub.OKRes, len(fresh))
+	for i, a := range fresh {
+		oks[i] = plant.PlantStore(a, m.A.BreakInstr())
+	}
+	runErr := plant.Run()
+	var failed error
+	for i, r := range oks {
+		if runErr == nil && r.Err == nil {
+			m.planted[fresh[i]] = append([]byte(nil), olds[i].Data...)
+		} else if failed == nil {
+			failed = r.Err
+		}
+	}
+	if runErr != nil || failed != nil {
+		// Roll back whatever did get planted so a partial failure
+		// leaves the target as it was.
+		for _, a := range fresh {
+			if _, ok := m.planted[a]; ok {
+				m.Remove(a)
+			}
+		}
+		if runErr != nil {
+			return runErr
+		}
+		return failed
+	}
+	return nil
+}
+
 // Remove clears the breakpoint at addr, restoring the no-op.
 func (m *Manager) Remove(addr uint32) error {
 	if _, ok := m.planted[addr]; !ok {
@@ -70,14 +135,47 @@ func (m *Manager) Remove(addr uint32) error {
 	return nil
 }
 
-// RemoveAll clears every planted breakpoint.
-func (m *Manager) RemoveAll() error {
-	for addr := range m.planted {
-		if err := m.Remove(addr); err != nil {
-			return err
+// RemoveMany clears the breakpoints at every address in addrs in one
+// batched round trip. Addresses with no planted breakpoint are an
+// error, as with Remove.
+func (m *Manager) RemoveMany(addrs []uint32) error {
+	var unique []uint32
+	seen := make(map[uint32]bool)
+	for _, a := range addrs {
+		if _, ok := m.planted[a]; !ok {
+			return fmt.Errorf("bpt: no breakpoint at %#x", a)
+		}
+		if !seen[a] {
+			unique = append(unique, a)
+			seen[a] = true
 		}
 	}
-	return nil
+	addrs = unique
+	if len(addrs) == 0 {
+		return nil
+	}
+	b := m.C.NewBatch()
+	oks := make([]*nub.OKRes, len(addrs))
+	for i, a := range addrs {
+		oks[i] = b.UnplantStore(a)
+	}
+	if err := b.Run(); err != nil {
+		return err
+	}
+	var failed error
+	for i, r := range oks {
+		if r.Err == nil {
+			delete(m.planted, addrs[i])
+		} else if failed == nil {
+			failed = r.Err
+		}
+	}
+	return failed
+}
+
+// RemoveAll clears every planted breakpoint.
+func (m *Manager) RemoveAll() error {
+	return m.RemoveMany(m.Addrs())
 }
 
 // AdoptPlanted records a breakpoint planted by a previous debugger

@@ -55,23 +55,18 @@ func (t *Target) Step() (*nub.Event, error) {
 	}
 	var temps []uint32
 	for _, a := range addrs {
-		if t.Bpts.IsPlanted(a) {
-			continue
+		if !t.Bpts.IsPlanted(a) {
+			temps = append(temps, a)
 		}
-		if err := t.Bpts.Plant(a); err != nil {
-			// Roll back what we planted and report.
-			for _, p := range temps {
-				_ = t.Bpts.Remove(p)
-			}
-			return nil, err
-		}
-		temps = append(temps, a)
+	}
+	// Plant every temporary in a couple of batched round trips instead
+	// of two per stopping point; PlantMany rolls back on failure.
+	if err := t.Bpts.PlantMany(temps); err != nil {
+		return nil, err
 	}
 	ev, cerr := t.ContinueToBreakpoint()
-	for _, a := range temps {
-		if err := t.Bpts.Remove(a); err != nil && cerr == nil {
-			cerr = err
-		}
+	if err := t.Bpts.RemoveMany(temps); err != nil && cerr == nil {
+		cerr = err
 	}
 	return ev, cerr
 }

@@ -1,0 +1,171 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ldb/internal/core"
+	"ldb/internal/nub"
+)
+
+// A differential tester for the wire transport: the same debug session
+// — break in fib, run to the breakpoint, inspect locals, step, walk
+// the stack, evaluate expressions, run to completion — must produce
+// byte-identical debugger-visible output whether the client batches
+// and caches (the optimized transport) or speaks the paper's plain
+// one-request-one-reply protocol. Only the round-trip count may
+// differ.
+
+// wireFibC is Fig. 1's program, block scoping as in the paper, so
+// stopping point 7 of fib is the loop body a[i] = a[i-1] + a[i-2].
+const wireFibC = `void fib(int n)
+{
+	static int a[20];
+	if (n > 20) n = 20;
+	a[0] = a[1] = 1;
+	{	int i;
+		for (i=2; i<n; i++)
+			a[i] = a[i-1] + a[i-2];
+	}
+	{	int j;
+		for (j=0; j<n; j++)
+			printf("%d ", a[j]);
+	}
+	printf("\n");
+}
+int main() { fib(10); return 0; }
+`
+
+// wirePrint runs Print and captures what it writes.
+func wirePrint(t *testing.T, d *core.Debugger, tgt *core.Target, name string) string {
+	t.Helper()
+	var buf strings.Builder
+	old := d.In.Stdout
+	d.In.Stdout = &buf
+	defer func() { d.In.Stdout = old }()
+	if err := tgt.Print(name); err != nil {
+		t.Fatalf("print %s: %v", name, err)
+	}
+	return strings.TrimRight(buf.String(), "\n")
+}
+
+// wireTranscript runs the fixed debug script on one target and returns
+// every piece of debugger-visible output, plus the wire statistics it
+// cost. optimized selects batching+caching on versus both off.
+func wireTranscript(t *testing.T, archName string, optimized bool) (string, nub.StatsSnapshot) {
+	t.Helper()
+	var sink strings.Builder
+	d, err := core.New(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Build([]Source{{Name: "fib.c", Text: wireFibC}}, Options{Arch: archName, Debug: true})
+	if err != nil {
+		t.Fatalf("%s: build: %v", archName, err)
+	}
+	client, _, proc, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		t.Fatalf("%s: launch: %v", archName, err)
+	}
+	tgt, err := d.AttachClient(archName+":fib.c", client, prog.LoaderPS)
+	if err != nil {
+		t.Fatalf("%s: attach: %v", archName, err)
+	}
+	tgt.Stdout = &proc.Stdout
+	tgt.Client.SetBatching(optimized)
+	tgt.Client.SetCaching(optimized)
+	tgt.Client.ResetStats()
+
+	var tr strings.Builder
+	say := func(format string, args ...any) { fmt.Fprintf(&tr, format+"\n", args...) }
+
+	addr, err := tgt.BreakStop("fib", 7)
+	if err != nil {
+		t.Fatalf("%s: break: %v", archName, err)
+	}
+	say("break fib@7 at %#x", addr)
+
+	ev, err := tgt.ContinueToBreakpoint()
+	if err != nil {
+		t.Fatalf("%s: continue: %v", archName, err)
+	}
+	say("stopped pc=%#x sig=%v", ev.PC, ev.Sig)
+
+	say("i = %s", wirePrint(t, d, tgt, "i"))
+	say("n = %s", wirePrint(t, d, tgt, "n"))
+	say("a = %s", wirePrint(t, d, tgt, "a"))
+
+	ev, err = tgt.Step()
+	if err != nil {
+		t.Fatalf("%s: step: %v", archName, err)
+	}
+	say("step to pc=%#x", ev.PC)
+
+	bt, err := tgt.Backtrace(10)
+	if err != nil {
+		t.Fatalf("%s: backtrace: %v", archName, err)
+	}
+	say("backtrace: %s", strings.Join(bt, " <- "))
+
+	for _, expr := range []string{"a[i]", "a[i-1] + a[i-2]", "n"} {
+		v, err := tgt.EvalInt(expr)
+		if err != nil {
+			t.Fatalf("%s: eval %q: %v", archName, expr, err)
+		}
+		say("eval %s = %d", expr, v)
+	}
+
+	// Re-inspect without resuming — the second look at the same state
+	// is where a session spends much of its time.
+	say("i = %s", wirePrint(t, d, tgt, "i"))
+	say("a = %s", wirePrint(t, d, tgt, "a"))
+	bt, err = tgt.Backtrace(10)
+	if err != nil {
+		t.Fatalf("%s: backtrace: %v", archName, err)
+	}
+	say("backtrace: %s", strings.Join(bt, " <- "))
+
+	if err := tgt.Bpts.RemoveAll(); err != nil {
+		t.Fatalf("%s: clear: %v", archName, err)
+	}
+	ev, err = tgt.ContinueToBreakpoint()
+	if err != nil {
+		t.Fatalf("%s: continue: %v", archName, err)
+	}
+	if !ev.Exited {
+		t.Fatalf("%s: expected exit, stopped at %#x", archName, ev.PC)
+	}
+	say("exit=%d output=%q", ev.Status, proc.Stdout.String())
+	return tr.String(), tgt.Client.Stats()
+}
+
+// TestDifferentialWireModes runs the script on every target with the
+// optimized transport on and off and requires byte-identical
+// transcripts; the optimized arm must also cost fewer round trips.
+func TestDifferentialWireModes(t *testing.T) {
+	var rtOn, rtOff int64
+	for _, a := range allArches {
+		t.Run(a, func(t *testing.T) {
+			on, statsOn := wireTranscript(t, a, true)
+			off, statsOff := wireTranscript(t, a, false)
+			if on != off {
+				t.Errorf("transcripts differ:\n-- batching+cache on --\n%s\n-- off --\n%s", on, off)
+			}
+			if statsOn.RoundTrips >= statsOff.RoundTrips {
+				t.Errorf("round trips: %d optimized, %d plain — expected fewer",
+					statsOn.RoundTrips, statsOff.RoundTrips)
+			}
+			if statsOff.Batches != 0 || statsOff.CacheHits != 0 {
+				t.Errorf("plain transport used batches (%d) or cache (%d hits)",
+					statsOff.Batches, statsOff.CacheHits)
+			}
+			rtOn += statsOn.RoundTrips
+			rtOff += statsOff.RoundTrips
+		})
+	}
+	if rtOn > 0 && rtOff < 3*rtOn {
+		t.Errorf("aggregate round trips: %d optimized vs %d plain — want >= 3x reduction", rtOn, rtOff)
+	}
+	t.Logf("aggregate round trips: %d optimized, %d plain (%.1fx)", rtOn, rtOff, float64(rtOff)/float64(max(rtOn, 1)))
+}

@@ -52,15 +52,21 @@ func (w *fpWalker) Caller(f *Frame) (*Frame, error) {
 	if fp == 0 {
 		return nil, fmt.Errorf("frame: no caller (frame pointer is zero)")
 	}
-	wire := f.Mem
-	oldfp, err := wire.FetchInt(amem.Abs(amem.Data, fp), 4)
-	if err != nil {
+	// The saved fp and return address are adjacent stack words; fetch
+	// both in one round trip.
+	b := t.C.NewBatch()
+	oldfpRes := b.FetchInt(amem.Data, uint32(fp), 4)
+	raRes := b.FetchInt(amem.Data, uint32(fp)+4, 4)
+	if err := b.Run(); err != nil {
 		return nil, err
 	}
-	ra, err := wire.FetchInt(amem.Abs(amem.Data, fp+4), 4)
-	if err != nil {
-		return nil, err
+	if oldfpRes.Err != nil {
+		return nil, oldfpRes.Err
 	}
+	if raRes.Err != nil {
+		return nil, raRes.Err
+	}
+	oldfp, ra := oldfpRes.Val, raRes.Val
 	if ra == 0 {
 		return nil, fmt.Errorf("frame: end of stack")
 	}

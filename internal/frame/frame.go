@@ -92,6 +92,12 @@ func contextMemory(t *Target) (*amem.AliasMemory, *nub.Wire) {
 	wire := &nub.Wire{C: t.C}
 	alias := amem.NewAliasMemory(wire)
 	l := t.A.Context()
+	// The context record is read a word at a time as registers are
+	// consulted; pull it over in one round trip instead so the per-word
+	// fetches below (and every later register read) hit the cache.
+	if t.C.CtxAddr == t.Ctx && t.C.CtxSize > 0 {
+		t.C.Prefetch(amem.Data, t.Ctx, int(t.C.CtxSize))
+	}
 	for i, off := range l.RegOffs {
 		alias.Alias(amem.Abs(amem.Reg, int64(i)), amem.Abs(amem.Data, int64(t.Ctx)+int64(off)))
 	}

@@ -42,16 +42,28 @@ func (w *mipsWalker) readRPT() error {
 	if n > 4096 {
 		return fmt.Errorf("frame: implausible runtime procedure table (%d entries)", n)
 	}
+	// The table is 2n consecutive words; batch the reads into one
+	// round trip instead of 2n.
+	b := t.C.NewBatch()
+	type entryRes struct{ a, f *nub.IntRes }
+	ents := make([]entryRes, n)
 	for i := uint32(0); i < uint32(n); i++ {
-		a, err := t.C.FetchInt(amem.Data, t.RPT+4+8*i, 4)
-		if err != nil {
-			return err
+		ents[i] = entryRes{
+			a: b.FetchInt(amem.Data, t.RPT+4+8*i, 4),
+			f: b.FetchInt(amem.Data, t.RPT+4+8*i+4, 4),
 		}
-		f, err := t.C.FetchInt(amem.Data, t.RPT+4+8*i+4, 4)
-		if err != nil {
-			return err
+	}
+	if err := b.Run(); err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.a.Err != nil {
+			return e.a.Err
 		}
-		w.rpt = append(w.rpt, rptEntry{addr: uint32(a), frame: uint32(f)})
+		if e.f.Err != nil {
+			return e.f.Err
+		}
+		w.rpt = append(w.rpt, rptEntry{addr: uint32(e.a.Val), frame: uint32(e.f.Val)})
 	}
 	return nil
 }

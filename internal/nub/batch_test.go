@@ -1,0 +1,652 @@
+package nub
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch/mips"
+	"ldb/internal/machine"
+)
+
+// TestBatchedSessionAllTargets drives fetches and stores through MBatch
+// envelopes on every target and checks the results match what the
+// single-shot methods return.
+func TestBatchedSessionAllTargets(t *testing.T) {
+	for _, a := range allArches {
+		t.Run(a.Name(), func(t *testing.T) {
+			code := testProgram(t, a)
+			c, _, _, err := Launch(a, code, make([]byte, 64), machine.TextBase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.Batching() {
+				t.Fatal("nub did not advertise batch support")
+			}
+			b := c.NewBatch()
+			s1 := b.StoreInt(amem.Data, machine.DataBase+8, 4, 0xdead)
+			s2 := b.StoreInt(amem.Data, machine.DataBase+12, 2, 0xbeef)
+			if err := b.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if s1.Err != nil || s2.Err != nil {
+				t.Fatalf("stores: %v %v", s1.Err, s2.Err)
+			}
+			c.SetCaching(false) // force the fetches onto the wire
+			b = c.NewBatch()
+			f1 := b.FetchInt(amem.Data, machine.DataBase+8, 4)
+			f2 := b.FetchInt(amem.Data, machine.DataBase+12, 2)
+			f3 := b.FetchBytes(amem.Code, machine.TextBase, 8)
+			bad := b.FetchInt(amem.Data, machine.DataBase+1<<16, 4)
+			if err := b.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if f1.Err != nil || f1.Val != 0xdead {
+				t.Errorf("f1 = %#x, %v", f1.Val, f1.Err)
+			}
+			if f2.Err != nil || f2.Val != 0xbeef {
+				t.Errorf("f2 = %#x, %v", f2.Val, f2.Err)
+			}
+			if f3.Err != nil || !bytes.Equal(f3.Data, code[:8]) {
+				t.Errorf("f3 = %x, %v", f3.Data, f3.Err)
+			}
+			// A failing member fails alone; the rest of the batch lands.
+			if bad.Err == nil {
+				t.Error("out-of-bounds fetch in a batch succeeded")
+			}
+			st := c.Stats()
+			if st.Batches < 2 {
+				t.Errorf("batches = %d, want >= 2", st.Batches)
+			}
+			if st.BatchOccupancy() < 2 {
+				t.Errorf("occupancy = %.1f, want >= 2", st.BatchOccupancy())
+			}
+		})
+	}
+}
+
+// TestBatchFallsBackOnLegacyNub pairs the client with a nub built
+// before MBatch existed: everything must still work, one message at a
+// time.
+func TestBatchFallsBackOnLegacyNub(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	p := machine.New(a, code, make([]byte, 64), machine.TextBase)
+	n := New(p)
+	n.LegacyProtocol = true
+	n.Start()
+	c, err := Pair(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Batching() {
+		t.Fatal("client claims batching against a legacy nub")
+	}
+	c.SetBatching(true) // asking again must not help
+	if c.Batching() {
+		t.Fatal("SetBatching overrode the nub's welcome")
+	}
+	b := c.NewBatch()
+	s := b.StoreInt(amem.Data, machine.DataBase+8, 4, 7)
+	f := b.FetchInt(amem.Data, machine.DataBase+8, 4)
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Err != nil || f.Err != nil || f.Val != 7 {
+		t.Fatalf("fallback batch: %v %v val=%d", s.Err, f.Err, f.Val)
+	}
+	st := c.Stats()
+	if st.Batches != 0 {
+		t.Errorf("legacy session used %d envelopes", st.Batches)
+	}
+	if st.RoundTrips < 2 {
+		t.Errorf("round trips = %d, want one per operation", st.RoundTrips)
+	}
+}
+
+// rawSession connects a raw wire to a serving nub and consumes the
+// welcome and the pending event.
+func rawSession(t *testing.T, n *Nub) (net.Conn, func()) {
+	t.Helper()
+	a, b := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = n.Serve(a)
+	}()
+	w, err := ReadMsg(b)
+	if err != nil || w.Kind != MWelcome {
+		t.Fatalf("welcome: %v %v", w, err)
+	}
+	if w.Val&WelcomeBatch == 0 {
+		t.Fatal("welcome does not advertise batching")
+	}
+	if _, err := ReadMsg(b); err != nil {
+		t.Fatalf("pending event: %v", err)
+	}
+	return b, func() { b.Close(); <-done }
+}
+
+// TestBatchRejectsControlMembers sends envelopes carrying messages that
+// may not ride in a batch: the member gets an MError, the envelope (and
+// well-formed members beside it) still succeed.
+func TestBatchRejectsControlMembers(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	p := machine.New(a, code, make([]byte, 64), machine.TextBase)
+	n := New(p)
+	n.Start()
+	conn, shutdown := rawSession(t, n)
+	defer shutdown()
+
+	env, err := EncodeBatch(MBatch, []*Msg{
+		{Kind: MContinue},
+		{Kind: MFetchInt, Space: byte(amem.Data), Addr: machine.DataBase, Size: 4},
+		{Kind: MKill},
+		{Kind: MDetach},
+		{Kind: MHello},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMsg(conn, env); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != MBatchReply {
+		t.Fatalf("reply = %v", rep.Kind)
+	}
+	members, err := DecodeBatch(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []MsgKind{MError, MValue, MError, MError, MError}
+	for i, m := range members {
+		if m.Kind != wantKinds[i] {
+			t.Errorf("member %d = %v, want %v", i, m.Kind, wantKinds[i])
+		}
+	}
+	// The target never ran and is still alive: a plain fetch works.
+	if err := WriteMsg(conn, &Msg{Kind: MFetchInt, Space: byte(amem.Data), Addr: machine.DataBase, Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err = ReadMsg(conn); err != nil || rep.Kind != MValue {
+		t.Fatalf("session broken after rejected members: %v %v", rep, err)
+	}
+
+	// A hand-crafted nested envelope is rejected as a whole.
+	var inner bytes.Buffer
+	if err := WriteMsg(&inner, &Msg{Kind: MFetchInt, Space: byte(amem.Data), Addr: machine.DataBase, Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var outer bytes.Buffer
+	if err := WriteMsg(&outer, &Msg{Kind: MBatch, Val: 1, Data: inner.Bytes()}); err != nil {
+		t.Fatal(err)
+	}
+	nested := &Msg{Kind: MBatch, Val: 1, Data: outer.Bytes()}
+	if err := WriteMsg(conn, nested); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err = ReadMsg(conn); err != nil {
+		t.Fatal(err)
+	}
+	// A malformed envelope is answered with a plain error for the whole
+	// envelope, not a member-level one.
+	if rep.Kind != MError {
+		t.Fatalf("nested envelope answered with %v, want MError", rep.Kind)
+	}
+}
+
+// TestLegacyNubRejectsEnvelopes: a pre-batch nub answers an MBatch with
+// a plain MError, which is what tells the (misbehaving) client it never
+// negotiated.
+func TestLegacyNubRejectsEnvelopes(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	p := machine.New(a, code, make([]byte, 64), machine.TextBase)
+	n := New(p)
+	n.LegacyProtocol = true
+	n.Start()
+	conn, shutdown := func() (net.Conn, func()) {
+		x, y := net.Pipe()
+		done := make(chan struct{})
+		go func() { defer close(done); _ = n.Serve(x) }()
+		w, err := ReadMsg(y)
+		if err != nil || w.Kind != MWelcome || w.Val&WelcomeBatch != 0 {
+			t.Fatalf("legacy welcome: %v %v", w, err)
+		}
+		if _, err := ReadMsg(y); err != nil {
+			t.Fatal(err)
+		}
+		return y, func() { y.Close(); <-done }
+	}()
+	defer shutdown()
+	env, err := EncodeBatch(MBatch, []*Msg{{Kind: MFetchInt, Space: byte(amem.Data), Addr: machine.DataBase, Size: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMsg(conn, env); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadMsg(conn)
+	if err != nil || rep.Kind != MError {
+		t.Fatalf("legacy nub answered %v, %v; want MError", rep, err)
+	}
+}
+
+// encodeEnvelope builds raw member bytes for hand-rolled malformed
+// envelopes.
+func encodeMembers(t *testing.T, msgs ...*Msg) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeBatchMalformed table-tests the envelope decoder against
+// malformed framing: every case must return an error, never panic.
+func TestDecodeBatchMalformed(t *testing.T) {
+	fetch := &Msg{Kind: MFetchInt, Space: byte(amem.Data), Addr: 16, Size: 4}
+	one := encodeMembers(t, fetch)
+	two := encodeMembers(t, fetch, fetch)
+	cases := []struct {
+		name string
+		env  *Msg
+	}{
+		{"not an envelope", &Msg{Kind: MFetchInt, Val: 1, Data: one}},
+		{"zero count", &Msg{Kind: MBatch, Val: 0, Data: one}},
+		{"count over limit", &Msg{Kind: MBatch, Val: MaxBatch + 1, Data: one}},
+		{"count exceeds payload", &Msg{Kind: MBatch, Val: 2, Data: one}},
+		{"payload exceeds count", &Msg{Kind: MBatch, Val: 1, Data: two}},
+		{"empty payload", &Msg{Kind: MBatch, Val: 1}},
+		{"truncated member", &Msg{Kind: MBatch, Val: 1, Data: one[:len(one)-1]}},
+		{"truncated header", &Msg{Kind: MBatch, Val: 1, Data: one[:5]}},
+		{"nested envelope", &Msg{Kind: MBatch, Val: 1,
+			Data: encodeMembers(t, &Msg{Kind: MBatch, Val: 1, Data: one})}},
+		{"nested reply", &Msg{Kind: MBatchReply, Val: 1,
+			Data: encodeMembers(t, &Msg{Kind: MBatchReply, Val: 1, Data: one})}},
+		{"garbage payload", &Msg{Kind: MBatch, Val: 3, Data: bytes.Repeat([]byte{0xff}, 90)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeBatch(tc.env); err == nil {
+				t.Errorf("decoded successfully, want error")
+			}
+		})
+	}
+}
+
+// TestEncodeBatchLimits checks the encoder refuses what the decoder
+// would reject.
+func TestEncodeBatchLimits(t *testing.T) {
+	fetch := &Msg{Kind: MFetchInt, Space: byte(amem.Data), Addr: 16, Size: 4}
+	if _, err := EncodeBatch(MBatch, nil); err == nil {
+		t.Error("empty batch encoded")
+	}
+	over := make([]*Msg, MaxBatch+1)
+	for i := range over {
+		over[i] = fetch
+	}
+	if _, err := EncodeBatch(MBatch, over); err == nil {
+		t.Error("oversized batch encoded")
+	}
+	if _, err := EncodeBatch(MBatch, []*Msg{{Kind: MBatch}}); err == nil {
+		t.Error("nested envelope encoded")
+	}
+	if _, err := EncodeBatch(MFetchInt, []*Msg{fetch}); err == nil {
+		t.Error("non-envelope kind encoded")
+	}
+	big := &Msg{Kind: MStoreBytes, Space: byte(amem.Data), Data: make([]byte, maxDataLen/2)}
+	if _, err := EncodeBatch(MBatch, []*Msg{big, big, big}); err == nil {
+		t.Error("envelope over the payload limit encoded")
+	}
+}
+
+// FuzzDecodeBatch fuzzes the envelope decoder: arbitrary payloads and
+// counts must produce errors, never panics, and a successful decode
+// must yield exactly the advertised member count.
+func FuzzDecodeBatch(f *testing.F) {
+	fetch := &Msg{Kind: MFetchInt, Space: byte(amem.Data), Addr: 16, Size: 4}
+	var buf bytes.Buffer
+	_ = WriteMsg(&buf, fetch)
+	one := buf.Bytes()
+	f.Add(uint32(1), one)
+	f.Add(uint32(2), append(append([]byte(nil), one...), one...))
+	f.Add(uint32(0), []byte{})
+	f.Add(uint32(1), one[:len(one)-3])
+	f.Add(uint32(600), bytes.Repeat(one, 3))
+	f.Add(uint32(7), bytes.Repeat([]byte{0x41}, 64))
+	f.Fuzz(func(t *testing.T, count uint32, payload []byte) {
+		for _, kind := range []MsgKind{MBatch, MBatchReply} {
+			env := &Msg{Kind: kind, Val: uint64(count), Data: payload}
+			msgs, err := DecodeBatch(env)
+			if err == nil && len(msgs) != int(count) {
+				t.Fatalf("decoded %d members, envelope said %d", len(msgs), count)
+			}
+		}
+	})
+}
+
+// TestCacheInvalidationOnContinue is the regression test for the cache
+// coherence rule: memory fetched before a continue must be re-fetched
+// after it, because the target ran. The test program stores 42 at
+// DataBase between its two traps.
+func TestCacheInvalidationOnContinue(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	c, _, _, err := Launch(a, code, make([]byte, 64), machine.TextBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Caching() {
+		t.Fatal("caching off by default")
+	}
+	v, err := c.FetchInt(amem.Data, machine.DataBase, 4)
+	if err != nil || v != 0 {
+		t.Fatalf("before continue: %d, %v", v, err)
+	}
+	// The second fetch is served from the cache.
+	pre := c.Stats()
+	if v, err = c.FetchInt(amem.Data, machine.DataBase, 4); err != nil || v != 0 {
+		t.Fatalf("cached fetch: %d, %v", v, err)
+	}
+	post := c.Stats()
+	if post.CacheHits <= pre.CacheHits {
+		t.Fatalf("second fetch missed the cache (hits %d -> %d)", pre.CacheHits, post.CacheHits)
+	}
+	if post.RoundTrips != pre.RoundTrips {
+		t.Fatalf("cached fetch went to the wire")
+	}
+	ev, err := c.Continue()
+	if err != nil || ev.Exited {
+		t.Fatalf("continue: %v %v", ev, err)
+	}
+	// The target stored 42; a stale cache would still say 0.
+	v, err = c.FetchInt(amem.Data, machine.DataBase, 4)
+	if err != nil || v != 42 {
+		t.Fatalf("after continue: %d, %v (stale cache?)", v, err)
+	}
+	if got := c.Stats().Invalidations; got < post.Invalidations+1 {
+		t.Errorf("invalidations = %d, want > %d", got, post.Invalidations)
+	}
+}
+
+// TestPlantUnplantCacheCoherence: planting writes through the cached
+// code image; unplanting evicts it, so the next fetch sees the
+// restored instruction.
+func TestPlantUnplantCacheCoherence(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	c, _, _, err := Launch(a, code, make([]byte, 64), machine.TextBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint32(machine.TextBase + 4)
+	orig, err := c.FetchBytes(amem.Code, addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trap := a.BreakInstr()
+	if err := c.PlantStore(addr, trap); err != nil {
+		t.Fatal(err)
+	}
+	pre := c.Stats()
+	got, err := c.FetchBytes(amem.Code, addr, 4)
+	if err != nil || !bytes.Equal(got, trap) {
+		t.Fatalf("after plant: %x, %v; want %x", got, err, trap)
+	}
+	if c.Stats().RoundTrips != pre.RoundTrips {
+		t.Error("fetch after plant went to the wire; write-through failed")
+	}
+	if err := c.UnplantStore(addr); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.FetchBytes(amem.Code, addr, 4)
+	if err != nil || !bytes.Equal(got, orig) {
+		t.Fatalf("after unplant: %x, %v; want %x", got, err, orig)
+	}
+}
+
+// TestStoreWritesThroughCache: a store followed by a fetch of the same
+// address returns the stored value without a round trip.
+func TestStoreWritesThroughCache(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	c, _, _, err := Launch(a, code, make([]byte, 64), machine.TextBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the cache around the address first.
+	if _, err := c.FetchBytes(amem.Data, machine.DataBase, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreInt(amem.Data, machine.DataBase+4, 4, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	pre := c.Stats()
+	v, err := c.FetchInt(amem.Data, machine.DataBase+4, 4)
+	if err != nil || v != 0x1234 {
+		t.Fatalf("fetch after store: %#x, %v", v, err)
+	}
+	if c.Stats().RoundTrips != pre.RoundTrips {
+		t.Error("fetch after store went to the wire")
+	}
+	// And the wire agrees once the cache is dropped.
+	c.SetCaching(false)
+	if v, err = c.FetchInt(amem.Data, machine.DataBase+4, 4); err != nil || v != 0x1234 {
+		t.Fatalf("wire disagrees with cache: %#x, %v", v, err)
+	}
+}
+
+// TestStatsConcurrentReaders hammers the wire while other goroutines
+// snapshot and reset the counters — meaningful only under -race, where
+// any unsynchronized counter access fails the build.
+func TestStatsConcurrentReaders(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	c, n, _, err := Launch(a, code, make([]byte, 64), machine.TextBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = c.Stats()
+					_ = n.Stats.Snapshot()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		b := c.NewBatch()
+		b.FetchInt(amem.Data, machine.DataBase, 4)
+		b.FetchBytes(amem.Code, machine.TextBase, 8)
+		if err := b.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			c.ResetStats()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestFetchLineTruncatesAtSegmentEnd: a readahead line that runs past
+// the end of its segment comes back short instead of failing, an exact
+// fetch of the same span still fails, and a line aimed at unmapped
+// memory is an error. The request also rides inside envelopes.
+func TestFetchLineTruncatesAtSegmentEnd(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	p := machine.New(a, code, make([]byte, 64), machine.TextBase)
+	n := New(p)
+	n.Start()
+	conn, shutdown := rawSession(t, n)
+	defer shutdown()
+	ask := func(m *Msg) *Msg {
+		t.Helper()
+		if err := WriteMsg(conn, m); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ReadMsg(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	// The data segment is 64 bytes; ask for a 256-byte line at +32.
+	rep := ask(&Msg{Kind: MFetchLine, Space: byte(amem.Data), Addr: machine.DataBase + 32, Size: 256})
+	if rep.Kind != MBytes || len(rep.Data) != 32 {
+		t.Fatalf("line past segment end: %v (%d bytes), want 32 bytes", rep.Kind, len(rep.Data))
+	}
+	// The same span as an exact fetch must still fail.
+	if rep := ask(&Msg{Kind: MFetchBytes, Space: byte(amem.Data), Addr: machine.DataBase + 32, Size: 256}); rep.Kind != MError {
+		t.Fatalf("exact fetch past segment end: %v, want MError", rep.Kind)
+	}
+	// A line wholly inside the segment comes back full-length.
+	if rep := ask(&Msg{Kind: MFetchLine, Space: byte(amem.Data), Addr: machine.DataBase, Size: 16}); rep.Kind != MBytes || len(rep.Data) != 16 {
+		t.Fatalf("interior line: %v (%d bytes), want 16", rep.Kind, len(rep.Data))
+	}
+	// Unmapped base: error, like any fetch.
+	if rep := ask(&Msg{Kind: MFetchLine, Space: byte(amem.Data), Addr: 0x100, Size: 64}); rep.Kind != MError {
+		t.Fatalf("unmapped line: %v, want MError", rep.Kind)
+	}
+	// Inside an envelope it behaves the same.
+	env, err := EncodeBatch(MBatch, []*Msg{
+		{Kind: MFetchLine, Space: byte(amem.Data), Addr: machine.DataBase + 48, Size: 256},
+		{Kind: MFetchInt, Space: byte(amem.Data), Addr: machine.DataBase, Size: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = ask(env)
+	if rep.Kind != MBatchReply {
+		t.Fatalf("envelope reply: %v", rep.Kind)
+	}
+	subs, err := DecodeBatch(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subs[0].Kind != MBytes || len(subs[0].Data) != 16 {
+		t.Fatalf("batched line: %v (%d bytes), want 16", subs[0].Kind, len(subs[0].Data))
+	}
+	if subs[1].Kind != MValue {
+		t.Fatalf("batched fetch beside line: %v", subs[1].Kind)
+	}
+}
+
+// TestLegacyNubRejectsFetchLine: a pre-batch nub does not know the
+// readahead request — and a client that honors the welcome never sends
+// one, so its cached fetches still work against such a nub.
+func TestLegacyNubRejectsFetchLine(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	p := machine.New(a, code, make([]byte, 64), machine.TextBase)
+	n := New(p)
+	n.LegacyProtocol = true
+	n.Start()
+	x, y := net.Pipe()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = n.Serve(x) }()
+	defer func() { y.Close(); <-done }()
+	if w, err := ReadMsg(y); err != nil || w.Kind != MWelcome || w.Val&WelcomeBatch != 0 {
+		t.Fatalf("legacy welcome: %v %v", w, err)
+	}
+	if _, err := ReadMsg(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMsg(y, &Msg{Kind: MFetchLine, Space: byte(amem.Data), Addr: machine.DataBase, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadMsg(y)
+	if err != nil || rep.Kind != MError {
+		t.Fatalf("legacy nub answered %v, %v; want MError", rep, err)
+	}
+}
+
+// TestCachedFetchAgainstLegacyNub: with caching on but no negotiated
+// capability, the client skips readahead entirely and still serves
+// correct values (one exact fetch per cold word).
+func TestCachedFetchAgainstLegacyNub(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	p := machine.New(a, code, make([]byte, 64), machine.TextBase)
+	n := New(p)
+	n.LegacyProtocol = true
+	n.Start()
+	c, err := Pair(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCaching(true)
+	if err := c.StoreInt(amem.Data, machine.DataBase+4, 4, 99); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.FetchInt(amem.Data, machine.DataBase+4, 4)
+	if err != nil || v != 99 {
+		t.Fatalf("cached fetch via legacy nub: %d, %v", v, err)
+	}
+	before := c.Stats().RoundTrips
+	if v, err := c.FetchInt(amem.Data, machine.DataBase+4, 4); err != nil || v != 99 {
+		t.Fatalf("re-fetch: %d, %v", v, err)
+	}
+	if rt := c.Stats().RoundTrips; rt != before {
+		t.Errorf("cache hit cost %d round trips", rt-before)
+	}
+}
+
+// TestFetchIntAtSegmentEdge: with the full optimized transport on, a
+// fetch of the last word of a segment works (the readahead line comes
+// back truncated but covering it), and a fetch straddling the segment
+// end fails with the same error the plain transport reports.
+func TestFetchIntAtSegmentEdge(t *testing.T) {
+	a := mips.Little
+	run := func(optimized bool) (uint64, error, string) {
+		code := testProgram(t, a)
+		p := machine.New(a, code, make([]byte, 64), machine.TextBase)
+		n := New(p)
+		n.Start()
+		c, err := Pair(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetBatching(optimized)
+		c.SetCaching(optimized)
+		v, verr := c.FetchInt(amem.Data, machine.DataBase+60, 4)
+		if verr != nil {
+			t.Fatalf("optimized=%v: last word: %v", optimized, verr)
+		}
+		_, serr := c.FetchInt(amem.Data, machine.DataBase+62, 4)
+		if serr == nil {
+			t.Fatalf("optimized=%v: straddling fetch succeeded", optimized)
+		}
+		return v, verr, serr.Error()
+	}
+	vOn, _, errOn := run(true)
+	vOff, _, errOff := run(false)
+	if vOn != vOff {
+		t.Errorf("last-word value differs: %d optimized, %d plain", vOn, vOff)
+	}
+	if errOn != errOff {
+		t.Errorf("straddle error differs:\noptimized: %s\nplain:     %s", errOn, errOff)
+	}
+}

@@ -1,6 +1,7 @@
 package nub
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -33,7 +34,11 @@ func (e *Event) String() string {
 	return fmt.Sprintf("%v code=%d pc=%#x", e.Sig, e.Code, e.PC)
 }
 
-// Client is the debugger end of the nub protocol.
+// Client is the debugger end of the nub protocol. On top of the plain
+// request/reply protocol it batches messages into MBatch envelopes
+// (when the nub's welcome advertises support), keeps a read-through
+// cache of target memory that a continue fully invalidates, and counts
+// wire traffic in a Stats.
 type Client struct {
 	conn     io.ReadWriter
 	ArchName string
@@ -41,25 +46,78 @@ type Client struct {
 	CtxSize  uint32
 	// Last is the most recent event.
 	Last *Event
+
+	stats   Stats
+	batchOK bool // the nub's welcome advertised MBatch
+	batchOn bool // client-side switch (default on)
+	cache   *memCache
+	order   binary.ByteOrder // target byte order, for serving cached ints
 }
 
 // Connect performs the protocol handshake: it reads the nub's welcome
-// and the pending event.
+// and the pending event. Batching is negotiated from the welcome's
+// capability bits; caching is on by default (Continue invalidates it).
 func Connect(conn io.ReadWriter) (*Client, error) {
-	w, err := ReadMsg(conn)
+	c := &Client{batchOn: true, cache: newMemCache()}
+	c.conn = &countRW{rw: conn, s: &c.stats}
+	w, err := ReadMsg(c.conn)
 	if err != nil {
 		return nil, err
 	}
+	c.stats.MsgsReceived.Add(1)
 	if w.Kind != MWelcome {
 		return nil, fmt.Errorf("nub: expected welcome, got %v", w.Kind)
 	}
-	c := &Client{conn: conn, ArchName: string(w.Data), CtxAddr: w.Addr, CtxSize: w.Size}
+	c.ArchName, c.CtxAddr, c.CtxSize = string(w.Data), w.Addr, w.Size
+	c.batchOK = w.Val&WelcomeBatch != 0
+	if a, ok := arch.Lookup(c.ArchName); ok {
+		c.order = a.Order()
+	}
 	ev, err := c.readEvent()
 	if err != nil {
 		return nil, err
 	}
 	c.Last = ev
 	return c, nil
+}
+
+// SetBatching enables or disables MBatch envelopes. Batching is used
+// only when the nub also advertised support; turning it off here forces
+// the one-message-at-a-time protocol.
+func (c *Client) SetBatching(on bool) { c.batchOn = on }
+
+// SetCaching enables or disables the client-side memory cache. Turning
+// it off drops everything cached.
+func (c *Client) SetCaching(on bool) {
+	if on {
+		if c.cache == nil {
+			c.cache = newMemCache()
+		}
+		return
+	}
+	c.cache = nil
+}
+
+// Batching reports whether envelopes are in use on this connection.
+func (c *Client) Batching() bool { return c.batchOn && c.batchOK }
+
+// Caching reports whether the client-side memory cache is in use.
+func (c *Client) Caching() bool { return c.cache != nil }
+
+// Stats returns a snapshot of the wire counters.
+func (c *Client) Stats() StatsSnapshot { return c.stats.Snapshot() }
+
+// ResetStats zeroes the wire counters.
+func (c *Client) ResetStats() { c.stats.Reset() }
+
+// InvalidateCache drops every cached byte. Continue does this
+// automatically; it is exported for embedders that know the target
+// changed some other way.
+func (c *Client) InvalidateCache() {
+	if c.cache != nil {
+		c.cache.reset()
+		c.stats.Invalidations.Add(1)
+	}
 }
 
 // Dial connects to a nub listening on a TCP address.
@@ -81,6 +139,7 @@ func (c *Client) readEvent() (*Event, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.stats.MsgsReceived.Add(1)
 	switch m.Kind {
 	case MEvent:
 		return &Event{Sig: arch.Signal(m.Sig), Code: int(m.Code), PC: uint32(m.Val), Ctx: m.Addr}, nil
@@ -95,10 +154,13 @@ func (c *Client) roundTrip(req *Msg, want MsgKind) (*Msg, error) {
 	if err := WriteMsg(c.conn, req); err != nil {
 		return nil, err
 	}
+	c.stats.MsgsSent.Add(1)
 	rep, err := ReadMsg(c.conn)
 	if err != nil {
 		return nil, err
 	}
+	c.stats.MsgsReceived.Add(1)
+	c.stats.RoundTrips.Add(1)
 	if rep.Kind == MError {
 		return nil, errors.New("nub: " + string(rep.Data))
 	}
@@ -108,22 +170,93 @@ func (c *Client) roundTrip(req *Msg, want MsgKind) (*Msg, error) {
 	return rep, nil
 }
 
-// FetchInt reads a size-byte integer at addr in the given space.
+// cacheable reports whether the cache may serve this space at all: only
+// the code and data spaces travel on the wire.
+func cacheable(space amem.Space) bool {
+	return space == amem.Code || space == amem.Data
+}
+
+// readahead is how many bytes a cache-missing FetchInt pulls over the
+// wire instead of just the word asked for: one fetch of a line makes
+// the neighboring words — the rest of an array, the anchor table, the
+// next context slots — free. Lines travel as MFetchLine requests,
+// which the nub truncates at the segment end, so readahead never
+// manufactures errors that an exact fetch would not have hit.
+const readahead = 256
+
+// fetchLine pulls a readahead line via MFetchLine; the reply may be
+// shorter than asked when the containing segment ends early. Only sent
+// to nubs that negotiated the batch capability — a legacy nub never
+// sees the request kind.
+func (c *Client) fetchLine(space amem.Space, addr uint32, n int) ([]byte, error) {
+	rep, err := c.roundTrip(&Msg{Kind: MFetchLine, Space: byte(space), Addr: addr, Size: uint32(n)}, MBytes)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// FetchInt reads a size-byte integer at addr in the given space. With
+// the cache on, a hit costs nothing on the wire and a miss pulls a
+// readahead line so neighboring fetches hit.
 func (c *Client) FetchInt(space amem.Space, addr uint32, size int) (uint64, error) {
+	if c.cache != nil && cacheable(space) {
+		if v, ok := c.cache.serveInt(c.order, space, addr, size); ok {
+			c.stats.CacheHits.Add(1)
+			return v, nil
+		}
+		c.stats.CacheMisses.Add(1)
+		if c.batchOK && c.order != nil && size > 0 && size <= 8 {
+			// Pull a line; if it comes up short (or the line base sits
+			// in an unmapped hole) fall through to the exact fetch,
+			// which preserves the uncached error behavior bit for bit.
+			base := addr &^ (readahead/2 - 1)
+			if line, err := c.fetchLine(space, base, readahead); err == nil && len(line) > 0 {
+				c.cache.insert(space, base, line)
+				if v, ok := c.cache.serveInt(c.order, space, addr, size); ok {
+					return v, nil
+				}
+			}
+		}
+	}
 	rep, err := c.roundTrip(&Msg{Kind: MFetchInt, Space: byte(space), Addr: addr, Size: uint32(size)}, MValue)
 	if err != nil {
 		return 0, err
 	}
+	if c.cache != nil && cacheable(space) && c.order != nil && size > 0 && size <= 8 {
+		buf := make([]byte, size)
+		amem.WriteInt(c.order, buf, rep.Val)
+		c.cache.insert(space, addr, buf)
+	}
 	return rep.Val, nil
 }
 
-// StoreInt writes a size-byte integer.
+// StoreInt writes a size-byte integer, writing through the cache.
 func (c *Client) StoreInt(space amem.Space, addr uint32, size int, val uint64) error {
 	_, err := c.roundTrip(&Msg{Kind: MStoreInt, Space: byte(space), Addr: addr, Size: uint32(size), Val: val}, MOK)
+	if err == nil {
+		c.writeThroughInt(space, addr, size, val)
+	}
 	return err
 }
 
-// FetchFloat reads a float of logical size 4, 8, or 10.
+// writeThroughInt patches the cached copy after a successful StoreInt.
+func (c *Client) writeThroughInt(space amem.Space, addr uint32, size int, val uint64) {
+	if c.cache == nil || !cacheable(space) {
+		return
+	}
+	if c.order == nil || size <= 0 || size > 8 {
+		c.cache.invalidate(space, addr, max(size, 8))
+		return
+	}
+	buf := make([]byte, size)
+	amem.WriteInt(c.order, buf, val)
+	c.cache.patch(space, addr, buf)
+}
+
+// FetchFloat reads a float of logical size 4, 8, or 10. Floats always
+// go to the wire: the nub applies machine-dependent compensation (the
+// big-endian MIPS word swap) that raw cached bytes would miss.
 func (c *Client) FetchFloat(space amem.Space, addr uint32, size int) (float64, error) {
 	rep, err := c.roundTrip(&Msg{Kind: MFetchFloat, Space: byte(space), Addr: addr, Size: uint32(size)}, MFValue)
 	if err != nil {
@@ -132,14 +265,19 @@ func (c *Client) FetchFloat(space amem.Space, addr uint32, size int) (float64, e
 	return float64frombits(rep.Val), nil
 }
 
-// StoreFloat writes a float of logical size 4, 8, or 10.
+// StoreFloat writes a float of logical size 4, 8, or 10. The cached
+// bytes under the store are evicted (the nub may word-swap on the way
+// in, so the client cannot patch them itself).
 func (c *Client) StoreFloat(space amem.Space, addr uint32, size int, val float64) error {
 	_, err := c.roundTrip(&Msg{Kind: MStoreFloat, Space: byte(space), Addr: addr, Size: uint32(size), Val: float64bits(val)}, MOK)
+	if err == nil && c.cache != nil && cacheable(space) {
+		c.cache.invalidate(space, addr, 12)
+	}
 	return err
 }
 
-// FetchBytes reads n raw bytes.
-func (c *Client) FetchBytes(space amem.Space, addr uint32, n int) ([]byte, error) {
+// fetchBytesWire is FetchBytes without cache involvement.
+func (c *Client) fetchBytesWire(space amem.Space, addr uint32, n int) ([]byte, error) {
 	rep, err := c.roundTrip(&Msg{Kind: MFetchBytes, Space: byte(space), Addr: addr, Size: uint32(n)}, MBytes)
 	if err != nil {
 		return nil, err
@@ -147,9 +285,46 @@ func (c *Client) FetchBytes(space amem.Space, addr uint32, n int) ([]byte, error
 	return rep.Data, nil
 }
 
-// StoreBytes writes raw bytes.
+// FetchBytes reads n raw bytes, through the cache when possible.
+func (c *Client) FetchBytes(space amem.Space, addr uint32, n int) ([]byte, error) {
+	if c.cache != nil && cacheable(space) && n > 0 {
+		if b, ok := c.cache.lookup(space, addr, n); ok {
+			c.stats.CacheHits.Add(1)
+			return append([]byte(nil), b...), nil
+		}
+		c.stats.CacheMisses.Add(1)
+	}
+	data, err := c.fetchBytesWire(space, addr, n)
+	if err != nil {
+		return nil, err
+	}
+	if c.cache != nil && cacheable(space) {
+		c.cache.insert(space, addr, data)
+	}
+	return data, nil
+}
+
+// Prefetch warms the cache with [addr, addr+n) in one round trip; with
+// the cache off it is a no-op, so turning caching off never adds
+// traffic. Callers use it to coalesce multi-word reads they know are
+// coming — the context record after a stop, say.
+func (c *Client) Prefetch(space amem.Space, addr uint32, n int) error {
+	if c.cache == nil || !cacheable(space) || n <= 0 {
+		return nil
+	}
+	if _, ok := c.cache.lookup(space, addr, n); ok {
+		return nil
+	}
+	_, err := c.FetchBytes(space, addr, n)
+	return err
+}
+
+// StoreBytes writes raw bytes, writing through the cache.
 func (c *Client) StoreBytes(space amem.Space, addr uint32, data []byte) error {
 	_, err := c.roundTrip(&Msg{Kind: MStoreBytes, Space: byte(space), Addr: addr, Data: data}, MOK)
+	if err == nil && c.cache != nil && cacheable(space) {
+		c.cache.patch(space, addr, data)
+	}
 	return err
 }
 
@@ -157,13 +332,20 @@ func (c *Client) StoreBytes(space amem.Space, addr uint32, data []byte) error {
 // store (§7.1), so the nub remembers the overwritten instruction.
 func (c *Client) PlantStore(addr uint32, trap []byte) error {
 	_, err := c.roundTrip(&Msg{Kind: MPlantStore, Space: byte(amem.Code), Addr: addr, Data: trap}, MOK)
+	if err == nil && c.cache != nil {
+		c.cache.patch(amem.Code, addr, trap)
+	}
 	return err
 }
 
 // UnplantStore removes a planted breakpoint, restoring the original
-// instruction from the nub's record.
+// instruction from the nub's record. The client does not know the
+// restored bytes, so the cached line under them is evicted.
 func (c *Client) UnplantStore(addr uint32) error {
 	_, err := c.roundTrip(&Msg{Kind: MUnplantStore, Space: byte(amem.Code), Addr: addr}, MOK)
+	if err == nil && c.cache != nil {
+		c.cache.invalidate(amem.Code, addr, 16)
+	}
 	return err
 }
 
@@ -195,15 +377,20 @@ func (c *Client) ListPlanted() ([]PlantedRecord, error) {
 	return out, nil
 }
 
-// Continue resumes the target and blocks until the next event.
+// Continue resumes the target and blocks until the next event. The
+// whole cache is invalidated first: once the target runs, no cached
+// state may be trusted again.
 func (c *Client) Continue() (*Event, error) {
+	c.InvalidateCache()
 	if err := WriteMsg(c.conn, &Msg{Kind: MContinue}); err != nil {
 		return nil, err
 	}
+	c.stats.MsgsSent.Add(1)
 	ev, err := c.readEvent()
 	if err != nil {
 		return nil, err
 	}
+	c.stats.RoundTrips.Add(1)
 	c.Last = ev
 	return ev, nil
 }

@@ -21,10 +21,21 @@ const (
 )
 
 // Nub controls one target process and serves the debugger protocol.
-// The guiding principle is to keep it as small as possible (§4.2).
+// The guiding principle is to keep it as small as possible (§4.2);
+// batching adds one envelope handler, not new concepts.
 type Nub struct {
 	P       *machine.Process
 	ctxAddr uint32
+
+	// LegacyProtocol, when set before serving, makes the nub behave
+	// like one built before MBatch existed: the welcome does not
+	// advertise batch support and envelopes are rejected. Clients fall
+	// back to one message at a time.
+	LegacyProtocol bool
+
+	// Stats counts messages served; atomic because the nub runs in its
+	// own goroutine while tests and debuggers read the counters.
+	Stats Stats
 
 	mu      sync.Mutex
 	pending *Msg // event to (re)send when a connection arrives
@@ -194,7 +205,7 @@ func (n *Nub) handle(m *Msg) *Msg {
 		return &Msg{Kind: MError, Data: []byte(fmt.Sprintf(format, args...))}
 	}
 	switch m.Kind {
-	case MHello, MContinue, MKill, MDetach, MListPlanted:
+	case MHello, MContinue, MKill, MDetach, MListPlanted, MBatch:
 		// no space operand
 	default:
 		if !validSpace(m.Space) {
@@ -202,6 +213,8 @@ func (n *Nub) handle(m *Msg) *Msg {
 		}
 	}
 	switch m.Kind {
+	case MBatch:
+		return n.handleBatch(m)
 	case MPlantStore:
 		// A store used only for planting breakpoints: remember what it
 		// overwrites.
@@ -290,6 +303,29 @@ func (n *Nub) handle(m *Msg) *Msg {
 			return errMsg("fetch %#x: %v", m.Addr, err)
 		}
 		return &Msg{Kind: MBytes, Data: out}
+	case MFetchLine:
+		// A readahead fetch: return however many of the requested
+		// bytes exist in the containing segment rather than failing at
+		// the segment's edge. Rides the batch capability bit, so a
+		// legacy nub refuses it like any unknown request.
+		if n.LegacyProtocol {
+			return errMsg("unknown request %v", m.Kind)
+		}
+		if m.Size > maxDataLen {
+			return errMsg("fetch too large")
+		}
+		for _, s := range p.Segs {
+			if m.Addr < s.Base || m.Addr >= s.Base+uint32(len(s.Data)) {
+				continue
+			}
+			size := min(uint64(m.Size), uint64(s.Base)+uint64(len(s.Data))-uint64(m.Addr))
+			out := make([]byte, size)
+			if err := p.ReadBytes(m.Addr, out); err != nil {
+				return errMsg("fetch %#x: %v", m.Addr, err)
+			}
+			return &Msg{Kind: MBytes, Data: out}
+		}
+		return errMsg("fetch %#x: unmapped", m.Addr)
 	case MStoreBytes:
 		if err := p.WriteBytes(m.Addr, m.Data); err != nil {
 			return errMsg("store %#x: %v", m.Addr, err)
@@ -298,6 +334,42 @@ func (n *Nub) handle(m *Msg) *Msg {
 	default:
 		return errMsg("unexpected request %v", m.Kind)
 	}
+}
+
+// handleBatch services an MBatch envelope: each member is handled in
+// order and the member replies travel back in one MBatchReply. Control
+// messages — continue, kill, detach, nested batches — may not ride in
+// an envelope; such members get individual error replies so the other
+// members still complete.
+func (n *Nub) handleBatch(m *Msg) *Msg {
+	errMsg := func(format string, args ...any) *Msg {
+		return &Msg{Kind: MError, Data: []byte(fmt.Sprintf(format, args...))}
+	}
+	if n.LegacyProtocol {
+		return errMsg("nub does not understand batches")
+	}
+	subs, err := DecodeBatch(m)
+	if err != nil {
+		return errMsg("%v", err)
+	}
+	n.Stats.Batches.Add(1)
+	n.Stats.BatchedMsgs.Add(int64(len(subs)))
+	reps := make([]*Msg, len(subs))
+	for i, sub := range subs {
+		switch sub.Kind {
+		case MContinue, MKill, MDetach, MHello, MBatch, MBatchReply:
+			reps[i] = errMsg("%v may not ride in a batch", sub.Kind)
+		default:
+			reps[i] = n.handle(sub)
+		}
+	}
+	env, err := EncodeBatch(MBatchReply, reps)
+	if err != nil {
+		// Oversized reply payloads and the like: report instead of
+		// breaking the connection.
+		return errMsg("batch reply: %v", err)
+	}
+	return env
 }
 
 // Serve handles one debugger connection: it announces the target,
@@ -317,26 +389,34 @@ func (n *Nub) Serve(conn io.ReadWriter) error {
 		Size: uint32(n.P.A.Context().Size),
 		Data: []byte(n.P.A.Name()),
 	}
+	if !n.LegacyProtocol {
+		welcome.Val |= WelcomeBatch
+	}
 	if err := WriteMsg(conn, welcome); err != nil {
 		return err
 	}
+	n.Stats.MsgsSent.Add(1)
 	if n.pending == nil {
 		n.runAndLatch()
 	}
 	if err := WriteMsg(conn, n.pending); err != nil {
 		return err
 	}
+	n.Stats.MsgsSent.Add(1)
 	for {
 		req, err := ReadMsg(conn)
 		if err != nil {
 			return err // connection broken; state preserved
 		}
+		n.Stats.MsgsReceived.Add(1)
+		n.Stats.RoundTrips.Add(1)
 		switch req.Kind {
 		case MContinue:
 			if n.P.State == machine.StateExited {
 				if err := WriteMsg(conn, &Msg{Kind: MExited, Code: int32(n.P.ExitCode)}); err != nil {
 					return err
 				}
+				n.Stats.MsgsSent.Add(1)
 				continue
 			}
 			n.restoreContext()
@@ -344,18 +424,22 @@ func (n *Nub) Serve(conn io.ReadWriter) error {
 			if err := WriteMsg(conn, n.pending); err != nil {
 				return err
 			}
+			n.Stats.MsgsSent.Add(1)
 		case MKill:
 			n.dead = true
 			n.P.State = machine.StateExited
 			_ = WriteMsg(conn, &Msg{Kind: MOK})
+			n.Stats.MsgsSent.Add(1)
 			return nil
 		case MDetach:
 			_ = WriteMsg(conn, &Msg{Kind: MOK})
+			n.Stats.MsgsSent.Add(1)
 			return nil
 		default:
 			if err := WriteMsg(conn, n.handle(req)); err != nil {
 				return err
 			}
+			n.Stats.MsgsSent.Add(1)
 		}
 	}
 }

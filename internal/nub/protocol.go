@@ -17,6 +17,7 @@
 package nub
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -44,6 +45,20 @@ const (
 	MPlantStore
 	MUnplantStore
 	MListPlanted
+	// MBatch is an envelope carrying N requests whose N replies come
+	// back in one MBatchReply — one round trip instead of N. It adds no
+	// new concepts to the protocol: the envelope carries ordinary
+	// messages, and a nub that does not advertise batch support in its
+	// welcome is simply driven one message at a time.
+	MBatch
+	// MFetchLine is the client cache's readahead vehicle: fetch UP TO
+	// Size bytes at Addr, truncated where the containing segment ends,
+	// instead of failing the way an exact fetch must. It never carries
+	// user-visible semantics — the client issues it only speculatively
+	// and falls back to exact fetches when the line comes up short —
+	// and it rides the same WelcomeBatch capability bit, so a nub that
+	// never advertised the bit is never sent one.
+	MFetchLine
 	// replies and events
 	MWelcome
 	MValue
@@ -54,6 +69,7 @@ const (
 	MEvent
 	MExited
 	MPlanted
+	MBatchReply
 )
 
 func (k MsgKind) String() string {
@@ -64,7 +80,9 @@ func (k MsgKind) String() string {
 		MContinue: "continue", MKill: "kill", MDetach: "detach",
 		MPlantStore: "plantstore", MUnplantStore: "unplantstore",
 		MListPlanted: "listplanted", MPlanted: "planted",
-		MWelcome: "welcome", MValue: "value", MFValue: "fvalue",
+		MBatch: "batch", MBatchReply: "batchreply",
+		MFetchLine: "fetchline",
+		MWelcome:   "welcome", MValue: "value", MFValue: "fvalue",
 		MBytes: "bytes", MOK: "ok", MError: "error",
 		MEvent: "event", MExited: "exited",
 	}
@@ -90,6 +108,14 @@ type Msg struct {
 
 // maxDataLen bounds a message's byte payload.
 const maxDataLen = 1 << 20
+
+// WelcomeBatch is the capability bit in a welcome message's Val field:
+// the nub understands MBatch envelopes. A zero Val — what every nub
+// sent before batching existed — means one message at a time.
+const WelcomeBatch = 1 << 0
+
+// MaxBatch bounds how many messages one MBatch envelope may carry.
+const MaxBatch = 512
 
 // WriteMsg encodes m to w in the little-endian wire format.
 func WriteMsg(w io.Writer, m *Msg) error {
@@ -151,4 +177,57 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 		}
 	}
 	return m, nil
+}
+
+// EncodeBatch wraps msgs in an MBatch (or, from the nub, MBatchReply)
+// envelope: Val carries the count, Data the concatenated wire encodings
+// of the members. Envelopes do not nest.
+func EncodeBatch(kind MsgKind, msgs []*Msg) (*Msg, error) {
+	if kind != MBatch && kind != MBatchReply {
+		return nil, fmt.Errorf("nub: %v is not a batch envelope kind", kind)
+	}
+	if len(msgs) == 0 || len(msgs) > MaxBatch {
+		return nil, fmt.Errorf("nub: batch of %d messages (limit %d)", len(msgs), MaxBatch)
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if m.Kind == MBatch || m.Kind == MBatchReply {
+			return nil, fmt.Errorf("nub: batches do not nest")
+		}
+		if err := WriteMsg(&buf, m); err != nil {
+			return nil, err
+		}
+	}
+	if buf.Len() > maxDataLen {
+		return nil, fmt.Errorf("nub: batch payload too large (%d)", buf.Len())
+	}
+	return &Msg{Kind: kind, Val: uint64(len(msgs)), Data: buf.Bytes()}, nil
+}
+
+// DecodeBatch unpacks an MBatch or MBatchReply envelope. Malformed
+// envelopes — wrong counts, truncated members, trailing garbage, nested
+// batches — yield errors, never panics.
+func DecodeBatch(env *Msg) ([]*Msg, error) {
+	if env.Kind != MBatch && env.Kind != MBatchReply {
+		return nil, fmt.Errorf("nub: %v is not a batch envelope", env.Kind)
+	}
+	if env.Val == 0 || env.Val > MaxBatch {
+		return nil, fmt.Errorf("nub: batch claims %d messages (limit %d)", env.Val, MaxBatch)
+	}
+	r := bytes.NewReader(env.Data)
+	msgs := make([]*Msg, 0, env.Val)
+	for i := uint64(0); i < env.Val; i++ {
+		m, err := ReadMsg(r)
+		if err != nil {
+			return nil, fmt.Errorf("nub: batch member %d: truncated or malformed: %w", i, err)
+		}
+		if m.Kind == MBatch || m.Kind == MBatchReply {
+			return nil, fmt.Errorf("nub: batch member %d: batches do not nest", i)
+		}
+		msgs = append(msgs, m)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("nub: %d trailing bytes after batch members", r.Len())
+	}
+	return msgs, nil
 }

@@ -1,0 +1,110 @@
+package nub
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Stats counts wire-level activity. The counters are atomic so the nub
+// goroutine, the client, and anyone printing them race-freely; a Stats
+// must not be copied once in use.
+type Stats struct {
+	RoundTrips    atomic.Int64 // request/reply exchanges on the wire
+	MsgsSent      atomic.Int64 // messages written (envelopes count once)
+	MsgsReceived  atomic.Int64 // messages read (envelopes count once)
+	BytesSent     atomic.Int64
+	BytesReceived atomic.Int64
+	Batches       atomic.Int64 // MBatch envelopes exchanged
+	BatchedMsgs   atomic.Int64 // member messages carried inside envelopes
+	CacheHits     atomic.Int64 // fetches served from the client cache
+	CacheMisses   atomic.Int64 // fetches that had to go to the wire
+	Invalidations atomic.Int64 // whole-cache flushes (one per continue)
+}
+
+// StatsSnapshot is a plain-value copy of the counters, safe to compare
+// and print.
+type StatsSnapshot struct {
+	RoundTrips    int64
+	MsgsSent      int64
+	MsgsReceived  int64
+	BytesSent     int64
+	BytesReceived int64
+	Batches       int64
+	BatchedMsgs   int64
+	CacheHits     int64
+	CacheMisses   int64
+	Invalidations int64
+}
+
+// Snapshot reads every counter atomically (individually, not as a
+// consistent cut — these are diagnostics, not accounting).
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		RoundTrips:    s.RoundTrips.Load(),
+		MsgsSent:      s.MsgsSent.Load(),
+		MsgsReceived:  s.MsgsReceived.Load(),
+		BytesSent:     s.BytesSent.Load(),
+		BytesReceived: s.BytesReceived.Load(),
+		Batches:       s.Batches.Load(),
+		BatchedMsgs:   s.BatchedMsgs.Load(),
+		CacheHits:     s.CacheHits.Load(),
+		CacheMisses:   s.CacheMisses.Load(),
+		Invalidations: s.Invalidations.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	s.RoundTrips.Store(0)
+	s.MsgsSent.Store(0)
+	s.MsgsReceived.Store(0)
+	s.BytesSent.Store(0)
+	s.BytesReceived.Store(0)
+	s.Batches.Store(0)
+	s.BatchedMsgs.Store(0)
+	s.CacheHits.Store(0)
+	s.CacheMisses.Store(0)
+	s.Invalidations.Store(0)
+}
+
+// BatchOccupancy is the mean number of member messages per envelope.
+func (s StatsSnapshot) BatchOccupancy() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedMsgs) / float64(s.Batches)
+}
+
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf(
+		"round trips %d\nmessages    %d sent, %d received\nbytes       %d sent, %d received\nbatches     %d (%d messages, %.1f avg occupancy)\ncache       %d hits, %d misses, %d invalidations",
+		s.RoundTrips, s.MsgsSent, s.MsgsReceived, s.BytesSent, s.BytesReceived,
+		s.Batches, s.BatchedMsgs, s.BatchOccupancy(),
+		s.CacheHits, s.CacheMisses, s.Invalidations)
+}
+
+// countRW wraps a connection, crediting raw byte counts to a Stats.
+type countRW struct {
+	rw io.ReadWriter
+	s  *Stats
+}
+
+func (c *countRW) Read(p []byte) (int, error) {
+	n, err := c.rw.Read(p)
+	c.s.BytesReceived.Add(int64(n))
+	return n, err
+}
+
+func (c *countRW) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	c.s.BytesSent.Add(int64(n))
+	return n, err
+}
+
+func (c *countRW) Close() error {
+	if closer, ok := c.rw.(interface{ Close() error }); ok {
+		return closer.Close()
+	}
+	return nil
+}
