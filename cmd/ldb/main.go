@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ldb/internal/amem"
 	_ "ldb/internal/arch/m68k"
@@ -148,6 +149,7 @@ const helpText = `commands:
   dag                                           show the frame's abstract-memory DAG
   stats [reset]                                 show (or zero) wire statistics
   batch on|off | cache on|off                   toggle wire batching / memory cache
+  wire [timeout DUR | retry N]                  show or set wire deadline / reconnect retries
   targets | target N                            list / switch targets
   ps CODE                                       run raw PostScript
   detach | kill | quit                          end the session
@@ -370,6 +372,34 @@ func command(d *core.Debugger, line string) bool {
 			return false
 		}
 		say("%s", t.Client.Stats())
+	case "wire":
+		if !need() {
+			return false
+		}
+		args := strings.Fields(rest)
+		switch {
+		case len(args) == 0:
+			say("timeout %v, %d reconnect retries", t.Client.Timeout(), t.Client.Retries())
+		case args[0] == "timeout" && len(args) == 2:
+			dur, err := time.ParseDuration(args[1])
+			if err != nil || dur < 0 {
+				say("bad duration %q (try 5s, 500ms; 0 disables)", args[1])
+				return false
+			}
+			t.Client.SetTimeout(dur)
+			say("wire timeout %v", dur)
+		case args[0] == "retry" && len(args) == 2:
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 1 {
+				say("bad retry count %q", args[1])
+				return false
+			}
+			t.Client.SetRetries(n)
+			say("wire retry %d", n)
+		default:
+			say("usage: wire | wire timeout DUR | wire retry N")
+			return false
+		}
 	case "batch", "cache":
 		if !need() {
 			return false

@@ -138,6 +138,31 @@ func TestREPLConditionalAndEval(t *testing.T) {
 	}
 }
 
+func TestREPLWireCommand(t *testing.T) {
+	run, _ := session(t, "mips")
+	if out := run("wire"); !strings.Contains(out, "timeout 30s") || !strings.Contains(out, "3 reconnect retries") {
+		t.Fatalf("wire defaults: %q", out)
+	}
+	if out := run("wire timeout 5s"); !strings.Contains(out, "wire timeout 5s") {
+		t.Fatalf("wire timeout: %q", out)
+	}
+	if out := run("wire retry 8"); !strings.Contains(out, "wire retry 8") {
+		t.Fatalf("wire retry: %q", out)
+	}
+	if out := run("wire"); !strings.Contains(out, "timeout 5s") || !strings.Contains(out, "8 reconnect retries") {
+		t.Fatalf("wire after set: %q", out)
+	}
+	if out := run("wire timeout soon"); !strings.Contains(out, "bad duration") {
+		t.Fatalf("bad duration: %q", out)
+	}
+	if out := run("wire retry 0"); !strings.Contains(out, "bad retry count") {
+		t.Fatalf("bad retry: %q", out)
+	}
+	if out := run("stats"); !strings.Contains(out, "robustness") {
+		t.Fatalf("stats without robustness line: %q", out)
+	}
+}
+
 func TestCLIFilesRoundTrip(t *testing.T) {
 	// Exercise the lcc→ldb file workflow: encode the image, decode it,
 	// run it.

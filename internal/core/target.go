@@ -129,6 +129,16 @@ func (t *Target) Continue() (*nub.Event, error) {
 	}
 	ev, err := t.Client.Continue()
 	if err != nil {
+		// A continue lost to the wire may still have run the target.
+		// When the client reconnected, its handshake replayed the nub's
+		// latched event into Last: resync our view from that event —
+		// verified live by walking the stack — and report it alongside
+		// the error, so the debugger is looking at real state.
+		if last := t.Client.Last; nub.IsConnLost(err) && last != nil && !last.Exited {
+			if rerr := t.Refresh(); rerr == nil {
+				return last, err
+			}
+		}
 		return nil, err
 	}
 	if ev.Exited {

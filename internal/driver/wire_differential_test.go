@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"testing"
@@ -76,7 +77,16 @@ func wireTranscript(t *testing.T, archName string, optimized bool) (string, nub.
 	tgt.Client.SetBatching(optimized)
 	tgt.Client.SetCaching(optimized)
 	tgt.Client.ResetStats()
+	return runWireScript(t, archName, d, tgt, &proc.Stdout), tgt.Client.Stats()
+}
 
+// runWireScript drives the fixed debug session — break in fib, run to
+// the breakpoint, inspect locals, step, walk the stack, evaluate
+// expressions, run to exit — and returns everything debugger-visible.
+// Any transport under the target must produce the same bytes; the
+// fault-injection soak reuses it verbatim for exactly that comparison.
+func runWireScript(t *testing.T, archName string, d *core.Debugger, tgt *core.Target, stdout *bytes.Buffer) string {
+	t.Helper()
 	var tr strings.Builder
 	say := func(format string, args ...any) { fmt.Fprintf(&tr, format+"\n", args...) }
 
@@ -136,8 +146,8 @@ func wireTranscript(t *testing.T, archName string, optimized bool) (string, nub.
 	if !ev.Exited {
 		t.Fatalf("%s: expected exit, stopped at %#x", archName, ev.PC)
 	}
-	say("exit=%d output=%q", ev.Status, proc.Stdout.String())
-	return tr.String(), tgt.Client.Stats()
+	say("exit=%d output=%q", ev.Status, stdout.String())
+	return tr.String()
 }
 
 // TestDifferentialWireModes runs the script on every target with the

@@ -72,7 +72,7 @@ func (b *Batch) FetchInt(space amem.Space, addr uint32, size int) *IntRes {
 				return
 			}
 			r.Val = rep.Val
-			if c.cache != nil && cacheable(space) && c.order != nil && size > 0 && size <= 8 {
+			if c.cache != nil && cacheable(space) && c.order != nil && size > 0 && size <= 4 {
 				buf := make([]byte, size)
 				amem.WriteInt(c.order, buf, rep.Val)
 				c.cache.insert(space, addr, buf)

@@ -28,7 +28,10 @@ type cacheRange struct {
 	data []byte
 }
 
-func (r cacheRange) end() uint32 { return r.addr + uint32(len(r.data)) }
+// end is one past the last cached address, in uint64: a range abutting
+// 0xFFFFFFFF ends at 1<<32, which uint32 arithmetic would wrap to 0
+// and turn every comparison against it inside out.
+func (r cacheRange) end() uint64 { return uint64(r.addr) + uint64(len(r.data)) }
 
 // maxCacheBytes bounds the cache; past it the whole cache is dropped
 // rather than managed — a debugger's working set never gets near it.
@@ -42,8 +45,8 @@ func newMemCache() *memCache {
 // range holds them all.
 func (c *memCache) lookup(space amem.Space, addr uint32, n int) ([]byte, bool) {
 	ranges := c.spaces[space]
-	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].end() > addr })
-	if i == len(ranges) || ranges[i].addr > addr || uint64(addr)+uint64(n) > uint64(ranges[i].end()) {
+	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].end() > uint64(addr) })
+	if i == len(ranges) || ranges[i].addr > addr || uint64(addr)+uint64(n) > ranges[i].end() {
 		return nil, false
 	}
 	off := addr - ranges[i].addr
@@ -65,14 +68,14 @@ func (c *memCache) insert(space amem.Space, addr uint32, data []byte) {
 	var merged []cacheRange
 	for _, r := range ranges {
 		switch {
-		case r.end() < nr.addr || r.addr > nr.end():
+		case r.end() < uint64(nr.addr) || uint64(r.addr) > nr.end():
 			merged = append(merged, r) // disjoint, not even adjacent
 		default:
 			// Overlapping or adjacent: fold r into nr, with nr's bytes
 			// winning where they overlap (they are newer).
 			lo := min(r.addr, nr.addr)
 			hi := max(r.end(), nr.end())
-			buf := make([]byte, hi-lo)
+			buf := make([]byte, hi-uint64(lo))
 			copy(buf[r.addr-lo:], r.data)
 			copy(buf[nr.addr-lo:], nr.data)
 			nr = cacheRange{addr: lo, data: buf}
@@ -91,12 +94,12 @@ func (c *memCache) patch(space amem.Space, addr uint32, data []byte) {
 	if len(data) == 0 {
 		return
 	}
-	end := addr + uint32(len(data))
+	end := uint64(addr) + uint64(len(data))
 	ranges := c.spaces[space]
 	var kept []cacheRange
 	for _, r := range ranges {
 		switch {
-		case r.end() <= addr || r.addr >= end:
+		case r.end() <= uint64(addr) || uint64(r.addr) >= end:
 			kept = append(kept, r)
 		case r.addr <= addr && r.end() >= end:
 			copy(r.data[addr-r.addr:], data)
@@ -111,11 +114,11 @@ func (c *memCache) patch(space amem.Space, addr uint32, data []byte) {
 
 // invalidate evicts every range overlapping [addr, addr+n).
 func (c *memCache) invalidate(space amem.Space, addr uint32, n int) {
-	end := uint32(min(uint64(addr)+uint64(n), 1<<32-1))
+	end := uint64(addr) + uint64(n)
 	ranges := c.spaces[space]
 	var kept []cacheRange
 	for _, r := range ranges {
-		if r.end() <= addr || r.addr >= end {
+		if r.end() <= uint64(addr) || uint64(r.addr) >= end {
 			kept = append(kept, r)
 		}
 	}
@@ -138,9 +141,11 @@ func (c *memCache) recount() {
 	}
 }
 
-// serveInt decodes a cached integer in the target's byte order.
+// serveInt decodes a cached integer in the target's byte order. Sizes
+// past the wire's 4-byte word are never served: the nub rejects them,
+// and the cache must not succeed where the wire would error.
 func (c *memCache) serveInt(order binary.ByteOrder, space amem.Space, addr uint32, size int) (uint64, bool) {
-	if order == nil || size <= 0 || size > 8 {
+	if order == nil || size <= 0 || size > 4 {
 		return 0, false
 	}
 	b, ok := c.lookup(space, addr, size)

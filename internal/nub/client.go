@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net"
+	"sync/atomic"
+	"time"
 
 	"ldb/internal/amem"
 	"ldb/internal/arch"
@@ -34,17 +37,47 @@ func (e *Event) String() string {
 	return fmt.Sprintf("%v code=%d pc=%#x", e.Sig, e.Code, e.PC)
 }
 
+// ErrConnLost is wrapped into every error caused by a broken or
+// timed-out connection, as opposed to an error the nub itself reported
+// over a healthy wire. Callers can test with errors.Is (or IsConnLost).
+var ErrConnLost = errors.New("nub: connection lost")
+
+// ErrWelcomeMismatch is wrapped into reconnect errors when the redialed
+// endpoint announces a different target than the session began with.
+var ErrWelcomeMismatch = errors.New("nub: reconnected to a different target")
+
+// IsConnLost reports whether err was caused by a broken or timed-out
+// connection (the session may have been transparently reconnected; see
+// Client.Last for the nub's latched event in that case).
+func IsConnLost(err error) bool { return errors.Is(err, ErrConnLost) }
+
+const (
+	// DefaultTimeout bounds each wire request so a dead nub yields an
+	// error, never a hang. SetTimeout overrides; 0 disables.
+	DefaultTimeout = 30 * time.Second
+	// DefaultRetries is how many redials one reconnect cycle attempts.
+	DefaultRetries = 3
+	// maxReplays bounds how many times one request is transparently
+	// re-sent across reconnects before the error surfaces.
+	maxReplays = 4
+)
+
 // Client is the debugger end of the nub protocol. On top of the plain
 // request/reply protocol it batches messages into MBatch envelopes
 // (when the nub's welcome advertises support), keeps a read-through
-// cache of target memory that a continue fully invalidates, and counts
-// wire traffic in a Stats.
+// cache of target memory that a continue fully invalidates, counts
+// wire traffic in a Stats, and survives a flaky wire: every request
+// runs under a deadline, and on connection loss the client redials,
+// re-validates the welcome, resyncs planted breakpoints, drops the
+// cache, and replays the interrupted request when that is safe.
 type Client struct {
-	conn     io.ReadWriter
+	conn     io.ReadWriter // counted view of raw
+	raw      io.ReadWriter // the connection itself (deadlines, close)
 	ArchName string
 	CtxAddr  uint32
 	CtxSize  uint32
-	// Last is the most recent event.
+	// Last is the most recent event. A reconnect updates it from the
+	// event the nub replays in its handshake.
 	Last *Event
 
 	stats   Stats
@@ -52,34 +85,132 @@ type Client struct {
 	batchOn bool // client-side switch (default on)
 	cache   *memCache
 	order   binary.ByteOrder // target byte order, for serving cached ints
+
+	timeout time.Duration
+	retries int
+	redial  func() (io.ReadWriter, error)
+	// replayable is false only while awaiting the reply to a delivered
+	// non-idempotent request — the one window where a connection loss
+	// cannot be recovered transparently. Fault injectors gate on it.
+	replayable atomic.Bool
+	// planted is the nub's planted-breakpoint list from the most recent
+	// reconnect resync.
+	planted []PlantedRecord
 }
 
 // Connect performs the protocol handshake: it reads the nub's welcome
 // and the pending event. Batching is negotiated from the welcome's
 // capability bits; caching is on by default (Continue invalidates it).
+// The welcome must name a registered architecture — the integer cache
+// and context layout depend on it.
 func Connect(conn io.ReadWriter) (*Client, error) {
-	c := &Client{batchOn: true, cache: newMemCache()}
-	c.conn = &countRW{rw: conn, s: &c.stats}
-	w, err := ReadMsg(c.conn)
-	if err != nil {
+	c := &Client{batchOn: true, cache: newMemCache(), timeout: DefaultTimeout, retries: DefaultRetries}
+	c.replayable.Store(true)
+	if err := c.adopt(conn, false); err != nil {
 		return nil, err
 	}
-	c.stats.MsgsReceived.Add(1)
-	if w.Kind != MWelcome {
-		return nil, fmt.Errorf("nub: expected welcome, got %v", w.Kind)
-	}
-	c.ArchName, c.CtxAddr, c.CtxSize = string(w.Data), w.Addr, w.Size
-	c.batchOK = w.Val&WelcomeBatch != 0
-	if a, ok := arch.Lookup(c.ArchName); ok {
-		c.order = a.Order()
-	}
-	ev, err := c.readEvent()
-	if err != nil {
-		return nil, err
-	}
-	c.Last = ev
 	return c, nil
 }
+
+// adopt performs the welcome handshake on rw and makes it the client's
+// connection. With verify set (reconnecting) the welcome must name the
+// same target the session began with, the memory cache is dropped, and
+// the nub's planted-breakpoint list is resynced; without it (first
+// connect) the welcome establishes the session's identity.
+func (c *Client) adopt(rw io.ReadWriter, verify bool) error {
+	c.raw = rw
+	c.conn = &countRW{rw: rw, s: &c.stats}
+	w, err := c.readWire()
+	if err != nil {
+		return err
+	}
+	if w.Kind != MWelcome {
+		return fmt.Errorf("nub: expected welcome, got %v", w.Kind)
+	}
+	archName, ctxAddr, ctxSize := string(w.Data), w.Addr, w.Size
+	a, ok := arch.Lookup(archName)
+	if !ok {
+		return fmt.Errorf("nub: welcome names unknown architecture %q", archName)
+	}
+	if verify && (archName != c.ArchName || ctxAddr != c.CtxAddr || ctxSize != c.CtxSize) {
+		return fmt.Errorf("%w: welcome says %s ctx=%#x+%d, session began with %s ctx=%#x+%d",
+			ErrWelcomeMismatch, archName, ctxAddr, ctxSize, c.ArchName, c.CtxAddr, c.CtxSize)
+	}
+	c.ArchName, c.CtxAddr, c.CtxSize = archName, ctxAddr, ctxSize
+	c.order = a.Order()
+	c.batchOK = w.Val&WelcomeBatch != 0
+	ev, err := c.readEvent()
+	if err != nil {
+		return err
+	}
+	c.Last = ev
+	if verify {
+		// No cached byte may survive: this connection may have been
+		// preceded by stores whose replies were lost.
+		c.InvalidateCache()
+		if !ev.Exited {
+			if err := c.resyncPlanted(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// resyncPlanted asks the just-adopted connection for the nub's planted
+// breakpoints. It speaks the wire directly — roundTrip would recurse
+// into reconnection on failure, and a failure here must instead fail
+// this adoption attempt.
+func (c *Client) resyncPlanted() error {
+	if err := c.writeWire(&Msg{Kind: MListPlanted}); err != nil {
+		return err
+	}
+	rep, err := c.readWire()
+	if err != nil {
+		return err
+	}
+	c.stats.RoundTrips.Add(1)
+	if rep.Kind != MPlanted {
+		return fmt.Errorf("nub: expected %v, got %v", MPlanted, rep.Kind)
+	}
+	recs, err := parsePlanted(rep.Data)
+	if err != nil {
+		return err
+	}
+	c.planted = recs
+	return nil
+}
+
+// ResyncedPlanted returns the planted-breakpoint records the nub
+// reported during the most recent reconnect (nil before the first).
+func (c *Client) ResyncedPlanted() []PlantedRecord { return c.planted }
+
+// SetTimeout bounds every wire request (and the event wait of a
+// Continue); 0 disables the deadline. A timed-out request poisons the
+// stream, so it is treated as a connection loss.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Timeout returns the per-request deadline.
+func (c *Client) Timeout() time.Duration { return c.timeout }
+
+// SetRetries sets how many redials one reconnect cycle attempts before
+// giving up. Values below 1 mean one attempt.
+func (c *Client) SetRetries(n int) { c.retries = n }
+
+// Retries returns the reconnect attempt bound.
+func (c *Client) Retries() int { return max(c.retries, 1) }
+
+// SetRedial installs the dial function used to re-establish a lost
+// connection. Dial installs one automatically; embedders handing
+// Connect a raw conn must call this for reconnection to work.
+func (c *Client) SetRedial(f func() (io.ReadWriter, error)) { c.redial = f }
+
+// Replayable reports whether losing the connection at this instant is
+// transparently recoverable: true except while awaiting the reply to a
+// delivered store, plant, or continue. Deterministic fault injectors
+// (faultrw) gate drops on it so a soak run stays byte-identical to a
+// clean one.
+func (c *Client) Replayable() bool { return c.replayable.Load() }
 
 // SetBatching enables or disables MBatch envelopes. Batching is used
 // only when the nub also advertised support; turning it off here forces
@@ -120,7 +251,8 @@ func (c *Client) InvalidateCache() {
 	}
 }
 
-// Dial connects to a nub listening on a TCP address.
+// Dial connects to a nub listening on a TCP address and installs a
+// redial function so a lost connection reconnects to the same address.
 func Dial(addr string) (*Client, net.Conn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -131,15 +263,85 @@ func Dial(addr string) (*Client, net.Conn, error) {
 		conn.Close()
 		return nil, nil, err
 	}
+	c.SetRedial(func() (io.ReadWriter, error) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return nc, nil
+	})
 	return c, conn, nil
 }
 
+// writeWire encodes one message under the deadline, classifying any
+// failure as a connection loss.
+func (c *Client) writeWire(m *Msg) error {
+	if err := c.guarded(func() error { return WriteMsg(c.conn, m) }); err != nil {
+		return fmt.Errorf("%w writing %v: %v", ErrConnLost, m.Kind, err)
+	}
+	c.stats.MsgsSent.Add(1)
+	return nil
+}
+
+// readWire decodes one message under the deadline.
+func (c *Client) readWire() (*Msg, error) {
+	var m *Msg
+	err := c.guarded(func() error {
+		var e error
+		m, e = ReadMsg(c.conn)
+		return e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w reading reply: %v", ErrConnLost, err)
+	}
+	c.stats.MsgsReceived.Add(1)
+	return m, nil
+}
+
+// guarded runs one wire operation under the configured deadline:
+// through net.Conn deadlines when the connection supports them, else
+// through a watchdog that severs the connection so the blocked
+// operation returns. With neither, the deadline is unenforceable.
+func (c *Client) guarded(op func() error) error {
+	if c.timeout <= 0 {
+		return op()
+	}
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := c.raw.(deadliner); ok {
+		if d.SetDeadline(time.Now().Add(c.timeout)) == nil {
+			err := op()
+			d.SetDeadline(time.Time{})
+			if err != nil && isTimeout(err) {
+				c.stats.Timeouts.Add(1)
+				err = fmt.Errorf("timed out after %v: %w", c.timeout, err)
+			}
+			return err
+		}
+	}
+	if cl, ok := c.raw.(io.Closer); ok {
+		var fired atomic.Bool
+		t := time.AfterFunc(c.timeout, func() { fired.Store(true); cl.Close() })
+		err := op()
+		t.Stop()
+		if err != nil && fired.Load() {
+			c.stats.Timeouts.Add(1)
+			err = fmt.Errorf("timed out after %v (watchdog): %w", c.timeout, err)
+		}
+		return err
+	}
+	return op()
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 func (c *Client) readEvent() (*Event, error) {
-	m, err := ReadMsg(c.conn)
+	m, err := c.readWire()
 	if err != nil {
 		return nil, err
 	}
-	c.stats.MsgsReceived.Add(1)
 	switch m.Kind {
 	case MEvent:
 		return &Event{Sig: arch.Signal(m.Sig), Code: int(m.Code), PC: uint32(m.Val), Ctx: m.Addr}, nil
@@ -150,24 +352,104 @@ func (c *Client) readEvent() (*Event, error) {
 	}
 }
 
-func (c *Client) roundTrip(req *Msg, want MsgKind) (*Msg, error) {
-	if err := WriteMsg(c.conn, req); err != nil {
-		return nil, err
+// exchange performs one request/reply on the current connection.
+// delivered reports whether the request was fully written — if so, the
+// nub may have executed it even when the reply was lost.
+func (c *Client) exchange(req *Msg, want MsgKind) (rep *Msg, delivered bool, err error) {
+	if err := c.writeWire(req); err != nil {
+		return nil, false, err
 	}
-	c.stats.MsgsSent.Add(1)
-	rep, err := ReadMsg(c.conn)
+	if !reqIdempotent(req) {
+		c.replayable.Store(false)
+	}
+	rep, err = c.readWire()
+	c.replayable.Store(true)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
-	c.stats.MsgsReceived.Add(1)
 	c.stats.RoundTrips.Add(1)
 	if rep.Kind == MError {
-		return nil, errors.New("nub: " + string(rep.Data))
+		return nil, true, errors.New("nub: " + string(rep.Data))
 	}
 	if rep.Kind != want {
-		return nil, fmt.Errorf("nub: expected %v, got %v", want, rep.Kind)
+		return nil, true, fmt.Errorf("nub: expected %v, got %v", want, rep.Kind)
 	}
-	return rep, nil
+	return rep, true, nil
+}
+
+// roundTrip performs a request/reply exchange, riding out connection
+// loss: it reconnects and replays the request when that cannot change
+// target state — the request is idempotent, or its write never
+// completed, so the nub never saw a whole message. A delivered store
+// or plant whose reply was lost surfaces the error instead: the
+// session is reconnected, but whether the request executed is unknown.
+func (c *Client) roundTrip(req *Msg, want MsgKind) (*Msg, error) {
+	for replay := 0; ; replay++ {
+		rep, delivered, err := c.exchange(req, want)
+		if err == nil || !errors.Is(err, ErrConnLost) {
+			return rep, err
+		}
+		if rerr := c.reconnect(); rerr != nil {
+			return nil, fmt.Errorf("%w (%w)", err, rerr)
+		}
+		if delivered && !reqIdempotent(req) {
+			return nil, fmt.Errorf("%w during %v; session reconnected, but the request may have executed and was not replayed", ErrConnLost, req.Kind)
+		}
+		if replay >= maxReplays {
+			return nil, fmt.Errorf("nub: %v failed after %d replays: %w", req.Kind, replay, err)
+		}
+		c.stats.Replays.Add(1)
+	}
+}
+
+// reconnect redials the nub with bounded exponential backoff and
+// jitter, re-validates the welcome against the session's identity, and
+// re-adopts the connection (resyncing planted breakpoints and dropping
+// the cache). A welcome mismatch aborts immediately — redialing a
+// different target is not a transient failure.
+func (c *Client) reconnect() error {
+	if c.redial == nil {
+		return errors.New("no redial endpoint configured")
+	}
+	c.closeRaw()
+	retries := max(c.retries, 1)
+	var last error
+	for i := 0; i < retries; i++ {
+		if i > 0 {
+			time.Sleep(backoff(i))
+		}
+		rw, err := c.redial()
+		if err != nil {
+			last = err
+			continue
+		}
+		if err := c.adopt(rw, true); err != nil {
+			if cl, ok := rw.(io.Closer); ok {
+				cl.Close()
+			}
+			if errors.Is(err, ErrWelcomeMismatch) {
+				c.stats.ReconnectFails.Add(1)
+				return err
+			}
+			last = err
+			continue
+		}
+		c.stats.Reconnects.Add(1)
+		return nil
+	}
+	c.stats.ReconnectFails.Add(1)
+	return fmt.Errorf("reconnect gave up after %d attempts: %v", retries, last)
+}
+
+// backoff is the delay before reconnect attempt i (i >= 1): roughly
+// 5ms doubling per attempt, capped at 250ms, with ±50% jitter so
+// simultaneous clients do not redial in lockstep.
+func backoff(attempt int) time.Duration {
+	base := 5 * time.Millisecond << min(attempt-1, 6)
+	if base > 250*time.Millisecond {
+		base = 250 * time.Millisecond
+	}
+	return base/2 + rand.N(base)
 }
 
 // cacheable reports whether the cache may serve this space at all: only
@@ -206,7 +488,7 @@ func (c *Client) FetchInt(space amem.Space, addr uint32, size int) (uint64, erro
 			return v, nil
 		}
 		c.stats.CacheMisses.Add(1)
-		if c.batchOK && c.order != nil && size > 0 && size <= 8 {
+		if c.batchOK && c.order != nil && size > 0 && size <= 4 {
 			// Pull a line; if it comes up short (or the line base sits
 			// in an unmapped hole) fall through to the exact fetch,
 			// which preserves the uncached error behavior bit for bit.
@@ -223,7 +505,7 @@ func (c *Client) FetchInt(space amem.Space, addr uint32, size int) (uint64, erro
 	if err != nil {
 		return 0, err
 	}
-	if c.cache != nil && cacheable(space) && c.order != nil && size > 0 && size <= 8 {
+	if c.cache != nil && cacheable(space) && c.order != nil && size > 0 && size <= 4 {
 		buf := make([]byte, size)
 		amem.WriteInt(c.order, buf, rep.Val)
 		c.cache.insert(space, addr, buf)
@@ -245,7 +527,7 @@ func (c *Client) writeThroughInt(space amem.Space, addr uint32, size int, val ui
 	if c.cache == nil || !cacheable(space) {
 		return
 	}
-	if c.order == nil || size <= 0 || size > 8 {
+	if c.order == nil || size <= 0 || size > 4 {
 		c.cache.invalidate(space, addr, max(size, 8))
 		return
 	}
@@ -362,13 +644,18 @@ func (c *Client) ListPlanted() ([]PlantedRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parsePlanted(rep.Data)
+}
+
+// parsePlanted decodes an MPlanted payload: (addr32, len32, bytes)
+// records, little-endian, sorted by address on the wire.
+func parsePlanted(b []byte) ([]PlantedRecord, error) {
 	var out []PlantedRecord
-	b := rep.Data
 	for len(b) >= 8 {
 		addr := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 		n := int(uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24)
 		b = b[8:]
-		if n > len(b) {
+		if n < 0 || n > len(b) {
 			return nil, fmt.Errorf("nub: malformed planted list")
 		}
 		out = append(out, PlantedRecord{Addr: addr, Original: append([]byte(nil), b[:n]...)})
@@ -380,25 +667,53 @@ func (c *Client) ListPlanted() ([]PlantedRecord, error) {
 // Continue resumes the target and blocks until the next event. The
 // whole cache is invalidated first: once the target runs, no cached
 // state may be trusted again.
+//
+// Connection loss is handled like any other request: a continue whose
+// write never completed is replayed after reconnecting (the nub never
+// resumed the target), but once the continue was delivered, a lost
+// event wait surfaces the error — the reconnect handshake has already
+// replayed the nub's latched event into Last, so the caller can resync
+// from there.
 func (c *Client) Continue() (*Event, error) {
 	c.InvalidateCache()
-	if err := WriteMsg(c.conn, &Msg{Kind: MContinue}); err != nil {
-		return nil, err
+	for replay := 0; ; replay++ {
+		err := c.writeWire(&Msg{Kind: MContinue})
+		if err == nil {
+			c.replayable.Store(false)
+			ev, rerr := c.readEvent()
+			c.replayable.Store(true)
+			if rerr == nil {
+				c.stats.RoundTrips.Add(1)
+				c.Last = ev
+				return ev, nil
+			}
+			if !errors.Is(rerr, ErrConnLost) {
+				return nil, rerr
+			}
+			if re := c.reconnect(); re != nil {
+				return nil, fmt.Errorf("%w (%w)", rerr, re)
+			}
+			return nil, fmt.Errorf("%w awaiting the continue event; session reconnected at the nub's latched event", ErrConnLost)
+		}
+		if !errors.Is(err, ErrConnLost) {
+			return nil, err
+		}
+		if re := c.reconnect(); re != nil {
+			return nil, fmt.Errorf("%w (%w)", err, re)
+		}
+		if replay >= maxReplays {
+			return nil, err
+		}
+		c.stats.Replays.Add(1)
 	}
-	c.stats.MsgsSent.Add(1)
-	ev, err := c.readEvent()
-	if err != nil {
-		return nil, err
-	}
-	c.stats.RoundTrips.Add(1)
-	c.Last = ev
-	return ev, nil
 }
 
 // Close severs the connection without telling the nub — the way a
 // crashed debugger disappears. The nub preserves target state.
-func (c *Client) Close() error {
-	if closer, ok := c.conn.(interface{ Close() error }); ok {
+func (c *Client) Close() error { return c.closeRaw() }
+
+func (c *Client) closeRaw() error {
+	if closer, ok := c.raw.(io.Closer); ok {
 		return closer.Close()
 	}
 	return nil

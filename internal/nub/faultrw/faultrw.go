@@ -1,0 +1,236 @@
+// Package faultrw wraps an io.ReadWriter in a deterministic fault
+// injector for testing the nub wire's robustness. From a seeded PRNG
+// it schedules connection drops, mid-message truncations, short
+// (chunked) writes, and read delays, so a test can subject a debug
+// session to a repeatable storm of transport failures and assert that
+// the client's reconnect/replay machinery hides every one of them.
+//
+// Determinism is the point: the schedule is a function of the seed and
+// the byte stream alone. Drop points are chosen by cumulative byte
+// count, not by call count — the number of Read calls a TCP stream
+// takes to deliver the same bytes varies run to run, but the bytes
+// themselves do not.
+package faultrw
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error a wrapped connection returns once the
+// injector has killed it. Tests can tell injected failures from real
+// ones with errors.Is.
+var ErrInjected = errors.New("faultrw: injected connection failure")
+
+// Config selects which faults an Injector schedules.
+type Config struct {
+	// DropEvery > 0 kills the connection roughly every DropEvery
+	// bytes (uniformly in [DropEvery/2, 3·DropEvery/2), drawn from
+	// the seeded PRNG). Bytes in both directions count.
+	DropEvery int64
+	// TruncateWrites makes each drop that lands on a Write deliver a
+	// random prefix of the buffer before failing, so the peer sees a
+	// mid-message truncation rather than a clean break.
+	TruncateWrites bool
+	// ChunkWrites splits every Write into several smaller writes,
+	// exercising short-write handling in the peer's reader.
+	ChunkWrites bool
+	// Delay and DelayEvery > 0 sleep Delay after roughly every
+	// DelayEvery bytes read, simulating a slow or congested wire.
+	Delay      time.Duration
+	DelayEvery int64
+}
+
+// Injector owns the fault schedule. One Injector may Wrap many
+// connections in turn — its byte counters and PRNG persist across
+// reconnections, so the schedule keeps advancing through a session's
+// whole lifetime rather than resetting on every redial.
+type Injector struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   *rand.Rand
+	gate  func() bool
+	bytes int64 // cumulative bytes both directions, all connections
+	next  int64 // byte count at which the next drop fires
+	sched []string
+}
+
+// New builds an Injector whose schedule is fully determined by seed
+// and cfg.
+func New(seed int64, cfg Config) *Injector {
+	inj := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	inj.next = inj.drawNext(0)
+	return inj
+}
+
+// SetGate installs a predicate consulted (outside the injector's
+// mutex) before a drop is allowed to fire; while it returns false the
+// drop is deferred until the next Read or Write that finds the gate
+// open. The byte threshold still advances deterministically — the gate
+// shifts where a drop lands, never whether the schedule is consumed.
+// A client exposes exactly this as Replayable(): faults then land only
+// in windows the reconnect machinery can hide.
+func (inj *Injector) SetGate(gate func() bool) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.gate = gate
+}
+
+// Schedule returns a log of every fault fired, for comparing runs.
+func (inj *Injector) Schedule() []string {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]string(nil), inj.sched...)
+}
+
+func (inj *Injector) drawNext(at int64) int64 {
+	if inj.cfg.DropEvery <= 0 {
+		return -1
+	}
+	return at + inj.cfg.DropEvery/2 + inj.rng.Int63n(inj.cfg.DropEvery)
+}
+
+// Wrap returns conn with the injector's faults applied. The wrapper
+// implements Read, Write, and Close only — deliberately not
+// SetDeadline, so a client driving it falls back to its watchdog
+// timer and that path gets exercised too.
+func (inj *Injector) Wrap(conn io.ReadWriteCloser) *Conn {
+	return &Conn{inj: inj, conn: conn}
+}
+
+// Conn is one wrapped connection.
+type Conn struct {
+	inj  *Injector
+	conn io.ReadWriteCloser
+	mu   sync.Mutex
+	dead bool
+}
+
+// shouldDrop advances the byte counters and decides whether a drop
+// fires within this call's n bytes. It returns how many bytes to let
+// through before failing (only meaningful for writes, and only when
+// truncation is on).
+func (inj *Injector) shouldDrop(n int, dir string) (drop bool, keep int) {
+	gate := func() bool { return true }
+	inj.mu.Lock()
+	if inj.gate != nil {
+		gate = inj.gate
+	}
+	start := inj.bytes
+	inj.bytes += int64(n)
+	due := inj.next >= 0 && inj.bytes >= inj.next
+	inj.mu.Unlock()
+
+	// The gate runs outside the mutex: it may read client state whose
+	// accessors take their own locks.
+	if !due || !gate() {
+		return false, n
+	}
+
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.next < 0 || inj.bytes < inj.next { // raced with another drop
+		return false, n
+	}
+	keep = int(inj.next - start)
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > n {
+		keep = n
+	}
+	inj.sched = append(inj.sched, fmt.Sprintf("drop at %d bytes (%s, kept %d/%d)", inj.next, dir, keep, n))
+	inj.next = inj.drawNext(inj.bytes)
+	return true, keep
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	c.mu.Unlock()
+
+	n, err := c.conn.Read(p)
+
+	if cfg := c.inj.cfg; cfg.Delay > 0 && cfg.DelayEvery > 0 && n > 0 {
+		c.inj.mu.Lock()
+		fire := (c.inj.bytes+int64(n))/cfg.DelayEvery != c.inj.bytes/cfg.DelayEvery
+		c.inj.mu.Unlock()
+		if fire {
+			time.Sleep(cfg.Delay)
+		}
+	}
+
+	if drop, _ := c.inj.shouldDrop(n, "read"); drop {
+		c.kill()
+		return 0, ErrInjected
+	}
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	c.mu.Unlock()
+
+	drop, keep := c.inj.shouldDrop(len(p), "write")
+	if drop {
+		if c.inj.cfg.TruncateWrites && keep > 0 {
+			// Deliver a prefix so the peer reads a truncated message
+			// instead of seeing a clean close.
+			_, _ = c.writeChunked(p[:keep])
+		}
+		c.kill()
+		return 0, ErrInjected
+	}
+	return c.writeChunked(p)
+}
+
+// writeChunked forwards p, split into several smaller writes when
+// ChunkWrites is on, so the peer's io.ReadFull loops see short reads.
+func (c *Conn) writeChunked(p []byte) (int, error) {
+	if !c.inj.cfg.ChunkWrites || len(p) < 2 {
+		return c.conn.Write(p)
+	}
+	total := 0
+	for len(p) > 0 {
+		c.inj.mu.Lock()
+		n := 1 + c.inj.rng.Intn(min(len(p), 16))
+		c.inj.mu.Unlock()
+		w, err := c.conn.Write(p[:n])
+		total += w
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// kill closes the underlying connection and poisons the wrapper; the
+// peer sees EOF (or a truncated message), the local side ErrInjected.
+func (c *Conn) kill() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dead {
+		c.dead = true
+		_ = c.conn.Close()
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dead = true
+	return c.conn.Close()
+}

@@ -1,0 +1,123 @@
+package faultrw
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// sinkConn is an in-memory ReadWriteCloser: writes accumulate,
+// reads drain a preloaded buffer.
+type sinkConn struct {
+	in  bytes.Reader
+	out bytes.Buffer
+}
+
+func (s *sinkConn) Read(p []byte) (int, error)  { return s.in.Read(p) }
+func (s *sinkConn) Write(p []byte) (int, error) { return s.out.Write(p) }
+func (s *sinkConn) Close() error                { return nil }
+
+// drive pushes a fixed byte stream through a wrapped connection and
+// returns the fault schedule. The stream is deterministic, so the
+// schedule must be a pure function of the seed.
+func drive(seed int64, cfg Config, gate func() bool) []string {
+	inj := New(seed, cfg)
+	if gate != nil {
+		inj.SetGate(gate)
+	}
+	payload := bytes.Repeat([]byte("retargetable"), 40)
+	for conn := 0; conn < 8; conn++ {
+		s := &sinkConn{}
+		s.in.Reset(bytes.Repeat([]byte("nub"), 300))
+		c := inj.Wrap(s)
+		for {
+			if _, err := c.Write(payload); err != nil {
+				break
+			}
+			if _, err := io.CopyN(io.Discard, c, 64); err != nil {
+				break
+			}
+		}
+	}
+	return inj.Schedule()
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	cfg := Config{DropEvery: 700, TruncateWrites: true, ChunkWrites: true}
+	a := drive(42, cfg, nil)
+	b := drive(42, cfg, nil)
+	if len(a) == 0 {
+		t.Fatal("no faults fired; the test exercises nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule[%d]: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedDifferentSchedule(t *testing.T) {
+	cfg := Config{DropEvery: 700, TruncateWrites: true, ChunkWrites: true}
+	a := drive(1, cfg, nil)
+	b := drive(2, cfg, nil)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestClosedGateDefersDrops(t *testing.T) {
+	cfg := Config{DropEvery: 100}
+	sched := drive(7, cfg, func() bool { return false })
+	if len(sched) != 0 {
+		t.Fatalf("gate closed, yet %d faults fired: %v", len(sched), sched)
+	}
+}
+
+func TestDroppedConnStaysDead(t *testing.T) {
+	inj := New(3, Config{DropEvery: 16})
+	s := &sinkConn{}
+	c := inj.Wrap(s)
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		_, err = c.Write(bytes.Repeat([]byte{0xee}, 8))
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if _, err := c.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dead conn's Write: want ErrInjected, got %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dead conn's Read: want ErrInjected, got %v", err)
+	}
+}
+
+func TestNoConfigNoFaults(t *testing.T) {
+	inj := New(9, Config{})
+	s := &sinkConn{}
+	s.in.Reset([]byte("hello"))
+	c := inj.Wrap(s)
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if sched := inj.Schedule(); len(sched) != 0 {
+		t.Fatalf("zero config fired faults: %v", sched)
+	}
+}

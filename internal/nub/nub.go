@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 
 	"ldb/internal/amem"
@@ -185,15 +186,18 @@ func swapWords(b []byte) {
 	}
 }
 
-// fregRange reports the context subrange holding saved floating
-// registers that the MIPS quirk applies to.
-func (n *Nub) quirkRange() (lo, hi uint32, ok bool) {
+// quirkRange reports the context subrange holding saved floating
+// registers that the MIPS quirk applies to. The bounds are uint64: a
+// context area near the top of the address space would make the
+// uint32 sums (and the callers' m.Addr+8 checks) wrap and misclassify
+// accesses on both sides of the boundary.
+func (n *Nub) quirkRange() (lo, hi uint64, ok bool) {
 	l := n.P.A.Context()
 	if !l.FloatWordSwap || len(l.FRegOffs) == 0 {
 		return 0, 0, false
 	}
-	lo = n.ctxAddr + uint32(l.FRegOffs[0])
-	hi = n.ctxAddr + uint32(l.FRegOffs[len(l.FRegOffs)-1]+l.FRegSize)
+	lo = uint64(n.ctxAddr) + uint64(l.FRegOffs[0])
+	hi = uint64(n.ctxAddr) + uint64(l.FRegOffs[len(l.FRegOffs)-1]+l.FRegSize)
 	return lo, hi, true
 }
 
@@ -239,9 +243,17 @@ func (n *Nub) handle(m *Msg) *Msg {
 		return &Msg{Kind: MOK}
 	case MListPlanted:
 		// Report every planted breakpoint as (addr, original bytes)
-		// records: addr32, len32, bytes.
+		// records: addr32, len32, bytes. Sorted by address — map
+		// iteration order would make the reply differ run to run, and
+		// the reply feeds reconnect resyncs that must be deterministic.
+		addrs := make([]uint32, 0, len(n.planted))
+		for addr := range n.planted {
+			addrs = append(addrs, addr)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 		var data []byte
-		for addr, old := range n.planted {
+		for _, addr := range addrs {
+			old := n.planted[addr]
 			var rec [8]byte
 			amem.WriteInt(binary.LittleEndian, rec[0:4], uint64(addr))
 			amem.WriteInt(binary.LittleEndian, rec[4:8], uint64(len(old)))
@@ -250,19 +262,27 @@ func (n *Nub) handle(m *Msg) *Msg {
 		}
 		return &Msg{Kind: MPlanted, Data: data}
 	case MFetchInt:
+		if m.Size > 4 {
+			return errMsg("fetch %#x: integer size %d exceeds the 4-byte wire word", m.Addr, m.Size)
+		}
 		v, f := p.Load(m.Addr, int(m.Size))
 		if f != nil {
 			return errMsg("fetch %#x: %v", m.Addr, f)
 		}
 		return &Msg{Kind: MValue, Val: uint64(v)}
 	case MStoreInt:
+		// The machine's Store takes a uint32: silently narrowing an
+		// 8-byte value would store the low half and claim success.
+		if m.Size > 4 {
+			return errMsg("store %#x: integer size %d exceeds the 4-byte wire word", m.Addr, m.Size)
+		}
 		if f := p.Store(m.Addr, int(m.Size), uint32(m.Val)); f != nil {
 			return errMsg("store %#x: %v", m.Addr, f)
 		}
 		return &Msg{Kind: MOK}
 	case MFetchFloat:
 		size := int(m.Size)
-		if lo, hi, ok := n.quirkRange(); ok && size == 8 && m.Addr >= lo && m.Addr+8 <= hi {
+		if lo, hi, ok := n.quirkRange(); ok && size == 8 && uint64(m.Addr) >= lo && uint64(m.Addr)+8 <= hi {
 			// Machine-dependent nub code: un-swap the kernel's saved
 			// floating registers.
 			raw := make([]byte, 8)
@@ -281,7 +301,7 @@ func (n *Nub) handle(m *Msg) *Msg {
 	case MStoreFloat:
 		size := int(m.Size)
 		v := float64frombits(m.Val)
-		if lo, hi, ok := n.quirkRange(); ok && size == 8 && m.Addr >= lo && m.Addr+8 <= hi {
+		if lo, hi, ok := n.quirkRange(); ok && size == 8 && uint64(m.Addr) >= lo && uint64(m.Addr)+8 <= hi {
 			raw := make([]byte, 8)
 			amem.EncodeFloat(p.A.Order(), raw, amem.Float64, v)
 			swapWords(raw)

@@ -179,6 +179,32 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 	return m, nil
 }
 
+// reqIdempotent reports whether re-executing the request on the nub
+// after a connection loss cannot change target state: fetches and
+// listings may be replayed freely, but stores, plants, and the control
+// messages must not be (a replant after a delivered plant would record
+// the trap itself as the "original" instruction, and a replayed
+// continue would run the target twice). An MBatch envelope is
+// idempotent exactly when every member is.
+func reqIdempotent(m *Msg) bool {
+	switch m.Kind {
+	case MHello, MFetchInt, MFetchFloat, MFetchBytes, MFetchLine, MListPlanted:
+		return true
+	case MBatch:
+		subs, err := DecodeBatch(m)
+		if err != nil {
+			return false
+		}
+		for _, sub := range subs {
+			if !reqIdempotent(sub) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // EncodeBatch wraps msgs in an MBatch (or, from the nub, MBatchReply)
 // envelope: Val carries the count, Data the concatenated wire encodings
 // of the members. Envelopes do not nest.

@@ -20,6 +20,10 @@ type Stats struct {
 	CacheHits     atomic.Int64 // fetches served from the client cache
 	CacheMisses   atomic.Int64 // fetches that had to go to the wire
 	Invalidations atomic.Int64 // whole-cache flushes (one per continue)
+	Timeouts      atomic.Int64 // requests killed by the wire deadline
+	Reconnects    atomic.Int64 // successful redial + re-attach cycles
+	ReconnectFails atomic.Int64 // reconnect cycles that gave up
+	Replays       atomic.Int64 // requests transparently re-sent after a reconnect
 }
 
 // StatsSnapshot is a plain-value copy of the counters, safe to compare
@@ -35,6 +39,10 @@ type StatsSnapshot struct {
 	CacheHits     int64
 	CacheMisses   int64
 	Invalidations int64
+	Timeouts       int64
+	Reconnects     int64
+	ReconnectFails int64
+	Replays        int64
 }
 
 // Snapshot reads every counter atomically (individually, not as a
@@ -51,6 +59,10 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		CacheHits:     s.CacheHits.Load(),
 		CacheMisses:   s.CacheMisses.Load(),
 		Invalidations: s.Invalidations.Load(),
+		Timeouts:       s.Timeouts.Load(),
+		Reconnects:     s.Reconnects.Load(),
+		ReconnectFails: s.ReconnectFails.Load(),
+		Replays:        s.Replays.Load(),
 	}
 }
 
@@ -66,6 +78,10 @@ func (s *Stats) Reset() {
 	s.CacheHits.Store(0)
 	s.CacheMisses.Store(0)
 	s.Invalidations.Store(0)
+	s.Timeouts.Store(0)
+	s.Reconnects.Store(0)
+	s.ReconnectFails.Store(0)
+	s.Replays.Store(0)
 }
 
 // BatchOccupancy is the mean number of member messages per envelope.
@@ -78,10 +94,11 @@ func (s StatsSnapshot) BatchOccupancy() float64 {
 
 func (s StatsSnapshot) String() string {
 	return fmt.Sprintf(
-		"round trips %d\nmessages    %d sent, %d received\nbytes       %d sent, %d received\nbatches     %d (%d messages, %.1f avg occupancy)\ncache       %d hits, %d misses, %d invalidations",
+		"round trips %d\nmessages    %d sent, %d received\nbytes       %d sent, %d received\nbatches     %d (%d messages, %.1f avg occupancy)\ncache       %d hits, %d misses, %d invalidations\nrobustness  %d reconnects (%d failed), %d replays, %d timeouts",
 		s.RoundTrips, s.MsgsSent, s.MsgsReceived, s.BytesSent, s.BytesReceived,
 		s.Batches, s.BatchedMsgs, s.BatchOccupancy(),
-		s.CacheHits, s.CacheMisses, s.Invalidations)
+		s.CacheHits, s.CacheMisses, s.Invalidations,
+		s.Reconnects, s.ReconnectFails, s.Replays, s.Timeouts)
 }
 
 // countRW wraps a connection, crediting raw byte counts to a Stats.
