@@ -147,7 +147,7 @@ const helpText = `commands:
   frame N                                       select a frame
   regs                                          show the frame's registers
   dag                                           show the frame's abstract-memory DAG
-  stats [reset]                                 show (or zero) wire statistics
+  stats [reset]                                 show (or zero) wire and simulator statistics
   batch on|off | cache on|off                   toggle wire batching / memory cache
   wire [timeout DUR | retry N]                  show or set wire deadline / reconnect retries
   targets | target N                            list / switch targets
@@ -372,6 +372,12 @@ func command(d *core.Debugger, line string) bool {
 			return false
 		}
 		say("%s", t.Client.Stats())
+		// The simulator line: a legacy nub refuses the request, and
+		// there is simply nothing to report.
+		if st, err := t.Client.SimStats(); err == nil {
+			say("sim: %d instructions, %d decode-cache hits, %d decodes, %d invalidations, %d fallbacks",
+				st.Steps, st.Hits, st.Decodes, st.Invalidations, st.Fallbacks)
+		}
 	case "wire":
 		if !need() {
 			return false

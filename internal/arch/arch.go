@@ -179,6 +179,54 @@ type Arch interface {
 	SyscallRet(p Proc, v uint32)
 }
 
+// DecodedInsn is one predecoded instruction: the bit fields are
+// extracted, immediates sign-extended, and branch targets computed once
+// at decode time, so executing the instruction again costs one indirect
+// call instead of a fetch/decode pass. Len is the instruction's size in
+// bytes — variable on the 68020 and VAX — which the decode cache uses
+// to invalidate entries covered by a text write.
+type DecodedInsn struct {
+	// Exec executes the instruction against the current processor
+	// state. pc is the instruction's own address (the cache guarantees
+	// an entry only ever executes at the pc it was decoded for) and
+	// regs and flag are the backing general-register file and condition
+	// flags — the same storage Proc.Reg, Proc.SetReg, Proc.Flag, and
+	// Proc.SetFlag expose, passed directly so the hot arithmetic and
+	// compare/branch handlers skip the interface dispatch. On success Exec
+	// returns the next pc and nil, and the caller commits the pc; on a
+	// fault it returns the fault and the caller leaves the pc alone
+	// (handlers that must advance it first, like syscalls, call
+	// p.SetPC themselves, exactly as Step does).
+	Exec func(p Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *Fault)
+	Len  uint32
+}
+
+// Decoder is an optional extension of Arch: architectures that
+// implement it execute from predecoded instructions. Decode examines
+// the instruction starting at code[off] (code is the raw segment image
+// in the target's byte order; pc is the virtual address of code[off])
+// and returns its predecoded form, or nil when the bytes do not decode
+// cleanly — the caller then falls back to Step, which reports the
+// fault exactly as uncached execution would.
+//
+// Decode must be free of side effects on the processor state: operand
+// modes that write registers (the VAX's autoincrement) defer those
+// writes to Exec time.
+type Decoder interface {
+	Decode(code []byte, off int, pc uint32) *DecodedInsn
+}
+
+// RegWrite stores v into register r unless r is a hardwired-zero
+// register slot (r < 0 suppresses the write; MIPS and SPARC pass -1
+// for their r0/g0 destinations at decode time). It is the hoisted form
+// of the per-step setReg closures the interpreters used to rebuild on
+// every instruction.
+func RegWrite(regs []uint32, r int, v uint32) {
+	if r >= 0 {
+		regs[r] = v
+	}
+}
+
 var (
 	regMu    sync.Mutex
 	registry = make(map[string]Arch)

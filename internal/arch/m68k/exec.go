@@ -81,21 +81,6 @@ func (m *M68k) Step(p arch.Proc) *arch.Fault {
 		next += 4
 		return v, nil
 	}
-	push := func(v uint32) *arch.Fault {
-		sp := p.Reg(SPr) - 4
-		p.SetReg(SPr, sp)
-		return p.Store(sp, 4, v)
-	}
-	pop := func() (uint32, *arch.Fault) {
-		sp := p.Reg(SPr)
-		v, f := p.Load(sp, 4)
-		if f != nil {
-			return 0, f
-		}
-		p.SetReg(SPr, sp+4)
-		return v, nil
-	}
-
 	major := w >> 12
 	minor := int(w >> 8 & 15)
 	rx := int(w >> 4 & 15)
@@ -131,11 +116,11 @@ func (m *M68k) Step(p arch.Proc) *arch.Fault {
 			}
 			p.SetReg(rx, p.Reg(ry)+uint32(int32(d)))
 		case MvPush:
-			if f := push(p.Reg(rx)); f != nil {
+			if f := push(p, p.Reg(rx)); f != nil {
 				return f
 			}
 		case MvPop:
-			v, f := pop()
+			v, f := pop(p)
 			if f != nil {
 				return f
 			}
@@ -239,7 +224,7 @@ func (m *M68k) Step(p arch.Proc) *arch.Fault {
 			}
 		case w == 0x4e71: // nop
 		case w == 0x4e75: // rts
-			v, f := pop()
+			v, f := pop(p)
 			if f != nil {
 				return f
 			}
@@ -250,7 +235,7 @@ func (m *M68k) Step(p arch.Proc) *arch.Fault {
 			if f != nil {
 				return f
 			}
-			if f := push(p.Reg(an)); f != nil {
+			if f := push(p, p.Reg(an)); f != nil {
 				return f
 			}
 			p.SetReg(an, p.Reg(SPr))
@@ -258,7 +243,7 @@ func (m *M68k) Step(p arch.Proc) *arch.Fault {
 		case w&0xfff8 == 0x4e58: // unlk aN
 			an := A0 + int(w&7)
 			p.SetReg(SPr, p.Reg(an))
-			v, f := pop()
+			v, f := pop(p)
 			if f != nil {
 				return f
 			}
@@ -268,13 +253,13 @@ func (m *M68k) Step(p arch.Proc) *arch.Fault {
 			if f != nil {
 				return f
 			}
-			if f := push(next); f != nil {
+			if f := push(p, next); f != nil {
 				return f
 			}
 			next = target
 		case w&0xfff8 == 0x4e90: // jsr (aN)
 			an := A0 + int(w&7)
-			if f := push(next); f != nil {
+			if f := push(p, next); f != nil {
 				return f
 			}
 			next = p.Reg(an)

@@ -1,0 +1,449 @@
+package vax
+
+import (
+	"math"
+
+	"ldb/internal/arch"
+)
+
+// ospec is a predecoded operand specifier: the mode byte, register
+// number, and any displacement/immediate/absolute-address bytes, parsed
+// once from the instruction stream. It carries no processor state —
+// autoincrement and register-relative addressing are applied when the
+// spec is evaluated against a cursor, in operand order, so a decoded
+// instruction has exactly the side effects and fault ordering of the
+// interpreted one.
+type ospec struct {
+	mode int
+	reg  int
+	imm  uint32
+}
+
+// spec evaluates a predecoded operand specifier, performing the
+// register reads and autoincrement writes operand() would have done at
+// this point in the instruction.
+func (c *cursor) spec(s ospec) opnd {
+	switch s.mode {
+	case ModeReg:
+		return opnd{kind: oReg, reg: s.reg}
+	case ModeFReg:
+		return opnd{kind: oFReg, reg: s.reg}
+	case ModeDefer:
+		return opnd{kind: oMem, addr: c.p.Reg(s.reg)}
+	case ModeAuto:
+		if s.reg == PCr { // immediate long
+			return opnd{kind: oImm, imm: s.imm}
+		}
+		addr := c.p.Reg(s.reg)
+		c.p.SetReg(s.reg, addr+4)
+		return opnd{kind: oMem, addr: addr}
+	case ModeAbs:
+		return opnd{kind: oMem, addr: s.imm}
+	default: // ModeBDisp, ModeWDisp, ModeLDisp: displacement in imm
+		return opnd{kind: oMem, addr: c.p.Reg(s.reg) + s.imm}
+	}
+}
+
+// push and pop are Step's stack closures hoisted onto the cursor so the
+// decoded handlers share them (including leaving SP decremented when
+// the push's store faults).
+func (c *cursor) push(val uint32) {
+	if c.err != nil {
+		return
+	}
+	sp := c.p.Reg(SP) - 4
+	c.p.SetReg(SP, sp)
+	if f := c.p.Store(sp, 4, val); f != nil {
+		c.err = f
+	}
+}
+
+func (c *cursor) pop() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	sp := c.p.Reg(SP)
+	val, f := c.p.Load(sp, 4)
+	if f != nil {
+		c.err = f
+		return 0
+	}
+	c.p.SetReg(SP, sp+4)
+	return val
+}
+
+// dec walks the instruction bytes at decode time. ok goes false when
+// the instruction runs off the segment image (Step would fault or read
+// another segment there; the caller returns nil and falls back).
+type dec struct {
+	code []byte
+	at   int
+	ok   bool
+}
+
+func (d *dec) u8() uint32 {
+	if d.at+1 > len(d.code) {
+		d.ok = false
+		return 0
+	}
+	v := d.code[d.at]
+	d.at++
+	return uint32(v)
+}
+
+func (d *dec) u16() uint32 {
+	if d.at+2 > len(d.code) {
+		d.ok = false
+		return 0
+	}
+	v := uint32(d.code[d.at]) | uint32(d.code[d.at+1])<<8
+	d.at += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.at+4 > len(d.code) {
+		d.ok = false
+		return 0
+	}
+	v := uint32(d.code[d.at]) | uint32(d.code[d.at+1])<<8 |
+		uint32(d.code[d.at+2])<<16 | uint32(d.code[d.at+3])<<24
+	d.at += 4
+	return v
+}
+
+func (d *dec) spec() ospec {
+	b := d.u8()
+	mode := int(b >> 4)
+	reg := int(b & 15)
+	switch mode {
+	case ModeReg, ModeDefer:
+		return ospec{mode: mode, reg: reg}
+	case ModeFReg:
+		return ospec{mode: mode, reg: reg & 7}
+	case ModeAuto:
+		if reg == PCr {
+			return ospec{mode: mode, reg: reg, imm: d.u32()}
+		}
+		return ospec{mode: mode, reg: reg}
+	case ModeAbs:
+		return ospec{mode: mode, imm: d.u32()}
+	case ModeBDisp:
+		return ospec{mode: mode, reg: reg, imm: uint32(int32(int8(d.u8())))}
+	case ModeWDisp:
+		return ospec{mode: mode, reg: reg, imm: uint32(int32(int16(d.u16())))}
+	case ModeLDisp:
+		return ospec{mode: mode, reg: reg, imm: d.u32()}
+	default:
+		d.ok = false // Step raises SIGILL; fall back
+		return ospec{}
+	}
+}
+
+// Decode implements arch.Decoder. Opcode dispatch and operand-specifier
+// parsing happen once; the handlers evaluate the predecoded specs in
+// operand order against a cursor whose at starts past the instruction,
+// which reproduces Step's sequencing (autoincrement between operands,
+// error latching, final SetPC(c.at)) exactly.
+func (v *Vax) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
+	if off < 0 || off >= len(code) {
+		return nil
+	}
+	d := &dec{code: code, at: off + 1, ok: true}
+	opc := code[off]
+
+	length := func() uint32 { return uint32(d.at - off) }
+	run := func(x func(c *cursor)) *arch.DecodedInsn {
+		if !d.ok {
+			return nil
+		}
+		ln := length()
+		return &arch.DecodedInsn{Len: ln, Exec: func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			c := &cursor{p: p, pc: pc, at: pc + ln}
+			x(c)
+			if c.err != nil {
+				return 0, c.err
+			}
+			return c.at, nil
+		}}
+	}
+	branch16 := func(cond func(z, n, cu bool) bool) *arch.DecodedInsn {
+		disp := uint32(int32(int16(d.u16())))
+		return run(func(c *cursor) {
+			flag := c.p.Flag()
+			if cond(flag&FlagZ != 0, flag&FlagN != 0, flag&FlagC != 0) {
+				c.at += disp
+			}
+		})
+	}
+
+	switch opc {
+	case OpNop:
+		return run(func(*cursor) {})
+	case OpHalt:
+		if !d.ok {
+			return nil
+		}
+		return &arch.DecodedInsn{Len: 1, Exec: func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return 0, &arch.Fault{Kind: arch.FaultHalt, PC: pc}
+		}}
+	case OpBpt:
+		return &arch.DecodedInsn{Len: 1, Exec: func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return 0, &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: arch.TrapBreakpoint, PC: pc}
+		}}
+	case OpRsb:
+		return run(func(c *cursor) { c.at = c.pop() })
+	case OpBrw:
+		return branch16(func(z, n, cu bool) bool { return true })
+	case OpBneq:
+		return branch16(func(z, n, cu bool) bool { return !z })
+	case OpBeql:
+		return branch16(func(z, n, cu bool) bool { return z })
+	case OpBgtr:
+		return branch16(func(z, n, cu bool) bool { return !z && !n })
+	case OpBleq:
+		return branch16(func(z, n, cu bool) bool { return z || n })
+	case OpBgeq:
+		return branch16(func(z, n, cu bool) bool { return !n })
+	case OpBlss:
+		return branch16(func(z, n, cu bool) bool { return n })
+	case OpBgtru:
+		return branch16(func(z, n, cu bool) bool { return !cu && !z })
+	case OpBlequ:
+		return branch16(func(z, n, cu bool) bool { return cu || z })
+	case OpBgequ:
+		return branch16(func(z, n, cu bool) bool { return !cu })
+	case OpBlssu:
+		return branch16(func(z, n, cu bool) bool { return cu })
+	case OpJsb:
+		s := d.spec()
+		return run(func(c *cursor) {
+			o := c.spec(s)
+			target := o.addr
+			if o.kind == oReg {
+				target = c.p.Reg(o.reg)
+			}
+			c.push(c.at)
+			c.at = target
+		})
+	case OpJmp:
+		s := d.spec()
+		return run(func(c *cursor) {
+			o := c.spec(s)
+			if o.kind == oReg {
+				c.at = c.p.Reg(o.reg)
+			} else {
+				c.at = o.addr
+			}
+		})
+	case OpChmk:
+		s := d.spec()
+		if !d.ok {
+			return nil
+		}
+		ln := length()
+		return &arch.DecodedInsn{Len: ln, Exec: func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			c := &cursor{p: p, pc: pc, at: pc + ln}
+			num := c.read(c.spec(s), 4)
+			if c.err != nil {
+				return 0, c.err
+			}
+			if num == arch.TrapPause {
+				return 0, &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: arch.TrapPause, PC: pc, Len: ln}
+			}
+			p.SetPC(c.at)
+			return 0, &arch.Fault{Kind: arch.FaultSyscall, Code: int(num), PC: pc}
+		}}
+	case OpPushl:
+		s := d.spec()
+		return run(func(c *cursor) { c.push(c.read(c.spec(s), 4)) })
+	case OpMovl, OpMovb, OpMovw:
+		size := 4
+		if opc == OpMovb {
+			size = 1
+		} else if opc == OpMovw {
+			size = 2
+		}
+		src, dst := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			val := c.read(c.spec(src), size)
+			c.write(c.spec(dst), size, val)
+		})
+	case OpMovzbl:
+		src, dst := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			val := c.read(c.spec(src), 1)
+			c.write(c.spec(dst), 4, val&0xff)
+		})
+	case OpMovzwl:
+		src, dst := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			val := c.read(c.spec(src), 2)
+			c.write(c.spec(dst), 4, val&0xffff)
+		})
+	case OpCvtbl:
+		src, dst := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			val := c.read(c.spec(src), 1)
+			c.write(c.spec(dst), 4, uint32(int32(int8(val))))
+		})
+	case OpCvtwl:
+		src, dst := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			val := c.read(c.spec(src), 2)
+			c.write(c.spec(dst), 4, uint32(int32(int16(val))))
+		})
+	case OpTstl:
+		s := d.spec()
+		return run(func(c *cursor) {
+			val := c.read(c.spec(s), 4)
+			c.p.SetFlag(compareFlags(val, 0))
+		})
+	case OpCmpl:
+		s1, s2 := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			a := c.read(c.spec(s1), 4)
+			b := c.read(c.spec(s2), 4)
+			c.p.SetFlag(compareFlags(a, b))
+		})
+	case OpAddl2, OpSubl2:
+		add := opc == OpAddl2
+		src, dsts := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			sv := c.read(c.spec(src), 4)
+			dst := c.spec(dsts)
+			dv := c.read(dst, 4)
+			if add {
+				c.write(dst, 4, dv+sv)
+			} else {
+				c.write(dst, 4, dv-sv)
+			}
+		})
+	case OpAddl3, OpSubl3, OpMull3, OpBisl3, OpBicl3, OpXorl3:
+		s1, s2, s3 := d.spec(), d.spec(), d.spec()
+		op := func(a, b uint32) uint32 { return b + a }
+		switch opc {
+		case OpSubl3:
+			op = func(a, b uint32) uint32 { return b - a } // dst = src2 - src1
+		case OpMull3:
+			op = func(a, b uint32) uint32 { return uint32(int32(a) * int32(b)) }
+		case OpBisl3:
+			op = func(a, b uint32) uint32 { return a | b }
+		case OpBicl3:
+			op = func(a, b uint32) uint32 { return b &^ a }
+		case OpXorl3:
+			op = func(a, b uint32) uint32 { return a ^ b }
+		}
+		return run(func(c *cursor) {
+			a := c.read(c.spec(s1), 4)
+			b := c.read(c.spec(s2), 4)
+			dst := c.spec(s3)
+			c.write(dst, 4, op(a, b))
+		})
+	case OpDivl3:
+		s1, s2, s3 := d.spec(), d.spec(), d.spec()
+		if !d.ok {
+			return nil
+		}
+		ln := length()
+		return &arch.DecodedInsn{Len: ln, Exec: func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			c := &cursor{p: p, pc: pc, at: pc + ln}
+			a := c.read(c.spec(s1), 4)
+			b := c.read(c.spec(s2), 4)
+			dst := c.spec(s3)
+			if a == 0 { // Step checks the divisor before latched errors
+				return 0, &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigFPE, PC: pc}
+			}
+			c.write(dst, 4, uint32(int32(b)/int32(a))) // dst = src2 / src1
+			if c.err != nil {
+				return 0, c.err
+			}
+			return c.at, nil
+		}}
+	case OpMcoml:
+		src, dst := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			val := c.read(c.spec(src), 4)
+			c.write(c.spec(dst), 4, ^val)
+		})
+	case OpAshl, OpLsrl:
+		ash := opc == OpAshl
+		s1, s2, s3 := d.spec(), d.spec(), d.spec()
+		return run(func(c *cursor) {
+			cnt := int32(c.read(c.spec(s1), 4))
+			src := c.read(c.spec(s2), 4)
+			dst := c.spec(s3)
+			var r uint32
+			if ash {
+				if cnt >= 0 {
+					r = src << (uint32(cnt) & 31)
+				} else {
+					r = uint32(int32(src) >> (uint32(-cnt) & 31))
+				}
+			} else {
+				r = src >> (uint32(cnt) & 31)
+			}
+			c.write(dst, 4, r)
+		})
+	case OpMovd, OpMovf:
+		size := 8
+		if opc == OpMovf {
+			size = 4
+		}
+		src, dst := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			val := c.readF(c.spec(src), size)
+			c.writeF(c.spec(dst), size, val)
+		})
+	case OpAddd3, OpSubd3, OpMuld3, OpDivd3:
+		s1, s2, s3 := d.spec(), d.spec(), d.spec()
+		op := func(a, b float64) float64 { return b + a }
+		switch opc {
+		case OpSubd3:
+			op = func(a, b float64) float64 { return b - a }
+		case OpMuld3:
+			op = func(a, b float64) float64 { return b * a }
+		case OpDivd3:
+			op = func(a, b float64) float64 { return b / a }
+		}
+		return run(func(c *cursor) {
+			a := c.readF(c.spec(s1), 8)
+			b := c.readF(c.spec(s2), 8)
+			dst := c.spec(s3)
+			c.writeF(dst, 8, op(a, b))
+		})
+	case OpMnegd:
+		src, dst := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			val := c.readF(c.spec(src), 8)
+			c.writeF(c.spec(dst), 8, -val)
+		})
+	case OpCmpd:
+		s1, s2 := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			a := c.readF(c.spec(s1), 8)
+			b := c.readF(c.spec(s2), 8)
+			var f uint32
+			if a == b {
+				f |= FlagZ
+			}
+			if a < b {
+				f |= FlagN | FlagC
+			}
+			c.p.SetFlag(f)
+		})
+	case OpCvtld:
+		src, dst := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			val := c.read(c.spec(src), 4)
+			c.writeF(c.spec(dst), 8, float64(int32(val)))
+		})
+	case OpCvtdl:
+		src, dst := d.spec(), d.spec()
+		return run(func(c *cursor) {
+			val := c.readF(c.spec(src), 8)
+			c.write(c.spec(dst), 4, uint32(int32(math.Trunc(val))))
+		})
+	}
+	return nil
+}

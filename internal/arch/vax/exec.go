@@ -225,29 +225,6 @@ func (v *Vax) Step(p arch.Proc) *arch.Fault {
 		return c.err
 	}
 
-	push := func(val uint32) {
-		if c.err != nil {
-			return
-		}
-		sp := p.Reg(SP) - 4
-		p.SetReg(SP, sp)
-		if f := p.Store(sp, 4, val); f != nil {
-			c.err = f
-		}
-	}
-	pop := func() uint32 {
-		if c.err != nil {
-			return 0
-		}
-		sp := p.Reg(SP)
-		val, f := p.Load(sp, 4)
-		if f != nil {
-			c.err = f
-			return 0
-		}
-		p.SetReg(SP, sp+4)
-		return val
-	}
 	branch16 := func(taken bool) {
 		d := int32(int16(c.word16()))
 		if c.err == nil && taken {
@@ -267,7 +244,7 @@ func (v *Vax) Step(p arch.Proc) *arch.Fault {
 	case OpBpt:
 		return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: arch.TrapBreakpoint, PC: pc}
 	case OpRsb:
-		c.at = pop()
+		c.at = c.pop()
 	case OpBrw:
 		branch16(true)
 	case OpBneq:
@@ -299,7 +276,7 @@ func (v *Vax) Step(p arch.Proc) *arch.Fault {
 		if o.kind == oReg {
 			target = p.Reg(o.reg)
 		}
-		push(c.at)
+		c.push(c.at)
 		c.at = target
 	case OpJmp:
 		o := c.operand()
@@ -324,7 +301,7 @@ func (v *Vax) Step(p arch.Proc) *arch.Fault {
 		return &arch.Fault{Kind: arch.FaultSyscall, Code: int(num), PC: pc}
 	case OpPushl:
 		o := c.operand()
-		push(c.read(o, 4))
+		c.push(c.read(o, 4))
 	case OpMovl, OpMovb, OpMovw:
 		size := 4
 		if opc == OpMovb {

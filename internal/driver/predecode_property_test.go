@@ -1,0 +1,150 @@
+package driver
+
+import (
+	"math/rand"
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/link"
+	"ldb/internal/machine"
+	"ldb/internal/workload"
+)
+
+// Property: no interleaving of breakpoint plant/unplant (text writes)
+// and execution ever lets a stale decoded instruction run. Two
+// processes — one through the decode cache, one with it off — receive
+// identical random text writes and execute in lockstep; any stale
+// entry would make the cached process execute the overwritten bytes
+// and diverge. Plants land on recently executed pcs (instruction
+// starts that are hot in the cache — the hardest case to invalidate
+// correctly), and, on the fixed-width ISAs, at arbitrary aligned text
+// offsets as well.
+
+func TestPredecodePlantUnplantProperty(t *testing.T) {
+	for _, a := range allArches {
+		prog, err := Build([]Source{{Name: "queens.c", Text: workload.Queens}}, Options{Arch: a})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		pc := link.NewProcess(prog.Image)
+		pu := link.NewProcess(prog.Image)
+		pu.NoPredecode = true
+
+		br := prog.Image.Arch.BreakInstr()
+		slots := len(prog.Image.Text) / len(br)
+		fixedWidth := len(br) == 4
+		r := rand.New(rand.NewSource(1))
+		planted := map[uint32][]byte{}
+		// Ring of recently executed pcs: known instruction starts, and
+		// near-certain decode-cache hits when replanted.
+		var recent [256]uint32
+		executed := 0
+
+		writeBoth := func(addr uint32, b []byte) {
+			if err := pc.WriteBytes(addr, b); err != nil {
+				t.Fatalf("%s: write %#x: %v", a, addr, err)
+			}
+			if err := pu.WriteBytes(addr, b); err != nil {
+				t.Fatalf("%s: write %#x: %v", a, addr, err)
+			}
+		}
+		plant := func(addr uint32) {
+			// Corrupted control flow can leave text entirely; only
+			// plant where the break instruction fits inside it.
+			if addr-machine.TextBase > uint32(len(prog.Image.Text)-len(br)) {
+				return
+			}
+			if _, ok := planted[addr]; ok {
+				return
+			}
+			old := make([]byte, len(br))
+			if err := pc.ReadBytes(addr, old); err != nil {
+				t.Fatalf("%s: read %#x: %v", a, addr, err)
+			}
+			planted[addr] = old
+			writeBoth(addr, br)
+		}
+		unplant := func(addr uint32) {
+			old, ok := planted[addr]
+			if !ok {
+				return
+			}
+			delete(planted, addr)
+			writeBoth(addr, old)
+		}
+
+		for step := 0; step < 200000; step++ {
+			switch r.Intn(100) {
+			case 0: // plant on a recently executed instruction
+				if executed > 0 {
+					n := executed
+					if n > len(recent) {
+						n = len(recent)
+					}
+					plant(recent[r.Intn(n)])
+				}
+			case 1: // plant right on the next instruction: a guaranteed cache hit goes stale
+				plant(pc.PC())
+			case 2: // unplant something random
+				for addr := range planted {
+					unplant(addr)
+					break
+				}
+			case 3: // fixed-width ISAs: any aligned slot is an instruction start
+				if fixedWidth {
+					plant(machine.TextBase + uint32(r.Intn(slots)*len(br)))
+				}
+			}
+			recent[executed%len(recent)] = pc.PC()
+			executed++
+			fc := pc.StepOne()
+			fu := pu.StepOne()
+			if (fc == nil) != (fu == nil) || (fc != nil && *fc != *fu) {
+				t.Fatalf("%s: step %d diverged: cached %+v, uncached %+v", a, step, fc, fu)
+			}
+			if pc.PC() != pu.PC() || pc.Flag() != pu.Flag() {
+				t.Fatalf("%s: step %d: cached pc=%#x flag=%#x, uncached pc=%#x flag=%#x",
+					a, step, pc.PC(), pc.Flag(), pu.PC(), pu.Flag())
+			}
+			for i := 0; i < prog.Image.Arch.NumRegs(); i++ {
+				if pc.Reg(i) != pu.Reg(i) {
+					t.Fatalf("%s: step %d: r%d cached %#x, uncached %#x", a, step, i, pc.Reg(i), pu.Reg(i))
+				}
+			}
+			if fc == nil {
+				continue
+			}
+			if fc.Kind == arch.FaultHalt {
+				break
+			}
+			// Stopped on a trap. If it is one of ours, unplant it —
+			// the restored bytes must be re-decoded, not served stale —
+			// and resume at the same pc like a debugger would.
+			if _, ok := planted[fc.PC]; ok {
+				unplant(fc.PC)
+				continue
+			}
+			// A plant in the middle of a variable-length instruction
+			// corrupted the stream (identically on both sides). Lift
+			// every plant — more invalidation traffic — and resume; a
+			// fault that persists on clean text means the run is
+			// wedged, and the lockstep property has already held.
+			if len(planted) == 0 {
+				break
+			}
+			addrs := make([]uint32, 0, len(planted))
+			for addr := range planted {
+				addrs = append(addrs, addr)
+			}
+			for _, addr := range addrs {
+				unplant(addr)
+			}
+		}
+		if got, want := pc.Stdout.String(), pu.Stdout.String(); got != want {
+			t.Fatalf("%s: cached stdout %q, uncached %q", a, got, want)
+		}
+		if pc.Steps != pu.Steps {
+			t.Fatalf("%s: cached ran %d steps, uncached %d", a, pc.Steps, pu.Steps)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package machine
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 
 	"ldb/internal/amem"
@@ -26,6 +27,12 @@ type Segment struct {
 	Name string
 	Base uint32
 	Data []byte
+	// decoded is the segment's decode cache, indexed by byte offset;
+	// allocated lazily on first execution from the segment, so data and
+	// stack segments never pay for it. See predecode.go.
+	// Entries are stored by value (a nil Exec means "not decoded") so
+	// dispatch loads the handler with one indirection, not two.
+	decoded []arch.DecodedInsn
 }
 
 // Contains reports whether [addr, addr+size) lies inside the segment.
@@ -69,6 +76,17 @@ type Process struct {
 	Stdout bytes.Buffer
 	// Steps counts executed instructions.
 	Steps int64
+	// Sim counts decode-cache activity (see predecode.go).
+	Sim SimStats
+	// NoPredecode forces the uncached fetch/decode/dispatch path even
+	// when the architecture implements arch.Decoder. Differential tests
+	// and the cached-vs-uncached benchmarks flip it.
+	NoPredecode bool
+
+	dec      arch.Decoder // non-nil when A supports predecoding
+	be       bool         // big-endian target; avoids per-access Order() dispatch
+	lastSeg  *Segment     // memory fast path: last segment hit by seg()
+	lastText *Segment     // execution fast path: last segment fetched from
 }
 
 // New returns a stopped process with text and data segments holding the
@@ -80,6 +98,8 @@ func New(a arch.Arch, text, data []byte, entry uint32) *Process {
 		fregs: make([]float64, a.NumFRegs()),
 		pc:    entry,
 	}
+	p.dec, _ = a.(arch.Decoder)
+	p.be = a.Order() == binary.BigEndian
 	p.Segs = []*Segment{
 		{Name: "text", Base: TextBase, Data: append([]byte(nil), text...)},
 		{Name: "data", Base: DataBase, Data: append([]byte(nil), data...)},
@@ -132,8 +152,12 @@ func (p *Process) Flag() uint32 { return p.flag }
 func (p *Process) SetFlag(v uint32) { p.flag = v }
 
 func (p *Process) seg(addr uint32, size int) (*Segment, *arch.Fault) {
+	if s := p.lastSeg; s != nil && s.Contains(addr, size) {
+		return s, nil
+	}
 	for _, s := range p.Segs {
 		if s.Contains(addr, size) {
+			p.lastSeg = s
 			return s, nil
 		}
 	}
@@ -146,8 +170,20 @@ func (p *Process) Load(addr uint32, size int) (uint32, *arch.Fault) {
 	if f != nil {
 		return 0, f
 	}
-	off := addr - s.Base
-	return uint32(amem.ReadInt(p.A.Order(), s.Data[off:off+uint32(size)])), nil
+	b := s.Data[addr-s.Base:]
+	switch size {
+	case 4:
+		if p.be {
+			return uint32(b[3]) | uint32(b[2])<<8 | uint32(b[1])<<16 | uint32(b[0])<<24, nil
+		}
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+	case 2:
+		if p.be {
+			return uint32(b[1]) | uint32(b[0])<<8, nil
+		}
+		return uint32(b[0]) | uint32(b[1])<<8, nil
+	}
+	return uint32(b[0]), nil
 }
 
 // Store implements arch.Proc.
@@ -156,8 +192,24 @@ func (p *Process) Store(addr uint32, size int, v uint32) *arch.Fault {
 	if f != nil {
 		return f
 	}
-	off := addr - s.Base
-	amem.WriteInt(p.A.Order(), s.Data[off:off+uint32(size)], uint64(v))
+	b := s.Data[addr-s.Base:]
+	switch size {
+	case 4:
+		if p.be {
+			b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+		} else {
+			b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		}
+	case 2:
+		if p.be {
+			b[0], b[1] = byte(v>>8), byte(v)
+		} else {
+			b[0], b[1] = byte(v), byte(v>>8)
+		}
+	default:
+		b[0] = byte(v)
+	}
+	p.invalidate(s, addr, size)
 	return nil
 }
 
@@ -187,6 +239,7 @@ func (p *Process) StoreFloat(addr uint32, size int, v float64) *arch.Fault {
 	}
 	off := addr - s.Base
 	amem.EncodeFloat(p.A.Order(), s.Data[off:off+uint32(n)], size, v)
+	p.invalidate(s, addr, n)
 	return nil
 }
 
@@ -208,21 +261,33 @@ func (p *Process) WriteBytes(addr uint32, in []byte) error {
 		return f
 	}
 	copy(s.Data[addr-s.Base:], in)
+	p.invalidate(s, addr, len(in))
 	return nil
 }
 
-// cstring reads a NUL-terminated string for the putstr syscall.
+// cstring reads a NUL-terminated string for the putstr syscall: the
+// containing segment is resolved once and scanned for the NUL in a
+// single pass, instead of one 1-byte ReadBytes (with its own segment
+// lookup and allocation) per character. A string that runs off the end
+// of its segment continues in the next one only if that address is
+// mapped, exactly as the byte-at-a-time loop behaved.
 func (p *Process) cstring(addr uint32) (string, error) {
+	const limit = 1 << 16
 	var out []byte
-	for i := 0; i < 1<<16; i++ {
-		b := make([]byte, 1)
-		if err := p.ReadBytes(addr+uint32(i), b); err != nil {
-			return "", err
+	for len(out) < limit {
+		s, f := p.seg(addr, 1)
+		if f != nil {
+			return "", f
 		}
-		if b[0] == 0 {
-			return string(out), nil
+		data := s.Data[addr-s.Base:]
+		if n := limit - len(out); len(data) > n {
+			data = data[:n]
 		}
-		out = append(out, b[0])
+		if i := bytes.IndexByte(data, 0); i >= 0 {
+			return string(append(out, data[:i]...)), nil
+		}
+		out = append(out, data...)
+		addr += uint32(len(data))
 	}
 	return "", fmt.Errorf("machine: unterminated string at %#x", addr)
 }
@@ -275,15 +340,53 @@ func (p *Process) Run() *arch.Fault {
 		return &arch.Fault{Kind: arch.FaultHalt, PC: p.pc}
 	}
 	p.State = StateRunning
+	predecode := p.dec != nil && !p.NoPredecode
 	for {
-		p.Steps++
-		if p.Steps > MaxSteps {
-			p.State = StateStopped
-			return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigIll, Code: -1, PC: p.pc}
+		// The decode-cache hit case of step(), unrolled into a tight
+		// loop: per instruction, one bounds check, one cache load, and
+		// one indirect call. The segment fields are hoisted out; a
+		// text store that invalidates entries nils slots in the same
+		// backing array, so the d == nil check still sees it.
+		var f *arch.Fault
+		if predecode {
+			if s := p.lastText; s != nil && s.decoded != nil {
+				base, dec, regs := s.Base, s.decoded, p.regs
+				steps := p.Steps
+				for {
+					off := p.pc - base
+					if off >= uint32(len(dec)) {
+						break
+					}
+					d := &dec[off]
+					if d.Exec == nil {
+						break
+					}
+					steps++
+					if steps > MaxSteps {
+						p.Steps = steps
+						p.State = StateStopped
+						return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigIll, Code: -1, PC: p.pc}
+					}
+					var next uint32
+					next, f = d.Exec(p, regs, &p.flag, p.pc)
+					if f != nil {
+						break
+					}
+					p.pc = next
+				}
+				p.Steps = steps
+			}
 		}
-		f := p.A.Step(p)
 		if f == nil {
-			continue
+			p.Steps++
+			if p.Steps > MaxSteps {
+				p.State = StateStopped
+				return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigIll, Code: -1, PC: p.pc}
+			}
+			f = p.step()
+			if f == nil {
+				continue
+			}
 		}
 		if f.Kind == arch.FaultSyscall {
 			if hf := p.syscall(f); hf != nil {
@@ -309,7 +412,7 @@ func (p *Process) Run() *arch.Fault {
 // occurs) and returns the fault, if any.
 func (p *Process) StepOne() *arch.Fault {
 	p.Steps++
-	f := p.A.Step(p)
+	f := p.step()
 	if f != nil && f.Kind == arch.FaultSyscall {
 		return p.syscall(f)
 	}

@@ -1,0 +1,137 @@
+// The decode cache: Process executes from predecoded instructions when
+// its architecture implements arch.Decoder. Each segment lazily grows a
+// slice of decoded entries indexed by byte offset (variable-length
+// instructions key naturally; fixed-width ISAs simply leave the
+// intermediate offsets nil), filled on first execution and consulted on
+// every subsequent one. Any write into a segment that has been executed
+// from — a data store, a planted breakpoint, a trap restoration —
+// invalidates the entries the written bytes could cover, so the next
+// execution at those addresses re-decodes what is actually in memory.
+// This is the §3 retargeting seam made fast: ldb plants breakpoints by
+// overwriting no-ops in text through ordinary stores, and the
+// invalidation contract is what keeps plant, unplant, and stale decoded
+// instructions from ever disagreeing.
+package machine
+
+import "ldb/internal/arch"
+
+// maxInsnBytes bounds how many bytes before a written address an
+// instruction may start and still cover it: the longest instruction any
+// target emits (a VAX three-operand op with long-displacement specifiers)
+// is 16 bytes.
+const maxInsnBytes = 16
+
+// SimStats counts decode-cache activity. Steps (on Process) counts
+// executed instructions; here Hits is how many executed from a cached
+// entry, Decodes how many had to be decoded first, Fallbacks how many
+// went through the uncached Step path (no decoder, predecode disabled,
+// or bytes that do not decode), and Invalidations how many cached
+// entries text writes destroyed. Hits is not counted on the hot path:
+// every executed instruction is exactly one of a hit, a decode, or a
+// fallback, so SimStats derives it from Steps. Read stats through
+// Process.SimStats, which fills it in.
+type SimStats struct {
+	Hits          int64
+	Decodes       int64
+	Invalidations int64
+	Fallbacks     int64
+}
+
+// SimStats returns the decode-cache counters with the derived Hits
+// filled in. With predecoding off every step is a fallback, whether or
+// not the slow path bothered to count it.
+func (p *Process) SimStats() SimStats {
+	s := p.Sim
+	if p.dec != nil && !p.NoPredecode {
+		s.Hits = p.Steps - s.Decodes - s.Fallbacks
+	} else {
+		s.Hits, s.Fallbacks = 0, p.Steps
+	}
+	return s
+}
+
+// HitRate is the fraction of executed instructions served from the
+// decode cache.
+func (s SimStats) HitRate() float64 {
+	total := s.Hits + s.Decodes + s.Fallbacks
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// step executes one instruction, through the decode cache when the
+// architecture supports it. It has exactly Step's contract.
+func (p *Process) step() *arch.Fault {
+	if p.dec == nil || p.NoPredecode {
+		return p.A.Step(p)
+	}
+	pc := p.pc
+	s := p.lastText
+	if s == nil || pc-s.Base >= uint32(len(s.Data)) {
+		s = nil
+		for _, t := range p.Segs {
+			if pc-t.Base < uint32(len(t.Data)) {
+				s = t
+				break
+			}
+		}
+		if s == nil {
+			// Unmapped pc: let Step raise the fault it always raised.
+			p.Sim.Fallbacks++
+			return p.A.Step(p)
+		}
+		p.lastText = s
+	}
+	off := pc - s.Base
+	if s.decoded == nil {
+		s.decoded = make([]arch.DecodedInsn, len(s.Data))
+	}
+	d := &s.decoded[off]
+	if d.Exec == nil {
+		dn := p.dec.Decode(s.Data, int(off), pc)
+		if dn == nil {
+			p.Sim.Fallbacks++
+			return p.A.Step(p)
+		}
+		*d = *dn
+		p.Sim.Decodes++
+	}
+	next, f := d.Exec(p, p.regs, &p.flag, pc)
+	if f != nil {
+		return f
+	}
+	p.pc = next
+	return nil
+}
+
+// invalidate clears every decoded entry that the write of n bytes at
+// addr could cover: entries starting inside the written range, and
+// entries starting up to maxInsnBytes-1 before it whose length reaches
+// in. Segments never executed from carry no cache and cost one nil
+// check.
+func (p *Process) invalidate(s *Segment, addr uint32, n int) {
+	if s.decoded == nil || n <= 0 {
+		return
+	}
+	lo := addr - s.Base
+	start := int(lo) - (maxInsnBytes - 1)
+	if start < 0 {
+		start = 0
+	}
+	end := int(lo) + n
+	if end > len(s.decoded) {
+		end = len(s.decoded)
+	}
+	for i := start; i < end; i++ {
+		d := &s.decoded[i]
+		if d.Exec == nil {
+			continue
+		}
+		if uint32(i)+d.Len <= lo {
+			continue // ends before the written range
+		}
+		*d = arch.DecodedInsn{}
+		p.Sim.Invalidations++
+	}
+}

@@ -647,6 +647,30 @@ func (c *Client) ListPlanted() ([]PlantedRecord, error) {
 	return parsePlanted(rep.Data)
 }
 
+// SimStatsReport is the nub's simulator report: instructions executed
+// and the decode-cache counters behind them.
+type SimStatsReport struct {
+	Steps         int64
+	Hits          int64
+	Decodes       int64
+	Invalidations int64
+	Fallbacks     int64
+}
+
+// SimStats asks the nub for its simulator counters. A legacy nub
+// refuses the request; callers treat the error as "nothing to report".
+func (c *Client) SimStats() (SimStatsReport, error) {
+	rep, err := c.roundTrip(&Msg{Kind: MSimStats}, MSimStatsReply)
+	if err != nil {
+		return SimStatsReport{}, err
+	}
+	if len(rep.Data) != 40 {
+		return SimStatsReport{}, fmt.Errorf("nub: malformed simstats reply (%d bytes)", len(rep.Data))
+	}
+	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(rep.Data[i*8:])) }
+	return SimStatsReport{Steps: v(0), Hits: v(1), Decodes: v(2), Invalidations: v(3), Fallbacks: v(4)}, nil
+}
+
 // parsePlanted decodes an MPlanted payload: (addr32, len32, bytes)
 // records, little-endian, sorted by address on the wire.
 func parsePlanted(b []byte) ([]PlantedRecord, error) {

@@ -209,7 +209,7 @@ func (n *Nub) handle(m *Msg) *Msg {
 		return &Msg{Kind: MError, Data: []byte(fmt.Sprintf(format, args...))}
 	}
 	switch m.Kind {
-	case MHello, MContinue, MKill, MDetach, MListPlanted, MBatch:
+	case MHello, MContinue, MKill, MDetach, MListPlanted, MBatch, MSimStats:
 		// no space operand
 	default:
 		if !validSpace(m.Space) {
@@ -351,6 +351,20 @@ func (n *Nub) handle(m *Msg) *Msg {
 			return errMsg("store %#x: %v", m.Addr, err)
 		}
 		return &Msg{Kind: MOK}
+	case MSimStats:
+		// Simulator counters. Rides the batch capability bit, so a
+		// legacy nub refuses it like any unknown request.
+		if n.LegacyProtocol {
+			return errMsg("unknown request %v", m.Kind)
+		}
+		st := p.SimStats()
+		data := make([]byte, 0, 40)
+		for _, v := range []int64{p.Steps, st.Hits, st.Decodes, st.Invalidations, st.Fallbacks} {
+			var rec [8]byte
+			binary.LittleEndian.PutUint64(rec[:], uint64(v))
+			data = append(data, rec[:]...)
+		}
+		return &Msg{Kind: MSimStatsReply, Data: data}
 	default:
 		return errMsg("unexpected request %v", m.Kind)
 	}

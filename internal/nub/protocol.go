@@ -70,6 +70,15 @@ const (
 	MExited
 	MPlanted
 	MBatchReply
+	// MSimStats asks the nub for its simulator counters — instructions
+	// executed and decode-cache activity — which come back as an
+	// MSimStatsReply carrying five little-endian 64-bit values (steps,
+	// hits, decodes, invalidations, fallbacks). Purely informational:
+	// it rides the batch capability bit, so a legacy nub refuses it
+	// like any unknown request, and the client degrades to printing
+	// nothing.
+	MSimStats
+	MSimStatsReply
 )
 
 func (k MsgKind) String() string {
@@ -82,7 +91,8 @@ func (k MsgKind) String() string {
 		MListPlanted: "listplanted", MPlanted: "planted",
 		MBatch: "batch", MBatchReply: "batchreply",
 		MFetchLine: "fetchline",
-		MWelcome:   "welcome", MValue: "value", MFValue: "fvalue",
+		MSimStats:  "simstats", MSimStatsReply: "simstatsreply",
+		MWelcome: "welcome", MValue: "value", MFValue: "fvalue",
 		MBytes: "bytes", MOK: "ok", MError: "error",
 		MEvent: "event", MExited: "exited",
 	}
@@ -188,7 +198,7 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 // idempotent exactly when every member is.
 func reqIdempotent(m *Msg) bool {
 	switch m.Kind {
-	case MHello, MFetchInt, MFetchFloat, MFetchBytes, MFetchLine, MListPlanted:
+	case MHello, MFetchInt, MFetchFloat, MFetchBytes, MFetchLine, MListPlanted, MSimStats:
 		return true
 	case MBatch:
 		subs, err := DecodeBatch(m)

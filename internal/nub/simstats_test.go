@@ -1,0 +1,52 @@
+package nub
+
+import (
+	"testing"
+
+	"ldb/internal/arch/mips"
+	"ldb/internal/machine"
+)
+
+// TestSimStatsRoundTrip fetches the simulator counters over the wire
+// and checks they match the process they came from.
+func TestSimStatsRoundTrip(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	c, _, p, err := Launch(a, code, make([]byte, 64), machine.TextBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SimStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps != p.Steps {
+		t.Errorf("wire reports %d steps, process ran %d", st.Steps, p.Steps)
+	}
+	want := p.SimStats()
+	if st.Hits != want.Hits || st.Decodes != want.Decodes ||
+		st.Invalidations != want.Invalidations || st.Fallbacks != want.Fallbacks {
+		t.Errorf("wire reports %+v, process has %+v (steps %d)", st, want, p.Steps)
+	}
+	if st.Steps == 0 {
+		t.Error("no instructions executed before the pause trap")
+	}
+}
+
+// TestSimStatsLegacyNub pairs the client with a nub built before
+// MSimStats existed: the request must be refused, not mishandled.
+func TestSimStatsLegacyNub(t *testing.T) {
+	a := mips.Little
+	code := testProgram(t, a)
+	p := machine.New(a, code, make([]byte, 64), machine.TextBase)
+	n := New(p)
+	n.LegacyProtocol = true
+	n.Start()
+	c, err := Pair(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SimStats(); err == nil {
+		t.Fatal("legacy nub answered a simstats request")
+	}
+}
