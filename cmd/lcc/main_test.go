@@ -58,7 +58,7 @@ func TestDriverCLI(t *testing.T) {
 	if err := tbl.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if tbl.Architecture() != "mips" {
-		t.Fatalf("architecture = %q", tbl.Architecture())
+	if a, err := tbl.Architecture(); err != nil || a != "mips" {
+		t.Fatalf("architecture = %q (%v)", a, err)
 	}
 }

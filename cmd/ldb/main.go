@@ -8,8 +8,13 @@
 //
 //	ldb prog.img prog.ldb          debug prog as a child process
 //	ldb -attach host:port prog.ldb attach to a nub over the network
+//	ldb -attach host:port          attach without symbols (machine-level)
 //	ldb -serve :port prog.img      run a program with its nub listening
 //	                               (no debugger; connect with -attach)
+//
+// If the loader table is missing, unreadable, or fails validation, the
+// session degrades to machine-level debugging (regs, x, break *ADDR,
+// stepi) with a one-line warning instead of exiting.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"ldb/internal/amem"
+	"ldb/internal/arch"
 	_ "ldb/internal/arch/m68k"
 	_ "ldb/internal/arch/mips"
 	_ "ldb/internal/arch/sparc"
@@ -50,19 +56,26 @@ func main() {
 	}
 	switch {
 	case *attach != "":
-		if flag.NArg() < 1 {
-			fatal(fmt.Errorf("usage: ldb -attach host:port prog.ldb"))
-		}
-		loader, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			fatal(err)
+		// A missing or unreadable loader table is not fatal: the session
+		// starts in machine-level mode instead.
+		loader := ""
+		if flag.NArg() >= 1 {
+			if data, err := os.ReadFile(flag.Arg(0)); err != nil {
+				fmt.Fprintln(os.Stderr, "ldb:", err)
+			} else {
+				loader = string(data)
+			}
 		}
 		client, _, err := nub.Dial(*attach)
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := d.AttachClient(*attach, client, string(loader)); err != nil {
+		_, warning, err := d.AttachDegraded(*attach, client, loader)
+		if err != nil {
 			fatal(err)
+		}
+		if warning != "" {
+			fmt.Println("ldb:", warning)
 		}
 	case flag.NArg() >= 2:
 		if err := launchChild(d, flag.Arg(0), flag.Arg(1)); err != nil {
@@ -110,17 +123,23 @@ func launchChild(d *core.Debugger, imgPath, ldbPath string) error {
 	if err != nil {
 		return err
 	}
-	loader, err := os.ReadFile(ldbPath)
-	if err != nil {
-		return err
+	// A broken loader table degrades the session rather than ending it.
+	loader := ""
+	if data, err := os.ReadFile(ldbPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ldb:", err)
+	} else {
+		loader = string(data)
 	}
 	client, _, proc, err := nub.Launch(img.Arch, img.Text, img.Data, img.Entry)
 	if err != nil {
 		return err
 	}
-	tgt, err := d.AttachClient(imgPath, client, string(loader))
+	tgt, warning, err := d.AttachDegraded(imgPath, client, loader)
 	if err != nil {
 		return err
+	}
+	if warning != "" {
+		fmt.Println("ldb:", warning)
 	}
 	tgt.Stdout = &proc.Stdout
 	fmt.Printf("%s (%s) stopped before main\n", imgPath, img.Arch.Name())
@@ -134,12 +153,15 @@ func fatal(err error) {
 
 const helpText = `commands:
   break PROC | break FILE:LINE | break PROC@N   plant a breakpoint
+  break *ADDR                                   breakpoint at a raw code address
   clear                                         remove all breakpoints
   stops PROC                                    list stopping points
   cond PROC@N EXPR                              conditional breakpoint
   recover                                       adopt breakpoints left by a lost debugger
   continue (c)                                  resume (honoring conditions)
   step (s) | next (n) | finish                  source-level stepping
+  stepi (si)                                    step one machine instruction
+  x ADDR [LEN]                                  dump raw target memory
   print NAME (p)                                print a variable via its type's printer
   eval EXPR (e) | = EXPR                        evaluate through the expression server
                                                 (assignments and procedure calls included)
@@ -191,6 +213,17 @@ func command(d *core.Debugger, line string) bool {
 			return false
 		}
 		switch {
+		case strings.HasPrefix(rest, "*"):
+			a, err := strconv.ParseUint(strings.TrimPrefix(rest, "*"), 0, 32)
+			if err != nil {
+				say("bad address")
+				return false
+			}
+			if err := t.BreakAddr(uint32(a)); err != nil {
+				say("%v", err)
+				return false
+			}
+			say("breakpoint at %#x", uint32(a))
 		case strings.Contains(rest, ":"):
 			i := strings.LastIndex(rest, ":")
 			n, err := strconv.Atoi(rest[i+1:])
@@ -274,6 +307,55 @@ func command(d *core.Debugger, line string) bool {
 			return false
 		}
 		report(d, t, ev)
+	case "stepi", "si":
+		if !need() {
+			return false
+		}
+		ev, err := t.StepInst()
+		if err != nil {
+			say("%v", err)
+			return false
+		}
+		report(d, t, ev)
+	case "x":
+		if !need() {
+			return false
+		}
+		args := strings.Fields(rest)
+		if len(args) < 1 || len(args) > 2 {
+			say("usage: x ADDR [LEN]")
+			return false
+		}
+		a, err := strconv.ParseUint(args[0], 0, 32)
+		if err != nil {
+			say("bad address")
+			return false
+		}
+		count := 16
+		if len(args) == 2 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 1 || n > 4096 {
+				say("bad length (1..4096)")
+				return false
+			}
+			count = n
+		}
+		b, err := t.ExamineBytes(uint32(a), count)
+		if err != nil {
+			say("%v", err)
+			return false
+		}
+		for off := 0; off < len(b); off += 16 {
+			end := off + 16
+			if end > len(b) {
+				end = len(b)
+			}
+			var sb strings.Builder
+			for i := off; i < end; i++ {
+				fmt.Fprintf(&sb, " %02x", b[i])
+			}
+			say("%#010x %s", uint32(a)+uint32(off), sb.String())
+		}
 	case "cond":
 		if !need() {
 			return false
@@ -377,6 +459,11 @@ func command(d *core.Debugger, line string) bool {
 		if st, err := t.Client.SimStats(); err == nil {
 			say("sim: %d instructions, %d decode-cache hits, %d decodes, %d invalidations, %d fallbacks",
 				st.Steps, st.Hits, st.Decodes, st.Invalidations, st.Fallbacks)
+		}
+		// Likewise the server robustness line.
+		if st, err := t.Client.ServerStats(); err == nil {
+			say("server: %d recovered panics, %d malformed frames, %d oversize rejects, %d slow reads, %d ctx faults",
+				st.RecoveredPanics, st.MalformedFrames, st.OversizeRejects, st.SlowReads, st.CtxFaults)
 		}
 	case "wire":
 		if !need() {
@@ -483,14 +570,34 @@ func report(d *core.Debugger, t *core.Target, ev *nub.Event) {
 	if f, err := t.Frame(0); err == nil {
 		where = fmt.Sprintf("%s pc=%#x", f.Proc(), ev.PC)
 	}
-	if t.Bpts.IsPlanted(ev.PC) {
+	switch {
+	case t.Bpts.IsPlanted(ev.PC):
 		fmt.Printf("breakpoint: %s\n", where)
-	} else {
+	case ev.Sig == arch.SigTrap && ev.Code == arch.TrapStep:
+		fmt.Printf("stepped: %s\n", where)
+	default:
 		fmt.Printf("signal %v (code %d): %s\n", ev.Sig, ev.Code, where)
 	}
 }
 
 func showRegs(d *core.Debugger, t *core.Target) {
+	if t.Degraded() {
+		regs, pc, err := t.RegsRaw()
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		for i, v := range regs {
+			fmt.Printf("%6s %#010x", t.Arch.RegName(i), v)
+			if (i+1)%4 == 0 {
+				fmt.Println()
+			} else {
+				fmt.Print("  ")
+			}
+		}
+		fmt.Printf("\n%6s %#010x\n", "pc", pc)
+		return
+	}
 	f, err := t.Frame(t.CurFrame)
 	if err != nil {
 		fmt.Println(err)

@@ -70,6 +70,11 @@ const (
 const (
 	TrapBreakpoint = 0
 	TrapPause      = 126
+	// TrapStep is the code the nub reports for an MStepInst stop: the
+	// single instruction retired without faulting. Like the pause trap,
+	// it is a convention between nub and debugger, not a real trap the
+	// hardware raises.
+	TrapStep = 125
 )
 
 // Fault reports why execution stopped.

@@ -26,11 +26,12 @@ type Manager struct {
 	C *nub.Client
 
 	planted map[uint32][]byte // address → overwritten bytes
+	raw     map[uint32]bool   // planted over a real instruction, not a no-op
 }
 
 // New returns a breakpoint manager.
 func New(a arch.Arch, c *nub.Client) *Manager {
-	return &Manager{A: a, C: c, planted: make(map[uint32][]byte)}
+	return &Manager{A: a, C: c, planted: make(map[uint32][]byte), raw: make(map[uint32]bool)}
 }
 
 // Plant sets a breakpoint at addr, which must hold a stopping-point
@@ -57,6 +58,33 @@ func (m *Manager) Plant(addr uint32) error {
 	m.planted[addr] = old
 	return nil
 }
+
+// PlantRaw sets a breakpoint at an arbitrary instruction — the
+// machine-level form used when no symbol table marks the stopping-point
+// no-ops. Unlike Plant, the overwritten instruction cannot be skipped
+// on resume; the resumer must restore it, retire it with a single
+// machine step, and replant (IsRaw tells the two kinds apart).
+func (m *Manager) PlantRaw(addr uint32) error {
+	if _, dup := m.planted[addr]; dup {
+		return nil
+	}
+	old, err := m.C.FetchBytes(amem.Code, addr, m.A.InstrSize())
+	if err != nil {
+		return err
+	}
+	if err := m.C.PlantStore(addr, m.A.BreakInstr()); err != nil {
+		return err
+	}
+	m.planted[addr] = old
+	if !bytes.Equal(old, m.A.NopInstr()) {
+		m.raw[addr] = true
+	}
+	return nil
+}
+
+// IsRaw reports whether the breakpoint at addr overwrote a real
+// instruction rather than a stopping-point no-op.
+func (m *Manager) IsRaw(addr uint32) bool { return m.raw[addr] }
 
 // PlantMany sets breakpoints at every address in addrs, batching the
 // no-op checks into one round trip and the plants into another (§6's
@@ -132,6 +160,7 @@ func (m *Manager) Remove(addr uint32) error {
 		return err
 	}
 	delete(m.planted, addr)
+	delete(m.raw, addr)
 	return nil
 }
 
@@ -166,6 +195,7 @@ func (m *Manager) RemoveMany(addrs []uint32) error {
 	for i, r := range oks {
 		if r.Err == nil {
 			delete(m.planted, addrs[i])
+			delete(m.raw, addrs[i])
 		} else if failed == nil {
 			failed = r.Err
 		}
@@ -189,6 +219,9 @@ func (m *Manager) AdoptPlanted(addr uint32, original []byte) error {
 		return fmt.Errorf("bpt: %#x holds no breakpoint", addr)
 	}
 	m.planted[addr] = append([]byte(nil), original...)
+	if !bytes.Equal(original, m.A.NopInstr()) {
+		m.raw[addr] = true
+	}
 	return nil
 }
 
@@ -203,6 +236,9 @@ func (m *Manager) Recover() ([]uint32, error) {
 	var out []uint32
 	for _, r := range records {
 		m.planted[r.Addr] = append([]byte(nil), r.Original...)
+		if !bytes.Equal(r.Original, m.A.NopInstr()) {
+			m.raw[r.Addr] = true
+		}
 		out = append(out, r.Addr)
 	}
 	return out, nil

@@ -62,6 +62,9 @@ func (t *Target) CallProc(name string, args ...int64) (ps.Object, error) {
 	if !ok {
 		return ps.Object{}, fmt.Errorf("core: no call convention for %s", t.Arch.Name())
 	}
+	if t.Degraded() {
+		return ps.Object{}, ErrNoSymbols
+	}
 	e, entryName, ok := t.Table.ProcEntryByName(name)
 	if !ok {
 		return ps.Object{}, fmt.Errorf("core: no procedure %q", name)
@@ -236,8 +239,10 @@ func (t *Target) procAddr(e symtab.Entry) (uint32, error) {
 	switch {
 	case ok && w.Kind == ps.KArray && len(w.A.E) == 2 &&
 		isName(w.A.E[1], "GlobalCode") && w.A.E[0].Kind == ps.KString:
-		if a, ok := t.Table.GlobalAddr(w.A.E[0].S); ok {
-			return a, nil
+		if t.Table != nil {
+			if a, err := t.Table.GlobalAddr(w.A.E[0].S); err == nil {
+				return a, nil
+			}
 		}
 		return 0, fmt.Errorf("core: %s not in the loader table", w.A.E[0].S)
 	case ok && w.Kind == ps.KExt:

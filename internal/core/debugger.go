@@ -140,9 +140,19 @@ func (d *Debugger) attach(name string, client *nub.Client, loaderPS string) (*Ta
 	if err := table.Validate(); err != nil {
 		return nil, err
 	}
-	if ta := table.Architecture(); ta != a.Name() {
+	ta, err := table.Architecture()
+	if err != nil {
+		return nil, err
+	}
+	if ta != a.Name() {
 		return nil, fmt.Errorf("core: symbol table is for %s but the target runs %s", ta, a.Name())
 	}
+	return d.adoptTarget(name, a, client, table)
+}
+
+// adoptTarget registers a new target (with or without a symbol table)
+// and syncs it to the nub's latched event.
+func (d *Debugger) adoptTarget(name string, a arch.Arch, client *nub.Client, table *symtab.Table) (*Target, error) {
 	t := newTarget(d, name, a, client, table)
 	d.Targets = append(d.Targets, t)
 	d.Switch(t)
@@ -154,6 +164,44 @@ func (d *Debugger) attach(name string, client *nub.Client, loaderPS string) (*Ta
 		}
 	}
 	return t, nil
+}
+
+// AttachMachineLevel connects to a nub with no symbol table at all: the
+// degraded mode. The target supports registers, memory, address
+// breakpoints, and single-instruction stepping — everything the nub
+// protocol provides without the table — and every source-level
+// operation reports that it needs symbols.
+func (d *Debugger) AttachMachineLevel(name string, client *nub.Client) (*Target, error) {
+	a, ok := arch.Lookup(client.ArchName)
+	if !ok {
+		return nil, fmt.Errorf("core: target runs unknown architecture %q", client.ArchName)
+	}
+	return d.adoptTarget(name, a, client, nil)
+}
+
+// AttachDegraded attaches with the loader table when it is usable and
+// falls back to machine-level debugging when it is not: a corrupt,
+// missing, or mismatched symbol table costs source-level debugging, not
+// the session. The warning (empty on a clean attach) is the one-line
+// explanation the caller should show.
+func (d *Debugger) AttachDegraded(name string, client *nub.Client, loaderPS string) (t *Target, warning string, err error) {
+	if loaderPS != "" {
+		t, err = d.attach(name, client, loaderPS)
+		if err == nil {
+			return t, "", nil
+		}
+		warning = fmt.Sprintf("symbol table unusable (%v); entering machine-level mode", err)
+	} else {
+		warning = "no symbol table; entering machine-level mode"
+	}
+	t, merr := d.AttachMachineLevel(name, client)
+	if merr != nil {
+		if err != nil {
+			return nil, "", err
+		}
+		return nil, "", merr
+	}
+	return t, warning, nil
 }
 
 // evalWhere executes a where procedure (or accepts an already-realized

@@ -291,6 +291,15 @@ func (t *Target) fullDecl(e symtab.Entry) string {
 	return t.cdecl(td, e.Name(), 0)
 }
 
+// tableFields fetches a type's /&fields through the symbol table's
+// memoizing accessor, or reports ErrNoSymbols in machine-level mode.
+func (t *Target) tableFields(td *ps.Dict) (ps.Object, error) {
+	if t.Degraded() {
+		return ps.Object{}, ErrNoSymbols
+	}
+	return t.Table.GetMemo(td, "&fields")
+}
+
 func (t *Target) cdecl(td *ps.Dict, inner string, depth int) string {
 	kind := ""
 	if k, ok := td.GetName("kind"); ok {
@@ -309,7 +318,7 @@ func (t *Target) cdecl(td *ps.Dict, inner string, depth int) string {
 	case "struct", "union":
 		var b strings.Builder
 		b.WriteString(kind + " { ")
-		if fo, err := t.Table.GetMemo(td, "&fields"); err == nil && fo.Kind == ps.KArray {
+		if fo, err := t.tableFields(td); err == nil && fo.Kind == ps.KArray {
 			for _, f := range fo.A.E {
 				if f.Kind != ps.KArray || len(f.A.E) != 3 {
 					continue

@@ -175,11 +175,11 @@ func (d *Debugger) registerOps() {
 				return err
 			}
 			t := d.cur
-			if t == nil || t.Client == nil {
+			if t == nil || t.Client == nil || t.Table == nil {
 				return &ps.Error{Name: "notarget", Cmd: name}
 			}
-			base, ok := t.Table.AnchorAddr(anchor)
-			if !ok {
+			base, err := t.Table.AnchorAddr(anchor)
+			if err != nil {
 				return &ps.Error{Name: "undefined", Cmd: name + ": anchor " + anchor}
 			}
 			t.LazyFetches++
@@ -203,11 +203,11 @@ func (d *Debugger) registerOps() {
 				return err
 			}
 			t := d.cur
-			if t == nil {
+			if t == nil || t.Table == nil {
 				return &ps.Error{Name: "notarget", Cmd: name}
 			}
-			addr, ok := t.Table.GlobalAddr(label)
-			if !ok {
+			addr, err := t.Table.GlobalAddr(label)
+			if err != nil {
 				return &ps.Error{Name: "undefined", Cmd: name + ": " + label}
 			}
 			in.Push(LocObj(amem.Abs(space, int64(addr))))
@@ -256,7 +256,7 @@ func (d *Debugger) registerOps() {
 			return err
 		}
 		t := d.cur
-		if t == nil {
+		if t == nil || t.Table == nil {
 			in.Push(ps.Str(fmtHex(uint64(addr))))
 			return nil
 		}

@@ -16,6 +16,9 @@ import (
 // allStopAddrs realizes the code address of every stopping point in
 // the program (memoized per stop by stopLoc's replacement).
 func (t *Target) allStopAddrs() ([]uint32, error) {
+	if t.Degraded() {
+		return nil, ErrNoSymbols
+	}
 	t.ensureCurrent()
 	procs, ok := t.Table.Top.GetName("procs")
 	if !ok || procs.Kind != ps.KArray {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"ldb/internal/amem"
@@ -49,15 +50,28 @@ type Target struct {
 	Stdout *bytes.Buffer
 }
 
+// ErrNoSymbols reports a source-level operation attempted on a target
+// attached in machine-level (degraded) mode, where no symbol table is
+// available.
+var ErrNoSymbols = errors.New("core: no symbol table (machine-level mode)")
+
 func newTarget(d *Debugger, name string, a arch.Arch, client *nub.Client, table *symtab.Table) *Target {
 	t := &Target{
 		D: d, Name: name, Arch: a, Client: client, Table: table,
 		Bpts: bpt.New(a, client),
 	}
-	rpt, _ := table.RPTAddr()
+	// In machine-level mode there is no table: frames walk without a
+	// runtime procedure table and procedures have no names.
+	var rpt uint32
+	if table != nil {
+		rpt, _ = table.RPTAddr()
+	}
 	t.FInfo = &frame.Target{
 		A: a, C: client, Ctx: client.CtxAddr, RPT: rpt,
 		ProcName: func(pc uint32) string {
+			if table == nil {
+				return ""
+			}
 			if p, ok := table.ProcContaining(pc); ok {
 				return p.Name
 			}
@@ -68,17 +82,27 @@ func newTarget(d *Debugger, name string, a arch.Arch, client *nub.Client, table 
 	return t
 }
 
+// Degraded reports whether the target was attached without a usable
+// symbol table: machine-level debugging only.
+func (t *Target) Degraded() bool { return t.Table == nil }
+
 // Stopped reports whether the target is stopped at a signal.
 func (t *Target) Stopped() bool {
 	return !t.Exited && t.Client.Last != nil && !t.Client.Last.Exited
 }
 
-// Refresh rebuilds the frame list after a stop.
+// Refresh rebuilds the frame list after a stop. In machine-level mode a
+// failed walk (some architectures cannot walk without the symbol
+// table's runtime procedure table) leaves the frame list empty rather
+// than failing the stop: registers and memory are still inspectable.
 func (t *Target) Refresh() error {
 	t.Frames = nil
 	t.CurFrame = 0
 	top, err := t.Walker.Top()
 	if err != nil {
+		if t.Degraded() {
+			return nil
+		}
 		return err
 	}
 	t.Frames = []*frame.Frame{top}
@@ -91,6 +115,11 @@ func (t *Target) Frame(i int) (*frame.Frame, error) {
 		if len(t.Frames) == 0 {
 			if err := t.Refresh(); err != nil {
 				return nil, err
+			}
+			if len(t.Frames) == 0 {
+				// A degraded-mode Refresh may legitimately produce no
+				// frames; report that instead of retrying forever.
+				return nil, fmt.Errorf("core: no stack frames (machine-level mode)")
 			}
 			continue
 		}
@@ -116,18 +145,50 @@ func (t *Target) SelectFrame(i int) error {
 // breakpoints, the overwritten no-op is interpreted out of line first:
 // the saved pc is advanced past it (§3).
 func (t *Target) Continue() (*nub.Event, error) {
+	return t.resume(false)
+}
+
+// StepInst advances the target by exactly one instruction through the
+// nub's machine-level step — the stepping that works with no symbol
+// table at all, unlike the source-level Step which plants temporary
+// breakpoints at stopping points.
+func (t *Target) StepInst() (*nub.Event, error) {
+	return t.resume(true)
+}
+
+func (t *Target) resume(step bool) (*nub.Event, error) {
 	if t.Exited {
 		return nil, fmt.Errorf("core: %s has exited", t.Name)
 	}
 	last := t.Client.Last
 	if last != nil && !last.Exited && t.Bpts.IsPlanted(last.PC) {
-		l := t.Arch.Context()
-		newPC := t.Bpts.ResumePC(last.PC)
-		if err := t.Client.StoreInt(amem.Data, t.Client.CtxAddr+uint32(l.PCOff), 4, uint64(newPC)); err != nil {
-			return nil, err
+		if t.Bpts.IsRaw(last.PC) {
+			// A machine-level breakpoint overwrote a real instruction:
+			// restore it, retire it with one machine step, replant.
+			ev, done, err := t.stepOffRaw(last.PC)
+			if err != nil {
+				return nil, err
+			}
+			if done || step {
+				return t.settle(ev)
+			}
+		} else {
+			// A stopping-point no-op: interpret it out of line by
+			// advancing the saved pc past it (§3).
+			l := t.Arch.Context()
+			newPC := t.Bpts.ResumePC(last.PC)
+			if err := t.Client.StoreInt(amem.Data, t.Client.CtxAddr+uint32(l.PCOff), 4, uint64(newPC)); err != nil {
+				return nil, err
+			}
 		}
 	}
-	ev, err := t.Client.Continue()
+	var ev *nub.Event
+	var err error
+	if step {
+		ev, err = t.Client.StepInst()
+	} else {
+		ev, err = t.Client.Continue()
+	}
 	if err != nil {
 		// A continue lost to the wire may still have run the target.
 		// When the client reconnected, its handshake replayed the nub's
@@ -141,6 +202,37 @@ func (t *Target) Continue() (*nub.Event, error) {
 		}
 		return nil, err
 	}
+	return t.settle(ev)
+}
+
+// stepOffRaw moves the target off a raw (machine-level) breakpoint: the
+// trap is unplanted, the original instruction retired with a single
+// machine step, and the trap replanted. done reports that the step
+// produced a terminal event — a fault or an exit — that the caller must
+// surface instead of resuming further.
+func (t *Target) stepOffRaw(addr uint32) (ev *nub.Event, done bool, err error) {
+	if err := t.Bpts.Remove(addr); err != nil {
+		return nil, false, err
+	}
+	ev, err = t.Client.StepInst()
+	if err != nil {
+		return nil, false, err
+	}
+	if ev.Exited {
+		return ev, true, nil
+	}
+	if err := t.Bpts.PlantRaw(addr); err != nil {
+		return nil, false, err
+	}
+	if ev.Sig != arch.SigTrap || ev.Code != arch.TrapStep {
+		return ev, true, nil // the instruction itself faulted
+	}
+	return ev, false, nil
+}
+
+// settle records an event's consequences: exit bookkeeping, or a stack
+// refresh at the new stop.
+func (t *Target) settle(ev *nub.Event) (*nub.Event, error) {
 	if ev.Exited {
 		t.Exited, t.ExitStatus = true, ev.Status
 		t.Frames = nil
@@ -194,6 +286,9 @@ func (t *Target) ensureCurrent() {
 
 // ProcStops returns a procedure's stopping points by source name.
 func (t *Target) ProcStops(proc string) ([]symtab.Stop, string, error) {
+	if t.Degraded() {
+		return nil, "", ErrNoSymbols
+	}
 	_, entryName, ok := t.Table.ProcEntryByName(proc)
 	if !ok {
 		return nil, "", fmt.Errorf("core: no procedure %q", proc)
@@ -245,6 +340,9 @@ func (t *Target) BreakStop(proc string, index int) (uint32, error) {
 // source line (because of the C preprocessor, one source location may
 // correspond to more than one stopping point, §2).
 func (t *Target) BreakLine(file string, line int) ([]uint32, error) {
+	if t.Degraded() {
+		return nil, ErrNoSymbols
+	}
 	sm, ok := t.Table.Top.GetName("sourcemap")
 	if !ok || sm.Kind != ps.KDict {
 		return nil, fmt.Errorf("core: no sourcemap")
@@ -290,6 +388,9 @@ func (t *Target) BreakLine(file string, line int) ([]uint32, error) {
 // (§2: ldb uses the procs array to build a table mapping procedure
 // addresses to symbol-table entries).
 func (t *Target) procEntryNameByAddr(addr uint32) (string, error) {
+	if t.Degraded() {
+		return "", ErrNoSymbols
+	}
 	if t.procsByAddr == nil {
 		t.ensureCurrent()
 		t.procsByAddr = make(map[uint32]string)
@@ -367,6 +468,12 @@ func (t *Target) ContextAt(f *frame.Frame) (Context, error) {
 
 // Lookup resolves a name in the current frame's context.
 func (t *Target) Lookup(id string) (symtab.Entry, error) {
+	if t.Degraded() {
+		return symtab.Entry{}, ErrNoSymbols
+	}
+	if t.CurFrame >= len(t.Frames) {
+		return symtab.Entry{}, fmt.Errorf("core: no frame to resolve %q in", id)
+	}
 	f := t.Frames[t.CurFrame]
 	ctx, err := t.ContextAt(f)
 	if err != nil {
@@ -522,6 +629,38 @@ func (t *Target) Backtrace(limit int) ([]string, error) {
 	}
 	return out, nil
 }
+
+// RegsRaw reads the general registers and pc straight from the nub's
+// context record — the machine-level view that needs no frames and no
+// symbol table, used when the target is attached in degraded mode.
+func (t *Target) RegsRaw() (regs []uint32, pc uint32, err error) {
+	l := t.Arch.Context()
+	regs = make([]uint32, len(l.RegOffs))
+	for i, off := range l.RegOffs {
+		v, err := t.Client.FetchInt(amem.Data, t.Client.CtxAddr+uint32(off), 4)
+		if err != nil {
+			return nil, 0, err
+		}
+		regs[i] = uint32(v)
+	}
+	v, err := t.Client.FetchInt(amem.Data, t.Client.CtxAddr+uint32(l.PCOff), 4)
+	if err != nil {
+		return nil, 0, err
+	}
+	return regs, uint32(v), nil
+}
+
+// ExamineBytes reads raw target memory — degraded mode's substitute for
+// printing variables.
+func (t *Target) ExamineBytes(addr uint32, n int) ([]byte, error) {
+	return t.Client.FetchBytes(amem.Data, addr, n)
+}
+
+// BreakAddr plants a breakpoint at a raw code address — degraded mode's
+// substitute for source positions. Unlike the stopping-point scheme,
+// the address may hold any instruction: resuming restores it, retires
+// it with one machine step, and replants the trap.
+func (t *Target) BreakAddr(addr uint32) error { return t.Bpts.PlantRaw(addr) }
 
 // Kill terminates the target.
 func (t *Target) Kill() error {

@@ -1,0 +1,182 @@
+package driver
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/core"
+	"ldb/internal/machine"
+	"ldb/internal/nub"
+	"ldb/internal/ps"
+	"ldb/internal/symtab"
+)
+
+// The degraded-mode contract: a corrupt, missing, or truncated loader
+// table must not end the session. The debugger falls back to machine-
+// level debugging — registers, raw memory, address breakpoints, and
+// single-instruction steps all work; source-level operations fail with
+// ErrNoSymbols instead of crashing.
+
+// degradedAttach launches fib and attaches with the given loader text,
+// expecting a degraded target.
+func degradedAttach(t *testing.T, loader string) (*core.Debugger, *core.Target, *Program, *machine.Process, string) {
+	t.Helper()
+	var sink strings.Builder
+	d, err := core.New(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Build([]Source{{Name: "fib.c", Text: wireFibC}}, Options{Arch: "mips", Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _, proc, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, warning, err := d.AttachDegraded("fib", client, loader)
+	if err != nil {
+		t.Fatalf("degraded attach: %v", err)
+	}
+	tgt.Stdout = &proc.Stdout
+	return d, tgt, prog, proc, warning
+}
+
+func TestDegradedAttachFallsBack(t *testing.T) {
+	corrupt := []struct{ name, loader string }{
+		{"missing", ""},
+		{"garbage", "this is not postscript ("},
+		{"truncated", "<< /symtab << /architecture (mips)"},
+		{"wrongshape", "<< /proctable 42 /anchormap [ ] >>"},
+	}
+	for _, c := range corrupt {
+		t.Run(c.name, func(t *testing.T) {
+			_, tgt, _, _, warning := degradedAttach(t, c.loader)
+			if !tgt.Degraded() {
+				t.Fatal("target is not degraded")
+			}
+			if warning == "" || !strings.Contains(warning, "machine-level") {
+				t.Fatalf("warning = %q", warning)
+			}
+			// Source-level operations fail with the sentinel, not a crash.
+			if _, err := tgt.BreakProc("fib"); !errors.Is(err, core.ErrNoSymbols) {
+				t.Fatalf("BreakProc err = %v", err)
+			}
+			if _, err := tgt.Lookup("n"); !errors.Is(err, core.ErrNoSymbols) {
+				t.Fatalf("Lookup err = %v", err)
+			}
+			if _, _, err := tgt.ProcStops("fib"); !errors.Is(err, core.ErrNoSymbols) {
+				t.Fatalf("ProcStops err = %v", err)
+			}
+		})
+	}
+}
+
+// TestDegradedMachineLevelSession drives a whole machine-level session
+// against a target whose loader table is garbage: inspect registers,
+// read raw memory, plant an address breakpoint at main (its address
+// obtained out of band, as a user would from nm), single-step, and run
+// to the breakpoint and then to exit.
+func TestDegradedMachineLevelSession(t *testing.T) {
+	_, tgt, prog, proc, _ := degradedAttach(t, "garbage (")
+
+	// Registers come straight from the context record.
+	regs, pc, err := tgt.RegsRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 || pc == 0 {
+		t.Fatalf("regs = %d entries, pc = %#x", len(regs), pc)
+	}
+
+	// Raw memory matches the image.
+	b, err := tgt.ExamineBytes(machine.TextBase, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, prog.Image.Text[:16]) {
+		t.Fatalf("text bytes = % x, want % x", b, prog.Image.Text[:16])
+	}
+
+	// The user knows main's address out of band — recover it here from
+	// the intact loader table the degraded session never saw.
+	tbl, err := symtab.Load(ps.New(), prog.LoaderPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainAddr, err := tbl.GlobalAddr("_main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.BreakAddr(mainAddr); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := tgt.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Exited || ev.PC != mainAddr {
+		t.Fatalf("continue stopped at %v, want pc=%#x", ev, mainAddr)
+	}
+	if !tgt.Bpts.IsPlanted(ev.PC) {
+		t.Fatal("stop is not at the planted breakpoint")
+	}
+
+	// Single steps retire one instruction each and advance the pc. The
+	// first retires the instruction under the breakpoint, so this also
+	// exercises the restore-step-replant resume of raw breakpoints.
+	pc = ev.PC
+	for i := 0; i < 3; i++ {
+		ev, err := tgt.StepInst()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Exited || ev.Sig != arch.SigTrap || ev.Code != arch.TrapStep {
+			t.Fatalf("step %d event = %v", i, ev)
+		}
+		if ev.PC == pc {
+			t.Fatalf("step %d did not advance from %#x", i, pc)
+		}
+		pc = ev.PC
+	}
+	if !tgt.Bpts.IsPlanted(mainAddr) {
+		t.Fatal("breakpoint not replanted after stepping off it")
+	}
+
+	// Run to completion: the target behaves exactly as if debugged with
+	// full symbols.
+	ev, err = tgt.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Exited || ev.Status != 0 {
+		t.Fatalf("final event = %v", ev)
+	}
+	if out := proc.Stdout.String(); !strings.Contains(out, "1 1 2 3 5 8 13 21 34 55") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+// TestDegradedAttachRecoversWithGoodTable: the same debugger instance
+// can hold a degraded target and a fully symbolic one; a good loader
+// table still produces a non-degraded attach through AttachDegraded.
+func TestDegradedAttachRecoversWithGoodTable(t *testing.T) {
+	d, _, prog, _, _ := degradedAttach(t, "")
+	client, _, _, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, warning, err := d.AttachDegraded("fib-good", client, prog.LoaderPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warning != "" || tgt.Degraded() {
+		t.Fatalf("good table degraded anyway: %q", warning)
+	}
+	if _, err := tgt.BreakProc("fib"); err != nil {
+		t.Fatalf("source-level break on the good target: %v", err)
+	}
+}

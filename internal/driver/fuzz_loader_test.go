@@ -1,0 +1,51 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"ldb/internal/ps"
+	"ldb/internal/symtab"
+)
+
+// FuzzLoaderTable mutates the loader table — the PostScript program ldb
+// interprets at attach time, which arrives from the filesystem and is
+// untrusted. For any input, Load either fails cleanly or yields a table
+// whose accessors return values or errors: no panic, and no runaway
+// interpretation (Load and the deferred-entry realizer run under the
+// interpreter's step-and-depth budget).
+func FuzzLoaderTable(f *testing.F) {
+	prog, err := Build([]Source{{Name: "fib.c", Text: wireFibC}}, Options{Arch: "mips", Debug: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	real := prog.LoaderPS
+	f.Add(real)
+	f.Add("")
+	f.Add("<<")
+	f.Add("<< /symtab << >> /anchormap << >> /proctable [ ] >>")
+	f.Add("<< /proctable [ 16#100 42 ] >>") // name slot holds an int
+	f.Add(strings.Replace(real, "/proctable", "/proctables", 1))
+	f.Add(strings.Replace(real, "/anchormap", "/anchormaps", 1))
+	f.Add("{ } loop") // would run forever without the step budget
+
+	f.Fuzz(func(t *testing.T, loader string) {
+		if len(loader) > 1<<20 {
+			return // cap interpreter workload per input
+		}
+		in := ps.New()
+		tbl, err := symtab.Load(in, loader)
+		if err != nil {
+			return
+		}
+		// Whatever loaded, every accessor must return cleanly.
+		_ = tbl.Validate()
+		_, _ = tbl.Architecture()
+		_, _ = tbl.ProcTable()
+		_, _ = tbl.AnchorAddr("_stanchor")
+		_, _ = tbl.GlobalAddr("_main")
+		_, _ = tbl.ProcContaining(0x400100)
+		_, _ = tbl.RPTAddr()
+		_, _, _ = tbl.ProcEntryByName("fib")
+	})
+}

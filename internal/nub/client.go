@@ -347,6 +347,11 @@ func (c *Client) readEvent() (*Event, error) {
 		return &Event{Sig: arch.Signal(m.Sig), Code: int(m.Code), PC: uint32(m.Val), Ctx: m.Addr}, nil
 	case MExited:
 		return &Event{Exited: true, Status: int(m.Code)}, nil
+	case MError:
+		// The nub refused or could not complete the resume (a legacy nub
+		// seeing MStepInst, a recovered server panic): a clean protocol
+		// error on a healthy wire, not a connection loss.
+		return nil, errors.New("nub: " + string(m.Data))
 	default:
 		return nil, fmt.Errorf("nub: expected event, got %v", m.Kind)
 	}
@@ -671,6 +676,33 @@ func (c *Client) SimStats() (SimStatsReport, error) {
 	return SimStatsReport{Steps: v(0), Hits: v(1), Decodes: v(2), Invalidations: v(3), Fallbacks: v(4)}, nil
 }
 
+// ServerStatsReport is the nub's robustness report: what hostile or
+// broken input it has survived so far.
+type ServerStatsReport struct {
+	RecoveredPanics int64
+	MalformedFrames int64
+	OversizeRejects int64
+	SlowReads       int64
+	CtxFaults       int64
+}
+
+// ServerStats asks the nub for its robustness counters. A legacy nub
+// refuses the request; callers treat the error as "nothing to report".
+func (c *Client) ServerStats() (ServerStatsReport, error) {
+	rep, err := c.roundTrip(&Msg{Kind: MServerStats}, MServerStatsReply)
+	if err != nil {
+		return ServerStatsReport{}, err
+	}
+	if len(rep.Data) != 40 {
+		return ServerStatsReport{}, fmt.Errorf("nub: malformed serverstats reply (%d bytes)", len(rep.Data))
+	}
+	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(rep.Data[i*8:])) }
+	return ServerStatsReport{
+		RecoveredPanics: v(0), MalformedFrames: v(1), OversizeRejects: v(2),
+		SlowReads: v(3), CtxFaults: v(4),
+	}, nil
+}
+
 // parsePlanted decodes an MPlanted payload: (addr32, len32, bytes)
 // records, little-endian, sorted by address on the wire.
 func parsePlanted(b []byte) ([]PlantedRecord, error) {
@@ -699,9 +731,24 @@ func parsePlanted(b []byte) ([]PlantedRecord, error) {
 // replayed the nub's latched event into Last, so the caller can resync
 // from there.
 func (c *Client) Continue() (*Event, error) {
+	return c.resume(MContinue)
+}
+
+// StepInst resumes the target for exactly one instruction and blocks
+// until its event: SIGTRAP with code arch.TrapStep when the instruction
+// retired cleanly, or whatever fault it raised. This is the machine-
+// level step that needs no symbol table; a legacy nub refuses the
+// request with a clean error. Connection-loss handling is Continue's.
+func (c *Client) StepInst() (*Event, error) {
+	return c.resume(MStepInst)
+}
+
+// resume sends a resume request (MContinue or MStepInst) and waits for
+// the resulting event, with Continue's replay-or-surface semantics.
+func (c *Client) resume(kind MsgKind) (*Event, error) {
 	c.InvalidateCache()
 	for replay := 0; ; replay++ {
-		err := c.writeWire(&Msg{Kind: MContinue})
+		err := c.writeWire(&Msg{Kind: kind})
 		if err == nil {
 			c.replayable.Store(false)
 			ev, rerr := c.readEvent()
@@ -717,7 +764,7 @@ func (c *Client) Continue() (*Event, error) {
 			if re := c.reconnect(); re != nil {
 				return nil, fmt.Errorf("%w (%w)", rerr, re)
 			}
-			return nil, fmt.Errorf("%w awaiting the continue event; session reconnected at the nub's latched event", ErrConnLost)
+			return nil, fmt.Errorf("%w awaiting the %v event; session reconnected at the nub's latched event", ErrConnLost, kind)
 		}
 		if !errors.Is(err, ErrConnLost) {
 			return nil, err

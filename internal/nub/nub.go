@@ -2,11 +2,13 @@ package nub
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"ldb/internal/amem"
 	"ldb/internal/arch"
@@ -20,6 +22,10 @@ const (
 	NubDataBase = 0x0ffe0000
 	nubDataSize = 4096
 )
+
+// DefaultServeTimeout is how long the serving nub waits for the rest of
+// a frame once its first byte arrives. Nub.ReadTimeout overrides it.
+const DefaultServeTimeout = 30 * time.Second
 
 // Nub controls one target process and serves the debugger protocol.
 // The guiding principle is to keep it as small as possible (§4.2);
@@ -38,9 +44,23 @@ type Nub struct {
 	// own goroutine while tests and debuggers read the counters.
 	Stats Stats
 
+	// ReadTimeout bounds how long the nub waits for the REST of a frame
+	// once its first byte has arrived (the idle wait between requests is
+	// unbounded — a debugger may sit at its prompt forever). A peer that
+	// starts a frame and trickles it cannot hold the nub hostage. Zero
+	// means DefaultServeTimeout; negative disables the deadline.
+	ReadTimeout time.Duration
+
 	mu      sync.Mutex
 	pending *Msg // event to (re)send when a connection arrives
 	dead    bool
+
+	// lnMu guards the listener fields separately from mu, which Serve
+	// holds for the whole of a connection: Shutdown must be callable
+	// while a request is being serviced.
+	lnMu     sync.Mutex
+	listener net.Listener
+	closing  bool
 	// planted records breakpoint stores (§7.1's protocol enrichment):
 	// address → the instruction bytes the trap overwrote, so the nub
 	// can report them to a new debugger if the old one is lost.
@@ -99,12 +119,45 @@ func (n *Nub) runAndLatch() {
 	n.latch(f)
 }
 
+// stepAndLatch retires exactly one instruction and latches the result.
+// A step that completes without faulting reports SIGTRAP with code
+// TrapStep — the convention MStepInst clients decode. A pause trap is
+// stepped past, as in runAndLatch.
+func (n *Nub) stepAndLatch() {
+	f := n.P.StepOne()
+	if f != nil && f.Kind == arch.FaultSignal && f.Sig == arch.SigTrap && f.Code == arch.TrapPause {
+		n.P.SetPC(f.PC + f.Len)
+		f = nil
+	}
+	if f == nil {
+		f = &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: arch.TrapStep, PC: n.P.PC()}
+	}
+	n.latch(f)
+}
+
+// resumeAndLatch runs resume — which advances the target and latches
+// its next event — with panic containment: a simulator panic, reachable
+// only through corrupted process state, latches an error reply rather
+// than killing the serving goroutine and the target with it.
+func (n *Nub) resumeAndLatch(resume func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			n.Stats.RecoveredPanics.Add(1)
+			n.pending = &Msg{Kind: MError, Data: []byte(fmt.Sprintf("nub: recovered from panic: %v", r))}
+		}
+	}()
+	resume()
+}
+
 func (n *Nub) latch(f *arch.Fault) {
 	if f.Kind == arch.FaultHalt {
 		n.pending = &Msg{Kind: MExited, Code: int32(n.P.ExitCode)}
 		return
 	}
-	n.saveContext()
+	if err := n.saveContext(); err != nil {
+		n.latchCtxFault(f.PC)
+		return
+	}
 	n.pending = &Msg{
 		Kind: MEvent,
 		Sig:  int32(f.Sig),
@@ -114,12 +167,27 @@ func (n *Nub) latch(f *arch.Fault) {
 	}
 }
 
+// latchCtxFault latches an unusable context area as a target fault: the
+// nub's data lives in user space where a faulty program can destroy it
+// (§4.2), so destroying it is the target's bug, reported as a SIGSEGV
+// at the context address — not a reason for the nub to crash.
+func (n *Nub) latchCtxFault(pc uint32) {
+	n.Stats.CtxFaults.Add(1)
+	n.pending = &Msg{
+		Kind: MEvent,
+		Sig:  int32(arch.SigSegv),
+		Addr: n.ctxAddr,
+		Val:  uint64(pc),
+	}
+}
+
 // saveContext writes the processor state into the context record in
 // target memory, in the target's byte order, per the machine-dependent
 // layout. On a big-endian MIPS the kernel's quirk applies: saved
 // doubleword floating registers go least significant word first (§4.3
-// footnote), and fetchFloat compensates.
-func (n *Nub) saveContext() {
+// footnote), and fetchFloat compensates. An unmapped context area is
+// reported, not panicked over: the caller latches it as a target fault.
+func (n *Nub) saveContext() error {
 	p := n.P
 	l := p.A.Context()
 	order := p.A.Order()
@@ -144,20 +212,22 @@ func (n *Nub) saveContext() {
 		}
 	}
 	if err := p.WriteBytes(n.ctxAddr, buf); err != nil {
-		panic(fmt.Sprintf("nub: context area unmapped: %v", err))
+		return fmt.Errorf("nub: context area unmapped: %w", err)
 	}
+	return nil
 }
 
 // restoreContext reads the (possibly debugger-modified) context back
 // into the processor before resuming (assignments to registers work by
-// storing into the context through the alias memory).
-func (n *Nub) restoreContext() {
+// storing into the context through the alias memory). An unmapped
+// context area is reported, not panicked over.
+func (n *Nub) restoreContext() error {
 	p := n.P
 	l := p.A.Context()
 	order := p.A.Order()
 	buf := make([]byte, l.Size)
 	if err := p.ReadBytes(n.ctxAddr, buf); err != nil {
-		panic(fmt.Sprintf("nub: context area unmapped: %v", err))
+		return fmt.Errorf("nub: context area unmapped: %w", err)
 	}
 	p.SetPC(uint32(amem.ReadInt(order, buf[l.PCOff:l.PCOff+4])))
 	p.SetFlag(uint32(amem.ReadInt(order, buf[l.FlagOff:l.FlagOff+4])))
@@ -178,6 +248,7 @@ func (n *Nub) restoreContext() {
 			p.SetFReg(i, amem.DecodeFloat(order, img, amem.Float64))
 		}
 	}
+	return nil
 }
 
 func swapWords(b []byte) {
@@ -203,18 +274,53 @@ func (n *Nub) quirkRange() (lo, hi uint64, ok bool) {
 
 func validSpace(s byte) bool { return s == byte(amem.Code) || s == byte(amem.Data) }
 
+// checkRequest validates a request's kind, space, and size ranges
+// before any handler sees it. Everything a peer sends is untrusted: a
+// reply kind arriving as a request, an unassigned kind byte, a space
+// outside code/data, or a size past the payload cap is rejected here,
+// counted as a malformed frame, and answered with an error — the
+// handlers then run only on requests whose operands are in range.
+func (n *Nub) checkRequest(m *Msg) error {
+	switch m.Kind {
+	case MHello, MContinue, MKill, MDetach, MListPlanted, MBatch,
+		MSimStats, MServerStats, MStepInst:
+		// control and informational requests; no space operand
+	case MFetchInt, MStoreInt, MFetchFloat, MStoreFloat,
+		MFetchBytes, MStoreBytes, MFetchLine, MPlantStore, MUnplantStore:
+		if !validSpace(m.Space) {
+			return fmt.Errorf("nub serves only code and data spaces, not %q", string(m.Space))
+		}
+	default:
+		return fmt.Errorf("unexpected request %v", m.Kind)
+	}
+	if m.Size > maxDataLen {
+		return fmt.Errorf("request size %d exceeds the %d-byte cap", m.Size, maxDataLen)
+	}
+	return nil
+}
+
+// safeHandle validates and services one request with panic containment:
+// a panic in a handler — a corrupted segment list, an input no handler
+// foresaw — becomes an MError reply and a RecoveredPanics count, never
+// a dead target (the nub must not take the target down with it, §4.2).
+func (n *Nub) safeHandle(m *Msg) (rep *Msg) {
+	if err := n.checkRequest(m); err != nil {
+		n.Stats.MalformedFrames.Add(1)
+		return &Msg{Kind: MError, Data: []byte(err.Error())}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			n.Stats.RecoveredPanics.Add(1)
+			rep = &Msg{Kind: MError, Data: []byte(fmt.Sprintf("nub: recovered from panic: %v", r))}
+		}
+	}()
+	return n.handle(m)
+}
+
 func (n *Nub) handle(m *Msg) *Msg {
 	p := n.P
 	errMsg := func(format string, args ...any) *Msg {
 		return &Msg{Kind: MError, Data: []byte(fmt.Sprintf(format, args...))}
-	}
-	switch m.Kind {
-	case MHello, MContinue, MKill, MDetach, MListPlanted, MBatch, MSimStats:
-		// no space operand
-	default:
-		if !validSpace(m.Space) {
-			return errMsg("nub serves only code and data spaces, not %q", string(m.Space))
-		}
 	}
 	switch m.Kind {
 	case MBatch:
@@ -365,6 +471,20 @@ func (n *Nub) handle(m *Msg) *Msg {
 			data = append(data, rec[:]...)
 		}
 		return &Msg{Kind: MSimStatsReply, Data: data}
+	case MServerStats:
+		// Robustness counters. Rides the batch capability bit, so a
+		// legacy nub refuses it like any unknown request.
+		if n.LegacyProtocol {
+			return errMsg("unknown request %v", m.Kind)
+		}
+		st := n.Stats.Snapshot()
+		data := make([]byte, 0, 40)
+		for _, v := range []int64{st.RecoveredPanics, st.MalformedFrames, st.OversizeRejects, st.SlowReads, st.CtxFaults} {
+			var rec [8]byte
+			binary.LittleEndian.PutUint64(rec[:], uint64(v))
+			data = append(data, rec[:]...)
+		}
+		return &Msg{Kind: MServerStatsReply, Data: data}
 	default:
 		return errMsg("unexpected request %v", m.Kind)
 	}
@@ -391,10 +511,13 @@ func (n *Nub) handleBatch(m *Msg) *Msg {
 	reps := make([]*Msg, len(subs))
 	for i, sub := range subs {
 		switch sub.Kind {
-		case MContinue, MKill, MDetach, MHello, MBatch, MBatchReply:
+		case MContinue, MStepInst, MKill, MDetach, MHello, MBatch, MBatchReply:
 			reps[i] = errMsg("%v may not ride in a batch", sub.Kind)
 		default:
-			reps[i] = n.handle(sub)
+			// Members go through the full validate-and-contain path: a
+			// panic on one member yields that member an error reply and
+			// lets the others complete.
+			reps[i] = n.safeHandle(sub)
 		}
 	}
 	env, err := EncodeBatch(MBatchReply, reps)
@@ -438,14 +561,32 @@ func (n *Nub) Serve(conn io.ReadWriter) error {
 	}
 	n.Stats.MsgsSent.Add(1)
 	for {
-		req, err := ReadMsg(conn)
+		req, err := n.readRequest(conn)
 		if err != nil {
+			if errors.Is(err, errOversize) {
+				// An attacker-chosen payload length. Reply, then close:
+				// the stream cannot be resynced past the bogus frame, and
+				// draining it would read however many bytes the peer
+				// declared.
+				n.Stats.OversizeRejects.Add(1)
+				_ = WriteMsg(conn, &Msg{Kind: MError, Data: []byte(err.Error())})
+				n.Stats.MsgsSent.Add(1)
+			}
 			return err // connection broken; state preserved
 		}
 		n.Stats.MsgsReceived.Add(1)
 		n.Stats.RoundTrips.Add(1)
 		switch req.Kind {
-		case MContinue:
+		case MContinue, MStepInst:
+			if req.Kind == MStepInst && n.LegacyProtocol {
+				// Rides the batch capability bit, like any post-legacy
+				// request.
+				if err := WriteMsg(conn, &Msg{Kind: MError, Data: []byte(fmt.Sprintf("unknown request %v", req.Kind))}); err != nil {
+					return err
+				}
+				n.Stats.MsgsSent.Add(1)
+				continue
+			}
 			if n.P.State == machine.StateExited {
 				if err := WriteMsg(conn, &Msg{Kind: MExited, Code: int32(n.P.ExitCode)}); err != nil {
 					return err
@@ -453,8 +594,20 @@ func (n *Nub) Serve(conn io.ReadWriter) error {
 				n.Stats.MsgsSent.Add(1)
 				continue
 			}
-			n.restoreContext()
-			n.runAndLatch()
+			n.resumeAndLatch(func() {
+				if rerr := n.restoreContext(); rerr != nil {
+					// The debugger scribbled the context away, or the
+					// target unmapped it: latch the fault instead of
+					// resuming with garbage registers.
+					n.latchCtxFault(n.P.PC())
+					return
+				}
+				if req.Kind == MStepInst {
+					n.stepAndLatch()
+				} else {
+					n.runAndLatch()
+				}
+			})
 			if err := WriteMsg(conn, n.pending); err != nil {
 				return err
 			}
@@ -470,7 +623,7 @@ func (n *Nub) Serve(conn io.ReadWriter) error {
 			n.Stats.MsgsSent.Add(1)
 			return nil
 		default:
-			if err := WriteMsg(conn, n.handle(req)); err != nil {
+			if err := WriteMsg(conn, n.safeHandle(req)); err != nil {
 				return err
 			}
 			n.Stats.MsgsSent.Add(1)
@@ -478,10 +631,50 @@ func (n *Nub) Serve(conn io.ReadWriter) error {
 	}
 }
 
+// readRequest reads one request from conn under the two-phase server
+// read deadline: the idle wait for a frame's first byte is unbounded —
+// a debugger may sit at its prompt for hours — but once a frame has
+// started, the rest must arrive within ReadTimeout, so a peer that
+// opens a frame and trickles bytes (slowloris) is dropped instead of
+// pinning the nub forever. Connections without deadline support (in-
+// memory pipes wrapped by fault injectors) are served without the
+// defence.
+func (n *Nub) readRequest(conn io.ReadWriter) (*Msg, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return nil, err
+	}
+	timeout := n.ReadTimeout
+	if timeout == 0 {
+		timeout = DefaultServeTimeout
+	}
+	type deadliner interface{ SetReadDeadline(time.Time) error }
+	d, ok := conn.(deadliner)
+	armed := ok && timeout > 0 && d.SetReadDeadline(time.Now().Add(timeout)) == nil
+	m, err := readMsgRest(first[0], conn)
+	if armed {
+		_ = d.SetReadDeadline(time.Time{})
+		if err != nil && isTimeout(err) {
+			n.Stats.SlowReads.Add(1)
+			err = fmt.Errorf("nub: dropped slow read after %v: %w", timeout, err)
+		}
+	}
+	return m, err
+}
+
 // ServeListener accepts connections one at a time, preserving target
-// state between them, until the target is killed or the listener
-// closes. This is how a process waits on the network for a debugger.
+// state between them, until the target is killed, the listener closes,
+// or Shutdown is called. This is how a process waits on the network for
+// a debugger.
 func (n *Nub) ServeListener(l net.Listener) {
+	n.lnMu.Lock()
+	n.listener = l
+	closing := n.closing
+	n.lnMu.Unlock()
+	if closing {
+		_ = l.Close()
+		return
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -489,11 +682,29 @@ func (n *Nub) ServeListener(l net.Listener) {
 		}
 		err = n.Serve(conn)
 		_ = conn.Close()
+		n.lnMu.Lock()
+		closing := n.closing
+		n.lnMu.Unlock()
 		n.mu.Lock()
 		dead := n.dead
 		n.mu.Unlock()
-		if err == nil && dead {
+		if closing || (err == nil && dead) {
 			return
 		}
+	}
+}
+
+// Shutdown stops ServeListener gracefully: a blocked Accept is
+// unblocked by closing the listener, a connection being served is
+// allowed to finish, and no further connections are accepted. Target
+// state is preserved — shutdown severs the debugger endpoint, it does
+// not kill the target.
+func (n *Nub) Shutdown() {
+	n.lnMu.Lock()
+	n.closing = true
+	l := n.listener
+	n.lnMu.Unlock()
+	if l != nil {
+		_ = l.Close()
 	}
 }

@@ -19,6 +19,7 @@ package nub
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -79,6 +80,20 @@ const (
 	// nothing.
 	MSimStats
 	MSimStatsReply
+	// MServerStats asks the nub for its robustness counters — recovered
+	// panics, malformed frames, oversize rejects, slow reads, context
+	// faults — which come back as an MServerStatsReply carrying five
+	// little-endian 64-bit values. Like MSimStats it is informational and
+	// rides the batch capability bit.
+	MServerStats
+	MServerStatsReply
+	// MStepInst resumes the target for exactly one instruction: the
+	// machine-level single step that degraded-mode debugging needs when
+	// no symbol table is available to plant stepping breakpoints from.
+	// The nub answers with the usual event message; a step that retires
+	// without faulting reports SIGTRAP with code arch.TrapStep. Rides the
+	// batch capability bit; like MContinue it may not travel in a batch.
+	MStepInst
 )
 
 func (k MsgKind) String() string {
@@ -91,7 +106,9 @@ func (k MsgKind) String() string {
 		MListPlanted: "listplanted", MPlanted: "planted",
 		MBatch: "batch", MBatchReply: "batchreply",
 		MFetchLine: "fetchline",
-		MSimStats:  "simstats", MSimStatsReply: "simstatsreply",
+		MSimStats: "simstats", MSimStatsReply: "simstatsreply",
+		MServerStats: "serverstats", MServerStatsReply: "serverstatsreply",
+		MStepInst: "stepinst",
 		MWelcome: "welcome", MValue: "value", MFValue: "fvalue",
 		MBytes: "bytes", MOK: "ok", MError: "error",
 		MEvent: "event", MExited: "exited",
@@ -118,6 +135,12 @@ type Msg struct {
 
 // maxDataLen bounds a message's byte payload.
 const maxDataLen = 1 << 20
+
+// errOversize marks a frame whose declared payload length exceeds
+// maxDataLen. The reader rejects such frames before allocating, and the
+// server closes the connection rather than drain an attacker-chosen
+// number of bytes.
+var errOversize = errors.New("nub: message payload too large")
 
 // WelcomeBatch is the capability bit in a welcome message's Val field:
 // the nub understands MBatch envelopes. A zero Val — what every nub
@@ -159,8 +182,22 @@ func WriteMsg(w io.Writer, m *Msg) error {
 
 // ReadMsg decodes one message from r.
 func ReadMsg(r io.Reader) (*Msg, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(r, first[:]); err != nil {
+		return nil, err
+	}
+	return readMsgRest(first[0], r)
+}
+
+// readMsgRest decodes the remainder of a message whose first header
+// byte has already been read. The split exists for the server's
+// slowloris defence: the idle wait for a request's first byte is
+// unbounded (a debugger may sit at its prompt forever), but once a
+// frame has started the rest must arrive under a deadline.
+func readMsgRest(first byte, r io.Reader) (*Msg, error) {
 	var hdr [27]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	hdr[0] = first
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
 		return nil, err
 	}
 	m := &Msg{
@@ -178,7 +215,7 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 	}
 	dlen := binary.LittleEndian.Uint32(n[:])
 	if dlen > maxDataLen {
-		return nil, fmt.Errorf("nub: message payload too large (%d)", dlen)
+		return nil, fmt.Errorf("%w (%d)", errOversize, dlen)
 	}
 	if dlen > 0 {
 		m.Data = make([]byte, dlen)
@@ -198,7 +235,7 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 // idempotent exactly when every member is.
 func reqIdempotent(m *Msg) bool {
 	switch m.Kind {
-	case MHello, MFetchInt, MFetchFloat, MFetchBytes, MFetchLine, MListPlanted, MSimStats:
+	case MHello, MFetchInt, MFetchFloat, MFetchBytes, MFetchLine, MListPlanted, MSimStats, MServerStats:
 		return true
 	case MBatch:
 		subs, err := DecodeBatch(m)

@@ -24,6 +24,15 @@ type Stats struct {
 	Reconnects    atomic.Int64 // successful redial + re-attach cycles
 	ReconnectFails atomic.Int64 // reconnect cycles that gave up
 	Replays       atomic.Int64 // requests transparently re-sent after a reconnect
+
+	// Server-side robustness counters: the nub increments these while
+	// surviving hostile or broken input, and serves them over the wire
+	// via MServerStats.
+	RecoveredPanics atomic.Int64 // request handlers that panicked and were contained
+	MalformedFrames atomic.Int64 // requests rejected by validation before dispatch
+	OversizeRejects atomic.Int64 // frames whose declared payload exceeded the cap
+	SlowReads       atomic.Int64 // connections dropped by the server read deadline
+	CtxFaults       atomic.Int64 // context save/restore failures latched as target faults
 }
 
 // StatsSnapshot is a plain-value copy of the counters, safe to compare
@@ -43,6 +52,12 @@ type StatsSnapshot struct {
 	Reconnects     int64
 	ReconnectFails int64
 	Replays        int64
+
+	RecoveredPanics int64
+	MalformedFrames int64
+	OversizeRejects int64
+	SlowReads       int64
+	CtxFaults       int64
 }
 
 // Snapshot reads every counter atomically (individually, not as a
@@ -63,6 +78,12 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Reconnects:     s.Reconnects.Load(),
 		ReconnectFails: s.ReconnectFails.Load(),
 		Replays:        s.Replays.Load(),
+
+		RecoveredPanics: s.RecoveredPanics.Load(),
+		MalformedFrames: s.MalformedFrames.Load(),
+		OversizeRejects: s.OversizeRejects.Load(),
+		SlowReads:       s.SlowReads.Load(),
+		CtxFaults:       s.CtxFaults.Load(),
 	}
 }
 
@@ -82,6 +103,11 @@ func (s *Stats) Reset() {
 	s.Reconnects.Store(0)
 	s.ReconnectFails.Store(0)
 	s.Replays.Store(0)
+	s.RecoveredPanics.Store(0)
+	s.MalformedFrames.Store(0)
+	s.OversizeRejects.Store(0)
+	s.SlowReads.Store(0)
+	s.CtxFaults.Store(0)
 }
 
 // BatchOccupancy is the mean number of member messages per envelope.

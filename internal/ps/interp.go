@@ -58,6 +58,11 @@ type Interp struct {
 	// code); zero means the default.
 	MaxSteps int64
 
+	// MaxDepth bounds nested procedure and scanner execution; zero means
+	// the default. Like MaxSteps it defends against hostile symbol-table
+	// code — here, unbounded recursion.
+	MaxDepth int
+
 	systemdict *Dict
 	userdict   *Dict
 	steps      int64
@@ -251,6 +256,31 @@ func (in *Interp) Def(name string, val Object) {
 	in.DStack[len(in.DStack)-1].PutName(name, val)
 }
 
+func (in *Interp) maxDepth() int {
+	if in.MaxDepth > 0 {
+		return in.MaxDepth
+	}
+	return maxExecDepth
+}
+
+// WithBudget runs f with execution bounded by a step and depth budget
+// relative to the work the interpreter has already done, restoring the
+// previous limits afterward. Embedders use it to run untrusted code —
+// a loader's symbol table, say — without letting a hostile table spend
+// the whole default allowance or recurse to a Go stack overflow. A
+// non-positive budget leaves that limit untouched.
+func (in *Interp) WithBudget(steps int64, depth int, f func() error) error {
+	oldSteps, oldDepth := in.MaxSteps, in.MaxDepth
+	if steps > 0 {
+		in.MaxSteps = in.steps + steps
+	}
+	if depth > 0 {
+		in.MaxDepth = in.depth + depth
+	}
+	defer func() { in.MaxSteps, in.MaxDepth = oldSteps, oldDepth }()
+	return f()
+}
+
 func (in *Interp) tick() error {
 	in.steps++
 	limit := in.MaxSteps
@@ -339,7 +369,7 @@ func (in *Interp) execValue(v Object) error {
 func (in *Interp) runProc(p Object) error {
 	in.depth++
 	defer func() { in.depth-- }()
-	if in.depth > maxExecDepth {
+	if in.depth > in.maxDepth() {
 		return &Error{Name: "execstackoverflow"}
 	}
 	for _, e := range p.A.E {
@@ -353,7 +383,7 @@ func (in *Interp) runProc(p Object) error {
 func (in *Interp) runScanner(sc *Scanner) error {
 	in.depth++
 	defer func() { in.depth-- }()
-	if in.depth > maxExecDepth {
+	if in.depth > in.maxDepth() {
 		return &Error{Name: "execstackoverflow"}
 	}
 	for {

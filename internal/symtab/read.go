@@ -18,12 +18,29 @@ type Table struct {
 	Env *ps.Dict
 }
 
+// Execution budgets for untrusted symbol-table code. A loader table
+// comes from the file system, not from the program being debugged, but
+// §2's validation story assumes it can be stale, truncated, or wrong —
+// so it gets a step-and-depth allowance far below the interpreter's
+// default rather than the run of the machine. Deferred entry bodies
+// (realized lazily during accessors) are smaller still.
+const (
+	loadBudgetSteps    = 2_000_000
+	loadBudgetDepth    = 100
+	realizeBudgetSteps = 1_000_000
+	realizeBudgetDepth = 100
+)
+
 // Load interprets loader-table PostScript (the output of link.LoaderPS)
-// and wraps the resulting dictionary.
+// and wraps the resulting dictionary. The untrusted code runs under an
+// explicit step-and-depth budget: a hostile or corrupt table errors out
+// instead of spinning or recursing the interpreter into the ground.
 func Load(in *ps.Interp, loaderPS string) (*Table, error) {
 	env := ps.NewDict(256)
 	in.DStack = append(in.DStack, env)
-	err := in.RunStringNamed(loaderPS, "<loader>")
+	err := in.WithBudget(loadBudgetSteps, loadBudgetDepth, func() error {
+		return in.RunStringNamed(loaderPS, "<loader>")
+	})
 	in.DStack = in.DStack[:len(in.DStack)-1]
 	if err != nil {
 		return nil, fmt.Errorf("symtab: reading loader table: %w", err)
@@ -44,12 +61,17 @@ func Load(in *ps.Interp, loaderPS string) (*Table, error) {
 
 // Architecture returns the name recorded in the top-level dictionary,
 // which ldb uses at debug time to find its machine-dependent code and
-// data (§2).
-func (t *Table) Architecture() string {
-	if v, ok := t.Top.GetName("architecture"); ok {
-		return v.S
+// data (§2). A missing or non-string entry is an error, not an empty
+// name: an empty name would silently fail the arch match downstream.
+func (t *Table) Architecture() (string, error) {
+	v, ok := t.Top.GetName("architecture")
+	if !ok {
+		return "", fmt.Errorf("symtab: top-level dictionary has no /architecture")
 	}
-	return ""
+	if v.Kind != ps.KString && v.Kind != ps.KName {
+		return "", fmt.Errorf("symtab: /architecture is %s, not a name", v.TypeName())
+	}
+	return v.S, nil
 }
 
 // Validate compares the anchor-symbol names in the top-level dictionary
@@ -72,32 +94,40 @@ func (t *Table) Validate() error {
 	return nil
 }
 
-// AnchorAddr returns the link-time address of an anchor symbol.
-func (t *Table) AnchorAddr(name string) (uint32, bool) {
+// AnchorAddr returns the link-time address of an anchor symbol. The
+// error distinguishes a malformed table (no usable /anchormap) from a
+// merely absent name.
+func (t *Table) AnchorAddr(name string) (uint32, error) {
 	am, ok := t.Loader.GetName("anchormap")
 	if !ok || am.Kind != ps.KDict {
-		return 0, false
+		return 0, fmt.Errorf("symtab: loader table has no /anchormap")
 	}
 	v, ok := am.D.GetName(name)
-	if !ok || v.Kind != ps.KInt {
-		return 0, false
+	if !ok {
+		return 0, fmt.Errorf("symtab: no anchor %q", name)
 	}
-	return uint32(v.I), true
+	if v.Kind != ps.KInt {
+		return 0, fmt.Errorf("symtab: anchor %q is %s, not an address", name, v.TypeName())
+	}
+	return uint32(v.I), nil
 }
 
 // GlobalAddr resolves an external symbol through the nm-derived table
 // in the loader table (§3: nm output is mostly machine-independent and
 // easily transformed into PostScript).
-func (t *Table) GlobalAddr(label string) (uint32, bool) {
+func (t *Table) GlobalAddr(label string) (uint32, error) {
 	nm, ok := t.Loader.GetName("nm")
 	if !ok || nm.Kind != ps.KDict {
-		return 0, false
+		return 0, fmt.Errorf("symtab: loader table has no /nm")
 	}
 	v, ok := nm.D.GetName(label)
-	if !ok || v.Kind != ps.KInt {
-		return 0, false
+	if !ok {
+		return 0, fmt.Errorf("symtab: no global %q", label)
 	}
-	return uint32(v.I), true
+	if v.Kind != ps.KInt {
+		return 0, fmt.Errorf("symtab: global %q is %s, not an address", label, v.TypeName())
+	}
+	return uint32(v.I), nil
 }
 
 // ProcAddr is a (address, name) pair from the loader table's proctable.
@@ -106,27 +136,40 @@ type ProcAddr struct {
 	Name string
 }
 
-// ProcTable returns the proctable, sorted by address as emitted.
-func (t *Table) ProcTable() []ProcAddr {
+// ProcTable returns the proctable, sorted by address as emitted. A
+// malformed table — missing, the wrong kind, an odd element count, or
+// pairs that are not (int, string) — is an error: silently skipping bad
+// pairs would misattribute pcs to the procedures around them.
+func (t *Table) ProcTable() ([]ProcAddr, error) {
 	v, ok := t.Loader.GetName("proctable")
-	if !ok || v.Kind != ps.KArray {
-		return nil
+	if !ok {
+		return nil, fmt.Errorf("symtab: loader table has no /proctable")
 	}
-	var out []ProcAddr
+	if v.Kind != ps.KArray {
+		return nil, fmt.Errorf("symtab: /proctable is %s, not an array", v.TypeName())
+	}
 	e := v.A.E
-	for i := 0; i+1 < len(e); i += 2 {
-		if e[i].Kind == ps.KInt && e[i+1].Kind == ps.KString {
-			out = append(out, ProcAddr{Addr: uint32(e[i].I), Name: e[i+1].S})
-		}
+	if len(e)%2 != 0 {
+		return nil, fmt.Errorf("symtab: /proctable has %d elements, not (addr, name) pairs", len(e))
 	}
-	return out
+	out := make([]ProcAddr, 0, len(e)/2)
+	for i := 0; i+1 < len(e); i += 2 {
+		if e[i].Kind != ps.KInt || (e[i+1].Kind != ps.KString && e[i+1].Kind != ps.KName) {
+			return nil, fmt.Errorf("symtab: /proctable pair %d is (%s, %s), not (addr, name)", i/2, e[i].TypeName(), e[i+1].TypeName())
+		}
+		out = append(out, ProcAddr{Addr: uint32(e[i].I), Name: e[i+1].S})
+	}
+	return out, nil
 }
 
 // ProcContaining maps a program counter to the procedure whose code
 // contains it (the first step in mapping a pc to a symbol-table entry,
-// §3).
+// §3). A malformed proctable contains no pc.
 func (t *Table) ProcContaining(pc uint32) (ProcAddr, bool) {
-	procs := t.ProcTable()
+	procs, err := t.ProcTable()
+	if err != nil {
+		return ProcAddr{}, false
+	}
 	best := -1
 	for i, p := range procs {
 		if p.Addr <= pc && (best < 0 || p.Addr >= procs[best].Addr) {
@@ -192,7 +235,11 @@ func (t *Table) realize(v ps.Object) (ps.Object, error) {
 		}
 	}
 	before := len(t.In.Stack)
-	err := t.In.RunStringNamed(v.S, "<deferred>")
+	// Deferred bodies are as untrusted as the loader table they came
+	// from, and they run lazily inside accessors — budget them too.
+	err := t.In.WithBudget(realizeBudgetSteps, realizeBudgetDepth, func() error {
+		return t.In.RunStringNamed(v.S, "<deferred>")
+	})
 	if pushed {
 		for i := len(t.In.DStack) - 1; i >= 0; i-- {
 			if t.In.DStack[i] == t.Env {
@@ -269,9 +316,11 @@ type Entry struct {
 	T *Table
 }
 
-// Name returns the entry's source-language name.
+// Name returns the entry's source-language name. A /name that is not a
+// string (a corrupt entry) reads as absent rather than as whatever
+// bytes happen to sit in the object's string slot.
 func (e Entry) Name() string {
-	if v, ok := e.D.GetName("name"); ok {
+	if v, ok := e.D.GetName("name"); ok && (v.Kind == ps.KString || v.Kind == ps.KName) {
 		return v.S
 	}
 	return ""
@@ -279,7 +328,7 @@ func (e Entry) Name() string {
 
 // Kind returns "variable", "parameter", or "procedure".
 func (e Entry) Kind() string {
-	if v, ok := e.D.GetName("kind"); ok {
+	if v, ok := e.D.GetName("kind"); ok && (v.Kind == ps.KString || v.Kind == ps.KName) {
 		return v.S
 	}
 	return ""

@@ -58,8 +58,8 @@ func TestEmitAndLoadBothModes(t *testing.T) {
 	u := compileFib(t)
 	for _, deferred := range []bool{false, true} {
 		tbl := loadTable(t, u, deferred)
-		if got := tbl.Architecture(); got != "sparc" {
-			t.Fatalf("architecture = %q", got)
+		if got, err := tbl.Architecture(); err != nil || got != "sparc" {
+			t.Fatalf("architecture = %q (%v)", got, err)
 		}
 		if err := tbl.Validate(); err != nil {
 			t.Fatalf("validate (deferred=%v): %v", deferred, err)
@@ -248,11 +248,11 @@ func TestProcContaining(t *testing.T) {
 	if _, ok := tbl.ProcContaining(0x50); ok {
 		t.Fatal("0x50 mapped to a procedure")
 	}
-	if a, ok := tbl.GlobalAddr("_fib"); !ok || a != 0x100 {
-		t.Fatalf("GlobalAddr = %#x %v", a, ok)
+	if a, err := tbl.GlobalAddr("_fib"); err != nil || a != 0x100 {
+		t.Fatalf("GlobalAddr = %#x %v", a, err)
 	}
-	if a, ok := tbl.AnchorAddr(u.AnchorSym); !ok || a != 0x1000 {
-		t.Fatalf("AnchorAddr = %#x %v", a, ok)
+	if a, err := tbl.AnchorAddr(u.AnchorSym); err != nil || a != 0x1000 {
+		t.Fatalf("AnchorAddr = %#x %v", a, err)
 	}
 }
 
