@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"ldb/internal/analysis"
 	"ldb/internal/arch"
 	_ "ldb/internal/arch/m68k"
 	_ "ldb/internal/arch/mips"
@@ -640,5 +641,73 @@ func BenchmarkPrintValue(b *testing.B) {
 		if err := tgt.Print("a"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// analysisMetrics is the BENCH_analysis.json record: what the ldbvet
+// suite found over this repository and what it cost.
+type analysisMetrics struct {
+	Packages  int            `json:"packages"`
+	Files     int            `json:"files"`
+	LoadMS    float64        `json:"load_ms"`
+	RunMS     float64        `json:"run_ms"`
+	Failing   int            `json:"failing"`
+	Allowed   int            `json:"allowed"`
+	ByName    map[string]int `json:"findings_by_analyzer"`
+	AllowedBy map[string]int `json:"allowed_by_analyzer"`
+}
+
+// BenchmarkAnalysisSuite times the full ldbvet load + run over the
+// repository and records the violation and exception counts in
+// BENCH_analysis.json; a nonzero failing count fails the benchmark the
+// same way it fails cmd/ldbvet and the analysis self-test.
+func BenchmarkAnalysisSuite(b *testing.B) {
+	root, err := analysis.FindRoot(".")
+	if err != nil {
+		b.Skip(err)
+	}
+	fps := analysis.ArchFingerprints()
+	var m analysisMetrics
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		repo, err := analysis.Load(analysis.Config{Root: root, Fingerprints: fps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		loaded := time.Now()
+		diags := analysis.RunSuite(repo)
+		done := time.Now()
+		m = analysisMetrics{
+			Packages:  len(repo.Pkgs),
+			LoadMS:    float64(loaded.Sub(start).Microseconds()) / 1000,
+			RunMS:     float64(done.Sub(loaded).Microseconds()) / 1000,
+			Failing:   len(analysis.Failing(diags)),
+			ByName:    map[string]int{},
+			AllowedBy: map[string]int{},
+		}
+		for _, p := range repo.Pkgs {
+			m.Files += len(p.Files)
+		}
+		for _, d := range diags {
+			if d.Allowed {
+				m.Allowed++
+				m.AllowedBy[d.Analyzer]++
+			} else {
+				m.ByName[d.Analyzer]++
+			}
+		}
+		if m.Failing > 0 {
+			b.Fatalf("analysis suite found %d unsuppressed violations", m.Failing)
+		}
+	}
+	b.ReportMetric(m.LoadMS, "load_ms")
+	b.ReportMetric(m.RunMS, "run_ms")
+	b.ReportMetric(float64(m.Allowed), "allowed")
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_analysis.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -1,0 +1,70 @@
+// Ldbvet runs ldb's retargetability analyzer suite over the module:
+// machdep (machine dependence stays behind the arch seam), wireproto
+// (the nub protocol's kind table is total), endian (byte-order
+// assumptions stay in the arch tree and the wire layer), and
+// recoverguard (nub handlers run under panic containment). It exits 1
+// if any finding is not suppressed by a //ldb:allow annotation.
+//
+// Usage:
+//
+//	go run ./cmd/ldbvet ./...
+//	go run ./cmd/ldbvet -json ./...
+//
+// The suite always analyzes the whole module containing the working
+// directory (or -root); package patterns are accepted for familiarity
+// but the boundary being checked is module-wide by nature.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldb/internal/analysis"
+
+	// The analyzers are parameterized by machine-dependent data — the
+	// opcode fingerprints — derived from the arch registry. Linking the
+	// targets in is the build's job, here as in the debugger (§6).
+	_ "ldb/internal/arch/m68k"
+	_ "ldb/internal/arch/mips"
+	_ "ldb/internal/arch/sparc"
+	_ "ldb/internal/arch/vax"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the machine-readable report")
+	rootFlag := flag.String("root", "", "module root (default: the module containing the working directory)")
+	flag.Parse()
+
+	root := *rootFlag
+	if root == "" {
+		var err error
+		root, err = analysis.FindRoot(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ldbvet:", err)
+			os.Exit(2)
+		}
+	}
+	repo, err := analysis.Load(analysis.Config{
+		Root:         root,
+		Fingerprints: analysis.ArchFingerprints(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldbvet:", err)
+		os.Exit(2)
+	}
+	diags := analysis.RunSuite(repo)
+	if *jsonOut {
+		out, err := analysis.FormatJSON(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ldbvet:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(append(out, '\n'))
+	} else {
+		fmt.Print(analysis.Format(diags))
+	}
+	if len(analysis.Failing(diags)) > 0 {
+		os.Exit(1)
+	}
+}

@@ -49,12 +49,12 @@ func EncodeFloat80(v float64) [12]byte {
 // DecodeFloat80 converts a 12-byte big-endian m68k extended memory
 // image to float64 (with float64 precision).
 func DecodeFloat80(b [12]byte) float64 {
-	se := uint16(b[0])<<8 | uint16(b[1])
+	se := uint16(b[0])<<8 | uint16(b[1]) //ldb:allow endian the 68881 extended format is defined big-endian in memory
 	sign := se&0x8000 != 0
 	exp := int(se & 0x7fff)
 	var mant uint64
 	for i := 0; i < 8; i++ {
-		mant = mant<<8 | uint64(b[4+i])
+		mant = mant<<8 | uint64(b[4+i]) //ldb:allow endian the 68881 extended format is defined big-endian in memory
 	}
 	var v float64
 	switch {

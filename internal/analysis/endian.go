@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The endian analyzer flags byte-order assumptions outside the places
+// entitled to have them. The paper's abstract-memory design (§5.1)
+// exists precisely so that the debugger proper never knows the target's
+// byte order — all multibyte interpretation happens behind amem against
+// the arch's declared order — and the wire protocol is defined
+// little-endian on every host (§4.2). So:
+//
+//   - references to encoding/binary's BigEndian, LittleEndian, and
+//     NativeEndian are allowed only in the arch tree (where the order
+//     is declared) and the nub package (the wire layer);
+//   - shift-assembled multibyte loads — an | chain combining shifted
+//     and indexed byte terms, the classic hand-rolled decoder — are
+//     flagged in the same places.
+//
+// Legitimate exceptions (defined file formats like the .ldb symbol
+// table and the .img image, the quirk compensation in machine.Load)
+// carry //ldb:allow endian annotations with their reasons; the suite's
+// summary counts them, so growth of the exception list is visible.
+
+// endianExempt reports whether the package may hold byte-order
+// assumptions: the arch tree and the little-endian wire layer.
+func (r *Repo) endianExempt(p *Pkg) bool {
+	return p.ImportPath == r.Mod+"/internal/arch" ||
+		strings.HasPrefix(p.ImportPath, r.Mod+"/internal/arch/") ||
+		p.ImportPath == r.Mod+"/internal/nub"
+}
+
+func runEndian(r *Repo) []Diagnostic {
+	if r.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, p := range r.Pkgs {
+		if r.endianExempt(p) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					if obj := r.Info.Uses[e.Sel]; obj != nil && isByteOrderVar(obj) {
+						path, line, col := r.Position(e.Pos())
+						diags = append(diags, Diagnostic{
+							Analyzer: "endian", Path: path, Line: line, Col: col,
+							Msg: fmt.Sprintf("binary.%s outside the arch tree and the wire layer; byte order belongs behind amem and arch.Arch", obj.Name()),
+						})
+					}
+				case *ast.BinaryExpr:
+					if e.Op == token.OR && shiftAssembled(e) && !insideOrChain(r, f, e) {
+						path, line, col := r.Position(e.Pos())
+						diags = append(diags, Diagnostic{
+							Analyzer: "endian", Path: path, Line: line, Col: col,
+							Msg: "shift-assembled multibyte load outside the arch tree and the wire layer; use amem against the arch's declared order",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// isByteOrderVar reports whether obj is one of encoding/binary's
+// byte-order variables.
+func isByteOrderVar(obj types.Object) bool {
+	if obj.Pkg() == nil || obj.Pkg().Path() != "encoding/binary" {
+		return false
+	}
+	switch obj.Name() {
+	case "BigEndian", "LittleEndian", "NativeEndian":
+		return true
+	}
+	return false
+}
+
+// shiftAssembled reports whether e is an | chain with at least one
+// shifted term and at least one term reading an indexed byte — the
+// shape of a hand-rolled multibyte decoder like
+// uint16(b[0])<<8 | uint16(b[1]).
+func shiftAssembled(e *ast.BinaryExpr) bool {
+	var terms []ast.Expr
+	var flatten func(x ast.Expr)
+	flatten = func(x ast.Expr) {
+		if be, ok := x.(*ast.BinaryExpr); ok && be.Op == token.OR {
+			flatten(be.X)
+			flatten(be.Y)
+			return
+		}
+		terms = append(terms, x)
+	}
+	flatten(e)
+	if len(terms) < 2 {
+		return false
+	}
+	var shifted, indexed bool
+	for _, t := range terms {
+		if be, ok := t.(*ast.BinaryExpr); ok && (be.Op == token.SHL || be.Op == token.SHR) {
+			shifted = true
+		}
+		ast.Inspect(t, func(n ast.Node) bool {
+			if _, ok := n.(*ast.IndexExpr); ok {
+				indexed = true
+			}
+			return true
+		})
+	}
+	return shifted && indexed
+}
+
+// insideOrChain reports whether e is a subterm of a larger | chain in
+// f, so each assembled load is flagged once, at its outermost |.
+func insideOrChain(r *Repo, f *File, e *ast.BinaryExpr) bool {
+	inside := false
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.OR || be == e {
+			return true
+		}
+		if be.X == e || be.Y == e {
+			inside = true
+		}
+		return true
+	})
+	return inside
+}

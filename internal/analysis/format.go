@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Summary is one analyzer's tally: findings that fail the run and
+// findings suppressed by //ldb:allow. The allowed column is the §4.3
+// table's analogue for exceptions — its growth across PRs is the
+// health of the retargeting seam.
+type Summary struct {
+	Analyzer string `json:"analyzer"`
+	Findings int    `json:"findings"`
+	Allowed  int    `json:"allowed"`
+}
+
+// Summarize tallies diags per analyzer, in suite order, with the
+// "allow" hygiene pseudo-analyzer last.
+func Summarize(diags []Diagnostic) []Summary {
+	order := make([]string, 0, len(Suite())+1)
+	for _, a := range Suite() {
+		order = append(order, a.Name)
+	}
+	order = append(order, "allow")
+	byName := make(map[string]*Summary, len(order))
+	out := make([]Summary, len(order))
+	for i, name := range order {
+		out[i] = Summary{Analyzer: name}
+		byName[name] = &out[i]
+	}
+	for _, d := range diags {
+		s, ok := byName[d.Analyzer]
+		if !ok {
+			continue
+		}
+		if d.Allowed {
+			s.Allowed++
+		} else {
+			s.Findings++
+		}
+	}
+	return out
+}
+
+// Format renders diags the way locstats renders the §4.3 table: the
+// individual findings first (file:line:col, analyzer, message), then a
+// summary table of findings and allowed exceptions per analyzer.
+func Format(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintln(&b, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-14s %8s %8s\n", "analyzer", "findings", "allowed")
+	total := Summary{Analyzer: "total"}
+	for _, s := range Summarize(diags) {
+		fmt.Fprintf(&b, "%-14s %8d %8d\n", s.Analyzer, s.Findings, s.Allowed)
+		total.Findings += s.Findings
+		total.Allowed += s.Allowed
+	}
+	fmt.Fprintf(&b, "%-14s %8d %8d\n", total.Analyzer, total.Findings, total.Allowed)
+	return b.String()
+}
+
+// jsonReport is the -json output shape.
+type jsonReport struct {
+	Findings []Diagnostic `json:"findings"`
+	Summary  []Summary    `json:"summary"`
+}
+
+// FormatJSON renders diags as the machine-readable report.
+func FormatJSON(diags []Diagnostic) ([]byte, error) {
+	rep := jsonReport{Findings: diags, Summary: Summarize(diags)}
+	if rep.Findings == nil {
+		rep.Findings = []Diagnostic{}
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"ldb/internal/arch"
+)
+
+// The machdep analyzer is the import/identifier-graph proof of the
+// paper's §4/§6 claim: machine dependence stays inside the arch tree
+// (the per-target packages hold both the debugger's four items of
+// machine-dependent data and the simulators) and the compiler back
+// ends. Everything else — core, bpt, frame, expr, symtab, nub, ps, the
+// abstract memory — reaches a target only through the arch.Arch and
+// machine interfaces. Concretely:
+//
+//   - no package outside ldb/internal/arch/... and ldb/internal/codegen
+//     may import an ISA-specific package, except that a main package
+//     may blank-import one to link a target in (the paper's analogue:
+//     picking targets is the build's job, §6);
+//   - no file outside those packages may spell an ISA opcode literal
+//     (the break/no-op encodings from Config.Fingerprints);
+//   - //ldb:target annotations (which tell locstats which target a
+//     file in a shared package belongs to) must name a real target and
+//     not restate what the import path already says.
+
+// isaPackages maps each ISA-specific import path in the module to its
+// target name: the subpackages of <mod>/internal/arch.
+func (r *Repo) isaPackages() map[string]string {
+	prefix := r.Mod + "/internal/arch/"
+	out := make(map[string]string)
+	for _, p := range r.Pkgs {
+		if rest, ok := strings.CutPrefix(p.ImportPath, prefix); ok && !strings.Contains(rest, "/") {
+			out[p.ImportPath] = rest
+		}
+	}
+	return out
+}
+
+// machdepExempt reports whether p may hold machine-dependent imports
+// and literals: the arch tree (interface plus per-target packages and
+// simulators) and the compiler back ends.
+func (r *Repo) machdepExempt(p *Pkg) bool {
+	return p.ImportPath == r.Mod+"/internal/arch" ||
+		strings.HasPrefix(p.ImportPath, r.Mod+"/internal/arch/") ||
+		p.ImportPath == r.Mod+"/internal/codegen"
+}
+
+func runMachdep(r *Repo) []Diagnostic {
+	var diags []Diagnostic
+	isa := r.isaPackages()
+	for _, p := range r.Pkgs {
+		exempt := r.machdepExempt(p)
+		isMain := len(p.Files) > 0 && p.Files[0].AST.Name.Name == "main"
+		_, pkgIsISA := isa[p.ImportPath]
+		for _, f := range p.Files {
+			// ISA imports.
+			if !exempt {
+				for _, imp := range f.AST.Imports {
+					ipath, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					target, ok := isa[ipath]
+					if !ok {
+						continue
+					}
+					if isMain && imp.Name != nil && imp.Name.Name == "_" {
+						continue // linking a target in is the build's job
+					}
+					path, line, col := r.Position(imp.Pos())
+					diags = append(diags, Diagnostic{
+						Analyzer: "machdep", Path: path, Line: line, Col: col,
+						Msg: fmt.Sprintf("machine-independent package %s imports %s-specific package %s; use the arch.Arch interface", p.ImportPath, target, ipath),
+					})
+				}
+				// Opcode fingerprint literals.
+				if len(r.Fingerprints) > 0 {
+					ast.Inspect(f.AST, func(n ast.Node) bool {
+						lit, ok := n.(*ast.BasicLit)
+						if !ok || lit.Kind != token.INT {
+							return true
+						}
+						v, err := strconv.ParseUint(lit.Value, 0, 64)
+						if err != nil {
+							return true
+						}
+						if what, hit := r.Fingerprints[v]; hit {
+							path, line, col := r.Position(lit.Pos())
+							diags = append(diags, Diagnostic{
+								Analyzer: "machdep", Path: path, Line: line, Col: col,
+								Msg: fmt.Sprintf("literal %s is the %s; machine-independent code must take opcodes from arch.Arch", lit.Value, what),
+							})
+						}
+						return true
+					})
+				}
+			}
+			// //ldb:target hygiene.
+			for _, d := range r.fileDirectives(f, "target") {
+				switch {
+				case d.analyzer == "":
+					diags = append(diags, Diagnostic{
+						Analyzer: "machdep", Path: d.path, Line: d.line, Col: 1,
+						Msg: "//ldb:target needs a target name",
+					})
+				case !knownTarget(isa, d.analyzer):
+					diags = append(diags, Diagnostic{
+						Analyzer: "machdep", Path: d.path, Line: d.line, Col: 1,
+						Msg: fmt.Sprintf("//ldb:target names unknown target %q", d.analyzer),
+					})
+				case pkgIsISA:
+					diags = append(diags, Diagnostic{
+						Analyzer: "machdep", Path: d.path, Line: d.line, Col: 1,
+						Msg: fmt.Sprintf("redundant //ldb:target in ISA-specific package %s", p.ImportPath),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+func knownTarget(isa map[string]string, name string) bool {
+	for _, t := range isa {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FileTargets classifies every loaded file by the target it is
+// specific to: files in an ISA package carry that package's target,
+// files elsewhere carry their //ldb:target annotation, and everything
+// else is "" (shared, machine-independent). locstats builds the §4.3
+// table's columns from this map, so the table is analyzer-backed
+// rather than path-guessed.
+func FileTargets(r *Repo) map[string]string {
+	isa := r.isaPackages()
+	out := make(map[string]string)
+	for _, p := range r.Pkgs {
+		target := isa[p.ImportPath]
+		for _, f := range p.Files {
+			t := target
+			if t == "" {
+				if ds := r.fileDirectives(f, "target"); len(ds) > 0 && ds[0].analyzer != "" {
+					t = ds[0].analyzer
+				}
+			}
+			out[f.Path] = t
+		}
+	}
+	return out
+}
+
+// ArchFingerprints derives machdep's opcode table from the registered
+// architectures: each target's break and no-op encodings, read in the
+// target's own byte order. Like the debugger itself, the analyzer is
+// parameterized by machine-dependent data rather than containing any —
+// this package never imports an ISA package; callers (cmd/ldbvet, the
+// self-test) blank-import the targets to populate the registry.
+// Values below 0x100 are dropped: one-byte opcodes (the VAX bpt, 0x03)
+// collide with ordinary small constants.
+func ArchFingerprints() map[uint64]string {
+	fps := make(map[uint64]string)
+	for _, name := range arch.Names() {
+		a, ok := arch.Lookup(name)
+		if !ok {
+			continue
+		}
+		add := func(b []byte, what string) {
+			if len(b) == 0 {
+				return
+			}
+			v := uint64(0)
+			if a.Order().String() == "LittleEndian" {
+				for i := len(b) - 1; i >= 0; i-- {
+					v = v<<8 | uint64(b[i]) //ldb:allow endian decodes registered arch data in the order that arch declared
+				}
+			} else {
+				for _, c := range b {
+					v = v<<8 | uint64(c)
+				}
+			}
+			if v < 0x100 {
+				return
+			}
+			if _, dup := fps[v]; !dup {
+				fps[v] = fmt.Sprintf("%s %s", name, what)
+			}
+		}
+		add(a.BreakInstr(), "break instruction")
+		add(a.NopInstr(), "no-op instruction")
+	}
+	return fps
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// The recoverguard analyzer keeps the crash-proof-nub property (§4.2's
+// "the nub must not take the target down with it") from eroding as
+// message types are added. The nub package declares its containment
+// structure:
+//
+//   - the //ldb:dispatch-table var maps kinds to handler functions;
+//   - //ldb:contain marks functions that resume the target and so may
+//     panic on corrupted process state (runAndLatch, stepAndLatch).
+//
+// A function is *protected* if it defers a recover (the safeHandle /
+// resumeAndLatch shape). The analyzer then requires:
+//
+//   - every read of the dispatch table sits inside a protected
+//     function — handlers execute only behind a recover;
+//   - every call to, or reference to, a contained function or a
+//     registered handler happens inside a protected or contained
+//     function, inside a function literal passed as an argument to a
+//     call of one (the n.resumeAndLatch(func(){...}) pattern), as a
+//     direct argument of such a call (n.resumeAndLatch(n.runAndLatch)),
+//     or in the dispatch table's registration assignments.
+//
+// New kinds therefore cannot grow an uncontained crash path: wireproto
+// forces the handler into the table, and recoverguard forces the table
+// behind the recover.
+
+func runRecoverguard(r *Repo) []Diagnostic {
+	if r.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, p := range r.Pkgs {
+		diags = append(diags, r.recoverguardPkg(p)...)
+	}
+	return diags
+}
+
+func (r *Repo) recoverguardPkg(p *Pkg) []Diagnostic {
+	protected := make(map[types.Object]bool)
+	contained := make(map[types.Object]bool)
+	var tableObj types.Object
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && deferredRecover(fd.Body) {
+				protected[r.Info.Defs[fd.Name]] = true
+			}
+		}
+		for _, decl := range markedDecls(f, "contain") {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				contained[r.Info.Defs[fd.Name]] = true
+			}
+		}
+		for _, decl := range markedDecls(f, "dispatch-table") {
+			if gd, ok := decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == 1 {
+						tableObj = r.Info.Defs[vs.Names[0]]
+					}
+				}
+			}
+		}
+	}
+	if tableObj == nil && len(contained) == 0 {
+		return nil
+	}
+
+	// Handlers registered into the dispatch table.
+	registered := make(map[types.Object]bool)
+	if tableObj != nil {
+		for _, f := range p.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					if r.tableIndex(lhs, tableObj) == nil || i >= len(as.Rhs) {
+						continue
+					}
+					if h := r.funcObj(as.Rhs[i]); h != nil {
+						registered[h] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	guarded := func(obj types.Object) bool { return obj != nil && (protected[obj] || contained[obj]) }
+	restricted := func(obj types.Object) bool {
+		return obj != nil && (contained[obj] || registered[obj])
+	}
+
+	var diags []Diagnostic
+	add := func(n ast.Node, format string, args ...any) {
+		path, line, col := r.Position(n.Pos())
+		diags = append(diags, Diagnostic{
+			Analyzer: "recoverguard", Path: path, Line: line, Col: col,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// walk visits nodes tracking whether the current position runs
+	// under containment (inGuard). It handles the exempt shapes —
+	// registration writes, guarded-call arguments — before generic
+	// descent, so each violation is reported exactly once.
+	var walk func(n ast.Node, inGuard bool)
+	walk = func(n ast.Node, inGuard bool) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch e := m.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range e.Lhs {
+					if ix := r.tableIndex(lhs, tableObj); ix != nil {
+						// Registration write: the table index is not a read,
+						// and the handler value is sanctioned here.
+						walk(ix.Index, inGuard)
+						continue
+					}
+					walk(lhs, inGuard)
+				}
+				for i, rhs := range e.Rhs {
+					if i < len(e.Lhs) && r.tableIndex(e.Lhs[i], tableObj) != nil {
+						if h := r.funcObj(rhs); h != nil {
+							continue // the registration itself
+						}
+					}
+					walk(rhs, inGuard)
+				}
+				return false
+			case *ast.CallExpr:
+				callee := r.funcObj(e.Fun)
+				calleeGuarded := guarded(callee)
+				if restricted(callee) && !inGuard {
+					add(e, "call to %s outside panic containment: route it through the recover-protected resume or dispatch path", callee.Name())
+				}
+				// Walk the callee expression's receiver, but not the
+				// callee reference itself (handled above).
+				if sel, ok := e.Fun.(*ast.SelectorExpr); ok && callee != nil {
+					walk(sel.X, inGuard)
+				} else if callee == nil {
+					walk(e.Fun, inGuard)
+				}
+				for _, arg := range e.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						walk(lit.Body, inGuard || calleeGuarded)
+						continue
+					}
+					if h := r.funcObj(arg); h != nil {
+						if restricted(h) && !calleeGuarded && !inGuard {
+							add(arg, "reference to %s escapes panic containment: pass it only to the recover-protected resume or dispatch path", h.Name())
+						}
+						continue
+					}
+					walk(arg, inGuard)
+				}
+				return false
+			case *ast.FuncLit:
+				walk(e.Body, inGuard)
+				return false
+			case *ast.IndexExpr:
+				if r.tableIndexExpr(e, tableObj) && !inGuard {
+					add(e, "dispatch table read outside a recover-protected function")
+				}
+			case *ast.Ident:
+				if obj := r.Info.Uses[e]; restricted(obj) && !inGuard {
+					add(e, "reference to %s outside panic containment", obj.Name())
+				}
+			case *ast.SelectorExpr:
+				if obj := r.Info.Uses[e.Sel]; restricted(obj) && !inGuard {
+					add(e, "reference to %s outside panic containment", obj.Name())
+				}
+				walk(e.X, inGuard)
+				return false
+			}
+			return true
+		})
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walk(fd.Body, guarded(r.Info.Defs[fd.Name]))
+		}
+	}
+	return diags
+}
+
+// tableIndex returns expr as an index into the dispatch table, or nil.
+func (r *Repo) tableIndex(expr ast.Expr, tableObj types.Object) *ast.IndexExpr {
+	ix, ok := expr.(*ast.IndexExpr)
+	if !ok || !r.tableIndexExpr(ix, tableObj) {
+		return nil
+	}
+	return ix
+}
+
+func (r *Repo) tableIndexExpr(ix *ast.IndexExpr, tableObj types.Object) bool {
+	if tableObj == nil {
+		return false
+	}
+	base, ok := ix.X.(*ast.Ident)
+	return ok && r.Info.Uses[base] == tableObj
+}
+
+// deferredRecover reports whether body defers a function literal that
+// calls recover — the containment idiom.
+func deferredRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ds.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+					found = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return found
+}

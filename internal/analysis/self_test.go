@@ -1,0 +1,87 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"ldb/internal/analysis"
+
+	// The analyzers are parameterized by registered arch data; link the
+	// targets in so ArchFingerprints sees all four.
+	_ "ldb/internal/arch/m68k"
+	_ "ldb/internal/arch/mips"
+	_ "ldb/internal/arch/sparc"
+	_ "ldb/internal/arch/vax"
+)
+
+// TestRepositoryIsClean is the tier-1 gate: the full analyzer suite
+// over this repository must report no unsuppressed finding. A change
+// that leaks machine dependence, drops a protocol kind's plumbing,
+// hand-rolls byte order, or uncontains a handler fails the build here,
+// exactly as `go run ./cmd/ldbvet ./...` would fail it.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := analysis.FindRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := analysis.Load(analysis.Config{
+		Root:         root,
+		Fingerprints: analysis.ArchFingerprints(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.RunSuite(repo)
+	for _, d := range analysis.Failing(diags) {
+		t.Error(d.String())
+	}
+	// The exception list is real and visible: the defined file formats
+	// and the simulators' hot-path loads carry //ldb:allow endian.
+	allowed := 0
+	for _, d := range diags {
+		if d.Allowed {
+			allowed++
+		}
+	}
+	if allowed == 0 {
+		t.Error("expected some allowed findings (the //ldb:allow exception list); the allow matching is broken")
+	}
+}
+
+// TestMachdepCatchesCoreArchImport is the issue's negative fixture:
+// a module whose machine-independent internal/core imports
+// internal/arch/mips must fail machdep.
+func TestMachdepCatchesCoreArchImport(t *testing.T) {
+	repo, err := analysis.Load(analysis.Config{Root: "testdata/machdep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range analysis.Failing(analysis.RunSuite(repo)) {
+		if d.Analyzer == "machdep" && d.Path == "internal/core/core.go" &&
+			strings.Contains(d.Msg, "imports mips-specific package seam.test/internal/arch/mips") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("machdep did not flag internal/core importing internal/arch/mips")
+	}
+}
+
+// TestArchFingerprints pins that the fingerprint table is derived from
+// the registry, drops one-byte opcodes, and knows the classic
+// encodings machine-independent code must not spell.
+func TestArchFingerprints(t *testing.T) {
+	fps := analysis.ArchFingerprints()
+	if len(fps) == 0 {
+		t.Fatal("no fingerprints from the registered targets")
+	}
+	if what, ok := fps[0x4e71]; !ok || !strings.Contains(what, "m68k") {
+		t.Errorf("m68k no-op 0x4e71 missing or misattributed: %q", what)
+	}
+	for v := range fps {
+		if v < 0x100 {
+			t.Errorf("one-byte opcode %#x should have been dropped", v)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module allow.test
+
+go 1.22

@@ -1,0 +1,23 @@
+// Package pkg exercises the //ldb:allow escape hatch and its hygiene
+// rules.
+package pkg
+
+import "encoding/binary"
+
+// ReadOne is suppressed with a reason: the finding survives in the
+// output, marked allowed, and counts in the summary.
+func ReadOne(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b) //ldb:allow endian the fixture wire format is defined little-endian
+}
+
+// ReadTwo has an allow without a reason: the hygiene check fires and
+// the underlying endian finding stays unsuppressed.
+func ReadTwo(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b) //ldb:allow endian
+}
+
+// ReadThree is preceded by an allow for the wrong analyzer, which
+// therefore suppresses nothing and is reported stale.
+//
+//ldb:allow machdep this annotation matches no machdep finding
+func ReadThree() {}

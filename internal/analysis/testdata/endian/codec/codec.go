@@ -1,0 +1,15 @@
+// Package codec hand-rolls byte order outside the arch tree — both
+// forms the analyzer knows are present.
+package codec
+
+import "encoding/binary"
+
+// ReadLE names a byte-order variable directly.
+func ReadLE(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b)
+}
+
+// ReadBE assembles a big-endian halfword by hand.
+func ReadBE(b []byte) uint16 {
+	return uint16(b[0])<<8 | uint16(b[1])
+}

@@ -1,0 +1,3 @@
+module endian.test
+
+go 1.22

@@ -1,0 +1,8 @@
+// Package x sits inside the arch tree, where byte order may live; no
+// finding here.
+package x
+
+import "encoding/binary"
+
+// Read decodes in the target's declared order.
+func Read(b []byte) uint32 { return binary.BigEndian.Uint32(b) }

@@ -1,0 +1,7 @@
+// Command ldb may blank-import a target: linking targets in is the
+// build's job, so this import is not a finding.
+package main
+
+import _ "seam.test/internal/arch/mips"
+
+func main() {}

@@ -1,0 +1,3 @@
+module seam.test
+
+go 1.22

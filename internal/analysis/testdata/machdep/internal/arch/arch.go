@@ -1,0 +1,7 @@
+// Package arch is the fixture's machine-independent seam.
+package arch
+
+// Arch is the interface machine-independent code must use.
+type Arch interface {
+	Name() string
+}

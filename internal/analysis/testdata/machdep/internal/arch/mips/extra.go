@@ -1,0 +1,6 @@
+//ldb:target mips
+package mips
+
+// Redundant marks nothing: the //ldb:target above restates the
+// package's own import path and must be flagged.
+func Redundant() {}

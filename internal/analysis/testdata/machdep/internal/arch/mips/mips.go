@@ -1,0 +1,8 @@
+// Package mips is an ISA-specific package; it may hold opcodes.
+package mips
+
+// Break is the target's break instruction.
+const Break = 0x0000000d
+
+// Name names the target.
+func Name() string { return "mips" }

@@ -1,0 +1,6 @@
+//ldb:target weird
+package core
+
+// Annotated carries a //ldb:target naming a target that does not
+// exist in the module.
+func Annotated() {}

@@ -1,0 +1,12 @@
+// Package core is machine-independent and must not reach a target
+// directly.
+package core
+
+import "seam.test/internal/arch/mips"
+
+// Boot leaks machine dependence twice: the ISA import above and the
+// opcode literal below (the m68k no-op, per the test's fingerprints).
+func Boot() (string, int) {
+	const nop = 0x4e71
+	return mips.Name(), nop
+}

@@ -1,0 +1,3 @@
+module rg.test
+
+go 1.22

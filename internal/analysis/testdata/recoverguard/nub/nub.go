@@ -1,0 +1,64 @@
+// Package nub exercises the panic-containment rules: handlers and
+// resume paths may run only behind a deferred recover.
+package nub
+
+// Msg is one message.
+type Msg struct{ Kind uint8 }
+
+// handlers dispatches by kind.
+//
+//ldb:dispatch-table
+var handlers [4]func(*Msg) *Msg
+
+func init() {
+	handlers[1] = handleOne
+}
+
+func handleOne(m *Msg) *Msg { return m }
+
+// resume resumes the target and may panic on corrupt state.
+//
+//ldb:contain
+func resume() {}
+
+// safeDispatch is the protected path: the table read happens behind a
+// deferred recover, so no finding.
+func safeDispatch(m *Msg) (rep *Msg) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep = nil
+		}
+	}()
+	if h := handlers[m.Kind]; h != nil {
+		return h(m)
+	}
+	return nil
+}
+
+// guard wraps resume paths in a recover.
+func guard(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = r
+		}
+	}()
+	f()
+}
+
+// good passes resume into the guard as a function value — allowed.
+func good() { guard(resume) }
+
+// alsoGood runs resume inside a literal passed to the guard — allowed.
+func alsoGood() { guard(func() { resume() }) }
+
+// bad calls resume with no containment — a finding.
+func bad() { resume() }
+
+// alsoBad calls a registered handler directly — a finding.
+func alsoBad(m *Msg) *Msg { return handleOne(m) }
+
+// worse reads the dispatch table outside any recover — a finding.
+func worse(m *Msg) *Msg { return handlers[m.Kind](m) }
+
+// leak lets resume escape containment as a bare reference — a finding.
+func leak() func() { return resume }

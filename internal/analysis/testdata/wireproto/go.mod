@@ -1,0 +1,3 @@
+module wire.test
+
+go 1.22

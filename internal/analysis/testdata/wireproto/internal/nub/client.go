@@ -1,0 +1,8 @@
+package nub
+
+// Client is the debugger side of the fixture protocol.
+type Client struct{}
+
+// Hello encodes the one request kind that is fully plumbed; MFetch
+// has no encoder anywhere.
+func (c *Client) Hello() *Msg { return &Msg{Kind: MHello} }

@@ -1,0 +1,39 @@
+// Package nub is the fixture protocol: a kind table with deliberate
+// holes, proving wireproto notices a kind added without plumbing.
+package nub
+
+import "fmt"
+
+// MsgKind identifies a message on the wire.
+type MsgKind uint8
+
+// Message kinds. MOrphan was added without a kind-table entry.
+const (
+	MHello MsgKind = iota + 1
+	MFetch
+	MOrphan
+	MOK
+	MError
+)
+
+type kindInfo struct {
+	name    string
+	request bool
+}
+
+// kinds is the protocol's single source of truth.
+//
+//ldb:kind-table
+var kinds = map[MsgKind]kindInfo{
+	MHello: {name: "hello", request: true},
+	MFetch: {name: "fetch", request: true},
+	MOK:    {name: "ok"},
+	MError: {name: ""},
+}
+
+func (k MsgKind) String() string {
+	if info, ok := kinds[k]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("msg(%d)", uint8(k))
+}

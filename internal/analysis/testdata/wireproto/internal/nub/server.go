@@ -1,0 +1,50 @@
+package nub
+
+import "fmt"
+
+// Msg is one wire message.
+type Msg struct {
+	Kind MsgKind
+}
+
+// handlers dispatches requests by kind. MFetch is never registered.
+//
+//ldb:dispatch-table
+var handlers [8]func(*Msg) *Msg
+
+func init() {
+	handlers[MHello] = handleHello
+}
+
+func handleHello(m *Msg) *Msg { return &Msg{Kind: MOK} }
+
+// checkRequest is the validation path: it consults the kind table and
+// returns an error for unknown kinds.
+func checkRequest(m *Msg) error {
+	if _, ok := kinds[m.Kind]; !ok {
+		return fmt.Errorf("unexpected request %v", m.Kind)
+	}
+	return nil
+}
+
+// dispatch reads the dispatch table without calling checkRequest
+// first — a finding.
+func dispatch(m *Msg) *Msg {
+	h := handlers[m.Kind]
+	if h == nil {
+		return &Msg{Kind: MError}
+	}
+	return h(m)
+}
+
+// describe switches over kinds with neither full coverage nor a
+// default — a finding.
+func describe(k MsgKind) string {
+	switch k {
+	case MHello:
+		return "hello"
+	case MFetch:
+		return "fetch"
+	}
+	return ""
+}

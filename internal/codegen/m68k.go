@@ -1,3 +1,4 @@
+//ldb:target m68k
 package codegen
 
 import (

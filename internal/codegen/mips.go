@@ -1,3 +1,4 @@
+//ldb:target mips
 package codegen
 
 import (

@@ -1,3 +1,4 @@
+//ldb:target sparc
 package codegen
 
 import (

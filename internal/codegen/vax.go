@@ -1,3 +1,4 @@
+//ldb:target vax
 package codegen
 
 import (

@@ -22,7 +22,7 @@ type imgWriter struct {
 
 func (w *imgWriter) u32(v uint32) {
 	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
+	binary.LittleEndian.PutUint32(b[:], v) //ldb:allow endian the .img image format is defined little-endian on every host
 	w.buf.Write(b[:])
 }
 
@@ -80,7 +80,7 @@ func (r *imgReader) u32() uint32 {
 		r.err = fmt.Errorf("link: truncated image")
 		return 0
 	}
-	v := binary.LittleEndian.Uint32(r.b)
+	v := binary.LittleEndian.Uint32(r.b) //ldb:allow endian the .img image format is defined little-endian on every host
 	r.b = r.b[4:]
 	return v
 }

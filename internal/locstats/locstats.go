@@ -3,6 +3,13 @@
 // against the machine-independent remainder — by classifying and
 // counting this repository's own sources. cmd/locstats and the T1
 // benchmark print it.
+//
+// Which files are machine-dependent, and for which target, comes from
+// the machdep analyzer's view of the package graph (analysis.FileTargets:
+// membership in an ISA package, or a //ldb:target annotation), not from
+// path guessing — the table counts exactly the boundary ldbvet
+// enforces. Only the row (debugger, simulator, back end) is assigned
+// here, from the package's layer.
 package locstats
 
 import (
@@ -12,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"ldb/internal/analysis"
 	"ldb/internal/core"
 )
 
@@ -50,58 +58,57 @@ func countFile(path string) (int, error) {
 	return n, nil
 }
 
-// classify maps a repo-relative Go file to (row, column). Machine-
-// dependent code lives in exactly the places DESIGN.md confines it to:
-// the per-target architecture packages, one back-end file per target,
-// and the per-target frame walker; everything else is shared.
-func classify(rel string) (row, col string, ok bool) {
+// classify maps a repo-relative Go file plus the machdep analyzer's
+// target for it ("" when shared, "mipsbe" folded into the paper's
+// single MIPS column) to (row, column). The column is the analyzer's
+// verdict; only the row — which layer of the system the file belongs
+// to — is read off the path. The analysis suite and its command are
+// tooling about the debugger, not part of it, and are not counted.
+func classify(rel, target string) (row, col string, ok bool) {
 	rel = filepath.ToSlash(rel)
 	if strings.HasSuffix(rel, "_test.go") || !strings.HasSuffix(rel, ".go") {
 		return "", "", false
 	}
+	col = target
+	if col == "mipsbe" {
+		col = "mips"
+	}
+	if col == "" {
+		col = "shared"
+	}
 	switch {
+	case strings.HasPrefix(rel, "internal/analysis/"), strings.HasPrefix(rel, "cmd/ldbvet/"):
+		return "", "", false
 	case strings.HasPrefix(rel, "internal/arch/"):
 		parts := strings.Split(rel, "/")
 		if len(parts) < 4 {
 			return RowDebugger, "shared", true // the Arch interface itself
 		}
-		target := parts[2]
-		if target == "mipsbe" {
-			target = "mips"
-		}
-		base := parts[3]
 		// The metadata file (break/nop patterns, context layout,
 		// register roles) is the debugger-facing machine-dependent
 		// data; the assembler, interpreter, and scheduler are the
 		// simulated hardware and its assembler.
-		if base == target+".go" {
-			return RowDebugger, target, true
+		if parts[3] == parts[2]+".go" {
+			return RowDebugger, col, true
 		}
-		return RowSimulator, target, true
-	case rel == "internal/frame/mips.go":
-		return RowDebugger, "mips", true
-	case strings.HasPrefix(rel, "internal/codegen/"):
-		base := strings.TrimSuffix(filepath.Base(rel), ".go")
-		for _, t := range Targets {
-			if base == t {
-				return RowBackend, t, true
-			}
-		}
-		return RowBackend, "shared", true
-	case strings.HasPrefix(rel, "internal/cc/"),
+		return RowSimulator, col, true
+	case strings.HasPrefix(rel, "internal/codegen/"),
+		strings.HasPrefix(rel, "internal/cc/"),
 		strings.HasPrefix(rel, "internal/asm/"),
 		strings.HasPrefix(rel, "internal/link/"),
 		strings.HasPrefix(rel, "internal/driver/"):
-		return RowBackend, "shared", true
+		return RowBackend, col, true
 	case strings.HasPrefix(rel, "internal/machine/"):
-		return RowSimulator, "shared", true
+		return RowSimulator, col, true
 	case strings.HasPrefix(rel, "internal/"), strings.HasPrefix(rel, "cmd/ldb"):
-		return RowDebugger, "shared", true
+		return RowDebugger, col, true
 	}
 	return "", "", false
 }
 
-// Collect walks the repository rooted at root and builds the table.
+// Collect parses the repository rooted at root (through the analysis
+// loader, so the file set and per-file targets are exactly the machdep
+// analyzer's) and builds the table.
 func Collect(root string) (Table, error) {
 	table := Table{}
 	add := func(row, col string, n int) {
@@ -110,27 +117,20 @@ func Collect(root string) (Table, error) {
 		}
 		table[row][col] += n
 	}
-	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
-		if err != nil || info.IsDir() {
-			return err
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		row, col, ok := classify(rel)
-		if !ok {
-			return nil
-		}
-		n, err := countFile(path)
-		if err != nil {
-			return err
-		}
-		add(row, col, n)
-		return nil
-	})
+	repo, err := analysis.Parse(analysis.Config{Root: root})
 	if err != nil {
 		return nil, err
+	}
+	for rel, target := range analysis.FileTargets(repo) {
+		row, col, ok := classify(rel, target)
+		if !ok {
+			continue
+		}
+		n, err := countFile(filepath.Join(root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		add(row, col, n)
 	}
 	// The machine-dependent PostScript is compiled into the binary.
 	for name, n := range core.ArchPSLines() {

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"ldb/internal/analysis"
+
 	_ "ldb/internal/arch/m68k"
 	_ "ldb/internal/arch/mips"
 	_ "ldb/internal/arch/sparc"
@@ -53,32 +55,85 @@ func TestCollectAndShape(t *testing.T) {
 }
 
 func TestClassify(t *testing.T) {
+	// The target argument is what analysis.FileTargets reports: the ISA
+	// package the file lives in, or its //ldb:target annotation.
 	cases := []struct {
-		rel string
-		row string
-		col string
-		ok  bool
+		rel    string
+		target string
+		row    string
+		col    string
+		ok     bool
 	}{
-		{"internal/arch/mips/mips.go", RowDebugger, "mips", true},
-		{"internal/arch/mips/exec.go", RowSimulator, "mips", true},
-		{"internal/arch/mipsbe/x.go", RowSimulator, "mips", true},
-		{"internal/arch/vax/asm.go", RowSimulator, "vax", true},
-		{"internal/arch/arch.go", RowDebugger, "shared", true},
-		{"internal/frame/mips.go", RowDebugger, "mips", true},
-		{"internal/frame/fp.go", RowDebugger, "shared", true},
-		{"internal/codegen/sparc.go", RowBackend, "sparc", true},
-		{"internal/codegen/codegen.go", RowBackend, "shared", true},
-		{"internal/cc/parse.go", RowBackend, "shared", true},
-		{"internal/core/target.go", RowDebugger, "shared", true},
-		{"internal/core/target_test.go", "", "", false},
-		{"README.md", "", "", false},
-		{"cmd/experiments/main.go", "", "", false},
+		{"internal/arch/mips/mips.go", "mips", RowDebugger, "mips", true},
+		{"internal/arch/mips/exec.go", "mips", RowSimulator, "mips", true},
+		{"internal/arch/mipsbe/x.go", "mipsbe", RowSimulator, "mips", true},
+		{"internal/arch/vax/asm.go", "vax", RowSimulator, "vax", true},
+		{"internal/arch/arch.go", "", RowDebugger, "shared", true},
+		{"internal/frame/mips.go", "mips", RowDebugger, "mips", true},
+		{"internal/frame/fp.go", "", RowDebugger, "shared", true},
+		{"internal/codegen/sparc.go", "sparc", RowBackend, "sparc", true},
+		{"internal/codegen/codegen.go", "", RowBackend, "shared", true},
+		{"internal/cc/parse.go", "", RowBackend, "shared", true},
+		{"internal/core/target.go", "", RowDebugger, "shared", true},
+		{"internal/core/target_test.go", "", "", "", false},
+		{"README.md", "", "", "", false},
+		{"cmd/experiments/main.go", "", "", "", false},
+		{"internal/analysis/machdep.go", "", "", "", false},
+		{"cmd/ldbvet/main.go", "", "", "", false},
 	}
 	for _, c := range cases {
-		row, col, ok := classify(c.rel)
+		row, col, ok := classify(c.rel, c.target)
 		if ok != c.ok || row != c.row || col != c.col {
-			t.Errorf("classify(%q) = %q %q %v, want %q %q %v", c.rel, row, col, ok, c.row, c.col, c.ok)
+			t.Errorf("classify(%q, %q) = %q %q %v, want %q %q %v", c.rel, c.target, row, col, ok, c.row, c.col, c.ok)
 		}
+	}
+}
+
+// TestAgreesWithMachdep pins the satellite claim: locstats and the
+// machdep analyzer agree on the machine-dependent file set. A file gets
+// a per-target column exactly when the analyzer assigns it a target,
+// and every per-target file the analyzer knows is counted in some row.
+func TestAgreesWithMachdep(t *testing.T) {
+	root, err := FindRoot(".")
+	if err != nil {
+		t.Skip(err)
+	}
+	repo, err := analysis.Parse(analysis.Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := analysis.FileTargets(repo)
+	if len(targets) == 0 {
+		t.Fatal("analyzer saw no files")
+	}
+	var machineDependent, counted int
+	for rel, target := range targets {
+		row, col, ok := classify(rel, target)
+		if target != "" {
+			machineDependent++
+			if !ok {
+				t.Errorf("%s: analyzer says %s-specific, locstats does not count it", rel, target)
+				continue
+			}
+			want := target
+			if want == "mipsbe" {
+				want = "mips"
+			}
+			if col != want {
+				t.Errorf("%s: analyzer says %s, locstats column %s", rel, target, col)
+			}
+		} else if ok && col != "shared" {
+			t.Errorf("%s: analyzer says shared, locstats column %s (row %s)", rel, col, row)
+		}
+		if ok {
+			counted++
+		}
+	}
+	if machineDependent == 0 {
+		t.Fatal("analyzer found no machine-dependent files")
+	}
+	if counted == 0 {
+		t.Fatal("locstats counted no files")
 	}
 }
 

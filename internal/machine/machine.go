@@ -99,7 +99,7 @@ func New(a arch.Arch, text, data []byte, entry uint32) *Process {
 		pc:    entry,
 	}
 	p.dec, _ = a.(arch.Decoder)
-	p.be = a.Order() == binary.BigEndian
+	p.be = a.Order() == binary.BigEndian //ldb:allow endian caches the arch's declared order for the hot load/store path
 	p.Segs = []*Segment{
 		{Name: "text", Base: TextBase, Data: append([]byte(nil), text...)},
 		{Name: "data", Base: DataBase, Data: append([]byte(nil), data...)},
@@ -174,14 +174,14 @@ func (p *Process) Load(addr uint32, size int) (uint32, *arch.Fault) {
 	switch size {
 	case 4:
 		if p.be {
-			return uint32(b[3]) | uint32(b[2])<<8 | uint32(b[1])<<16 | uint32(b[0])<<24, nil
+			return uint32(b[3]) | uint32(b[2])<<8 | uint32(b[1])<<16 | uint32(b[0])<<24, nil //ldb:allow endian open-coded load in the arch's declared order; the simulators' hot path
 		}
-		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil //ldb:allow endian open-coded load in the arch's declared order; the simulators' hot path
 	case 2:
 		if p.be {
-			return uint32(b[1]) | uint32(b[0])<<8, nil
+			return uint32(b[1]) | uint32(b[0])<<8, nil //ldb:allow endian open-coded load in the arch's declared order; the simulators' hot path
 		}
-		return uint32(b[0]) | uint32(b[1])<<8, nil
+		return uint32(b[0]) | uint32(b[1])<<8, nil //ldb:allow endian open-coded load in the arch's declared order; the simulators' hot path
 	}
 	return uint32(b[0]), nil
 }

@@ -779,6 +779,14 @@ func (c *Client) resume(kind MsgKind) (*Event, error) {
 	}
 }
 
+// Ping asks the nub for a sign of life: a hello request answered with
+// an OK. It touches no target state, so it is freely replayable after
+// reconnects — a cheap way to probe a session that has been idle.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Msg{Kind: MHello}, MOK)
+	return err
+}
+
 // Close severs the connection without telling the nub — the way a
 // crashed debugger disappears. The nub preserves target state.
 func (c *Client) Close() error { return c.closeRaw() }

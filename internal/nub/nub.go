@@ -88,7 +88,7 @@ func (n *Nub) CtxAddr() uint32 { return n.ctxAddr }
 func (n *Nub) Start() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.runAndLatch()
+	n.resumeAndLatch(n.runAndLatch)
 }
 
 // RunFree runs the target with pause traps ignored, as a program that
@@ -98,18 +98,24 @@ func (n *Nub) Start() {
 func (n *Nub) RunFree() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	for {
-		f := n.P.Run()
-		if f.Kind == arch.FaultSignal && f.Sig == arch.SigTrap && f.Code == arch.TrapPause {
-			n.P.SetPC(f.PC + f.Len)
-			continue
+	n.resumeAndLatch(func() {
+		for {
+			f := n.P.Run()
+			if f.Kind == arch.FaultSignal && f.Sig == arch.SigTrap && f.Code == arch.TrapPause {
+				n.P.SetPC(f.PC + f.Len)
+				continue
+			}
+			n.latch(f)
+			return
 		}
-		n.latch(f)
-		return
-	}
+	})
 }
 
-// runAndLatch resumes the target and latches the resulting event.
+// runAndLatch resumes the target and latches the resulting event. It
+// may panic on corrupted process state, so it must only run under the
+// resumeAndLatch containment — recoverguard enforces this.
+//
+//ldb:contain
 func (n *Nub) runAndLatch() {
 	f := n.P.Run()
 	if f.Kind == arch.FaultSignal && f.Sig == arch.SigTrap && f.Code == arch.TrapPause {
@@ -122,7 +128,10 @@ func (n *Nub) runAndLatch() {
 // stepAndLatch retires exactly one instruction and latches the result.
 // A step that completes without faulting reports SIGTRAP with code
 // TrapStep — the convention MStepInst clients decode. A pause trap is
-// stepped past, as in runAndLatch.
+// stepped past, as in runAndLatch; like runAndLatch it must only run
+// under the resumeAndLatch containment.
+//
+//ldb:contain
 func (n *Nub) stepAndLatch() {
 	f := n.P.StepOne()
 	if f != nil && f.Kind == arch.FaultSignal && f.Sig == arch.SigTrap && f.Code == arch.TrapPause {
@@ -274,24 +283,54 @@ func (n *Nub) quirkRange() (lo, hi uint64, ok bool) {
 
 func validSpace(s byte) bool { return s == byte(amem.Code) || s == byte(amem.Data) }
 
+// errMsg builds an MError reply.
+func errMsg(format string, args ...any) *Msg {
+	return &Msg{Kind: MError, Data: []byte(fmt.Sprintf(format, args...))}
+}
+
+// handlers dispatches validated requests to their servicing methods.
+// It is indexed by kind byte, filled once at init, and read only from
+// safeHandle, behind the recover and after checkRequest — properties
+// the recoverguard and wireproto analyzers enforce. The control
+// messages that own the connection (continue, step, kill, detach) are
+// deliberately absent: they are cases in Serve's loop, because their
+// replies interleave with resuming the target.
+//
+//ldb:dispatch-table
+var handlers [256]func(*Nub, *Msg) *Msg
+
+func init() {
+	handlers[MHello] = (*Nub).handleHello
+	handlers[MBatch] = (*Nub).handleBatch
+	handlers[MPlantStore] = (*Nub).handlePlantStore
+	handlers[MUnplantStore] = (*Nub).handleUnplantStore
+	handlers[MListPlanted] = (*Nub).handleListPlanted
+	handlers[MFetchInt] = (*Nub).handleFetchInt
+	handlers[MStoreInt] = (*Nub).handleStoreInt
+	handlers[MFetchFloat] = (*Nub).handleFetchFloat
+	handlers[MStoreFloat] = (*Nub).handleStoreFloat
+	handlers[MFetchBytes] = (*Nub).handleFetchBytes
+	handlers[MFetchLine] = (*Nub).handleFetchLine
+	handlers[MStoreBytes] = (*Nub).handleStoreBytes
+	handlers[MSimStats] = (*Nub).handleSimStats
+	handlers[MServerStats] = (*Nub).handleServerStats
+}
+
 // checkRequest validates a request's kind, space, and size ranges
 // before any handler sees it. Everything a peer sends is untrusted: a
 // reply kind arriving as a request, an unassigned kind byte, a space
 // outside code/data, or a size past the payload cap is rejected here,
 // counted as a malformed frame, and answered with an error — the
-// handlers then run only on requests whose operands are in range.
+// handlers then run only on requests whose operands are in range. The
+// kind table drives it, so a new kind's validation exists the moment
+// its row does.
 func (n *Nub) checkRequest(m *Msg) error {
-	switch m.Kind {
-	case MHello, MContinue, MKill, MDetach, MListPlanted, MBatch,
-		MSimStats, MServerStats, MStepInst:
-		// control and informational requests; no space operand
-	case MFetchInt, MStoreInt, MFetchFloat, MStoreFloat,
-		MFetchBytes, MStoreBytes, MFetchLine, MPlantStore, MUnplantStore:
-		if !validSpace(m.Space) {
-			return fmt.Errorf("nub serves only code and data spaces, not %q", string(m.Space))
-		}
-	default:
+	info, ok := kinds[m.Kind]
+	if !ok || !info.request {
 		return fmt.Errorf("unexpected request %v", m.Kind)
+	}
+	if info.space && !validSpace(m.Space) {
+		return fmt.Errorf("nub serves only code and data spaces, not %q", string(m.Space))
 	}
 	if m.Size > maxDataLen {
 		return fmt.Errorf("request size %d exceeds the %d-byte cap", m.Size, maxDataLen)
@@ -314,180 +353,208 @@ func (n *Nub) safeHandle(m *Msg) (rep *Msg) {
 			rep = &Msg{Kind: MError, Data: []byte(fmt.Sprintf("nub: recovered from panic: %v", r))}
 		}
 	}()
-	return n.handle(m)
+	h := handlers[m.Kind]
+	if h == nil {
+		// A valid request kind with no table entry: a control message
+		// (continue, step, kill, detach) sent outside Serve's loop.
+		return errMsg("unexpected request %v", m.Kind)
+	}
+	return h(n, m)
 }
 
-func (n *Nub) handle(m *Msg) *Msg {
+// handleHello answers the liveness probe: the connection and the nub
+// are alive, nothing else is touched.
+func (n *Nub) handleHello(m *Msg) *Msg {
+	return &Msg{Kind: MOK}
+}
+
+// handlePlantStore services a store used only for planting breakpoints:
+// remember what it overwrites.
+func (n *Nub) handlePlantStore(m *Msg) *Msg {
 	p := n.P
-	errMsg := func(format string, args ...any) *Msg {
-		return &Msg{Kind: MError, Data: []byte(fmt.Sprintf(format, args...))}
+	old := make([]byte, len(m.Data))
+	if err := p.ReadBytes(m.Addr, old); err != nil {
+		return errMsg("plant %#x: %v", m.Addr, err)
 	}
-	switch m.Kind {
-	case MBatch:
-		return n.handleBatch(m)
-	case MPlantStore:
-		// A store used only for planting breakpoints: remember what it
-		// overwrites.
-		old := make([]byte, len(m.Data))
-		if err := p.ReadBytes(m.Addr, old); err != nil {
-			return errMsg("plant %#x: %v", m.Addr, err)
+	if err := p.WriteBytes(m.Addr, m.Data); err != nil {
+		return errMsg("plant %#x: %v", m.Addr, err)
+	}
+	n.planted[m.Addr] = old
+	return &Msg{Kind: MOK}
+}
+
+func (n *Nub) handleUnplantStore(m *Msg) *Msg {
+	old, ok := n.planted[m.Addr]
+	if !ok {
+		return errMsg("no breakpoint planted at %#x", m.Addr)
+	}
+	if err := n.P.WriteBytes(m.Addr, old); err != nil {
+		return errMsg("unplant %#x: %v", m.Addr, err)
+	}
+	delete(n.planted, m.Addr)
+	return &Msg{Kind: MOK}
+}
+
+// handleListPlanted reports every planted breakpoint as (addr, original
+// bytes) records: addr32, len32, bytes. Sorted by address — map
+// iteration order would make the reply differ run to run, and the reply
+// feeds reconnect resyncs that must be deterministic.
+func (n *Nub) handleListPlanted(m *Msg) *Msg {
+	addrs := make([]uint32, 0, len(n.planted))
+	for addr := range n.planted {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var data []byte
+	for _, addr := range addrs {
+		old := n.planted[addr]
+		var rec [8]byte
+		amem.WriteInt(binary.LittleEndian, rec[0:4], uint64(addr))
+		amem.WriteInt(binary.LittleEndian, rec[4:8], uint64(len(old)))
+		data = append(data, rec[:]...)
+		data = append(data, old...)
+	}
+	return &Msg{Kind: MPlanted, Data: data}
+}
+
+func (n *Nub) handleFetchInt(m *Msg) *Msg {
+	if m.Size > 4 {
+		return errMsg("fetch %#x: integer size %d exceeds the 4-byte wire word", m.Addr, m.Size)
+	}
+	v, f := n.P.Load(m.Addr, int(m.Size))
+	if f != nil {
+		return errMsg("fetch %#x: %v", m.Addr, f)
+	}
+	return &Msg{Kind: MValue, Val: uint64(v)}
+}
+
+// handleStoreInt refuses sizes past the wire word: the machine's Store
+// takes a uint32, and silently narrowing an 8-byte value would store
+// the low half and claim success.
+func (n *Nub) handleStoreInt(m *Msg) *Msg {
+	if m.Size > 4 {
+		return errMsg("store %#x: integer size %d exceeds the 4-byte wire word", m.Addr, m.Size)
+	}
+	if f := n.P.Store(m.Addr, int(m.Size), uint32(m.Val)); f != nil {
+		return errMsg("store %#x: %v", m.Addr, f)
+	}
+	return &Msg{Kind: MOK}
+}
+
+func (n *Nub) handleFetchFloat(m *Msg) *Msg {
+	p := n.P
+	size := int(m.Size)
+	if lo, hi, ok := n.quirkRange(); ok && size == 8 && uint64(m.Addr) >= lo && uint64(m.Addr)+8 <= hi {
+		// Machine-dependent nub code: un-swap the kernel's saved
+		// floating registers.
+		raw := make([]byte, 8)
+		if err := p.ReadBytes(m.Addr, raw); err != nil {
+			return errMsg("fetch %#x: %v", m.Addr, err)
 		}
-		if err := p.WriteBytes(m.Addr, m.Data); err != nil {
-			return errMsg("plant %#x: %v", m.Addr, err)
-		}
-		n.planted[m.Addr] = old
-		return &Msg{Kind: MOK}
-	case MUnplantStore:
-		old, ok := n.planted[m.Addr]
-		if !ok {
-			return errMsg("no breakpoint planted at %#x", m.Addr)
-		}
-		if err := p.WriteBytes(m.Addr, old); err != nil {
-			return errMsg("unplant %#x: %v", m.Addr, err)
-		}
-		delete(n.planted, m.Addr)
-		return &Msg{Kind: MOK}
-	case MListPlanted:
-		// Report every planted breakpoint as (addr, original bytes)
-		// records: addr32, len32, bytes. Sorted by address — map
-		// iteration order would make the reply differ run to run, and
-		// the reply feeds reconnect resyncs that must be deterministic.
-		addrs := make([]uint32, 0, len(n.planted))
-		for addr := range n.planted {
-			addrs = append(addrs, addr)
-		}
-		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-		var data []byte
-		for _, addr := range addrs {
-			old := n.planted[addr]
-			var rec [8]byte
-			amem.WriteInt(binary.LittleEndian, rec[0:4], uint64(addr))
-			amem.WriteInt(binary.LittleEndian, rec[4:8], uint64(len(old)))
-			data = append(data, rec[:]...)
-			data = append(data, old...)
-		}
-		return &Msg{Kind: MPlanted, Data: data}
-	case MFetchInt:
-		if m.Size > 4 {
-			return errMsg("fetch %#x: integer size %d exceeds the 4-byte wire word", m.Addr, m.Size)
-		}
-		v, f := p.Load(m.Addr, int(m.Size))
-		if f != nil {
-			return errMsg("fetch %#x: %v", m.Addr, f)
-		}
-		return &Msg{Kind: MValue, Val: uint64(v)}
-	case MStoreInt:
-		// The machine's Store takes a uint32: silently narrowing an
-		// 8-byte value would store the low half and claim success.
-		if m.Size > 4 {
-			return errMsg("store %#x: integer size %d exceeds the 4-byte wire word", m.Addr, m.Size)
-		}
-		if f := p.Store(m.Addr, int(m.Size), uint32(m.Val)); f != nil {
-			return errMsg("store %#x: %v", m.Addr, f)
-		}
-		return &Msg{Kind: MOK}
-	case MFetchFloat:
-		size := int(m.Size)
-		if lo, hi, ok := n.quirkRange(); ok && size == 8 && uint64(m.Addr) >= lo && uint64(m.Addr)+8 <= hi {
-			// Machine-dependent nub code: un-swap the kernel's saved
-			// floating registers.
-			raw := make([]byte, 8)
-			if err := p.ReadBytes(m.Addr, raw); err != nil {
-				return errMsg("fetch %#x: %v", m.Addr, err)
-			}
-			swapWords(raw)
-			v := amem.DecodeFloat(p.A.Order(), raw, amem.Float64)
-			return &Msg{Kind: MFValue, Val: float64bits(v)}
-		}
-		v, f := p.LoadFloat(m.Addr, size)
-		if f != nil {
-			return errMsg("fetch %#x: %v", m.Addr, f)
-		}
+		swapWords(raw)
+		v := amem.DecodeFloat(p.A.Order(), raw, amem.Float64)
 		return &Msg{Kind: MFValue, Val: float64bits(v)}
-	case MStoreFloat:
-		size := int(m.Size)
-		v := float64frombits(m.Val)
-		if lo, hi, ok := n.quirkRange(); ok && size == 8 && uint64(m.Addr) >= lo && uint64(m.Addr)+8 <= hi {
-			raw := make([]byte, 8)
-			amem.EncodeFloat(p.A.Order(), raw, amem.Float64, v)
-			swapWords(raw)
-			if err := p.WriteBytes(m.Addr, raw); err != nil {
-				return errMsg("store %#x: %v", m.Addr, err)
-			}
-			return &Msg{Kind: MOK}
-		}
-		if f := p.StoreFloat(m.Addr, size, v); f != nil {
-			return errMsg("store %#x: %v", m.Addr, f)
+	}
+	v, f := p.LoadFloat(m.Addr, size)
+	if f != nil {
+		return errMsg("fetch %#x: %v", m.Addr, f)
+	}
+	return &Msg{Kind: MFValue, Val: float64bits(v)}
+}
+
+func (n *Nub) handleStoreFloat(m *Msg) *Msg {
+	p := n.P
+	size := int(m.Size)
+	v := float64frombits(m.Val)
+	if lo, hi, ok := n.quirkRange(); ok && size == 8 && uint64(m.Addr) >= lo && uint64(m.Addr)+8 <= hi {
+		raw := make([]byte, 8)
+		amem.EncodeFloat(p.A.Order(), raw, amem.Float64, v)
+		swapWords(raw)
+		if err := p.WriteBytes(m.Addr, raw); err != nil {
+			return errMsg("store %#x: %v", m.Addr, err)
 		}
 		return &Msg{Kind: MOK}
-	case MFetchBytes:
-		if m.Size > maxDataLen {
-			return errMsg("fetch too large")
+	}
+	if f := p.StoreFloat(m.Addr, size, v); f != nil {
+		return errMsg("store %#x: %v", m.Addr, f)
+	}
+	return &Msg{Kind: MOK}
+}
+
+func (n *Nub) handleFetchBytes(m *Msg) *Msg {
+	if m.Size > maxDataLen {
+		return errMsg("fetch too large")
+	}
+	out := make([]byte, m.Size)
+	if err := n.P.ReadBytes(m.Addr, out); err != nil {
+		return errMsg("fetch %#x: %v", m.Addr, err)
+	}
+	return &Msg{Kind: MBytes, Data: out}
+}
+
+// handleFetchLine services a readahead fetch: return however many of
+// the requested bytes exist in the containing segment rather than
+// failing at the segment's edge. Rides the batch capability bit, so a
+// legacy nub refuses it like any unknown request.
+func (n *Nub) handleFetchLine(m *Msg) *Msg {
+	p := n.P
+	if n.LegacyProtocol {
+		return errMsg("unknown request %v", m.Kind)
+	}
+	if m.Size > maxDataLen {
+		return errMsg("fetch too large")
+	}
+	for _, s := range p.Segs {
+		if m.Addr < s.Base || m.Addr >= s.Base+uint32(len(s.Data)) {
+			continue
 		}
-		out := make([]byte, m.Size)
+		size := min(uint64(m.Size), uint64(s.Base)+uint64(len(s.Data))-uint64(m.Addr))
+		out := make([]byte, size)
 		if err := p.ReadBytes(m.Addr, out); err != nil {
 			return errMsg("fetch %#x: %v", m.Addr, err)
 		}
 		return &Msg{Kind: MBytes, Data: out}
-	case MFetchLine:
-		// A readahead fetch: return however many of the requested
-		// bytes exist in the containing segment rather than failing at
-		// the segment's edge. Rides the batch capability bit, so a
-		// legacy nub refuses it like any unknown request.
-		if n.LegacyProtocol {
-			return errMsg("unknown request %v", m.Kind)
-		}
-		if m.Size > maxDataLen {
-			return errMsg("fetch too large")
-		}
-		for _, s := range p.Segs {
-			if m.Addr < s.Base || m.Addr >= s.Base+uint32(len(s.Data)) {
-				continue
-			}
-			size := min(uint64(m.Size), uint64(s.Base)+uint64(len(s.Data))-uint64(m.Addr))
-			out := make([]byte, size)
-			if err := p.ReadBytes(m.Addr, out); err != nil {
-				return errMsg("fetch %#x: %v", m.Addr, err)
-			}
-			return &Msg{Kind: MBytes, Data: out}
-		}
-		return errMsg("fetch %#x: unmapped", m.Addr)
-	case MStoreBytes:
-		if err := p.WriteBytes(m.Addr, m.Data); err != nil {
-			return errMsg("store %#x: %v", m.Addr, err)
-		}
-		return &Msg{Kind: MOK}
-	case MSimStats:
-		// Simulator counters. Rides the batch capability bit, so a
-		// legacy nub refuses it like any unknown request.
-		if n.LegacyProtocol {
-			return errMsg("unknown request %v", m.Kind)
-		}
-		st := p.SimStats()
-		data := make([]byte, 0, 40)
-		for _, v := range []int64{p.Steps, st.Hits, st.Decodes, st.Invalidations, st.Fallbacks} {
-			var rec [8]byte
-			binary.LittleEndian.PutUint64(rec[:], uint64(v))
-			data = append(data, rec[:]...)
-		}
-		return &Msg{Kind: MSimStatsReply, Data: data}
-	case MServerStats:
-		// Robustness counters. Rides the batch capability bit, so a
-		// legacy nub refuses it like any unknown request.
-		if n.LegacyProtocol {
-			return errMsg("unknown request %v", m.Kind)
-		}
-		st := n.Stats.Snapshot()
-		data := make([]byte, 0, 40)
-		for _, v := range []int64{st.RecoveredPanics, st.MalformedFrames, st.OversizeRejects, st.SlowReads, st.CtxFaults} {
-			var rec [8]byte
-			binary.LittleEndian.PutUint64(rec[:], uint64(v))
-			data = append(data, rec[:]...)
-		}
-		return &Msg{Kind: MServerStatsReply, Data: data}
-	default:
-		return errMsg("unexpected request %v", m.Kind)
 	}
+	return errMsg("fetch %#x: unmapped", m.Addr)
+}
+
+func (n *Nub) handleStoreBytes(m *Msg) *Msg {
+	if err := n.P.WriteBytes(m.Addr, m.Data); err != nil {
+		return errMsg("store %#x: %v", m.Addr, err)
+	}
+	return &Msg{Kind: MOK}
+}
+
+// handleSimStats serves the simulator counters. Rides the batch
+// capability bit, so a legacy nub refuses it like any unknown request.
+func (n *Nub) handleSimStats(m *Msg) *Msg {
+	if n.LegacyProtocol {
+		return errMsg("unknown request %v", m.Kind)
+	}
+	st := n.P.SimStats()
+	data := make([]byte, 0, 40)
+	for _, v := range []int64{n.P.Steps, st.Hits, st.Decodes, st.Invalidations, st.Fallbacks} {
+		var rec [8]byte
+		binary.LittleEndian.PutUint64(rec[:], uint64(v))
+		data = append(data, rec[:]...)
+	}
+	return &Msg{Kind: MSimStatsReply, Data: data}
+}
+
+// handleServerStats serves the robustness counters. Rides the batch
+// capability bit, so a legacy nub refuses it like any unknown request.
+func (n *Nub) handleServerStats(m *Msg) *Msg {
+	if n.LegacyProtocol {
+		return errMsg("unknown request %v", m.Kind)
+	}
+	st := n.Stats.Snapshot()
+	data := make([]byte, 0, 40)
+	for _, v := range []int64{st.RecoveredPanics, st.MalformedFrames, st.OversizeRejects, st.SlowReads, st.CtxFaults} {
+		var rec [8]byte
+		binary.LittleEndian.PutUint64(rec[:], uint64(v))
+		data = append(data, rec[:]...)
+	}
+	return &Msg{Kind: MServerStatsReply, Data: data}
 }
 
 // handleBatch services an MBatch envelope: each member is handled in
@@ -496,9 +563,6 @@ func (n *Nub) handle(m *Msg) *Msg {
 // an envelope; such members get individual error replies so the other
 // members still complete.
 func (n *Nub) handleBatch(m *Msg) *Msg {
-	errMsg := func(format string, args ...any) *Msg {
-		return &Msg{Kind: MError, Data: []byte(fmt.Sprintf(format, args...))}
-	}
 	if n.LegacyProtocol {
 		return errMsg("nub does not understand batches")
 	}
@@ -554,7 +618,7 @@ func (n *Nub) Serve(conn io.ReadWriter) error {
 	}
 	n.Stats.MsgsSent.Add(1)
 	if n.pending == nil {
-		n.runAndLatch()
+		n.resumeAndLatch(n.runAndLatch)
 	}
 	if err := WriteMsg(conn, n.pending); err != nil {
 		return err

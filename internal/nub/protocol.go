@@ -96,25 +96,66 @@ const (
 	MStepInst
 )
 
+// kindInfo is one kind's row in the protocol's single source of truth:
+// its wire name, whether it is a request (debugger → nub), whether it
+// carries a space operand that must name the code or data space, and
+// whether replaying it after a connection loss cannot change target
+// state.
+type kindInfo struct {
+	name       string
+	request    bool
+	space      bool
+	idempotent bool
+}
+
+// kinds is the protocol's kind table. Every MsgKind constant must have
+// a row here: String, checkRequest, and reqIdempotent all read it, and
+// the wireproto analyzer proves it total and proves every request row
+// has a dispatch arm and a client encoder — adding a kind without
+// finishing its plumbing fails the build.
+//
+//ldb:kind-table
+var kinds = map[MsgKind]kindInfo{
+	MHello:      {name: "hello", request: true, idempotent: true},
+	MFetchInt:   {name: "fetchint", request: true, space: true, idempotent: true},
+	MStoreInt:   {name: "storeint", request: true, space: true},
+	MFetchFloat: {name: "fetchfloat", request: true, space: true, idempotent: true},
+	MStoreFloat: {name: "storefloat", request: true, space: true},
+	MFetchBytes: {name: "fetchbytes", request: true, space: true, idempotent: true},
+	MStoreBytes: {name: "storebytes", request: true, space: true},
+	MContinue:   {name: "continue", request: true},
+	MKill:       {name: "kill", request: true},
+	MDetach:     {name: "detach", request: true},
+	// Plants and unplants change what MListPlanted reports: replaying a
+	// delivered plant would record the trap itself as the "original"
+	// instruction.
+	MPlantStore:   {name: "plantstore", request: true, space: true},
+	MUnplantStore: {name: "unplantstore", request: true, space: true},
+	MListPlanted:  {name: "listplanted", request: true, idempotent: true},
+	// An MBatch envelope is idempotent exactly when every member is;
+	// reqIdempotent handles it specially.
+	MBatch:            {name: "batch", request: true},
+	MFetchLine:        {name: "fetchline", request: true, space: true, idempotent: true},
+	MSimStats:         {name: "simstats", request: true, idempotent: true},
+	MServerStats:      {name: "serverstats", request: true, idempotent: true},
+	MStepInst:         {name: "stepinst", request: true},
+	MWelcome:          {name: "welcome"},
+	MValue:            {name: "value"},
+	MFValue:           {name: "fvalue"},
+	MBytes:            {name: "bytes"},
+	MOK:               {name: "ok"},
+	MError:            {name: "error"},
+	MEvent:            {name: "event"},
+	MExited:           {name: "exited"},
+	MPlanted:          {name: "planted"},
+	MBatchReply:       {name: "batchreply"},
+	MSimStatsReply:    {name: "simstatsreply"},
+	MServerStatsReply: {name: "serverstatsreply"},
+}
+
 func (k MsgKind) String() string {
-	names := map[MsgKind]string{
-		MHello: "hello", MFetchInt: "fetchint", MStoreInt: "storeint",
-		MFetchFloat: "fetchfloat", MStoreFloat: "storefloat",
-		MFetchBytes: "fetchbytes", MStoreBytes: "storebytes",
-		MContinue: "continue", MKill: "kill", MDetach: "detach",
-		MPlantStore: "plantstore", MUnplantStore: "unplantstore",
-		MListPlanted: "listplanted", MPlanted: "planted",
-		MBatch: "batch", MBatchReply: "batchreply",
-		MFetchLine: "fetchline",
-		MSimStats: "simstats", MSimStatsReply: "simstatsreply",
-		MServerStats: "serverstats", MServerStatsReply: "serverstatsreply",
-		MStepInst: "stepinst",
-		MWelcome: "welcome", MValue: "value", MFValue: "fvalue",
-		MBytes: "bytes", MOK: "ok", MError: "error",
-		MEvent: "event", MExited: "exited",
-	}
-	if s, ok := names[k]; ok {
-		return s
+	if info, ok := kinds[k]; ok {
+		return info.name
 	}
 	return fmt.Sprintf("msg(%d)", uint8(k))
 }
@@ -229,15 +270,11 @@ func readMsgRest(first byte, r io.Reader) (*Msg, error) {
 // reqIdempotent reports whether re-executing the request on the nub
 // after a connection loss cannot change target state: fetches and
 // listings may be replayed freely, but stores, plants, and the control
-// messages must not be (a replant after a delivered plant would record
-// the trap itself as the "original" instruction, and a replayed
-// continue would run the target twice). An MBatch envelope is
+// messages must not be (a replayed continue would run the target
+// twice). The kind table is the source of truth; an MBatch envelope is
 // idempotent exactly when every member is.
 func reqIdempotent(m *Msg) bool {
-	switch m.Kind {
-	case MHello, MFetchInt, MFetchFloat, MFetchBytes, MFetchLine, MListPlanted, MSimStats, MServerStats:
-		return true
-	case MBatch:
+	if m.Kind == MBatch {
 		subs, err := DecodeBatch(m)
 		if err != nil {
 			return false
@@ -249,7 +286,8 @@ func reqIdempotent(m *Msg) bool {
 		}
 		return true
 	}
-	return false
+	info, ok := kinds[m.Kind]
+	return ok && info.request && info.idempotent
 }
 
 // EncodeBatch wraps msgs in an MBatch (or, from the nub, MBatchReply)

@@ -252,7 +252,7 @@ func Emit(units []*cc.Unit) []byte {
 
 	var out bytes.Buffer
 	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], magic)
+	binary.LittleEndian.PutUint32(hdr[:], magic) //ldb:allow endian the .ldb symbol-table format is defined little-endian on every host
 	out.Write(hdr[:])
 	// String table.
 	wstr := &writer{}
@@ -312,7 +312,7 @@ func (r *reader) str() string {
 
 // Read decodes a stab table.
 func Read(data []byte) (*Table, error) {
-	if len(data) < 4 || binary.LittleEndian.Uint32(data) != magic {
+	if len(data) < 4 || binary.LittleEndian.Uint32(data) != magic { //ldb:allow endian the .ldb symbol-table format is defined little-endian on every host
 		return nil, fmt.Errorf("stab: bad magic")
 	}
 	r := &reader{b: data[4:]}
