@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -23,25 +24,25 @@ import (
 	"ldb/internal/workload"
 )
 
-func main() {
-	d, err := core.New(os.Stdout)
+func run(w io.Writer) error {
+	d, err := core.New(w)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Target 1: big-endian 68020, as an in-process child.
 	prog1, err := driver.Build([]driver.Source{{Name: "fib.c", Text: workload.Fib}},
 		driver.Options{Arch: "m68k", Debug: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	c1, _, _, err := nub.Launch(prog1.Arch, prog1.Image.Text, prog1.Image.Data, prog1.Image.Entry)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t1, err := d.AttachClient("m68k child", c1, prog1.LoaderPS)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Target 2: little-endian VAX, over the network. The process runs
@@ -50,74 +51,81 @@ func main() {
 	prog2, err := driver.Build([]driver.Source{{Name: "fib.c", Text: workload.Fib}},
 		driver.Options{Arch: "vax", Debug: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	proc2 := machine.New(prog2.Arch, prog2.Image.Text, prog2.Image.Data, prog2.Image.Entry)
 	n2 := nub.New(proc2)
 	n2.Start()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	go n2.ServeListener(l)
-	fmt.Printf("vax target's nub listening on %s\n", l.Addr())
+	fmt.Fprintf(w, "vax target's nub listening on %s\n", l.Addr())
 	c2, conn2, err := nub.Dial(l.Addr().String())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer conn2.Close()
 	t2, err := d.AttachClient("vax over tcp", c2, prog2.LoaderPS)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The same session drives both with the same code.
 	for _, tgt := range []*core.Target{t1, t2} {
 		d.Switch(tgt)
 		if _, err := tgt.BreakStop("fib", 7); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if _, err := tgt.ContinueToBreakpoint(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
-	fmt.Println("\nboth targets stopped at stopping point 7 of fib; interleaved inspection:")
+	fmt.Fprintln(w, "\nboth targets stopped at stopping point 7 of fib; interleaved inspection:")
 	for round := 0; round < 2; round++ {
 		for _, tgt := range []*core.Target{t1, t2} {
 			d.Switch(tgt)
 			i, err := tgt.FetchScalar("i")
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			sum, err := tgt.EvalInt("a[i-1] + a[i-2]")
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("  [%-12s %-5s] i=%d  a[i-1]+a[i-2]=%d  ", tgt.Name, tgt.Arch.Name(), i, sum)
-			fmt.Printf("print a: ")
+			fmt.Fprintf(w, "  [%-12s %-5s] i=%d  a[i-1]+a[i-2]=%d  ", tgt.Name, tgt.Arch.Name(), i, sum)
+			fmt.Fprintf(w, "print a: ")
 			if err := tgt.Print("a"); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if round == 0 {
 				if _, err := tgt.ContinueToBreakpoint(); err != nil {
-					log.Fatal(err)
+					return err
 				}
 			}
 		}
 	}
 
 	// Run both to completion; byte order never mattered.
-	fmt.Println("\nrunning both to completion:")
+	fmt.Fprintln(w, "\nrunning both to completion:")
 	for _, tgt := range []*core.Target{t1, t2} {
 		d.Switch(tgt)
 		if err := tgt.Bpts.RemoveAll(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		ev, err := tgt.Continue()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  %-12s: %v\n", tgt.Name, ev)
+		fmt.Fprintf(w, "  %-12s: %v\n", tgt.Name, ev)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden transcript")
+
+// The nub listens on an ephemeral TCP port and values print with load
+// addresses; both are masked so the transcript is stable.
+var (
+	hexAddr = regexp.MustCompile(`0x[0-9a-f]+`)
+	tcpPort = regexp.MustCompile(`127\.0\.0\.1:\d+`)
+)
+
+// TestGoldenTranscript drives both targets — m68k in-process and vax
+// over TCP — and pins the interleaved cross-architecture session
+// transcript.
+func TestGoldenTranscript(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	got := hexAddr.ReplaceAll(buf.Bytes(), []byte("0xADDR"))
+	got = tcpPort.ReplaceAll(got, []byte("127.0.0.1:PORT"))
+	const golden = "testdata/transcript.golden"
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("transcript changed (rerun with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

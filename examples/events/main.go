@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -19,40 +20,40 @@ import (
 	"ldb/internal/workload"
 )
 
-func main() {
+func run(w io.Writer) error {
 	prog, err := driver.Build([]driver.Source{{Name: "queens.c", Text: workload.Queens}},
 		driver.Options{Arch: "mips", Debug: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	client, _, proc, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	d, err := core.New(os.Stdout)
+	d, err := core.New(w)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tgt, err := d.AttachClient("queens", client, prog.LoaderPS)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Event 1: every entry to place(r) — histogram the recursion depth.
 	placeEntry, err := tgt.BreakProc("place")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Event 2: every solution found (place returns 1 at r == 8): the
 	// stopping point of `if (r == 8) return 1;`'s then-branch.
 	stops, _, err := tgt.ProcStops("place")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Stop 2 is `return 1` (0 entry, 1 if-condition, 2 return 1).
 	solution, err := tgt.BreakStop("place", 2)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	depth := map[int64]int{}
@@ -77,21 +78,28 @@ func main() {
 					}
 					cells = append(cells, fmt.Sprint(v))
 				}
-				fmt.Printf("solution %d: columns %s\n", solutions, strings.Join(cells, " "))
+				fmt.Fprintf(w, "solution %d: columns %s\n", solutions, strings.Join(cells, " "))
 			}
 		}
 		return false, nil // never stop: pure event-action
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("...\ntarget %v; its own output: %s\n", ev, strings.TrimSpace(proc.Stdout.String()))
-	fmt.Println("calls to place() by recursion depth:")
+	fmt.Fprintf(w, "...\ntarget %v; its own output: %s\n", ev, strings.TrimSpace(proc.Stdout.String()))
+	fmt.Fprintln(w, "calls to place() by recursion depth:")
 	for r := int64(0); r < 9; r++ {
 		if depth[r] > 0 {
-			fmt.Printf("  depth %d: %5d  %s\n", r, depth[r], strings.Repeat("▪", depth[r]/25+1))
+			fmt.Fprintf(w, "  depth %d: %5d  %s\n", r, depth[r], strings.Repeat("▪", depth[r]/25+1))
 		}
 	}
-	fmt.Printf("solutions observed via breakpoint events: %d\n", solutions)
+	fmt.Fprintf(w, "solutions observed via breakpoint events: %d\n", solutions)
 	_ = stops
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

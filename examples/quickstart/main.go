@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -19,77 +20,84 @@ import (
 	"ldb/internal/workload"
 )
 
-func main() {
+func run(w io.Writer) error {
 	// 1. Compile and link with -g: PostScript symbol tables, anchor
 	//    symbols, and a no-op at every stopping point.
 	prog, err := driver.Build(
 		[]driver.Source{{Name: "fib.c", Text: workload.Fib}},
 		driver.Options{Arch: "sparc", Debug: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("compiled fib.c for %s: %d bytes of text\n",
+	fmt.Fprintf(w, "compiled fib.c for %s: %d bytes of text\n",
 		prog.Arch.Name(), len(prog.Image.Text))
 
 	// 2. Start the target under its debug nub (the "child process"
 	//    arrangement) and attach a debugger.
 	client, _, proc, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	d, err := core.New(os.Stdout)
+	d, err := core.New(w)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tgt, err := d.AttachClient("fib", client, prog.LoaderPS)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("attached; target stopped before main (%v)\n\n", client.Last)
+	fmt.Fprintf(w, "attached; target stopped before main (%v)\n\n", client.Last)
 
 	// 3. Plant a breakpoint at stopping point 7 of fib — the body of
 	//    the first loop (the paper's own example).
 	addr, err := tgt.BreakStop("fib", 7)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("breakpoint planted at %#x\n", addr)
+	fmt.Fprintf(w, "breakpoint planted at %#x\n", addr)
 	if _, err := tgt.ContinueToBreakpoint(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// 4. Inspect: values print by interpreting the PostScript printer
 	//    procedures from the symbol table.
 	for _, name := range []string{"i", "n", "a"} {
-		fmt.Printf("print %s:\t", name)
+		fmt.Fprintf(w, "print %s:\t", name)
 		if err := tgt.Print(name); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	// 5. Walk the stack and show the abstract-memory DAG of Fig. 4.
 	bt, _ := tgt.Backtrace(8)
-	fmt.Printf("\nbacktrace: %v\n\n", bt)
-	fmt.Println(tgt.Frames[0].Describe())
+	fmt.Fprintf(w, "\nbacktrace: %v\n\n", bt)
+	fmt.Fprintln(w, tgt.Frames[0].Describe())
 
 	// 6. Evaluate expressions through the expression server, including
 	//    an assignment.
 	for _, e := range []string{"a[i-1] + a[i-2]", "n * 2", "n = 6"} {
 		v, err := tgt.EvalInt(e)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("eval %-18s = %d\n", e, v)
+		fmt.Fprintf(w, "eval %-18s = %d\n", e, v)
 	}
 
 	// 7. Remove the breakpoint and let the program finish: it now
 	//    prints only 6 numbers because of the assignment.
 	if err := tgt.Bpts.RemoveAll(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ev, err := tgt.Continue()
 	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ntarget %v; its output: %s", ev, proc.Stdout.String())
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ntarget %v; its output: %s", ev, proc.Stdout.String())
 }

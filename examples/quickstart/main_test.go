@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden transcript")
+
+// hexAddr masks load addresses, which differ across layout changes
+// that don't affect the example's behavior.
+var hexAddr = regexp.MustCompile(`0x[0-9a-f]+`)
+
+// TestGoldenTranscript runs the whole example and compares its output
+// against the checked-in transcript, so the quickstart in the README
+// cannot rot: if the pipeline's behavior changes, this fails until the
+// golden is regenerated with -update.
+func TestGoldenTranscript(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	got := hexAddr.ReplaceAll(buf.Bytes(), []byte("0xADDR"))
+	const golden = "testdata/transcript.golden"
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("transcript changed (rerun with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

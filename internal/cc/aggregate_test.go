@@ -1,0 +1,71 @@
+package cc
+
+import "testing"
+
+// Table-driven front-end coverage for the constructs grown for the
+// scenario corpus: multi-dimensional arrays, structs and unions passed
+// and returned by value, and function pointers. Each table pairs the
+// accepted forms with the rejected ones, pinning the diagnostic text
+// the corpus and its users see.
+
+func TestMultiDimArrayDecls(t *testing.T) {
+	positives := []struct{ name, src string }{
+		{"two-dim global", "int m[3][4]; int f() { m[1][2] = 5; return m[1][2]; }"},
+		{"three-dim char", "char c[2][3][4]; int f() { c[1][2][3] = 'x'; return c[1][2][3]; }"},
+		{"two-dim param", "int f(int m[3][4]) { return m[2][1]; }"},
+		{"row as pointer", "int m[3][4]; int f() { int *p; p = m[1]; return p[2]; }"},
+		{"sizeof row", "int m[3][4]; int f() { return sizeof m[0]; }"},
+	}
+	for _, tc := range positives {
+		t.Run(tc.name, func(t *testing.T) { compile(t, tc.src) })
+	}
+	negatives := []struct{ name, src, want string }{
+		{"assign whole array", "int a[4]; int b[4]; int f() { a = b; return 0; }",
+			"cannot assign whole arrays"},
+		{"assign whole row", "int m[3][4]; int n[3][4]; int f() { m[1] = n[1]; return 0; }",
+			"cannot assign whole arrays"},
+	}
+	for _, tc := range negatives {
+		t.Run(tc.name, func(t *testing.T) { compileErr(t, tc.src, tc.want) })
+	}
+}
+
+func TestStructByValueDecls(t *testing.T) {
+	positives := []struct{ name, src string }{
+		{"pass by value", "struct p { int x; int y; }; int use(struct p v) { return v.x + v.y; } int f() { struct p a; a.x = 1; a.y = 2; return use(a); }"},
+		{"return by value", "struct p { int x; int y; }; struct p mk(int x) { struct p r; r.x = x; r.y = 0; return r; } int f() { return mk(3).x; }"},
+		{"assign whole struct", "struct p { int x; int y; }; struct p a; struct p b; int f() { a = b; return a.x; }"},
+		{"assign whole union", "union u { int i; char c; }; union u a; union u b; int f() { a = b; return a.i; }"},
+		{"nested struct copy", "struct in { int v; }; struct out { struct in i; int w; }; struct out a; struct out b; int f() { a = b; return a.i.v; }"},
+		{"struct array element", "struct p { int x; int y; }; struct p t[4]; int f() { t[0] = t[3]; return t[0].x; }"},
+	}
+	for _, tc := range positives {
+		t.Run(tc.name, func(t *testing.T) { compile(t, tc.src) })
+	}
+	negatives := []struct{ name, src, want string }{
+		{"aggregate arg without prototype", "struct p { int x; int y; }; struct p g; int f() { return h(g); }",
+			"aggregate argument requires a prototype"},
+		{"self-referential member", "struct s { int a; struct s inner; }; int f() { return 0; }",
+			"member inner has incomplete aggregate type"},
+		{"self-referential member array", "struct s { struct s inner[2]; }; int f() { return 0; }",
+			"member inner has incomplete aggregate type"},
+		{"mutually incomplete member", "union u { struct u2 { union u inner; } v; }; int f() { return 0; }",
+			"member inner has incomplete aggregate type"},
+	}
+	for _, tc := range negatives {
+		t.Run(tc.name, func(t *testing.T) { compileErr(t, tc.src, tc.want) })
+	}
+}
+
+func TestFunctionPointerDecls(t *testing.T) {
+	positives := []struct{ name, src string }{
+		{"assign without address-of", "int add(int a, int b) { return a + b; } int (*op)(int, int); int f() { op = add; return op(1, 2); }"},
+		{"assign with address-of", "int add(int a, int b) { return a + b; } int (*op)(int, int); int f() { op = &add; return (*op)(1, 2); }"},
+		{"file-scope initializer", "int twice(int n) { return n + n; } int (*scale)(int) = twice; int f() { return scale(4); }"},
+		{"array of function pointers", "int one() { return 1; } int two() { return 2; } int (*tab[2])() = { one, two }; int f() { return tab[0]() + tab[1](); }"},
+		{"function pointer parameter", "int apply(int (*g)(int), int v) { return g(v); } int twice(int n) { return n + n; } int f() { return apply(twice, 5); }"},
+	}
+	for _, tc := range positives {
+		t.Run(tc.name, func(t *testing.T) { compile(t, tc.src) })
+	}
+}

@@ -544,8 +544,8 @@ int size() { return sizeof(union value); }
 	}
 	// Tag kinds don't mix.
 	compileErr(t, `struct s { int x; }; union s u;`, "different aggregate kind")
-	// Whole-union assignment is rejected like whole-struct.
-	compileErr(t, `union u { int i; }; union u a; union u b; int f() { a = b; return 0; }`, "cannot assign whole union")
+	// Whole-union assignment is a value copy, like whole-struct.
+	compile(t, `union u { int i; }; union u a; union u b; int f() { a = b; return 0; }`)
 }
 
 func TestEnums(t *testing.T) {

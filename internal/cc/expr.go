@@ -67,10 +67,15 @@ func constInt(e *Expr) (int64, bool) {
 	return 0, false
 }
 
-// decay converts arrays to pointers to their first element.
+// decay converts arrays to pointers to their first element and
+// function designators to pointers to the function, so `fp = f` and
+// `ops[2] = f` work without an explicit &.
 func (p *Parser) decay(e *Expr) *Expr {
 	if e.Type != nil && e.Type.Kind == TyArray {
 		return &Expr{Op: EAddr, Type: PtrTo(e.Type.Base), L: e, Pos: e.Pos}
+	}
+	if e.Type != nil && e.Type.Kind == TyFunc {
+		return &Expr{Op: EAddr, Type: PtrTo(e.Type), L: e, Pos: e.Pos}
 	}
 	return e
 }
@@ -228,8 +233,8 @@ func (p *Parser) assign(lhs, rhs *Expr, pos Pos) *Expr {
 	if !lhs.IsLValue() {
 		p.errs.Add(pos, "assignment to a non-lvalue")
 	}
-	if lhs.Type.Kind == TyArray || lhs.Type.Kind == TyStruct || lhs.Type.Kind == TyUnion {
-		p.errs.Add(pos, "cannot assign whole %ss", map[TypeKind]string{TyArray: "array", TyStruct: "struct", TyUnion: "union"}[lhs.Type.Kind])
+	if lhs.Type.Kind == TyArray {
+		p.errs.Add(pos, "cannot assign whole arrays")
 	}
 	rhs = p.assignConvert(rhs, lhs.Type, "assignment")
 	return &Expr{Op: EAssign, Type: lhs.Type, L: lhs, R: rhs, Pos: pos}
@@ -574,13 +579,15 @@ func (p *Parser) call(callee *Expr, pos Pos) *Expr {
 			}
 		}
 	} else {
-		// Unchecked (printf-style): default promotions only.
+		// Unchecked (printf-style): default promotions only. A struct
+		// cannot travel through an unchecked call — the callee would
+		// not know its size.
 		for i := range args {
 			args[i] = p.promote(p.decay(args[i]))
+			if args[i].Type.Kind == TyStruct || args[i].Type.Kind == TyUnion {
+				p.errs.Add(args[i].Pos, "aggregate argument requires a prototype")
+			}
 		}
-	}
-	if ft.Base.Kind == TyStruct || ft.Base.Kind == TyUnion {
-		p.errs.Add(pos, "aggregate returns are not supported")
 	}
 	return &Expr{Op: ECall, Type: ft.Base, L: callee, Args: args, Pos: pos}
 }

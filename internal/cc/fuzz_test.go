@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ldb/internal/workload"
 )
 
 // TestParserSurvivesGarbage feeds the parser random token soup and
@@ -66,6 +68,31 @@ func TestParserSurvivesGarbage(t *testing.T) {
 			mut[k] = tokens[r.Intn(len(tokens))]
 		}
 		runOne(strings.Join(mut, " "))
+	}
+	// Generator-produced programs as mutation seeds: the scenario
+	// corpus generator emits exactly the C-subset shapes grown for it
+	// (multi-dimensional arrays, struct-by-value calls and returns,
+	// function-pointer dispatch), so mutations of its output probe the
+	// parser and typechecker where the new constructs interlock.
+	for seed := int64(0); seed < 8; seed++ {
+		src := workload.Generate(seed).Source
+		runOne(src)
+		gtoks := strings.Fields(src)
+		for i := 0; i < 25; i++ {
+			mut := append([]string(nil), gtoks...)
+			switch r.Intn(3) {
+			case 0:
+				k := r.Intn(len(mut))
+				mut = append(mut[:k], mut[k+1:]...)
+			case 1:
+				a, b := r.Intn(len(mut)), r.Intn(len(mut))
+				mut[a], mut[b] = mut[b], mut[a]
+			default:
+				k := r.Intn(len(mut))
+				mut[k] = tokens[r.Intn(len(tokens))]
+			}
+			runOne(strings.Join(mut, " "))
+		}
 	}
 	// Pathological raw inputs.
 	for _, src := range []string{

@@ -20,6 +20,12 @@ type Parser struct {
 	curFn   *Func
 	loop    int
 
+	// defining tracks aggregates whose bodies are being parsed, so a
+	// member of the aggregate's own (still-incomplete) type is rejected
+	// instead of building a cyclic type that Size/Align recurse on
+	// forever.
+	defining []*Type
+
 	// Lookup, when set, is consulted for identifiers not found in any
 	// scope — the expression-server hook (§3): instead of failing, the
 	// symbol-table code asks the debugger and reconstructs the entry.
@@ -255,6 +261,7 @@ func (p *Parser) structType(kind TypeKind) *Type {
 	if tag != "" {
 		p.tags[len(p.tags)-1][tag] = t
 	}
+	p.defining = append(p.defining, t)
 	for p.tok.Kind != Tok('}') && p.tok.Kind != TEOF {
 		base, _ := p.baseType()
 		for {
@@ -262,16 +269,41 @@ func (p *Parser) structType(kind TypeKind) *Type {
 			if name == "" {
 				p.errf("aggregate member needs a name")
 			}
-			t.Fields = append(t.Fields, Field{Name: name, Type: ft})
+			if p.incompleteMember(ft) {
+				p.errf("member %s has incomplete aggregate type", name)
+			} else {
+				t.Fields = append(t.Fields, Field{Name: name, Type: ft})
+			}
 			if !p.accept(Tok(',')) {
 				break
 			}
 		}
 		p.expect(Tok(';'), "';'")
 	}
+	p.defining = p.defining[:len(p.defining)-1]
 	p.expect(Tok('}'), "'}'")
 	t.Layout(p.tc)
 	return t
+}
+
+// incompleteMember reports whether ft — after stripping array layers,
+// which embed their element — is an aggregate that cannot be laid out
+// yet: one whose body is still being parsed (a member of the struct's
+// own type would make the layout cyclic). Pointers to such types are
+// fine and never reach here (the declarator wraps them in TyPtr).
+func (p *Parser) incompleteMember(ft *Type) bool {
+	for ft != nil && ft.Kind == TyArray {
+		ft = ft.Base
+	}
+	if ft == nil || (ft.Kind != TyStruct && ft.Kind != TyUnion) {
+		return false
+	}
+	for _, d := range p.defining {
+		if d == ft {
+			return true
+		}
+	}
+	return false
 }
 
 // enumType parses an enumeration. Enumerators become integer constant

@@ -127,7 +127,11 @@ func (t *Type) Align(tc *TargetConf) int {
 	case TyArray:
 		return t.Base.Align(tc)
 	case TyStruct, TyUnion:
-		a := 1
+		// Aggregates are word-aligned and word-sized on every target
+		// (Size aligns up to Align): the retargetable back end copies
+		// them — assignments, by-value arguments, returns — as whole
+		// words, so the subset fixes their granularity at one word.
+		a := 4
 		for _, f := range t.Fields {
 			if fa := f.Type.Align(tc); fa > a {
 				a = fa

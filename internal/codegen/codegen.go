@@ -27,7 +27,7 @@ func GenUnit(u *cc.Unit, em Emitter, opts Options) (*asm.Unit, error) {
 	g := &gen{em: em, u: u, opts: opts}
 	// Sizing pass: compute evaluation-stack and argument-area maxima
 	// per function, then assign frames.
-	null := &nullEmitter{conf: em.Conf()}
+	null := &nullEmitter{conf: em.Conf(), l2r: em.ArgsLeftToRight()}
 	for _, fn := range u.Funcs {
 		gs := &gen{em: null, u: u, opts: opts}
 		gs.fn = fn
@@ -95,6 +95,10 @@ func (g *gen) errf(pos cc.Pos, format string, args ...any) {
 func (g *gen) userLabel(name string) string {
 	return ".ul_" + g.fn.Sym.Name + "_" + name
 }
+
+// retBufLabel names a function's static aggregate-return buffer,
+// outside both the ".ret_" return-label space and user symbols.
+func retBufLabel(fn *cc.Func) string { return ".rbuf_" + fn.Sym.Name }
 
 func (g *gen) label(prefix string) string {
 	g.labelN++
@@ -170,10 +174,22 @@ func (g *gen) genStmt(s *cc.Stmt, retLabel string) {
 	case cc.SReturn:
 		g.stop(s.Stop)
 		if s.Expr != nil {
-			g.genExpr(s.Expr)
-			if isFloat(s.Expr.Type) {
+			if isAgg(s.Expr.Type) {
+				// Aggregate return: copy the value into the function's
+				// static return buffer and return the buffer's address
+				// (the classic non-reentrant convention; documented
+				// subset restriction).
+				words := g.aggWords(s.Expr.Type)
+				g.genExpr(s.Expr) // source address in T
+				g.em.Move(regU, regT)
+				g.em.AddrGlobal(regT, retBufLabel(g.fn), 0)
+				g.structCopy(regT, regU, words)
+				g.em.SetRet(regT)
+			} else if isFloat(s.Expr.Type) {
+				g.genExpr(s.Expr)
 				g.em.SetFRet(regT)
 			} else {
+				g.genExpr(s.Expr)
 				g.em.SetRet(regT)
 			}
 		}

@@ -62,6 +62,20 @@ func (g *gen) buildData(obj *asm.Unit) error {
 			}
 		}
 	}
+	// Static return buffers for aggregate-returning functions: the
+	// callee copies its return value here and hands back the address
+	// (genStmt SReturn / genCall Result).
+	for _, fn := range g.u.Funcs {
+		rt := fn.Sym.Type.Base
+		if rt == nil || (rt.Kind != cc.TyStruct && rt.Kind != cc.TyUnion) {
+			continue
+		}
+		align(4)
+		off := len(data)
+		size := rt.Size(tc)
+		data = append(data, make([]byte, size)...)
+		obj.AddSym(retBufLabel(fn), asm.SecData, off, size, false)
+	}
 	for i, s := range g.u.Strings {
 		off := len(data)
 		data = append(data, []byte(s)...)
@@ -203,10 +217,17 @@ func constIntExpr(e *cc.Expr) (int64, bool) {
 // are assigned.
 type nullEmitter struct {
 	conf *cc.TargetConf
+	l2r  bool
 }
 
-func (n *nullEmitter) Conf() *cc.TargetConf  { return n.conf }
-func (n *nullEmitter) ArgsLeftToRight() bool { return false }
+func (n *nullEmitter) Conf() *cc.TargetConf { return n.conf }
+
+// ArgsLeftToRight must mirror the real target: argument push order
+// changes the evaluation-stack depth profile (a deep final argument
+// costs one more slot under left-to-right pushing), and a sizing pass
+// that models the wrong order under-reserves eval slots — the emitted
+// code then spills past the eval area into a neighboring frame slot.
+func (n *nullEmitter) ArgsLeftToRight() bool { return n.l2r }
 func (n *nullEmitter) AssignFrame(*cc.Func, int, int) int32 {
 	return 0
 }

@@ -114,6 +114,12 @@ func (g *gen) genAddr(e *cc.Expr) {
 		}
 	case cc.EString:
 		g.em.AddrGlobal(regT, g.strLabel(int(e.IVal)), 0)
+	case cc.ECall, cc.EAssign, cc.ECond, cc.EComma:
+		if isAgg(e.Type) {
+			g.genExpr(e) // aggregate values are addresses already
+			return
+		}
+		g.errf(e.Pos, "cannot take the address of this expression")
 	default:
 		g.errf(e.Pos, "cannot take the address of this expression")
 	}
@@ -141,6 +147,34 @@ func (g *gen) loadFConst(v float64, fr, r int) {
 	}
 	g.em.AddrGlobal(r, g.fconstLabel(v), 0)
 	g.em.LoadF(fr, r, 8)
+}
+
+// isAgg reports whether t is a struct or union — a value the walker
+// represents by its address.
+func isAgg(t *cc.Type) bool {
+	return t != nil && (t.Kind == cc.TyStruct || t.Kind == cc.TyUnion)
+}
+
+// aggWords returns an aggregate's size in words. The front end fixes
+// aggregate alignment (and hence size) at a word multiple on every
+// target (see cc.Type.Align), so struct copies, arguments, and returns
+// are pure word loops — no target ever assembles partial words, which
+// would drag byte order into the machine-independent walker.
+func (g *gen) aggWords(t *cc.Type) int {
+	return (t.Size(g.em.Conf()) + 3) / 4
+}
+
+// structCopy copies an aggregate word by word from the address in src
+// to the address in dst. It clobbers V and W but preserves dst and src.
+func (g *gen) structCopy(dst, src int, words int) {
+	for w := 0; w < words; w++ {
+		g.em.Const(regW, int32(4*w))
+		g.em.BinOp(OpAdd, regW, src, regW)
+		g.em.Load(regW, regW, M32)
+		g.em.Const(regV, int32(4*w))
+		g.em.BinOp(OpAdd, regV, dst, regV)
+		g.em.Store(regW, regV, M32)
+	}
 }
 
 // elemSize returns the pointee size for pointer arithmetic.
@@ -171,6 +205,10 @@ func (g *gen) genExpr(e *cc.Expr) {
 		}
 		if sym.Kind == cc.SymFunc {
 			g.em.AddrGlobal(regT, sym.Label, 0)
+			return
+		}
+		if e.Type.Kind == cc.TyArray || isAgg(e.Type) {
+			g.genAddrLeafInto(sym, regT) // address is the value for aggregates
 			return
 		}
 		ar := g.leafAddrReg()
@@ -337,6 +375,18 @@ func (g *gen) genBinary(e *cc.Expr) {
 }
 
 func (g *gen) genAssign(e *cc.Expr) {
+	if isAgg(e.Type) {
+		// Struct assignment: both sides evaluate to addresses; copy
+		// word by word. The destination address is the expression's
+		// value (so s1 = s2 = s3 chains).
+		words := g.aggWords(e.Type)
+		g.genExpr(e.R) // source address
+		g.push(regT)
+		g.genAddr(e.L) // destination address
+		g.pop(regU)
+		g.structCopy(regT, regU, words)
+		return
+	}
 	if isFloat(e.Type) {
 		// Evaluate the address first: calls inside the value would
 		// clobber FT, and calls inside the address would clobber FT if
@@ -461,12 +511,19 @@ func (g *gen) genCall(e *cc.Expr) {
 		if isFloat(a.Type) {
 			return 2
 		}
+		if isAgg(a.Type) {
+			return g.aggWords(a.Type)
+		}
 		return 1
 	}
 	for _, a := range e.Args {
 		words += argWords(a)
 	}
 	pushArg := func(a *cc.Expr) {
+		if isAgg(a.Type) {
+			g.pushAgg(a)
+			return
+		}
 		g.genExpr(a)
 		if isFloat(a.Type) {
 			g.pushF(regT)
@@ -499,8 +556,39 @@ func (g *gen) genCall(e *cc.Expr) {
 	case isFloat(e.Type):
 		g.em.FResult(regT)
 	default:
+		// For aggregate-returning calls the return register carries the
+		// address of the callee's static return buffer (see genStmt
+		// SReturn), so Result leaves exactly the address the walker
+		// expects for an aggregate value.
 		g.em.Result(regT)
 	}
+}
+
+// pushAgg pushes a struct or union argument word by word. On the
+// left-to-right targets (MIPS block-copies evaluation slots into the
+// outgoing area in push order) word 0 goes first; the right-to-left
+// stack targets push descending, so the order is reversed to land word
+// 0 at the lowest address either way.
+func (g *gen) pushAgg(a *cc.Expr) {
+	words := g.aggWords(a.Type)
+	g.genExpr(a) // aggregate value = its address, in T
+	if g.em.ArgsLeftToRight() {
+		for w := 0; w < words; w++ {
+			g.pushAggWord(w)
+		}
+	} else {
+		for w := words - 1; w >= 0; w-- {
+			g.pushAggWord(w)
+		}
+	}
+}
+
+// pushAggWord pushes word w of the aggregate whose address is in T.
+func (g *gen) pushAggWord(w int) {
+	g.em.Const(regU, int32(4*w))
+	g.em.BinOp(OpAdd, regU, regT, regU)
+	g.em.Load(regU, regU, M32)
+	g.push(regU)
 }
 
 // genPrintf expands printf("fmt", args...) into calls to the runtime

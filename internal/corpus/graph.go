@@ -1,0 +1,288 @@
+// Package corpus schedules differential debug-session scenarios over
+// a ninja-style dependency graph: compile, session, and diff steps are
+// nodes, a bounded worker pool executes them, and content-hash
+// fingerprints make a no-change re-run a near-no-op. It is the harness
+// behind cmd/scenarios and the CI corpus smoke.
+//
+// The incremental model follows ninja's: a node's fingerprint is a
+// hash of its key, its static inputs (source text, session axes), and
+// its dependencies' fingerprints — computable without executing
+// anything. Persisted nodes store their output in a cache addressed by
+// that fingerprint, so "is this node up to date?" is one file probe,
+// and a clean diff node stops the demand-driven walk before any
+// compile or simulation runs.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Node is one unit of corpus work. Output flows to dependents as an
+// arbitrary value; only persisted nodes must produce []byte (their
+// output is written to the cache under the node's fingerprint).
+// Non-persisted nodes (builds) are recomputed on demand and memoized
+// in memory for the run.
+type Node struct {
+	Key     string  // unique node name, "kind:rest"
+	Static  string  // non-dependency inputs folded into the fingerprint
+	Deps    []*Node // dependencies, evaluated before Run
+	Persist bool    // cache the output content-addressed by fingerprint
+	Run     func(deps []any) (any, error)
+
+	fp   string
+	once sync.Once
+	out  any
+	err  error
+	ran  bool // Run executed this run
+	hit  bool // restored from the cache this run
+}
+
+// Kind returns the node-kind prefix of the key ("build", "session",
+// "diff").
+func (n *Node) Kind() string {
+	if i := strings.IndexByte(n.Key, ':'); i >= 0 {
+		return n.Key[:i]
+	}
+	return n.Key
+}
+
+// Fingerprint returns the node's content hash, computing and memoizing
+// it (and its dependencies') on first use. Not safe for concurrent
+// first calls; the Runner fingerprints the graph before going
+// parallel.
+func (n *Node) Fingerprint() string {
+	if n.fp != "" {
+		return n.fp
+	}
+	h := sha256.New()
+	io.WriteString(h, n.Key)
+	h.Write([]byte{0})
+	io.WriteString(h, n.Static)
+	h.Write([]byte{0})
+	for _, d := range n.Deps {
+		io.WriteString(h, d.Fingerprint())
+	}
+	n.fp = hex.EncodeToString(h.Sum(nil))
+	return n.fp
+}
+
+// Graph is a set of nodes, deduplicated by key.
+type Graph struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{nodes: map[string]*Node{}} }
+
+// Add inserts n, or returns the already-registered node with the same
+// key (so shared dependencies wire up naturally).
+func (g *Graph) Add(n *Node) *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if old, ok := g.nodes[n.Key]; ok {
+		return old
+	}
+	g.nodes[n.Key] = n
+	return n
+}
+
+// Len reports the number of registered nodes.
+func (g *Graph) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.nodes)
+}
+
+// Cache is the content-addressed store: the output of a node with
+// fingerprint fp lives at <dir>/<fp[:2]>/<fp>. Existence of that file
+// is the up-to-date check; there is no separate manifest to go stale.
+type Cache struct{ dir string }
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+func (c *Cache) path(fp string) string {
+	return filepath.Join(c.dir, fp[:2], fp)
+}
+
+// Get returns the cached output for fingerprint fp, if present.
+func (c *Cache) Get(fp string) ([]byte, bool) {
+	b, err := os.ReadFile(c.path(fp))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// Put stores out under fp atomically (write to a temp file, rename),
+// so a crashed run never leaves a truncated entry that would satisfy
+// Get.
+func (c *Cache) Put(fp string, out []byte) error {
+	p := c.path(fp)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+// Stats summarizes one Run.
+type Stats struct {
+	Nodes    int            // nodes reachable from the wanted set
+	Executed map[string]int // Run invocations by node kind
+	UpToDate int            // persisted nodes restored from the cache
+	Failed   int            // wanted nodes whose evaluation errored
+}
+
+// TotalExecuted sums Executed over kinds.
+func (s Stats) TotalExecuted() int {
+	n := 0
+	for _, v := range s.Executed {
+		n += v
+	}
+	return n
+}
+
+// Runner executes a wanted set demand-first over a bounded worker
+// pool.
+type Runner struct {
+	Cache *Cache // nil runs everything, caching nothing
+	Jobs  int    // concurrent Run invocations; <=0 means 4
+}
+
+// Run brings the wanted nodes up to date and returns statistics plus
+// the first few failures joined into one error (nil when all wanted
+// nodes succeeded). Evaluation is demand-driven: a persisted node
+// whose fingerprint is already in the cache restores its output
+// without touching its dependencies, which is what makes a no-change
+// re-run skip every compile and simulation.
+func (r *Runner) Run(want []*Node) (Stats, error) {
+	jobs := r.Jobs
+	if jobs <= 0 {
+		jobs = 4
+	}
+	sem := make(chan struct{}, jobs)
+	for _, n := range want {
+		n.Fingerprint()
+	}
+	var wg sync.WaitGroup
+	for _, n := range want {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			r.eval(n, sem)
+		}(n)
+	}
+	wg.Wait()
+
+	st := Stats{Executed: map[string]int{}}
+	var errs []string
+	seen := map[*Node]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		st.Nodes++
+		if n.ran {
+			st.Executed[n.Kind()]++
+		}
+		if n.hit {
+			st.UpToDate++
+		}
+		for _, d := range n.Deps {
+			walk(d)
+		}
+	}
+	for _, n := range want {
+		walk(n)
+		if n.err != nil {
+			st.Failed++
+			if len(errs) < 5 {
+				errs = append(errs, fmt.Sprintf("%s: %v", n.Key, n.err))
+			}
+		}
+	}
+	if st.Failed > 0 {
+		sort.Strings(errs)
+		return st, fmt.Errorf("%d of %d wanted nodes failed:\n%s", st.Failed, len(want), strings.Join(errs, "\n"))
+	}
+	return st, nil
+}
+
+// eval brings one node up to date: cache probe first, then
+// dependencies in parallel, then Run under the worker semaphore.
+// sync.Once makes concurrent demands collapse to one evaluation.
+func (r *Runner) eval(n *Node, sem chan struct{}) (any, error) {
+	n.once.Do(func() {
+		if n.Persist && r.Cache != nil {
+			if out, ok := r.Cache.Get(n.Fingerprint()); ok {
+				n.out, n.hit = out, true
+				return
+			}
+		}
+		outs := make([]any, len(n.Deps))
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var depErr error
+		for i, d := range n.Deps {
+			wg.Add(1)
+			go func(i int, d *Node) {
+				defer wg.Done()
+				o, err := r.eval(d, sem)
+				mu.Lock()
+				outs[i] = o
+				if err != nil && depErr == nil {
+					depErr = fmt.Errorf("dep %s: %w", d.Key, err)
+				}
+				mu.Unlock()
+			}(i, d)
+		}
+		wg.Wait()
+		if depErr != nil {
+			n.err = depErr
+			return
+		}
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		n.out, n.err = n.Run(outs)
+		n.ran = true
+		if n.err != nil || !n.Persist || r.Cache == nil {
+			return
+		}
+		b, ok := n.out.([]byte)
+		if !ok {
+			n.err = fmt.Errorf("corpus: persisted node %s produced %T, not []byte", n.Key, n.out)
+			return
+		}
+		n.err = r.Cache.Put(n.Fingerprint(), b)
+	})
+	return n.out, n.err
+}

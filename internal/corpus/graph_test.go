@@ -1,0 +1,150 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// bnode builds a test node that records executions.
+func bnode(key, static string, persist bool, deps []*Node, execs *int32, out string) *Node {
+	return &Node{
+		Key: key, Static: static, Deps: deps, Persist: persist,
+		Run: func(ins []any) (any, error) {
+			atomic.AddInt32(execs, 1)
+			var parts []string
+			for _, in := range ins {
+				switch v := in.(type) {
+				case []byte:
+					parts = append(parts, string(v))
+				case string:
+					parts = append(parts, v)
+				}
+			}
+			return []byte(out + "(" + strings.Join(parts, ",") + ")"), nil
+		},
+	}
+}
+
+func TestGraphDiamondRunsOnce(t *testing.T) {
+	var execs int32
+	g := NewGraph()
+	base := g.Add(bnode("build:x", "src", false, nil, &execs, "b"))
+	l := g.Add(bnode("session:l", "", true, []*Node{base}, &execs, "l"))
+	r := g.Add(bnode("session:r", "", true, []*Node{base}, &execs, "r"))
+	d := g.Add(bnode("diff:x", "", true, []*Node{l, r}, &execs, "d"))
+	st, err := (&Runner{Jobs: 4}).Run([]*Node{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execs != 4 {
+		t.Errorf("executed %d nodes, want 4 (shared dep must run once)", execs)
+	}
+	if st.TotalExecuted() != 4 || st.Nodes != 4 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestGraphIncrementalRerun(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(static string, execs *int32) []*Node {
+		g := NewGraph()
+		b := g.Add(bnode("build:x", static, false, nil, execs, "b"))
+		s := g.Add(bnode("session:x", "", true, []*Node{b}, execs, "s"))
+		return []*Node{g.Add(bnode("diff:x", "", true, []*Node{s}, execs, "d"))}
+	}
+	var e1 int32
+	if _, err := (&Runner{Cache: cache, Jobs: 2}).Run(mk("v1", &e1)); err != nil {
+		t.Fatal(err)
+	}
+	if e1 != 3 {
+		t.Fatalf("first run executed %d, want 3", e1)
+	}
+	// Unchanged inputs: the diff node restores from cache; nothing
+	// runs, not even the unpersisted build.
+	var e2 int32
+	st, err := (&Runner{Cache: cache, Jobs: 2}).Run(mk("v1", &e2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 != 0 {
+		t.Errorf("clean re-run executed %d nodes, want 0", e2)
+	}
+	if st.UpToDate == 0 {
+		t.Errorf("clean re-run reported no up-to-date nodes: %+v", st)
+	}
+	// Changed static input: fingerprints shift, everything downstream
+	// re-runs.
+	var e3 int32
+	if _, err := (&Runner{Cache: cache, Jobs: 2}).Run(mk("v2", &e3)); err != nil {
+		t.Fatal(err)
+	}
+	if e3 != 3 {
+		t.Errorf("changed input re-ran %d nodes, want 3", e3)
+	}
+}
+
+func TestGraphErrorPropagates(t *testing.T) {
+	g := NewGraph()
+	bad := g.Add(&Node{Key: "session:bad", Run: func([]any) (any, error) {
+		return nil, fmt.Errorf("boom")
+	}})
+	var execs int32
+	d := g.Add(bnode("diff:x", "", false, []*Node{bad}, &execs, "d"))
+	st, err := (&Runner{Jobs: 2}).Run([]*Node{d})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if execs != 0 {
+		t.Errorf("dependent ran despite failed dep")
+	}
+	if st.Failed != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestGraphBoundedWorkers(t *testing.T) {
+	const jobs = 3
+	var cur, peak int32
+	g := NewGraph()
+	var want []*Node
+	var mu sync.Mutex
+	for i := 0; i < 24; i++ {
+		want = append(want, g.Add(&Node{
+			Key: fmt.Sprintf("session:%d", i),
+			Run: func([]any) (any, error) {
+				c := atomic.AddInt32(&cur, 1)
+				mu.Lock()
+				if c > peak {
+					peak = c
+				}
+				mu.Unlock()
+				defer atomic.AddInt32(&cur, -1)
+				return []byte("x"), nil
+			},
+		}))
+	}
+	if _, err := (&Runner{Jobs: jobs}).Run(want); err != nil {
+		t.Fatal(err)
+	}
+	if peak > jobs {
+		t.Errorf("peak concurrency %d exceeds %d jobs", peak, jobs)
+	}
+}
+
+func TestGraphDedupByKey(t *testing.T) {
+	g := NewGraph()
+	a := g.Add(&Node{Key: "build:x"})
+	b := g.Add(&Node{Key: "build:x"})
+	if a != b {
+		t.Fatal("Add did not dedup by key")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("len %d", g.Len())
+	}
+}

@@ -1,0 +1,166 @@
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"ldb/internal/core"
+	"ldb/internal/driver"
+	"ldb/internal/nub"
+	"ldb/internal/workload"
+)
+
+// RunSession replays a scenario's debug script against one build of
+// its program and returns the transcript: every debugger-visible line
+// plus the program's own output and exit status. Transcripts are
+// deliberately address-free — stop positions are reported as
+// proc@stop-index, backtraces as procedure names — so the same program
+// must transcribe identically on every ISA, with and without the
+// decode cache, over the plain and the optimized wire protocol. That
+// byte-equality is the corpus's differential oracle.
+func RunSession(prog *driver.Program, sc workload.Scenario, predecode, wire bool) ([]byte, error) {
+	var sink strings.Builder
+	d, err := core.New(&sink)
+	if err != nil {
+		return nil, err
+	}
+	client, _, proc, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	if err != nil {
+		return nil, fmt.Errorf("launch: %w", err)
+	}
+	proc.NoPredecode = !predecode
+	tgt, err := d.AttachClient(sc.Name, client, prog.LoaderPS)
+	if err != nil {
+		return nil, fmt.Errorf("attach: %w", err)
+	}
+	tgt.Stdout = &proc.Stdout
+	tgt.Client.SetBatching(wire)
+	tgt.Client.SetCaching(wire)
+
+	var tr bytes.Buffer
+	say := func(format string, args ...any) { fmt.Fprintf(&tr, format+"\n", args...) }
+
+	if _, err := tgt.BreakStop(sc.BreakProc, sc.BreakStop); err != nil {
+		return nil, fmt.Errorf("break %s@%d: %w", sc.BreakProc, sc.BreakStop, err)
+	}
+	say("break %s@%d", sc.BreakProc, sc.BreakStop)
+
+	exited := false
+	for hit := 1; hit <= sc.MaxHits && !exited; hit++ {
+		ev, err := tgt.ContinueToBreakpoint()
+		if err != nil {
+			return nil, fmt.Errorf("continue: %w", err)
+		}
+		if ev.Exited {
+			say("exit %d", ev.Status)
+			exited = true
+			break
+		}
+		at, err := whereAmI(tgt)
+		if err != nil {
+			return nil, err
+		}
+		say("hit %d %s", hit, at)
+		for _, name := range sc.Prints {
+			v, err := printCapture(d, tgt, name)
+			if err != nil {
+				return nil, fmt.Errorf("print %s: %w", name, err)
+			}
+			say("  %s = %s", name, v)
+		}
+		for _, ex := range sc.Evals {
+			v, err := tgt.EvalInt(ex)
+			if err != nil {
+				return nil, fmt.Errorf("eval %q: %w", ex, err)
+			}
+			say("  eval %s = %d", ex, v)
+		}
+		bt, err := tgt.Backtrace(8)
+		if err != nil {
+			return nil, fmt.Errorf("backtrace: %w", err)
+		}
+		say("  bt %s", strings.Join(bt, " <- "))
+		for s := 0; s < sc.Steps && !exited; s++ {
+			ev, err := tgt.Step()
+			if err != nil {
+				return nil, fmt.Errorf("step: %w", err)
+			}
+			if ev.Exited {
+				say("exit %d", ev.Status)
+				exited = true
+				break
+			}
+			at, err := whereAmI(tgt)
+			if err != nil {
+				return nil, err
+			}
+			say("  step %s", at)
+		}
+	}
+	if !exited {
+		if err := tgt.Bpts.RemoveAll(); err != nil {
+			return nil, fmt.Errorf("clear breakpoints: %w", err)
+		}
+		ev, err := tgt.ContinueToBreakpoint()
+		if err != nil {
+			return nil, fmt.Errorf("final continue: %w", err)
+		}
+		if !ev.Exited {
+			return nil, fmt.Errorf("stopped unexpectedly: %v", ev)
+		}
+		say("exit %d", ev.Status)
+	}
+	say("output %q", proc.Stdout.String())
+	return tr.Bytes(), nil
+}
+
+// whereAmI names the current stop as proc@index — the address-free
+// location every ISA agrees on (stopping points are numbered by the
+// machine-independent front end).
+func whereAmI(tgt *core.Target) (string, error) {
+	f, err := tgt.Frame(0)
+	if err != nil {
+		return "", err
+	}
+	ctx, err := tgt.ContextAt(f)
+	if err != nil {
+		return "", err
+	}
+	idx := -1
+	if ctx.Stop != nil {
+		idx = ctx.Stop.Index
+	}
+	return fmt.Sprintf("at %s@%d", ctx.ProcEntryName, idx), nil
+}
+
+// printCapture runs Print and captures what it writes.
+func printCapture(d *core.Debugger, tgt *core.Target, name string) (string, error) {
+	var buf strings.Builder
+	old := d.In.Stdout
+	d.In.Stdout = &buf
+	defer func() { d.In.Stdout = old }()
+	if err := tgt.Print(name); err != nil {
+		return "", err
+	}
+	return strings.TrimRight(buf.String(), "\n"), nil
+}
+
+// workloadScenarios returns the hand-written benchmark programs as
+// scenarios too (break in main, no steps), so the fixed corpus rides
+// the same oracle. Kept here rather than in workload because the debug
+// scripts are corpus policy.
+func workloadScenarios() []workload.Scenario {
+	var out []workload.Scenario
+	for _, name := range workload.Names {
+		out = append(out, workload.Scenario{
+			Name:      "w_" + name,
+			Source:    workload.Programs[name],
+			BreakProc: "main",
+			BreakStop: 0,
+			MaxHits:   1,
+			Evals:     []string{"1+1"},
+		})
+	}
+	return out
+}

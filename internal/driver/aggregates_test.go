@@ -1,0 +1,203 @@
+package driver
+
+import "testing"
+
+// End-to-end checks for the C constructs the scenario generator leans
+// on: structs passed and returned by value, function pointers, and
+// multi-dimensional arrays. Each source runs on all five targets and
+// must print identical output (checkOutput).
+
+func TestStructByValueArgs(t *testing.T) {
+	checkOutput(t, `
+struct point { int x; int y; };
+int taxicab(struct point p, struct point q) {
+	int dx; int dy;
+	dx = p.x - q.x; if (dx < 0) dx = -dx;
+	dy = p.y - q.y; if (dy < 0) dy = -dy;
+	p.x = 0; /* callee-local copy: must not affect the caller */
+	return dx + dy;
+}
+struct point a;
+struct point b;
+int main() {
+	a.x = 3; a.y = 7;
+	b.x = -2; b.y = 11;
+	printf("%d %d\n", taxicab(a, b), a.x);
+	return 0;
+}
+`, "9 3\n")
+}
+
+func TestStructReturnByValue(t *testing.T) {
+	checkOutput(t, `
+struct pair { int lo; int hi; };
+struct pair minmax(int a, int b) {
+	struct pair r;
+	if (a < b) { r.lo = a; r.hi = b; }
+	else { r.lo = b; r.hi = a; }
+	return r;
+}
+int main() {
+	struct pair p;
+	p = minmax(42, 17);
+	printf("%d %d\n", p.lo, p.hi);
+	printf("%d\n", minmax(5, 9).hi);
+	return 0;
+}
+`, "17 42\n9\n")
+}
+
+func TestStructAssignmentChains(t *testing.T) {
+	checkOutput(t, `
+struct box { int a; int b; int c; };
+struct box x;
+struct box y;
+struct box z;
+int main() {
+	x.a = 1; x.b = 2; x.c = 3;
+	z = y = x;
+	y.b = 20; /* y is a distinct copy */
+	printf("%d %d %d %d\n", z.a, z.b, z.c, y.b);
+	return 0;
+}
+`, "1 2 3 20\n")
+}
+
+func TestNestedStructCopy(t *testing.T) {
+	checkOutput(t, `
+struct inner { int v; char tag; };
+struct outer { struct inner i; int n; };
+struct outer src;
+struct outer dst;
+struct outer mk(int v) {
+	struct outer o;
+	o.i.v = v;
+	o.i.tag = 'q';
+	o.n = v * 2;
+	return o;
+}
+int main() {
+	src = mk(21);
+	dst = src;
+	src.i.v = 0;
+	printf("%d %c %d\n", dst.i.v, dst.i.tag, dst.n);
+	return 0;
+}
+`, "21 q 42\n")
+}
+
+func TestStructArrayElements(t *testing.T) {
+	checkOutput(t, `
+struct rec { int key; int val; };
+struct rec table[4];
+struct rec pick(int i) { return table[i]; }
+int main() {
+	int i;
+	for (i = 0; i < 4; i++) { table[i].key = i; table[i].val = i * i; }
+	table[0] = table[3];
+	for (i = 0; i < 4; i++) printf("%d:%d ", pick(i).key, table[i].val);
+	printf("\n");
+	return 0;
+}
+`, "3:9 1:1 2:4 3:9 \n")
+}
+
+func TestUnionByValue(t *testing.T) {
+	checkOutput(t, `
+union cell { int i; unsigned u; };
+union cell bump(union cell c) { c.i = c.i + 1; return c; }
+int main() {
+	union cell a;
+	union cell b;
+	a.i = 41;
+	b = bump(a);
+	printf("%d %d\n", a.i, b.i);
+	return 0;
+}
+`, "41 42\n")
+}
+
+func TestFunctionPointerDecay(t *testing.T) {
+	checkOutput(t, `
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int mul(int a, int b) { return a * b; }
+int apply(int (*op)(int, int), int a, int b) { return op(a, b); }
+int (*ops[3])(int, int);
+int main() {
+	int (*f)(int, int);
+	int i;
+	ops[0] = add; ops[1] = sub; ops[2] = mul;
+	f = &add;
+	printf("%d ", f(2, 3));
+	f = sub; /* function designator decays */
+	printf("%d ", (*f)(10, 4));
+	for (i = 0; i < 3; i++) printf("%d ", apply(ops[i], 7, 5));
+	printf("\n");
+	return 0;
+}
+`, "5 6 12 2 35 \n")
+}
+
+func TestFunctionPointerInitializers(t *testing.T) {
+	checkOutput(t, `
+int twice(int x) { return 2 * x; }
+int thrice(int x) { return 3 * x; }
+int (*scale)(int) = twice;
+int (*jump[2])(int) = { twice, thrice };
+int main() {
+	printf("%d %d %d\n", scale(10), jump[0](5), jump[1](5));
+	return 0;
+}
+`, "20 10 15\n")
+}
+
+func TestMultiDimArrays(t *testing.T) {
+	checkOutput(t, `
+int grid[3][4];
+char cube[2][3][4];
+int sum2(int m[3][4]) {
+	int i; int j; int s;
+	s = 0;
+	for (i = 0; i < 3; i++)
+		for (j = 0; j < 4; j++)
+			s = s + m[i][j];
+	return s;
+}
+int main() {
+	int i; int j; int k; int s;
+	for (i = 0; i < 3; i++)
+		for (j = 0; j < 4; j++)
+			grid[i][j] = i * 10 + j;
+	s = 0;
+	for (i = 0; i < 2; i++)
+		for (j = 0; j < 3; j++)
+			for (k = 0; k < 4; k++) {
+				cube[i][j][k] = (char)(i + j + k);
+				s = s + cube[i][j][k];
+			}
+	printf("%d %d %d\n", sum2(grid), grid[2][3], s);
+	return 0;
+}
+`, "138 23 72\n")
+}
+
+func TestStructPointerMix(t *testing.T) {
+	checkOutput(t, `
+struct node { int v; struct node *next; };
+struct node n0;
+struct node n1;
+struct node n2;
+int main() {
+	struct node *p;
+	int s;
+	n0.v = 1; n0.next = &n1;
+	n1.v = 2; n1.next = &n2;
+	n2.v = 4; n2.next = 0;
+	s = 0;
+	for (p = &n0; p != 0; p = p->next) s = s + p->v;
+	printf("%d\n", s);
+	return 0;
+}
+`, "7\n")
+}

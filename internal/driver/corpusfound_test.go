@@ -1,0 +1,33 @@
+package driver
+
+import "testing"
+
+// Regression tests for miscompiles shaken out by the differential
+// scenario corpus (internal/corpus). Each test is the minimized form
+// of a generated program whose output diverged across targets, checked
+// against the behavior all targets must agree on.
+
+// Found by corpus seed 1006: the frame-sizing pass modeled
+// right-to-left argument pushes on every target, but MIPS pushes left
+// to right, and the push order changes the evaluation-stack depth
+// profile — a deep final argument costs extra slots under
+// left-to-right pushing. The sizing pass therefore under-reserved the
+// eval area on MIPS and the emitted spills ran past it into the
+// adjacent local (y below, clobbered with the spilled k). Three
+// arguments make the gap two words, which clears the 8-byte frame
+// rounding slack that hides a one-word overflow.
+func TestEvalDepthSizingMatchesArgOrder(t *testing.T) {
+	checkOutput(t, `
+int three(int a, int b, int c) { return a + b + c; }
+int main() {
+	int x;
+	int k;
+	int y;
+	k = 3;
+	y = 1000;
+	x = three(k, k, k + (k + (k + (k + k))));
+	printf("%d %d\n", x, y);
+	return 0;
+}
+`, "21 1000\n")
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// Same seed, same bytes: the corpus cache fingerprints generated
+// sources, so regeneration must be exact.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 1, 7, 42, 1 << 40, -3} {
+		a := Generate(seed)
+		b := Generate(seed)
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: sources differ", seed)
+		}
+		if a.Name != b.Name || a.BreakProc != b.BreakProc || a.MaxHits != b.MaxHits ||
+			a.Steps != b.Steps || strings.Join(a.Prints, ",") != strings.Join(b.Prints, ",") ||
+			strings.Join(a.Evals, ",") != strings.Join(b.Evals, ",") {
+			t.Fatalf("seed %d: scripts differ: %+v vs %+v", seed, a, b)
+		}
+	}
+}
+
+// Distinct seeds must give distinct programs — the corpus diversity
+// floor. A few colliding pairs would mean the seed isn't feeding the
+// stream.
+func TestGenerateDiversity(t *testing.T) {
+	seen := map[string]int64{}
+	for seed := int64(0); seed < 64; seed++ {
+		s := Generate(seed)
+		if prev, dup := seen[s.Source]; dup {
+			t.Fatalf("seeds %d and %d generate identical programs", prev, seed)
+		}
+		seen[s.Source] = seed
+	}
+}
+
+// The script must target things the program declares.
+func TestGenerateScriptShape(t *testing.T) {
+	for seed := int64(0); seed < 32; seed++ {
+		s := Generate(seed)
+		if s.BreakProc == "" || s.MaxHits < 1 {
+			t.Fatalf("seed %d: no breakpoint target: %+v", seed, s)
+		}
+		if !strings.Contains(s.Source, "int "+s.BreakProc+"(") {
+			t.Fatalf("seed %d: break proc %s not defined", seed, s.BreakProc)
+		}
+		if len(s.Prints) == 0 || len(s.Evals) == 0 {
+			t.Fatalf("seed %d: empty script: %+v", seed, s)
+		}
+	}
+}
