@@ -349,9 +349,12 @@ func measureSim(b *testing.B, prog *driver.Program, noPredecode bool) (ips, hitR
 }
 
 // BenchmarkSimulatorPredecode measures all four ISAs with the decode
-// cache on and off, asserts the headline ≥3× speedup on MIPS and
-// SPARC, and records every row in BENCH_sim.json (the simulator
-// counterpart of BENCH_wire.json).
+// cache (and superblock fusion) on and off, asserts the headline
+// speedup floors — ≥4.5× on MIPS and SPARC, ≥3.5× on VAX — and records
+// every row in BENCH_sim.json (the simulator counterpart of
+// BENCH_wire.json). The floors sit below the typical measurements
+// (~6× mips/sparc, ~4.2× vax; see EXPERIMENTS.md) to stay robust to
+// machine noise.
 func BenchmarkSimulatorPredecode(b *testing.B) {
 	var rows []simMetrics
 	for _, t := range []string{"mips", "sparc", "m68k", "vax"} {
@@ -369,9 +372,16 @@ func BenchmarkSimulatorPredecode(b *testing.B) {
 		}
 		rows = append(rows, m)
 		b.ReportMetric(m.Speedup, t+"_speedup")
-		if (t == "mips" || t == "sparc") && m.Speedup < 3 {
-			b.Fatalf("%s: %.0f cached vs %.0f uncached instructions/sec (%.2fx) — want >= 3x",
-				t, cached, uncached, m.Speedup)
+		floor := 0.0
+		switch t {
+		case "mips", "sparc":
+			floor = 4.5
+		case "vax":
+			floor = 3.5
+		}
+		if floor > 0 && m.Speedup < floor {
+			b.Fatalf("%s: %.0f cached vs %.0f uncached instructions/sec (%.2fx) — want >= %.1fx",
+				t, cached, uncached, m.Speedup, floor)
 		}
 	}
 	out, err := json.MarshalIndent(rows, "", "  ")

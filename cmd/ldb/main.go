@@ -459,6 +459,10 @@ func command(d *core.Debugger, line string) bool {
 		if st, err := t.Client.SimStats(); err == nil {
 			say("sim: %d instructions, %d decode-cache hits, %d decodes, %d invalidations, %d fallbacks",
 				st.Steps, st.Hits, st.Decodes, st.Invalidations, st.Fallbacks)
+			if st.Blocks > 0 {
+				say("sim: %d superblocks, %d instructions fused (%.1f per block)",
+					st.Blocks, st.BlockInsns, float64(st.BlockInsns)/float64(st.Blocks))
+			}
 		}
 		// Likewise the server robustness line.
 		if st, err := t.Client.ServerStats(); err == nil {

@@ -184,6 +184,23 @@ type Arch interface {
 	SyscallRet(p Proc, v uint32)
 }
 
+// InsnFlags is decode-time metadata about an instruction's control
+// flow. It is machine-dependent *data* in the paper's sense: the
+// machine-independent superblock builder asks only "can this
+// instruction end up anywhere other than pc+Len?", and each decoder
+// answers for its own encoding.
+type InsnFlags uint8
+
+const (
+	// InsnTerm marks an instruction that may not fall through to
+	// pc+Len: branches (taken or not), jumps, calls, returns, traps,
+	// syscalls, and halts. A superblock run ends at the first InsnTerm
+	// instruction; everything else is guaranteed to return (pc+Len, nil)
+	// on success, which is what licenses fusing it into the middle of a
+	// block.
+	InsnTerm InsnFlags = 1 << iota
+)
+
 // DecodedInsn is one predecoded instruction: the bit fields are
 // extracted, immediates sign-extended, and branch targets computed once
 // at decode time, so executing the instruction again costs one indirect
@@ -204,6 +221,157 @@ type DecodedInsn struct {
 	// p.SetPC themselves, exactly as Step does).
 	Exec func(p Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *Fault)
 	Len  uint32
+	// Flags carries the control-flow metadata the superblock builder
+	// consumes; a zero value means "always falls through to pc+Len".
+	Flags InsnFlags
+	// Uop, when not UopNone, is a machine-independent micro-op
+	// equivalent of Exec that the superblock engine executes inline in
+	// its dispatch loop, skipping the indirect call entirely. Exec is
+	// always present and always agrees with the micro-op — the
+	// per-instruction engine and single-stepping ignore Uop. Micro-ops
+	// are only attached to 4-byte fixed-width instructions (the
+	// dispatch loop advances the pc by 4); variable-length back ends
+	// keep closures.
+	Uop        Uop
+	UD, US, UT uint8
+	UImm       uint32
+}
+
+// Uop enumerates the machine-independent micro-ops: register-file
+// arithmetic, NZC compares, and sized memory accesses, the operations
+// every fixed-width back end shares once decode has resolved registers
+// and immediates. The destination UD, sources US/UT, and immediate UImm
+// are pre-extracted; immediates arrive already sign- or zero-extended
+// and shift counts pre-masked, so the executor applies the operation
+// verbatim. Register 0 may appear as an unused source only when the
+// back end guarantees it reads as zero (the MIPS r0 / SPARC %g0
+// convention); back ends without such a register pass explicit
+// operands.
+type Uop uint8
+
+const (
+	UopNone   Uop = iota // no micro-op: execute through Exec
+	UopNop               // retires with no architectural effect (discarded destination)
+	UopConst             // UD = UImm
+	UopAddI              // UD = US + UImm
+	UopAdd               // UD = US + UT
+	UopSub               // UD = US - UT
+	UopAnd               // UD = US & UT
+	UopAndI              // UD = US & UImm
+	UopOr                // UD = US | UT
+	UopOrI               // UD = US | UImm
+	UopXor               // UD = US ^ UT
+	UopXorI              // UD = US ^ UImm
+	UopNor               // UD = ^(US | UT)
+	UopMul               // UD = US * UT
+	UopShlI              // UD = US << UImm
+	UopShrI              // UD = US >> UImm (logical)
+	UopSarI              // UD = US >> UImm (arithmetic)
+	UopShl               // UD = US << (UT & 31)
+	UopShr               // UD = US >> (UT & 31) (logical)
+	UopSar               // UD = US >> (UT & 31) (arithmetic)
+	UopSltI              // UD = int32(US) < int32(UImm)
+	UopSlt               // UD = int32(US) < int32(UT)
+	UopSltu              // UD = US < UT (unsigned)
+	UopCmp               // flags = SubFlags(US, UT)
+	UopCmpI              // flags = SubFlags(US, UImm)
+	UopSubCC             // UD = US - UT, flags = SubFlags(US, UT)
+	UopSubCCI            // UD = US - UImm, flags = SubFlags(US, UImm)
+	UopLd32              // UD = mem32[US + UT + UImm]
+	UopLd16U             // UD = zext(mem16[US + UT + UImm])
+	UopLd16S             // UD = sext(mem16[US + UT + UImm])
+	UopLd8U              // UD = zext(mem8[US + UT + UImm])
+	UopLd8S              // UD = sext(mem8[US + UT + UImm])
+	UopSt32              // mem32[US + UT + UImm] = UD
+	UopSt16              // mem16[US + UT + UImm] = UD (low half)
+	UopSt8               // mem8[US + UT + UImm] = UD (low byte)
+
+	// Terminator micro-ops: control transfers compiled inline. A decoder
+	// attaches one only to an instruction it also marks InsnTerm, so a
+	// fused run ends with it; instead of falling through, the op computes
+	// the successor pc (branches not taken fall through to pc+4 — these
+	// are only attached to 4-byte instructions). In the link forms UT is
+	// the byte offset of the return address past the instruction itself:
+	// 4 on MIPS (jal links pc+4), 0 on SPARC (call links its own
+	// address). Terminators sit at the end of the enum so Term can test
+	// membership by ordering.
+	UopJmp     // next = UImm
+	UopJmpL    // UD = pc + UT (link offset); next = UImm
+	UopJmpInd  // next = US + UT + UImm (register values; UT a register)
+	UopJmpIndL // t := US + UImm; UD = pc + UT (link offset); next = t
+	UopBeq     // next = UImm if US == UT else pc+4
+	UopBne     // next = UImm if US != UT else pc+4
+	UopBlt     // next = UImm if int32(US) < int32(UT) else pc+4
+	UopBge     // next = UImm if int32(US) >= int32(UT) else pc+4
+	UopBle     // next = UImm if int32(US) <= int32(UT) else pc+4
+	UopBgt     // next = UImm if int32(US) > int32(UT) else pc+4
+	UopBcc     // next = UImm if UD>>(flags&7)&1 != 0 else pc+4 (truth table over NZC)
+)
+
+// Term reports whether u is a terminator micro-op: one that computes
+// the successor pc rather than falling through.
+func (u Uop) Term() bool {
+	return u >= UopJmp
+}
+
+// SubFlags computes the generic NZC condition flags for the comparison
+// a - b, in the shared encoding the compare micro-ops and the
+// flag-setting back ends agree on: bit 0 set when equal, bit 1 when
+// signed less-than, bit 2 when unsigned less-than.
+func SubFlags(a, b uint32) uint32 {
+	var fl uint32
+	if a == b {
+		fl |= 1
+	}
+	if int32(a) < int32(b) {
+		fl |= 2
+	}
+	if a < b {
+		fl |= 4
+	}
+	return fl
+}
+
+// AluUop attaches a register-writing arithmetic micro-op. A discarded
+// destination (rd < 0, the predecode of a MIPS r0 / SPARC %g0 write)
+// compiles to UopNop: the write is architecturally suppressed and
+// arithmetic operands are side-effect-free, so the instruction retires
+// with no effect.
+func (d *DecodedInsn) AluUop(op Uop, rd, rs, rt int, imm uint32) *DecodedInsn {
+	if rd < 0 {
+		d.Uop = UopNop
+		return d
+	}
+	d.Uop, d.UD, d.US, d.UT, d.UImm = op, uint8(rd), uint8(rs), uint8(rt), imm
+	return d
+}
+
+// FlagUop attaches a flag-only micro-op (compares): no destination.
+func (d *DecodedInsn) FlagUop(op Uop, rs, rt int, imm uint32) *DecodedInsn {
+	d.Uop, d.US, d.UT, d.UImm = op, uint8(rs), uint8(rt), imm
+	return d
+}
+
+// TermUop attaches a terminator micro-op. Field meanings are per-op
+// (see the Uop constants); the caller passes only the fields its op
+// reads and zeros for the rest — there is no discarded-destination
+// suppression here, because the jump itself must still happen, so call
+// sites with a discarded link register pick the link-free op instead.
+func (d *DecodedInsn) TermUop(op Uop, rd, rs, rt int, imm uint32) *DecodedInsn {
+	d.Uop, d.UD, d.US, d.UT, d.UImm = op, uint8(rd), uint8(rs), uint8(rt), imm
+	return d
+}
+
+// MemUop attaches a load or store micro-op. A load with a discarded
+// destination keeps its closure (the access must still fault exactly as
+// it always did), so rd < 0 leaves the entry Exec-only. For stores rd
+// names the value register, which is never discarded.
+func (d *DecodedInsn) MemUop(op Uop, rd, rs, rt int, imm uint32) *DecodedInsn {
+	if rd < 0 {
+		return d
+	}
+	d.Uop, d.UD, d.US, d.UT, d.UImm = op, uint8(rd), uint8(rs), uint8(rt), imm
+	return d
 }
 
 // Decoder is an optional extension of Arch: architectures that

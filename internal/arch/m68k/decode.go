@@ -62,6 +62,12 @@ func (m *M68k) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 	raw := func(n uint32, x func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault)) *arch.DecodedInsn {
 		return &arch.DecodedInsn{Len: n, Exec: x}
 	}
+	// rawT marks control-transfer and trapping instructions (trap, rts,
+	// jsr, Bcc) that may not fall through to pc+Len; superblock
+	// formation ends a fused run at the first one.
+	rawT := func(n uint32, x func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault)) *arch.DecodedInsn {
+		return &arch.DecodedInsn{Len: n, Exec: x, Flags: arch.InsnTerm}
+	}
 
 	minor := int(w >> 8 & 15)
 	rx := int(w >> 4 & 15)
@@ -220,23 +226,23 @@ func (m *M68k) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 			n := int(w & 15)
 			switch n {
 			case 1: // syscall: number in d1
-				return raw(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+				return rawT(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 					p.SetPC(pc + 2)
 					return 0, &arch.Fault{Kind: arch.FaultSyscall, Code: int(regs[D1]), PC: pc}
 				})
 			case 14: // pause
-				return raw(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+				return rawT(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 					return 0, &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: arch.TrapPause, PC: pc, Len: 2}
 				})
 			default:
-				return raw(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+				return rawT(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 					return 0, &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: n, PC: pc, Len: 2}
 				})
 			}
 		case w == 0x4e71: // nop
 			return done(2, func(arch.Proc, []uint32) {})
 		case w == 0x4e75: // rts
-			return raw(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return rawT(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				v, f := pop(p)
 				if f != nil {
 					return 0, f
@@ -274,7 +280,7 @@ func (m *M68k) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 			if !ok {
 				return nil
 			}
-			return raw(6, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return rawT(6, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				if f := push(p, pc+6); f != nil {
 					return 0, f
 				}
@@ -282,7 +288,7 @@ func (m *M68k) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 			})
 		case w&0xfff8 == 0x4e90: // jsr (aN)
 			an := A0 + int(w&7)
-			return raw(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return rawT(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				if f := push(p, pc+2); f != nil {
 					return 0, f
 				}
@@ -300,7 +306,7 @@ func (m *M68k) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 		// (pc+4), matching Asm.Finish.
 		target := pc + 4 + uint32(int32(d))
 		next := pc + 4
-		return raw(4, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+		return rawT(4, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			if condTrue(cond, *flag) {
 				return target, nil
 			}

@@ -40,6 +40,12 @@ func (m *Mips) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 	mk := func(x func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault)) *arch.DecodedInsn {
 		return &arch.DecodedInsn{Len: 4, Exec: x}
 	}
+	// mkT marks control-transfer instructions (branches, jumps, traps,
+	// syscalls) that may not fall through to pc+4; superblock formation
+	// ends a fused run at the first one.
+	mkT := func(x func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault)) *arch.DecodedInsn {
+		return &arch.DecodedInsn{Len: 4, Exec: x, Flags: arch.InsnTerm}
+	}
 
 	switch op {
 	case OpSpecial:
@@ -50,57 +56,61 @@ func (m *Mips) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rt]<<sh)
 				return next, nil
-			})
+			}).AluUop(arch.UopShlI, d, rt, 0, uint32(sh))
 		case FnSrl:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rt]>>sh)
 				return next, nil
-			})
+			}).AluUop(arch.UopShrI, d, rt, 0, uint32(sh))
 		case FnSra:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, uint32(int32(regs[rt])>>sh))
 				return next, nil
-			})
+			}).AluUop(arch.UopSarI, d, rt, 0, uint32(sh))
 		case FnSllv:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rt]<<(regs[rs]&31))
 				return next, nil
-			})
+			}).AluUop(arch.UopShl, d, rt, rs, 0)
 		case FnSrlv:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rt]>>(regs[rs]&31))
 				return next, nil
-			})
+			}).AluUop(arch.UopShr, d, rt, rs, 0)
 		case FnSrav:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, uint32(int32(regs[rt])>>(regs[rs]&31)))
 				return next, nil
-			})
+			}).AluUop(arch.UopSar, d, rt, rs, 0)
 		case FnJr:
-			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				return regs[rs], nil
-			})
+			}).TermUop(arch.UopJmpInd, 0, rs, 0, 0)
 		case FnJalr:
-			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			di := mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				t := regs[rs]
 				arch.RegWrite(regs, d, pc+4)
 				return t, nil
 			})
+			if d < 0 { // link discarded: plain indirect jump
+				return di.TermUop(arch.UopJmpInd, 0, rs, 0, 0)
+			}
+			return di.TermUop(arch.UopJmpIndL, d, rs, 4, 0)
 		case FnSyscall:
-			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				p.SetPC(pc + 4)
 				return 0, &arch.Fault{Kind: arch.FaultSyscall, Code: int(regs[V0]), PC: pc}
 			})
 		case FnBreak:
 			code := int(w >> 6 & 0xfffff)
-			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				return 0, &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: code, PC: pc, Len: 4}
 			})
 		case FnMul:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, uint32(int32(regs[rs])*int32(regs[rt])))
 				return next, nil
-			})
+			}).AluUop(arch.UopMul, d, rs, rt, 0)
 		case FnDiv:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				b := regs[rt]
@@ -123,139 +133,139 @@ func (m *Mips) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rs]+regs[rt])
 				return next, nil
-			})
+			}).AluUop(arch.UopAdd, d, rs, rt, 0)
 		case FnSubu:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rs]-regs[rt])
 				return next, nil
-			})
+			}).AluUop(arch.UopSub, d, rs, rt, 0)
 		case FnAnd:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rs]&regs[rt])
 				return next, nil
-			})
+			}).AluUop(arch.UopAnd, d, rs, rt, 0)
 		case FnOr:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rs]|regs[rt])
 				return next, nil
-			})
+			}).AluUop(arch.UopOr, d, rs, rt, 0)
 		case FnXor:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rs]^regs[rt])
 				return next, nil
-			})
+			}).AluUop(arch.UopXor, d, rs, rt, 0)
 		case FnNor:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, ^(regs[rs] | regs[rt]))
 				return next, nil
-			})
+			}).AluUop(arch.UopNor, d, rs, rt, 0)
 		case FnSlt:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, boolFlag(int32(regs[rs]) < int32(regs[rt])))
 				return next, nil
-			})
+			}).AluUop(arch.UopSlt, d, rs, rt, 0)
 		case FnSltu:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, boolFlag(regs[rs] < regs[rt]))
 				return next, nil
-			})
+			}).AluUop(arch.UopSltu, d, rs, rt, 0)
 		}
 		return nil
 	case OpRegimm:
 		switch rt {
 		case 0: // bltz
-			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				if int32(regs[rs]) < 0 {
 					return btarget, nil
 				}
 				return next, nil
-			})
+			}).TermUop(arch.UopBlt, 0, rs, 0, btarget)
 		case 1: // bgez
-			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				if int32(regs[rs]) >= 0 {
 					return btarget, nil
 				}
 				return next, nil
-			})
+			}).TermUop(arch.UopBge, 0, rs, 0, btarget)
 		}
 		return nil
 	case OpJ:
 		target := pc&0xf0000000 | w<<6>>4
-		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+		return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			return target, nil
-		})
+		}).TermUop(arch.UopJmp, 0, 0, 0, target)
 	case OpJal:
 		target := pc&0xf0000000 | w<<6>>4
-		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+		return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			regs[RA] = pc + 4
 			return target, nil
-		})
+		}).TermUop(arch.UopJmpL, RA, 0, 4, target)
 	case OpBeq:
-		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+		return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			if regs[rs] == regs[rt] {
 				return btarget, nil
 			}
 			return next, nil
-		})
+		}).TermUop(arch.UopBeq, 0, rs, rt, btarget)
 	case OpBne:
-		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+		return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			if regs[rs] != regs[rt] {
 				return btarget, nil
 			}
 			return next, nil
-		})
+		}).TermUop(arch.UopBne, 0, rs, rt, btarget)
 	case OpBlez:
-		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+		return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			if int32(regs[rs]) <= 0 {
 				return btarget, nil
 			}
 			return next, nil
-		})
+		}).TermUop(arch.UopBle, 0, rs, 0, btarget)
 	case OpBgtz:
-		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+		return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			if int32(regs[rs]) > 0 {
 				return btarget, nil
 			}
 			return next, nil
-		})
+		}).TermUop(arch.UopBgt, 0, rs, 0, btarget)
 	case OpAddiu:
 		d := dst(rt)
 		simm := uint32(imm)
 		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			arch.RegWrite(regs, d, regs[rs]+simm)
 			return next, nil
-		})
+		}).AluUop(arch.UopAddI, d, rs, 0, simm)
 	case OpSlti:
 		d := dst(rt)
 		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			arch.RegWrite(regs, d, boolFlag(int32(regs[rs]) < imm))
 			return next, nil
-		})
+		}).AluUop(arch.UopSltI, d, rs, 0, uint32(imm))
 	case OpAndi:
 		d := dst(rt)
 		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			arch.RegWrite(regs, d, regs[rs]&uimm)
 			return next, nil
-		})
+		}).AluUop(arch.UopAndI, d, rs, 0, uimm)
 	case OpOri:
 		d := dst(rt)
 		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			arch.RegWrite(regs, d, regs[rs]|uimm)
 			return next, nil
-		})
+		}).AluUop(arch.UopOrI, d, rs, 0, uimm)
 	case OpXori:
 		d := dst(rt)
 		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			arch.RegWrite(regs, d, regs[rs]^uimm)
 			return next, nil
-		})
+		}).AluUop(arch.UopXorI, d, rs, 0, uimm)
 	case OpLui:
 		d := dst(rt)
 		v := uimm << 16
 		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			arch.RegWrite(regs, d, v)
 			return next, nil
-		})
+		}).AluUop(arch.UopConst, d, 0, 0, v)
 	case OpLb, OpLbu, OpLh, OpLhu, OpLw:
 		d := dst(rt)
 		simm := uint32(imm)
@@ -272,6 +282,17 @@ func (m *Mips) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 		} else if op == OpLh {
 			signed = 2
 		}
+		uop := arch.UopLd32
+		switch op {
+		case OpLb:
+			uop = arch.UopLd8S
+		case OpLbu:
+			uop = arch.UopLd8U
+		case OpLh:
+			uop = arch.UopLd16S
+		case OpLhu:
+			uop = arch.UopLd16U
+		}
 		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			v, f := p.Load(regs[rs]+simm, size)
 			if f != nil {
@@ -285,7 +306,7 @@ func (m *Mips) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 			}
 			arch.RegWrite(regs, d, v)
 			return next, nil
-		})
+		}).MemUop(uop, d, rs, 0, simm)
 	case OpSb, OpSh, OpSw:
 		simm := uint32(imm)
 		size := 4
@@ -294,12 +315,19 @@ func (m *Mips) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 		} else if op == OpSh {
 			size = 2
 		}
+		uop := arch.UopSt32
+		switch op {
+		case OpSb:
+			uop = arch.UopSt8
+		case OpSh:
+			uop = arch.UopSt16
+		}
 		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			if f := p.Store(regs[rs]+simm, size, regs[rt]); f != nil {
 				return 0, f
 			}
 			return next, nil
-		})
+		}).MemUop(uop, rt, rs, 0, simm)
 	case OpLwc1, OpLdc1:
 		simm := uint32(imm)
 		size := 4
@@ -348,7 +376,7 @@ func (m *Mips) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 			if rt&1 != 0 {
 				want = 1
 			}
-			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				if *flag&1 == want {
 					return btarget, nil
 				}

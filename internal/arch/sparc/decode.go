@@ -44,6 +44,12 @@ func (s *Sparc) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 	mk := func(x func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault)) *arch.DecodedInsn {
 		return &arch.DecodedInsn{Len: 4, Exec: x}
 	}
+	// mkT marks control-transfer instructions (call, branches, jmpl,
+	// traps) that may not fall through to pc+4; superblock formation
+	// ends a fused run at the first one.
+	mkT := func(x func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault)) *arch.DecodedInsn {
+		return &arch.DecodedInsn{Len: 4, Exec: x, Flags: arch.InsnTerm}
+	}
 	// rs2/simm resolve the register-or-immediate second operand once.
 	rs2 := -1
 	var simm uint32
@@ -57,10 +63,10 @@ func (s *Sparc) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 	case 1: // call
 		disp := int32(w<<2) >> 2
 		target := pc + uint32(disp)*4
-		return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+		return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			regs[O7] = pc
 			return target, nil
-		})
+		}).TermUop(arch.UopJmpL, O7, 0, 0, target)
 	case 0: // sethi / branches
 		switch w >> 22 & 7 {
 		case 4: // sethi
@@ -69,7 +75,7 @@ func (s *Sparc) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, v)
 				return next, nil
-			})
+			}).AluUop(arch.UopConst, d, 0, 0, v)
 		case 2, 6: // Bicc / FBfcc
 			cond := int(w >> 25 & 15)
 			disp := int32(w<<10) >> 10
@@ -82,12 +88,12 @@ func (s *Sparc) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 					tbl |= 1 << fl
 				}
 			}
-			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				if tbl>>(*flag&7)&1 != 0 {
 					return target, nil
 				}
 				return next, nil
-			})
+			}).TermUop(arch.UopBcc, int(tbl), 0, 0, target)
 		}
 		return nil
 	case 2: // arithmetic
@@ -111,39 +117,48 @@ func (s *Sparc) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 				return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 					arch.RegWrite(regs, d, regs[rs1]+regs[r2])
 					return next, nil
-				})
+				}).AluUop(arch.UopAdd, d, rs1, r2, 0)
 			}
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rs1]+simm)
 				return next, nil
-			})
+			}).AluUop(arch.UopAddI, d, rs1, 0, simm)
 		case Op3Sub:
 			if r2 := rs2; r2 >= 0 {
 				return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 					arch.RegWrite(regs, d, regs[rs1]-regs[r2])
 					return next, nil
-				})
+				}).AluUop(arch.UopSub, d, rs1, r2, 0)
 			}
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rs1]-simm)
 				return next, nil
-			})
+			}).AluUop(arch.UopAddI, d, rs1, 0, -simm)
 		case Op3And:
-			return alu(func(a, b uint32) uint32 { return a & b })
+			if r2 := rs2; r2 >= 0 {
+				return alu(func(a, b uint32) uint32 { return a & b }).AluUop(arch.UopAnd, d, rs1, r2, 0)
+			}
+			return alu(func(a, b uint32) uint32 { return a & b }).AluUop(arch.UopAndI, d, rs1, 0, simm)
 		case Op3Or:
 			if r2 := rs2; r2 >= 0 {
 				return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 					arch.RegWrite(regs, d, regs[rs1]|regs[r2])
 					return next, nil
-				})
+				}).AluUop(arch.UopOr, d, rs1, r2, 0)
 			}
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				arch.RegWrite(regs, d, regs[rs1]|simm)
 				return next, nil
-			})
+			}).AluUop(arch.UopOrI, d, rs1, 0, simm)
 		case Op3Xor:
-			return alu(func(a, b uint32) uint32 { return a ^ b })
+			if r2 := rs2; r2 >= 0 {
+				return alu(func(a, b uint32) uint32 { return a ^ b }).AluUop(arch.UopXor, d, rs1, r2, 0)
+			}
+			return alu(func(a, b uint32) uint32 { return a ^ b }).AluUop(arch.UopXorI, d, rs1, 0, simm)
 		case Op3SMul:
+			if r2 := rs2; r2 >= 0 {
+				return alu(func(a, b uint32) uint32 { return uint32(int32(a) * int32(b)) }).AluUop(arch.UopMul, d, rs1, r2, 0)
+			}
 			return alu(func(a, b uint32) uint32 { return uint32(int32(a) * int32(b)) })
 		case Op3SDiv:
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
@@ -158,41 +173,66 @@ func (s *Sparc) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 				return next, nil
 			})
 		case Op3Sll:
-			return alu(func(a, b uint32) uint32 { return a << (b & 31) })
+			if r2 := rs2; r2 >= 0 {
+				return alu(func(a, b uint32) uint32 { return a << (b & 31) }).AluUop(arch.UopShl, d, rs1, r2, 0)
+			}
+			return alu(func(a, b uint32) uint32 { return a << (b & 31) }).AluUop(arch.UopShlI, d, rs1, 0, simm&31)
 		case Op3Srl:
-			return alu(func(a, b uint32) uint32 { return a >> (b & 31) })
+			if r2 := rs2; r2 >= 0 {
+				return alu(func(a, b uint32) uint32 { return a >> (b & 31) }).AluUop(arch.UopShr, d, rs1, r2, 0)
+			}
+			return alu(func(a, b uint32) uint32 { return a >> (b & 31) }).AluUop(arch.UopShrI, d, rs1, 0, simm&31)
 		case Op3Sra:
-			return alu(func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) })
+			if r2 := rs2; r2 >= 0 {
+				return alu(func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) }).AluUop(arch.UopSar, d, rs1, r2, 0)
+			}
+			return alu(func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) }).AluUop(arch.UopSarI, d, rs1, 0, simm&31)
 		case Op3SubCC:
 			if r2 := rs2; r2 >= 0 {
-				return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+				di := mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 					a, b := regs[rs1], regs[r2]
 					arch.RegWrite(regs, d, a-b)
 					*flag = subFlags(a, b)
 					return next, nil
 				})
+				if d < 0 {
+					return di.FlagUop(arch.UopCmp, rs1, r2, 0)
+				}
+				return di.AluUop(arch.UopSubCC, d, rs1, r2, 0)
 			}
-			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			di := mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				a := regs[rs1]
 				arch.RegWrite(regs, d, a-simm)
 				*flag = subFlags(a, simm)
 				return next, nil
 			})
+			if d < 0 {
+				return di.FlagUop(arch.UopCmpI, rs1, 0, simm)
+			}
+			return di.AluUop(arch.UopSubCCI, d, rs1, 0, simm)
 		case Op3Jmpl:
 			if r2 := rs2; r2 >= 0 {
-				return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+				di := mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 					t := regs[rs1] + regs[r2]
 					arch.RegWrite(regs, d, pc)
 					return t, nil
 				})
+				if d < 0 { // link discarded: plain indirect jump
+					return di.TermUop(arch.UopJmpInd, 0, rs1, r2, 0)
+				}
+				return di // linked register-register jmpl is rare; keep the closure
 			}
-			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			di := mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				t := regs[rs1] + simm
 				arch.RegWrite(regs, d, pc)
 				return t, nil
 			})
+			if d < 0 { // ret / retl and friends: link discarded
+				return di.TermUop(arch.UopJmpInd, 0, rs1, 0, simm)
+			}
+			return di.TermUop(arch.UopJmpIndL, d, rs1, 0, simm)
 		case Op3Trap:
-			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return mkT(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				b := simm
 				if rs2 >= 0 {
 					b = regs[rs2]
@@ -274,6 +314,17 @@ func (s *Sparc) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 		rs1 := int(w >> 14 & 31)
 		load := func(size, signed int) *arch.DecodedInsn {
 			d := dst(rd)
+			uop := arch.UopLd32
+			switch {
+			case size == 1 && signed != 0:
+				uop = arch.UopLd8S
+			case size == 1:
+				uop = arch.UopLd8U
+			case size == 2 && signed != 0:
+				uop = arch.UopLd16S
+			case size == 2:
+				uop = arch.UopLd16U
+			}
 			if r2 := rs2; r2 >= 0 {
 				return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 					v, f := p.Load(regs[rs1]+regs[r2], size)
@@ -288,7 +339,7 @@ func (s *Sparc) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 					}
 					arch.RegWrite(regs, d, v)
 					return next, nil
-				})
+				}).MemUop(uop, d, rs1, r2, 0)
 			}
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				v, f := p.Load(regs[rs1]+simm, size)
@@ -303,23 +354,30 @@ func (s *Sparc) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 				}
 				arch.RegWrite(regs, d, v)
 				return next, nil
-			})
+			}).MemUop(uop, d, rs1, 0, simm)
 		}
 		store := func(size int) *arch.DecodedInsn {
+			uop := arch.UopSt32
+			switch size {
+			case 1:
+				uop = arch.UopSt8
+			case 2:
+				uop = arch.UopSt16
+			}
 			if r2 := rs2; r2 >= 0 {
 				return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 					if f := p.Store(regs[rs1]+regs[r2], size, regs[rd]); f != nil {
 						return 0, f
 					}
 					return next, nil
-				})
+				}).MemUop(uop, rd, rs1, r2, 0)
 			}
 			return mk(func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				if f := p.Store(regs[rs1]+simm, size, regs[rd]); f != nil {
 					return 0, f
 				}
 				return next, nil
-			})
+			}).MemUop(uop, rd, rs1, 0, simm)
 		}
 		switch op3 {
 		case Op3Ld:

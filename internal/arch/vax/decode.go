@@ -6,47 +6,111 @@ import (
 	"ldb/internal/arch"
 )
 
-// ospec is a predecoded operand specifier: the mode byte, register
-// number, and any displacement/immediate/absolute-address bytes, parsed
-// once from the instruction stream. It carries no processor state —
-// autoincrement and register-relative addressing are applied when the
-// spec is evaluated against a cursor, in operand order, so a decoded
-// instruction has exactly the side effects and fault ordering of the
-// interpreted one.
-type ospec struct {
-	mode int
-	reg  int
-	imm  uint32
+// copnd is a compiled operand specifier: the addressing-mode dispatch
+// Step pays per execution is resolved once at decode time. Register,
+// float-register, immediate, and absolute operands are fully static;
+// the register-relative modes compile to a small effective-address
+// closure over the register file (adr), which also carries any deferred
+// register side effect — autoincrement writes back when the address is
+// taken, which is the point in Step's sequencing where operand() ran.
+// Evaluating an operand therefore never touches memory and never
+// faults; only the read or write through it can.
+type copnd struct {
+	kind int    // oReg, oFReg, oImm, oMem
+	reg  int    // oReg/oFReg register number
+	imm  uint32 // oImm value, or the oMem absolute address when adr is nil
+	adr  func(regs []uint32) uint32
 }
 
-// spec evaluates a predecoded operand specifier, performing the
-// register reads and autoincrement writes operand() would have done at
-// this point in the instruction.
-func (c *cursor) spec(s ospec) opnd {
-	switch s.mode {
-	case ModeReg:
-		return opnd{kind: oReg, reg: s.reg}
-	case ModeFReg:
-		return opnd{kind: oFReg, reg: s.reg}
-	case ModeDefer:
-		return opnd{kind: oMem, addr: c.p.Reg(s.reg)}
-	case ModeAuto:
-		if s.reg == PCr { // immediate long
-			return opnd{kind: oImm, imm: s.imm}
+// addr returns the operand's effective address, applying any deferred
+// register side effect (autoincrement). Callers evaluate it exactly
+// once per operand evaluation, and never after a fault has latched —
+// matching Step, where a latched error makes operand() side-effect
+// free.
+func (o *copnd) addr(regs []uint32) uint32 {
+	if o.adr != nil {
+		return o.adr(regs)
+	}
+	return o.imm
+}
+
+// readOp reads size bytes through a compiled operand, with exactly
+// cursor.read's semantics: registers read low bytes, immediates yield
+// their value, memory may fault, and a float-register operand is the
+// SIGILL Step latches.
+func readOp(p arch.Proc, regs []uint32, o *copnd, size int, pc uint32) (uint32, *arch.Fault) {
+	switch o.kind {
+	case oReg:
+		v := regs[o.reg]
+		switch size {
+		case 1:
+			return v & 0xff, nil
+		case 2:
+			return v & 0xffff, nil
 		}
-		addr := c.p.Reg(s.reg)
-		c.p.SetReg(s.reg, addr+4)
-		return opnd{kind: oMem, addr: addr}
-	case ModeAbs:
-		return opnd{kind: oMem, addr: s.imm}
-	default: // ModeBDisp, ModeWDisp, ModeLDisp: displacement in imm
-		return opnd{kind: oMem, addr: c.p.Reg(s.reg) + s.imm}
+		return v, nil
+	case oImm:
+		return o.imm, nil
+	case oMem:
+		return p.Load(o.addr(regs), size)
+	default:
+		return 0, sigill(pc)
+	}
+}
+
+// writeOp writes size bytes through a compiled operand (cursor.write's
+// semantics: register writes merge into the low bytes, writes to
+// immediates or float registers are SIGILL).
+func writeOp(p arch.Proc, regs []uint32, o *copnd, size int, v uint32, pc uint32) *arch.Fault {
+	switch o.kind {
+	case oReg:
+		old := regs[o.reg]
+		switch size {
+		case 1:
+			v = old&^0xff | v&0xff
+		case 2:
+			v = old&^0xffff | v&0xffff
+		}
+		regs[o.reg] = v
+		return nil
+	case oMem:
+		return p.Store(o.addr(regs), size, v)
+	default:
+		return sigill(pc)
+	}
+}
+
+// readFOp and writeFOp are the float counterparts (cursor.readF /
+// cursor.writeF).
+func readFOp(p arch.Proc, regs []uint32, o *copnd, size int, pc uint32) (float64, *arch.Fault) {
+	switch o.kind {
+	case oFReg:
+		return p.FReg(o.reg), nil
+	case oMem:
+		return p.LoadFloat(o.addr(regs), size)
+	default:
+		return 0, sigill(pc)
+	}
+}
+
+func writeFOp(p arch.Proc, regs []uint32, o *copnd, size int, v float64, pc uint32) *arch.Fault {
+	switch o.kind {
+	case oFReg:
+		if size == 4 {
+			v = float64(float32(v))
+		}
+		p.SetFReg(o.reg, v)
+		return nil
+	case oMem:
+		return p.StoreFloat(o.addr(regs), size, v)
+	default:
+		return sigill(pc)
 	}
 }
 
 // push and pop are Step's stack closures hoisted onto the cursor so the
-// decoded handlers share them (including leaving SP decremented when
-// the push's store faults).
+// interpreter shares one definition (including leaving SP decremented
+// when the push's store faults).
 func (c *cursor) push(val uint32) {
 	if c.err != nil {
 		return
@@ -112,39 +176,56 @@ func (d *dec) u32() uint32 {
 	return v
 }
 
-func (d *dec) spec() ospec {
+// spec parses one operand specifier and compiles it to a copnd.
+func (d *dec) spec() copnd {
 	b := d.u8()
 	mode := int(b >> 4)
 	reg := int(b & 15)
 	switch mode {
-	case ModeReg, ModeDefer:
-		return ospec{mode: mode, reg: reg}
+	case ModeReg:
+		return copnd{kind: oReg, reg: reg}
 	case ModeFReg:
-		return ospec{mode: mode, reg: reg & 7}
+		return copnd{kind: oFReg, reg: reg & 7}
+	case ModeDefer:
+		return copnd{kind: oMem, adr: func(regs []uint32) uint32 { return regs[reg] }}
 	case ModeAuto:
-		if reg == PCr {
-			return ospec{mode: mode, reg: reg, imm: d.u32()}
+		if reg == PCr { // immediate long
+			return copnd{kind: oImm, imm: d.u32()}
 		}
-		return ospec{mode: mode, reg: reg}
+		return copnd{kind: oMem, adr: func(regs []uint32) uint32 {
+			a := regs[reg]
+			regs[reg] = a + 4
+			return a
+		}}
 	case ModeAbs:
-		return ospec{mode: mode, imm: d.u32()}
-	case ModeBDisp:
-		return ospec{mode: mode, reg: reg, imm: uint32(int32(int8(d.u8())))}
-	case ModeWDisp:
-		return ospec{mode: mode, reg: reg, imm: uint32(int32(int16(d.u16())))}
-	case ModeLDisp:
-		return ospec{mode: mode, reg: reg, imm: d.u32()}
+		return copnd{kind: oMem, imm: d.u32()}
+	case ModeBDisp, ModeWDisp, ModeLDisp:
+		var disp uint32
+		switch mode {
+		case ModeBDisp:
+			disp = uint32(int32(int8(d.u8())))
+		case ModeWDisp:
+			disp = uint32(int32(int16(d.u16())))
+		default:
+			disp = d.u32()
+		}
+		return copnd{kind: oMem, adr: func(regs []uint32) uint32 { return regs[reg] + disp }}
 	default:
 		d.ok = false // Step raises SIGILL; fall back
-		return ospec{}
+		return copnd{}
 	}
 }
 
-// Decode implements arch.Decoder. Opcode dispatch and operand-specifier
-// parsing happen once; the handlers evaluate the predecoded specs in
-// operand order against a cursor whose at starts past the instruction,
-// which reproduces Step's sequencing (autoincrement between operands,
-// error latching, final SetPC(c.at)) exactly.
+// Decode implements arch.Decoder. Opcode dispatch, operand-specifier
+// parsing, and addressing-mode dispatch all happen once here; the
+// handlers evaluate compiled operands in Step's operand order, latching
+// the first fault exactly as the interpreter's cursor does: a faulting
+// operand stops later operands from being evaluated (so their register
+// side effects never run), while the few instructions that act after an
+// error latches — tstl/cmpl/cmpd set their flags from zero values,
+// divl3 checks the divisor — reproduce that ordering explicitly.
+// Control-transfer instructions carry arch.InsnTerm for the superblock
+// builder; everything else is guaranteed to fall through to pc+Len.
 func (v *Vax) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 	if off < 0 || off >= len(code) {
 		return nil
@@ -153,46 +234,60 @@ func (v *Vax) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 	opc := code[off]
 
 	length := func() uint32 { return uint32(d.at - off) }
-	run := func(x func(c *cursor)) *arch.DecodedInsn {
+	mk := func(term arch.InsnFlags, x func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault)) *arch.DecodedInsn {
 		if !d.ok {
 			return nil
 		}
-		ln := length()
-		return &arch.DecodedInsn{Len: ln, Exec: func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
-			c := &cursor{p: p, pc: pc, at: pc + ln}
-			x(c)
-			if c.err != nil {
-				return 0, c.err
-			}
-			return c.at, nil
-		}}
+		return &arch.DecodedInsn{Len: length(), Exec: x, Flags: term}
 	}
+	// branch16 predecodes a conditional branch: the flags live in bits
+	// 0-2, so the condition compiles to an 8-entry truth table indexed
+	// by flag&7, and both successor pcs are computed here.
 	branch16 := func(cond func(z, n, cu bool) bool) *arch.DecodedInsn {
 		disp := uint32(int32(int16(d.u16())))
-		return run(func(c *cursor) {
-			flag := c.p.Flag()
-			if cond(flag&FlagZ != 0, flag&FlagN != 0, flag&FlagC != 0) {
-				c.at += disp
+		if !d.ok {
+			return nil
+		}
+		target := pc + 3 + disp
+		next := pc + 3
+		var tbl uint32
+		for fl := uint32(0); fl < 8; fl++ {
+			if cond(fl&FlagZ != 0, fl&FlagN != 0, fl&FlagC != 0) {
+				tbl |= 1 << fl
 			}
-		})
+		}
+		return &arch.DecodedInsn{Len: 3, Flags: arch.InsnTerm, Exec: func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			if tbl>>(*flag&7)&1 != 0 {
+				return target, nil
+			}
+			return next, nil
+		}}
 	}
 
 	switch opc {
 	case OpNop:
-		return run(func(*cursor) {})
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			return next, nil
+		})
 	case OpHalt:
-		if !d.ok {
-			return nil
-		}
-		return &arch.DecodedInsn{Len: 1, Exec: func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+		return mk(arch.InsnTerm, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			return 0, &arch.Fault{Kind: arch.FaultHalt, PC: pc}
-		}}
+		})
 	case OpBpt:
-		return &arch.DecodedInsn{Len: 1, Exec: func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+		return mk(arch.InsnTerm, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			return 0, &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: arch.TrapBreakpoint, PC: pc}
-		}}
+		})
 	case OpRsb:
-		return run(func(c *cursor) { c.at = c.pop() })
+		return mk(arch.InsnTerm, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			sp := regs[SP]
+			v, f := p.Load(sp, 4)
+			if f != nil {
+				return 0, f // SP untouched, exactly as pop latches
+			}
+			regs[SP] = sp + 4
+			return v, nil
+		})
 	case OpBrw:
 		return branch16(func(z, n, cu bool) bool { return true })
 	case OpBneq:
@@ -216,108 +311,163 @@ func (v *Vax) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 	case OpBlssu:
 		return branch16(func(z, n, cu bool) bool { return cu })
 	case OpJsb:
-		s := d.spec()
-		return run(func(c *cursor) {
-			o := c.spec(s)
-			target := o.addr
-			if o.kind == oReg {
-				target = c.p.Reg(o.reg)
-			}
-			c.push(c.at)
-			c.at = target
-		})
-	case OpJmp:
-		s := d.spec()
-		return run(func(c *cursor) {
-			o := c.spec(s)
-			if o.kind == oReg {
-				c.at = c.p.Reg(o.reg)
-			} else {
-				c.at = o.addr
-			}
-		})
-	case OpChmk:
-		s := d.spec()
+		o := d.spec()
 		if !d.ok {
 			return nil
 		}
 		ln := length()
-		return &arch.DecodedInsn{Len: ln, Exec: func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
-			c := &cursor{p: p, pc: pc, at: pc + ln}
-			num := c.read(c.spec(s), 4)
-			if c.err != nil {
-				return 0, c.err
+		return mk(arch.InsnTerm, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			var target uint32
+			switch o.kind {
+			case oReg:
+				target = regs[o.reg]
+			case oMem:
+				target = o.addr(regs)
+			}
+			// A faulting push leaves SP decremented, as cursor.push does.
+			sp := regs[SP] - 4
+			regs[SP] = sp
+			if f := p.Store(sp, 4, pc+ln); f != nil {
+				return 0, f
+			}
+			return target, nil
+		})
+	case OpJmp:
+		o := d.spec()
+		return mk(arch.InsnTerm, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			switch o.kind {
+			case oReg:
+				return regs[o.reg], nil
+			case oMem:
+				return o.addr(regs), nil
+			}
+			return 0, nil // Step jumps to the zero addr an immediate carries
+		})
+	case OpChmk:
+		o := d.spec()
+		if !d.ok {
+			return nil
+		}
+		ln := length()
+		return mk(arch.InsnTerm, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			num, f := readOp(p, regs, &o, 4, pc)
+			if f != nil {
+				return 0, f
 			}
 			if num == arch.TrapPause {
 				return 0, &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigTrap, Code: arch.TrapPause, PC: pc, Len: ln}
 			}
-			p.SetPC(c.at)
+			p.SetPC(pc + ln)
 			return 0, &arch.Fault{Kind: arch.FaultSyscall, Code: int(num), PC: pc}
-		}}
+		})
 	case OpPushl:
-		s := d.spec()
-		return run(func(c *cursor) { c.push(c.read(c.spec(s), 4)) })
-	case OpMovl, OpMovb, OpMovw:
-		size := 4
-		if opc == OpMovb {
-			size = 1
-		} else if opc == OpMovw {
-			size = 2
+		o := d.spec()
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			v, f := readOp(p, regs, &o, 4, pc)
+			if f != nil {
+				return 0, f // a faulting source read leaves SP alone
+			}
+			sp := regs[SP] - 4
+			regs[SP] = sp
+			if f := p.Store(sp, 4, v); f != nil {
+				return 0, f
+			}
+			return next, nil
+		})
+	case OpMovl, OpMovb, OpMovw, OpMovzbl, OpMovzwl, OpCvtbl, OpCvtwl:
+		rsize, wsize := 4, 4
+		ext := func(v uint32) uint32 { return v }
+		switch opc {
+		case OpMovb:
+			rsize, wsize = 1, 1
+		case OpMovw:
+			rsize, wsize = 2, 2
+		case OpMovzbl:
+			rsize = 1
+			ext = func(v uint32) uint32 { return v & 0xff }
+		case OpMovzwl:
+			rsize = 2
+			ext = func(v uint32) uint32 { return v & 0xffff }
+		case OpCvtbl:
+			rsize = 1
+			ext = func(v uint32) uint32 { return uint32(int32(int8(v))) }
+		case OpCvtwl:
+			rsize = 2
+			ext = func(v uint32) uint32 { return uint32(int32(int16(v))) }
 		}
 		src, dst := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			val := c.read(c.spec(src), size)
-			c.write(c.spec(dst), size, val)
-		})
-	case OpMovzbl:
-		src, dst := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			val := c.read(c.spec(src), 1)
-			c.write(c.spec(dst), 4, val&0xff)
-		})
-	case OpMovzwl:
-		src, dst := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			val := c.read(c.spec(src), 2)
-			c.write(c.spec(dst), 4, val&0xffff)
-		})
-	case OpCvtbl:
-		src, dst := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			val := c.read(c.spec(src), 1)
-			c.write(c.spec(dst), 4, uint32(int32(int8(val))))
-		})
-	case OpCvtwl:
-		src, dst := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			val := c.read(c.spec(src), 2)
-			c.write(c.spec(dst), 4, uint32(int32(int16(val))))
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			v, f := readOp(p, regs, &src, rsize, pc)
+			if f != nil {
+				return 0, f // dst is never evaluated after a latched error
+			}
+			if f := writeOp(p, regs, &dst, wsize, ext(v), pc); f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	case OpTstl:
-		s := d.spec()
-		return run(func(c *cursor) {
-			val := c.read(c.spec(s), 4)
-			c.p.SetFlag(compareFlags(val, 0))
+		o := d.spec()
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			// The flags are set even when the read faults (from the
+			// zero value), exactly as Step sequences it.
+			v, f := readOp(p, regs, &o, 4, pc)
+			*flag = compareFlags(v, 0)
+			if f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	case OpCmpl:
 		s1, s2 := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			a := c.read(c.spec(s1), 4)
-			b := c.read(c.spec(s2), 4)
-			c.p.SetFlag(compareFlags(a, b))
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			a, f := readOp(p, regs, &s1, 4, pc)
+			var b uint32
+			if f == nil {
+				b, f = readOp(p, regs, &s2, 4, pc)
+			}
+			*flag = compareFlags(a, b) // set even on a fault, from zeros
+			if f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	case OpAddl2, OpSubl2:
 		add := opc == OpAddl2
-		src, dsts := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			sv := c.read(c.spec(src), 4)
-			dst := c.spec(dsts)
-			dv := c.read(dst, 4)
-			if add {
-				c.write(dst, 4, dv+sv)
-			} else {
-				c.write(dst, 4, dv-sv)
+		src, dst := d.spec(), d.spec()
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			sv, f := readOp(p, regs, &src, 4, pc)
+			if f != nil {
+				return 0, f
 			}
+			if !add {
+				sv = -sv
+			}
+			// The destination is evaluated once (its autoincrement must
+			// not run twice), then read and written through that address.
+			switch dst.kind {
+			case oReg:
+				regs[dst.reg] += sv
+			case oMem:
+				a := dst.addr(regs)
+				dv, f := p.Load(a, 4)
+				if f != nil {
+					return 0, f
+				}
+				if f := p.Store(a, 4, dv+sv); f != nil {
+					return 0, f
+				}
+			default:
+				// Step reads an immediate destination fine and latches
+				// SIGILL on the write.
+				return 0, sigill(pc)
+			}
+			return next, nil
 		})
 	case OpAddl3, OpSubl3, OpMull3, OpBisl3, OpBicl3, OpXorl3:
 		s1, s2, s3 := d.spec(), d.spec(), d.spec()
@@ -334,45 +484,83 @@ func (v *Vax) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 		case OpXorl3:
 			op = func(a, b uint32) uint32 { return a ^ b }
 		}
-		return run(func(c *cursor) {
-			a := c.read(c.spec(s1), 4)
-			b := c.read(c.spec(s2), 4)
-			dst := c.spec(s3)
-			c.write(dst, 4, op(a, b))
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			a, f := readOp(p, regs, &s1, 4, pc)
+			if f != nil {
+				return 0, f
+			}
+			b, f := readOp(p, regs, &s2, 4, pc)
+			if f != nil {
+				return 0, f
+			}
+			if f := writeOp(p, regs, &s3, 4, op(a, b), pc); f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	case OpDivl3:
 		s1, s2, s3 := d.spec(), d.spec(), d.spec()
-		if !d.ok {
-			return nil
-		}
-		ln := length()
-		return &arch.DecodedInsn{Len: ln, Exec: func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
-			c := &cursor{p: p, pc: pc, at: pc + ln}
-			a := c.read(c.spec(s1), 4)
-			b := c.read(c.spec(s2), 4)
-			dst := c.spec(s3)
-			if a == 0 { // Step checks the divisor before latched errors
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			a, f := readOp(p, regs, &s1, 4, pc)
+			var b uint32
+			if f == nil {
+				b, f = readOp(p, regs, &s2, 4, pc)
+			}
+			// The destination's side effects run before the divisor
+			// check, and the divide fault wins over a latched error —
+			// Step's exact ordering.
+			var da uint32
+			if f == nil && s3.kind == oMem {
+				da = s3.addr(regs)
+			}
+			if a == 0 {
 				return 0, &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigFPE, PC: pc}
 			}
-			c.write(dst, 4, uint32(int32(b)/int32(a))) // dst = src2 / src1
-			if c.err != nil {
-				return 0, c.err
+			if f != nil {
+				return 0, f
 			}
-			return c.at, nil
-		}}
+			r := uint32(int32(b) / int32(a)) // dst = src2 / src1
+			switch s3.kind {
+			case oReg:
+				regs[s3.reg] = r
+			case oMem:
+				if f := p.Store(da, 4, r); f != nil {
+					return 0, f
+				}
+			default:
+				return 0, sigill(pc)
+			}
+			return next, nil
+		})
 	case OpMcoml:
 		src, dst := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			val := c.read(c.spec(src), 4)
-			c.write(c.spec(dst), 4, ^val)
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			v, f := readOp(p, regs, &src, 4, pc)
+			if f != nil {
+				return 0, f
+			}
+			if f := writeOp(p, regs, &dst, 4, ^v, pc); f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	case OpAshl, OpLsrl:
 		ash := opc == OpAshl
 		s1, s2, s3 := d.spec(), d.spec(), d.spec()
-		return run(func(c *cursor) {
-			cnt := int32(c.read(c.spec(s1), 4))
-			src := c.read(c.spec(s2), 4)
-			dst := c.spec(s3)
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			cv, f := readOp(p, regs, &s1, 4, pc)
+			if f != nil {
+				return 0, f
+			}
+			src, f := readOp(p, regs, &s2, 4, pc)
+			if f != nil {
+				return 0, f
+			}
+			cnt := int32(cv)
 			var r uint32
 			if ash {
 				if cnt >= 0 {
@@ -383,7 +571,10 @@ func (v *Vax) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 			} else {
 				r = src >> (uint32(cnt) & 31)
 			}
-			c.write(dst, 4, r)
+			if f := writeOp(p, regs, &s3, 4, r, pc); f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	case OpMovd, OpMovf:
 		size := 8
@@ -391,9 +582,16 @@ func (v *Vax) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 			size = 4
 		}
 		src, dst := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			val := c.readF(c.spec(src), size)
-			c.writeF(c.spec(dst), size, val)
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			v, f := readFOp(p, regs, &src, size, pc)
+			if f != nil {
+				return 0, f
+			}
+			if f := writeFOp(p, regs, &dst, size, v, pc); f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	case OpAddd3, OpSubd3, OpMuld3, OpDivd3:
 		s1, s2, s3 := d.spec(), d.spec(), d.spec()
@@ -406,43 +604,81 @@ func (v *Vax) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 		case OpDivd3:
 			op = func(a, b float64) float64 { return b / a }
 		}
-		return run(func(c *cursor) {
-			a := c.readF(c.spec(s1), 8)
-			b := c.readF(c.spec(s2), 8)
-			dst := c.spec(s3)
-			c.writeF(dst, 8, op(a, b))
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			a, f := readFOp(p, regs, &s1, 8, pc)
+			if f != nil {
+				return 0, f
+			}
+			b, f := readFOp(p, regs, &s2, 8, pc)
+			if f != nil {
+				return 0, f
+			}
+			if f := writeFOp(p, regs, &s3, 8, op(a, b), pc); f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	case OpMnegd:
 		src, dst := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			val := c.readF(c.spec(src), 8)
-			c.writeF(c.spec(dst), 8, -val)
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			v, f := readFOp(p, regs, &src, 8, pc)
+			if f != nil {
+				return 0, f
+			}
+			if f := writeFOp(p, regs, &dst, 8, -v, pc); f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	case OpCmpd:
 		s1, s2 := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			a := c.readF(c.spec(s1), 8)
-			b := c.readF(c.spec(s2), 8)
-			var f uint32
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			a, f := readFOp(p, regs, &s1, 8, pc)
+			var b float64
+			if f == nil {
+				b, f = readFOp(p, regs, &s2, 8, pc)
+			}
+			var fl uint32
 			if a == b {
-				f |= FlagZ
+				fl |= FlagZ
 			}
 			if a < b {
-				f |= FlagN | FlagC
+				fl |= FlagN | FlagC
 			}
-			c.p.SetFlag(f)
+			*flag = fl // set even on a fault, from zeros
+			if f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	case OpCvtld:
 		src, dst := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			val := c.read(c.spec(src), 4)
-			c.writeF(c.spec(dst), 8, float64(int32(val)))
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			v, f := readOp(p, regs, &src, 4, pc)
+			if f != nil {
+				return 0, f
+			}
+			if f := writeFOp(p, regs, &dst, 8, float64(int32(v)), pc); f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	case OpCvtdl:
 		src, dst := d.spec(), d.spec()
-		return run(func(c *cursor) {
-			val := c.readF(c.spec(src), 8)
-			c.write(c.spec(dst), 4, uint32(int32(math.Trunc(val))))
+		next := pc + length()
+		return mk(0, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
+			v, f := readFOp(p, regs, &src, 8, pc)
+			if f != nil {
+				return 0, f
+			}
+			if f := writeOp(p, regs, &dst, 4, uint32(int32(math.Trunc(v))), pc); f != nil {
+				return 0, f
+			}
+			return next, nil
 		})
 	}
 	return nil

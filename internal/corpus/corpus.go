@@ -8,24 +8,35 @@ import (
 	"ldb/internal/workload"
 )
 
+// PredecodeMode selects how a session's simulator executes: straight
+// interpretation from memory, the per-instruction decode cache, or the
+// decode cache with superblock fusion on top. All three must transcribe
+// identically — fusion is a pure speed transform.
+type PredecodeMode int
+
+const (
+	PredecodeOff   PredecodeMode = iota // interpret from memory
+	PredecodeInsn                       // decode cache, one instruction per dispatch
+	PredecodeFused                      // decode cache + superblock fusion
+)
+
 // Axes are the differential dimensions every scenario is checked
 // across: the target ISAs (the mips big-endian variant rides along as
-// a fifth configuration), predecoded versus interpret-from-memory
-// execution, and the optimized versus plain wire protocol. A scenario
-// passes only if all len(Arches)×2×2 sessions produce byte-identical
-// transcripts.
+// a fifth configuration), the three simulator execution modes, and the
+// optimized versus plain wire protocol. A scenario passes only if all
+// len(Arches)×3×2 sessions produce byte-identical transcripts.
 type Axes struct {
 	Arches    []string
-	Predecode []bool // true = predecoded (decode-cached) execution
+	Predecode []PredecodeMode
 	Wire      []bool // true = batching+caching transport
 }
 
-// DefaultAxes covers everything: 5 targets × predecode on/off × wire
-// on/off = 20 sessions per scenario.
+// DefaultAxes covers everything: 5 targets × 3 execution modes × wire
+// on/off = 30 sessions per scenario.
 func DefaultAxes() Axes {
 	return Axes{
 		Arches:    []string{"mips", "mipsbe", "sparc", "m68k", "vax"},
-		Predecode: []bool{true, false},
+		Predecode: []PredecodeMode{PredecodeFused, PredecodeInsn, PredecodeOff},
 		Wire:      []bool{true, false},
 	}
 }
@@ -62,7 +73,7 @@ func AddScenario(g *Graph, sc workload.Scenario, ax Axes) *Node {
 			for _, wire := range ax.Wire {
 				pd, wire := pd, wire
 				sessions = append(sessions, g.Add(&Node{
-					Key:     fmt.Sprintf("session:%s:%s:p%d:w%d", sc.Name, archName, b2i(pd), b2i(wire)),
+					Key:     fmt.Sprintf("session:%s:%s:p%d:w%d", sc.Name, archName, int(pd), b2i(wire)),
 					Static:  scriptStatic(sc),
 					Deps:    []*Node{build},
 					Persist: true,

@@ -9,9 +9,10 @@ import (
 )
 
 // The tier-1 corpus smoke: ~25 generated scenarios plus the hand
-// workloads, every oracle axis (5 targets × predecode on/off × wire
-// on/off), byte-identical transcripts required. A second run against
-// the same cache must be a no-op — no compiles, no simulations.
+// workloads, every oracle axis (5 targets × fused/per-insn/uncached
+// execution × wire on/off), byte-identical transcripts required. A
+// second run against the same cache must be a no-op — no compiles, no
+// simulations.
 func TestCorpusSmoke(t *testing.T) {
 	count := 25
 	if testing.Short() {
@@ -63,9 +64,9 @@ func TestCorpusSmoke(t *testing.T) {
 func TestTranscriptsAddressFree(t *testing.T) {
 	sc := workload.Generate(4242)
 	g := NewGraph()
-	AddScenario(g, sc, Axes{Arches: []string{"vax"}, Predecode: []bool{true}, Wire: []bool{true}})
+	AddScenario(g, sc, Axes{Arches: []string{"vax"}, Predecode: []PredecodeMode{PredecodeFused}, Wire: []bool{true}})
 	var tr []byte
-	for _, n := range []string{"session:" + sc.Name + ":vax:p1:w1"} {
+	for _, n := range []string{"session:" + sc.Name + ":vax:p2:w1"} {
 		node := g.Add(&Node{Key: n})
 		if node.Run == nil {
 			t.Fatalf("session node %s not registered", n)

@@ -16,10 +16,10 @@ import (
 // plus the program's own output and exit status. Transcripts are
 // deliberately address-free — stop positions are reported as
 // proc@stop-index, backtraces as procedure names — so the same program
-// must transcribe identically on every ISA, with and without the
-// decode cache, over the plain and the optimized wire protocol. That
-// byte-equality is the corpus's differential oracle.
-func RunSession(prog *driver.Program, sc workload.Scenario, predecode, wire bool) ([]byte, error) {
+// must transcribe identically on every ISA, in all three simulator
+// execution modes, over the plain and the optimized wire protocol.
+// That byte-equality is the corpus's differential oracle.
+func RunSession(prog *driver.Program, sc workload.Scenario, pd PredecodeMode, wire bool) ([]byte, error) {
 	var sink strings.Builder
 	d, err := core.New(&sink)
 	if err != nil {
@@ -29,7 +29,8 @@ func RunSession(prog *driver.Program, sc workload.Scenario, predecode, wire bool
 	if err != nil {
 		return nil, fmt.Errorf("launch: %w", err)
 	}
-	proc.NoPredecode = !predecode
+	proc.NoPredecode = pd == PredecodeOff
+	proc.NoFuse = pd == PredecodeInsn
 	tgt, err := d.AttachClient(sc.Name, client, prog.LoaderPS)
 	if err != nil {
 		return nil, fmt.Errorf("attach: %w", err)

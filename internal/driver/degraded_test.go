@@ -180,3 +180,40 @@ func TestDegradedAttachRecoversWithGoodTable(t *testing.T) {
 		t.Fatalf("source-level break on the good target: %v", err)
 	}
 }
+
+// TestDegradedStepiRetiresOneInsn pins the stepi contract against the
+// fused engine: once text is hot in the superblock cache (the continue
+// to main executed it fused), each MStepInst must retire exactly one
+// instruction — never a whole block — including the restore-step-
+// replant sequence on the breakpoint itself.
+func TestDegradedStepiRetiresOneInsn(t *testing.T) {
+	_, tgt, prog, proc, _ := degradedAttach(t, "")
+	tbl, err := symtab.Load(ps.New(), prog.LoaderPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainAddr, err := tbl.GlobalAddr("_main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.BreakAddr(mainAddr); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := tgt.Continue()
+	if err != nil || ev.Exited || ev.PC != mainAddr {
+		t.Fatalf("continue: %v %v", ev, err)
+	}
+	for i := 0; i < 5; i++ {
+		before := proc.Steps
+		ev, err := tgt.StepInst()
+		if err != nil || ev.Exited {
+			t.Fatalf("step %d: %v %v", i, ev, err)
+		}
+		if got := proc.Steps - before; got != 1 {
+			t.Fatalf("step %d retired %d instructions, want exactly 1", i, got)
+		}
+		if ev.PC != proc.PC() {
+			t.Fatalf("step %d: event pc %#x, process pc %#x", i, ev.PC, proc.PC())
+		}
+	}
+}

@@ -148,3 +148,110 @@ func TestPredecodePlantUnplantProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestSuperblockPlantLockstep is the fused engine's version of the
+// plant/unplant property. Single-stepping bypasses superblocks, so the
+// fused process advances with Run — stop to stop — while the uncached
+// reference runs beside it; both receive identical plant and unplant
+// traffic between stops. Plants land just ahead of the stopped pc
+// (inside blocks about to be entered — the hardest invalidation case)
+// and at random text offsets. Any stale block makes the fused side
+// sail past a breakpoint or diverge in state at the next stop.
+func TestSuperblockPlantLockstep(t *testing.T) {
+	for _, a := range allArches {
+		prog, err := Build([]Source{{Name: "queens.c", Text: workload.Queens}}, Options{Arch: a})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		pf := link.NewProcess(prog.Image)
+		pu := link.NewProcess(prog.Image)
+		pu.NoPredecode = true
+
+		br := prog.Image.Arch.BreakInstr()
+		r := rand.New(rand.NewSource(2))
+		planted := map[uint32][]byte{}
+		writeBoth := func(addr uint32, b []byte) {
+			if err := pf.WriteBytes(addr, b); err != nil {
+				t.Fatalf("%s: write %#x: %v", a, addr, err)
+			}
+			if err := pu.WriteBytes(addr, b); err != nil {
+				t.Fatalf("%s: write %#x: %v", a, addr, err)
+			}
+		}
+		plant := func(addr uint32) {
+			if addr-machine.TextBase > uint32(len(prog.Image.Text)-len(br)) {
+				return
+			}
+			if _, ok := planted[addr]; ok {
+				return
+			}
+			old := make([]byte, len(br))
+			if err := pf.ReadBytes(addr, old); err != nil {
+				t.Fatalf("%s: read %#x: %v", a, addr, err)
+			}
+			planted[addr] = old
+			writeBoth(addr, br)
+		}
+		unplant := func(addr uint32) {
+			if old, ok := planted[addr]; ok {
+				delete(planted, addr)
+				writeBoth(addr, old)
+			}
+		}
+
+		for round := 0; round < 400; round++ {
+			// Plant ahead of the stopped pc — pcs the next Run's blocks
+			// cover — and somewhere random; occasionally lift one.
+			plant(pf.PC() + uint32(len(br)*(1+r.Intn(16))))
+			if r.Intn(2) == 0 {
+				plant(machine.TextBase + uint32(r.Intn(len(prog.Image.Text))))
+			}
+			if r.Intn(4) == 0 {
+				for addr := range planted {
+					unplant(addr)
+					break
+				}
+			}
+			ff := pf.Run()
+			fu := pu.Run()
+			if (ff == nil) != (fu == nil) || (ff != nil && *ff != *fu) {
+				t.Fatalf("%s: round %d diverged: fused %+v, uncached %+v", a, round, ff, fu)
+			}
+			if pf.PC() != pu.PC() || pf.Flag() != pu.Flag() || pf.Steps != pu.Steps {
+				t.Fatalf("%s: round %d: fused pc=%#x flag=%#x steps=%d, uncached pc=%#x flag=%#x steps=%d",
+					a, round, pf.PC(), pf.Flag(), pf.Steps, pu.PC(), pu.Flag(), pu.Steps)
+			}
+			for i := 0; i < prog.Image.Arch.NumRegs(); i++ {
+				if pf.Reg(i) != pu.Reg(i) {
+					t.Fatalf("%s: round %d: r%d fused %#x, uncached %#x", a, round, i, pf.Reg(i), pu.Reg(i))
+				}
+			}
+			if ff == nil || ff.Kind == arch.FaultHalt {
+				break
+			}
+			if _, ok := planted[ff.PC]; ok {
+				// Our breakpoint: lift it and resume at the same pc, as
+				// a debugger stepping over a plant would.
+				unplant(ff.PC)
+				continue
+			}
+			// A plant mid-instruction corrupted the stream (identically
+			// on both sides). Lift everything and resume; if the fault
+			// persists on clean text the run is wedged and the property
+			// has held.
+			if len(planted) == 0 {
+				break
+			}
+			addrs := make([]uint32, 0, len(planted))
+			for addr := range planted {
+				addrs = append(addrs, addr)
+			}
+			for _, addr := range addrs {
+				unplant(addr)
+			}
+		}
+		if got, want := pf.Stdout.String(), pu.Stdout.String(); got != want {
+			t.Fatalf("%s: fused stdout %q, uncached %q", a, got, want)
+		}
+	}
+}

@@ -33,6 +33,13 @@ type Segment struct {
 	// Entries are stored by value (a nil Exec means "not decoded") so
 	// dispatch loads the handler with one indirection, not two.
 	decoded []arch.DecodedInsn
+	// sblocks is the superblock cache, indexed by entry byte offset,
+	// and gen is the segment's invalidation generation: any text write
+	// that drops a block bumps it, which both severs predicted-successor
+	// links and tells a block in mid-execution to abandon its remaining
+	// fused instructions. See superblock.go.
+	sblocks []*sblock
+	gen     uint64
 }
 
 // Contains reports whether [addr, addr+size) lies inside the segment.
@@ -82,11 +89,33 @@ type Process struct {
 	// when the architecture implements arch.Decoder. Differential tests
 	// and the cached-vs-uncached benchmarks flip it.
 	NoPredecode bool
+	// NoFuse keeps the decode cache but dispatches one instruction at a
+	// time instead of fusing straight-line runs into superblocks — the
+	// engine as it was before superblocks existed. The differential
+	// tests pin all three modes (uncached, per-instruction, fused)
+	// against each other.
+	NoFuse bool
 
 	dec      arch.Decoder // non-nil when A supports predecoding
 	be       bool         // big-endian target; avoids per-access Order() dispatch
 	lastSeg  *Segment     // memory fast path: last segment hit by seg()
 	lastText *Segment     // execution fast path: last segment fetched from
+
+	// memBase/memData mirror lastSeg's window so the fused dispatch
+	// loop's memory micro-ops bounds-check against Process fields
+	// directly — one load fewer on the critical path than chasing the
+	// Segment pointer. The second window holds the previously hit
+	// segment, demoted by seg() when the first misses: a workload
+	// alternating between two segments (stack locals and globals, the
+	// common case) stays on the fast path instead of paying a segment
+	// scan per alternation. Zero windows (nil data) simply miss.
+	// memSeg2 is the demoted window's segment, which stores need for
+	// invalidation; window one's segment is lastSeg itself.
+	memBase  uint32
+	memData  []byte
+	memBase2 uint32
+	memData2 []byte
+	memSeg2  *Segment
 }
 
 // New returns a stopped process with text and data segments holding the
@@ -157,18 +186,26 @@ func (p *Process) seg(addr uint32, size int) (*Segment, *arch.Fault) {
 	}
 	for _, s := range p.Segs {
 		if s.Contains(addr, size) {
+			p.memBase2, p.memData2, p.memSeg2 = p.memBase, p.memData, p.lastSeg
 			p.lastSeg = s
+			p.memBase, p.memData = s.Base, s.Data
 			return s, nil
 		}
 	}
 	return nil, &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigSegv, Addr: addr, PC: p.pc}
 }
 
-// Load implements arch.Proc.
+// Load implements arch.Proc. The last-segment check is open-coded
+// here rather than delegated to seg(): Load is the hottest call the
+// decoded handlers make, and the extra call frame showed up in
+// profiles.
 func (p *Process) Load(addr uint32, size int) (uint32, *arch.Fault) {
-	s, f := p.seg(addr, size)
-	if f != nil {
-		return 0, f
+	s := p.lastSeg
+	if s == nil || !s.Contains(addr, size) {
+		var f *arch.Fault
+		if s, f = p.seg(addr, size); f != nil {
+			return 0, f
+		}
 	}
 	b := s.Data[addr-s.Base:]
 	switch size {
@@ -186,11 +223,14 @@ func (p *Process) Load(addr uint32, size int) (uint32, *arch.Fault) {
 	return uint32(b[0]), nil
 }
 
-// Store implements arch.Proc.
+// Store implements arch.Proc. Open-coded fast path, as in Load.
 func (p *Process) Store(addr uint32, size int, v uint32) *arch.Fault {
-	s, f := p.seg(addr, size)
-	if f != nil {
-		return f
+	s := p.lastSeg
+	if s == nil || !s.Contains(addr, size) {
+		var f *arch.Fault
+		if s, f = p.seg(addr, size); f != nil {
+			return f
+		}
 	}
 	b := s.Data[addr-s.Base:]
 	switch size {
@@ -341,6 +381,7 @@ func (p *Process) Run() *arch.Fault {
 	}
 	p.State = StateRunning
 	predecode := p.dec != nil && !p.NoPredecode
+	fuse := predecode && !p.NoFuse
 	for {
 		// The decode-cache hit case of step(), unrolled into a tight
 		// loop: per instruction, one bounds check, one cache load, and
@@ -348,7 +389,9 @@ func (p *Process) Run() *arch.Fault {
 		// text store that invalidates entries nils slots in the same
 		// backing array, so the d == nil check still sees it.
 		var f *arch.Fault
-		if predecode {
+		if fuse {
+			f = p.runFused()
+		} else if predecode {
 			if s := p.lastText; s != nil && s.decoded != nil {
 				base, dec, regs := s.Base, s.decoded, p.regs
 				steps := p.Steps

@@ -35,6 +35,14 @@ type SimStats struct {
 	Decodes       int64
 	Invalidations int64
 	Fallbacks     int64
+	// Blocks counts superblocks formed and BlockInsns the instructions
+	// fused into them, so BlockInsns/Blocks is the mean fused-run
+	// length. Both stay zero with fusion off; neither changes the
+	// meaning of the per-instruction counters above — a fused block
+	// retiring N instructions still advances Steps by N, so Hits and
+	// HitRate remain comparable across engines.
+	Blocks     int64
+	BlockInsns int64
 }
 
 // SimStats returns the decode-cache counters with the derived Hits
@@ -105,33 +113,74 @@ func (p *Process) step() *arch.Fault {
 	return nil
 }
 
-// invalidate clears every decoded entry that the write of n bytes at
-// addr could cover: entries starting inside the written range, and
-// entries starting up to maxInsnBytes-1 before it whose length reaches
-// in. Segments never executed from carry no cache and cost one nil
-// check.
+// invalidate clears every cached entry that the write of n bytes at
+// addr could cover. The lookback is entry-length-aware: a decoded
+// instruction starts at most maxInsnBytes-1 before the written range,
+// but a superblock spans a whole fused run, so a store landing
+// mid-block — a breakpoint plant or unplant included — must drop the
+// entire entry, and the block scan looks back maxBlockBytes-1.
+// Dropping any block bumps the segment generation, which severs
+// predicted-successor links and aborts a block caught mid-execution.
+// Segments never executed from carry no caches and cost two nil checks.
 func (p *Process) invalidate(s *Segment, addr uint32, n int) {
-	if s.decoded == nil || n <= 0 {
+	// Thin enough to inline: data and stack stores pay two nil checks,
+	// not a call.
+	if s.decoded == nil && s.sblocks == nil {
+		return
+	}
+	p.invalidateCaches(s, addr, n)
+}
+
+func (p *Process) invalidateCaches(s *Segment, addr uint32, n int) {
+	if n <= 0 {
 		return
 	}
 	lo := addr - s.Base
-	start := int(lo) - (maxInsnBytes - 1)
-	if start < 0 {
-		start = 0
-	}
-	end := int(lo) + n
-	if end > len(s.decoded) {
-		end = len(s.decoded)
-	}
-	for i := start; i < end; i++ {
-		d := &s.decoded[i]
-		if d.Exec == nil {
-			continue
+	if s.decoded != nil {
+		start := int(lo) - (maxInsnBytes - 1)
+		if start < 0 {
+			start = 0
 		}
-		if uint32(i)+d.Len <= lo {
-			continue // ends before the written range
+		end := int(lo) + n
+		if end > len(s.decoded) {
+			end = len(s.decoded)
 		}
-		*d = arch.DecodedInsn{}
-		p.Sim.Invalidations++
+		for i := start; i < end; i++ {
+			d := &s.decoded[i]
+			if d.Exec == nil {
+				continue
+			}
+			if uint32(i)+d.Len <= lo {
+				continue // ends before the written range
+			}
+			*d = arch.DecodedInsn{}
+			p.Sim.Invalidations++
+		}
+	}
+	if s.sblocks != nil {
+		start := int(lo) - (maxBlockBytes - 1)
+		if start < 0 {
+			start = 0
+		}
+		end := int(lo) + n
+		if end > len(s.sblocks) {
+			end = len(s.sblocks)
+		}
+		dropped := false
+		for i := start; i < end; i++ {
+			b := s.sblocks[i]
+			if b == nil {
+				continue
+			}
+			if uint32(i)+b.nbytes <= lo {
+				continue // the whole run ends before the written range
+			}
+			s.sblocks[i] = nil
+			dropped = true
+			p.Sim.Invalidations++
+		}
+		if dropped {
+			s.gen++
+		}
 	}
 }

@@ -653,13 +653,17 @@ func (c *Client) ListPlanted() ([]PlantedRecord, error) {
 }
 
 // SimStatsReport is the nub's simulator report: instructions executed
-// and the decode-cache counters behind them.
+// and the decode-cache counters behind them. Blocks and BlockInsns
+// describe superblock fusion; a nub predating fusion reports a
+// 40-byte body and both stay zero.
 type SimStatsReport struct {
 	Steps         int64
 	Hits          int64
 	Decodes       int64
 	Invalidations int64
 	Fallbacks     int64
+	Blocks        int64
+	BlockInsns    int64
 }
 
 // SimStats asks the nub for its simulator counters. A legacy nub
@@ -669,11 +673,15 @@ func (c *Client) SimStats() (SimStatsReport, error) {
 	if err != nil {
 		return SimStatsReport{}, err
 	}
-	if len(rep.Data) != 40 {
+	if len(rep.Data) != 40 && len(rep.Data) != 56 {
 		return SimStatsReport{}, fmt.Errorf("nub: malformed simstats reply (%d bytes)", len(rep.Data))
 	}
 	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(rep.Data[i*8:])) }
-	return SimStatsReport{Steps: v(0), Hits: v(1), Decodes: v(2), Invalidations: v(3), Fallbacks: v(4)}, nil
+	st := SimStatsReport{Steps: v(0), Hits: v(1), Decodes: v(2), Invalidations: v(3), Fallbacks: v(4)}
+	if len(rep.Data) == 56 { // a pre-fusion nub stops at Fallbacks
+		st.Blocks, st.BlockInsns = v(5), v(6)
+	}
+	return st, nil
 }
 
 // ServerStatsReport is the nub's robustness report: what hostile or

@@ -532,8 +532,8 @@ func (n *Nub) handleSimStats(m *Msg) *Msg {
 		return errMsg("unknown request %v", m.Kind)
 	}
 	st := n.P.SimStats()
-	data := make([]byte, 0, 40)
-	for _, v := range []int64{n.P.Steps, st.Hits, st.Decodes, st.Invalidations, st.Fallbacks} {
+	data := make([]byte, 0, 56)
+	for _, v := range []int64{n.P.Steps, st.Hits, st.Decodes, st.Invalidations, st.Fallbacks, st.Blocks, st.BlockInsns} {
 		var rec [8]byte
 		binary.LittleEndian.PutUint64(rec[:], uint64(v))
 		data = append(data, rec[:]...)

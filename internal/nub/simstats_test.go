@@ -1,7 +1,12 @@
 package nub
 
 import (
+	"encoding/binary"
+	"fmt"
+	"net"
 	"testing"
+
+	"ldb/internal/arch"
 
 	"ldb/internal/arch/mips"
 	"ldb/internal/machine"
@@ -25,11 +30,61 @@ func TestSimStatsRoundTrip(t *testing.T) {
 	}
 	want := p.SimStats()
 	if st.Hits != want.Hits || st.Decodes != want.Decodes ||
-		st.Invalidations != want.Invalidations || st.Fallbacks != want.Fallbacks {
+		st.Invalidations != want.Invalidations || st.Fallbacks != want.Fallbacks ||
+		st.Blocks != want.Blocks || st.BlockInsns != want.BlockInsns {
 		t.Errorf("wire reports %+v, process has %+v (steps %d)", st, want, p.Steps)
 	}
 	if st.Steps == 0 {
 		t.Error("no instructions executed before the pause trap")
+	}
+	if st.Blocks == 0 || st.BlockInsns < st.Blocks {
+		t.Errorf("fused run reports %d superblocks, %d fused instructions", st.Blocks, st.BlockInsns)
+	}
+}
+
+// TestSimStatsPreFusionNub pairs the client with a nub from before
+// superblock fusion: its simstats reply stops at Fallbacks (40 bytes).
+// The client must accept the short body and report zero fusion
+// counters, not reject the reply as malformed.
+func TestSimStatsPreFusionNub(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- func() error {
+			if err := WriteMsg(srvConn, &Msg{Kind: MWelcome, Data: []byte("mips"), Val: WelcomeBatch}); err != nil {
+				return err
+			}
+			if err := WriteMsg(srvConn, &Msg{Kind: MEvent, Sig: int32(arch.SigTrap), Code: arch.TrapPause}); err != nil {
+				return err
+			}
+			m, err := ReadMsg(srvConn)
+			if err != nil {
+				return err
+			}
+			if m.Kind != MSimStats {
+				return fmt.Errorf("expected MSimStats, got %v", m.Kind)
+			}
+			body := make([]byte, 40)
+			for i, v := range []uint64{100, 90, 8, 0, 2} {
+				binary.LittleEndian.PutUint64(body[i*8:], v)
+			}
+			return WriteMsg(srvConn, &Msg{Kind: MSimStatsReply, Data: body})
+		}()
+	}()
+	c, err := Connect(cliConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SimStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serr := <-done; serr != nil {
+		t.Fatal(serr)
+	}
+	want := SimStatsReport{Steps: 100, Hits: 90, Decodes: 8, Fallbacks: 2}
+	if st != want {
+		t.Errorf("pre-fusion reply parsed as %+v, want %+v", st, want)
 	}
 }
 
