@@ -9,8 +9,13 @@
 //	ldb prog.img prog.ldb          debug prog as a child process
 //	ldb -attach host:port prog.ldb attach to a nub over the network
 //	ldb -attach host:port          attach without symbols (machine-level)
-//	ldb -serve :port prog.img      run a program with its nub listening
-//	                               (no debugger; connect with -attach)
+//	ldb -serve :port a.img [b.img ...]
+//	                               run a debug service: each image is a
+//	                               spawnable program, every connection
+//	                               its own session (connect with -attach)
+//	ldb -attach host:port -session NAME prog.ldb
+//	                               open a fresh session of a registered
+//	                               program on a debug service
 //
 // If the loader table is missing, unreadable, or fails validation, the
 // session degrades to machine-level debugging (regs, x, break *ADDR,
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -42,7 +48,8 @@ import (
 
 func main() {
 	attach := flag.String("attach", "", "attach to a nub at host:port")
-	serve := flag.String("serve", "", "run the image with its nub listening at this address")
+	serve := flag.String("serve", "", "serve the images as a debug service at this address")
+	session := flag.String("session", "", "with -attach: open this registered program as a new session")
 	flag.Parse()
 
 	if *serve != "" {
@@ -70,6 +77,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Against a debug service, -session NAME spawns a fresh target
+		// of a registered program; without it, a connection that landed
+		// in the service lobby (no target bound) cannot proceed.
+		if *session != "" {
+			if !client.Sessions() {
+				fatal(fmt.Errorf("-session: %s is not a debug service", *attach))
+			}
+			if _, err := client.OpenSession(*session); err != nil {
+				fatal(err)
+			}
+		} else if client.Sessions() && client.ArchName == "" {
+			fatal(fmt.Errorf("%s is a debug-service lobby: use -session NAME to open a session", *attach))
+		}
 		_, warning, err := d.AttachDegraded(*attach, client, loader)
 		if err != nil {
 			fatal(err)
@@ -88,30 +108,46 @@ func main() {
 	repl(d)
 }
 
-// serveMode runs a program with its nub waiting on the network — the
-// arrangement where the target is not a child of the debugger (§4.2).
+// serveMode runs a debug service on the network: every image on the
+// command line is registered as a spawnable program, and each
+// connection gets its own session — §4.2's target-is-not-a-child
+// arrangement, but for many debuggers at once, with decode caches
+// shared between sessions of the same image. The first image also
+// runs as the legacy single-session target, so clients that predate
+// the session protocol attach to it unchanged.
 func serveMode(addr string, args []string) {
 	if len(args) < 1 {
-		fatal(fmt.Errorf("usage: ldb -serve :port prog.img"))
+		fatal(fmt.Errorf("usage: ldb -serve :port prog.img [more.img ...]"))
 	}
-	data, err := os.ReadFile(args[0])
-	if err != nil {
-		fatal(err)
+	s := nub.NewService()
+	var names []string
+	for i, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		img, err := link.DecodeImage(data)
+		if err != nil {
+			fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".img")
+		s.Register(name, img.Arch, img.Text, img.Data, img.Entry)
+		names = append(names, fmt.Sprintf("%s (%s)", name, img.Arch.Name()))
+		if i == 0 {
+			p := machine.New(img.Arch, img.Text, img.Data, img.Entry)
+			n := nub.New(p)
+			n.Start()
+			s.SetLegacyTarget(n)
+		}
 	}
-	img, err := link.DecodeImage(data)
-	if err != nil {
-		fatal(err)
-	}
-	p := machine.New(img.Arch, img.Text, img.Data, img.Entry)
-	n := nub.New(p)
-	n.Start()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("target %s (%s) paused before main; nub listening on %s\n", args[0], img.Arch.Name(), l.Addr())
-	n.ServeListener(l)
-	fmt.Printf("target finished; output:\n%s", p.Stdout.String())
+	fmt.Printf("debug service listening on %s\n", l.Addr())
+	fmt.Printf("programs: %s\n", strings.Join(names, ", "))
+	fmt.Printf("first attach gets the paused %s target; -session NAME opens more\n", names[0])
+	s.ServeListener(l)
 }
 
 func launchChild(d *core.Debugger, imgPath, ldbPath string) error {
@@ -169,7 +205,7 @@ const helpText = `commands:
   frame N                                       select a frame
   regs                                          show the frame's registers
   dag                                           show the frame's abstract-memory DAG
-  stats [reset]                                 show (or zero) wire and simulator statistics
+  stats [reset]                                 show (or zero) wire, simulator, and service statistics
   batch on|off | cache on|off                   toggle wire batching / memory cache
   wire [timeout DUR | retry N]                  show or set wire deadline / reconnect retries
   targets | target N                            list / switch targets
@@ -468,6 +504,14 @@ func command(d *core.Debugger, line string) bool {
 		if st, err := t.Client.ServerStats(); err == nil {
 			say("server: %d recovered panics, %d malformed frames, %d oversize rejects, %d slow reads, %d ctx faults",
 				st.RecoveredPanics, st.MalformedFrames, st.OversizeRejects, st.SlowReads, st.CtxFaults)
+		}
+		// And the service health line, when the endpoint is a
+		// session-multiplexed debug service rather than a plain nub.
+		if t.Client.Sessions() {
+			if st, err := t.Client.ServiceStats(); err == nil {
+				say("service: %d/%d sessions live/peak, %d opened, %d evicted, shared decode cache %d hits / %d misses, %d session / %d total requests",
+					st.Live, st.Peak, st.Opened, st.Evicted, st.SharedHits, st.SharedMisses, st.SessionRequests, st.TotalRequests)
+			}
 		}
 	case "wire":
 		if !need() {

@@ -340,14 +340,19 @@ func (r *Repo) funcObj(expr ast.Expr) types.Object {
 }
 
 // serveCases collects the kind constants that appear as case values in
-// switches inside a function named Serve — the connection loop, where
+// switches inside a connection loop — a function named Serve, or a
+// serveOne* helper such loops delegate single requests to (a
+// multi-session server front end and the nub proper share one) — where
 // the control messages that own the connection must be handled.
 func (r *Repo) serveCases(p *Pkg, keyType types.Type) map[types.Object]bool {
 	out := make(map[types.Object]bool)
 	for _, f := range p.Files {
 		for _, decl := range f.AST.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Name.Name != "Serve" || fd.Body == nil {
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Serve" && !strings.HasPrefix(fd.Name.Name, "serveOne") {
 				continue
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {

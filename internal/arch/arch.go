@@ -15,6 +15,7 @@
 package arch
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -314,6 +315,16 @@ func (u Uop) Term() bool {
 	return u >= UopJmp
 }
 
+// Pure reports whether u is a pure register/flag micro-op: no memory
+// access, no control transfer, and no way to fault. Pure ops never
+// abort a fused block mid-run and never read the pc, so the superblock
+// builder may fuse them regardless of the instruction's byte length
+// (the 4-byte restriction exists only for ops that can abort or branch,
+// where the engine reconstructs per-instruction pcs from fixed widths).
+func (u Uop) Pure() bool {
+	return u > UopNone && u < UopLd32
+}
+
 // SubFlags computes the generic NZC condition flags for the comparison
 // a - b, in the shared encoding the compare micro-ops and the
 // flag-setting back ends agree on: bit 0 set when equal, bit 1 when
@@ -398,6 +409,25 @@ func RegWrite(regs []uint32, r int, v uint32) {
 	if r >= 0 {
 		regs[r] = v
 	}
+}
+
+// TextKey identifies the immutable decode products of one text segment:
+// the architecture that decodes it plus a content hash of the bytes.
+// Two processes running the same binary on the same ISA produce equal
+// keys, which is what licenses sharing their predecoded instructions
+// (text always loads at the same base, so even absolute pcs baked into
+// decode closures agree). A planted breakpoint changes the bytes and
+// therefore the key, so sessions that have mutated text can never
+// publish into — or adopt from — the pristine entry.
+type TextKey struct {
+	Arch string
+	Sum  [sha256.Size]byte
+}
+
+// SumText computes the shared-cache key for a text segment's current
+// contents under the named architecture.
+func SumText(archName string, text []byte) TextKey {
+	return TextKey{Arch: archName, Sum: sha256.Sum256(text)}
 }
 
 var (

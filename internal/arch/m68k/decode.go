@@ -77,27 +77,31 @@ func (m *M68k) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 	case 1: // moves
 		switch minor {
 		case MvReg:
-			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] = regs[ry] })
+			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] = regs[ry] }).
+				AluUop(arch.UopAddI, rx, ry, 0, 0)
 		case MvImm, MvLea:
 			v, ok := ext32()
 			if !ok {
 				return nil
 			}
-			return done(6, func(p arch.Proc, regs []uint32) { regs[rx] = v })
+			return done(6, func(p arch.Proc, regs []uint32) { regs[rx] = v }).
+				AluUop(arch.UopConst, rx, 0, 0, v)
 		case MvQ:
 			d, ok := ext16()
 			if !ok {
 				return nil
 			}
 			v := uint32(int32(d))
-			return done(4, func(p arch.Proc, regs []uint32) { regs[rx] = v })
+			return done(4, func(p arch.Proc, regs []uint32) { regs[rx] = v }).
+				AluUop(arch.UopConst, rx, 0, 0, v)
 		case MvLeaD:
 			d, ok := ext16()
 			if !ok {
 				return nil
 			}
 			disp := uint32(int32(d))
-			return done(4, func(p arch.Proc, regs []uint32) { regs[rx] = regs[ry] + disp })
+			return done(4, func(p arch.Proc, regs []uint32) { regs[rx] = regs[ry] + disp }).
+				AluUop(arch.UopAddI, rx, ry, 0, disp)
 		case MvPush:
 			return raw(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				if f := push(p, regs[rx]); f != nil {
@@ -172,13 +176,17 @@ func (m *M68k) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 	case 2: // arithmetic
 		switch minor {
 		case ArAdd:
-			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] += regs[ry] })
+			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] += regs[ry] }).
+				AluUop(arch.UopAdd, rx, rx, ry, 0)
 		case ArSub:
-			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] -= regs[ry] })
+			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] -= regs[ry] }).
+				AluUop(arch.UopSub, rx, rx, ry, 0)
 		case ArMul:
+			// The low 32 bits of a product are the same signed or unsigned,
+			// so the generic unsigned UopMul matches.
 			return done(2, func(p arch.Proc, regs []uint32) {
 				regs[rx] = uint32(int32(regs[rx]) * int32(regs[ry]))
-			})
+			}).AluUop(arch.UopMul, rx, rx, ry, 0)
 		case ArDiv:
 			return raw(2, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 				b := regs[ry]
@@ -189,35 +197,47 @@ func (m *M68k) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 				return pc + 2, nil
 			})
 		case ArAnd:
-			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] &= regs[ry] })
+			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] &= regs[ry] }).
+				AluUop(arch.UopAnd, rx, rx, ry, 0)
 		case ArOr:
-			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] |= regs[ry] })
+			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] |= regs[ry] }).
+				AluUop(arch.UopOr, rx, rx, ry, 0)
 		case ArXor:
-			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] ^= regs[ry] })
+			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] ^= regs[ry] }).
+				AluUop(arch.UopXor, rx, rx, ry, 0)
 		case ArLsl:
-			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] <<= regs[ry] & 31 })
+			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] <<= regs[ry] & 31 }).
+				AluUop(arch.UopShl, rx, rx, ry, 0)
 		case ArLsr:
-			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] >>= regs[ry] & 31 })
+			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] >>= regs[ry] & 31 }).
+				AluUop(arch.UopShr, rx, rx, ry, 0)
 		case ArAsr:
 			return done(2, func(p arch.Proc, regs []uint32) {
 				regs[rx] = uint32(int32(regs[rx]) >> (regs[ry] & 31))
-			})
+			}).AluUop(arch.UopSar, rx, rx, ry, 0)
 		case ArNeg:
 			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] = -regs[rx] })
 		case ArNot:
-			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] = ^regs[rx] })
+			// ^a == ^(a|a); there is no hardwired-zero register to pair
+			// with, so NOT compiles to a self-NOR.
+			return done(2, func(p arch.Proc, regs []uint32) { regs[rx] = ^regs[rx] }).
+				AluUop(arch.UopNor, rx, rx, rx, 0)
 		case ArCmp:
+			// compareFlags lays out equal/signed-less/unsigned-less in the
+			// same bits as arch.SubFlags (see condTrue), so the generic
+			// compare micro-op produces identical flags.
 			return done(2, func(p arch.Proc, regs []uint32) {
 				a, b := regs[rx], regs[ry]
 				p.SetFlag(compareFlags(int32(a) < int32(b), a < b, a == b))
-			})
+			}).FlagUop(arch.UopCmp, rx, ry, 0)
 		case ArAddI:
 			d, ok := ext16()
 			if !ok {
 				return nil
 			}
 			disp := uint32(int32(d))
-			return done(4, func(p arch.Proc, regs []uint32) { regs[rx] += disp })
+			return done(4, func(p arch.Proc, regs []uint32) { regs[rx] += disp }).
+				AluUop(arch.UopAddI, rx, rx, 0, disp)
 		}
 		return nil
 	case 4: // the real 68000 encodings
@@ -306,12 +326,22 @@ func (m *M68k) Decode(code []byte, off int, pc uint32) *arch.DecodedInsn {
 		// (pc+4), matching Asm.Finish.
 		target := pc + 4 + uint32(int32(d))
 		next := pc + 4
+		// Compile the condition to a truth table over the three flag bits
+		// (the same NZC encoding arch.SubFlags produces), so the fused
+		// engine tests the branch with one shift instead of re-evaluating
+		// the condition code.
+		var tbl uint32
+		for fl := uint32(0); fl < 8; fl++ {
+			if condTrue(cond, fl) {
+				tbl |= 1 << fl
+			}
+		}
 		return rawT(4, func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *arch.Fault) {
 			if condTrue(cond, *flag) {
 				return target, nil
 			}
 			return next, nil
-		})
+		}).TermUop(arch.UopBcc, int(tbl), 0, 0, target)
 	case 0xf: // floats
 		fx, fy := rx&7, ry
 		switch minor {

@@ -7,9 +7,18 @@ import (
 
 	"ldb/internal/core"
 	"ldb/internal/driver"
+	"ldb/internal/machine"
 	"ldb/internal/nub"
 	"ldb/internal/workload"
 )
+
+// sessionShare is the corpus-wide shared decode cache: every session of
+// the same program image adopts the first finished session's decode
+// products, the way the debug service's pool does. Sharing must be
+// invisible in the transcripts — only the decode counters may move —
+// which makes the whole differential corpus a soak test for the
+// cross-session sharing seam.
+var sessionShare = machine.NewTextCache()
 
 // RunSession replays a scenario's debug script against one build of
 // its program and returns the transcript: every debugger-visible line
@@ -25,12 +34,24 @@ func RunSession(prog *driver.Program, sc workload.Scenario, pd PredecodeMode, wi
 	if err != nil {
 		return nil, err
 	}
-	client, _, proc, err := nub.Launch(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	// Launch by hand rather than through nub.Launch: the execution mode
+	// and the shared-cache adoption must be set before the handshake
+	// runs the target to its first stop (adoption requires a virgin
+	// decode cache).
+	proc := machine.New(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+	proc.NoPredecode = pd == PredecodeOff
+	proc.NoFuse = pd == PredecodeInsn
+	if pd != PredecodeOff {
+		sessionShare.Adopt(proc)
+		// Publish at session end, when the decode products are warmest;
+		// planted-but-never-removed breakpoints mutate the text and so
+		// key the entry away from the pristine image, never poisoning it.
+		defer sessionShare.Publish(proc)
+	}
+	client, err := nub.Pair(nub.New(proc))
 	if err != nil {
 		return nil, fmt.Errorf("launch: %w", err)
 	}
-	proc.NoPredecode = pd == PredecodeOff
-	proc.NoFuse = pd == PredecodeInsn
 	tgt, err := d.AttachClient(sc.Name, client, prog.LoaderPS)
 	if err != nil {
 		return nil, fmt.Errorf("attach: %w", err)

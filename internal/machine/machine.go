@@ -40,6 +40,23 @@ type Segment struct {
 	// fused instructions. See superblock.go.
 	sblocks []*sblock
 	gen     uint64
+	// ro marks decoded as shared read-only (adopted from, or published
+	// into, a TextCache): mutators must call privatize before writing a
+	// decoded entry. sblocks is always private — adoption clones block
+	// headers — so only the decoded slice participates in copy-on-write.
+	ro bool
+}
+
+// privatize unshares the segment's decode cache before its first
+// mutation: the decoded slice may be referenced by other processes, so
+// the writer copies it and drops the read-only mark. No-op on segments
+// that were never shared.
+func (s *Segment) privatize() {
+	if !s.ro {
+		return
+	}
+	s.decoded = append([]arch.DecodedInsn(nil), s.decoded...)
+	s.ro = false
 }
 
 // Contains reports whether [addr, addr+size) lies inside the segment.
@@ -385,22 +402,24 @@ func (p *Process) Run() *arch.Fault {
 	for {
 		// The decode-cache hit case of step(), unrolled into a tight
 		// loop: per instruction, one bounds check, one cache load, and
-		// one indirect call. The segment fields are hoisted out; a
-		// text store that invalidates entries nils slots in the same
-		// backing array, so the d == nil check still sees it.
+		// one indirect call. The decoded slice is re-read through the
+		// segment each iteration rather than hoisted: invalidation may
+		// privatize an adopted (copy-on-write) cache, swapping the
+		// backing array, and a hoisted slice would keep serving entries
+		// a self-modifying store just invalidated.
 		var f *arch.Fault
 		if fuse {
 			f = p.runFused()
 		} else if predecode {
 			if s := p.lastText; s != nil && s.decoded != nil {
-				base, dec, regs := s.Base, s.decoded, p.regs
+				base, regs := s.Base, p.regs
 				steps := p.Steps
 				for {
 					off := p.pc - base
-					if off >= uint32(len(dec)) {
+					if off >= uint32(len(s.decoded)) {
 						break
 					}
-					d := &dec[off]
+					d := &s.decoded[off]
 					if d.Exec == nil {
 						break
 					}

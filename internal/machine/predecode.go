@@ -102,6 +102,10 @@ func (p *Process) step() *arch.Fault {
 			p.Sim.Fallbacks++
 			return p.A.Step(p)
 		}
+		if s.ro {
+			s.privatize()
+			d = &s.decoded[off]
+		}
 		*d = *dn
 		p.Sim.Decodes++
 	}
@@ -135,6 +139,9 @@ func (p *Process) invalidateCaches(s *Segment, addr uint32, n int) {
 	if n <= 0 {
 		return
 	}
+	// A shared decoded slice must be copied before entries are cleared:
+	// the other processes referencing it did not write these bytes.
+	s.privatize()
 	lo := addr - s.Base
 	if s.decoded != nil {
 		start := int(lo) - (maxInsnBytes - 1)

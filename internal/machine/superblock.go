@@ -44,8 +44,12 @@ type execFn func(p arch.Proc, regs []uint32, flag *uint32, pc uint32) (uint32, *
 // an escape to the instruction's Exec closure. off is the instruction's
 // byte offset from the block entry, from which its own pc is
 // reconstructed on the paths that need one (closure calls, faults,
-// mid-block aborts). Micro-ops imply a 4-byte instruction — buildBlock
-// only compiles them from entries with Len 4.
+// mid-block aborts). Micro-ops that can abort or branch imply a 4-byte
+// instruction — buildBlock compiles memory and terminator ops only from
+// entries with Len 4, because the abort and fall-through paths
+// reconstruct per-instruction pcs as off+4. Pure register/flag ops
+// (arch.Uop.Pure) never reach those paths and fuse at any length, which
+// is how the variable-width 68020 joins the fused fast path.
 type fusedOp struct {
 	x       execFn
 	imm     uint32
@@ -89,11 +93,15 @@ func (p *Process) buildBlock(s *Segment, off, pc uint32) *sblock {
 			if dn == nil {
 				break
 			}
+			if s.ro {
+				s.privatize()
+				d = &s.decoded[off]
+			}
 			*d = *dn
 			p.Sim.Decodes++
 		}
 		u := fusedOp{off: uint16(b.nbytes)}
-		if d.Uop != arch.UopNone && d.Len == 4 {
+		if d.Uop != arch.UopNone && (d.Len == 4 || d.Uop.Pure()) {
 			u.op, u.d, u.s, u.t, u.imm = d.Uop, d.UD, d.US, d.UT, d.UImm
 		} else {
 			u.x = execFn(d.Exec)

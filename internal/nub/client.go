@@ -96,6 +96,13 @@ type Client struct {
 	// planted is the nub's planted-breakpoint list from the most recent
 	// reconnect resync.
 	planted []PlantedRecord
+
+	sessionsOK bool // the welcome advertised sessions (a debug service)
+	// sessionID is the service session this connection is bound to, 0
+	// when none. A reconnect re-attaches to it instead of trusting the
+	// front-door welcome.
+	sessionID      uint64
+	sessionProgram string
 }
 
 // Connect performs the protocol handshake: it reads the nub's welcome
@@ -117,6 +124,13 @@ func Connect(conn io.ReadWriter) (*Client, error) {
 // same target the session began with, the memory cache is dropped, and
 // the nub's planted-breakpoint list is resynced; without it (first
 // connect) the welcome establishes the session's identity.
+//
+// Against a debug service the welcome describes the front door, not
+// necessarily this client's target: a pool-only service greets with a
+// capabilities-only lobby welcome (empty architecture name, no event),
+// and a reconnecting client that had opened a session must re-attach to
+// it rather than compare its identity against whatever the front door
+// announces.
 func (c *Client) adopt(rw io.ReadWriter, verify bool) error {
 	c.raw = rw
 	c.conn = &countRW{rw: rw, s: &c.stats}
@@ -128,6 +142,39 @@ func (c *Client) adopt(rw io.ReadWriter, verify bool) error {
 		return fmt.Errorf("nub: expected welcome, got %v", w.Kind)
 	}
 	archName, ctxAddr, ctxSize := string(w.Data), w.Addr, w.Size
+	c.batchOK = w.Val&WelcomeBatch != 0
+	c.sessionsOK = w.Val&WelcomeSessions != 0
+	lobby := archName == "" && c.sessionsOK
+	if verify && c.sessionID != 0 {
+		// Re-binding to a session. Drain the front door's handshake
+		// event if it carries a target, then re-attach; attachWire
+		// verifies the session's identity and replays its event.
+		if !c.sessionsOK {
+			return fmt.Errorf("%w: reconnected endpoint does not speak sessions", ErrWelcomeMismatch)
+		}
+		if !lobby {
+			if _, err := c.readEvent(); err != nil {
+				return err
+			}
+		}
+		if err := c.attachWire(c.sessionID, true); err != nil {
+			return err
+		}
+		c.InvalidateCache()
+		if !c.Last.Exited {
+			return c.resyncPlanted()
+		}
+		return nil
+	}
+	if lobby {
+		// No target yet: identity arrives with OpenSession.
+		c.ArchName, c.CtxAddr, c.CtxSize = "", 0, 0
+		c.order = nil
+		if verify {
+			c.InvalidateCache()
+		}
+		return nil
+	}
 	a, ok := arch.Lookup(archName)
 	if !ok {
 		return fmt.Errorf("nub: welcome names unknown architecture %q", archName)
@@ -138,7 +185,6 @@ func (c *Client) adopt(rw io.ReadWriter, verify bool) error {
 	}
 	c.ArchName, c.CtxAddr, c.CtxSize = archName, ctxAddr, ctxSize
 	c.order = a.Order()
-	c.batchOK = w.Val&WelcomeBatch != 0
 	ev, err := c.readEvent()
 	if err != nil {
 		return err
@@ -154,6 +200,52 @@ func (c *Client) adopt(rw io.ReadWriter, verify bool) error {
 			}
 		}
 	}
+	return nil
+}
+
+// attachWire binds the connection to session id, speaking the wire
+// directly — roundTrip would recurse into reconnection, and a failure
+// here must fail the adoption attempt instead. With verify set the
+// MSession reply must match the identity the session began with;
+// without it the reply establishes that identity.
+func (c *Client) attachWire(id uint64, verify bool) error {
+	if err := c.writeWire(&Msg{Kind: MAttachSession, Val: id}); err != nil {
+		return err
+	}
+	rep, err := c.readWire()
+	if err != nil {
+		return err
+	}
+	c.stats.RoundTrips.Add(1)
+	return c.adoptSession(rep, verify)
+}
+
+// adoptSession installs the identity carried by an MSession reply and
+// reads the session's replayed stop event.
+func (c *Client) adoptSession(rep *Msg, verify bool) error {
+	if rep.Kind == MError {
+		return errors.New("nub: " + string(rep.Data))
+	}
+	if rep.Kind != MSession {
+		return fmt.Errorf("nub: expected %v, got %v", MSession, rep.Kind)
+	}
+	archName, ctxAddr, ctxSize := string(rep.Data), rep.Addr, rep.Size
+	a, ok := arch.Lookup(archName)
+	if !ok {
+		return fmt.Errorf("nub: session names unknown architecture %q", archName)
+	}
+	if verify && (rep.Val != c.sessionID || archName != c.ArchName || ctxAddr != c.CtxAddr || ctxSize != c.CtxSize) {
+		return fmt.Errorf("%w: session %d says %s ctx=%#x+%d, session began with %s ctx=%#x+%d",
+			ErrWelcomeMismatch, rep.Val, archName, ctxAddr, ctxSize, c.ArchName, c.CtxAddr, c.CtxSize)
+	}
+	c.sessionID = rep.Val
+	c.ArchName, c.CtxAddr, c.CtxSize = archName, ctxAddr, ctxSize
+	c.order = a.Order()
+	ev, err := c.readEvent()
+	if err != nil {
+		return err
+	}
+	c.Last = ev
 	return nil
 }
 
@@ -708,6 +800,108 @@ func (c *Client) ServerStats() (ServerStatsReport, error) {
 	return ServerStatsReport{
 		RecoveredPanics: v(0), MalformedFrames: v(1), OversizeRejects: v(2),
 		SlowReads: v(3), CtxFaults: v(4),
+	}, nil
+}
+
+// Sessions reports whether the connected endpoint is a debug service
+// (its welcome advertised the sessions capability).
+func (c *Client) Sessions() bool { return c.sessionsOK }
+
+// SessionID returns the service session this client is bound to, 0 when
+// none (plain nub, or lobby before OpenSession).
+func (c *Client) SessionID() uint64 { return c.sessionID }
+
+// SessionProgram returns the registry name passed to OpenSession, ""
+// when the session was not opened by this client.
+func (c *Client) SessionProgram() string { return c.sessionProgram }
+
+// OpenSession asks the debug service to spawn the named program and
+// binds this connection — and every future reconnect — to the new
+// session. It speaks the wire directly: spawning is not idempotent, so
+// a loss while awaiting the reply must surface (gated on replayable for
+// fault injectors) rather than replay and spawn twice.
+func (c *Client) OpenSession(program string) (*Event, error) {
+	if !c.sessionsOK {
+		return nil, errors.New("nub: endpoint does not speak sessions")
+	}
+	c.replayable.Store(false)
+	defer c.replayable.Store(true)
+	if err := c.writeWire(&Msg{Kind: MOpenSession, Data: []byte(program)}); err != nil {
+		return nil, err
+	}
+	rep, err := c.readWire()
+	if err != nil {
+		return nil, err
+	}
+	c.stats.RoundTrips.Add(1)
+	if err := c.adoptSession(rep, false); err != nil {
+		return nil, err
+	}
+	c.sessionProgram = program
+	c.InvalidateCache()
+	return c.Last, nil
+}
+
+// AttachSession binds this connection to an existing service session by
+// id, establishing the session's identity from the reply. Idempotent:
+// connection loss mid-attach is ridden out by the normal reconnect
+// path, which re-attaches by itself.
+func (c *Client) AttachSession(id uint64) (*Event, error) {
+	if !c.sessionsOK {
+		return nil, errors.New("nub: endpoint does not speak sessions")
+	}
+	if err := c.attachWire(id, false); err != nil {
+		return nil, err
+	}
+	c.InvalidateCache()
+	return c.Last, nil
+}
+
+// CloseSession terminates the bound session and releases its pool slot.
+// The connection survives; the client is back in the lobby.
+func (c *Client) CloseSession() error {
+	if c.sessionID == 0 {
+		return errors.New("nub: no session bound")
+	}
+	if _, err := c.roundTrip(&Msg{Kind: MCloseSession}, MOK); err != nil {
+		return err
+	}
+	c.sessionID, c.sessionProgram = 0, ""
+	c.ArchName, c.CtxAddr, c.CtxSize = "", 0, 0
+	c.order = nil
+	c.InvalidateCache()
+	return nil
+}
+
+// ServiceStatsReport is the debug service's health line: pool and
+// shared-decode-cache counters, plus per-session and aggregate request
+// counts.
+type ServiceStatsReport struct {
+	Live            int64 // sessions in the pool now
+	Peak            int64 // most sessions ever live at once
+	Evicted         int64 // idle sessions LRU-evicted at capacity
+	Opened          int64 // sessions ever spawned
+	SharedHits      int64 // warm attaches served by the shared decode cache
+	SharedMisses    int64 // cold attaches that had to decode
+	SessionRequests int64 // requests served for this connection's session
+	TotalRequests   int64 // requests served across all sessions ever
+}
+
+// ServiceStats asks the debug service for its health counters. A plain
+// nub refuses the request; callers treat the error as "not a service".
+func (c *Client) ServiceStats() (ServiceStatsReport, error) {
+	rep, err := c.roundTrip(&Msg{Kind: MServiceStats}, MServiceStatsReply)
+	if err != nil {
+		return ServiceStatsReport{}, err
+	}
+	if len(rep.Data) != 64 {
+		return ServiceStatsReport{}, fmt.Errorf("nub: malformed servicestats reply (%d bytes)", len(rep.Data))
+	}
+	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(rep.Data[i*8:])) }
+	return ServiceStatsReport{
+		Live: v(0), Peak: v(1), Evicted: v(2), Opened: v(3),
+		SharedHits: v(4), SharedMisses: v(5),
+		SessionRequests: v(6), TotalRequests: v(7),
 	}, nil
 }
 

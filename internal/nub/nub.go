@@ -61,6 +61,10 @@ type Nub struct {
 	lnMu     sync.Mutex
 	listener net.Listener
 	closing  bool
+	// serving is the connection Serve is currently blocked on, if any;
+	// Shutdown expires its read deadline so an idle debugger connection
+	// drains instead of pinning the serve goroutine.
+	serving net.Conn
 	// planted records breakpoint stores (§7.1's protocol enrichment):
 	// address → the instruction bytes the trap overwrote, so the nub
 	// can report them to a new debugger if the old one is lost.
@@ -601,29 +605,9 @@ func (n *Nub) handleBatch(m *Msg) *Msg {
 func (n *Nub) Serve(conn io.ReadWriter) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.dead {
-		return fmt.Errorf("nub: target terminated")
-	}
-	welcome := &Msg{
-		Kind: MWelcome,
-		Addr: n.ctxAddr,
-		Size: uint32(n.P.A.Context().Size),
-		Data: []byte(n.P.A.Name()),
-	}
-	if !n.LegacyProtocol {
-		welcome.Val |= WelcomeBatch
-	}
-	if err := WriteMsg(conn, welcome); err != nil {
+	if err := n.welcomeLocked(conn, 0); err != nil {
 		return err
 	}
-	n.Stats.MsgsSent.Add(1)
-	if n.pending == nil {
-		n.resumeAndLatch(n.runAndLatch)
-	}
-	if err := WriteMsg(conn, n.pending); err != nil {
-		return err
-	}
-	n.Stats.MsgsSent.Add(1)
 	for {
 		req, err := n.readRequest(conn)
 		if err != nil {
@@ -638,61 +622,116 @@ func (n *Nub) Serve(conn io.ReadWriter) error {
 			}
 			return err // connection broken; state preserved
 		}
-		n.Stats.MsgsReceived.Add(1)
-		n.Stats.RoundTrips.Add(1)
-		switch req.Kind {
-		case MContinue, MStepInst:
-			if req.Kind == MStepInst && n.LegacyProtocol {
-				// Rides the batch capability bit, like any post-legacy
-				// request.
-				if err := WriteMsg(conn, &Msg{Kind: MError, Data: []byte(fmt.Sprintf("unknown request %v", req.Kind))}); err != nil {
-					return err
-				}
-				n.Stats.MsgsSent.Add(1)
-				continue
-			}
-			if n.P.State == machine.StateExited {
-				if err := WriteMsg(conn, &Msg{Kind: MExited, Code: int32(n.P.ExitCode)}); err != nil {
-					return err
-				}
-				n.Stats.MsgsSent.Add(1)
-				continue
-			}
-			n.resumeAndLatch(func() {
-				if rerr := n.restoreContext(); rerr != nil {
-					// The debugger scribbled the context away, or the
-					// target unmapped it: latch the fault instead of
-					// resuming with garbage registers.
-					n.latchCtxFault(n.P.PC())
-					return
-				}
-				if req.Kind == MStepInst {
-					n.stepAndLatch()
-				} else {
-					n.runAndLatch()
-				}
-			})
-			if err := WriteMsg(conn, n.pending); err != nil {
-				return err
-			}
-			n.Stats.MsgsSent.Add(1)
-		case MKill:
-			n.dead = true
-			n.P.State = machine.StateExited
-			_ = WriteMsg(conn, &Msg{Kind: MOK})
-			n.Stats.MsgsSent.Add(1)
-			return nil
-		case MDetach:
-			_ = WriteMsg(conn, &Msg{Kind: MOK})
-			n.Stats.MsgsSent.Add(1)
-			return nil
-		default:
-			if err := WriteMsg(conn, n.safeHandle(req)); err != nil {
-				return err
-			}
-			n.Stats.MsgsSent.Add(1)
+		done, err := n.serveOneLocked(conn, req)
+		if done || err != nil {
+			return err
 		}
 	}
+}
+
+// serveWelcome runs the handshake only — Serve's prologue, factored out
+// so the debug service can bind a connection to a session (welcome with
+// extra capability bits, then request-by-request dispatch through
+// serveOneLocked) without holding the nub for the connection's
+// lifetime.
+func (n *Nub) serveWelcome(conn io.ReadWriter, extra uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.welcomeLocked(conn, extra)
+}
+
+// welcomeLocked announces the target and replays the pending stop
+// event, running the target to its first stop if nothing is latched
+// yet. extra ORs additional capability bits into the welcome's Val (the
+// debug service advertises WelcomeSessions). Callers hold n.mu.
+func (n *Nub) welcomeLocked(conn io.ReadWriter, extra uint64) error {
+	if n.dead {
+		return fmt.Errorf("nub: target terminated")
+	}
+	welcome := &Msg{
+		Kind: MWelcome,
+		Addr: n.ctxAddr,
+		Size: uint32(n.P.A.Context().Size),
+		Data: []byte(n.P.A.Name()),
+	}
+	if !n.LegacyProtocol {
+		welcome.Val |= WelcomeBatch | extra
+	}
+	if err := WriteMsg(conn, welcome); err != nil {
+		return err
+	}
+	n.Stats.MsgsSent.Add(1)
+	if n.pending == nil {
+		n.resumeAndLatch(n.runAndLatch)
+	}
+	if err := WriteMsg(conn, n.pending); err != nil {
+		return err
+	}
+	n.Stats.MsgsSent.Add(1)
+	return nil
+}
+
+// serveOneLocked services one already-read request on conn: the
+// control kinds inline — they manipulate nub lifecycle state no handler
+// may touch — and everything else through the validate-and-contain
+// dispatch path. done reports that the connection is finished (the
+// target was killed or the debugger detached). Callers hold n.mu.
+func (n *Nub) serveOneLocked(conn io.ReadWriter, req *Msg) (done bool, err error) {
+	n.Stats.MsgsReceived.Add(1)
+	n.Stats.RoundTrips.Add(1)
+	switch req.Kind {
+	case MContinue, MStepInst:
+		if req.Kind == MStepInst && n.LegacyProtocol {
+			// Rides the batch capability bit, like any post-legacy
+			// request.
+			if err := WriteMsg(conn, &Msg{Kind: MError, Data: []byte(fmt.Sprintf("unknown request %v", req.Kind))}); err != nil {
+				return false, err
+			}
+			n.Stats.MsgsSent.Add(1)
+			return false, nil
+		}
+		if n.P.State == machine.StateExited {
+			if err := WriteMsg(conn, &Msg{Kind: MExited, Code: int32(n.P.ExitCode)}); err != nil {
+				return false, err
+			}
+			n.Stats.MsgsSent.Add(1)
+			return false, nil
+		}
+		n.resumeAndLatch(func() {
+			if rerr := n.restoreContext(); rerr != nil {
+				// The debugger scribbled the context away, or the
+				// target unmapped it: latch the fault instead of
+				// resuming with garbage registers.
+				n.latchCtxFault(n.P.PC())
+				return
+			}
+			if req.Kind == MStepInst {
+				n.stepAndLatch()
+			} else {
+				n.runAndLatch()
+			}
+		})
+		if err := WriteMsg(conn, n.pending); err != nil {
+			return false, err
+		}
+		n.Stats.MsgsSent.Add(1)
+	case MKill:
+		n.dead = true
+		n.P.State = machine.StateExited
+		_ = WriteMsg(conn, &Msg{Kind: MOK})
+		n.Stats.MsgsSent.Add(1)
+		return true, nil
+	case MDetach:
+		_ = WriteMsg(conn, &Msg{Kind: MOK})
+		n.Stats.MsgsSent.Add(1)
+		return true, nil
+	default:
+		if err := WriteMsg(conn, n.safeHandle(req)); err != nil {
+			return false, err
+		}
+		n.Stats.MsgsSent.Add(1)
+	}
+	return false, nil
 }
 
 // readRequest reads one request from conn under the two-phase server
@@ -744,9 +783,20 @@ func (n *Nub) ServeListener(l net.Listener) {
 		if err != nil {
 			return
 		}
+		n.lnMu.Lock()
+		if n.closing {
+			// Shutdown raced the accept: drop the connection instead of
+			// serving past the drain.
+			n.lnMu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.serving = conn
+		n.lnMu.Unlock()
 		err = n.Serve(conn)
 		_ = conn.Close()
 		n.lnMu.Lock()
+		n.serving = nil
 		closing := n.closing
 		n.lnMu.Unlock()
 		n.mu.Lock()
@@ -759,16 +809,24 @@ func (n *Nub) ServeListener(l net.Listener) {
 }
 
 // Shutdown stops ServeListener gracefully: a blocked Accept is
-// unblocked by closing the listener, a connection being served is
-// allowed to finish, and no further connections are accepted. Target
-// state is preserved — shutdown severs the debugger endpoint, it does
-// not kill the target.
+// unblocked by closing the listener, a connection being served finishes
+// its in-flight request, an *idle* connection — a debugger sitting at
+// its prompt, whose unbounded first-byte wait would otherwise pin the
+// serve goroutine forever — is unblocked by expiring its read deadline,
+// and no further connections are accepted. Target state is preserved —
+// shutdown severs the debugger endpoint, it does not kill the target.
 func (n *Nub) Shutdown() {
 	n.lnMu.Lock()
 	n.closing = true
 	l := n.listener
+	serving := n.serving
 	n.lnMu.Unlock()
 	if l != nil {
 		_ = l.Close()
+	}
+	if d, ok := serving.(interface{ SetReadDeadline(time.Time) error }); ok {
+		// The expired deadline makes the idle readRequest return a
+		// timeout error; the in-flight reply, if any, still writes.
+		_ = d.SetReadDeadline(time.Now())
 	}
 }

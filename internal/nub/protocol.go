@@ -94,6 +94,26 @@ const (
 	// without faulting reports SIGTRAP with code arch.TrapStep. Rides the
 	// batch capability bit; like MContinue it may not travel in a batch.
 	MStepInst
+	// Session requests, understood only by the multi-session debug
+	// service (WelcomeSessions in the welcome's Val). MOpenSession spawns
+	// a fresh target from the service's program registry (Data names the
+	// program) and binds the connection to it; MAttachSession (Val
+	// carries the session id) re-binds a connection — typically a
+	// reconnecting client — to a live session; MCloseSession kills the
+	// bound session and releases its pool slot. Open and attach answer
+	// with MSession (Val the id, Data the arch name, Addr/Size the
+	// context record) followed by the session's pending stop event,
+	// mirroring the single-target welcome handshake. MServiceStats asks
+	// for service-wide health counters, answered by MServiceStatsReply
+	// (eight little-endian 64-bit values; see Client.ServiceStats). A
+	// legacy nub never advertises the bit and refuses all four like any
+	// unknown request.
+	MOpenSession
+	MAttachSession
+	MCloseSession
+	MServiceStats
+	MSession
+	MServiceStatsReply
 )
 
 // kindInfo is one kind's row in the protocol's single source of truth:
@@ -151,6 +171,17 @@ var kinds = map[MsgKind]kindInfo{
 	MBatchReply:       {name: "batchreply"},
 	MSimStatsReply:    {name: "simstatsreply"},
 	MServerStatsReply: {name: "serverstatsreply"},
+	// MOpenSession spawns a process; replaying a delivered one after a
+	// reconnect would spawn a second. MCloseSession kills the session —
+	// also not replayable. MAttachSession only re-binds the connection
+	// and re-reports the latched event, so a reconnecting client may
+	// replay it freely.
+	MOpenSession:       {name: "opensession", request: true},
+	MAttachSession:     {name: "attachsession", request: true, idempotent: true},
+	MCloseSession:      {name: "closesession", request: true},
+	MServiceStats:      {name: "servicestats", request: true, idempotent: true},
+	MSession:           {name: "session"},
+	MServiceStatsReply: {name: "servicestatsreply"},
 }
 
 func (k MsgKind) String() string {
@@ -187,6 +218,13 @@ var errOversize = errors.New("nub: message payload too large")
 // the nub understands MBatch envelopes. A zero Val — what every nub
 // sent before batching existed — means one message at a time.
 const WelcomeBatch = 1 << 0
+
+// WelcomeSessions is the capability bit for the multi-session debug
+// service: the server understands MOpenSession/MAttachSession/
+// MCloseSession/MServiceStats. A client that never sees the bit never
+// sends a session request, and a legacy client that ignores it debugs
+// the service's legacy target exactly as before.
+const WelcomeSessions = 1 << 1
 
 // MaxBatch bounds how many messages one MBatch envelope may carry.
 const MaxBatch = 512

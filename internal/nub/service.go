@@ -1,0 +1,563 @@
+// The multi-session debug service: one endpoint, many targets. Hanson's
+// follow-up ("A Machine-Independent Debugger—Revisited") reframes the
+// nub as a server that outlives any single client; Service is that
+// server. Connections are served concurrently, each in its own
+// goroutine with its own panic containment; session ids ride the wire
+// (MOpenSession/MAttachSession, negotiated by the WelcomeSessions
+// capability bit); a target pool spawns simulated processes on demand
+// from a registry of named programs and evicts the least recently used
+// idle session under a configurable cap.
+//
+// The perf core is the shared decode cache: when a session leaves the
+// pool, its predecoded instructions and superblocks are published to a
+// machine.TextCache keyed by (arch, text content hash), and every later
+// session debugging the same binary adopts them — a warm attach does
+// zero decode work. Per-session generation counters keep breakpoint
+// invalidation session-local (one user's breakpoint never slows
+// another's fused run), and per-session statistics are plain atomic
+// counters aggregated only when asked, so the request path takes no
+// global mutex — only the bound session's own.
+//
+// Legacy fallback: a service given a legacy target (SetLegacyTarget)
+// greets each connection with that target's welcome, exactly as a
+// single-target nub would, so clients that ignore the sessions bit
+// debug it unchanged; session-aware clients may still open pool
+// sessions on the same connection.
+package nub
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldb/internal/arch"
+	"ldb/internal/machine"
+)
+
+// DefaultMaxSessions bounds the target pool when Service.MaxSessions is
+// unset.
+const DefaultMaxSessions = 256
+
+// defaultAttachWait bounds how long an attach waits for a session whose
+// previous connection has not yet noticed it is dead (a reconnecting
+// client redials before the service's read on the old connection
+// fails).
+const defaultAttachWait = 2 * time.Second
+
+// session is one pooled target: a nub plus the binding token that makes
+// a connection the session's sole driver. The busy channel holds a
+// token when the session is idle; binding takes it, unbinding returns
+// it. lastUsed is the service clock at the last unbind — the LRU key —
+// written only while the token is held, so the evictor (which acquires
+// the token before reading) never races it.
+type session struct {
+	id      uint64
+	program string
+	nub     *Nub
+	busy    chan struct{}
+	lastUsed uint64
+}
+
+// Service is a concurrent, session-multiplexed debug server.
+type Service struct {
+	// MaxSessions caps the pool; opening past it evicts the least
+	// recently used idle session, and fails when none is idle. Zero
+	// means DefaultMaxSessions.
+	MaxSessions int
+	// ReadTimeout is the per-connection slowloris bound, as Nub.ReadTimeout.
+	ReadTimeout time.Duration
+	// AttachWait bounds how long MAttachSession waits for a busy
+	// session to come free. Zero means defaultAttachWait.
+	AttachWait time.Duration
+
+	legacy *session
+
+	share *machine.TextCache
+
+	mu       sync.Mutex
+	programs map[string]spawnSpec
+	sessions map[uint64]*session
+	nextID   uint64
+	peak     int
+
+	clock   atomic.Uint64
+	opened  atomic.Int64
+	evicted atomic.Int64
+	// closedRequests accumulates the request counts of sessions that
+	// have left the pool, so the aggregate survives eviction.
+	closedRequests atomic.Int64
+
+	lnMu     sync.Mutex
+	listener net.Listener
+	closing  bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closeCh  chan struct{}
+}
+
+// spawnSpec is the stored form of a registered program.
+type spawnSpec struct {
+	arch  arch.Arch
+	text  []byte
+	data  []byte
+	entry uint32
+}
+
+// NewService returns an empty service with a fresh shared decode cache.
+func NewService() *Service {
+	return &Service{
+		programs: make(map[string]spawnSpec),
+		sessions: make(map[uint64]*session),
+		conns:    make(map[net.Conn]struct{}),
+		closeCh:  make(chan struct{}),
+		share:    machine.NewTextCache(),
+	}
+}
+
+// Register adds a spawnable program to the service's registry under
+// name. The images are referenced, not copied; callers must not mutate
+// them afterwards.
+func (s *Service) Register(name string, a arch.Arch, text, data []byte, entry uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.programs[name] = spawnSpec{arch: a, text: text, data: data, entry: entry}
+}
+
+// SetLegacyTarget installs a single target that every connection is
+// bound to on arrival, the way a classic single-target nub greets its
+// debugger. Legacy clients debug it unchanged; session-aware clients
+// can rebind with MOpenSession. Call before serving.
+func (s *Service) SetLegacyTarget(n *Nub) {
+	b := make(chan struct{}, 1)
+	b <- struct{}{}
+	s.legacy = &session{nub: n, busy: b}
+}
+
+// SharedCache exposes the service's shared decode cache (for tests and
+// embedders that pre-publish programs).
+func (s *Service) SharedCache() *machine.TextCache { return s.share }
+
+// Serve handles one connection to the debug service. The function is
+// deliberately named Serve: the wireproto analyzer accepts a dispatch
+// arm for a request kind only inside a function by that name, which
+// keeps the session kinds' dispatch visible to the kind-table totality
+// proof.
+func (s *Service) Serve(conn net.Conn) (err error) {
+	defer func() {
+		// Per-session containment: a panic on this connection's
+		// goroutine must not take down the service or any other
+		// session. The nub's own dispatch already contains handler
+		// panics; this guards the service layer itself.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nub: service connection panicked: %v", r)
+		}
+	}()
+	var sess *session
+	unbind := func() {
+		if sess == nil {
+			return
+		}
+		sess.lastUsed = s.clock.Add(1)
+		sess.busy <- struct{}{}
+		sess = nil
+	}
+	defer func() { unbind() }()
+
+	if leg := s.legacy; leg != nil {
+		select {
+		case <-leg.busy:
+			leg.nub.mu.Lock()
+			dead := leg.nub.dead
+			leg.nub.mu.Unlock()
+			if dead {
+				// The legacy target was killed; fall back to the lobby
+				// so session-aware clients can still open pool targets.
+				leg.busy <- struct{}{}
+			} else {
+				sess = leg
+				if err := leg.nub.serveWelcome(conn, WelcomeSessions); err != nil {
+					return err
+				}
+			}
+		default:
+			// The legacy target is bound to another live connection;
+			// this one lands in the lobby instead of queueing behind it.
+		}
+	}
+	if sess == nil {
+		// Lobby welcome: capabilities only, no target, no event. A
+		// session-aware client proceeds to MOpenSession/MAttachSession;
+		// a legacy client rejects the empty architecture name cleanly.
+		if err := WriteMsg(conn, &Msg{Kind: MWelcome, Val: WelcomeBatch | WelcomeSessions}); err != nil {
+			return err
+		}
+	}
+
+	for {
+		req, rerr := s.readRequest(conn, sess)
+		if rerr != nil {
+			if errors.Is(rerr, errOversize) {
+				if sess != nil {
+					sess.nub.Stats.OversizeRejects.Add(1)
+				}
+				_ = WriteMsg(conn, &Msg{Kind: MError, Data: []byte(rerr.Error())})
+			}
+			return rerr // connection broken; session state preserved
+		}
+		switch req.Kind {
+		case MOpenSession:
+			unbind()
+			ns, rep := s.openSession(string(req.Data))
+			if rep != nil {
+				if err := WriteMsg(conn, rep); err != nil {
+					return err
+				}
+				continue
+			}
+			sess = ns
+			if err := s.announce(conn, sess); err != nil {
+				return err
+			}
+		case MAttachSession:
+			unbind()
+			ns, rep := s.attachSession(req.Val)
+			if rep != nil {
+				if err := WriteMsg(conn, rep); err != nil {
+					return err
+				}
+				continue
+			}
+			sess = ns
+			if err := s.announce(conn, sess); err != nil {
+				return err
+			}
+		case MCloseSession:
+			if sess == nil || sess.id == 0 {
+				if err := WriteMsg(conn, errMsg("no session bound")); err != nil {
+					return err
+				}
+				continue
+			}
+			s.kill(sess)
+			s.remove(sess)
+			sess = nil
+			if err := WriteMsg(conn, &Msg{Kind: MOK}); err != nil {
+				return err
+			}
+		case MServiceStats:
+			if err := WriteMsg(conn, s.statsReply(sess)); err != nil {
+				return err
+			}
+		default:
+			if sess == nil {
+				if err := WriteMsg(conn, errMsg("no session bound")); err != nil {
+					return err
+				}
+				continue
+			}
+			n := sess.nub
+			n.mu.Lock()
+			done, derr := n.serveOneLocked(conn, req)
+			n.mu.Unlock()
+			if derr != nil {
+				return derr
+			}
+			if done {
+				// MKill leaves the nub dead: drop the session from the
+				// pool. MDetach leaves it stopped for a later attach.
+				if sess.id != 0 && s.dead(sess) {
+					s.remove(sess)
+					sess = nil
+				}
+				return nil
+			}
+		}
+	}
+}
+
+// readRequest mirrors Nub.readRequest for the service's connection
+// loop: unbounded idle wait for a frame's first byte, ReadTimeout for
+// the rest. Slow reads are charged to the bound session, if any.
+func (s *Service) readRequest(conn net.Conn, sess *session) (*Msg, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return nil, err
+	}
+	timeout := s.ReadTimeout
+	if timeout == 0 {
+		timeout = DefaultServeTimeout
+	}
+	armed := timeout > 0 && conn.SetReadDeadline(time.Now().Add(timeout)) == nil
+	m, err := readMsgRest(first[0], conn)
+	if armed {
+		_ = conn.SetReadDeadline(time.Time{})
+		if err != nil && isTimeout(err) {
+			if sess != nil {
+				sess.nub.Stats.SlowReads.Add(1)
+			}
+			err = fmt.Errorf("nub: dropped slow read after %v: %w", timeout, err)
+		}
+	}
+	return m, err
+}
+
+// announce sends the MSession reply and the session's pending stop
+// event — the session flavor of the single-target welcome handshake.
+func (s *Service) announce(conn net.Conn, sess *session) error {
+	n := sess.nub
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rep := &Msg{
+		Kind: MSession,
+		Val:  sess.id,
+		Addr: n.ctxAddr,
+		Size: uint32(n.P.A.Context().Size),
+		Data: []byte(n.P.A.Name()),
+	}
+	if err := WriteMsg(conn, rep); err != nil {
+		return err
+	}
+	n.Stats.MsgsSent.Add(1)
+	if n.pending == nil {
+		n.resumeAndLatch(n.runAndLatch)
+	}
+	if err := WriteMsg(conn, n.pending); err != nil {
+		return err
+	}
+	n.Stats.MsgsSent.Add(1)
+	return nil
+}
+
+// openSession spawns the named program into a new session and returns
+// it with its binding token held. A non-nil reply is the error to send
+// instead.
+func (s *Service) openSession(name string) (*session, *Msg) {
+	s.mu.Lock()
+	spec, ok := s.programs[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, errMsg("unknown program %q", name)
+	}
+	cap := s.MaxSessions
+	if cap <= 0 {
+		cap = DefaultMaxSessions
+	}
+	for len(s.sessions) >= cap {
+		victim := s.idleLRULocked()
+		if victim == nil {
+			s.mu.Unlock()
+			return nil, errMsg("service at capacity (%d sessions, none idle)", cap)
+		}
+		delete(s.sessions, victim.id)
+		s.mu.Unlock()
+		s.kill(victim)
+		s.retire(victim)
+		s.evicted.Add(1)
+		s.mu.Lock()
+	}
+	s.nextID++
+	id := s.nextID
+	p := machine.New(spec.arch, spec.text, spec.data, spec.entry)
+	s.share.Adopt(p)
+	n := New(p)
+	sess := &session{id: id, program: name, nub: n, busy: make(chan struct{}, 1)}
+	// The binding token starts held: the opener is the first driver.
+	s.sessions[id] = sess
+	if len(s.sessions) > s.peak {
+		s.peak = len(s.sessions)
+	}
+	s.mu.Unlock()
+	s.opened.Add(1)
+	n.Start()
+	return sess, nil
+}
+
+// idleLRULocked finds the least recently used idle session and takes
+// its binding token, or returns nil when every session is bound.
+// Callers hold s.mu.
+func (s *Service) idleLRULocked() *session {
+	var best *session
+	for _, sess := range s.sessions {
+		select {
+		case <-sess.busy:
+		default:
+			continue
+		}
+		if best == nil || sess.lastUsed < best.lastUsed {
+			if best != nil {
+				best.busy <- struct{}{}
+			}
+			best = sess
+		} else {
+			sess.busy <- struct{}{}
+		}
+	}
+	return best
+}
+
+// attachSession binds to the identified live session, waiting briefly
+// for its token if a dying connection still holds it.
+func (s *Service) attachSession(id uint64) (*session, *Msg) {
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		return nil, errMsg("no such session %d", id)
+	}
+	wait := s.AttachWait
+	if wait <= 0 {
+		wait = defaultAttachWait
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-sess.busy:
+	case <-t.C:
+		return nil, errMsg("session %d is busy", id)
+	case <-s.closeCh:
+		return nil, errMsg("service shutting down")
+	}
+	// The session may have been killed and removed while we waited.
+	s.mu.Lock()
+	live := s.sessions[id] == sess
+	s.mu.Unlock()
+	if !live {
+		return nil, errMsg("no such session %d", id)
+	}
+	return sess, nil
+}
+
+// dead reports whether the session's target has terminated.
+func (s *Service) dead(sess *session) bool {
+	sess.nub.mu.Lock()
+	defer sess.nub.mu.Unlock()
+	return sess.nub.dead
+}
+
+// kill terminates a session's target. Callers hold its binding token.
+func (s *Service) kill(sess *session) {
+	n := sess.nub
+	n.mu.Lock()
+	n.dead = true
+	n.P.State = machine.StateExited
+	n.mu.Unlock()
+}
+
+// remove drops a session from the pool and retires it. Callers hold its
+// binding token (which is never released again: the session is gone).
+func (s *Service) remove(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	s.retire(sess)
+}
+
+// retire finalizes a session leaving the pool: its decode products are
+// published to the shared cache — end of life is maximal warmth, and
+// the first publisher of a content key wins — and its request count is
+// folded into the service aggregate.
+func (s *Service) retire(sess *session) {
+	s.share.Publish(sess.nub.P)
+	s.closedRequests.Add(sess.nub.Stats.RoundTrips.Load())
+}
+
+// statsReply builds the MServiceStatsReply body: eight little-endian
+// 64-bit values — sessions live, peak, evicted, opened, shared-cache
+// hits, misses, the bound session's request count, and the aggregate
+// across all sessions ever.
+func (s *Service) statsReply(sess *session) *Msg {
+	s.mu.Lock()
+	live := int64(len(s.sessions))
+	peak := int64(s.peak)
+	var total int64
+	for _, t := range s.sessions {
+		total += t.nub.Stats.RoundTrips.Load()
+	}
+	s.mu.Unlock()
+	total += s.closedRequests.Load()
+	if s.legacy != nil {
+		total += s.legacy.nub.Stats.RoundTrips.Load()
+	}
+	hits, misses := s.share.Stats()
+	var bound int64
+	if sess != nil {
+		bound = sess.nub.Stats.RoundTrips.Load()
+	}
+	body := make([]byte, 64)
+	for i, v := range []int64{live, peak, s.evicted.Load(), s.opened.Load(), hits, misses, bound, total} {
+		binary.LittleEndian.PutUint64(body[i*8:], uint64(v))
+	}
+	return &Msg{Kind: MServiceStatsReply, Data: body}
+}
+
+// Sessions reports how many sessions are live (for tests).
+func (s *Service) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// ServeListener accepts connections until the listener closes or
+// Shutdown is called, serving each on its own goroutine — the
+// concurrent successor of Nub.ServeListener's one-at-a-time loop.
+func (s *Service) ServeListener(l net.Listener) {
+	s.lnMu.Lock()
+	if s.closing {
+		s.lnMu.Unlock()
+		_ = l.Close()
+		return
+	}
+	s.listener = l
+	s.lnMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.lnMu.Lock()
+		if s.closing {
+			s.lnMu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.lnMu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			_ = s.Serve(conn)
+			_ = conn.Close()
+			s.lnMu.Lock()
+			delete(s.conns, conn)
+			s.lnMu.Unlock()
+		}()
+	}
+}
+
+// Shutdown drains the service: the listener closes, every idle
+// connection's read deadline is expired so its goroutine unblocks,
+// in-flight requests finish and write their replies, and Shutdown
+// returns only when every connection goroutine has exited. Session
+// state is preserved — shutdown severs the endpoint, it does not kill
+// targets.
+func (s *Service) Shutdown() {
+	s.lnMu.Lock()
+	if !s.closing {
+		s.closing = true
+		close(s.closeCh)
+	}
+	l := s.listener
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.lnMu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,573 @@
+package nub
+
+import (
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+	"ldb/internal/machine"
+)
+
+// startService builds a service with every test architecture's program
+// registered under the architecture's name, serving on a loopback TCP
+// listener. Shutdown runs at test cleanup.
+func startService(t *testing.T, cfg func(*Service)) (*Service, string) {
+	t.Helper()
+	s := NewService()
+	for _, a := range allArches {
+		s.Register(a.Name(), a, testProgram(t, a), make([]byte, 64), machine.TextBase)
+	}
+	if cfg != nil {
+		cfg(s)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeListener(l)
+	t.Cleanup(s.Shutdown)
+	return s, l.Addr().String()
+}
+
+// TestServiceOpenRunClose drives one session through its life: lobby
+// welcome, open, run to the embedded trap, fetch the store it made,
+// close, and open a fresh one on the same connection.
+func TestServiceOpenRunClose(t *testing.T) {
+	_, addr := startService(t, nil)
+	c, conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if !c.Sessions() {
+		t.Fatal("lobby welcome did not advertise sessions")
+	}
+	if c.ArchName != "" || c.SessionID() != 0 {
+		t.Fatalf("lobby client has identity already: %q session %d", c.ArchName, c.SessionID())
+	}
+	ev, err := c.OpenSession("mips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ArchName != "mips" || c.SessionID() == 0 {
+		t.Fatalf("after open: arch %q session %d", c.ArchName, c.SessionID())
+	}
+	if ev.Exited || ev.Sig != arch.SigTrap || ev.Code != arch.TrapPause {
+		t.Fatalf("first event = %v", ev)
+	}
+	if ev, err = c.Continue(); err != nil || ev.Sig != arch.SigTrap || ev.Code != 3 {
+		t.Fatalf("continue: %v, %v", ev, err)
+	}
+	v, err := c.FetchInt(amem.Data, machine.DataBase, 4)
+	if err != nil || v != 42 {
+		t.Fatalf("fetch = %d, %v", v, err)
+	}
+	if err := c.CloseSession(); err != nil {
+		t.Fatal(err)
+	}
+	if c.SessionID() != 0 {
+		t.Fatalf("session id survives close: %d", c.SessionID())
+	}
+	// The connection is back in the lobby; target requests must be
+	// refused, and a new session must open.
+	if _, err := c.FetchInt(amem.Data, machine.DataBase, 4); err == nil || !strings.Contains(err.Error(), "no session bound") {
+		t.Fatalf("lobby fetch: %v", err)
+	}
+	if _, err := c.OpenSession("sparc"); err != nil {
+		t.Fatal(err)
+	}
+	if c.ArchName != "sparc" {
+		t.Fatalf("rebound arch = %q", c.ArchName)
+	}
+}
+
+// TestServiceAllISAs opens a session of each registered architecture
+// through one endpoint and runs each to its trap — the pool really does
+// spawn every ISA on demand.
+func TestServiceAllISAs(t *testing.T) {
+	_, addr := startService(t, nil)
+	for _, a := range allArches {
+		c, conn, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.OpenSession(a.Name()); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if ev, err := c.Continue(); err != nil || ev.Exited || ev.Sig != arch.SigTrap {
+			t.Fatalf("%s continue: %v, %v", a.Name(), ev, err)
+		}
+		if v, err := c.FetchInt(amem.Data, machine.DataBase, 4); err != nil || v != 42 {
+			t.Fatalf("%s fetch = %d, %v", a.Name(), v, err)
+		}
+		conn.Close()
+	}
+}
+
+// TestServiceDetachAttachResumes detaches from a session and re-attaches
+// from a new connection: the target's state survives the connection, as
+// a single-target nub's does, but addressed by session id.
+func TestServiceDetachAttachResumes(t *testing.T) {
+	_, addr := startService(t, nil)
+	c1, conn1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn1.Close()
+	if _, err := c1.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	id := c1.SessionID()
+	if ev, err := c1.Continue(); err != nil || ev.Code != 3 {
+		t.Fatalf("continue: %v, %v", ev, err)
+	}
+	if err := c1.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	conn1.Close()
+
+	c2, conn2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	ev, err := c2.AttachSession(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replayed event is the trap the first connection stopped at.
+	if ev.Exited || ev.Sig != arch.SigTrap || ev.Code != 3 {
+		t.Fatalf("replayed event = %v", ev)
+	}
+	if c2.ArchName != "mips" || c2.SessionID() != id {
+		t.Fatalf("attached identity: %q session %d", c2.ArchName, c2.SessionID())
+	}
+	if v, err := c2.FetchInt(amem.Data, machine.DataBase, 4); err != nil || v != 42 {
+		t.Fatalf("fetch after attach = %d, %v", v, err)
+	}
+	if _, err := c2.AttachSession(999); err == nil {
+		t.Fatal("attach to unknown session succeeded")
+	}
+}
+
+// TestServiceReconnectReattaches severs a session-bound connection
+// under the client and checks the next request rides the reconnect
+// path: redial, lobby welcome, re-attach by session id, resync.
+func TestServiceReconnectReattaches(t *testing.T) {
+	_, addr := startService(t, nil)
+	c, conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := c.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	id := c.SessionID()
+	if ev, err := c.Continue(); err != nil || ev.Code != 3 {
+		t.Fatalf("continue: %v, %v", ev, err)
+	}
+	conn.Close() // sever under the client
+	v, err := c.FetchInt(amem.Data, machine.DataBase, 4)
+	if err != nil || v != 42 {
+		t.Fatalf("fetch across reconnect = %d, %v", v, err)
+	}
+	if c.SessionID() != id {
+		t.Fatalf("reconnect changed session: %d -> %d", id, c.SessionID())
+	}
+	if c.Stats().Reconnects == 0 {
+		t.Fatal("no reconnect recorded")
+	}
+}
+
+// TestServiceLegacyFallback points the service at a legacy target: a
+// client that knows nothing of sessions debugs it exactly as it would a
+// single-target nub, while a session-aware client on the same endpoint
+// can still rebind to a pool session.
+func TestServiceLegacyFallback(t *testing.T) {
+	a := allArches[0]
+	p := machine.New(a, testProgram(t, a), make([]byte, 64), machine.TextBase)
+	n := New(p)
+	n.Start()
+	_, addr := startService(t, func(s *Service) { s.SetLegacyTarget(n) })
+
+	c, conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ArchName != a.Name() {
+		t.Fatalf("legacy welcome arch = %q", c.ArchName)
+	}
+	if c.Last.Sig != arch.SigTrap || c.Last.Code != arch.TrapPause {
+		t.Fatalf("legacy first event = %v", c.Last)
+	}
+	if ev, err := c.Continue(); err != nil || ev.Code != 3 {
+		t.Fatalf("legacy continue: %v, %v", ev, err)
+	}
+	if v, err := c.FetchInt(amem.Data, machine.DataBase, 4); err != nil || v != 42 {
+		t.Fatalf("legacy fetch = %d, %v", v, err)
+	}
+	if err := c.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// A second connection sees the same target where it stopped, then
+	// rebinds to a pool session of a different architecture.
+	c2, conn2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if c2.Last.Code != 3 {
+		t.Fatalf("second legacy event = %v", c2.Last)
+	}
+	if _, err := c2.OpenSession("vax"); err != nil {
+		t.Fatal(err)
+	}
+	if c2.ArchName != "vax" {
+		t.Fatalf("rebound arch = %q", c2.ArchName)
+	}
+}
+
+// A connection arriving while another one holds the legacy target must
+// land in the lobby immediately, not queue behind the live session.
+func TestServiceLegacyBusyFallsToLobby(t *testing.T) {
+	a := allArches[0]
+	p := machine.New(a, testProgram(t, a), make([]byte, 64), machine.TextBase)
+	n := New(p)
+	n.Start()
+	_, addr := startService(t, func(s *Service) { s.SetLegacyTarget(n) })
+
+	c1, conn1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn1.Close()
+	if c1.ArchName != a.Name() {
+		t.Fatalf("first connection arch = %q, want legacy target", c1.ArchName)
+	}
+
+	// The legacy token is held by c1; this connection gets the lobby
+	// and can still open a pool session.
+	c2, conn2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if !c2.Sessions() || c2.ArchName != "" {
+		t.Fatalf("second connection: sessions=%v arch=%q, want lobby", c2.Sessions(), c2.ArchName)
+	}
+	if _, err := c2.OpenSession("sparc"); err != nil {
+		t.Fatal(err)
+	}
+	// The legacy session was untouched throughout.
+	if ev, err := c1.Continue(); err != nil || ev.Code != 3 {
+		t.Fatalf("legacy continue: %v, %v", ev, err)
+	}
+}
+
+// TestServiceLRUEviction caps the pool at two sessions and opens three:
+// the least recently used idle session is evicted to make room, and an
+// attach to it reports it gone.
+func TestServiceLRUEviction(t *testing.T) {
+	s, addr := startService(t, func(s *Service) { s.MaxSessions = 2 })
+	c, conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := c.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	first := c.SessionID()
+	if _, err := c.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sessions(); got != 2 {
+		t.Fatalf("pool holds %d sessions, want 2", got)
+	}
+	if _, err := c.AttachSession(first); err == nil || !strings.Contains(err.Error(), "no such session") {
+		t.Fatalf("attach to evicted session: %v", err)
+	}
+	st, err := c.ServiceStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != 2 || st.Peak != 2 || st.Evicted != 1 || st.Opened != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestServiceCapacityAllBusy: when every session is bound, open fails
+// instead of evicting someone's live debugging session.
+func TestServiceCapacityAllBusy(t *testing.T) {
+	_, addr := startService(t, func(s *Service) { s.MaxSessions = 1 })
+	c1, conn1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn1.Close()
+	if _, err := c1.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	c2, conn2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := c2.OpenSession("mips"); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("open at capacity: %v", err)
+	}
+}
+
+// TestServiceWarmAttachZeroDecodes is the shared-decode-cache gate at
+// the service level: close a session (publishing its decode products)
+// and a fresh session of the same program must run entirely warm.
+func TestServiceWarmAttachZeroDecodes(t *testing.T) {
+	_, addr := startService(t, nil)
+	c, conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := c.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := c.Continue(); err != nil || ev.Code != 3 {
+		t.Fatalf("cold continue: %v, %v", ev, err)
+	}
+	cold, err := c.SimStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Decodes == 0 {
+		t.Fatal("cold session decoded nothing; the gate below would be vacuous")
+	}
+	if err := c.CloseSession(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := c.Continue(); err != nil || ev.Code != 3 {
+		t.Fatalf("warm continue: %v, %v", ev, err)
+	}
+	warm, err := c.SimStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Decodes != 0 {
+		t.Fatalf("warm session decoded %d instructions, want 0 (%+v)", warm.Decodes, warm)
+	}
+	st, err := c.ServiceStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SharedHits < 1 {
+		t.Fatalf("no shared-cache hit recorded: %+v", st)
+	}
+}
+
+// TestServiceStatsPerSession: the health line's per-session request
+// count is the bound session's alone, while the aggregate spans the
+// pool.
+func TestServiceStatsPerSession(t *testing.T) {
+	_, addr := startService(t, nil)
+	c1, conn1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn1.Close()
+	c2, conn2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := c1.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	c1.SetCaching(false)
+	for i := 0; i < 10; i++ {
+		if _, err := c1.FetchInt(amem.Data, machine.DataBase, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st1, err := c1.ServiceStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c2.ServiceStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.SessionRequests < 10 {
+		t.Fatalf("session 1 requests = %d, want >= 10", st1.SessionRequests)
+	}
+	if st2.SessionRequests >= st1.SessionRequests {
+		t.Fatalf("idle session counts the busy one's requests: %d vs %d", st2.SessionRequests, st1.SessionRequests)
+	}
+	if st1.TotalRequests < st1.SessionRequests+st2.SessionRequests {
+		t.Fatalf("aggregate %d below sum of sessions %d+%d", st1.TotalRequests, st1.SessionRequests, st2.SessionRequests)
+	}
+}
+
+// TestServicePlainNubRefusesSessionKinds pins the legacy story on the
+// wire: a single-target nub answers MOpenSession with a clean error and
+// keeps serving, and the client API refuses locally before sending.
+func TestServicePlainNubRefusesSessionKinds(t *testing.T) {
+	a := allArches[0]
+	c, _, _, err := Launch(a, testProgram(t, a), nil, machine.TextBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sessions() {
+		t.Fatal("plain nub advertised sessions")
+	}
+	if _, err := c.OpenSession("mips"); err == nil {
+		t.Fatal("OpenSession against plain nub did not refuse")
+	}
+	if _, err := c.ServiceStats(); err == nil || !strings.Contains(err.Error(), "unexpected request") {
+		t.Fatalf("servicestats against plain nub: %v", err)
+	}
+	// The refusal left the connection healthy.
+	if _, err := c.Continue(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceShutdownDrains is the goroutine-leak gate: spin up live
+// sessions on idle connections, shut down, and the process must return
+// to its pre-service goroutine count — no accept loop, no connection
+// goroutines, nothing parked in a read.
+func TestServiceShutdownDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := NewService()
+	for _, a := range allArches {
+		s.Register(a.Name(), a, testProgram(t, a), make([]byte, 64), machine.TextBase)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeListener(l)
+
+	var conns []net.Conn
+	for i := 0; i < 8; i++ {
+		c, conn, err := Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, conn)
+		if _, err := c.OpenSession(allArches[i%len(allArches)].Name()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.StepInst(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { s.Shutdown(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not drain idle connections")
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	if _, err := net.DialTimeout("tcp", l.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServiceSessionIsolation runs two sessions of the same program and
+// checks one's breakpoint plant never perturbs the other — the shared
+// cache's per-session copy-on-write seam, exercised over the wire.
+func TestServiceSessionIsolation(t *testing.T) {
+	_, addr := startService(t, nil)
+	// Warm the cache so both sessions below adopt the same entry.
+	cw, connw, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.Continue(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.CloseSession(); err != nil {
+		t.Fatal(err)
+	}
+	connw.Close()
+
+	c1, conn1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn1.Close()
+	c2, conn2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := c1.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	// Session 1 plants a breakpoint over its second instruction.
+	a, _ := arch.Lookup("mips")
+	if err := c1.PlantStore(machine.TextBase+4, a.BreakInstr()); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := c1.Continue(); err != nil || ev.Code != arch.TrapBreakpoint {
+		t.Fatalf("planter stop: %v, %v", ev, err)
+	}
+	// Session 2 runs clean and warm despite session 1's plant.
+	if ev, err := c2.Continue(); err != nil || ev.Code != 3 {
+		t.Fatalf("clean session stop: %v, %v", ev, err)
+	}
+	st, err := c2.SimStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Decodes != 0 {
+		t.Fatalf("clean session decoded %d after peer plant, want 0", st.Decodes)
+	}
+}
+
+// TestServiceShutdownIdempotent makes Shutdown safe to call repeatedly
+// (the cleanup hook adds a third call after these two).
+func TestServiceShutdownIdempotent(t *testing.T) {
+	s, _ := startService(t, nil)
+	s.Shutdown()
+	s.Shutdown()
+}
