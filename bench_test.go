@@ -35,6 +35,7 @@ import (
 	"ldb/internal/driver"
 	"ldb/internal/link"
 	"ldb/internal/locstats"
+	"ldb/internal/machine"
 	"ldb/internal/nub"
 	"ldb/internal/ps"
 	"ldb/internal/stab"
@@ -582,6 +583,80 @@ func BenchmarkDebugService(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_service.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+	} // timed by hand, as in BenchmarkSimulatorPredecode
+}
+
+// checkpointMetrics is the BENCH_checkpoint.json record: aggregate
+// service throughput with crash-only checkpointing off versus on at the
+// default interval, and the overhead the protection costs.
+type checkpointMetrics struct {
+	Program      string  `json:"program"`
+	Arch         string  `json:"arch"`
+	Sessions     int     `json:"sessions"`
+	Interval     int64   `json:"checkpoint_interval"`
+	OffIPS       float64 `json:"off_agg_ips"`
+	OnIPS        float64 `json:"on_agg_ips"`
+	OverheadFrac float64 `json:"overhead_fraction"`
+}
+
+// BenchmarkCheckpoint is the crash-only overhead gate: the same
+// debug-service workload as BenchmarkDebugService, run once with
+// checkpointing disabled and once with the default interval — dirty
+// tracking armed, a baseline checkpoint per session, and paced COW
+// snapshots inside Run. The protected service must keep at least 90% of
+// the unprotected aggregate throughput; the pair is recorded in
+// BENCH_checkpoint.json.
+func BenchmarkCheckpoint(b *testing.B) {
+	prog := buildFor(b, "mips", "queens.c", workload.Queens, false, false)
+	serve := func(interval int64) (string, func()) {
+		s := nub.NewService()
+		s.CheckpointInterval = interval
+		s.Register("queens", prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go s.ServeListener(l)
+		return l.Addr().String(), s.Shutdown
+	}
+	const workers = 4
+	measure := func(interval int64) float64 {
+		addr, shutdown := serve(interval)
+		defer shutdown()
+		best := 0.0
+		for i := 0; i < 2; i++ { // best-of-two per configuration: scheduler noise, not trend
+			if ips := measureService(b, addr, "queens", workers); ips > best {
+				best = ips
+			}
+		}
+		return best
+	}
+	off := measure(-1) // negative interval: checkpointing fully disarmed
+	on := measure(0)   // zero: machine.DefaultCheckpointInterval
+	m := checkpointMetrics{
+		Program:      "queens.c",
+		Arch:         "mips",
+		Sessions:     workers,
+		Interval:     machine.DefaultCheckpointInterval,
+		OffIPS:       off,
+		OnIPS:        on,
+		OverheadFrac: 1 - on/off,
+	}
+	b.ReportMetric(off/1e6, "mips_off")
+	b.ReportMetric(on/1e6, "mips_on")
+	b.ReportMetric(m.OverheadFrac, "overhead_fraction")
+	if on < 0.9*off {
+		b.Fatalf("checkpointing costs %.1f%% of aggregate throughput (%.2fM -> %.2fM ips) — want <= 10%%",
+			100*m.OverheadFrac, off/1e6, on/1e6)
+	}
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_checkpoint.json", append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {

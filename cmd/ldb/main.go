@@ -50,10 +50,12 @@ func main() {
 	attach := flag.String("attach", "", "attach to a nub at host:port")
 	serve := flag.String("serve", "", "serve the images as a debug service at this address")
 	session := flag.String("session", "", "with -attach: open this registered program as a new session")
+	ckpt := flag.Int64("ckpt", 0, "with -serve: checkpoint interval in simulated instructions (0 default, negative disables crash-only protection)")
+	ckdir := flag.String("ckdir", "", "with -serve: spill passivated session checkpoints into this directory")
 	flag.Parse()
 
 	if *serve != "" {
-		serveMode(*serve, flag.Args())
+		serveMode(*serve, *ckpt, *ckdir, flag.Args())
 		return
 	}
 
@@ -114,12 +116,17 @@ func main() {
 // arrangement, but for many debuggers at once, with decode caches
 // shared between sessions of the same image. The first image also
 // runs as the legacy single-session target, so clients that predate
-// the session protocol attach to it unchanged.
-func serveMode(addr string, args []string) {
+// the session protocol attach to it unchanged. Sessions are crash-only:
+// evicted ones passivate into checkpoints (spilled to ckdir if given)
+// and resurrect on re-attach; a negative ckpt interval turns all of
+// that off.
+func serveMode(addr string, ckpt int64, ckdir string, args []string) {
 	if len(args) < 1 {
 		fatal(fmt.Errorf("usage: ldb -serve :port prog.img [more.img ...]"))
 	}
 	s := nub.NewService()
+	s.CheckpointInterval = ckpt
+	s.PassivateDir = ckdir
 	var names []string
 	for i, path := range args {
 		data, err := os.ReadFile(path)
@@ -511,6 +518,8 @@ func command(d *core.Debugger, line string) bool {
 			if st, err := t.Client.ServiceStats(); err == nil {
 				say("service: %d/%d sessions live/peak, %d opened, %d evicted, shared decode cache %d hits / %d misses, %d session / %d total requests",
 					st.Live, st.Peak, st.Opened, st.Evicted, st.SharedHits, st.SharedMisses, st.SessionRequests, st.TotalRequests)
+				say("crash-only: %d passivated, %d resurrected, %d rollbacks",
+					st.Passivated, st.Resurrected, st.Rollbacks)
 			}
 		}
 	case "wire":

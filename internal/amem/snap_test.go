@@ -1,0 +1,168 @@
+package amem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestShadowForkSharesCleanPages(t *testing.T) {
+	n := 4 * SnapPage
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	sh := NewShadow(n)
+	pm1 := sh.Fork(data)
+	if pm1.Len() != n || pm1.NumPages() != 4 {
+		t.Fatalf("first fork: len %d pages %d", pm1.Len(), pm1.NumPages())
+	}
+	if !bytes.Equal(pm1.Materialize(), data) {
+		t.Fatal("first fork does not match data")
+	}
+
+	// Dirty only page 2; the second fork must share pages 0, 1, 3.
+	data[2*SnapPage] = 0xEE
+	sh.Mark(2*SnapPage, 1)
+	pm2 := sh.Fork(data)
+	for i := 0; i < 4; i++ {
+		shared := &pm1.pages[i][0] == &pm2.pages[i][0]
+		if i == 2 && shared {
+			t.Fatal("dirty page 2 shared with previous snapshot")
+		}
+		if i != 2 && !shared {
+			t.Fatalf("clean page %d not shared with previous snapshot", i)
+		}
+	}
+	if !bytes.Equal(pm2.Materialize(), data) {
+		t.Fatal("second fork does not match data")
+	}
+	// pm1 is immutable: it still holds the old byte.
+	want := byte(2 * SnapPage % 256)
+	if got := pm1.Materialize()[2*SnapPage]; got != want {
+		t.Fatalf("snapshot mutated: page 2 byte 0 = %#x, want %#x", got, want)
+	}
+}
+
+func TestShadowZeroPageElision(t *testing.T) {
+	n := 3*SnapPage + 100 // ragged tail
+	data := make([]byte, n)
+	data[SnapPage+5] = 7 // only page 1 is nonzero
+	sh := NewShadow(n)
+	pm := sh.Fork(data)
+	if pm.NumPages() != 4 {
+		t.Fatalf("pages = %d, want 4", pm.NumPages())
+	}
+	for i := 0; i < 4; i++ {
+		if i == 1 && pm.Page(i) == nil {
+			t.Fatal("nonzero page 1 elided")
+		}
+		if i != 1 && pm.Page(i) != nil {
+			t.Fatalf("all-zero page %d not elided", i)
+		}
+	}
+	if !bytes.Equal(pm.Materialize(), data) {
+		t.Fatal("materialized snapshot does not match data")
+	}
+}
+
+func TestShadowMarkSpansPages(t *testing.T) {
+	sh := NewShadow(3 * SnapPage)
+	clear(sh.Dirty)
+	sh.Mark(SnapPage-2, 4) // straddles pages 0 and 1
+	if !sh.Dirty[0] || !sh.Dirty[1] || sh.Dirty[2] {
+		t.Fatalf("dirty = %v", sh.Dirty)
+	}
+	sh.Mark(10*SnapPage, 4) // out of range: clamped, no panic
+	sh.Mark(-5, 2)
+}
+
+func TestPageMapFromPagesValidates(t *testing.T) {
+	if _, err := PageMapFromPages(SnapPage+1, make([][]byte, 1)); err == nil {
+		t.Fatal("wrong page count accepted")
+	}
+	if _, err := PageMapFromPages(SnapPage, [][]byte{make([]byte, 17)}); err == nil {
+		t.Fatal("wrong page size accepted")
+	}
+	pm, err := PageMapFromPages(SnapPage+4, [][]byte{nil, []byte{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, SnapPage+4)
+	copy(want[SnapPage:], []byte{1, 2, 3, 4})
+	if !bytes.Equal(pm.Materialize(), want) {
+		t.Fatal("materialized mismatch")
+	}
+}
+
+func TestBufMemorySnapshotRestore(t *testing.T) {
+	m := NewBufMemory(Data, binary.LittleEndian, 2*SnapPage)
+	loc := func(off int64) Location { return Location{Space: Data, Offset: off} }
+	if err := m.StoreInt(loc(8), 4, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+
+	// Mutate both pages after the snapshot, then restore.
+	if err := m.StoreInt(loc(8), 4, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreFloat(loc(SnapPage+16), Float64, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.FetchInt(loc(8), 4)
+	if err != nil || v != 0x11223344 {
+		t.Fatalf("after restore: %#x, %v", v, err)
+	}
+	f, err := m.FetchFloat(loc(SnapPage+16), Float64)
+	if err != nil || f != 0 {
+		t.Fatalf("after restore: %v, %v", f, err)
+	}
+
+	// A post-restore fork shares pages with the restored snapshot.
+	pm2 := m.Snapshot().Mem
+	if snap.Mem.Page(0) == nil || &snap.Mem.Page(0)[0] != &pm2.Page(0)[0] {
+		t.Fatal("post-restore fork does not share clean pages")
+	}
+
+	// Mismatched snapshots are rejected.
+	other := NewBufMemory(Code, binary.LittleEndian, 2*SnapPage)
+	if err := other.RestoreSnapshot(snap); err == nil {
+		t.Fatal("cross-space restore accepted")
+	}
+}
+
+func TestJoinedMemorySnapshot(t *testing.T) {
+	j := NewJoinedMemory()
+	d := NewBufMemory(Data, binary.LittleEndian, SnapPage)
+	c := NewBufMemory(Code, binary.LittleEndian, SnapPage)
+	j.Route(Data, d)
+	j.Route(Code, c)
+	if err := j.StoreInt(Location{Space: Data, Offset: 4}, 4, 99); err != nil {
+		t.Fatal(err)
+	}
+	snap := j.Snapshot()
+	if len(snap.Snaps) != 2 {
+		t.Fatalf("snapshotted %d routes, want 2", len(snap.Snaps))
+	}
+	if err := j.StoreInt(Location{Space: Data, Offset: 4}, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.StoreInt(Location{Space: Code, Offset: 0}, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	v, err := j.FetchInt(Location{Space: Data, Offset: 4}, 4)
+	if err != nil || v != 99 {
+		t.Fatalf("data after restore: %d, %v", v, err)
+	}
+	v, err = j.FetchInt(Location{Space: Code, Offset: 0}, 4)
+	if err != nil || v != 0 {
+		t.Fatalf("code after restore: %d, %v", v, err)
+	}
+}

@@ -41,6 +41,12 @@ func RunSession(prog *driver.Program, sc workload.Scenario, pd PredecodeMode, wi
 	proc := machine.New(prog.Arch, prog.Image.Text, prog.Image.Data, prog.Image.Entry)
 	proc.NoPredecode = pd == PredecodeOff
 	proc.NoFuse = pd == PredecodeInsn
+	// Capture-only checkpointing: dirty tracking plus a paced COW
+	// snapshot, never restored. It must be invisible in every transcript
+	// — which makes the whole differential corpus a soak test for the
+	// checkpoint seam across all ISAs and execution modes.
+	proc.EnableCheckpoints()
+	proc.SetAutoCheckpoint(50_000, func() { proc.TakeCheckpoint() })
 	if pd != PredecodeOff {
 		sessionShare.Adopt(proc)
 		// Publish at session end, when the decode products are warmest;

@@ -42,8 +42,12 @@ func serviceSoakPrint(d *core.Debugger, tgt *core.Target, name string) (string, 
 
 // serviceSoakScript is the fixed debug session every soak worker runs:
 // break in fib, inspect locals, evaluate expressions, backtrace, then
-// run to exit. Its output is the byte-equality oracle.
-func serviceSoakScript(d *core.Debugger, tgt *core.Target) (string, error) {
+// run to exit. Its output is the byte-equality oracle. A non-nil
+// interrupt is invoked halfway through — between inspecting locals and
+// evaluating expressions — and must leave the session attachable; it
+// contributes nothing to the transcript, so an interrupted run must
+// still come out byte-identical.
+func serviceSoakScript(d *core.Debugger, tgt *core.Target, interrupt func() error) (string, error) {
 	var tr strings.Builder
 	say := func(format string, args ...any) { fmt.Fprintf(&tr, format+"\n", args...) }
 
@@ -66,6 +70,11 @@ func serviceSoakScript(d *core.Debugger, tgt *core.Target) (string, error) {
 			return "", fmt.Errorf("print %s: %w", name, err)
 		}
 		say("%s = %s", name, v)
+	}
+	if interrupt != nil {
+		if err := interrupt(); err != nil {
+			return "", fmt.Errorf("interrupt: %w", err)
+		}
 	}
 	for _, expr := range []string{"a[i]", "a[i-1] + a[i-2]", "n"} {
 		v, err := tgt.EvalInt(expr)
@@ -95,8 +104,10 @@ func serviceSoakScript(d *core.Debugger, tgt *core.Target) (string, error) {
 
 // soakServiceSession dials the service, opens a session of the given
 // program, and runs the script. With an injector seed >= 0 the wire is
-// fault-injected and kept dying underneath the session.
-func soakServiceSession(addr, program string, prog *Program, seed int64) (string, nub.StatsSnapshot, error) {
+// fault-injected and kept dying underneath the session. A non-nil
+// interrupt runs mid-script with the live client — the chaos soak's
+// hook for detaching and riding a passivation/resurrection cycle.
+func soakServiceSession(addr, program string, prog *Program, seed int64, interrupt func(*nub.Client) error) (string, nub.StatsSnapshot, error) {
 	var inj *faultrw.Injector
 	if seed >= 0 {
 		inj = faultrw.New(seed, faultrw.Config{
@@ -146,7 +157,11 @@ func soakServiceSession(addr, program string, prog *Program, seed int64) (string
 	if err != nil {
 		return "", nub.StatsSnapshot{}, fmt.Errorf("attach: %w", err)
 	}
-	tr, err := serviceSoakScript(d, tgt)
+	var mid func() error
+	if interrupt != nil {
+		mid = func() error { return interrupt(client) }
+	}
+	tr, err := serviceSoakScript(d, tgt, mid)
 	if err != nil {
 		return "", nub.StatsSnapshot{}, err
 	}
@@ -183,7 +198,7 @@ func TestServiceSoak(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr, err := serviceSoakScript(d, tgt)
+		tr, err := serviceSoakScript(d, tgt, nil)
 		if err != nil {
 			t.Fatalf("%s: clean run: %v", a, err)
 		}
@@ -210,7 +225,7 @@ func TestServiceSoak(t *testing.T) {
 	// breakpoints before exiting, leaving the text pristine) and every
 	// fleet session below attaches warm.
 	for _, a := range allArches {
-		tr, _, err := soakServiceSession(addr, a, progs[a], -1)
+		tr, _, err := soakServiceSession(addr, a, progs[a], -1, nil)
 		if err != nil {
 			t.Fatalf("%s: pre-warm: %v", a, err)
 		}
@@ -277,7 +292,7 @@ func TestServiceSoak(t *testing.T) {
 			if i%3 == 0 {
 				seed = int64(1992 + i)
 			}
-			tr, st, err := soakServiceSession(addr, a, progs[a], seed)
+			tr, st, err := soakServiceSession(addr, a, progs[a], seed, nil)
 			results <- result{i: i, a: a, tr: tr, st: st, err: err}
 		}(i)
 	}
@@ -316,7 +331,7 @@ func TestServiceSoak(t *testing.T) {
 	// shared decode cache must have carried the fleet: every fleet
 	// session attached after the pre-warm publishes, so warm adoptions
 	// must at least match the fleet size.
-	tr, _, err := soakServiceSession(addr, allArches[0], progs[allArches[0]], -1)
+	tr, _, err := soakServiceSession(addr, allArches[0], progs[allArches[0]], -1, nil)
 	if err != nil {
 		t.Fatalf("post-soak session: %v", err)
 	}

@@ -40,6 +40,9 @@ type Segment struct {
 	// fused instructions. See superblock.go.
 	sblocks []*sblock
 	gen     uint64
+	// shadow, when armed by EnableCheckpoints, tracks dirty pages so a
+	// checkpoint forks O(dirty pages), not O(memory). See checkpoint.go.
+	shadow *amem.Shadow
 	// ro marks decoded as shared read-only (adopted from, or published
 	// into, a TextCache): mutators must call privatize before writing a
 	// decoded entry. sblocks is always private — adoption clones block
@@ -133,6 +136,14 @@ type Process struct {
 	memBase2 uint32
 	memData2 []byte
 	memSeg2  *Segment
+
+	// Auto-checkpoint pacing (checkpoint.go): when ckEvery > 0, Run
+	// calls ckFn from its outer loop every ckEvery instructions by
+	// folding ckNext into the step limit — the fused dispatch loop is
+	// untouched between checkpoints.
+	ckEvery int64
+	ckNext  int64
+	ckFn    func()
 }
 
 // New returns a stopped process with text and data segments holding the
@@ -408,8 +419,9 @@ func (p *Process) Run() *arch.Fault {
 		// backing array, and a hoisted slice would keep serving entries
 		// a self-modifying store just invalidated.
 		var f *arch.Fault
+		limit := p.ckLimit()
 		if fuse {
-			f = p.runFused()
+			f = p.runFused(limit)
 		} else if predecode {
 			if s := p.lastText; s != nil && s.decoded != nil {
 				base, regs := s.Base, p.regs
@@ -423,12 +435,13 @@ func (p *Process) Run() *arch.Fault {
 					if d.Exec == nil {
 						break
 					}
-					steps++
-					if steps > MaxSteps {
-						p.Steps = steps
-						p.State = StateStopped
-						return &arch.Fault{Kind: arch.FaultSignal, Sig: arch.SigIll, Code: -1, PC: p.pc}
+					if steps >= limit {
+						// Limit reached: fall out so the outer loop fires a
+						// due checkpoint, or takes the last few instructions
+						// through step()'s per-step MaxSteps check.
+						break
 					}
+					steps++
 					var next uint32
 					next, f = d.Exec(p, regs, &p.flag, p.pc)
 					if f != nil {
@@ -440,6 +453,10 @@ func (p *Process) Run() *arch.Fault {
 			}
 		}
 		if f == nil {
+			if p.ckEvery > 0 && p.Steps >= p.ckNext {
+				p.autoCheckpoint()
+				continue
+			}
 			p.Steps++
 			if p.Steps > MaxSteps {
 				p.State = StateStopped

@@ -127,8 +127,11 @@ func (p *Process) step() *arch.Fault {
 // predicted-successor links and aborts a block caught mid-execution.
 // Segments never executed from carry no caches and cost two nil checks.
 func (p *Process) invalidate(s *Segment, addr uint32, n int) {
-	// Thin enough to inline: data and stack stores pay two nil checks,
+	// Thin enough to inline: data and stack stores pay three nil checks,
 	// not a call.
+	if sh := s.shadow; sh != nil {
+		sh.Mark(int(addr-s.Base), n)
+	}
 	if s.decoded == nil && s.sblocks == nil {
 		return
 	}

@@ -24,7 +24,10 @@
 // retargeting seam.
 package machine
 
-import "ldb/internal/arch"
+import (
+	"ldb/internal/amem"
+	"ldb/internal/arch"
+)
 
 // maxBlockInsns bounds how many instructions one superblock fuses; a
 // run longer than this is split, which costs one extra dispatch per 64
@@ -124,11 +127,13 @@ func (p *Process) buildBlock(s *Segment, off, pc uint32) *sblock {
 
 // runFused executes from superblocks until something forces
 // per-instruction execution: a fault (returned for Run to deliver), an
-// unmapped or undecodable pc, or MaxSteps drawing near (nil return; the
-// caller's step() fallback takes over at the committed pc, one checked
-// instruction at a time).
+// unmapped or undecodable pc, or the step limit drawing near (nil
+// return; the caller either fires a due auto-checkpoint or lets the
+// step() fallback take over at the committed pc, one checked
+// instruction at a time). limit is MaxSteps, possibly tightened to the
+// next auto-checkpoint boundary — pacing costs the fast path nothing.
 
-func (p *Process) runFused() *arch.Fault {
+func (p *Process) runFused(limit int64) *arch.Fault {
 	pc := p.pc
 	s := p.lastText
 	if s == nil || pc-s.Base >= uint32(len(s.Data)) {
@@ -155,7 +160,6 @@ func (p *Process) runFused() *arch.Fault {
 	ap := arch.Proc(p)
 	be := p.be
 	steps := p.Steps
-	maxSteps := MaxSteps
 	var prev *sblock
 	for {
 		off := pc - s.Base
@@ -182,7 +186,7 @@ func (p *Process) runFused() *arch.Fault {
 		}
 		ops := b.ops
 		n := len(ops)
-		if steps+int64(n) > maxSteps {
+		if steps+int64(n) > limit {
 			break // take the last few instructions through step()'s per-step check
 		}
 		gen := s.gen
@@ -340,6 +344,13 @@ func (p *Process) runFused() *arch.Fault {
 					} else {
 						d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 					}
+					if sh := ws.shadow; sh != nil {
+						pg := (addr - wb) >> amem.SnapShift
+						sh.Dirty[pg] = true
+						if pg2 := (addr - wb + 3) >> amem.SnapShift; pg2 != pg {
+							sh.Dirty[pg2] = true
+						}
+					}
 					if ws.decoded != nil || ws.sblocks != nil {
 						p.invalidateCaches(ws, addr, 4)
 						if s.gen != gen {
@@ -368,6 +379,13 @@ func (p *Process) runFused() *arch.Fault {
 					} else {
 						d[0], d[1] = byte(v), byte(v>>8)
 					}
+					if sh := ws.shadow; sh != nil {
+						pg := (addr - wb) >> amem.SnapShift
+						sh.Dirty[pg] = true
+						if pg2 := (addr - wb + 1) >> amem.SnapShift; pg2 != pg {
+							sh.Dirty[pg2] = true
+						}
+					}
 					if ws.decoded != nil || ws.sblocks != nil {
 						p.invalidateCaches(ws, addr, 2)
 						if s.gen != gen {
@@ -391,6 +409,9 @@ func (p *Process) runFused() *arch.Fault {
 				}
 				if uint64(addr-wb)+1 <= uint64(len(wd)) {
 					wd[addr-wb] = byte(v)
+					if sh := ws.shadow; sh != nil {
+						sh.Dirty[(addr-wb)>>amem.SnapShift] = true
+					}
 					if ws.decoded != nil || ws.sblocks != nil {
 						p.invalidateCaches(ws, addr, 1)
 						if s.gen != gen {

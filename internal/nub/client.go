@@ -46,6 +46,13 @@ var ErrConnLost = errors.New("nub: connection lost")
 // endpoint announces a different target than the session began with.
 var ErrWelcomeMismatch = errors.New("nub: reconnected to a different target")
 
+// ErrRolledBack is wrapped into errors for requests that crashed
+// server-side: the debug service rolled the session back to its last
+// checkpoint, restoring exactly the state the request saw, so the
+// request — any request, stores and resumes included — may be safely
+// retried. The client does so transparently, bounded by maxReplays.
+var ErrRolledBack = errors.New("nub: session rolled back to its last checkpoint")
+
 // IsConnLost reports whether err was caused by a broken or timed-out
 // connection (the session may have been transparently reconnected; see
 // Client.Last for the nub's latched event in that case).
@@ -442,7 +449,12 @@ func (c *Client) readEvent() (*Event, error) {
 	case MError:
 		// The nub refused or could not complete the resume (a legacy nub
 		// seeing MStepInst, a recovered server panic): a clean protocol
-		// error on a healthy wire, not a connection loss.
+		// error on a healthy wire, not a connection loss. A rolled-back
+		// resume is marked retryable — the session is back at the state
+		// the resume saw.
+		if m.Code == CodeRolledBack {
+			return nil, fmt.Errorf("%w: %s", ErrRolledBack, m.Data)
+		}
 		return nil, errors.New("nub: " + string(m.Data))
 	default:
 		return nil, fmt.Errorf("nub: expected event, got %v", m.Kind)
@@ -466,6 +478,9 @@ func (c *Client) exchange(req *Msg, want MsgKind) (rep *Msg, delivered bool, err
 	}
 	c.stats.RoundTrips.Add(1)
 	if rep.Kind == MError {
+		if rep.Code == CodeRolledBack {
+			return nil, true, fmt.Errorf("%w: %s", ErrRolledBack, rep.Data)
+		}
 		return nil, true, errors.New("nub: " + string(rep.Data))
 	}
 	if rep.Kind != want {
@@ -483,7 +498,22 @@ func (c *Client) exchange(req *Msg, want MsgKind) (rep *Msg, delivered bool, err
 func (c *Client) roundTrip(req *Msg, want MsgKind) (*Msg, error) {
 	for replay := 0; ; replay++ {
 		rep, delivered, err := c.exchange(req, want)
-		if err == nil || !errors.Is(err, ErrConnLost) {
+		if err == nil {
+			return rep, nil
+		}
+		if errors.Is(err, ErrRolledBack) {
+			// The request crashed server-side and the session was rolled
+			// back to exactly the state the request saw: retrying is safe
+			// even for stores, plants, and resumes. Deterministic crashes
+			// surface once the replay budget runs out.
+			if replay >= maxReplays {
+				return nil, fmt.Errorf("nub: %v failed after %d replays: %w", req.Kind, replay, err)
+			}
+			c.stats.Replays.Add(1)
+			c.InvalidateCache()
+			continue
+		}
+		if !errors.Is(err, ErrConnLost) {
 			return rep, err
 		}
 		if rerr := c.reconnect(); rerr != nil {
@@ -863,7 +893,7 @@ func (c *Client) CloseSession() error {
 	if c.sessionID == 0 {
 		return errors.New("nub: no session bound")
 	}
-	if _, err := c.roundTrip(&Msg{Kind: MCloseSession}, MOK); err != nil {
+	if _, err := c.roundTrip(&Msg{Kind: MCloseSession, Val: c.sessionID}, MOK); err != nil {
 		return err
 	}
 	c.sessionID, c.sessionProgram = 0, ""
@@ -885,6 +915,12 @@ type ServiceStatsReport struct {
 	SharedMisses    int64 // cold attaches that had to decode
 	SessionRequests int64 // requests served for this connection's session
 	TotalRequests   int64 // requests served across all sessions ever
+	// Crash-only lifecycle counters; zero against services built before
+	// passivation existed (their replies carry only the eight values
+	// above).
+	Passivated  int64 // sessions checkpointed into the passivated store on eviction
+	Resurrected int64 // sessions rebuilt from a stored checkpoint on attach
+	Rollbacks   int64 // crashed requests answered by checkpoint rollback
 }
 
 // ServiceStats asks the debug service for its health counters. A plain
@@ -894,15 +930,19 @@ func (c *Client) ServiceStats() (ServiceStatsReport, error) {
 	if err != nil {
 		return ServiceStatsReport{}, err
 	}
-	if len(rep.Data) != 64 {
+	if len(rep.Data) != 64 && len(rep.Data) != 88 {
 		return ServiceStatsReport{}, fmt.Errorf("nub: malformed servicestats reply (%d bytes)", len(rep.Data))
 	}
 	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(rep.Data[i*8:])) }
-	return ServiceStatsReport{
+	r := ServiceStatsReport{
 		Live: v(0), Peak: v(1), Evicted: v(2), Opened: v(3),
 		SharedHits: v(4), SharedMisses: v(5),
 		SessionRequests: v(6), TotalRequests: v(7),
-	}, nil
+	}
+	if len(rep.Data) == 88 {
+		r.Passivated, r.Resurrected, r.Rollbacks = v(8), v(9), v(10)
+	}
+	return r, nil
 }
 
 // parsePlanted decodes an MPlanted payload: (addr32, len32, bytes)
@@ -959,6 +999,16 @@ func (c *Client) resume(kind MsgKind) (*Event, error) {
 				c.stats.RoundTrips.Add(1)
 				c.Last = ev
 				return ev, nil
+			}
+			if errors.Is(rerr, ErrRolledBack) {
+				// The resume crashed server-side; the rollback rewound the
+				// session to the state the resume saw, so resuming again
+				// re-runs the exact same execution.
+				if replay >= maxReplays {
+					return nil, rerr
+				}
+				c.stats.Replays.Add(1)
+				continue
 			}
 			if !errors.Is(rerr, ErrConnLost) {
 				return nil, rerr

@@ -1,0 +1,71 @@
+package nub
+
+import (
+	"testing"
+
+	"ldb/internal/arch"
+	"ldb/internal/arch/mips"
+	"ldb/internal/machine"
+)
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the passivated-session
+// decoder. The contract under fuzzing: for any input the decoder
+// returns a checkpoint or an error — it never panics, never allocates
+// an attacker-declared amount of memory, and anything it does accept
+// must also survive process resurrection without panicking. This is the
+// restorer's half of the crash-only bargain: a corrupted spill file or
+// a hostile blob costs one failed attach, never the service.
+func FuzzCheckpointDecode(f *testing.F) {
+	a := mips.Little
+	as := mips.NewAsm(a)
+	as.Break(arch.TrapPause)
+	as.LI(mips.T0, int32(machine.DataBase))
+	as.LI(mips.T0+1, 42)
+	as.I(mips.OpSw, mips.T0+1, mips.T0, 0)
+	as.LI(mips.V0, arch.SysExit)
+	as.LI(mips.A0, 0)
+	as.Syscall()
+	code, _, err := as.Finish()
+	if err != nil {
+		f.Fatal(err)
+	}
+	p := machine.New(a, code, make([]byte, 64), machine.TextBase)
+	n := New(p)
+	n.Start()
+	ck := n.Checkpoint()
+	ck.Events = []machine.Event{
+		{Kind: machine.EvStoreInt, Space: 'd', Addr: machine.DataBase, Size: 4, Val: 7},
+		{Kind: machine.EvContinue},
+	}
+	blob := encodeCheckpoint("mips", ck, n.pending)
+
+	// Seeds: a real blob, truncations at structure boundaries, a flipped
+	// magic, a lying count, bare magic, and junk.
+	f.Add(blob)
+	for _, cut := range []int{0, len(ckMagic), len(ckMagic) + 4, len(blob) / 4, len(blob) / 2, len(blob) - 1} {
+		f.Add(blob[:cut])
+	}
+	mut := append([]byte(nil), blob...)
+	mut[2] ^= 0xff
+	f.Add(mut)
+	lie := append([]byte(nil), blob...)
+	lie[len(ckMagic)] = 0xff
+	lie[len(ckMagic)+3] = 0x7f
+	f.Add(lie)
+	f.Add([]byte(ckMagic))
+	f.Add([]byte{0x41, 0x42, 0x43})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := decodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must also resurrect or refuse cleanly.
+		q, err := machine.FromCheckpoint(sc.ck)
+		if err != nil {
+			return
+		}
+		// And the resurrected process must serve a checkpoint again.
+		q.TakeCheckpoint()
+	})
+}

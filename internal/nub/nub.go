@@ -75,6 +75,13 @@ type Nub struct {
 // target's address space.
 func New(p *machine.Process) *Nub {
 	n := &Nub{P: p, ctxAddr: NubDataBase, planted: make(map[uint32][]byte)}
+	for _, s := range p.Segs {
+		if s.Name == "nub" && s.Base == NubDataBase {
+			// A process rebuilt from a checkpoint already carries the
+			// context area; mapping a second copy would shadow it.
+			return n
+		}
+	}
 	p.Segs = append(p.Segs, &machine.Segment{
 		Name: "nub",
 		Base: NubDataBase,

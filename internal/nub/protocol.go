@@ -214,6 +214,13 @@ const maxDataLen = 1 << 20
 // number of bytes.
 var errOversize = errors.New("nub: message payload too large")
 
+// CodeRolledBack is the MError code the debug service attaches when a
+// request crashed mid-flight and the session was rolled back to its
+// last checkpoint. The rollback restores exactly the state before the
+// request, so the client may simply retry it — stores, plants, and
+// resumes included, which a plain connection loss never permits.
+const CodeRolledBack int32 = 1
+
 // WelcomeBatch is the capability bit in a welcome message's Val field:
 // the nub understands MBatch envelopes. A zero Val — what every nub
 // sent before batching existed — means one message at a time.

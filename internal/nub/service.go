@@ -23,14 +23,32 @@
 // single-target nub would, so clients that ignore the sessions bit
 // debug it unchanged; session-aware clients may still open pool
 // sessions on the same connection.
+//
+// Sessions are crash-only. Every pooled session auto-checkpoints at a
+// configurable instruction interval and carries a compact log of the
+// replayable inputs accepted since (stores, plants, resumes); there is
+// no graceful teardown path that the correctness of anything depends
+// on. Eviction passivates: the victim's checkpoint is serialized into a
+// bounded in-service store (optionally spilled to disk), and a later
+// MAttachSession to the evicted id resurrects it transparently —
+// breakpoints, registers, memory, and the latched stop event included.
+// A request that panics mid-flight rolls the session back to its last
+// checkpoint and replays the log, so the client sees a retryable
+// CodeRolledBack error instead of a corrupted target. MCloseSession is
+// idempotent: closing a dead, unknown, or passivated session is a clean
+// success, because the close's postcondition — the session is gone —
+// already holds.
 package nub
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,12 +73,32 @@ const defaultAttachWait = 2 * time.Second
 // it. lastUsed is the service clock at the last unbind — the LRU key —
 // written only while the token is held, so the evictor (which acquires
 // the token before reading) never races it.
+//
+// The checkpoint fields are likewise guarded by the token: the bound
+// connection is the only writer, whether it mutates them between
+// requests (logRequest, rollback) or from inside Run via the
+// auto-checkpoint callback.
 type session struct {
-	id      uint64
-	program string
-	nub     *Nub
-	busy    chan struct{}
+	id       uint64
+	program  string
+	nub      *Nub
+	busy     chan struct{}
 	lastUsed uint64
+
+	// ck is the session's latest checkpoint, ckPending the stop event
+	// that was latched when it was taken, and ckLog the replayable
+	// inputs accepted since: ck + ckLog always reaches the current
+	// state. replayLog/replayIdx are live only while a rollback walks
+	// the log, so a mid-replay auto-checkpoint can rebase onto the
+	// events that still remain; resumeCovered marks that the resume
+	// request being served is already covered by a mid-run checkpoint's
+	// EvResume and must not be logged a second time.
+	ck            *machine.Checkpoint
+	ckPending     *Msg
+	ckLog         []machine.Event
+	replayLog     []machine.Event
+	replayIdx     int
+	resumeCovered bool
 }
 
 // Service is a concurrent, session-multiplexed debug server.
@@ -74,6 +112,24 @@ type Service struct {
 	// AttachWait bounds how long MAttachSession waits for a busy
 	// session to come free. Zero means defaultAttachWait.
 	AttachWait time.Duration
+	// CheckpointInterval paces per-session auto-checkpoints, in
+	// executed instructions. Zero means
+	// machine.DefaultCheckpointInterval; negative disables checkpoints
+	// entirely — and with them rollback, passivation, and resurrection.
+	CheckpointInterval int64
+	// MaxPassivated bounds the in-service store of passivated session
+	// checkpoints; the oldest record is dropped past it. Zero means
+	// DefaultMaxPassivated.
+	MaxPassivated int
+	// PassivateDir, when set, spills passivated checkpoints to disk
+	// (one session-<id>.ck file each), so a session can outlive both
+	// the pool and the bounded in-memory store.
+	PassivateDir string
+	// FaultHook, when set, runs before dispatching a bound session's
+	// request; returning true simulates a crash mid-request — the hook
+	// may corrupt target state through n — and forces a rollback. Chaos
+	// tests inject failures here; production leaves it nil.
+	FaultHook func(id uint64, n *Nub, req *Msg) bool
 
 	legacy *session
 
@@ -85,12 +141,24 @@ type Service struct {
 	nextID   uint64
 	peak     int
 
+	// passive stores the serialized checkpoints of evicted sessions,
+	// keyed by session id; passiveSeq orders them for bounded-store
+	// eviction. Guarded by mu.
+	passive    map[uint64]*passiveRec
+	passiveSeq uint64
+
 	clock   atomic.Uint64
 	opened  atomic.Int64
 	evicted atomic.Int64
 	// closedRequests accumulates the request counts of sessions that
 	// have left the pool, so the aggregate survives eviction.
 	closedRequests atomic.Int64
+	// Crash-only lifecycle counters: sessions passivated on eviction,
+	// sessions resurrected from a stored checkpoint, and per-request
+	// rollbacks to the last checkpoint.
+	passivated  atomic.Int64
+	resurrected atomic.Int64
+	rollbacks   atomic.Int64
 
 	lnMu     sync.Mutex
 	listener net.Listener
@@ -108,11 +176,28 @@ type spawnSpec struct {
 	entry uint32
 }
 
+// passiveRec is one passivated session: its serialized checkpoint and
+// its age in the bounded store.
+type passiveRec struct {
+	seq  uint64
+	blob []byte
+}
+
+// DefaultMaxPassivated bounds the passivated-checkpoint store when
+// Service.MaxPassivated is unset.
+const DefaultMaxPassivated = 64
+
+// maxCkLog bounds the replay log between checkpoints: past it the
+// service takes a fresh checkpoint instead of letting rollback replay
+// an unbounded tail.
+const maxCkLog = 1024
+
 // NewService returns an empty service with a fresh shared decode cache.
 func NewService() *Service {
 	return &Service{
 		programs: make(map[string]spawnSpec),
 		sessions: make(map[uint64]*session),
+		passive:  make(map[uint64]*passiveRec),
 		conns:    make(map[net.Conn]struct{}),
 		closeCh:  make(chan struct{}),
 		share:    machine.NewTextCache(),
@@ -237,15 +322,21 @@ func (s *Service) Serve(conn net.Conn) (err error) {
 				return err
 			}
 		case MCloseSession:
-			if sess == nil || sess.id == 0 {
-				if err := WriteMsg(conn, errMsg("no session bound")); err != nil {
-					return err
-				}
-				continue
+			// Idempotent by design: close means "make the session not
+			// exist", and if it already does not — unknown id, already
+			// closed, or passivated (Val names it) — the postcondition
+			// holds and the answer is a clean MOK. A stored checkpoint
+			// is dropped either way, so a closed session cannot
+			// resurrect.
+			if sess != nil && sess.id != 0 {
+				id := sess.id
+				s.kill(sess)
+				s.remove(sess)
+				sess = nil
+				s.dropPassivated(id)
+			} else {
+				s.dropPassivated(req.Val)
 			}
-			s.kill(sess)
-			s.remove(sess)
-			sess = nil
 			if err := WriteMsg(conn, &Msg{Kind: MOK}); err != nil {
 				return err
 			}
@@ -261,11 +352,40 @@ func (s *Service) Serve(conn net.Conn) (err error) {
 				continue
 			}
 			n := sess.nub
+			if h := s.FaultHook; h != nil && sess.ck != nil && h(sess.id, n, req) {
+				// Injected crash: the hook may have corrupted target
+				// state through n, exactly as a mid-request panic would.
+				n.Stats.RecoveredPanics.Add(1)
+				s.rollback(sess)
+				if err := WriteMsg(conn, rolledBack(req.Kind)); err != nil {
+					return err
+				}
+				continue
+			}
+			sess.resumeCovered = false
+			// Replies go through a buffer so a dispatch that panicked —
+			// visible as a RecoveredPanics bump — can be answered with a
+			// rollback error instead of its contained-panic reply: the
+			// panic left the target in an unknown state, and nothing of
+			// it may reach the wire.
+			var buf bytes.Buffer
 			n.mu.Lock()
-			done, derr := n.serveOneLocked(conn, req)
+			panics0 := n.Stats.RecoveredPanics.Load()
+			done, derr := n.serveOneLocked(&buf, req)
+			rolled := sess.ck != nil && !done && n.Stats.RecoveredPanics.Load() != panics0
 			n.mu.Unlock()
 			if derr != nil {
 				return derr
+			}
+			if rolled {
+				s.rollback(sess)
+				if err := WriteMsg(conn, rolledBack(req.Kind)); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := conn.Write(buf.Bytes()); err != nil {
+				return err
 			}
 			if done {
 				// MKill leaves the nub dead: drop the session from the
@@ -276,6 +396,7 @@ func (s *Service) Serve(conn net.Conn) (err error) {
 				}
 				return nil
 			}
+			s.logRequest(sess, req)
 		}
 	}
 }
@@ -343,29 +464,16 @@ func (s *Service) openSession(name string) (*session, *Msg) {
 		s.mu.Unlock()
 		return nil, errMsg("unknown program %q", name)
 	}
-	cap := s.MaxSessions
-	if cap <= 0 {
-		cap = DefaultMaxSessions
-	}
-	for len(s.sessions) >= cap {
-		victim := s.idleLRULocked()
-		if victim == nil {
-			s.mu.Unlock()
-			return nil, errMsg("service at capacity (%d sessions, none idle)", cap)
-		}
-		delete(s.sessions, victim.id)
+	if rep := s.makeRoomLocked(); rep != nil {
 		s.mu.Unlock()
-		s.kill(victim)
-		s.retire(victim)
-		s.evicted.Add(1)
-		s.mu.Lock()
+		return nil, rep
 	}
 	s.nextID++
 	id := s.nextID
 	p := machine.New(spec.arch, spec.text, spec.data, spec.entry)
 	s.share.Adopt(p)
 	n := New(p)
-	sess := &session{id: id, program: name, nub: n, busy: make(chan struct{}, 1)}
+	sess := &session{id: id, program: name, nub: n, busy: make(chan struct{}, 1), replayIdx: -1}
 	// The binding token starts held: the opener is the first driver.
 	s.sessions[id] = sess
 	if len(s.sessions) > s.peak {
@@ -374,7 +482,34 @@ func (s *Service) openSession(name string) (*session, *Msg) {
 	s.mu.Unlock()
 	s.opened.Add(1)
 	n.Start()
+	s.armCheckpoints(sess)
 	return sess, nil
+}
+
+// makeRoomLocked evicts idle sessions (least recently used first) until
+// the pool is under its cap, passivating each victim before it dies.
+// Called with s.mu held; drops and retakes it around the eviction work.
+// A non-nil reply is the error to send (the pool is full of bound
+// sessions).
+func (s *Service) makeRoomLocked() *Msg {
+	cap := s.MaxSessions
+	if cap <= 0 {
+		cap = DefaultMaxSessions
+	}
+	for len(s.sessions) >= cap {
+		victim := s.idleLRULocked()
+		if victim == nil {
+			return errMsg("service at capacity (%d sessions, none idle)", cap)
+		}
+		delete(s.sessions, victim.id)
+		s.mu.Unlock()
+		s.passivate(victim)
+		s.kill(victim)
+		s.retire(victim)
+		s.evicted.Add(1)
+		s.mu.Lock()
+	}
+	return nil
 }
 
 // idleLRULocked finds the least recently used idle session and takes
@@ -401,13 +536,15 @@ func (s *Service) idleLRULocked() *session {
 }
 
 // attachSession binds to the identified live session, waiting briefly
-// for its token if a dying connection still holds it.
+// for its token if a dying connection still holds it. A session that
+// was evicted from the pool but passivated is resurrected transparently
+// — the caller cannot tell it ever left.
 func (s *Service) attachSession(id uint64) (*session, *Msg) {
 	s.mu.Lock()
 	sess := s.sessions[id]
 	s.mu.Unlock()
 	if sess == nil {
-		return nil, errMsg("no such session %d", id)
+		return s.resurrect(id)
 	}
 	wait := s.AttachWait
 	if wait <= 0 {
@@ -466,10 +603,311 @@ func (s *Service) retire(sess *session) {
 	s.closedRequests.Add(sess.nub.Stats.RoundTrips.Load())
 }
 
-// statsReply builds the MServiceStatsReply body: eight little-endian
+// passivate serializes an evicted session's checkpoint into the
+// bounded passivated store (and the spill directory, if configured) so
+// a later attach can resurrect it. Called with the victim's binding
+// token held and its nub still alive; a dead target has nothing worth
+// preserving.
+func (s *Service) passivate(victim *session) {
+	if s.CheckpointInterval < 0 || victim.id == 0 {
+		return
+	}
+	n := victim.nub
+	n.mu.Lock()
+	if n.dead {
+		n.mu.Unlock()
+		return
+	}
+	ck := n.checkpointLocked()
+	pend := cloneMsg(n.pending)
+	n.mu.Unlock()
+	blob := encodeCheckpoint(victim.program, ck, pend)
+	max := s.MaxPassivated
+	if max <= 0 {
+		max = DefaultMaxPassivated
+	}
+	s.mu.Lock()
+	s.passiveSeq++
+	s.passive[victim.id] = &passiveRec{seq: s.passiveSeq, blob: blob}
+	for len(s.passive) > max {
+		var oldest *passiveRec
+		var oldestID uint64
+		for id, rec := range s.passive {
+			if oldest == nil || rec.seq < oldest.seq {
+				oldest, oldestID = rec, id
+			}
+		}
+		delete(s.passive, oldestID)
+	}
+	s.mu.Unlock()
+	if dir := s.PassivateDir; dir != "" {
+		_ = os.WriteFile(passivePath(dir, victim.id), blob, 0o600)
+	}
+	s.passivated.Add(1)
+}
+
+// resurrect rebuilds a passivated session from its stored checkpoint
+// and re-inserts it into the pool with the binding token held — the
+// transparent half of crash-only eviction: attaching to an evicted
+// session is indistinguishable from attaching to a live one.
+func (s *Service) resurrect(id uint64) (*session, *Msg) {
+	blob := s.takePassivated(id)
+	if blob == nil {
+		return nil, errMsg("no such session %d", id)
+	}
+	sc, err := decodeCheckpoint(blob)
+	if err != nil {
+		return nil, errMsg("session %d: stored checkpoint corrupt: %v", id, err)
+	}
+	p, err := machine.FromCheckpoint(sc.ck)
+	if err != nil {
+		return nil, errMsg("session %d: %v", id, err)
+	}
+	s.share.Adopt(p)
+	n := New(p)
+	// The nub is not yet reachable from anywhere: restore its debug
+	// state directly, no locks needed.
+	n.planted = make(map[uint32][]byte, len(sc.ck.Planted))
+	for addr, old := range sc.ck.Planted {
+		n.planted[addr] = append([]byte(nil), old...)
+	}
+	n.pending = sc.pending
+	sess := &session{id: id, program: sc.program, nub: n, busy: make(chan struct{}, 1), replayIdx: -1}
+	s.mu.Lock()
+	if s.sessions[id] != nil {
+		// A concurrent attach resurrected it first; bind to that one.
+		s.mu.Unlock()
+		return s.attachSession(id)
+	}
+	if rep := s.makeRoomLocked(); rep != nil {
+		s.mu.Unlock()
+		return nil, rep
+	}
+	s.sessions[id] = sess
+	if len(s.sessions) > s.peak {
+		s.peak = len(s.sessions)
+	}
+	s.mu.Unlock()
+	s.replay(sess, sc.ck.Events)
+	s.armCheckpoints(sess)
+	s.resurrected.Add(1)
+	return sess, nil
+}
+
+// takePassivated removes and returns session id's stored checkpoint,
+// falling back to the spill directory when the bounded in-memory store
+// has already dropped it.
+func (s *Service) takePassivated(id uint64) []byte {
+	s.mu.Lock()
+	rec := s.passive[id]
+	delete(s.passive, id)
+	s.mu.Unlock()
+	if rec != nil {
+		return rec.blob
+	}
+	if dir := s.PassivateDir; dir != "" {
+		if blob, err := os.ReadFile(passivePath(dir, id)); err == nil {
+			return blob
+		}
+	}
+	return nil
+}
+
+// dropPassivated discards session id's stored checkpoint, memory and
+// disk both — the close path's guarantee that a closed session stays
+// closed.
+func (s *Service) dropPassivated(id uint64) {
+	s.mu.Lock()
+	delete(s.passive, id)
+	s.mu.Unlock()
+	if dir := s.PassivateDir; dir != "" && id != 0 {
+		_ = os.Remove(passivePath(dir, id))
+	}
+}
+
+func passivePath(dir string, id uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("session-%d.ck", id))
+}
+
+// PassivateIdle evicts up to max idle sessions (least recently used
+// first), passivating each. It returns how many it evicted — the
+// forcing lever chaos tests use to prove a session survives eviction
+// mid-conversation.
+func (s *Service) PassivateIdle(max int) int {
+	evicted := 0
+	for evicted < max {
+		s.mu.Lock()
+		victim := s.idleLRULocked()
+		if victim == nil {
+			s.mu.Unlock()
+			break
+		}
+		delete(s.sessions, victim.id)
+		s.mu.Unlock()
+		s.passivate(victim)
+		s.kill(victim)
+		s.retire(victim)
+		s.evicted.Add(1)
+		evicted++
+	}
+	return evicted
+}
+
+// armCheckpoints turns on crash-only protection for a session: dirty
+// tracking on every segment, the paced auto-checkpoint callback inside
+// Run, and a baseline checkpoint so rollback is possible from the very
+// first request. Called with the binding token held, after the target
+// reached its first stop.
+func (s *Service) armCheckpoints(sess *session) {
+	every := s.CheckpointInterval
+	if every < 0 {
+		return
+	}
+	if every == 0 {
+		every = machine.DefaultCheckpointInterval
+	}
+	p := sess.nub.P
+	p.EnableCheckpoints()
+	p.SetAutoCheckpoint(every, func() { s.autoCheckpoint(sess) })
+	s.refreshCheckpoint(sess)
+}
+
+// refreshCheckpoint takes a fresh between-requests checkpoint and
+// empties the event log.
+func (s *Service) refreshCheckpoint(sess *session) {
+	n := sess.nub
+	n.mu.Lock()
+	ck := n.checkpointLocked()
+	pend := cloneMsg(n.pending)
+	n.mu.Unlock()
+	sess.ck, sess.ckPending, sess.ckLog = ck, pend, nil
+}
+
+// autoCheckpoint is the pacing callback Run fires every
+// CheckpointInterval instructions. It runs with the nub's lock held,
+// between fused blocks, with process state fully committed — so it
+// forks the checkpoint directly and rebases the event log: a mid-run
+// checkpoint is reached from itself by a bare resume (EvResume), plus
+// whatever events were still outstanding if it fired mid-replay.
+func (s *Service) autoCheckpoint(sess *session) {
+	n := sess.nub
+	ck := n.checkpointLocked()
+	log := []machine.Event{{Kind: machine.EvResume}}
+	if sess.replayIdx >= 0 && sess.replayIdx+1 <= len(sess.replayLog) {
+		log = append(log, sess.replayLog[sess.replayIdx+1:]...)
+	}
+	sess.ck, sess.ckPending, sess.ckLog = ck, cloneMsg(n.pending), log
+	sess.resumeCovered = true
+}
+
+// rollback rewinds a session to its last checkpoint and replays the
+// logged inputs accepted since — the crash-only answer to a request
+// that panicked mid-flight: the session returns to exactly the state
+// the failed request saw, so the client may safely retry it.
+func (s *Service) rollback(sess *session) {
+	n := sess.nub
+	events := sess.ckLog
+	if err := n.RestoreCheckpoint(sess.ck, cloneMsg(sess.ckPending)); err != nil {
+		// Unreachable today: the checkpoint came from this very
+		// process. If the shape ever diverges, the session is
+		// unsalvageable — kill it rather than serve corrupted state.
+		s.kill(sess)
+		return
+	}
+	s.replay(sess, events)
+	s.rollbacks.Add(1)
+}
+
+// replay re-applies an event log through the nub's own handlers.
+// replayLog/replayIdx are live during the walk so a mid-replay
+// auto-checkpoint can rebase onto the events that still remain.
+func (s *Service) replay(sess *session, events []machine.Event) {
+	sess.replayLog = events
+	for i := range events {
+		sess.replayIdx = i
+		sess.nub.ReplayEvent(events[i])
+	}
+	sess.replayLog, sess.replayIdx = nil, -1
+}
+
+// logRequest appends a served request's replayable mirror to the
+// session's event log, refreshing the checkpoint when the log grows
+// past maxCkLog. A resume an auto-checkpoint already covered with its
+// EvResume is not logged a second time.
+func (s *Service) logRequest(sess *session, req *Msg) {
+	if sess.ck == nil {
+		return
+	}
+	if sess.resumeCovered && (req.Kind == MContinue || req.Kind == MStepInst) {
+		return
+	}
+	sess.ckLog = appendEvents(sess.ckLog, req)
+	if len(sess.ckLog) > maxCkLog {
+		s.refreshCheckpoint(sess)
+	}
+}
+
+// appendEvents mirrors one request into replay events. Only mutating
+// requests are logged — fetches and stats change nothing, and failed
+// stores replay into the same failure, so logging unconditionally is
+// still deterministic. Batch envelopes log their members.
+func appendEvents(log []machine.Event, req *Msg) []machine.Event {
+	switch req.Kind {
+	case MStoreInt:
+		return append(log, machine.Event{Kind: machine.EvStoreInt, Space: req.Space, Addr: req.Addr, Size: req.Size, Val: req.Val})
+	case MStoreFloat:
+		return append(log, machine.Event{Kind: machine.EvStoreFloat, Space: req.Space, Addr: req.Addr, Size: req.Size, Val: req.Val})
+	case MStoreBytes:
+		return append(log, machine.Event{Kind: machine.EvStoreBytes, Space: req.Space, Addr: req.Addr, Size: req.Size, Data: append([]byte(nil), req.Data...)})
+	case MPlantStore:
+		return append(log, machine.Event{Kind: machine.EvPlant, Space: req.Space, Addr: req.Addr, Size: req.Size, Data: append([]byte(nil), req.Data...)})
+	case MUnplantStore:
+		return append(log, machine.Event{Kind: machine.EvUnplant, Space: req.Space, Addr: req.Addr, Size: req.Size})
+	case MContinue:
+		return append(log, machine.Event{Kind: machine.EvContinue})
+	case MStepInst:
+		return append(log, machine.Event{Kind: machine.EvStep})
+	case MBatch:
+		subs, err := DecodeBatch(req)
+		if err != nil {
+			return log
+		}
+		for _, sub := range subs {
+			log = appendEvents(log, sub)
+		}
+		return log
+	default:
+		// Fetches, stats, liveness probes: nothing to replay.
+		return log
+	}
+}
+
+// cloneMsg deep-copies a message so a checkpoint's pending event cannot
+// alias a buffer a later request mutates.
+func cloneMsg(m *Msg) *Msg {
+	if m == nil {
+		return nil
+	}
+	c := *m
+	c.Data = append([]byte(nil), m.Data...)
+	return &c
+}
+
+// rolledBack builds the retryable error reply for a crashed request.
+func rolledBack(kind MsgKind) *Msg {
+	return &Msg{
+		Kind: MError,
+		Code: CodeRolledBack,
+		Data: []byte(fmt.Sprintf("nub: %v crashed mid-request; session rolled back to its last checkpoint", kind)),
+	}
+}
+
+// statsReply builds the MServiceStatsReply body: eleven little-endian
 // 64-bit values — sessions live, peak, evicted, opened, shared-cache
-// hits, misses, the bound session's request count, and the aggregate
-// across all sessions ever.
+// hits, misses, the bound session's request count, the aggregate
+// across all sessions ever, and the crash-only lifecycle counters
+// (passivated, resurrected, rollbacks). Clients built for the original
+// eight-value body read a prefix of this one.
 func (s *Service) statsReply(sess *session) *Msg {
 	s.mu.Lock()
 	live := int64(len(s.sessions))
@@ -488,8 +926,9 @@ func (s *Service) statsReply(sess *session) *Msg {
 	if sess != nil {
 		bound = sess.nub.Stats.RoundTrips.Load()
 	}
-	body := make([]byte, 64)
-	for i, v := range []int64{live, peak, s.evicted.Load(), s.opened.Load(), hits, misses, bound, total} {
+	body := make([]byte, 88)
+	for i, v := range []int64{live, peak, s.evicted.Load(), s.opened.Load(), hits, misses, bound, total,
+		s.passivated.Load(), s.resurrected.Load(), s.rollbacks.Load()} {
 		binary.LittleEndian.PutUint64(body[i*8:], uint64(v))
 	}
 	return &Msg{Kind: MServiceStatsReply, Data: body}

@@ -272,8 +272,10 @@ func TestServiceLegacyBusyFallsToLobby(t *testing.T) {
 }
 
 // TestServiceLRUEviction caps the pool at two sessions and opens three:
-// the least recently used idle session is evicted to make room, and an
-// attach to it reports it gone.
+// the least recently used idle session is evicted to make room —
+// passivated, so an attach to it resurrects it transparently (evicting
+// someone else in turn). With passivation disabled, the attach reports
+// the session gone, as eviction always did.
 func TestServiceLRUEviction(t *testing.T) {
 	s, addr := startService(t, func(s *Service) { s.MaxSessions = 2 })
 	c, conn, err := Dial(addr)
@@ -294,15 +296,49 @@ func TestServiceLRUEviction(t *testing.T) {
 	if got := s.Sessions(); got != 2 {
 		t.Fatalf("pool holds %d sessions, want 2", got)
 	}
-	if _, err := c.AttachSession(first); err == nil || !strings.Contains(err.Error(), "no such session") {
-		t.Fatalf("attach to evicted session: %v", err)
+	if _, err := c.AttachSession(first); err != nil {
+		t.Fatalf("attach to evicted session should resurrect it: %v", err)
+	}
+	if c.SessionID() != first {
+		t.Fatalf("resurrected session id = %d, want %d", c.SessionID(), first)
 	}
 	st, err := c.ServiceStats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Live != 2 || st.Peak != 2 || st.Evicted != 1 || st.Opened != 3 {
+	if st.Live != 2 || st.Peak != 2 || st.Opened != 3 {
 		t.Fatalf("stats = %+v", st)
+	}
+	if st.Evicted < 2 || st.Passivated < 2 || st.Resurrected != 1 {
+		t.Fatalf("lifecycle stats = %+v, want ≥2 evicted/passivated and 1 resurrected", st)
+	}
+}
+
+// TestServiceEvictionWithoutPassivation pins the pre-crash-only
+// behavior: with checkpoints disabled, an evicted session is simply
+// gone.
+func TestServiceEvictionWithoutPassivation(t *testing.T) {
+	s, addr := startService(t, func(s *Service) { s.MaxSessions = 2; s.CheckpointInterval = -1 })
+	c, conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := c.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	first := c.SessionID()
+	if _, err := c.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenSession("mips"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AttachSession(first); err == nil || !strings.Contains(err.Error(), "no such session") {
+		t.Fatalf("attach to evicted session: %v", err)
+	}
+	if got := s.Sessions(); got != 2 {
+		t.Fatalf("pool holds %d sessions, want 2", got)
 	}
 }
 
