@@ -10,7 +10,8 @@ import (
 // A Diagnostic is one analyzer finding.
 type Diagnostic struct {
 	// Analyzer is the reporting analyzer: "machdep", "wireproto",
-	// "endian", "recoverguard", or "allow" for annotation hygiene.
+	// "endian", "recoverguard", "lockorder", "atomicity", "detstate",
+	// "wirecompat", or "allow" for annotation hygiene.
 	Analyzer string `json:"analyzer"`
 	// Path is the offending file, relative to the module root.
 	Path string `json:"path"`
@@ -62,6 +63,26 @@ func Suite() []*Analyzer {
 			Doc:  "nub dispatch handlers and resume paths run under panic containment",
 			Run:  runRecoverguard,
 		},
+		{
+			Name: "lockorder",
+			Doc:  "module mutexes carry //ldb:lock ranks; acquired-while-held edges go strictly uprank, no cycles",
+			Run:  runLockorder,
+		},
+		{
+			Name: "atomicity",
+			Doc:  "variables touched via sync/atomic are never read or written plainly anywhere in the module",
+			Run:  runAtomicity,
+		},
+		{
+			Name: "detstate",
+			Doc:  "functions reachable from //ldb:deterministic roots avoid map-order, time, rand, %p, and live concurrent state",
+			Run:  runDetstate,
+		},
+		{
+			Name: "wirecompat",
+			Doc:  "//ldb:wire-body reply structs are append-only with frozen offsets and symmetric encoders/decoders",
+			Run:  runWirecompat,
+		},
 	}
 }
 
@@ -76,7 +97,8 @@ type allowDirective struct {
 
 // directivePrefix introduces all of the suite's magic comments
 // (//ldb:allow, //ldb:target, //ldb:kind-table, //ldb:dispatch-table,
-// //ldb:contain).
+// //ldb:contain, //ldb:lock, //ldb:deterministic, //ldb:wire-body,
+// //ldb:off).
 const directivePrefix = "//ldb:"
 
 // fileDirectives scans a file's comments for //ldb: directives with the

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// The atomicity analyzer is a mixed-access detector: a variable that is
+// ever touched atomically must be touched atomically everywhere. The
+// service's counters (clock, eviction and rollback tallies, cache
+// hit/miss pairs) are read by stats replies while request goroutines
+// increment them; one plain read beside the atomic writes is a data
+// race the race detector only catches when a soak happens to interleave
+// it. The analyzer catches it structurally, over the whole module:
+//
+//   - a plain integer variable passed by address to a sync/atomic
+//     function (atomic.AddInt64(&x, ...) and friends) is atomic; every
+//     other read or write of it must also go through sync/atomic, and
+//     taking its address outside a sync/atomic argument is flagged too
+//     (the escape is how plain access sneaks in);
+//   - a field or variable of a typed-atomic (atomic.Int64, Uint64,
+//     Bool, Pointer, Value, ...) may only be used as a method-call
+//     receiver or have its address taken; copying its value out (or
+//     overwriting the whole struct) bypasses the atomic load/store
+//     protocol and is flagged.
+//
+// There is no annotation to declare atomicity — touching a variable
+// with sync/atomic IS the declaration; //ldb:allow remains the escape
+// hatch for provably benign mixes (none exist in the seed tree).
+
+func runAtomicity(r *Repo) []Diagnostic {
+	if r.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	add := func(n ast.Node, format string, args ...any) {
+		path, line, col := r.Position(n.Pos())
+		diags = append(diags, Diagnostic{
+			Analyzer: "atomicity", Path: path, Line: line, Col: col,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Pass 1: collect plain variables used with sync/atomic functions.
+	atomicObjs := make(map[types.Object]bool)
+	sanctioned := make(map[ast.Node]bool) // the &x nodes inside atomic calls
+	for _, p := range r.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !r.isAtomicFuncCall(call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op.String() != "&" {
+						continue
+					}
+					if obj := r.addressedObj(un.X); obj != nil {
+						atomicObjs[obj] = true
+						sanctioned[un] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: flag every other access to those variables, and every
+	// value use of a typed atomic.
+	for _, p := range r.Pkgs {
+		for _, f := range p.Files {
+			r.atomicityFile(f, atomicObjs, sanctioned, add)
+		}
+	}
+	return diags
+}
+
+// isAtomicFuncCall reports whether call invokes a function from
+// sync/atomic (the Add/Load/Store/Swap/CompareAndSwap families).
+func (r *Repo) isAtomicFuncCall(call *ast.CallExpr) bool {
+	f, _ := r.funcObj(call.Fun).(*types.Func)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic" && f.Type().(*types.Signature).Recv() == nil
+}
+
+// addressedObj resolves &X's operand to the variable being addressed:
+// a plain identifier or the final field of a selector chain.
+func (r *Repo) addressedObj(x ast.Expr) types.Object {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		if v, ok := r.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := r.Info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed
+// atomics (Int32, Int64, Uint32, Uint64, Uintptr, Bool, Pointer,
+// Value).
+func isTypedAtomic(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicityFile walks one file flagging mixed access. The walk carries
+// the parent context needed to tell a method-call receiver (fine) from
+// a value copy (race).
+func (r *Repo) atomicityFile(f *File, atomicObjs map[types.Object]bool, sanctioned map[ast.Node]bool, add func(ast.Node, string, ...any)) {
+	// use resolves an expression to the variable object it names.
+	use := func(x ast.Expr) types.Object {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			return r.Info.Uses[e]
+		case *ast.SelectorExpr:
+			return r.Info.Uses[e.Sel]
+		}
+		return nil
+	}
+	// typedAtomicUse reports whether x names a variable of typed-atomic
+	// type (the type system stops most abuse; value copies remain).
+	typedAtomicUse := func(x ast.Expr) (types.Object, bool) {
+		obj := use(x)
+		if v, ok := obj.(*types.Var); ok && isTypedAtomic(v.Type()) {
+			return v, true
+		}
+		return nil, false
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch e := m.(type) {
+			case *ast.Field, *ast.StructType, *ast.FuncType, *ast.InterfaceType:
+				return false // declarations, not accesses
+			case *ast.UnaryExpr:
+				if e.Op.String() == "&" {
+					if obj := r.addressedObj(e.X); obj != nil && atomicObjs[obj] && !sanctioned[e] {
+						add(e, "address of atomics-guarded %s escapes sync/atomic: plain access becomes possible", obj.Name())
+						return false
+					}
+					if _, ok := typedAtomicUse(e.X); ok {
+						// &x.counter is fine: pointers preserve the
+						// protocol. Walk the receiver chain only.
+						if sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok {
+							walk(sel.X)
+						}
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				if r.isAtomicFuncCall(e) {
+					// Sanctioned &x arguments were collected in pass 1;
+					// descend for everything else (nested calls).
+					for _, a := range e.Args {
+						if un, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && sanctioned[un] {
+							continue
+						}
+						walk(a)
+					}
+					return false
+				}
+				// A method call on a typed atomic: x.counter.Load() —
+				// the receiver selector is sanctioned.
+				if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+					if _, ok := typedAtomicUse(sel.X); ok {
+						if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+							walk(inner.X)
+						}
+						for _, a := range e.Args {
+							walk(a)
+						}
+						return false
+					}
+				}
+			case *ast.SelectorExpr:
+				if obj, ok := typedAtomicUse(e); ok {
+					add(e, "%s is a typed atomic: copying its value bypasses the atomic protocol (use Load)", obj.Name())
+					walk(e.X)
+					return false
+				}
+				if obj := r.Info.Uses[e.Sel]; obj != nil && atomicObjs[obj] {
+					add(e, "plain access to %s, which is elsewhere accessed via sync/atomic", obj.Name())
+					walk(e.X)
+					return false
+				}
+			case *ast.Ident:
+				if obj := r.Info.Uses[e]; obj != nil {
+					if atomicObjs[obj] {
+						add(e, "plain access to %s, which is elsewhere accessed via sync/atomic", obj.Name())
+						return false
+					}
+					if v, ok := obj.(*types.Var); ok && isTypedAtomic(v.Type()) {
+						add(e, "%s is a typed atomic: copying its value bypasses the atomic protocol (use Load)", obj.Name())
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(f.AST)
+}

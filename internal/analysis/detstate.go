@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The detstate analyzer enforces byte determinism on the paths that
+// promise it: checkpoint encoding (a passivated session must resurrect
+// from the same bytes anywhere), transcript emission (cross-ISA
+// differential tests diff transcripts byte-for-byte), and corpus
+// fingerprinting (content-hash up-to-date checks). A function opts in
+// with:
+//
+//	//ldb:deterministic
+//
+// on its declaration; the analyzer walks everything reachable from the
+// marked roots over the direct call graph and flags the sources of
+// nondeterminism Go makes easy to reach for:
+//
+//   - ranging over a map, unless the function later sorts what it
+//     collected (the collect-then-sort idiom) or the loop body only
+//     rebuilds another map (every statement assigns through an index
+//     expression — order-insensitive);
+//   - time.Now / time.Since / time.Until, and any call into math/rand
+//     or math/rand/v2;
+//   - fmt verbs that print addresses (%p) with a constant format;
+//   - reads of live concurrent state: typed-atomic Load and friends,
+//     channel receives, and select statements — a deterministic
+//     encoder must consume a snapshot, not a moving counter.
+//
+// The approximation is direct-call reachability: dynamic dispatch
+// through interface values is invisible, so a root that launders its
+// work through an interface should mark the concrete implementations
+// too.
+
+func runDetstate(r *Repo) []Diagnostic {
+	if r.Info == nil {
+		return nil
+	}
+	ix := r.moduleFuncs()
+	var roots []*declFunc
+	for _, p := range r.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range markedDecls(f, "deterministic") {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if df := ix.byObj[r.Info.Defs[fd.Name]]; df != nil {
+						roots = append(roots, df)
+					}
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	scope := r.reachable(ix, roots)
+
+	var diags []Diagnostic
+	var inScope []*declFunc
+	for obj := range scope {
+		inScope = append(inScope, ix.byObj[obj])
+	}
+	sort.Slice(inScope, func(i, j int) bool {
+		return inScope[i].decl.Pos() < inScope[j].decl.Pos()
+	})
+	for _, df := range inScope {
+		root := scope[df.obj]
+		add := func(n ast.Node, format string, args ...any) {
+			path, line, col := r.Position(n.Pos())
+			msg := fmt.Sprintf(format, args...)
+			if root.obj != df.obj {
+				msg += fmt.Sprintf(" (deterministic via root %s)", root.obj.Name())
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "detstate", Path: path, Line: line, Col: col, Msg: msg,
+			})
+		}
+		r.detstateFunc(df, add)
+	}
+	return diags
+}
+
+func (r *Repo) detstateFunc(df *declFunc, add func(ast.Node, string, ...any)) {
+	body := df.decl.Body
+	sortsLater := bodyCallsSort(r, body)
+
+	// Value-sensitivity: a statement-position atomic call (a bare
+	// counter.Add(1) bump) writes bookkeeping without leaking anything
+	// into the function's output; only a consumed atomic value is a
+	// determinism hazard. Deadline arms (SetReadDeadline(time.Now()...))
+	// pace the wire without reaching content, so time.Now inside them
+	// is exempt too.
+	exempt := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(e.X).(*ast.CallExpr); ok {
+				exempt[call] = true
+			}
+		case *ast.DeferStmt:
+			exempt[e.Call] = true
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+					for _, a := range e.Args {
+						ast.Inspect(a, func(m ast.Node) bool {
+							if c, ok := m.(*ast.CallExpr); ok {
+								exempt[c] = true
+							}
+							return true
+						})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.RangeStmt:
+			t := r.Info.Types[e.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				if !sortsLater && !mapRebuildOnly(e.Body) {
+					add(e, "map iteration order leaks into deterministic output: collect keys and sort, or rebuild into a map")
+				}
+			}
+		case *ast.CallExpr:
+			f, _ := r.funcObj(e.Fun).(*types.Func)
+			if f != nil && f.Pkg() != nil {
+				switch path := f.Pkg().Path(); {
+				case path == "time" && (f.Name() == "Now" || f.Name() == "Since" || f.Name() == "Until"):
+					if exempt[ast.Node(e)] {
+						break
+					}
+					add(e, "time.%s in deterministic scope", f.Name())
+				case path == "math/rand" || path == "math/rand/v2":
+					add(e, "%s.%s in deterministic scope", path, f.Name())
+				case path == "fmt":
+					if lit := formatLiteral(r, e, f.Name()); lit != "" && strings.Contains(lit, "%p") {
+						add(e, "fmt.%s formats a pointer (%%p): addresses are not deterministic", f.Name())
+					}
+				case path == "sync/atomic":
+					// Both atomic.AddInt64(&x, ...) and typed-atomic
+					// methods (x.counter.Load()) resolve here; an
+					// unconsumed statement-position bump is exempt.
+					if exempt[ast.Node(e)] {
+						break
+					}
+					add(e, "atomic %s read in deterministic scope: consume a snapshot, not a live counter", f.Name())
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				add(e, "channel receive in deterministic scope")
+			}
+		case *ast.SelectStmt:
+			add(e, "select in deterministic scope: arm choice is scheduler-dependent")
+		}
+		return true
+	})
+}
+
+// bodyCallsSort reports whether the function body calls into sort or
+// slices ordering functions anywhere — the collect-then-sort idiom
+// makes an earlier map range benign.
+func bodyCallsSort(r *Repo, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f, ok := r.funcObj(call.Fun).(*types.Func); ok && f.Pkg() != nil {
+			p := f.Pkg().Path()
+			if p == "sort" || p == "slices" && strings.HasPrefix(f.Name(), "Sort") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mapRebuildOnly reports whether a range body only assigns through
+// index expressions (m2[k] = v shapes) — an order-insensitive rebuild.
+func mapRebuildOnly(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, st := range body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		for _, lhs := range as.Lhs {
+			if _, ok := ast.Unparen(lhs).(*ast.IndexExpr); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// formatLiteral extracts the constant format string of a fmt call, ""
+// when the format is not constant or the function takes none.
+func formatLiteral(r *Repo, call *ast.CallExpr, name string) string {
+	argIdx := -1
+	switch name {
+	case "Printf", "Sprintf", "Errorf", "Appendf":
+		argIdx = 0
+	case "Fprintf":
+		argIdx = 1
+	}
+	if argIdx < 0 || argIdx >= len(call.Args) {
+		return ""
+	}
+	tv, ok := r.Info.Types[call.Args[argIdx]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}

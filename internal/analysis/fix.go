@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Fix support: the one mechanical repair the suite trusts itself to
+// make is deleting a stale //ldb:allow — an annotation whose finding
+// has since been fixed, which now suppresses nothing and would silently
+// swallow the next genuine finding on its line. A whole-line allow
+// comment is removed line and all; a trailing allow is truncated off
+// its code line. Everything else the suite reports stays a human's job.
+
+// A FileFix is one file's planned rewrite, kept as old and new bodies
+// so the caller can show a diff before anything touches disk.
+type FileFix struct {
+	Path  string // repo-relative, slash-separated
+	Old   []byte
+	New   []byte
+	Edits []LineEdit
+}
+
+// A LineEdit is one edited line: a whole-line allow deleted (NewText
+// empty) or a trailing allow truncated off its code line.
+type LineEdit struct {
+	Line    int // 1-based, in the old file
+	OldText string
+	NewText string
+	Deleted bool
+}
+
+// staleAllowMsg marks the hygiene diagnostics -fix acts on; it must
+// match the message RunSuite emits.
+const staleAllowMsg = "stale //ldb:allow"
+
+// PlanFixes inspects a suite report and plans the removal of every
+// stale //ldb:allow it flagged. Nothing is written; Apply commits a
+// plan. The diagnostics must come from a RunSuite over the same tree.
+func PlanFixes(root string, diags []Diagnostic) ([]FileFix, error) {
+	stale := make(map[string][]int) // path → lines, 1-based
+	for _, d := range diags {
+		if d.Analyzer == "allow" && strings.HasPrefix(d.Msg, staleAllowMsg) {
+			stale[d.Path] = append(stale[d.Path], d.Line)
+		}
+	}
+	paths := make([]string, 0, len(stale))
+	for p := range stale {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var fixes []FileFix
+	for _, path := range paths {
+		abs := filepath.Join(root, filepath.FromSlash(path))
+		old, err := os.ReadFile(abs)
+		if err != nil {
+			return nil, fmt.Errorf("fix %s: %w", path, err)
+		}
+		lines := strings.SplitAfter(string(old), "\n")
+		doomed := make(map[int]bool)
+		for _, ln := range stale[path] {
+			doomed[ln] = true
+		}
+		var out strings.Builder
+		var edits []LineEdit
+		for i, line := range lines {
+			n := i + 1
+			if !doomed[n] {
+				out.WriteString(line)
+				continue
+			}
+			body, _, nl := strings.Cut(line, "\n")
+			idx := strings.Index(body, directivePrefix+"allow")
+			switch {
+			case idx < 0:
+				// The report and the file disagree (edited since the
+				// run); leave the line alone rather than guess.
+				out.WriteString(line)
+				continue
+			case strings.TrimSpace(body[:idx]) == "":
+				// The allow is the whole line: delete it.
+				edits = append(edits, LineEdit{Line: n, OldText: body, Deleted: true})
+			default:
+				// Trailing allow: keep the code, drop the comment.
+				kept := strings.TrimRight(body[:idx], " \t")
+				out.WriteString(kept)
+				if nl {
+					out.WriteString("\n")
+				}
+				edits = append(edits, LineEdit{Line: n, OldText: body, NewText: kept})
+			}
+		}
+		if len(edits) == 0 {
+			continue
+		}
+		fixes = append(fixes, FileFix{Path: path, Old: old, New: []byte(out.String()), Edits: edits})
+	}
+	return fixes, nil
+}
+
+// Diff renders a fix as a compact per-line diff for the dry run.
+func (f FileFix) Diff() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- %s\n", f.Path)
+	for _, e := range f.Edits {
+		fmt.Fprintf(&b, "-%4d: %s\n", e.Line, e.OldText)
+		if !e.Deleted {
+			fmt.Fprintf(&b, "+%4d: %s\n", e.Line, e.NewText)
+		}
+	}
+	return b.String()
+}
+
+// Apply writes the planned rewrites to disk, refusing any file that
+// changed since the plan was made.
+func Apply(root string, fixes []FileFix) error {
+	for _, f := range fixes {
+		abs := filepath.Join(root, filepath.FromSlash(f.Path))
+		cur, err := os.ReadFile(abs)
+		if err != nil {
+			return fmt.Errorf("fix %s: %w", f.Path, err)
+		}
+		if string(cur) != string(f.Old) {
+			return fmt.Errorf("fix %s: file changed since the analysis run; re-run ldbvet", f.Path)
+		}
+		if err := os.WriteFile(abs, f.New, 0o644); err != nil {
+			return fmt.Errorf("fix %s: %w", f.Path, err)
+		}
+	}
+	return nil
+}

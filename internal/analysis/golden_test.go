@@ -27,6 +27,10 @@ func TestGolden(t *testing.T) {
 		{name: "wireproto"},
 		{name: "endian"},
 		{name: "recoverguard"},
+		{name: "lockorder"},
+		{name: "atomicity"},
+		{name: "detstate"},
+		{name: "wirecompat"},
 		{name: "allow"},
 	}
 	for _, fx := range fixtures {

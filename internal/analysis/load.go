@@ -1,10 +1,10 @@
-// Package analysis is ldb's retargetability analyzer suite: a
-// stdlib-only static-analysis driver (go/parser, go/ast, go/types —
-// nothing outside the standard library) plus four analyzers that
-// mechanize the paper's central claim. §4 and §6 argue that all
-// machine dependence is confined to a few tiny per-target modules;
-// until now the repository only *counted* that claim (internal/locstats
-// reproduces the §4.3 table) without *checking* it. The suite turns the
+// Package analysis is ldb's static-analysis suite: a stdlib-only
+// driver (go/parser, go/ast, go/types — nothing outside the standard
+// library) plus eight analyzers. The first four mechanize the paper's
+// central claim — §4 and §6 argue that all machine dependence is
+// confined to a few tiny per-target modules; until now the repository
+// only *counted* that claim (internal/locstats reproduces the §4.3
+// table) without *checking* it. The suite turns the
 // machine-independent/machine-dependent boundary from a convention into
 // an enforced interface, in the spirit of Hanson's follow-up, "A
 // Machine-Independent Debugger—Revisited":
@@ -23,6 +23,23 @@
 //   - recoverguard: every handler reachable from the nub's dispatch
 //     table, and every target-resume path, runs under the panic
 //     containment added for the crash-proof nub.
+//
+// The other four hold the concurrency and determinism invariants that
+// arrived with the multi-session service and the differential corpus:
+//
+//   - lockorder: mutexes declared with //ldb:lock <name> <rank> are
+//     acquired in strictly increasing rank order, never reentrantly,
+//     and the acquired-while-held graph is acyclic.
+//   - atomicity: a field accessed through sync/atomic anywhere is
+//     accessed through it everywhere — no plain reads or writes, no
+//     escaped addresses, no typed-atomic value copies.
+//   - detstate: call trees rooted at //ldb:deterministic functions
+//     never leak map iteration order, wall-clock time, randomness,
+//     pointer values, live atomic counters, or goroutine scheduling
+//     into replayed output.
+//   - wirecompat: //ldb:wire-body reply structs are append-only, with
+//     frozen //ldb:off field offsets and one symmetric encoder/decoder
+//     pair both sides of the wire share.
 //
 // Violations are suppressed, one line at a time, by an annotation that
 // is itself reported in the suite's summary:

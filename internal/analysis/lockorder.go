@@ -1,0 +1,494 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The lockorder analyzer enforces a declared total order on the
+// module's mutexes. The session-multiplexed debug service holds locks
+// across layer boundaries (Service.mu while adopting into the shared
+// TextCache, per-nub mu under the serve loop), and a cycle between any
+// two of them is a rare, load-dependent deadlock — exactly the class of
+// bug CI must catch structurally rather than by soak luck.
+//
+// Every mutex declared at module scope (struct field or package-level
+// var) must carry a rank annotation:
+//
+//	//ldb:lock <name> <rank>
+//
+// on the field or var (doc comment or trailing comment). Lower ranks
+// are outermost: a function may acquire a lock only while holding locks
+// of strictly lower rank. The analyzer builds an acquired-while-held
+// graph from Lock/RLock call sites:
+//
+//   - per function, a source-order walk tracks the held set; an
+//     immediate Unlock/RUnlock releases, a deferred one holds to the
+//     end of the function;
+//   - an Unlock with no preceding Lock in the same body marks a
+//     caller-held release (the makeRoomLocked drop-and-retake shape);
+//   - per call site, the callee's transitive acquire set — minus the
+//     caller-held locks the callee itself releases first — is acquired
+//     while the current held set is held.
+//
+// Each edge must go strictly downrank-to-uprank; any violation is
+// reported at the acquiring site, and any cycle in the graph is
+// reported once as the full path. Function-local mutexes are leaves by
+// construction and are ignored. The approximations are deliberate and
+// one-sided where possible: an Unlock in a conditional branch
+// optimistically releases (false negatives, never false positives),
+// and dynamic dispatch through interfaces is invisible to the graph.
+
+type lockEdge struct {
+	from, to *lockDecl
+	pos      token.Pos
+}
+
+// lockSummary is one function's lock behavior.
+type lockSummary struct {
+	directAcq map[types.Object]token.Pos // locks this body Locks
+	acquires  map[types.Object]bool      // transitive closure over callees
+	releases  map[types.Object]bool      // caller-held locks this body Unlocks
+	calls     []lockCall
+	edges     []lockEdge // direct Lock-while-held edges
+}
+
+type lockCall struct {
+	callee types.Object
+	held   []types.Object
+	pos    token.Pos
+}
+
+func runLockorder(r *Repo) []Diagnostic {
+	if r.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	add := func(pos token.Pos, format string, args ...any) {
+		path, line, col := r.Position(pos)
+		diags = append(diags, Diagnostic{
+			Analyzer: "lockorder", Path: path, Line: line, Col: col,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	locks := r.moduleLocks()
+	byObj := make(map[types.Object]*lockDecl)
+	byName := make(map[string]*lockDecl)
+	for _, ld := range locks {
+		switch {
+		case ld.err != "":
+			add(ld.pos.Pos(), "%s", ld.err)
+		case !ld.ok:
+			add(ld.pos.Pos(), "mutex %s has no //ldb:lock <name> <rank> annotation", ld.obj.Name())
+		case byName[ld.name] != nil:
+			add(ld.pos.Pos(), "//ldb:lock name %q already used at %s", ld.name, r.lockAt(byName[ld.name]))
+		default:
+			byName[ld.name] = ld
+			byObj[ld.obj] = ld
+		}
+	}
+	if len(byObj) == 0 {
+		return diags
+	}
+
+	ix := r.moduleFuncs()
+	sums := make(map[types.Object]*lockSummary)
+	for _, df := range ix.list {
+		sums[df.obj] = r.lockSummarize(df, byObj)
+	}
+
+	// Transitive acquire sets, to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, df := range ix.list {
+			s := sums[df.obj]
+			for _, c := range s.calls {
+				cs := sums[c.callee]
+				if cs == nil {
+					continue
+				}
+				for obj := range cs.acquires {
+					if !s.acquires[obj] {
+						s.acquires[obj] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edges: direct Lock-while-held, plus call sites crossing the held
+	// set with the callee's transitive acquires (minus the caller-held
+	// locks the callee releases).
+	var edges []lockEdge
+	for _, df := range ix.list {
+		s := sums[df.obj]
+		edges = append(edges, s.edges...)
+		for _, c := range s.calls {
+			cs := sums[c.callee]
+			if cs == nil || len(cs.acquires) == 0 {
+				continue
+			}
+			for _, h := range c.held {
+				if cs.releases[h] {
+					continue
+				}
+				for obj := range cs.acquires {
+					edges = append(edges, lockEdge{from: byObj[h], to: byObj[obj], pos: c.pos})
+				}
+			}
+		}
+	}
+
+	// Deduplicate by (from, to), keeping the earliest site, and check
+	// each surviving edge against the declared ranks.
+	type pair struct{ from, to types.Object }
+	best := make(map[pair]lockEdge)
+	for _, e := range edges {
+		k := pair{e.from.obj, e.to.obj}
+		if old, ok := best[k]; !ok || e.pos < old.pos {
+			best[k] = e
+		}
+	}
+	var uniq []lockEdge
+	for _, e := range best {
+		uniq = append(uniq, e)
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].pos < uniq[j].pos })
+	adj := make(map[*lockDecl][]*lockDecl)
+	for _, e := range uniq {
+		adj[e.from] = append(adj[e.from], e.to)
+		if e.to.rank <= e.from.rank {
+			if e.to == e.from {
+				add(e.pos, "lock %s (rank %d) acquired while already held", e.to.name, e.to.rank)
+			} else {
+				add(e.pos, "lock %s (rank %d) acquired while holding %s (rank %d): ranks must strictly increase",
+					e.to.name, e.to.rank, e.from.name, e.from.rank)
+			}
+		}
+	}
+
+	// Cycle detection over the acquired-while-held graph. With clean
+	// ranks no cycle can exist; this reports the full path when ranks
+	// are violated in a loop, which is the actionable deadlock shape.
+	diags = append(diags, r.lockCycles(locks, adj)...)
+	return diags
+}
+
+func (r *Repo) lockAt(ld *lockDecl) string {
+	path, line, _ := r.Position(ld.pos.Pos())
+	return fmt.Sprintf("%s:%d", path, line)
+}
+
+// lockSummarize interprets one function body, tracking the held set
+// through Lock/Unlock/RLock/RUnlock and recording module call sites
+// with the held set at each. The walk is branch-sensitive: an Unlock
+// on an early-return error path does not release the lock for the
+// fall-through path (the openSession shape), a loop body's net effect
+// is discarded (a loop may run zero times), and merge points keep the
+// intersection of the branches' held sets — optimistic, so conditional
+// releases trade false negatives for zero false positives.
+func (r *Repo) lockSummarize(df *declFunc, byObj map[types.Object]*lockDecl) *lockSummary {
+	s := &lockSummary{
+		directAcq: make(map[types.Object]token.Pos),
+		acquires:  make(map[types.Object]bool),
+		releases:  make(map[types.Object]bool),
+	}
+
+	type heldSet = []types.Object
+	idx := func(h heldSet, obj types.Object) int {
+		for i, x := range h {
+			if x == obj {
+				return i
+			}
+		}
+		return -1
+	}
+	intersect := func(a, b heldSet) heldSet {
+		var out heldSet
+		for _, x := range a {
+			if idx(b, x) >= 0 {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+
+	// walkExpr visits an expression in evaluation order, mutating held.
+	var walkExpr func(e ast.Expr, held *heldSet, inDefer bool)
+	var walkStmt func(st ast.Stmt, held *heldSet) bool // true = terminates
+	var walkBlock func(sts []ast.Stmt, held *heldSet) bool
+
+	walkExpr = func(e ast.Expr, held *heldSet, inDefer bool) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(m ast.Node) bool {
+			switch n := m.(type) {
+			case *ast.FuncLit:
+				// The literal usually runs within the current dynamic
+				// extent (resumeAndLatch, sort.Slice): walk it with a
+				// copy of the held set, discarding its net effect.
+				inner := append(heldSet(nil), *held...)
+				walkBlock(n.Body.List, &inner)
+				return false
+			case *ast.CallExpr:
+				obj, kind := r.lockOp(n, byObj)
+				if obj != nil {
+					switch kind {
+					case "Lock", "RLock":
+						for _, h := range *held {
+							s.edges = append(s.edges, lockEdge{from: byObj[h], to: byObj[obj], pos: n.Pos()})
+						}
+						if _, ok := s.directAcq[obj]; !ok {
+							s.directAcq[obj] = n.Pos()
+						}
+						s.acquires[obj] = true
+						if inDefer {
+							break // a deferred Lock holds nothing now
+						}
+						if idx(*held, obj) < 0 {
+							*held = append(*held, obj)
+						}
+					case "Unlock", "RUnlock":
+						if inDefer {
+							break // held to the end of the function
+						}
+						if i := idx(*held, obj); i >= 0 {
+							*held = append((*held)[:i], (*held)[i+1:]...)
+						} else if _, locked := s.directAcq[obj]; !locked {
+							s.releases[obj] = true
+						}
+					}
+					if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+						walkExpr(sel.X, held, inDefer)
+					}
+					for _, a := range n.Args {
+						walkExpr(a, held, inDefer)
+					}
+					return false
+				}
+				if f := r.funcObj(n.Fun); f != nil {
+					s.calls = append(s.calls, lockCall{
+						callee: f, held: append(heldSet(nil), *held...), pos: n.Pos(),
+					})
+				}
+				return true
+			}
+			return true
+		})
+	}
+
+	walkStmt = func(st ast.Stmt, held *heldSet) bool {
+		switch n := st.(type) {
+		case nil:
+			return false
+		case *ast.BlockStmt:
+			return walkBlock(n.List, held)
+		case *ast.ExprStmt:
+			walkExpr(n.X, held, false)
+		case *ast.AssignStmt:
+			for _, e := range n.Rhs {
+				walkExpr(e, held, false)
+			}
+			for _, e := range n.Lhs {
+				walkExpr(e, held, false)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, sp := range gd.Specs {
+					if vs, ok := sp.(*ast.ValueSpec); ok {
+						for _, e := range vs.Values {
+							walkExpr(e, held, false)
+						}
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			walkExpr(n.Call, held, true)
+		case *ast.GoStmt:
+			// The goroutine does not inherit the caller's held set.
+			empty := heldSet(nil)
+			walkExpr(n.Call, &empty, false)
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				walkExpr(e, held, false)
+			}
+			return true
+		case *ast.BranchStmt:
+			return true // break/continue/goto leave the fall-through path
+		case *ast.IfStmt:
+			walkStmt(n.Init, held)
+			walkExpr(n.Cond, held, false)
+			thenHeld := append(heldSet(nil), *held...)
+			thenTerm := walkBlock(n.Body.List, &thenHeld)
+			elseHeld := append(heldSet(nil), *held...)
+			elseTerm := false
+			if n.Else != nil {
+				elseTerm = walkStmt(n.Else, &elseHeld)
+			}
+			switch {
+			case thenTerm && elseTerm:
+				return true
+			case thenTerm:
+				*held = elseHeld
+			case elseTerm:
+				*held = thenHeld
+			default:
+				*held = intersect(thenHeld, elseHeld)
+			}
+		case *ast.ForStmt:
+			walkStmt(n.Init, held)
+			walkExpr(n.Cond, held, false)
+			body := append(heldSet(nil), *held...)
+			walkBlock(n.Body.List, &body)
+			walkStmt(n.Post, &body)
+			// Net effect discarded: the loop may run zero times.
+		case *ast.RangeStmt:
+			walkExpr(n.X, held, false)
+			body := append(heldSet(nil), *held...)
+			walkBlock(n.Body.List, &body)
+		case *ast.SwitchStmt:
+			walkStmt(n.Init, held)
+			walkExpr(n.Tag, held, false)
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					body := append(heldSet(nil), *held...)
+					for _, e := range cc.List {
+						walkExpr(e, &body, false)
+					}
+					walkBlock(cc.Body, &body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			walkStmt(n.Init, held)
+			walkStmt(n.Assign, held)
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					body := append(heldSet(nil), *held...)
+					walkBlock(cc.Body, &body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					body := append(heldSet(nil), *held...)
+					walkStmt(cc.Comm, &body)
+					walkBlock(cc.Body, &body)
+				}
+			}
+		case *ast.LabeledStmt:
+			return walkStmt(n.Stmt, held)
+		case *ast.SendStmt:
+			walkExpr(n.Chan, held, false)
+			walkExpr(n.Value, held, false)
+		case *ast.IncDecStmt:
+			walkExpr(n.X, held, false)
+		}
+		return false
+	}
+
+	walkBlock = func(sts []ast.Stmt, held *heldSet) bool {
+		for _, st := range sts {
+			if walkStmt(st, held) {
+				return true
+			}
+		}
+		return false
+	}
+
+	held := heldSet(nil)
+	walkBlock(df.decl.Body.List, &held)
+	return s
+}
+
+// lockOp resolves call as a mutex operation on an annotated lock,
+// returning the lock object and the method name ("Lock", "Unlock",
+// "RLock", "RUnlock"), or nil.
+func (r *Repo) lockOp(call *ast.CallExpr, byObj map[types.Object]*lockDecl) (types.Object, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, ""
+	}
+	var obj types.Object
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		obj = r.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = r.Info.Uses[x.Sel]
+	}
+	if obj == nil || byObj[obj] == nil {
+		return nil, ""
+	}
+	switch op {
+	case "TryLock":
+		op = "Lock"
+	case "TryRLock":
+		op = "RLock"
+	}
+	return obj, op
+}
+
+// lockCycles reports each cycle in the acquired-while-held graph once.
+func (r *Repo) lockCycles(locks []*lockDecl, adj map[*lockDecl][]*lockDecl) []Diagnostic {
+	var diags []Diagnostic
+	state := make(map[*lockDecl]int) // 0 unvisited, 1 on stack, 2 done
+	var stack []*lockDecl
+	reported := make(map[*lockDecl]bool)
+
+	var visit func(ld *lockDecl)
+	visit = func(ld *lockDecl) {
+		state[ld] = 1
+		stack = append(stack, ld)
+		next := append([]*lockDecl(nil), adj[ld]...)
+		sort.Slice(next, func(i, j int) bool { return next[i].name < next[j].name })
+		for _, to := range next {
+			switch state[to] {
+			case 0:
+				visit(to)
+			case 1:
+				// Cycle: the stack from `to` to ld, closed back to `to`.
+				// A self-edge already gets its own "acquired while
+				// already held" diagnostic; a one-node cycle adds noise.
+				if to == ld {
+					continue
+				}
+				if !reported[to] {
+					reported[to] = true
+					i := len(stack) - 1
+					for i >= 0 && stack[i] != to {
+						i--
+					}
+					path := ""
+					for _, n := range stack[i:] {
+						path += n.name + " -> "
+					}
+					path += to.name
+					p, line, col := r.Position(to.pos.Pos())
+					diags = append(diags, Diagnostic{
+						Analyzer: "lockorder", Path: p, Line: line, Col: col,
+						Msg: fmt.Sprintf("lock cycle: %s", path),
+					})
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[ld] = 2
+	}
+	for _, ld := range locks {
+		if ld.ok && state[ld] == 0 {
+			visit(ld)
+		}
+	}
+	return diags
+}

@@ -85,3 +85,48 @@ func TestArchFingerprints(t *testing.T) {
 		}
 	}
 }
+
+// TestSuiteRoster pins the eight-analyzer roster in order: a dropped
+// or renamed analyzer is a silent loss of coverage everywhere ldbvet
+// runs.
+func TestSuiteRoster(t *testing.T) {
+	want := []string{"machdep", "wireproto", "endian", "recoverguard",
+		"lockorder", "atomicity", "detstate", "wirecompat"}
+	suite := analysis.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, a.Name, want[i])
+		}
+	}
+}
+
+// TestLockCycleNeedsLockorder is the issue's teeth check: the lock
+// cycle in the lockorder fixture is invisible to every other analyzer.
+// Without the lockorder pass the fixture comes back clean — so the
+// cycle findings exist, and all of them are lockorder's.
+func TestLockCycleNeedsLockorder(t *testing.T) {
+	repo, err := analysis.Load(analysis.Config{Root: "testdata/lockorder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := analysis.Failing(analysis.RunSuite(repo))
+	cycle, others := 0, 0
+	for _, d := range failing {
+		if d.Analyzer != "lockorder" {
+			others++
+			continue
+		}
+		if strings.Contains(d.Msg, "lock cycle") {
+			cycle++
+		}
+	}
+	if cycle == 0 {
+		t.Error("the lockorder fixture's lock cycle went unreported")
+	}
+	if others != 0 {
+		t.Errorf("%d findings from other analyzers: without lockorder the fixture would not be clean", others)
+	}
+}

@@ -1,0 +1,3 @@
+module atomicity.test
+
+go 1.22

@@ -1,0 +1,43 @@
+// Package counter is the atomicity fixture: one field accessed through
+// sync/atomic and then again plainly, one typed atomic copied by value,
+// one escaped address, and plain fields that are legitimately plain.
+package counter
+
+import "sync/atomic"
+
+// Stats mixes counter disciplines.
+type Stats struct {
+	hits  int64 // accessed via atomic.AddInt64: atomic forever after
+	total int64 // never atomic: plain access is fine
+	gauge atomic.Int64
+}
+
+// Bump is the sanctioning access: hits is an atomic field now.
+func (s *Stats) Bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// Mixed reads and writes hits plainly — torn against Bump.
+func (s *Stats) Mixed() int64 {
+	s.hits++
+	return s.hits
+}
+
+// Leak hands out the address of an atomic field to arbitrary code.
+func Leak(s *Stats) *int64 {
+	return &s.hits
+}
+
+// Copies reads the typed atomic by value, bypassing Load.
+func Copies(s *Stats) int64 {
+	g := s.gauge
+	return g.Load()
+}
+
+// Fine touches only the plain field and uses the typed atomic through
+// its methods.
+func Fine(s *Stats) int64 {
+	s.total++
+	s.gauge.Store(s.total)
+	return s.gauge.Load()
+}

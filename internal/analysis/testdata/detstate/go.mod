@@ -1,0 +1,3 @@
+module detstate.test
+
+go 1.22

@@ -1,0 +1,63 @@
+// Package replay is the detstate fixture: a //ldb:deterministic root
+// whose call tree ranges a map unsorted, reads the clock, rolls dice
+// two calls down, formats a pointer, and receives from a channel —
+// next to a collect-then-sort walk, a statement-position counter bump,
+// and a deadline arm that are all legitimately exempt.
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+var served atomic.Int64
+
+// Conn stands in for a net.Conn's deadline surface.
+type Conn struct{ armed time.Time }
+
+// SetReadDeadline records the deadline; its argument never reaches the
+// transcript.
+func (c *Conn) SetReadDeadline(t time.Time) { c.armed = t }
+
+// Transcribe is the fixture's transcript root.
+//
+//ldb:deterministic
+func Transcribe(c *Conn, m map[string]int, ch chan string) string {
+	served.Add(1)                                  // exempt: unconsumed bump
+	c.SetReadDeadline(time.Now().Add(time.Second)) // exempt: deadline arm
+	out := ""
+	for k := range m { // map order leaks into out
+		out += k
+	}
+	for _, k := range SortedKeys(m) { // clean: collected and sorted
+		out += k
+	}
+	out += roll()
+	out += fmt.Sprintf("%p", c) // pointer value leaks
+	out += <-ch                 // goroutine scheduling leaks
+	return out
+}
+
+// roll is two calls from the root and still in deterministic scope.
+func roll() string {
+	if rand.Int()%2 == 0 {
+		return time.Now().String()
+	}
+	return "steady"
+}
+
+// SortedKeys is the sanctioned map walk: collect, then sort.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Wall is dirty but unreachable from the root: out of scope.
+func Wall() time.Time { return time.Now() }

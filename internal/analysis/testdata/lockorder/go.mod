@@ -1,0 +1,3 @@
+module lockorder.test
+
+go 1.22

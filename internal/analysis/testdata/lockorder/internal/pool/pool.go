@@ -1,0 +1,93 @@
+// Package pool is the lockorder fixture: three ranked mutexes, one
+// correct nesting, one rank inversion that also closes a cycle, a
+// branch where an early-unlock return must not fool the analyzer, a
+// reentrant acquisition, and an unlock-then-relock helper that is
+// legitimately clean.
+package pool
+
+import "sync"
+
+// Registry is the lowest lock: taken first, always.
+type Registry struct {
+	mu    sync.Mutex //ldb:lock registry.mu 10
+	names []string
+}
+
+// Cache nests inside the registry lock.
+type Cache struct {
+	mu      sync.Mutex //ldb:lock cache.mu 20
+	entries int
+}
+
+// Journal is the innermost lock.
+type Journal struct {
+	mu   sync.Mutex //ldb:lock journal.mu 30
+	rows int
+}
+
+// Broken carries a malformed directive: no rank.
+type Broken struct {
+	mu sync.Mutex //ldb:lock broken
+}
+
+// Good nests in increasing rank order: registry, then cache.
+func Good(r *Registry, c *Cache) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.mu.Lock()
+	c.entries++
+	c.mu.Unlock()
+}
+
+// Inverted takes the registry lock while holding the cache lock — a
+// rank inversion, and together with Good a registry→cache→registry
+// cycle.
+func Inverted(r *Registry, c *Cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.mu.Lock()
+	r.names = nil
+	r.mu.Unlock()
+}
+
+// EarlyReturn unlocks and returns on the fast path; on the slow path
+// the journal lock is still held when the registry lock is taken. The
+// early-unlock branch must not launder the held set.
+func EarlyReturn(j *Journal, r *Registry, fast bool) {
+	j.mu.Lock()
+	if fast {
+		j.mu.Unlock()
+		return
+	}
+	r.mu.Lock()
+	r.names = append(r.names, "slow")
+	r.mu.Unlock()
+	j.mu.Unlock()
+}
+
+// Reenter acquires the journal lock twice: self-deadlock.
+func Reenter(j *Journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.mu.Lock()
+	j.rows++
+	j.mu.Unlock()
+}
+
+// WithRoom holds the registry lock across makeRoom.
+func WithRoom(r *Registry, c *Cache) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	makeRoom(r, c)
+}
+
+// makeRoom drops the caller-held registry lock before touching the
+// cache, then retakes it: no registry→cache edge exists, and the
+// analyzer's release tracking must see that.
+func makeRoom(r *Registry, c *Cache) {
+	r.mu.Unlock()
+	c.mu.Lock()
+	c.entries = 0
+	c.mu.Unlock()
+	r.mu.Lock()
+}

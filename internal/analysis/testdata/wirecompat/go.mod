@@ -1,0 +1,3 @@
+module wirecompat.test
+
+go 1.22

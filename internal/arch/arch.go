@@ -431,7 +431,7 @@ func SumText(archName string, text []byte) TextKey {
 }
 
 var (
-	regMu    sync.Mutex
+	regMu    sync.Mutex //ldb:lock arch.registry 50
 	registry = make(map[string]Arch)
 )
 

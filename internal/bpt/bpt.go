@@ -14,6 +14,7 @@ package bpt
 import (
 	"bytes"
 	"fmt"
+	"slices"
 
 	"ldb/internal/amem"
 	"ldb/internal/arch"
@@ -250,12 +251,16 @@ func (m *Manager) IsPlanted(addr uint32) bool {
 	return ok
 }
 
-// Addrs lists planted breakpoint addresses.
+// Addrs lists planted breakpoint addresses in ascending order. The
+// order matters: RemoveAll feeds this list straight into unplant
+// requests, and the deterministic fault injector schedules faults by
+// byte count, so wire traffic must not vary with map iteration order.
 func (m *Manager) Addrs() []uint32 {
-	var out []uint32
+	out := make([]uint32, 0, len(m.planted))
 	for a := range m.planted {
 		out = append(out, a)
 	}
+	slices.Sort(out)
 	return out
 }
 

@@ -151,3 +151,26 @@ func TestFaultsAreNotBreakpoints(t *testing.T) {
 		t.Fatal("pause classified as breakpoint")
 	}
 }
+
+// Regression: Addrs once returned map-iteration order, so RemoveAll's
+// unplant requests hit the wire in a different order each run — which
+// desynchronized the deterministic fault injector's byte-count
+// schedule. The list must come back sorted no matter the insertion
+// order (the ldbvet detstate analyzer pinned this; keep it pinned).
+func TestAddrsSortedRegardlessOfInsertionOrder(t *testing.T) {
+	m := &Manager{planted: make(map[uint32][]byte)}
+	// Descending insertion plus enough entries that an unsorted map walk
+	// cannot plausibly come back ascending by accident.
+	for i := 63; i >= 0; i-- {
+		m.planted[0x1000+uint32(i)*4] = nil
+	}
+	addrs := m.Addrs()
+	if len(addrs) != 64 {
+		t.Fatalf("len = %d", len(addrs))
+	}
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i-1] >= addrs[i] {
+			t.Fatalf("addrs not ascending at %d: %#x >= %#x", i, addrs[i-1], addrs[i])
+		}
+	}
+}

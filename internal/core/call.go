@@ -151,15 +151,25 @@ func (t *Target) CallProc(name string, args ...int64) (ps.Object, error) {
 			return ps.Object{}, err
 		}
 	}
-	stores := map[int]uint64{
-		layout.PCOff:                   uint64(addr),
-		layout.RegOffs[t.Arch.SPReg()]: uint64(newSP),
+	// The context stores go out in a fixed order: they ride the wire
+	// one request each, and the deterministic fault injector schedules
+	// drops by byte count — request order must not vary between runs
+	// (this was a map until the detstate analyzer flagged the range).
+	stores := []struct {
+		off int
+		val uint64
+	}{
+		{layout.PCOff, uint64(addr)},
+		{layout.RegOffs[t.Arch.SPReg()], uint64(newSP)},
 	}
 	if !conv.RetOnStack {
-		stores[layout.RegOffs[t.Arch.LinkReg()]] = uint64(retAddr - uint32(conv.LinkAdjust))
+		stores = append(stores, struct {
+			off int
+			val uint64
+		}{layout.RegOffs[t.Arch.LinkReg()], uint64(retAddr - uint32(conv.LinkAdjust))})
 	}
-	for off, v := range stores {
-		if err := c.StoreInt(amem.Data, ctx+uint32(off), 4, v); err != nil {
+	for _, st := range stores {
+		if err := c.StoreInt(amem.Data, ctx+uint32(st.off), 4, st.val); err != nil {
 			return ps.Object{}, err
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"ldb/internal/arch"
 	"ldb/internal/frame"
@@ -38,7 +39,16 @@ func New(out io.Writer) (*Debugger, error) {
 	if err := d.In.RunStringNamed(PreludePS, "<prelude>"); err != nil {
 		return nil, fmt.Errorf("core: reading initial PostScript: %w", err)
 	}
-	for name, src := range archPS {
+	// Sorted order: dictionary construction runs PostScript with shared
+	// interpreter state, and a startup failure must name the same arch
+	// on every run.
+	archNames := make([]string, 0, len(archPS))
+	for name := range archPS {
+		archNames = append(archNames, name)
+	}
+	sort.Strings(archNames)
+	for _, name := range archNames {
+		src := archPS[name]
 		o, err := d.In.Eval(src)
 		if err != nil || o.Kind != ps.KDict {
 			return nil, fmt.Errorf("core: bad arch dictionary for %s: %v", name, err)

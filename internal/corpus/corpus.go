@@ -48,6 +48,8 @@ func (ax Axes) Sessions() int {
 
 // scriptStatic folds the debug script into a session fingerprint (the
 // program source reaches the fingerprint through the build dep).
+//
+//ldb:deterministic
 func scriptStatic(sc workload.Scenario) string {
 	return fmt.Sprintf("break=%s@%d hits=%d steps=%d prints=%v evals=%v",
 		sc.BreakProc, sc.BreakStop, sc.MaxHits, sc.Steps, sc.Prints, sc.Evals)

@@ -58,6 +58,8 @@ func (n *Node) Kind() string {
 // it (and its dependencies') on first use. Not safe for concurrent
 // first calls; the Runner fingerprints the graph before going
 // parallel.
+//
+//ldb:deterministic
 func (n *Node) Fingerprint() string {
 	if n.fp != "" {
 		return n.fp
@@ -76,7 +78,7 @@ func (n *Node) Fingerprint() string {
 
 // Graph is a set of nodes, deduplicated by key.
 type Graph struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //ldb:lock corpus.graph 51
 	nodes map[string]*Node
 }
 

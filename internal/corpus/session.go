@@ -28,6 +28,8 @@ var sessionShare = machine.NewTextCache()
 // must transcribe identically on every ISA, in all three simulator
 // execution modes, over the plain and the optimized wire protocol.
 // That byte-equality is the corpus's differential oracle.
+//
+//ldb:deterministic
 func RunSession(prog *driver.Program, sc workload.Scenario, pd PredecodeMode, wire bool) ([]byte, error) {
 	var sink strings.Builder
 	d, err := core.New(&sink)

@@ -66,6 +66,7 @@ func (s *Server) Serve() {
 			// frame-relative bindings are scope-dependent (a shadowed
 			// local may map the same name to a different offset), so only
 			// they are discarded; types of globals survive (§3).
+			//ldb:allow detstate deleting from the ranged map is order-insensitive: the surviving set is the same whatever order entries are visited
 			for name, sym := range s.typeCache {
 				if w, ok := sym.Ext.(*Where); ok && w.Kind == "frame" {
 					delete(s.typeCache, name)

@@ -135,6 +135,8 @@ func (p *Process) ckLimit() int64 {
 // TakeCheckpoint forks an immutable snapshot of the process. The first
 // call arms dirty tracking and copies everything; later calls copy only
 // pages written since the previous checkpoint and share the rest.
+//
+//ldb:deterministic
 func (p *Process) TakeCheckpoint() *Checkpoint {
 	p.EnableCheckpoints()
 	ck := &Checkpoint{

@@ -42,7 +42,7 @@ type SharedText struct {
 // TextCache shares decode products across processes. The zero value is
 // not ready; use NewTextCache. All methods are safe for concurrent use.
 type TextCache struct {
-	mu sync.Mutex
+	mu sync.Mutex //ldb:lock textcache.mu 30
 	m  map[arch.TextKey]*SharedText
 
 	hits   atomic.Int64

@@ -134,6 +134,7 @@ func (c *memCache) reset() {
 
 func (c *memCache) recount() {
 	c.bytes = 0
+	//ldb:allow detstate commutative sum: the total is the same in any iteration order
 	for _, ranges := range c.spaces {
 		for _, r := range ranges {
 			c.bytes += len(r.data)

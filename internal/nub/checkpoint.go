@@ -157,6 +157,8 @@ func wstr(b *bytes.Buffer, s string) { wu32(b, uint32(len(s))); b.WriteString(s)
 // proportional to what it actually touched. The encoding is
 // deterministic (planted breakpoints sorted by address), little-endian
 // throughout like the wire protocol it rides beside.
+//
+//ldb:deterministic
 func encodeCheckpoint(program string, ck *machine.Checkpoint, pending *Msg) []byte {
 	var b bytes.Buffer
 	b.WriteString(ckMagic)

@@ -422,6 +422,7 @@ func (c *Client) guarded(op func() error) error {
 		t := time.AfterFunc(c.timeout, func() { fired.Store(true); cl.Close() })
 		err := op()
 		t.Stop()
+		//ldb:allow detstate the watchdog flag only reshapes a timeout error message on an already-failed request; transcript content is unaffected
 		if err != nil && fired.Load() {
 			c.stats.Timeouts.Add(1)
 			err = fmt.Errorf("timed out after %v (watchdog): %w", c.timeout, err)
@@ -576,6 +577,7 @@ func backoff(attempt int) time.Duration {
 	if base > 250*time.Millisecond {
 		base = 250 * time.Millisecond
 	}
+	//ldb:allow detstate reconnect jitter paces redials; it never reaches reply bytes or the transcript
 	return base/2 + rand.N(base)
 }
 
@@ -774,20 +776,6 @@ func (c *Client) ListPlanted() ([]PlantedRecord, error) {
 	return parsePlanted(rep.Data)
 }
 
-// SimStatsReport is the nub's simulator report: instructions executed
-// and the decode-cache counters behind them. Blocks and BlockInsns
-// describe superblock fusion; a nub predating fusion reports a
-// 40-byte body and both stay zero.
-type SimStatsReport struct {
-	Steps         int64
-	Hits          int64
-	Decodes       int64
-	Invalidations int64
-	Fallbacks     int64
-	Blocks        int64
-	BlockInsns    int64
-}
-
 // SimStats asks the nub for its simulator counters. A legacy nub
 // refuses the request; callers treat the error as "nothing to report".
 func (c *Client) SimStats() (SimStatsReport, error) {
@@ -795,25 +783,7 @@ func (c *Client) SimStats() (SimStatsReport, error) {
 	if err != nil {
 		return SimStatsReport{}, err
 	}
-	if len(rep.Data) != 40 && len(rep.Data) != 56 {
-		return SimStatsReport{}, fmt.Errorf("nub: malformed simstats reply (%d bytes)", len(rep.Data))
-	}
-	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(rep.Data[i*8:])) }
-	st := SimStatsReport{Steps: v(0), Hits: v(1), Decodes: v(2), Invalidations: v(3), Fallbacks: v(4)}
-	if len(rep.Data) == 56 { // a pre-fusion nub stops at Fallbacks
-		st.Blocks, st.BlockInsns = v(5), v(6)
-	}
-	return st, nil
-}
-
-// ServerStatsReport is the nub's robustness report: what hostile or
-// broken input it has survived so far.
-type ServerStatsReport struct {
-	RecoveredPanics int64
-	MalformedFrames int64
-	OversizeRejects int64
-	SlowReads       int64
-	CtxFaults       int64
+	return decodeSimStats(rep.Data)
 }
 
 // ServerStats asks the nub for its robustness counters. A legacy nub
@@ -823,14 +793,7 @@ func (c *Client) ServerStats() (ServerStatsReport, error) {
 	if err != nil {
 		return ServerStatsReport{}, err
 	}
-	if len(rep.Data) != 40 {
-		return ServerStatsReport{}, fmt.Errorf("nub: malformed serverstats reply (%d bytes)", len(rep.Data))
-	}
-	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(rep.Data[i*8:])) }
-	return ServerStatsReport{
-		RecoveredPanics: v(0), MalformedFrames: v(1), OversizeRejects: v(2),
-		SlowReads: v(3), CtxFaults: v(4),
-	}, nil
+	return decodeServerStats(rep.Data)
 }
 
 // Sessions reports whether the connected endpoint is a debug service
@@ -903,26 +866,6 @@ func (c *Client) CloseSession() error {
 	return nil
 }
 
-// ServiceStatsReport is the debug service's health line: pool and
-// shared-decode-cache counters, plus per-session and aggregate request
-// counts.
-type ServiceStatsReport struct {
-	Live            int64 // sessions in the pool now
-	Peak            int64 // most sessions ever live at once
-	Evicted         int64 // idle sessions LRU-evicted at capacity
-	Opened          int64 // sessions ever spawned
-	SharedHits      int64 // warm attaches served by the shared decode cache
-	SharedMisses    int64 // cold attaches that had to decode
-	SessionRequests int64 // requests served for this connection's session
-	TotalRequests   int64 // requests served across all sessions ever
-	// Crash-only lifecycle counters; zero against services built before
-	// passivation existed (their replies carry only the eight values
-	// above).
-	Passivated  int64 // sessions checkpointed into the passivated store on eviction
-	Resurrected int64 // sessions rebuilt from a stored checkpoint on attach
-	Rollbacks   int64 // crashed requests answered by checkpoint rollback
-}
-
 // ServiceStats asks the debug service for its health counters. A plain
 // nub refuses the request; callers treat the error as "not a service".
 func (c *Client) ServiceStats() (ServiceStatsReport, error) {
@@ -930,19 +873,7 @@ func (c *Client) ServiceStats() (ServiceStatsReport, error) {
 	if err != nil {
 		return ServiceStatsReport{}, err
 	}
-	if len(rep.Data) != 64 && len(rep.Data) != 88 {
-		return ServiceStatsReport{}, fmt.Errorf("nub: malformed servicestats reply (%d bytes)", len(rep.Data))
-	}
-	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(rep.Data[i*8:])) }
-	r := ServiceStatsReport{
-		Live: v(0), Peak: v(1), Evicted: v(2), Opened: v(3),
-		SharedHits: v(4), SharedMisses: v(5),
-		SessionRequests: v(6), TotalRequests: v(7),
-	}
-	if len(rep.Data) == 88 {
-		r.Passivated, r.Resurrected, r.Rollbacks = v(8), v(9), v(10)
-	}
-	return r, nil
+	return decodeServiceStats(rep.Data)
 }
 
 // parsePlanted decodes an MPlanted payload: (addr32, len32, bytes)

@@ -50,7 +50,7 @@ type Config struct {
 // reconnections, so the schedule keeps advancing through a session's
 // whole lifetime rather than resetting on every redial.
 type Injector struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //ldb:lock faultrw.injector 42
 	cfg   Config
 	rng   *rand.Rand
 	gate  func() bool
@@ -106,7 +106,7 @@ func (inj *Injector) Wrap(conn io.ReadWriteCloser) *Conn {
 type Conn struct {
 	inj  *Injector
 	conn io.ReadWriteCloser
-	mu   sync.Mutex
+	mu   sync.Mutex //ldb:lock faultrw.conn 43
 	dead bool
 }
 

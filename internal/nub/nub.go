@@ -51,14 +51,14 @@ type Nub struct {
 	// means DefaultServeTimeout; negative disables the deadline.
 	ReadTimeout time.Duration
 
-	mu      sync.Mutex
-	pending *Msg // event to (re)send when a connection arrives
+	mu      sync.Mutex //ldb:lock nub.mu 20
+	pending *Msg       // event to (re)send when a connection arrives
 	dead    bool
 
 	// lnMu guards the listener fields separately from mu, which Serve
 	// holds for the whole of a connection: Shutdown must be callable
 	// while a request is being serviced.
-	lnMu     sync.Mutex
+	lnMu     sync.Mutex //ldb:lock nub.lnMu 41
 	listener net.Listener
 	closing  bool
 	// serving is the connection Serve is currently blocked on, if any;
@@ -543,13 +543,11 @@ func (n *Nub) handleSimStats(m *Msg) *Msg {
 		return errMsg("unknown request %v", m.Kind)
 	}
 	st := n.P.SimStats()
-	data := make([]byte, 0, 56)
-	for _, v := range []int64{n.P.Steps, st.Hits, st.Decodes, st.Invalidations, st.Fallbacks, st.Blocks, st.BlockInsns} {
-		var rec [8]byte
-		binary.LittleEndian.PutUint64(rec[:], uint64(v))
-		data = append(data, rec[:]...)
-	}
-	return &Msg{Kind: MSimStatsReply, Data: data}
+	return &Msg{Kind: MSimStatsReply, Data: encodeSimStats(SimStatsReport{
+		Steps: n.P.Steps, Hits: st.Hits, Decodes: st.Decodes,
+		Invalidations: st.Invalidations, Fallbacks: st.Fallbacks,
+		Blocks: st.Blocks, BlockInsns: st.BlockInsns,
+	})}
 }
 
 // handleServerStats serves the robustness counters. Rides the batch
@@ -559,13 +557,11 @@ func (n *Nub) handleServerStats(m *Msg) *Msg {
 		return errMsg("unknown request %v", m.Kind)
 	}
 	st := n.Stats.Snapshot()
-	data := make([]byte, 0, 40)
-	for _, v := range []int64{st.RecoveredPanics, st.MalformedFrames, st.OversizeRejects, st.SlowReads, st.CtxFaults} {
-		var rec [8]byte
-		binary.LittleEndian.PutUint64(rec[:], uint64(v))
-		data = append(data, rec[:]...)
-	}
-	return &Msg{Kind: MServerStatsReply, Data: data}
+	return &Msg{Kind: MServerStatsReply, Data: encodeServerStats(ServerStatsReport{
+		RecoveredPanics: st.RecoveredPanics, MalformedFrames: st.MalformedFrames,
+		OversizeRejects: st.OversizeRejects, SlowReads: st.SlowReads,
+		CtxFaults: st.CtxFaults,
+	})}
 }
 
 // handleBatch services an MBatch envelope: each member is handled in

@@ -42,7 +42,6 @@ package nub
 
 import (
 	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -135,7 +134,7 @@ type Service struct {
 
 	share *machine.TextCache
 
-	mu       sync.Mutex
+	mu       sync.Mutex //ldb:lock service.mu 10
 	programs map[string]spawnSpec
 	sessions map[uint64]*session
 	nextID   uint64
@@ -160,7 +159,7 @@ type Service struct {
 	resurrected atomic.Int64
 	rollbacks   atomic.Int64
 
-	lnMu     sync.Mutex
+	lnMu     sync.Mutex //ldb:lock service.lnMu 40
 	listener net.Listener
 	closing  bool
 	conns    map[net.Conn]struct{}
@@ -902,12 +901,9 @@ func rolledBack(kind MsgKind) *Msg {
 	}
 }
 
-// statsReply builds the MServiceStatsReply body: eleven little-endian
-// 64-bit values — sessions live, peak, evicted, opened, shared-cache
-// hits, misses, the bound session's request count, the aggregate
-// across all sessions ever, and the crash-only lifecycle counters
-// (passivated, resurrected, rollbacks). Clients built for the original
-// eight-value body read a prefix of this one.
+// statsReply builds the MServiceStatsReply body — a ServiceStatsReport
+// through the shared wire-body codec. Clients built for the original
+// eight-value body read a prefix of it (see wirebody.go).
 func (s *Service) statsReply(sess *session) *Msg {
 	s.mu.Lock()
 	live := int64(len(s.sessions))
@@ -926,12 +922,13 @@ func (s *Service) statsReply(sess *session) *Msg {
 	if sess != nil {
 		bound = sess.nub.Stats.RoundTrips.Load()
 	}
-	body := make([]byte, 88)
-	for i, v := range []int64{live, peak, s.evicted.Load(), s.opened.Load(), hits, misses, bound, total,
-		s.passivated.Load(), s.resurrected.Load(), s.rollbacks.Load()} {
-		binary.LittleEndian.PutUint64(body[i*8:], uint64(v))
-	}
-	return &Msg{Kind: MServiceStatsReply, Data: body}
+	return &Msg{Kind: MServiceStatsReply, Data: encodeServiceStats(ServiceStatsReport{
+		Live: live, Peak: peak, Evicted: s.evicted.Load(), Opened: s.opened.Load(),
+		SharedHits: hits, SharedMisses: misses,
+		SessionRequests: bound, TotalRequests: total,
+		Passivated: s.passivated.Load(), Resurrected: s.resurrected.Load(),
+		Rollbacks: s.rollbacks.Load(),
+	})}
 }
 
 // Sessions reports how many sessions are live (for tests).
